@@ -1,0 +1,24 @@
+// Package armci is the public facade of the ARMCI-style one-sided
+// runtime built on PAMI — the "other programming paradigms" claim of the
+// paper (§III.A) made concrete: it attaches its own PAMI client next to
+// any coexisting MPI world and provides symmetric allocation, Put/Get,
+// remote fetch-and-add, fence, and a runtime barrier.
+package armci
+
+import (
+	"pamigo/internal/armci"
+	"pamigo/internal/cnk"
+	"pamigo/internal/machine"
+)
+
+// Runtime is one process's ARMCI instance.
+type Runtime = armci.Runtime
+
+// Region is a symmetric allocation addressable from every rank.
+type Region = armci.Region
+
+// Attach creates the runtime for a process; collective across the
+// machine's processes.
+func Attach(m *machine.Machine, p *cnk.Process) (*Runtime, error) {
+	return armci.Attach(m, p)
+}

@@ -1,0 +1,198 @@
+// Repository-level benchmarks: one family per table and figure of the
+// paper's evaluation, measuring the *functional Go implementation* with
+// the wall clock. These validate the paper's relative claims (PAMI vs
+// MPI overhead, lock regimes, eager vs rendezvous, commthread offload,
+// collective scaling); the paper-scale absolute numbers come from
+// `go run ./cmd/paperbench` (the calibrated model). EXPERIMENTS.md
+// records both against the paper.
+//
+// Custom metrics: latency benches report us/hrt (microseconds per half
+// round trip); rate benches report MMPS; throughput benches report MB/s.
+package pamigo_test
+
+import (
+	"testing"
+	"time"
+
+	"pamigo/internal/bench"
+	"pamigo/internal/core"
+	"pamigo/internal/mpilib"
+	"pamigo/internal/torus"
+)
+
+func reportHRT(b *testing.B, hrt time.Duration, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(hrt.Nanoseconds())/1000, "us/hrt")
+}
+
+// --- Table 1: PAMI half round trip, 0B ---
+
+func BenchmarkTable1_PAMISendImmediate(b *testing.B) {
+	hrt, err := bench.PingPongPAMI(b.N, 0, true)
+	reportHRT(b, hrt, err)
+}
+
+func BenchmarkTable1_PAMISend(b *testing.B) {
+	hrt, err := bench.PingPongPAMI(b.N, 0, false)
+	reportHRT(b, hrt, err)
+}
+
+// --- Table 2: MPI half round trip, 0B, per library configuration ---
+
+func BenchmarkTable2_ClassicThreadSingle(b *testing.B) {
+	hrt, err := bench.PingPongMPI(mpilib.Options{
+		Library: mpilib.Classic, ThreadMode: mpilib.ThreadSingle,
+	}, b.N, 0)
+	reportHRT(b, hrt, err)
+}
+
+func BenchmarkTable2_ClassicLocked(b *testing.B) {
+	hrt, err := bench.PingPongMPI(mpilib.Options{
+		Library: mpilib.Classic, ThreadMode: mpilib.ThreadFunneled,
+	}, b.N, 0)
+	reportHRT(b, hrt, err)
+}
+
+func BenchmarkTable2_ClassicLockedCommThreads(b *testing.B) {
+	hrt, err := bench.PingPongMPI(mpilib.Options{
+		Library: mpilib.Classic, ThreadMode: mpilib.ThreadFunneled, CommThreads: true,
+	}, b.N, 0)
+	reportHRT(b, hrt, err)
+}
+
+func BenchmarkTable2_ThreadOptSingle(b *testing.B) {
+	hrt, err := bench.PingPongMPI(mpilib.Options{
+		Library: mpilib.ThreadOptimized, ThreadMode: mpilib.ThreadSingle,
+	}, b.N, 0)
+	reportHRT(b, hrt, err)
+}
+
+func BenchmarkTable2_ThreadOptMultiple(b *testing.B) {
+	hrt, err := bench.PingPongMPI(mpilib.Options{
+		Library: mpilib.ThreadOptimized, ThreadMode: mpilib.ThreadMultiple, DisableCommThreads: true,
+	}, b.N, 0)
+	reportHRT(b, hrt, err)
+}
+
+func BenchmarkTable2_ThreadOptMultipleCommThreads(b *testing.B) {
+	hrt, err := bench.PingPongMPI(mpilib.Options{
+		Library: mpilib.ThreadOptimized, ThreadMode: mpilib.ThreadMultiple,
+	}, b.N, 0)
+	reportHRT(b, hrt, err)
+}
+
+// --- Table 3: neighbor send+receive throughput, 1MB ---
+
+func neighborTput(b *testing.B, neighbors int, mode core.SendMode) {
+	b.Helper()
+	const msgSize = 1 << 20
+	iters := b.N
+	tput, err := bench.NeighborThroughputMPI(neighbors, msgSize, iters, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(2 * neighbors * msgSize))
+	b.ReportMetric(tput, "MB/s")
+}
+
+func BenchmarkTable3_Eager1Neighbor(b *testing.B)      { neighborTput(b, 1, core.ModeEager) }
+func BenchmarkTable3_Eager4Neighbors(b *testing.B)     { neighborTput(b, 4, core.ModeEager) }
+func BenchmarkTable3_Eager10Neighbors(b *testing.B)    { neighborTput(b, 10, core.ModeEager) }
+func BenchmarkTable3_Rendezvous1Neighbor(b *testing.B) { neighborTput(b, 1, core.ModeRendezvous) }
+func BenchmarkTable3_Rendezvous4Neighbors(b *testing.B) {
+	neighborTput(b, 4, core.ModeRendezvous)
+}
+func BenchmarkTable3_Rendezvous10Neighbors(b *testing.B) {
+	neighborTput(b, 10, core.ModeRendezvous)
+}
+
+// --- Figure 5: message rate versus PPN ---
+
+func msgRateMPI(b *testing.B, ppn int, commthreads, wildcard bool) {
+	b.Helper()
+	window := 200
+	reps := b.N/window + 1
+	rate, err := bench.MessageRateMPI(bench.MessageRateConfig{
+		PPN: ppn, Window: window, Reps: reps, Wildcard: wildcard,
+		Opts: mpilib.Options{
+			Library:            mpilib.ThreadOptimized,
+			CommThreads:        commthreads,
+			DisableCommThreads: !commthreads,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rate, "MMPS")
+}
+
+func BenchmarkFig5_PAMIRate_PPN1(b *testing.B) {
+	rate, err := bench.MessageRatePAMI(1, 200, b.N/200+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rate, "MMPS")
+}
+
+func BenchmarkFig5_PAMIRate_PPN4(b *testing.B) {
+	rate, err := bench.MessageRatePAMI(4, 200, b.N/200+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rate, "MMPS")
+}
+
+func BenchmarkFig5_MPIRate_PPN1(b *testing.B)            { msgRateMPI(b, 1, false, false) }
+func BenchmarkFig5_MPIRate_PPN4(b *testing.B)            { msgRateMPI(b, 4, false, false) }
+func BenchmarkFig5_MPIRateCommThreads_PPN1(b *testing.B) { msgRateMPI(b, 1, true, false) }
+func BenchmarkFig5_MPIRateCommThreads_PPN4(b *testing.B) { msgRateMPI(b, 4, true, false) }
+func BenchmarkFig5_MPIRateWildcard_PPN1(b *testing.B)    { msgRateMPI(b, 1, false, true) }
+
+// --- Figures 6-10: collectives ---
+
+var benchDims = torus.Dims{2, 2, 2, 1, 1} // 8 nodes
+
+func collectiveLatency(b *testing.B, kind bench.CollectiveKind, ppn, size int) {
+	b.Helper()
+	lat, err := bench.CollectiveMPI(kind, benchDims, ppn, size, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(lat.Nanoseconds())/1000, "us/op")
+	if size > 0 {
+		b.ReportMetric(float64(size)/lat.Seconds()/1e6, "MB/s")
+	}
+}
+
+func BenchmarkFig6_Barrier_PPN1(b *testing.B) { collectiveLatency(b, bench.KindBarrier, 1, 0) }
+func BenchmarkFig6_Barrier_PPN4(b *testing.B) { collectiveLatency(b, bench.KindBarrier, 4, 0) }
+
+func BenchmarkFig7_Allreduce8B_PPN1(b *testing.B) { collectiveLatency(b, bench.KindAllreduce, 1, 8) }
+func BenchmarkFig7_Allreduce8B_PPN4(b *testing.B) { collectiveLatency(b, bench.KindAllreduce, 4, 8) }
+
+func BenchmarkFig8_Allreduce64KB_PPN1(b *testing.B) {
+	collectiveLatency(b, bench.KindAllreduce, 1, 64<<10)
+}
+func BenchmarkFig8_Allreduce1MB_PPN1(b *testing.B) {
+	collectiveLatency(b, bench.KindAllreduce, 1, 1<<20)
+}
+func BenchmarkFig8_Allreduce1MB_PPN4(b *testing.B) {
+	collectiveLatency(b, bench.KindAllreduce, 4, 1<<20)
+}
+
+func BenchmarkFig9_Broadcast64KB_PPN1(b *testing.B) {
+	collectiveLatency(b, bench.KindBroadcast, 1, 64<<10)
+}
+func BenchmarkFig9_Broadcast1MB_PPN1(b *testing.B) {
+	collectiveLatency(b, bench.KindBroadcast, 1, 1<<20)
+}
+func BenchmarkFig9_Broadcast1MB_PPN4(b *testing.B) {
+	collectiveLatency(b, bench.KindBroadcast, 4, 1<<20)
+}
+
+func BenchmarkFig10_RectBroadcast1MB_PPN1(b *testing.B) {
+	collectiveLatency(b, bench.KindRectBroadcast, 1, 1<<20)
+}

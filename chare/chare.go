@@ -1,0 +1,26 @@
+// Package chare is the public facade of the Charm++-style message-driven
+// runtime built on PAMI (see internal/chare): chare arrays, asynchronous
+// entry methods, message-driven scheduling, and quiescence detection —
+// the third programming model of the paper's multi-client design.
+package chare
+
+import (
+	"pamigo/internal/chare"
+	"pamigo/internal/cnk"
+	"pamigo/internal/machine"
+)
+
+// Runtime is one process's chare runtime.
+type Runtime = chare.Runtime
+
+// Array is a distributed array of chares.
+type Array = chare.Array
+
+// EntryFn is an asynchronous entry method.
+type EntryFn = chare.EntryFn
+
+// Attach creates the runtime for a process; collective across the
+// machine's processes.
+func Attach(m *machine.Machine, p *cnk.Process) (*Runtime, error) {
+	return chare.Attach(m, p)
+}

@@ -1,0 +1,64 @@
+// Command msgrate runs the paper's message-rate microbenchmark (figure 5
+// workload) on the functional machine and reports the wall-clock rate of
+// the Go implementation in million messages per second.
+//
+// Usage:
+//
+//	msgrate -layer pami -ppn 4
+//	msgrate -layer mpi -ppn 4 -commthreads
+//	msgrate -layer mpi -ppn 1 -wildcard
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"pamigo/internal/bench"
+	"pamigo/internal/mpilib"
+)
+
+func main() {
+	layer := flag.String("layer", "mpi", "messaging layer: pami or mpi")
+	ppn := flag.Int("ppn", 1, "processes per node (power of two, <= 8 for this workload)")
+	window := flag.Int("window", 500, "messages per process per repetition")
+	reps := flag.Int("reps", 5, "measured repetitions")
+	commthreads := flag.Bool("commthreads", false, "enable communication threads (mpi layer)")
+	wildcard := flag.Bool("wildcard", false, "post receives with MPI_ANY_SOURCE (mpi layer)")
+	threadOpt := flag.Bool("threadopt", true, "use the thread-optimized MPI build")
+	flag.Parse()
+
+	switch *layer {
+	case "pami":
+		rate, err := bench.MessageRatePAMI(*ppn, *window, *reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("PAMI message rate: %.3f MMPS (PPN=%d, window=%d, reps=%d)\n",
+			rate, *ppn, *window, *reps)
+	case "mpi":
+		lib := mpilib.Classic
+		if *threadOpt {
+			lib = mpilib.ThreadOptimized
+		}
+		cfg := bench.MessageRateConfig{
+			PPN:      *ppn,
+			Window:   *window,
+			Reps:     *reps,
+			Wildcard: *wildcard,
+			Opts: mpilib.Options{
+				Library:            lib,
+				CommThreads:        *commthreads,
+				DisableCommThreads: !*commthreads,
+			},
+		}
+		rate, err := bench.MessageRateMPI(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("MPI message rate: %.3f MMPS (PPN=%d, commthreads=%v, wildcard=%v, %v build)\n",
+			rate, *ppn, *commthreads, *wildcard, lib)
+	default:
+		log.Fatalf("msgrate: unknown layer %q (want pami or mpi)", *layer)
+	}
+}

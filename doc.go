@@ -1,0 +1,12 @@
+// Package pamigo is a from-scratch Go reproduction of "PAMI: A Parallel
+// Active Message Interface for the Blue Gene/Q Supercomputer" (Kumar et
+// al., IPDPS 2012): the PAMI messaging runtime, an MPICH2-style MPI layer
+// on top of it, and functional models of every BG/Q hardware substrate
+// the paper depends on — the 5D torus, the Message Unit, the L2 atomic
+// unit, the wakeup unit, the collective network with classroutes, and the
+// CNK process/commthread environment.
+//
+// Import the public APIs from pamigo/pami and pamigo/mpi. The root
+// package exists only to carry the repository-level benchmarks
+// (bench_test.go), one per table and figure of the paper's evaluation.
+package pamigo

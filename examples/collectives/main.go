@@ -1,0 +1,124 @@
+// Collectives: the hardware-accelerated operations of paper §III.D and
+// §IV.B-C — barrier, broadcast, reduce and allreduce on COMM_WORLD's
+// machine classroute; a rectangular subcommunicator optimized onto its
+// own classroute with the MPIX extensions; classroute exhaustion and
+// recovery via deoptimize; and the 10-color rectangle broadcast.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pamigo/mpi"
+	"pamigo/pami"
+)
+
+func main() {
+	m, err := pami.NewMachine(pami.MachineConfig{
+		Dims: pami.Dims{2, 2, 2, 1, 1}, // eight nodes
+		PPN:  1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Run(func(p *pami.Process) {
+		w, err := mpi.Init(m, p, mpi.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Finalize()
+		cw := w.CommWorld()
+		rank, size := w.Rank(), w.Size()
+
+		report := func(format string, args ...any) {
+			if rank == 0 {
+				fmt.Printf(format+"\n", args...)
+			}
+		}
+		report("collectives on %d ranks; COMM_WORLD optimized=%v", size, cw.Optimized())
+
+		// Allreduce: double sum on the combining network.
+		sum, err := cw.AllreduceFloat64([]float64{float64(rank + 1)}, pami.OpAdd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report("allreduce sum(1..%d) = %.0f", size, sum[0])
+
+		// Reduce: min and max to rank 0.
+		mn, err := cw.AllreduceInt64([]int64{int64(100 - rank)}, pami.OpMin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report("allreduce min = %d", mn[0])
+
+		// Broadcast 1MB from the last rank over the classroute.
+		payload := make([]byte, 1<<20)
+		if rank == size-1 {
+			for i := range payload {
+				payload[i] = byte(i * 7)
+			}
+		}
+		if err := cw.Bcast(payload, size-1); err != nil {
+			log.Fatal(err)
+		}
+		checkPattern(rank, payload)
+		report("broadcast of %d bytes verified on every rank", len(payload))
+
+		// Split into two rectangular halves; each half gets its own
+		// classroute via MPIX_Comm_optimize.
+		half, err := cw.Split(rank/(size/2), rank)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := half.Optimize(); err != nil {
+			log.Fatalf("rank %d: optimize: %v", rank, err)
+		}
+		hsum, err := half.AllreduceInt64([]int64{1}, pami.OpAdd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if hsum[0] != int64(half.Size()) {
+			log.Fatalf("rank %d: half allreduce = %d", rank, hsum[0])
+		}
+		report("two rectangular halves optimized; allreduce on each half passed")
+
+		// Classroutes are a limited resource: deoptimize returns the slot
+		// and collectives transparently fall back to software.
+		half.Deoptimize()
+		hsum, err = half.AllreduceInt64([]int64{2}, pami.OpAdd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if hsum[0] != int64(2*half.Size()) {
+			log.Fatalf("rank %d: software fallback allreduce = %d", rank, hsum[0])
+		}
+		report("after deoptimize, software allreduce on the halves passed")
+		half.Free()
+
+		// The 10-color rectangle broadcast: ten rotated spanning trees
+		// streaming slices in parallel (figure 10's algorithm).
+		if rank == 0 {
+			for i := range payload {
+				payload[i] = byte(i * 13)
+			}
+		}
+		if err := cw.RectBcast(payload, 0); err != nil {
+			log.Fatal(err)
+		}
+		for i := range payload {
+			if payload[i] != byte(i*13) {
+				log.Fatalf("rank %d: rect bcast corrupt at %d", rank, i)
+			}
+		}
+		report("10-color rectangle broadcast of %d bytes verified", len(payload))
+		cw.Barrier()
+	})
+}
+
+func checkPattern(rank int, buf []byte) {
+	for i := range buf {
+		if buf[i] != byte(i*7) {
+			log.Fatalf("rank %d: broadcast corrupt at byte %d", rank, i)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Hybrid: communication/computation overlap with commthreads — the flow
+// of the paper's figure 2. The main thread of each process posts
+// communication work to its context's lock-free work queue, goes back to
+// computing, and polls a completion flag; a commthread sleeping on the
+// wakeup unit takes the work, drives the messaging, and completes it in
+// the background.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync/atomic"
+
+	"pamigo/pami"
+)
+
+const (
+	chunks    = 64      // communication work items per process
+	chunkSize = 4096    // bytes per item
+	workIters = 200_000 // "compute" per overlap window
+)
+
+func main() {
+	m, err := pami.NewMachine(pami.MachineConfig{
+		Dims: pami.Dims{2, 1, 1, 1, 1},
+		PPN:  2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Run(func(p *pami.Process) {
+		client, err := pami.NewClient(m, p, "hybrid")
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctxs, err := client.CreateContexts(2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx := ctxs[0]
+
+		var received atomic.Int64
+		ctx.RegisterDispatch(1, func(_ *pami.Context, d *pami.Delivery) {
+			received.Add(1)
+		})
+		world, err := client.WorldGeometry(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Background progress: one commthread per context, asleep on the
+		// wakeup unit until work or traffic arrives.
+		client.EnableCommThreads()
+		defer client.DisableCommThreads()
+		world.Barrier()
+
+		me := p.TaskRank()
+		peer := pami.Endpoint{Task: me ^ 1, Ctx: 0} // pair with the buddy rank
+
+		// Phase 1: hand all sends to the commthread via the work queue.
+		var sent atomic.Int64
+		payload := make([]byte, chunkSize)
+		for c := 0; c < chunks; c++ {
+			ctx.Post(func() {
+				err := ctx.Send(pami.SendParams{
+					Dest:     peer,
+					Dispatch: 1,
+					Data:     payload,
+					Mode:     pami.ModeEager,
+					OnDone:   func() { sent.Add(1) },
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+			})
+		}
+
+		// Phase 2: compute while the commthread moves the data.
+		acc := 0.0
+		for i := 1; i <= workIters; i++ {
+			acc += 1.0 / float64(i*i)
+		}
+
+		// Phase 3: poll for completion (the sends we posted and the
+		// messages our buddy posted to us — all progressed in the
+		// background by commthreads).
+		for sent.Load() < chunks || received.Load() < chunks {
+			// The main thread owns no progress responsibilities here — it
+			// only polls flags (and yields the CPU to the commthreads, as
+			// the A2 hardware-thread scheduler would).
+			runtime.Gosched()
+		}
+		world.Barrier()
+
+		if me == 0 {
+			fmt.Printf("hybrid: %d x %dB messages exchanged per pair, fully overlapped\n",
+				chunks, chunkSize)
+			fmt.Printf("hybrid: compute result %.6f (pi^2/6 = 1.644934)\n", acc)
+			adv, work, delivered := ctx.Stats()
+			fmt.Printf("hybrid: context stats: %d advances, %d work items, %d deliveries\n",
+				adv, work, delivered)
+		}
+	})
+}

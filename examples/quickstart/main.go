@@ -1,0 +1,98 @@
+// Quickstart: boot a simulated BG/Q machine, create a PAMI client and
+// context per process, and exchange active messages — the smallest
+// complete PAMI program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pamigo/pami"
+)
+
+func main() {
+	// Four nodes on a tiny 5D torus, two processes per node.
+	m, err := pami.NewMachine(pami.MachineConfig{
+		Dims: pami.Dims{2, 2, 1, 1, 1},
+		PPN:  2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine: %d nodes, %d tasks\n", m.Nodes(), m.Tasks())
+
+	m.Run(func(p *pami.Process) {
+		client, err := pami.NewClient(m, p, "quickstart")
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctxs, err := client.CreateContexts(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx := ctxs[0]
+
+		// An active message handler: dispatch ID 1 counts greetings.
+		greetings := 0
+		ctx.RegisterDispatch(1, func(_ *pami.Context, d *pami.Delivery) {
+			greetings++
+			fmt.Printf("task %d got %q from task %d\n",
+				p.TaskRank(), string(d.Data), d.Origin.Task)
+		})
+
+		// The world geometry doubles as the job bootstrap barrier.
+		world, err := client.WorldGeometry(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		world.Barrier()
+
+		// Everyone greets the next task on the ring.
+		next := (p.TaskRank() + 1) % m.Tasks()
+		msg := []byte(fmt.Sprintf("hello from %d", p.TaskRank()))
+		if err := ctx.SendImmediate(pami.Endpoint{Task: next, Ctx: 0}, 1, nil, msg); err != nil {
+			log.Fatal(err)
+		}
+
+		// Advance until our own greeting arrives, then sync and report.
+		ctx.AdvanceUntil(func() bool { return greetings >= 1 })
+		world.Barrier()
+
+		// A one-sided finale: task 0 exposes a window and every task
+		// RDMA-writes one byte into its slot.
+		if p.TaskRank() == 0 {
+			window := make([]byte, m.Tasks())
+			mr := ctx.RegisterMemory(window)
+			world.Broadcast(0, encodeID(mr.ID()))
+			world.Barrier() // everyone has the window ID
+			world.Barrier() // everyone has written
+			fmt.Printf("task 0 window after puts: %v\n", window)
+		} else {
+			idBuf := make([]byte, 8)
+			world.Broadcast(0, idBuf)
+			world.Barrier()
+			err := ctx.Put(0, decodeID(idBuf), p.TaskRank(), []byte{byte(p.TaskRank() * 11)}, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			world.Barrier()
+		}
+		world.Barrier()
+	})
+}
+
+func encodeID(id uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(id >> (8 * i))
+	}
+	return b
+}
+
+func decodeID(b []byte) uint64 {
+	var id uint64
+	for i := 0; i < 8; i++ {
+		id |= uint64(b[i]) << (8 * i)
+	}
+	return id
+}

@@ -1,0 +1,3 @@
+module pamigo
+
+go 1.22

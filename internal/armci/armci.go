@@ -1,0 +1,251 @@
+// Package armci is a small ARMCI-style one-sided communication runtime
+// built on PAMI, demonstrating the paper's multi-client design (§III.A):
+// "PAMI supports multiple clients that can enable simultaneous
+// co-existence of multiple programming model runtimes". An ARMCI runtime
+// attaches its own PAMI client — with its own contexts, endpoints, and
+// dispatch IDs — next to MPI's, exactly the mixed MPI+PGAS usage the
+// paper cites ([22], hybrid UPC+MPI).
+//
+// The API follows ARMCI's shape: collective symmetric allocation, Put /
+// Get against remote ranks, remote fetch-and-add (implemented as an
+// active-message round trip to the owner, serialized by the owner's
+// context — the same way LAPI/ARMCI accumulate on the host processor),
+// fence, and a runtime barrier.
+//
+// A Runtime is owned by its process goroutine; its operations are not
+// reentrant (wrap in the caller's own synchronization for hybrid
+// threading, as real ARMCI requires).
+//
+// Hybrid-progress rule: blocking ARMCI operations (FetchAdd, Barrier)
+// progress only the ARMCI client's contexts, and blocking MPI operations
+// progress only MPI's — each runtime owns its resources (paper §III.A).
+// Hybrid codes therefore phase-separate blocking operations of different
+// runtimes (see examples/pgas), exactly as real MPI+PGAS applications do
+// unless asynchronous progress threads are configured.
+package armci
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pamigo/internal/cnk"
+	"pamigo/internal/core"
+	"pamigo/internal/machine"
+)
+
+// Geometry/dispatch identifiers, disjoint from other runtimes sharing the
+// process (MPI uses geometry IDs counted from 0 and dispatch 0x0001).
+const (
+	worldGeomID uint64 = 1 << 40
+
+	dispatchRMW      uint16 = 0x0010
+	dispatchRMWReply uint16 = 0x0011
+)
+
+// Runtime is one process's ARMCI instance.
+type Runtime struct {
+	mach   *machine.Machine
+	proc   *cnk.Process
+	client *core.Client
+	ctx    *core.Context
+	world  *core.Geometry
+
+	allocSeq uint64
+	regions  map[uint64]*Region
+
+	rmwSeq  uint64
+	replies map[uint64]int64
+}
+
+// Region is one symmetric allocation: every rank holds size bytes under
+// the same region ID.
+type Region struct {
+	rt   *Runtime
+	id   uint64
+	size int
+	// Local is this rank's slab; remote ranks Put/Get/FetchAdd into it.
+	Local []byte
+	mr    *core.Memregion
+}
+
+// Attach creates the ARMCI runtime for a process. Collective: every
+// process of the machine attaches. It coexists with any other clients
+// (e.g. an MPI World) already created on the process.
+func Attach(m *machine.Machine, p *cnk.Process) (*Runtime, error) {
+	client, err := core.NewClient(m, p, "ARMCI")
+	if err != nil {
+		return nil, err
+	}
+	ctxs, err := client.CreateContexts(1)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		mach:    m,
+		proc:    p,
+		client:  client,
+		ctx:     ctxs[0],
+		regions: make(map[uint64]*Region),
+		replies: make(map[uint64]int64),
+	}
+	if err := rt.ctx.RegisterDispatch(dispatchRMW, rt.onRMW); err != nil {
+		return nil, err
+	}
+	if err := rt.ctx.RegisterDispatch(dispatchRMWReply, rt.onRMWReply); err != nil {
+		return nil, err
+	}
+	tasks := make([]int, m.Tasks())
+	for i := range tasks {
+		tasks[i] = i
+	}
+	rt.world, err = client.CreateGeometry(rt.ctx, worldGeomID, tasks)
+	if err != nil {
+		return nil, err
+	}
+	rt.world.Barrier()
+	return rt, nil
+}
+
+// Rank returns the caller's rank (same numbering as the machine's tasks).
+func (rt *Runtime) Rank() int { return rt.proc.TaskRank() }
+
+// Size returns the number of ranks.
+func (rt *Runtime) Size() int { return rt.mach.Tasks() }
+
+// Barrier synchronizes all ranks of the runtime.
+func (rt *Runtime) Barrier() { rt.world.Barrier() }
+
+// Client exposes the underlying PAMI client (to show, e.g., that it is
+// distinct from a coexisting MPI client).
+func (rt *Runtime) Client() *core.Client { return rt.client }
+
+// Malloc collectively allocates a symmetric region of size bytes on
+// every rank and returns this rank's handle.
+func (rt *Runtime) Malloc(size int) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("armci: allocation of %d bytes", size)
+	}
+	rt.allocSeq++
+	id := (uint64(1) << 41) | rt.allocSeq
+	buf := make([]byte, size)
+	// Register under a deterministic ID so remote ranks can address the
+	// region with (rank, id) without an exchange.
+	rt.mach.Fabric().RegisterMemregion(rt.Rank(), id, buf)
+	r := &Region{rt: rt, id: id, size: size, Local: buf}
+	rt.regions[id] = r
+	rt.world.Barrier() // all ranks registered before any one-sided traffic
+	return r, nil
+}
+
+// Free collectively releases the region.
+func (r *Region) Free() {
+	r.rt.world.Barrier() // outstanding one-sided ops complete first
+	r.rt.mach.Fabric().DeregisterMemregion(r.rt.Rank(), r.id)
+	delete(r.rt.regions, r.id)
+	r.rt.world.Barrier()
+}
+
+// Size returns the per-rank region size.
+func (r *Region) Size() int { return r.size }
+
+// Put writes data into rank's slab at offset off.
+func (r *Region) Put(rank, off int, data []byte) error {
+	return r.rt.ctx.Put(rank, r.id, off, data, nil)
+}
+
+// Get reads len(buf) bytes from rank's slab at offset off.
+func (r *Region) Get(rank, off int, buf []byte) error {
+	return r.rt.ctx.Get(rank, r.id, off, buf, nil)
+}
+
+// rmw wire format: region id, offset, delta, request id (all uint64/
+// int64 little-endian).
+const rmwMetaLen = 8 * 4
+
+// FetchAdd atomically adds delta to the int64 at rank's slab offset off
+// and returns the previous value. The addition executes on the owner's
+// context (its advancing thread), which serializes all remote updates to
+// the word — the host-side accumulate model of ARMCI/LAPI.
+func (r *Region) FetchAdd(rank, off int, delta int64) (int64, error) {
+	if off%8 != 0 || off+8 > r.size {
+		return 0, fmt.Errorf("armci: fetch-add at bad offset %d", off)
+	}
+	rt := r.rt
+	if rank == rt.Rank() {
+		// Local fast path still funnels through the context so remote and
+		// local updates serialize identically.
+		var old int64
+		done := false
+		rt.ctx.Post(func() {
+			old = int64(binary.LittleEndian.Uint64(r.Local[off:]))
+			binary.LittleEndian.PutUint64(r.Local[off:], uint64(old+delta))
+			done = true
+		})
+		rt.ctx.AdvanceUntil(func() bool { return done })
+		return old, nil
+	}
+	rt.rmwSeq++
+	req := rt.rmwSeq
+	meta := make([]byte, rmwMetaLen)
+	binary.LittleEndian.PutUint64(meta[0:], r.id)
+	binary.LittleEndian.PutUint64(meta[8:], uint64(off))
+	binary.LittleEndian.PutUint64(meta[16:], uint64(delta))
+	binary.LittleEndian.PutUint64(meta[24:], req)
+	dst := core.Endpoint{Task: rank, Ctx: rt.ctx.Endpoint().Ctx}
+	if err := rt.ctx.SendImmediate(dst, dispatchRMW, meta, nil); err != nil {
+		return 0, err
+	}
+	var old int64
+	rt.ctx.AdvanceUntil(func() bool {
+		v, ok := rt.replies[req]
+		if ok {
+			delete(rt.replies, req)
+			old = v
+		}
+		return ok
+	})
+	return old, nil
+}
+
+// onRMW executes a remote fetch-and-add on the owner.
+func (rt *Runtime) onRMW(ctx *core.Context, d *core.Delivery) {
+	id := binary.LittleEndian.Uint64(d.Meta[0:])
+	off := int(binary.LittleEndian.Uint64(d.Meta[8:]))
+	delta := int64(binary.LittleEndian.Uint64(d.Meta[16:]))
+	req := binary.LittleEndian.Uint64(d.Meta[24:])
+	region, ok := rt.regions[id]
+	if !ok {
+		panic(fmt.Sprintf("armci: rmw against unknown region %#x", id))
+	}
+	old := int64(binary.LittleEndian.Uint64(region.Local[off:]))
+	binary.LittleEndian.PutUint64(region.Local[off:], uint64(old+delta))
+	reply := make([]byte, 16)
+	binary.LittleEndian.PutUint64(reply[0:], req)
+	binary.LittleEndian.PutUint64(reply[8:], uint64(old))
+	if err := ctx.SendImmediate(d.Origin, dispatchRMWReply, reply, nil); err != nil {
+		panic("armci: rmw reply failed: " + err.Error())
+	}
+}
+
+// onRMWReply records a fetch-and-add result for the waiting initiator.
+func (rt *Runtime) onRMWReply(_ *core.Context, d *core.Delivery) {
+	req := binary.LittleEndian.Uint64(d.Meta[0:])
+	old := int64(binary.LittleEndian.Uint64(d.Meta[8:]))
+	rt.replies[req] = old
+}
+
+// Fence completes all outstanding one-sided operations to every rank.
+// Put/Get complete synchronously in this fabric and FetchAdd is a
+// blocking round trip, so Fence only needs to drain the local context.
+func (rt *Runtime) Fence() {
+	rt.ctx.Lock()
+	for rt.ctx.Advance(64) > 0 {
+	}
+	rt.ctx.Unlock()
+}
+
+// Detach tears the runtime down. Collective.
+func (rt *Runtime) Detach() {
+	rt.world.Barrier()
+	rt.client.Destroy()
+}

@@ -1,0 +1,456 @@
+// Package bench provides the workload generators and drivers behind the
+// repository's benchmark harness: ping-pong latency, Sequoia-style
+// message rate, nearest-neighbor throughput, and collective latency /
+// throughput — the same workloads the paper's evaluation uses — executed
+// on the *functional* machine and timed with the wall clock.
+//
+// These measurements characterize the Go implementation (useful for the
+// relative claims: PAMI vs MPI overhead, eager vs rendezvous, commthread
+// offload, lock regimes); the paper-scale absolute numbers come from
+// internal/model. EXPERIMENTS.md holds both, side by side.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"pamigo/internal/cnk"
+	"pamigo/internal/collnet"
+	"pamigo/internal/core"
+	"pamigo/internal/machine"
+	"pamigo/internal/mpilib"
+	"pamigo/internal/torus"
+)
+
+// PingPongPAMI measures the PAMI half-round-trip latency for a payload of
+// the given size between two neighboring nodes, over iters round trips.
+// immediate selects SendImmediate (Table 1 row 1) versus Send (row 2).
+func PingPongPAMI(iters, payload int, immediate bool) (time.Duration, error) {
+	m, err := machine.New(machine.Config{Dims: torus.Dims{2, 1, 1, 1, 1}, PPN: 1})
+	if err != nil {
+		return 0, err
+	}
+	var hrt time.Duration
+	var runErr error
+	m.Run(func(p *cnk.Process) {
+		client, err := core.NewClient(m, p, "bench")
+		if err != nil {
+			runErr = err
+			return
+		}
+		ctxs, err := client.CreateContexts(1)
+		if err != nil {
+			runErr = err
+			return
+		}
+		ctx := ctxs[0]
+		pending := 0
+		ctx.RegisterDispatch(1, func(_ *core.Context, d *core.Delivery) {
+			pending++
+		})
+		g, err := client.WorldGeometry(ctx)
+		if err != nil {
+			runErr = err
+			return
+		}
+		g.Barrier()
+		me := p.TaskRank()
+		peer := core.Endpoint{Task: 1 - me, Ctx: 0}
+		buf := make([]byte, payload)
+		send := func() error {
+			if immediate {
+				return ctx.SendImmediate(peer, 1, nil, buf)
+			}
+			return ctx.Send(core.SendParams{Dest: peer, Dispatch: 1, Data: buf, Mode: core.ModeEager})
+		}
+		start := time.Now()
+		if me == 0 {
+			for i := 0; i < iters; i++ {
+				if err := send(); err != nil {
+					runErr = err
+					return
+				}
+				want := pending + 1
+				ctx.AdvanceUntil(func() bool { return pending >= want })
+			}
+			hrt = time.Since(start) / time.Duration(2*iters)
+		} else {
+			for i := 0; i < iters; i++ {
+				want := pending + 1
+				ctx.AdvanceUntil(func() bool { return pending >= want })
+				if err := send(); err != nil {
+					runErr = err
+					return
+				}
+			}
+		}
+		g.Barrier()
+	})
+	return hrt, runErr
+}
+
+// PingPongMPI measures the MPI half-round-trip latency for one payload
+// size under the given library options (Table 2 configurations).
+func PingPongMPI(opts mpilib.Options, iters, payload int) (time.Duration, error) {
+	m, err := machine.New(machine.Config{Dims: torus.Dims{2, 1, 1, 1, 1}, PPN: 1})
+	if err != nil {
+		return 0, err
+	}
+	var hrt time.Duration
+	var runErr error
+	m.Run(func(p *cnk.Process) {
+		w, err := mpilib.Init(m, p, opts)
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer w.Finalize()
+		cw := w.CommWorld()
+		buf := make([]byte, payload)
+		cw.Barrier()
+		start := time.Now()
+		if w.Rank() == 0 {
+			for i := 0; i < iters; i++ {
+				if err := cw.Send(buf, 1, 0); err != nil {
+					runErr = err
+					return
+				}
+				if _, err := cw.Recv(buf, 1, 0); err != nil {
+					runErr = err
+					return
+				}
+			}
+			hrt = time.Since(start) / time.Duration(2*iters)
+		} else {
+			for i := 0; i < iters; i++ {
+				if _, err := cw.Recv(buf, 0, 0); err != nil {
+					runErr = err
+					return
+				}
+				if err := cw.Send(buf, 0, 0); err != nil {
+					runErr = err
+					return
+				}
+			}
+		}
+		cw.Barrier()
+	})
+	return hrt, runErr
+}
+
+// neighborNodesOf lists the distinct torus neighbors of node 0, in link
+// order, capped at max.
+func neighborNodesOf(d torus.Dims, max int) []torus.Rank {
+	seen := map[torus.Rank]bool{0: true}
+	var out []torus.Rank
+	for _, l := range torus.Links() {
+		n := d.Neighbor(0, l)
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MessageRateConfig describes a Sequoia-style message-rate run: every
+// process on the reference node (node 0) exchanges a window of messages
+// with a partner process on a neighboring node, the neighbors spread
+// across the torus links (paper figure 5).
+type MessageRateConfig struct {
+	// PPN is the processes per node.
+	PPN int
+	// Window is the number of messages each reference process sends per
+	// measured repetition.
+	Window int
+	// Reps is the number of measured repetitions.
+	Reps int
+	// Wildcard posts the receives with AnySource.
+	Wildcard bool
+	// Opts configures the MPI library.
+	Opts mpilib.Options
+}
+
+// MessageRateMPI runs the MPI message-rate benchmark and returns the
+// achieved rate in million messages per second (MMPS) for the reference
+// node. A barrier after posting receives eliminates unexpected messages,
+// exactly as in the paper; the barrier cost is included in the rate.
+func MessageRateMPI(cfg MessageRateConfig) (float64, error) {
+	dims := torus.Dims{3, 3, 3, 1, 1}
+	m, err := machine.New(machine.Config{Dims: dims, PPN: cfg.PPN})
+	if err != nil {
+		return 0, err
+	}
+	neighbors := neighborNodesOf(dims, 6)
+	var rate float64
+	var runErr error
+	m.Run(func(p *cnk.Process) {
+		w, err := mpilib.Init(m, p, cfg.Opts)
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer w.Finalize()
+		cw := w.CommWorld()
+		onRef := p.Node().Rank == 0
+		local := p.LocalID()
+		// Reference process i partners with local index i on neighbor node
+		// neighbors[i % len(neighbors)] — the paper's pattern of spreading
+		// partners across the torus links. The inverse: a process on
+		// neighbor node nb with local index l partners with reference
+		// process l exactly when nb is l's chosen neighbor.
+		partner := -1
+		if onRef {
+			partner = int(neighbors[local%len(neighbors)])*cfg.PPN + local
+		} else if idx := indexOf(neighbors, p.Node().Rank); idx >= 0 && local%len(neighbors) == idx {
+			partner = local // world rank on node 0 equals its local index
+		}
+		src := partner
+		if cfg.Wildcard {
+			src = mpilib.AnySource
+		}
+		start := time.Now()
+		for rep := 0; rep < cfg.Reps; rep++ {
+			var reqs []*mpilib.Request
+			if partner >= 0 && !onRef {
+				for k := 0; k < cfg.Window; k++ {
+					r, err := cw.Irecv(make([]byte, 8), src, k)
+					if err != nil {
+						runErr = err
+						return
+					}
+					reqs = append(reqs, r)
+				}
+			}
+			cw.Barrier() // receives posted: no unexpected traffic
+			if onRef && partner >= 0 {
+				for k := 0; k < cfg.Window; k++ {
+					r, err := cw.Isend(make([]byte, 8), partner, k)
+					if err != nil {
+						runErr = err
+						return
+					}
+					reqs = append(reqs, r)
+				}
+			}
+			w.Waitall(reqs)
+			cw.Barrier()
+		}
+		if onRef && local == 0 {
+			elapsed := time.Since(start)
+			total := float64(cfg.PPN * cfg.Window * cfg.Reps)
+			rate = total / elapsed.Seconds() / 1e6
+		}
+	})
+	return rate, runErr
+}
+
+func indexOf(s []torus.Rank, v torus.Rank) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// MessageRatePAMI measures the raw PAMI message rate: every process on
+// the reference node blasts SendImmediate messages at a partner on a
+// neighboring node, which drains its context.
+func MessageRatePAMI(ppn, window, reps int) (float64, error) {
+	dims := torus.Dims{3, 3, 3, 1, 1}
+	m, err := machine.New(machine.Config{Dims: dims, PPN: ppn})
+	if err != nil {
+		return 0, err
+	}
+	neighbors := neighborNodesOf(dims, 6)
+	var rate float64
+	var runErr error
+	m.Run(func(p *cnk.Process) {
+		client, err := core.NewClient(m, p, "bench")
+		if err != nil {
+			runErr = err
+			return
+		}
+		ctxs, err := client.CreateContexts(1)
+		if err != nil {
+			runErr = err
+			return
+		}
+		ctx := ctxs[0]
+		received := 0
+		ctx.RegisterDispatch(1, func(_ *core.Context, d *core.Delivery) { received++ })
+		g, err := client.WorldGeometry(ctx)
+		if err != nil {
+			runErr = err
+			return
+		}
+		g.Barrier()
+		onRef := p.Node().Rank == 0
+		local := p.LocalID()
+		start := time.Now()
+		if onRef {
+			dst := core.Endpoint{
+				Task: int(neighbors[local%len(neighbors)])*ppn + local,
+				Ctx:  0,
+			}
+			payload := make([]byte, 8)
+			for rep := 0; rep < reps; rep++ {
+				for k := 0; k < window; k++ {
+					if err := ctx.SendImmediate(dst, 1, nil, payload); err != nil {
+						runErr = err
+						return
+					}
+				}
+			}
+		} else if idx := indexOf(neighbors, p.Node().Rank); idx >= 0 && local%len(neighbors) == idx {
+			want := window * reps
+			ctx.AdvanceUntil(func() bool { return received >= want })
+		}
+		g.Barrier()
+		if onRef && local == 0 {
+			elapsed := time.Since(start)
+			rate = float64(ppn*window*reps) / elapsed.Seconds() / 1e6
+		}
+	})
+	return rate, runErr
+}
+
+// NeighborThroughputMPI measures the bidirectional nearest-neighbor
+// throughput (MB/s) of Table 3: the reference node exchanges msgSize
+// messages with `neighbors` neighboring nodes per iteration, forcing the
+// given protocol.
+func NeighborThroughputMPI(neighbors, msgSize, iters int, mode core.SendMode) (float64, error) {
+	dims := torus.Dims{3, 3, 3, 2, 2}
+	if neighbors > 10 {
+		return 0, fmt.Errorf("bench: a node has at most 10 neighbors")
+	}
+	m, err := machine.New(machine.Config{Dims: dims, PPN: 1})
+	if err != nil {
+		return 0, err
+	}
+	nbs := neighborNodesOf(dims, neighbors)
+	var tput float64
+	var runErr error
+	m.Run(func(p *cnk.Process) {
+		w, err := mpilib.Init(m, p, mpilib.Options{})
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer w.Finalize()
+		cw := w.CommWorld()
+		me := w.Rank()
+		amNeighbor := indexOf(nbs, torus.Rank(me)) >= 0
+		sendBuf := make([]byte, msgSize)
+		recvBufs := make([][]byte, len(nbs))
+		for i := range recvBufs {
+			recvBufs[i] = make([]byte, msgSize)
+		}
+		cw.Barrier()
+		start := time.Now()
+		for it := 0; it < iters; it++ {
+			var reqs []*mpilib.Request
+			if me == 0 {
+				for i, nb := range nbs {
+					r, err := cw.Irecv(recvBufs[i], int(nb), it)
+					if err != nil {
+						runErr = err
+						return
+					}
+					reqs = append(reqs, r)
+					s, err := cw.IsendMode(sendBuf, int(nb), it, mode)
+					if err != nil {
+						runErr = err
+						return
+					}
+					reqs = append(reqs, s)
+				}
+			} else if amNeighbor {
+				r, err := cw.Irecv(recvBufs[0], 0, it)
+				if err != nil {
+					runErr = err
+					return
+				}
+				s, err := cw.IsendMode(sendBuf, 0, it, mode)
+				if err != nil {
+					runErr = err
+					return
+				}
+				reqs = append(reqs, r, s)
+			}
+			w.Waitall(reqs)
+		}
+		cw.Barrier()
+		if me == 0 {
+			elapsed := time.Since(start)
+			bytes := float64(2*len(nbs)*msgSize) * float64(iters)
+			tput = bytes / elapsed.Seconds() / 1e6
+		}
+	})
+	return tput, runErr
+}
+
+// CollectiveKind selects the collective a latency/throughput run drives.
+type CollectiveKind int
+
+// The collectives of figures 6-10.
+const (
+	KindBarrier CollectiveKind = iota
+	KindAllreduce
+	KindBroadcast
+	KindRectBroadcast
+)
+
+// CollectiveMPI times the given collective on a machine of the given
+// shape and PPN: iters operations on size-byte buffers (ignored for
+// barrier). It returns the mean per-operation latency; throughput is
+// size/latency.
+func CollectiveMPI(kind CollectiveKind, dims torus.Dims, ppn, size, iters int) (time.Duration, error) {
+	if size%8 != 0 {
+		size = (size + 7) &^ 7
+	}
+	m, err := machine.New(machine.Config{Dims: dims, PPN: ppn})
+	if err != nil {
+		return 0, err
+	}
+	var lat time.Duration
+	var runErr error
+	m.Run(func(p *cnk.Process) {
+		w, err := mpilib.Init(m, p, mpilib.Options{})
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer w.Finalize()
+		cw := w.CommWorld()
+		send := make([]byte, size)
+		recv := make([]byte, size)
+		cw.Barrier()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			switch kind {
+			case KindBarrier:
+				cw.Barrier()
+			case KindAllreduce:
+				err = cw.Allreduce(send, recv, collnet.OpAdd, collnet.Int64)
+			case KindBroadcast:
+				err = cw.Bcast(send, 0)
+			case KindRectBroadcast:
+				err = cw.RectBcast(send, 0)
+			}
+			if err != nil {
+				runErr = err
+				return
+			}
+		}
+		if w.Rank() == 0 {
+			lat = time.Since(start) / time.Duration(iters)
+		}
+		cw.Barrier()
+	})
+	return lat, runErr
+}

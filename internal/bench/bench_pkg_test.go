@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"pamigo/internal/core"
+	"pamigo/internal/model"
+	"pamigo/internal/mpilib"
+	"pamigo/internal/torus"
+)
+
+func TestPingPongPAMIRuns(t *testing.T) {
+	for _, immediate := range []bool{true, false} {
+		hrt, err := PingPongPAMI(50, 0, immediate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hrt <= 0 {
+			t.Fatalf("non-positive latency %v (immediate=%v)", hrt, immediate)
+		}
+	}
+}
+
+func TestPingPongMPIRuns(t *testing.T) {
+	hrt, err := PingPongMPI(mpilib.Options{}, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hrt <= 0 {
+		t.Fatalf("non-positive latency %v", hrt)
+	}
+}
+
+func TestPAMIFasterThanMPI(t *testing.T) {
+	// The relative claim behind Tables 1-2: PAMI's half round trip beats
+	// MPI's, which pays matching and request overheads on top.
+	pami, err := PingPongPAMI(300, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpi, err := PingPongMPI(mpilib.Options{}, 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pami >= mpi {
+		t.Errorf("PAMI HRT %v should be below MPI HRT %v", pami, mpi)
+	}
+}
+
+func TestMessageRatePAMIRuns(t *testing.T) {
+	rate, err := MessageRatePAMI(2, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Fatalf("rate = %f", rate)
+	}
+}
+
+func TestMessageRateMPIRuns(t *testing.T) {
+	rate, err := MessageRateMPI(MessageRateConfig{PPN: 2, Window: 50, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Fatalf("rate = %f", rate)
+	}
+}
+
+func TestMessageRateWildcardRuns(t *testing.T) {
+	rate, err := MessageRateMPI(MessageRateConfig{PPN: 1, Window: 50, Reps: 2, Wildcard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Fatalf("rate = %f", rate)
+	}
+}
+
+func TestNeighborThroughputRuns(t *testing.T) {
+	for _, mode := range []core.SendMode{core.ModeEager, core.ModeRendezvous} {
+		tput, err := NeighborThroughputMPI(2, 64*1024, 2, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tput <= 0 {
+			t.Fatalf("throughput = %f (mode %d)", tput, mode)
+		}
+	}
+}
+
+func TestCollectiveMPIRuns(t *testing.T) {
+	dims := torus.Dims{2, 2, 1, 1, 1}
+	for _, kind := range []CollectiveKind{KindBarrier, KindAllreduce, KindBroadcast, KindRectBroadcast} {
+		lat, err := CollectiveMPI(kind, dims, 1, 4096, 3)
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if lat <= 0 {
+			t.Fatalf("kind %d latency %v", kind, lat)
+		}
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable(model.Table1(model.Default()))
+	if !strings.Contains(out, "PAMI Send Immediate") || !strings.Contains(out, "us") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("render too short:\n%s", out)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries("Figure 5", model.Fig5(model.Default()))
+	if !strings.Contains(out, "PAMI") || !strings.Contains(out, "MMPS") {
+		t.Fatalf("series render missing content:\n%s", out)
+	}
+	// PPN=32 row must show '-' for the commthread series (not run there).
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing N/A marker:\n%s", out)
+	}
+}

@@ -1,0 +1,267 @@
+package chare
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pamigo/internal/cnk"
+	"pamigo/internal/machine"
+	"pamigo/internal/mpilib"
+	"pamigo/internal/torus"
+)
+
+func runChare(t *testing.T, dims torus.Dims, ppn int, body func(rt *Runtime)) {
+	t.Helper()
+	m, err := machine.New(machine.Config{Dims: dims, PPN: ppn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fail sync.Once
+	m.Run(func(p *cnk.Process) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail.Do(func() { t.Errorf("rank %d panicked: %v", p.TaskRank(), r) })
+			}
+		}()
+		rt, err := Attach(m, p)
+		if err != nil {
+			panic(err)
+		}
+		body(rt)
+		rt.Detach()
+	})
+}
+
+// counterState is a simple chare: it accumulates received values.
+type counterState struct {
+	total int64
+	hits  int
+}
+
+func TestRingHops(t *testing.T) {
+	// A token hops around the chare array `laps` times, incrementing a
+	// per-element counter; quiescence ends the program.
+	const elems = 12
+	const laps = 5
+	runChare(t, torus.Dims{2, 2, 1, 1, 1}, 1, func(rt *Runtime) {
+		arr, err := rt.NewArray(1, elems, func(elem int) any { return &counterState{} })
+		if err != nil {
+			panic(err)
+		}
+		const hop = 1
+		err = arr.RegisterEntry(hop, func(rt *Runtime, state any, elem int, payload []byte) {
+			st := state.(*counterState)
+			st.hits++
+			remaining := binary.LittleEndian.Uint64(payload)
+			if remaining == 0 {
+				return
+			}
+			next := make([]byte, 8)
+			binary.LittleEndian.PutUint64(next, remaining-1)
+			if err := arr.Send((elem+1)%elems, hop, next); err != nil {
+				panic(err)
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		rt.Barrier()
+		if rt.Rank() == 0 {
+			seed := make([]byte, 8)
+			binary.LittleEndian.PutUint64(seed, uint64(elems*laps-1))
+			if err := arr.Send(0, hop, seed); err != nil {
+				panic(err)
+			}
+		}
+		rt.Quiesce()
+		// Every element was hit exactly `laps` times.
+		for e := 0; e < elems; e++ {
+			if st, ok := arr.Local(e).(*counterState); ok {
+				if st.hits != laps {
+					t.Errorf("element %d hit %d times, want %d", e, st.hits, laps)
+				}
+			}
+		}
+	})
+}
+
+func TestFanOutFanIn(t *testing.T) {
+	// Element 0 fans a value out to every element; each replies to 0,
+	// which accumulates — the classic broadcast/reduction chare pattern.
+	const elems = 16
+	runChare(t, torus.Dims{2, 2, 1, 1, 1}, 2, func(rt *Runtime) {
+		arr, err := rt.NewArray(2, elems, func(elem int) any { return &counterState{} })
+		if err != nil {
+			panic(err)
+		}
+		const (
+			work  = 1
+			reply = 2
+		)
+		arr.RegisterEntry(work, func(rt *Runtime, state any, elem int, payload []byte) {
+			v := binary.LittleEndian.Uint64(payload)
+			out := make([]byte, 8)
+			binary.LittleEndian.PutUint64(out, v*uint64(elem+1))
+			if err := arr.Send(0, reply, out); err != nil {
+				panic(err)
+			}
+		})
+		arr.RegisterEntry(reply, func(rt *Runtime, state any, elem int, payload []byte) {
+			st := state.(*counterState)
+			st.total += int64(binary.LittleEndian.Uint64(payload))
+			st.hits++
+		})
+		rt.Barrier()
+		if rt.Rank() == 0 {
+			seed := make([]byte, 8)
+			binary.LittleEndian.PutUint64(seed, 3)
+			for e := 0; e < elems; e++ {
+				if err := arr.Send(e, work, seed); err != nil {
+					panic(err)
+				}
+			}
+		}
+		rt.Quiesce()
+		if rt.Rank() == arr.HomeOf(0) {
+			st := arr.Local(0).(*counterState)
+			want := int64(0)
+			for e := 0; e < elems; e++ {
+				want += int64(3 * (e + 1))
+			}
+			if st.total != want || st.hits != elems {
+				t.Errorf("fan-in total=%d hits=%d, want %d/%d", st.total, st.hits, want, elems)
+			}
+		}
+	})
+}
+
+func TestQuiescenceIdle(t *testing.T) {
+	// Quiescence with no traffic at all must terminate immediately.
+	runChare(t, torus.Dims{2, 1, 1, 1, 1}, 1, func(rt *Runtime) {
+		if _, err := rt.NewArray(3, 4, func(int) any { return nil }); err != nil {
+			panic(err)
+		}
+		rt.Quiesce()
+		sent, processed := rt.Stats()
+		if sent != 0 || processed != 0 {
+			t.Errorf("idle stats (%d,%d)", sent, processed)
+		}
+	})
+}
+
+func TestLargePayloadInvocation(t *testing.T) {
+	// Payloads beyond a packet ride the eager multi-packet path.
+	runChare(t, torus.Dims{2, 1, 1, 1, 1}, 1, func(rt *Runtime) {
+		var got atomic.Int64
+		arr, err := rt.NewArray(4, 2, func(int) any { return nil })
+		if err != nil {
+			panic(err)
+		}
+		arr.RegisterEntry(1, func(rt *Runtime, state any, elem int, payload []byte) {
+			ok := true
+			for i := range payload {
+				if payload[i] != byte(i*3) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				got.Store(int64(len(payload)))
+			}
+		})
+		rt.Barrier()
+		if rt.Rank() == 0 {
+			big := make([]byte, 4096)
+			for i := range big {
+				big[i] = byte(i * 3)
+			}
+			if err := arr.Send(1, 1, big); err != nil { // element 1 homes on rank 1
+				panic(err)
+			}
+		}
+		rt.Quiesce()
+		if rt.Rank() == arr.HomeOf(1) && got.Load() != 4096 {
+			t.Errorf("large invocation payload lost (got %d)", got.Load())
+		}
+	})
+}
+
+func TestValidation(t *testing.T) {
+	runChare(t, torus.Dims{1, 1, 1, 1, 1}, 1, func(rt *Runtime) {
+		if _, err := rt.NewArray(5, 0, func(int) any { return nil }); err == nil {
+			t.Error("empty array accepted")
+		}
+		arr, err := rt.NewArray(5, 4, func(int) any { return nil })
+		if err != nil {
+			panic(err)
+		}
+		if _, err := rt.NewArray(5, 4, func(int) any { return nil }); err == nil {
+			t.Error("duplicate array ID accepted")
+		}
+		if err := arr.RegisterEntry(1, nil); err == nil {
+			t.Error("nil entry accepted")
+		}
+		arr.RegisterEntry(1, func(*Runtime, any, int, []byte) {})
+		if err := arr.RegisterEntry(1, func(*Runtime, any, int, []byte) {}); err == nil {
+			t.Error("duplicate entry accepted")
+		}
+		if err := arr.Send(99, 1, nil); err == nil {
+			t.Error("out-of-range element accepted")
+		}
+		if err := arr.Send(0, 9, nil); err == nil {
+			t.Error("unregistered entry send accepted")
+		}
+	})
+}
+
+// TestThreeRuntimesCoexist is the paper's §III.A multi-client design at
+// full strength: MPI, and the Charm-style runtime attach independent
+// PAMI clients in the same processes and interleave traffic.
+func TestThreeRuntimesCoexist(t *testing.T) {
+	m, err := machine.New(machine.Config{Dims: torus.Dims{2, 1, 1, 1, 1}, PPN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fail sync.Once
+	m.Run(func(p *cnk.Process) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail.Do(func() { t.Errorf("rank %d: %v", p.TaskRank(), r) })
+			}
+		}()
+		w, err := mpilib.Init(m, p, mpilib.Options{})
+		if err != nil {
+			panic(err)
+		}
+		rt, err := Attach(m, p)
+		if err != nil {
+			panic(err)
+		}
+		arr, err := rt.NewArray(1, m.Tasks(), func(int) any { return &counterState{} })
+		if err != nil {
+			panic(err)
+		}
+		arr.RegisterEntry(1, func(rt *Runtime, state any, elem int, payload []byte) {
+			state.(*counterState).hits++
+		})
+		rt.Barrier()
+		cw := w.CommWorld()
+		for i := 0; i < 5; i++ {
+			// Chare invocation to the next element, MPI allreduce between.
+			if err := arr.Send((p.TaskRank()+1)%m.Tasks(), 1, nil); err != nil {
+				panic(err)
+			}
+			if _, err := cw.AllreduceInt64([]int64{1}, 0); err != nil {
+				panic(err)
+			}
+		}
+		rt.Quiesce()
+		if st := arr.Local(p.TaskRank()).(*counterState); st.hits != 5 {
+			t.Errorf("rank %d element got %d invocations", p.TaskRank(), st.hits)
+		}
+		rt.Detach()
+		w.Finalize()
+	})
+}

@@ -1,0 +1,131 @@
+package chare
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Chare migration (Charm++'s load-balancing primitive) with home-based
+// location management: element e's *home* rank (e / block) permanently
+// tracks its current location; invocations are addressed to the home,
+// which executes locally or forwards. Migration packs the element's
+// state with the array's registered PUP functions (Charm's pack/unpack),
+// ships it to the destination, and the destination informs the home.
+// Invocations that race a migration bounce back to the home until the
+// location update lands — all such messages are counted, so quiescence
+// detection remains exact.
+
+// Internal dispatch for migration control (install + location update).
+const dispatchMigrate uint16 = 0x0021
+
+// PUP registers the array's state serializer pair (Charm++'s PUP
+// framework): pack flattens an element's state, unpack restores it.
+// Required before Migrate.
+func (a *Array) PUP(pack func(state any) []byte, unpack func(data []byte) any) error {
+	if pack == nil || unpack == nil {
+		return fmt.Errorf("chare: nil PUP functions")
+	}
+	a.pack, a.unpack = pack, unpack
+	return nil
+}
+
+// migrate wire format: array id, element, kind, origin/location rank.
+const (
+	migInstall uint8 = 1
+	migUpdate  uint8 = 2
+)
+
+const migMetaLen = 4 + 8 + 1 + 4
+
+func migMeta(id uint32, elem int, kind uint8, rank int) []byte {
+	m := make([]byte, migMetaLen)
+	binary.LittleEndian.PutUint32(m[0:], id)
+	binary.LittleEndian.PutUint64(m[4:], uint64(elem))
+	m[12] = kind
+	binary.LittleEndian.PutUint32(m[13:], uint32(rank))
+	return m
+}
+
+// Migrate moves a locally hosted element to rank dest. It may be called
+// from the owning rank's driver code or from one of the element's own
+// entry methods. Requires PUP.
+func (a *Array) Migrate(elem, dest int) error {
+	if elem < 0 || elem >= a.elems {
+		return fmt.Errorf("chare: migrate element %d out of range", elem)
+	}
+	if dest < 0 || dest >= a.rt.Size() {
+		return fmt.Errorf("chare: migrate destination %d out of range", dest)
+	}
+	if a.pack == nil {
+		return fmt.Errorf("chare: array %d has no PUP functions", a.id)
+	}
+	st, hosted := a.state[elem]
+	if !hosted {
+		return fmt.Errorf("chare: rank %d does not host element %d", a.rt.Rank(), elem)
+	}
+	rt := a.rt
+	if dest == rt.Rank() {
+		return nil
+	}
+	data := a.pack(st)
+	delete(a.state, elem)
+	if a.HomeOf(elem) == rt.Rank() {
+		// The home is losing the element: repoint immediately so
+		// forwarding never dead-ends.
+		a.loc[elem] = dest
+	}
+	rt.sent.Add(1)
+	addr := a.rt.endpointOf(dest)
+	return rt.ctx.Send(sendParamsFor(addr, dispatchMigrate,
+		migMeta(a.id, elem, migInstall, rt.Rank()), data))
+}
+
+// onMigrate handles install and location-update control messages.
+func (rt *Runtime) onMigrate(meta, payload []byte) {
+	if len(meta) < migMetaLen {
+		panic("chare: malformed migration message")
+	}
+	id := binary.LittleEndian.Uint32(meta[0:])
+	elem := int(binary.LittleEndian.Uint64(meta[4:]))
+	kind := meta[12]
+	rank := int(binary.LittleEndian.Uint32(meta[13:]))
+	a, ok := rt.arrays[id]
+	if !ok {
+		panic(fmt.Sprintf("chare: migration for unknown array %d", id))
+	}
+	rt.processed.Add(1)
+	switch kind {
+	case migInstall:
+		a.state[elem] = a.unpack(payload)
+		home := a.HomeOf(elem)
+		if home == rt.Rank() {
+			a.loc[elem] = rt.Rank()
+			return
+		}
+		rt.sent.Add(1)
+		if err := rt.ctx.Send(sendParamsFor(a.rt.endpointOf(home), dispatchMigrate,
+			migMeta(a.id, elem, migUpdate, rt.Rank()), nil)); err != nil {
+			panic("chare: location update failed: " + err.Error())
+		}
+	case migUpdate:
+		a.loc[elem] = rank
+	default:
+		panic(fmt.Sprintf("chare: unknown migration kind %d", kind))
+	}
+	_ = rank
+}
+
+// LocationOf returns the element's current location as its home records
+// it; exact only at the home rank (others should just Send).
+func (a *Array) LocationOf(elem int) int {
+	if l, ok := a.loc[elem]; ok {
+		return l
+	}
+	return a.HomeOf(elem)
+}
+
+// Hosted reports whether this rank currently hosts the element.
+func (a *Array) Hosted(elem int) bool {
+	_, ok := a.state[elem]
+	return ok
+}

@@ -1,0 +1,203 @@
+package chare
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"pamigo/internal/torus"
+)
+
+// pupInt64 is the PUP pair for *counterState used across the tests.
+func pupCounter() (func(any) []byte, func([]byte) any) {
+	pack := func(st any) []byte {
+		c := st.(*counterState)
+		b := make([]byte, 16)
+		binary.LittleEndian.PutUint64(b[0:], uint64(c.total))
+		binary.LittleEndian.PutUint64(b[8:], uint64(c.hits))
+		return b
+	}
+	unpack := func(b []byte) any {
+		return &counterState{
+			total: int64(binary.LittleEndian.Uint64(b[0:])),
+			hits:  int(binary.LittleEndian.Uint64(b[8:])),
+		}
+	}
+	return pack, unpack
+}
+
+func TestMigrateMovesStateAndExecution(t *testing.T) {
+	runChare(t, torus.Dims{2, 2, 1, 1, 1}, 1, func(rt *Runtime) {
+		arr, err := rt.NewArray(7, 4, func(e int) any { return &counterState{total: int64(e * 10)} })
+		if err != nil {
+			panic(err)
+		}
+		arr.PUP(pupCounter())
+		arr.RegisterEntry(1, func(rt *Runtime, state any, elem int, payload []byte) {
+			state.(*counterState).hits++
+		})
+		rt.Barrier()
+		// Element 0 (home rank 0) migrates to rank 3.
+		if rt.Rank() == 0 {
+			if !arr.Hosted(0) {
+				t.Error("rank 0 should host element 0 initially")
+			}
+			if err := arr.Migrate(0, 3); err != nil {
+				panic(err)
+			}
+		}
+		rt.Quiesce() // migration control messages drain
+		if rt.Rank() == 0 && arr.Hosted(0) {
+			t.Error("element 0 still hosted at its old rank")
+		}
+		if rt.Rank() == 3 {
+			if !arr.Hosted(0) {
+				t.Error("element 0 not installed at rank 3")
+			} else if st := arr.Local(0).(*counterState); st.total != 0 {
+				t.Errorf("migrated state corrupted: total=%d", st.total)
+			}
+		}
+		if rt.Rank() == 0 && arr.LocationOf(0) != 3 {
+			t.Errorf("home directory says %d, want 3", arr.LocationOf(0))
+		}
+		rt.Barrier()
+		// Invocations from every rank must now reach rank 3 via the home.
+		if err := arr.Send(0, 1, nil); err != nil {
+			panic(err)
+		}
+		rt.Quiesce()
+		if rt.Rank() == 3 {
+			if st := arr.Local(0).(*counterState); st.hits != rt.Size() {
+				t.Errorf("migrated element got %d invocations, want %d", st.hits, rt.Size())
+			}
+		}
+		rt.Barrier()
+	})
+}
+
+func TestMigrateFromEntryMethod(t *testing.T) {
+	// A chare that migrates itself when poked — the load balancer's move.
+	runChare(t, torus.Dims{2, 1, 1, 1, 1}, 1, func(rt *Runtime) {
+		arr, err := rt.NewArray(8, 2, func(e int) any { return &counterState{} })
+		if err != nil {
+			panic(err)
+		}
+		arr.PUP(pupCounter())
+		const moveThenCount = 1
+		arr.RegisterEntry(moveThenCount, func(rt *Runtime, state any, elem int, payload []byte) {
+			st := state.(*counterState)
+			st.hits++
+			if st.hits == 1 {
+				// First poke: move to the other rank.
+				dest := 1 - rt.Rank()
+				if err := arr.Migrate(elem, dest); err != nil {
+					panic(err)
+				}
+			}
+		})
+		rt.Barrier()
+		if rt.Rank() == 0 {
+			arr.Send(0, moveThenCount, nil) // poke 1: counts then migrates
+			arr.Send(0, moveThenCount, nil) // poke 2: must find it at rank 1
+		}
+		rt.Quiesce()
+		if rt.Rank() == 1 {
+			if !arr.Hosted(0) {
+				t.Error("self-migrated element not at rank 1")
+			} else if st := arr.Local(0).(*counterState); st.hits != 2 {
+				t.Errorf("element saw %d pokes, want 2 (state must survive migration)", st.hits)
+			}
+		}
+		rt.Barrier()
+	})
+}
+
+func TestMigrateValidation(t *testing.T) {
+	runChare(t, torus.Dims{2, 1, 1, 1, 1}, 1, func(rt *Runtime) {
+		arr, err := rt.NewArray(9, 2, func(e int) any { return &counterState{} })
+		if err != nil {
+			panic(err)
+		}
+		if rt.Rank() == 0 {
+			if err := arr.Migrate(0, 1); err == nil {
+				t.Error("migrate without PUP accepted")
+			}
+		}
+		arr.PUP(pupCounter())
+		if err := arr.PUP(nil, nil); err == nil {
+			t.Error("nil PUP accepted")
+		}
+		if rt.Rank() == 0 {
+			if err := arr.Migrate(99, 1); err == nil {
+				t.Error("out-of-range element accepted")
+			}
+			if err := arr.Migrate(0, 99); err == nil {
+				t.Error("out-of-range destination accepted")
+			}
+			if err := arr.Migrate(1, 0); err == nil {
+				t.Error("migrating a non-hosted element accepted")
+			}
+			// Self-migration is a no-op.
+			if err := arr.Migrate(0, 0); err != nil {
+				t.Errorf("self-migration failed: %v", err)
+			}
+		}
+		rt.Barrier()
+	})
+}
+
+func TestMigrationStorm(t *testing.T) {
+	// Elements ping-pong between ranks while invocations chase them; all
+	// invocations must land exactly once (counted in the state).
+	runChare(t, torus.Dims{2, 2, 1, 1, 1}, 1, func(rt *Runtime) {
+		arr, err := rt.NewArray(11, 4, func(e int) any { return &counterState{} })
+		if err != nil {
+			panic(err)
+		}
+		arr.PUP(pupCounter())
+		arr.RegisterEntry(1, func(rt *Runtime, state any, elem int, payload []byte) {
+			state.(*counterState).hits++
+		})
+		rt.Barrier()
+		const rounds = 4
+		for r := 0; r < rounds; r++ {
+			// Everyone pokes every element.
+			for e := 0; e < arr.Elems(); e++ {
+				if err := arr.Send(e, 1, nil); err != nil {
+					panic(err)
+				}
+			}
+			rt.Quiesce()
+			// Whoever hosts an element moves it one rank over.
+			for e := 0; e < arr.Elems(); e++ {
+				if arr.Hosted(e) {
+					if err := arr.Migrate(e, (rt.Rank()+1)%rt.Size()); err != nil {
+						panic(err)
+					}
+				}
+			}
+			rt.Quiesce()
+		}
+		// Tally: across all ranks, every poke landed exactly once.
+		total := 0
+		for e := 0; e < arr.Elems(); e++ {
+			if arr.Hosted(e) {
+				total += arr.Local(e).(*counterState).hits
+			}
+		}
+		recv := make([]byte, 8)
+		if err := rt.world.Allreduce(encodeI64(int64(total)), recv, 0, 0); err != nil {
+			panic(err)
+		}
+		want := int64(rounds * arr.Elems() * rt.Size())
+		if got := int64(binary.LittleEndian.Uint64(recv)); got != want {
+			t.Errorf("rank %d: storm delivered %d invocations, want %d", rt.Rank(), got, want)
+		}
+		rt.Barrier()
+	})
+}
+
+func encodeI64(v int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	return b
+}

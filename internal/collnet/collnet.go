@@ -1,0 +1,308 @@
+// Package collnet models the Blue Gene/Q collective network (paper §II.B,
+// §III.D). Unlike BG/L and BG/P, the BG/Q collective network is embedded in
+// the 5D torus: a *classroute* programs, at every participating node, which
+// links feed the combine up-tree and which link forwards toward the root,
+// so that barrier, broadcast, reduce and allreduce execute in the network
+// with integer and floating-point add/min/max combining.
+//
+// The package provides:
+//
+//   - ClassRoute allocation over contiguous rectangles of nodes, with the
+//     hardware limit of 16 routes per node (some reserved for the system),
+//     which is why PAMI exposes communicator "optimize"/"deoptimize";
+//   - the combine arithmetic the router ALU implements;
+//   - functional collective sessions (reduce / allreduce / broadcast /
+//     barrier) that processes on different goroutine "nodes" join and that
+//     combine contributions in a deterministic tree order, exactly like the
+//     hardware's fixed wiring makes FP reductions reproducible;
+//   - the Global Interrupt (GI) barrier used by MPI_Barrier.
+//
+// Timing at 2048-node scale is not modeled here; internal/model derives
+// figure latencies from the tree geometry this package exposes.
+package collnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"pamigo/internal/torus"
+)
+
+// SlotsPerNode is the hardware classroute capacity of a node.
+const SlotsPerNode = 16
+
+// ReservedSlots is how many classroute slots the system keeps for itself
+// (system collectives, job control).
+const ReservedSlots = 2
+
+// UserSlots is the number of classroute slots available to user software.
+const UserSlots = SlotsPerNode - ReservedSlots
+
+// Op is a combine operation supported by the collective network ALU.
+type Op int
+
+// Supported combine operations (paper: "integer and floating point
+// operations such as add, min and max").
+const (
+	OpAdd Op = iota
+	OpMin
+	OpMax
+	OpBitOR  // used by software for flags; routers support logical ops
+	OpBitAND // used by software for agreement bits
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	case OpBitOR:
+		return "bor"
+	case OpBitAND:
+		return "band"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// DType is the element type the router ALU combines.
+type DType int
+
+// Supported element types; all are 8-byte words, the unit of the L2
+// atomics and of the router ALU datapath.
+const (
+	Int64 DType = iota
+	Uint64
+	Float64
+)
+
+// Size returns the element size in bytes.
+func (d DType) Size() int { return 8 }
+
+// String names the type.
+func (d DType) String() string {
+	switch d {
+	case Int64:
+		return "int64"
+	case Uint64:
+		return "uint64"
+	case Float64:
+		return "float64"
+	}
+	return fmt.Sprintf("dtype(%d)", int(d))
+}
+
+// Combine folds src into acc element-wise: acc = acc (op) src. Buffers are
+// little-endian packed 8-byte words and must have equal length, a multiple
+// of 8.
+func Combine(op Op, dt DType, acc, src []byte) error {
+	if len(acc) != len(src) {
+		return fmt.Errorf("collnet: combine length mismatch %d vs %d", len(acc), len(src))
+	}
+	if len(acc)%8 != 0 {
+		return fmt.Errorf("collnet: combine length %d not word aligned", len(acc))
+	}
+	for i := 0; i < len(acc); i += 8 {
+		a := binary.LittleEndian.Uint64(acc[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(acc[i:], combineWord(op, dt, a, s))
+	}
+	return nil
+}
+
+func combineWord(op Op, dt DType, a, s uint64) uint64 {
+	switch op {
+	case OpBitOR:
+		return a | s
+	case OpBitAND:
+		return a & s
+	}
+	switch dt {
+	case Int64:
+		x, y := int64(a), int64(s)
+		switch op {
+		case OpAdd:
+			return uint64(x + y)
+		case OpMin:
+			if y < x {
+				return uint64(y)
+			}
+			return uint64(x)
+		case OpMax:
+			if y > x {
+				return uint64(y)
+			}
+			return uint64(x)
+		}
+	case Uint64:
+		switch op {
+		case OpAdd:
+			return a + s
+		case OpMin:
+			if s < a {
+				return s
+			}
+			return a
+		case OpMax:
+			if s > a {
+				return s
+			}
+			return a
+		}
+	case Float64:
+		x, y := math.Float64frombits(a), math.Float64frombits(s)
+		switch op {
+		case OpAdd:
+			return math.Float64bits(x + y)
+		case OpMin:
+			return math.Float64bits(math.Min(x, y))
+		case OpMax:
+			return math.Float64bits(math.Max(x, y))
+		}
+	}
+	panic(fmt.Sprintf("collnet: unsupported op %v on %v", op, dt))
+}
+
+// EncodeFloat64s packs values little-endian into a fresh byte buffer.
+func EncodeFloat64s(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeFloat64s unpacks a little-endian buffer into float64 values.
+func DecodeFloat64s(buf []byte) []float64 {
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out
+}
+
+// EncodeInt64s packs values little-endian into a fresh byte buffer.
+func EncodeInt64s(vals []int64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return out
+}
+
+// DecodeInt64s unpacks a little-endian buffer into int64 values.
+func DecodeInt64s(buf []byte) []int64 {
+	out := make([]int64, len(buf)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out
+}
+
+// ClassRoute is one programmed collective tree over a rectangle of nodes.
+type ClassRoute struct {
+	ID   int
+	Rect torus.Rectangle
+	Root torus.Rank
+	Tree *torus.Tree
+
+	net   *Network
+	ranks []torus.Rank
+
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+}
+
+// Ranks returns the participating node ranks in ascending order.
+func (cr *ClassRoute) Ranks() []torus.Rank { return cr.ranks }
+
+// Parties returns the number of participating nodes.
+func (cr *ClassRoute) Parties() int { return len(cr.ranks) }
+
+// Depth returns the tree depth in hops; model latency scales with it.
+func (cr *ClassRoute) Depth() int { return cr.Tree.Depth() }
+
+// Network owns the classroute slot accounting for a machine.
+type Network struct {
+	dims torus.Dims
+
+	mu     sync.Mutex
+	inUse  map[torus.Rank]int
+	nextID int
+}
+
+// New returns the classroute manager for a machine of the given shape.
+func New(dims torus.Dims) *Network {
+	return &Network{dims: dims, inUse: make(map[torus.Rank]int)}
+}
+
+// Dims returns the machine shape.
+func (n *Network) Dims() torus.Dims { return n.dims }
+
+// ErrNoClassRoute is reported when a node in the rectangle has no free
+// classroute slot; callers deoptimize another communicator and retry.
+var ErrNoClassRoute = fmt.Errorf("collnet: no free classroute slot (limit %d user slots per node)", UserSlots)
+
+// Allocate programs a classroute over the rectangle, rooted at root, and
+// returns it. Every node inside the rectangle must have a free user slot.
+func (n *Network) Allocate(rect torus.Rectangle, root torus.Rank) (*ClassRoute, error) {
+	if err := rect.Validate(n.dims); err != nil {
+		return nil, err
+	}
+	if !rect.Contains(n.dims.CoordOf(root)) {
+		return nil, fmt.Errorf("collnet: root %d outside rectangle %v", root, rect)
+	}
+	ranks := rect.Ranks(n.dims)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, r := range ranks {
+		if n.inUse[r] >= UserSlots {
+			return nil, ErrNoClassRoute
+		}
+	}
+	for _, r := range ranks {
+		n.inUse[r]++
+	}
+	n.nextID++
+	return &ClassRoute{
+		ID:       n.nextID,
+		Rect:     rect,
+		Root:     root,
+		Tree:     torus.BuildTree(n.dims, rect, root, 0),
+		net:      n,
+		ranks:    ranks,
+		sessions: make(map[uint64]*Session),
+	}, nil
+}
+
+// AllocateWorld programs the machine-wide classroute used by COMM_WORLD.
+func (n *Network) AllocateWorld() (*ClassRoute, error) {
+	return n.Allocate(n.dims.FullRectangle(), 0)
+}
+
+// Free releases the classroute's slots on every participating node.
+func (n *Network) Free(cr *ClassRoute) {
+	if cr == nil || cr.net != n {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, r := range cr.ranks {
+		if n.inUse[r] > 0 {
+			n.inUse[r]--
+		}
+	}
+	cr.net = nil // a freed route cannot run collectives
+}
+
+// InUse reports how many user classroute slots node r currently occupies.
+func (n *Network) InUse(r torus.Rank) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inUse[r]
+}

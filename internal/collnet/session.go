@@ -1,0 +1,210 @@
+package collnet
+
+import (
+	"fmt"
+	"sync"
+
+	"pamigo/internal/torus"
+)
+
+// Kind distinguishes what a collective session computes.
+type Kind int
+
+// Session kinds. Reduce covers both MPI_Reduce and MPI_Allreduce: the
+// network always combines to the root and the result is re-broadcast down
+// the same tree, so whether every caller reads the result is the caller's
+// business. Broadcast forwards the root's contribution unchanged. Barrier
+// is a zero-byte combine.
+const (
+	KindReduce Kind = iota
+	KindBroadcast
+	KindBarrier
+)
+
+// Session is one in-flight collective operation on a classroute. Node
+// processes Join the same sequence number, Contribute their local data,
+// and Wait for the network result. Combining happens in deterministic
+// post-order over the classroute tree, mirroring the fixed hardware wiring
+// that makes BG/Q floating-point reductions bit-reproducible.
+type Session struct {
+	cr      *ClassRoute
+	seq     uint64
+	kind    Kind
+	op      Op
+	dt      DType
+	nbytes  int
+	parties int
+
+	mu      sync.Mutex
+	contrib map[torus.Rank][]byte
+	arrived int
+	waited  int
+	done    chan struct{}
+	result  []byte
+}
+
+// Join finds or creates the session with the given sequence number on the
+// classroute. All participants must pass identical parameters; mismatches
+// indicate a program error and panic, like mismatched collectives on the
+// real machine silently corrupting data, only louder.
+func (cr *ClassRoute) Join(seq uint64, kind Kind, op Op, dt DType, nbytes int) *Session {
+	if cr.net == nil {
+		panic("collnet: Join on a freed classroute")
+	}
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	if s, ok := cr.sessions[seq]; ok {
+		if s.kind != kind || s.op != op || s.dt != dt || s.nbytes != nbytes {
+			panic(fmt.Sprintf("collnet: session %d parameter mismatch: have (%v,%v,%v,%d), got (%v,%v,%v,%d)",
+				seq, s.kind, s.op, s.dt, s.nbytes, kind, op, dt, nbytes))
+		}
+		return s
+	}
+	s := &Session{
+		cr:      cr,
+		seq:     seq,
+		kind:    kind,
+		op:      op,
+		dt:      dt,
+		nbytes:  nbytes,
+		parties: cr.Parties(),
+		contrib: make(map[torus.Rank][]byte, cr.Parties()),
+		done:    make(chan struct{}),
+	}
+	cr.sessions[seq] = s
+	return s
+}
+
+// Contribute injects node rank's local contribution. For KindBroadcast
+// only the root's data matters (peers may pass nil); for KindBarrier data
+// is ignored. Contribute does not block.
+func (s *Session) Contribute(rank torus.Rank, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.contrib[rank]; dup {
+		panic(fmt.Sprintf("collnet: node %d contributed twice to session %d", rank, s.seq))
+	}
+	stored := data
+	if s.kind == KindReduce {
+		if len(data) != s.nbytes {
+			panic(fmt.Sprintf("collnet: node %d contribution %dB, session expects %dB", rank, len(data), s.nbytes))
+		}
+		// The router consumes the packet as it flows; keep a private copy so
+		// the caller may reuse its buffer immediately, like the MU does.
+		stored = append([]byte(nil), data...)
+	}
+	s.contrib[rank] = stored
+	s.arrived++
+	switch s.kind {
+	case KindBroadcast:
+		// Exactly one node — the broadcast source — contributes data; the
+		// router forwards it up to the classroute root and down every
+		// branch, so the source need not be the tree root.
+		if data != nil {
+			if s.result != nil {
+				panic(fmt.Sprintf("collnet: two broadcast sources in session %d", s.seq))
+			}
+			s.result = append([]byte(nil), data...)
+			close(s.done)
+		}
+	default:
+		if s.arrived == s.parties {
+			s.result = s.combineTree()
+			close(s.done)
+		}
+	}
+}
+
+// combineTree folds contributions in post-order over the classroute tree:
+// each node combines its children's subtree results into its own
+// contribution; the root's value is the network result. Called with s.mu
+// held, after every contribution arrived.
+func (s *Session) combineTree() []byte {
+	if s.kind == KindBarrier || s.nbytes == 0 {
+		return nil
+	}
+	var fold func(n torus.Rank) []byte
+	fold = func(n torus.Rank) []byte {
+		acc := append([]byte(nil), s.contrib[n]...)
+		for _, c := range s.cr.Tree.Children(n) {
+			sub := fold(c)
+			if err := Combine(s.op, s.dt, acc, sub); err != nil {
+				panic("collnet: " + err.Error())
+			}
+		}
+		return acc
+	}
+	return fold(s.cr.Root)
+}
+
+// Done returns a channel closed when the network result is available;
+// progress loops poll it via select.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Ready reports whether the result is available without blocking.
+func (s *Session) Ready() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the result is available and returns it. Every
+// participant must call Wait exactly once: the session is retired from the
+// classroute when the last participant has read the result. The returned
+// buffer is shared — callers copy out of it.
+func (s *Session) Wait() []byte {
+	<-s.done
+	s.mu.Lock()
+	s.waited++
+	last := s.waited == s.parties
+	res := s.result
+	s.mu.Unlock()
+	if last {
+		s.cr.mu.Lock()
+		delete(s.cr.sessions, s.seq)
+		s.cr.mu.Unlock()
+	}
+	return res
+}
+
+// GIBarrier is the Global Interrupt network barrier: a reusable,
+// generation-counted barrier across the nodes of a partition (paper §IV.B:
+// "we use the fast L2 atomics and the global interrupt network to provide
+// very low-overhead barrier across the entire machine").
+type GIBarrier struct {
+	parties int
+
+	mu      sync.Mutex
+	arrived int
+	ch      chan struct{}
+}
+
+// NewGIBarrier returns a barrier for the given number of nodes.
+func NewGIBarrier(parties int) *GIBarrier {
+	if parties < 1 {
+		panic("collnet: GI barrier needs at least one party")
+	}
+	return &GIBarrier{parties: parties, ch: make(chan struct{})}
+}
+
+// Parties returns the number of participating nodes.
+func (b *GIBarrier) Parties() int { return b.parties }
+
+// Await blocks until all parties of the current generation arrive.
+func (b *GIBarrier) Await() {
+	b.mu.Lock()
+	b.arrived++
+	if b.arrived == b.parties {
+		close(b.ch)
+		b.arrived = 0
+		b.ch = make(chan struct{})
+		b.mu.Unlock()
+		return
+	}
+	ch := b.ch
+	b.mu.Unlock()
+	<-ch
+}

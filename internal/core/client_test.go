@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"pamigo/internal/machine"
+	"pamigo/internal/torus"
+)
+
+func newTestMachine(t *testing.T, dims torus.Dims, ppn int) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.Config{Dims: dims, PPN: ppn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// newClientCtx builds a client with one context for a task.
+func newClientCtx(t *testing.T, m *machine.Machine, task int) (*Client, *Context) {
+	t.Helper()
+	c, err := NewClient(m, m.Task(task), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs, err := c.CreateContexts(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ctxs[0]
+}
+
+func TestNewClientValidation(t *testing.T) {
+	m := newTestMachine(t, torus.Dims{1, 1, 1, 1, 1}, 1)
+	if _, err := NewClient(nil, m.Task(0), "x"); err == nil {
+		t.Fatal("nil machine accepted")
+	}
+	if _, err := NewClient(m, nil, "x"); err == nil {
+		t.Fatal("nil process accepted")
+	}
+	c, err := NewClient(m, m.Task(0), "MPI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "MPI" || c.Task() != 0 {
+		t.Fatalf("client identity wrong: %s %d", c.Name(), c.Task())
+	}
+}
+
+func TestMaxContextsScalesWithPPN(t *testing.T) {
+	cases := []struct{ ppn, want int }{{1, 16}, {4, 4}, {16, 1}, {32, 1}, {64, 1}}
+	for _, tc := range cases {
+		m := newTestMachine(t, torus.Dims{1, 1, 1, 1, 1}, tc.ppn)
+		c, err := NewClient(m, m.Task(0), "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.MaxContexts(); got != tc.want {
+			t.Errorf("PPN=%d: MaxContexts=%d, want %d", tc.ppn, got, tc.want)
+		}
+	}
+}
+
+func TestCreateContextsLimit(t *testing.T) {
+	m := newTestMachine(t, torus.Dims{1, 1, 1, 1, 1}, 16)
+	c, _ := NewClient(m, m.Task(0), "t")
+	if _, err := c.CreateContexts(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateContexts(1); err == nil {
+		t.Fatal("context limit not enforced at PPN=16")
+	}
+	if _, err := c.CreateContexts(0); err == nil {
+		t.Fatal("zero contexts accepted")
+	}
+}
+
+func TestContextsBoundToDistinctHWThreads(t *testing.T) {
+	m := newTestMachine(t, torus.Dims{1, 1, 1, 1, 1}, 1)
+	c, _ := NewClient(m, m.Task(0), "t")
+	ctxs, err := c.CreateContexts(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i, ctx := range ctxs {
+		if ctx.Endpoint() != (Endpoint{Task: 0, Ctx: i}) {
+			t.Fatalf("context %d endpoint %v", i, ctx.Endpoint())
+		}
+		if seen[ctx.hwThread] {
+			t.Fatalf("hardware thread %d reused", ctx.hwThread)
+		}
+		seen[ctx.hwThread] = true
+		if ctx.Region() != m.Task(0).Node().Wakeup.Region(ctx.hwThread) {
+			t.Fatal("context region is not its hardware thread's wakeup region")
+		}
+	}
+	if c.Context(2) != ctxs[2] {
+		t.Fatal("Context accessor mismatch")
+	}
+	if len(c.Contexts()) != 4 {
+		t.Fatal("Contexts() length wrong")
+	}
+}
+
+func TestTwoClientsCoexist(t *testing.T) {
+	// Paper §III.A: multiple clients (programming-model runtimes) coexist
+	// in one process; they share the process-wide context ordinal space,
+	// so their endpoints never collide.
+	m := newTestMachine(t, torus.Dims{1, 1, 1, 1, 1}, 2)
+	mpi, err := NewClient(m, m.Task(0), "MPI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mctx, err := mpi.CreateContexts(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upc, err := NewClient(m, m.Task(0), "UPC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uctx, err := upc.CreateContexts(1)
+	if err != nil {
+		t.Fatalf("second client could not create a context: %v", err)
+	}
+	if mctx[0].Endpoint() == uctx[0].Endpoint() {
+		t.Fatal("clients were handed the same endpoint")
+	}
+	if mctx[0].hwThread == uctx[0].hwThread {
+		t.Fatal("clients were handed the same hardware thread")
+	}
+}
+
+func TestDestroyReleasesEndpoints(t *testing.T) {
+	m := newTestMachine(t, torus.Dims{1, 1, 1, 1, 1}, 2)
+	c, _ := newClientCtx(t, m, 0)
+	c.Destroy()
+	c2, err := NewClient(m, m.Task(0), "again")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.CreateContexts(1); err != nil {
+		t.Fatalf("endpoint not released by Destroy: %v", err)
+	}
+}

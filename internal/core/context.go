@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pamigo/internal/l2atomic"
+	"pamigo/internal/lockless"
+	"pamigo/internal/mu"
+	"pamigo/internal/shmem"
+	"pamigo/internal/wakeup"
+)
+
+// DispatchFn is an active-message handler. It runs during Advance on the
+// thread advancing the context. d.Data is only valid for the duration of
+// the call — copy it to keep it (the PAMI "pipe address" contract). For a
+// rendezvous message d.Data is nil and the handler (now or later) calls
+// d.Receive to pull the payload.
+type DispatchFn func(ctx *Context, d *Delivery)
+
+// Dispatch ID space: user handlers below MaxUserDispatch, internal
+// protocol handlers above it.
+const (
+	// MaxUserDispatch is the first dispatch ID reserved for PAMI itself.
+	MaxUserDispatch uint16 = 0xFF00
+
+	dispatchRTS  uint16 = 0xFF10 // rendezvous request-to-send
+	dispatchAck  uint16 = 0xFF11 // rendezvous completion ack
+	dispatchColl uint16 = 0xFF12 // software collective payload
+)
+
+// Context is a PAMI communication context (paper §III.B): an independent
+// unit of messaging parallelism with exclusive hardware resources.
+//
+// Thread contract, exactly as the paper states it: Advance, Send and
+// SendImmediate are thread-unsafe — callers either pin one thread per
+// context, hold the context lock, or hand work off through Post, which is
+// always safe from any thread.
+type Context struct {
+	client   *Client
+	addr     Endpoint
+	hwThread int
+	region   *wakeup.Region
+
+	work   *lockless.Queue[func()]
+	muRes  *mu.ContextResources
+	shmDev *shmem.Device
+
+	lock l2atomic.Mutex
+
+	dispatch map[uint16]DispatchFn
+
+	// Sender-side state (touched only while advancing/sending).
+	sendSeq   uint64
+	nextMR    uint64
+	pending   map[uint64]*pendingSend
+	reasm     map[reasmKey]*reasmState
+	inbox     map[inboxKey][]byte
+	inboxGen  uint64
+	advances  atomic.Int64
+	workDone  atomic.Int64
+	delivered atomic.Int64
+
+	commThreaded atomic.Bool
+}
+
+type reasmKey struct {
+	origin Endpoint
+	seq    uint64
+}
+
+type reasmState struct {
+	buf      []byte
+	got      int
+	dispatch uint16
+	meta     []byte
+}
+
+type inboxKey struct {
+	geom  uint64
+	seq   uint64
+	src   int
+	phase uint8
+}
+
+type pendingSend struct {
+	onDone func()
+	mrID   uint64
+	gvaTag uint64
+}
+
+// Client returns the owning client.
+func (ctx *Context) Client() *Client { return ctx.client }
+
+// Endpoint returns the context's own address.
+func (ctx *Context) Endpoint() Endpoint { return ctx.addr }
+
+// Region returns the context's wakeup region; posting work or delivering
+// traffic touches it.
+func (ctx *Context) Region() *wakeup.Region { return ctx.region }
+
+// Lock acquires the context's L2-atomic mutex. Two threads that must use
+// the same context serialize through it (paper §III.B).
+func (ctx *Context) Lock() { ctx.lock.Lock() }
+
+// Unlock releases the context lock.
+func (ctx *Context) Unlock() { ctx.lock.Unlock() }
+
+// TryLock acquires the context lock only if it is free.
+func (ctx *Context) TryLock() bool { return ctx.lock.TryLock() }
+
+// RegisterDispatch installs the handler for a user dispatch ID. Register
+// all handlers before communication starts; registration is not
+// synchronized with Advance.
+func (ctx *Context) RegisterDispatch(id uint16, fn DispatchFn) error {
+	if id >= MaxUserDispatch {
+		return fmt.Errorf("core: dispatch id %#x is reserved", id)
+	}
+	if fn == nil {
+		return fmt.Errorf("core: nil dispatch handler")
+	}
+	ctx.dispatch[id] = fn
+	return nil
+}
+
+// Post hands a work function to the context's lock-free work queue to be
+// executed by whichever thread next advances the context — the message
+// handoff that lets application threads drive many contexts without locks
+// (paper §III.B-C). Safe from any thread.
+func (ctx *Context) Post(fn func()) {
+	ctx.work.Enqueue(fn)
+	ctx.region.Touch()
+}
+
+// Advance makes progress on the context: it runs posted work, receives MU
+// packets, and receives shared-memory messages, up to max items, and
+// returns the number processed. Thread-unsafe by design; see the type
+// comment.
+func (ctx *Context) Advance(max int) int {
+	n := 0
+	for n < max {
+		if fn, ok := ctx.work.Dequeue(); ok {
+			fn()
+			n++
+			continue
+		}
+		if pkt, ok := ctx.muRes.Rec.Poll(); ok {
+			ctx.handlePacket(pkt)
+			n++
+			continue
+		}
+		if msg, ok := ctx.shmDev.Poll(); ok {
+			ctx.handleMessage(msg.Hdr, msg.Payload, true)
+			n++
+			continue
+		}
+		break
+	}
+	if n > 0 {
+		ctx.workDone.Add(int64(n))
+	}
+	ctx.advances.Add(1)
+	return n
+}
+
+// AdvanceUntil advances the context until cond reports true. It is the
+// blocking-progress idiom the MPI layer uses while waiting for a request.
+func (ctx *Context) AdvanceUntil(cond func() bool) {
+	for !cond() {
+		if ctx.Advance(advanceBatch) == 0 && !cond() {
+			// Nothing to do: sleep on the wakeup region like the hardware
+			// thread would, re-checking the condition against lost wakeups.
+			gen := ctx.region.Gen()
+			if cond() {
+				return
+			}
+			if ctx.work.Empty() && ctx.muRes.Rec.Empty() && ctx.shmDev.Empty() {
+				ctx.region.Wait(gen)
+			}
+		}
+	}
+}
+
+const advanceBatch = 64
+
+// Stats reports how many Advance calls ran, how many work items were
+// processed, and how many user messages were delivered.
+func (ctx *Context) Stats() (advances, workDone, delivered int64) {
+	return ctx.advances.Load(), ctx.workDone.Load(), ctx.delivered.Load()
+}
+
+// handlePacket processes one MU packet: either the whole message (single
+// packet) or a piece to reassemble.
+func (ctx *Context) handlePacket(pkt mu.Packet) {
+	hdr := pkt.Hdr
+	if hdr.Offset == 0 && len(pkt.Payload) == hdr.Total {
+		ctx.handleMessage(hdr, pkt.Payload, false)
+		return
+	}
+	key := reasmKey{origin: hdr.Origin, seq: hdr.Seq}
+	st, ok := ctx.reasm[key]
+	if !ok {
+		st = &reasmState{
+			buf:      make([]byte, hdr.Total),
+			dispatch: hdr.Dispatch,
+		}
+		ctx.reasm[key] = st
+	}
+	if hdr.Offset == 0 {
+		st.meta = hdr.Meta
+	}
+	copy(st.buf[hdr.Offset:], pkt.Payload)
+	st.got += len(pkt.Payload)
+	if st.got >= len(st.buf) {
+		delete(ctx.reasm, key)
+		full := mu.Header{
+			Dispatch: st.dispatch,
+			Origin:   hdr.Origin,
+			Seq:      hdr.Seq,
+			Total:    len(st.buf),
+			Meta:     st.meta,
+		}
+		ctx.handleMessage(full, st.buf, false)
+	}
+}
+
+// handleMessage dispatches a fully reassembled message.
+func (ctx *Context) handleMessage(hdr mu.Header, payload []byte, viaShmem bool) {
+	switch hdr.Dispatch {
+	case dispatchRTS:
+		ctx.handleRTS(hdr, viaShmem)
+		return
+	case dispatchAck:
+		ctx.handleAck(hdr)
+		return
+	case dispatchColl:
+		ctx.handleCollMsg(hdr, payload)
+		return
+	}
+	fn, ok := ctx.dispatch[hdr.Dispatch]
+	if !ok {
+		panic(fmt.Sprintf("core: endpoint %v received message for unregistered dispatch %#x", ctx.addr, hdr.Dispatch))
+	}
+	ctx.delivered.Add(1)
+	fn(ctx, &Delivery{
+		Origin: hdr.Origin,
+		Meta:   hdr.Meta,
+		Size:   hdr.Total,
+		Data:   payload,
+		ctx:    ctx,
+	})
+}

@@ -1,0 +1,639 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"pamigo/internal/collnet"
+	"pamigo/internal/l2atomic"
+	"pamigo/internal/mu"
+	"pamigo/internal/torus"
+)
+
+// Geometry is PAMI's communicator analogue: an ordered team of tasks with
+// collective operations. When the team's nodes tile a contiguous rectangle
+// and a classroute slot is free, Optimize programs the collective network
+// and barrier/broadcast/reduce/allreduce run on the hardware tree with the
+// shared-address node protocols of paper §IV.C; otherwise the operations
+// fall back to software algorithms over point-to-point active messages
+// (binomial trees and a dissemination barrier).
+//
+// Geometry operations are collective and blocking: every member must call
+// the same operations in the same order, the usual MPI discipline. All
+// members must have attached with the same context ordinal.
+type Geometry struct {
+	client *Client
+	ctx    *Context
+	id     uint64
+	tasks  []int
+	rank   int
+	ctxOrd int
+
+	shared *geomShared
+	team   *nodeTeam
+	seq    uint64
+}
+
+// geomShared is the state all member processes of a geometry share — the
+// moral equivalent of the shared-memory segment PAMI allocates per
+// geometry on each node, plus the machine-wide classroute.
+type geomShared struct {
+	id    uint64
+	tasks []int
+	nodes []torus.Rank
+	topo  torus.Topology // compact node-set representation (paper §III.G)
+	teams map[torus.Rank]*nodeTeam
+
+	crMu   sync.Mutex
+	cr     *collnet.ClassRoute
+	optErr error
+}
+
+// nodeTeam is the node-local shared state: the members on this node, the
+// L2-atomic local barrier, and the contribution/result slots exchanged
+// through the CNK global address space.
+type nodeTeam struct {
+	node    torus.Rank
+	members []int // world task ranks on this node, ascending
+	barrier *l2atomic.Barrier
+
+	// Collective scratch: written between barrier generations, so no
+	// extra locking is needed — the barrier is the synchronization.
+	slots  [][]byte
+	local  []byte
+	result []byte
+}
+
+func (t *nodeTeam) memberIndex(task int) int {
+	for i, m := range t.members {
+		if m == task {
+			return i
+		}
+	}
+	return -1
+}
+
+// ErrNotRectangular is returned by Optimize when the geometry's node set
+// does not exactly tile a coordinate rectangle, which the collective
+// network requires.
+var ErrNotRectangular = fmt.Errorf("core: geometry nodes do not form a contiguous rectangle")
+
+// CreateGeometry builds the geometry with the given ID over the listed
+// world task ranks (in geometry rank order). Every member must call it
+// with identical arguments; the calling context binds the geometry's
+// software collectives to that context ordinal.
+func (c *Client) CreateGeometry(ctx *Context, id uint64, tasks []int) (*Geometry, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("core: empty geometry")
+	}
+	me := -1
+	seen := make(map[int]bool, len(tasks))
+	for i, t := range tasks {
+		if t < 0 || t >= c.mach.Tasks() {
+			return nil, fmt.Errorf("core: task %d out of range", t)
+		}
+		if seen[t] {
+			return nil, fmt.Errorf("core: task %d listed twice", t)
+		}
+		seen[t] = true
+		if t == c.Task() {
+			me = i
+		}
+	}
+	if me == -1 {
+		return nil, fmt.Errorf("core: task %d not a member of geometry %d", c.Task(), id)
+	}
+	sharedAny := c.mach.SharedState(id, func() any {
+		return buildGeomShared(c, id, tasks)
+	})
+	shared := sharedAny.(*geomShared)
+	if len(shared.tasks) != len(tasks) {
+		return nil, fmt.Errorf("core: geometry %d created with conflicting task lists", id)
+	}
+	for i := range tasks {
+		if shared.tasks[i] != tasks[i] {
+			return nil, fmt.Errorf("core: geometry %d created with conflicting task lists", id)
+		}
+	}
+	// Bootstrap rendezvous: collective traffic may start the moment this
+	// returns, so wait until every member's endpoint at our context
+	// ordinal exists (the job launcher provides the equivalent sync on the
+	// real machine).
+	fabric := c.mach.Fabric()
+	for _, t := range tasks {
+		for !fabric.ContextRegistered(Endpoint{Task: t, Ctx: ctx.addr.Ctx}) {
+			runtime.Gosched()
+		}
+	}
+	myNode := c.proc.Node().Rank
+	return &Geometry{
+		client: c,
+		ctx:    ctx,
+		id:     id,
+		tasks:  append([]int(nil), tasks...),
+		rank:   me,
+		ctxOrd: ctx.addr.Ctx,
+		shared: shared,
+		team:   shared.teams[myNode],
+	}, nil
+}
+
+func buildGeomShared(c *Client, id uint64, tasks []int) *geomShared {
+	byNode := make(map[torus.Rank][]int)
+	for _, t := range tasks {
+		nr := c.mach.NodeOf(t).Rank
+		byNode[nr] = append(byNode[nr], t)
+	}
+	var nodes []torus.Rank
+	teams := make(map[torus.Rank]*nodeTeam, len(byNode))
+	for nr, members := range byNode {
+		sort.Ints(members)
+		nodes = append(nodes, nr)
+		teams[nr] = &nodeTeam{
+			node:    nr,
+			members: members,
+			barrier: l2atomic.NewBarrier(len(members)),
+			slots:   make([][]byte, len(members)),
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return &geomShared{
+		id:    id,
+		tasks: append([]int(nil), tasks...),
+		nodes: nodes,
+		topo:  torus.OptimizeTopology(c.mach.Dims(), nodes),
+		teams: teams,
+	}
+}
+
+// WorldGeometryID is the geometry ID of COMM_WORLD.
+const WorldGeometryID uint64 = 0
+
+// WorldGeometry creates (or attaches to) the all-tasks geometry and tries
+// to optimize it onto the machine-wide classroute. Every process must call
+// it. A classroute shortage is not an error: collectives fall back to
+// software.
+func (c *Client) WorldGeometry(ctx *Context) (*Geometry, error) {
+	tasks := make([]int, c.mach.Tasks())
+	for i := range tasks {
+		tasks[i] = i
+	}
+	g, err := c.CreateGeometry(ctx, WorldGeometryID, tasks)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Optimize(); err != nil && err != collnet.ErrNoClassRoute {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Rank returns the caller's rank within the geometry.
+func (g *Geometry) Rank() int { return g.rank }
+
+// Size returns the number of member tasks.
+func (g *Geometry) Size() int { return len(g.tasks) }
+
+// Tasks returns the member world task ranks in geometry rank order.
+func (g *Geometry) Tasks() []int { return append([]int(nil), g.tasks...) }
+
+// TaskOf returns the world task rank of a geometry rank.
+func (g *Geometry) TaskOf(rank int) int { return g.tasks[rank] }
+
+// Topology returns the geometry's compact node-set representation — the
+// memory optimization of paper §III.G. Regular geometries (COMM_WORLD,
+// rectangular subcommunicators, pencils) use O(1) forms; only irregular
+// node sets fall back to an explicit list.
+func (g *Geometry) Topology() torus.Topology { return g.shared.topo }
+
+// Optimized reports whether the geometry currently holds a classroute.
+func (g *Geometry) Optimized() bool {
+	g.shared.crMu.Lock()
+	defer g.shared.crMu.Unlock()
+	return g.shared.cr != nil
+}
+
+// Optimize programs a classroute for the geometry (MPIX_Comm_optimize,
+// paper §III.D). Collective among members. Fails with ErrNotRectangular
+// for irregular node sets and with collnet.ErrNoClassRoute when the
+// hardware slots are exhausted — deoptimize another geometry and retry.
+func (g *Geometry) Optimize() error {
+	g.swBarrier()
+	if g.rank == 0 {
+		g.shared.crMu.Lock()
+		if g.shared.cr == nil {
+			dims := g.client.mach.Dims()
+			rect, exact := torus.BoundingRectangle(dims, g.shared.nodes)
+			if !exact {
+				g.shared.optErr = ErrNotRectangular
+			} else {
+				cr, err := g.client.mach.CollNet().Allocate(rect, g.shared.nodes[0])
+				g.shared.cr, g.shared.optErr = cr, err
+			}
+		} else {
+			g.shared.optErr = nil
+		}
+		g.shared.crMu.Unlock()
+	}
+	g.swBarrier()
+	g.shared.crMu.Lock()
+	defer g.shared.crMu.Unlock()
+	return g.shared.optErr
+}
+
+// Deoptimize releases the geometry's classroute so another geometry can
+// use the slot (MPIX_Comm_deoptimize). Collective among members.
+func (g *Geometry) Deoptimize() {
+	g.swBarrier()
+	if g.rank == 0 {
+		g.shared.crMu.Lock()
+		if g.shared.cr != nil {
+			g.client.mach.CollNet().Free(g.shared.cr)
+			g.shared.cr = nil
+		}
+		g.shared.crMu.Unlock()
+	}
+	g.swBarrier()
+}
+
+// Destroy detaches from the geometry; the last member to call it frees
+// the classroute and the shared state. Collective among members.
+func (g *Geometry) Destroy() {
+	g.Deoptimize()
+	if g.rank == 0 {
+		g.client.mach.DropSharedState(g.id)
+	}
+}
+
+func (g *Geometry) classroute() *collnet.ClassRoute {
+	g.shared.crMu.Lock()
+	defer g.shared.crMu.Unlock()
+	return g.shared.cr
+}
+
+// nextSeq returns this member's sequence number for its next collective.
+// Members call collectives in the same order, so local counters agree.
+func (g *Geometry) nextSeq() uint64 {
+	g.seq++
+	return g.seq
+}
+
+// ---------------------------------------------------------------------
+// Collective operations
+// ---------------------------------------------------------------------
+
+// Barrier blocks until every member has entered it.
+func (g *Geometry) Barrier() {
+	seq := g.nextSeq()
+	cr := g.classroute()
+	if cr == nil || len(g.tasks) == 1 {
+		g.swBarrierSeq(seq)
+		return
+	}
+	// Local phase on the L2-atomic barrier, network phase on the
+	// classroute (GI-style zero-byte combine), local release.
+	g.team.barrier.Await()
+	if g.isTeamMaster() {
+		s := cr.Join(seq, collnet.KindBarrier, collnet.OpAdd, collnet.Uint64, 0)
+		s.Contribute(g.team.node, nil)
+		s.Wait()
+	}
+	g.team.barrier.Await()
+}
+
+// Broadcast sends root's buf to every member's buf (len(buf) must match
+// across members).
+func (g *Geometry) Broadcast(root int, buf []byte) error {
+	if root < 0 || root >= len(g.tasks) {
+		return fmt.Errorf("core: broadcast root %d out of range", root)
+	}
+	seq := g.nextSeq()
+	if len(g.tasks) == 1 {
+		return nil
+	}
+	cr := g.classroute()
+	if cr == nil {
+		return g.swBroadcast(seq, root, buf)
+	}
+	// Shared-address protocol (paper §IV.C): the root hands its buffer to
+	// its node master through the global VA; masters run the network
+	// broadcast; peers copy the arrived data out of their master's buffer.
+	rootTask := g.tasks[root]
+	if g.client.Task() == rootTask {
+		g.team.result = buf
+	}
+	g.team.barrier.Await()
+	if g.isTeamMaster() {
+		s := cr.Join(seq, collnet.KindBroadcast, collnet.OpAdd, collnet.Uint64, len(buf))
+		if g.client.mach.NodeOf(rootTask).Rank == g.team.node {
+			data := g.team.result
+			if data == nil {
+				// A zero-length broadcast still has to flow: the session
+				// completes on the source's (possibly empty) contribution.
+				data = []byte{}
+			}
+			s.Contribute(g.team.node, data)
+		}
+		g.team.result = s.Wait()
+	}
+	g.team.barrier.Await()
+	if g.client.Task() != rootTask {
+		copy(buf, g.team.result)
+	}
+	g.team.barrier.Await()
+	return nil
+}
+
+// Allreduce combines every member's send buffer element-wise and places
+// the result in every member's recv buffer. Buffers are little-endian
+// 8-byte words; lengths must match across members.
+func (g *Geometry) Allreduce(send, recv []byte, op collnet.Op, dt collnet.DType) error {
+	return g.reduceCommon(-1, send, recv, op, dt)
+}
+
+// Reduce combines every member's send buffer and places the result in
+// root's recv buffer (other members' recv is untouched and may be nil).
+func (g *Geometry) Reduce(root int, send, recv []byte, op collnet.Op, dt collnet.DType) error {
+	if root < 0 || root >= len(g.tasks) {
+		return fmt.Errorf("core: reduce root %d out of range", root)
+	}
+	return g.reduceCommon(root, send, recv, op, dt)
+}
+
+// LongReduceChunk is the pipeline granule for large reductions (paper
+// §IV.C, figure 4): chunks flow through local math, the network combine,
+// and the local copy as a pipeline.
+const LongReduceChunk = 64 * 1024
+
+// reduceCommon implements Reduce (root >= 0) and Allreduce (root == -1).
+func (g *Geometry) reduceCommon(root int, send, recv []byte, op collnet.Op, dt collnet.DType) error {
+	if len(send)%8 != 0 {
+		return fmt.Errorf("core: reduction length %d not word aligned", len(send))
+	}
+	needRecv := root == -1 || g.rank == root
+	if needRecv && len(recv) < len(send) {
+		return fmt.Errorf("core: reduction recv buffer %d < %d", len(recv), len(send))
+	}
+	seq := g.nextSeq()
+	if len(g.tasks) == 1 {
+		if needRecv {
+			copy(recv, send)
+		}
+		return nil
+	}
+	cr := g.classroute()
+	if cr == nil {
+		return g.swReduce(seq, root, send, recv, op, dt)
+	}
+	if len(send) <= LongReduceChunk {
+		return g.hwReduceChunk(cr, seq<<16, root, send, recv, op, dt)
+	}
+	// Long protocol: chunked pipeline. Each chunk runs the short protocol
+	// on a slice; sub-sessions are keyed under the op's sequence number.
+	for off, chunk := 0, 0; off < len(send); off, chunk = off+LongReduceChunk, chunk+1 {
+		end := off + LongReduceChunk
+		if end > len(send) {
+			end = len(send)
+		}
+		var recvSlice []byte
+		if needRecv {
+			recvSlice = recv[off:end]
+		}
+		if err := g.hwReduceChunk(cr, seq<<16|uint64(chunk), root, send[off:end], recvSlice, op, dt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hwReduceChunk runs the shared-address short-reduction protocol of paper
+// §IV.C figure 3 on one chunk: publish contributions through the global
+// VA, parallelize the node-local math across the node's members, have the
+// node master inject a single network descriptor, then copy the network
+// result out of the master's buffer.
+func (g *Geometry) hwReduceChunk(cr *collnet.ClassRoute, seq uint64, root int, send, recv []byte, op collnet.Op, dt collnet.DType) error {
+	team := g.team
+	idx := team.memberIndex(g.client.Task())
+	team.slots[idx] = send
+	if idx == 0 {
+		if cap(team.local) < len(send) {
+			team.local = make([]byte, len(send))
+		}
+		team.local = team.local[:len(send)]
+	}
+	team.barrier.Await()
+	// Parallel local math: member j reduces word-slice j of all local
+	// contributions into the node buffer (figure 3's "parallelize the
+	// local math").
+	words := len(send) / 8
+	per := (words + len(team.members) - 1) / len(team.members)
+	lo := idx * per * 8
+	hi := (idx + 1) * per * 8
+	if lo > len(send) {
+		lo = len(send)
+	}
+	if hi > len(send) {
+		hi = len(send)
+	}
+	if lo < hi {
+		copy(team.local[lo:hi], team.slots[0][lo:hi])
+		for m := 1; m < len(team.members); m++ {
+			if err := collnet.Combine(op, dt, team.local[lo:hi], team.slots[m][lo:hi]); err != nil {
+				return err
+			}
+		}
+	}
+	team.barrier.Await()
+	if idx == 0 {
+		s := cr.Join(seq, collnet.KindReduce, op, dt, len(send))
+		s.Contribute(team.node, team.local)
+		team.result = s.Wait()
+	}
+	team.barrier.Await()
+	needRecv := root == -1 || g.rank == root
+	if needRecv {
+		copy(recv, team.result)
+	}
+	team.barrier.Await()
+	return nil
+}
+
+func (g *Geometry) isTeamMaster() bool {
+	return g.team.memberIndex(g.client.Task()) == 0
+}
+
+// ---------------------------------------------------------------------
+// Software algorithms (irregular geometries / no classroute)
+// ---------------------------------------------------------------------
+
+// Software collective message phases.
+const (
+	phaseBarrier uint8 = iota
+	phaseBcast
+	phaseReduce
+)
+
+const collMetaLen = 8 + 8 + 4 + 1
+
+func encodeCollMeta(geom, seq uint64, src uint32, phase uint8) []byte {
+	buf := make([]byte, collMetaLen)
+	binary.LittleEndian.PutUint64(buf[0:], geom)
+	binary.LittleEndian.PutUint64(buf[8:], seq)
+	binary.LittleEndian.PutUint32(buf[16:], src)
+	buf[20] = phase
+	return buf
+}
+
+// handleCollMsg stores a software-collective payload in the context's
+// inbox; the waiting member picks it up by key. Runs on the advancing
+// thread, which owns the inbox. The payload buffers handed up by the
+// transports are private copies, so they are stored without another copy.
+func (ctx *Context) handleCollMsg(hdr mu.Header, payload []byte) {
+	m := hdr.Meta
+	if len(m) < collMetaLen {
+		panic("core: malformed software-collective message")
+	}
+	key := inboxKey{
+		geom:  binary.LittleEndian.Uint64(m[0:]),
+		seq:   binary.LittleEndian.Uint64(m[8:]),
+		src:   int(binary.LittleEndian.Uint32(m[16:])),
+		phase: m[20],
+	}
+	if _, dup := ctx.inbox[key]; dup {
+		panic(fmt.Sprintf("core: duplicate software-collective message %+v", key))
+	}
+	if payload == nil {
+		payload = []byte{}
+	}
+	ctx.inbox[key] = payload
+}
+
+// swSend ships a software-collective fragment to a geometry member. It
+// serializes on the context lock, so it is safe alongside commthreads.
+func (g *Geometry) swSend(dst int, phase uint8, seq uint64, data []byte) {
+	meta := encodeCollMeta(g.id, seq, uint32(g.rank), phase)
+	ctx := g.ctx
+	ctx.Lock()
+	ctx.sendSeq++
+	hdr := mu.Header{
+		Dispatch: dispatchColl,
+		Origin:   ctx.addr,
+		Seq:      ctx.sendSeq,
+		Meta:     meta,
+	}
+	err := ctx.transportSend(Endpoint{Task: g.tasks[dst], Ctx: g.ctxOrd}, hdr, data)
+	ctx.Unlock()
+	if err != nil {
+		panic("core: software collective send failed: " + err.Error())
+	}
+}
+
+// swWait advances the context until the keyed fragment arrives, then
+// claims it. Progress is made under the context lock so application
+// threads and commthreads can share the context.
+func (g *Geometry) swWait(src int, phase uint8, seq uint64) []byte {
+	key := inboxKey{geom: g.id, seq: seq, src: src, phase: phase}
+	ctx := g.ctx
+	for {
+		worked := 0
+		if ctx.TryLock() {
+			if v, ok := ctx.inbox[key]; ok {
+				delete(ctx.inbox, key)
+				ctx.Unlock()
+				return v
+			}
+			worked = ctx.Advance(advanceBatch)
+			ctx.Unlock()
+		}
+		if worked == 0 {
+			// Nothing moved: yield so the peers we are waiting on run.
+			runtime.Gosched()
+		}
+	}
+}
+
+// swBarrier is a dissemination barrier over the geometry's members.
+func (g *Geometry) swBarrier() { g.swBarrierSeq(g.nextSeq()) }
+
+func (g *Geometry) swBarrierSeq(seq uint64) {
+	n := len(g.tasks)
+	if n == 1 {
+		return
+	}
+	for k, dist := uint8(0), 1; dist < n; k, dist = k+1, dist*2 {
+		to := (g.rank + dist) % n
+		from := (g.rank - dist + n) % n
+		g.swSend(to, phaseBarrier+k<<2, seq, nil)
+		g.swWait(from, phaseBarrier+k<<2, seq)
+	}
+}
+
+// swBroadcast is a binomial-tree broadcast rooted at root.
+func (g *Geometry) swBroadcast(seq uint64, root int, buf []byte) error {
+	n := len(g.tasks)
+	rel := (g.rank - root + n) % n
+	// Receive from the parent (clear the lowest set bit of rel).
+	if rel != 0 {
+		parentRel := rel &^ (rel & -rel)
+		parent := (parentRel + root) % n
+		data := g.swWait(parent, phaseBcast, seq)
+		copy(buf, data)
+	}
+	// Forward to children: set bits above rel's lowest set bit.
+	low := rel & -rel
+	if rel == 0 {
+		low = 1 << 62
+	}
+	for bit := 1; bit < low && rel+bit < n; bit <<= 1 {
+		child := (rel + bit + root) % n
+		g.swSend(child, phaseBcast, seq, buf)
+	}
+	return nil
+}
+
+// swReduce is a binomial reduce to root (recv valid at root), followed by
+// a binomial broadcast when root == -1 (allreduce).
+func (g *Geometry) swReduce(seq uint64, root int, send, recv []byte, op collnet.Op, dt collnet.DType) error {
+	n := len(g.tasks)
+	effRoot := root
+	if root == -1 {
+		effRoot = 0
+	}
+	rel := (g.rank - effRoot + n) % n
+	acc := append([]byte(nil), send...)
+	// Combine children (increasing bit order keeps the fold deterministic).
+	low := rel & -rel
+	if rel == 0 {
+		low = 1 << 62
+	}
+	for bit := 1; bit < low && rel+bit < n; bit <<= 1 {
+		childRel := rel + bit
+		child := (childRel + effRoot) % n
+		data := g.swWait(child, phaseReduce, seq)
+		if err := collnet.Combine(op, dt, acc, data); err != nil {
+			return err
+		}
+	}
+	if rel != 0 {
+		parentRel := rel &^ low
+		parent := (parentRel + effRoot) % n
+		g.swSend(parent, phaseReduce, seq, acc)
+	}
+	if root != -1 {
+		if g.rank == root {
+			copy(recv, acc)
+		}
+		return nil
+	}
+	if g.rank == effRoot {
+		copy(recv, acc)
+	}
+	return g.swBroadcastAll(seq, effRoot, recv, len(send))
+}
+
+func (g *Geometry) swBroadcastAll(seq uint64, root int, recv []byte, n int) error {
+	return g.swBroadcast(seq, root, recv[:n])
+}

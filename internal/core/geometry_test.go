@@ -1,0 +1,462 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pamigo/internal/cnk"
+	"pamigo/internal/collnet"
+	"pamigo/internal/machine"
+	"pamigo/internal/torus"
+)
+
+// runJob boots a machine and runs fn as the SPMD body with a ready client,
+// context, and world geometry per process.
+func runJob(t *testing.T, dims torus.Dims, ppn int, fn func(g *Geometry, ctx *Context)) *machine.Machine {
+	t.Helper()
+	m := newTestMachine(t, dims, ppn)
+	var failed sync.Once
+	m.Run(func(p *cnk.Process) {
+		defer func() {
+			if r := recover(); r != nil {
+				failed.Do(func() { t.Errorf("task %d panicked: %v", p.TaskRank(), r) })
+			}
+		}()
+		c, err := NewClient(m, p, "test")
+		if err != nil {
+			panic(err)
+		}
+		ctxs, err := c.CreateContexts(1)
+		if err != nil {
+			panic(err)
+		}
+		g, err := c.WorldGeometry(ctxs[0])
+		if err != nil {
+			panic(err)
+		}
+		fn(g, ctxs[0])
+	})
+	return m
+}
+
+func TestWorldGeometryOptimized(t *testing.T) {
+	runJob(t, torus.Dims{2, 2, 1, 1, 1}, 1, func(g *Geometry, ctx *Context) {
+		if !g.Optimized() {
+			t.Error("world geometry not optimized onto a classroute")
+		}
+		if g.Size() != 4 {
+			t.Errorf("world size %d", g.Size())
+		}
+		if g.TaskOf(g.Rank()) != g.client.Task() {
+			t.Error("rank/task mapping broken")
+		}
+	})
+}
+
+func TestBarrierHW(t *testing.T) {
+	var mu sync.Mutex
+	phase := map[int]int{}
+	runJob(t, torus.Dims{2, 2, 1, 1, 1}, 2, func(g *Geometry, ctx *Context) {
+		for round := 0; round < 5; round++ {
+			mu.Lock()
+			phase[round]++
+			mu.Unlock()
+			g.Barrier()
+			mu.Lock()
+			if phase[round] != g.Size() {
+				t.Errorf("round %d released with %d arrivals", round, phase[round])
+			}
+			mu.Unlock()
+			g.Barrier()
+		}
+	})
+}
+
+func TestAllreduceHWSumInt(t *testing.T) {
+	const n = 8
+	runJob(t, torus.Dims{2, 2, 1, 1, 1}, 2, func(g *Geometry, ctx *Context) {
+		send := collnet.EncodeInt64s([]int64{int64(g.Rank()) + 1, int64(g.Rank()) * 10})
+		recv := make([]byte, len(send))
+		if err := g.Allreduce(send, recv, collnet.OpAdd, collnet.Int64); err != nil {
+			t.Error(err)
+			return
+		}
+		got := collnet.DecodeInt64s(recv)
+		wantA := int64(n * (n + 1) / 2)
+		wantB := int64(10 * (n - 1) * n / 2)
+		if got[0] != wantA || got[1] != wantB {
+			t.Errorf("rank %d: allreduce = %v, want [%d %d]", g.Rank(), got, wantA, wantB)
+		}
+	})
+}
+
+func TestAllreduceHWDoubleSum(t *testing.T) {
+	runJob(t, torus.Dims{2, 1, 1, 1, 1}, 4, func(g *Geometry, ctx *Context) {
+		send := collnet.EncodeFloat64s([]float64{0.5})
+		recv := make([]byte, 8)
+		if err := g.Allreduce(send, recv, collnet.OpAdd, collnet.Float64); err != nil {
+			t.Error(err)
+			return
+		}
+		if got := collnet.DecodeFloat64s(recv)[0]; got != 4.0 {
+			t.Errorf("double sum = %v, want 4", got)
+		}
+	})
+}
+
+func TestAllreduceLongPipelined(t *testing.T) {
+	// Larger than LongReduceChunk: exercises the chunked pipeline path.
+	words := (LongReduceChunk/8)*2 + 37
+	runJob(t, torus.Dims{2, 1, 1, 1, 1}, 2, func(g *Geometry, ctx *Context) {
+		vals := make([]int64, words)
+		for i := range vals {
+			vals[i] = int64(i % 97)
+		}
+		send := collnet.EncodeInt64s(vals)
+		recv := make([]byte, len(send))
+		if err := g.Allreduce(send, recv, collnet.OpAdd, collnet.Int64); err != nil {
+			t.Error(err)
+			return
+		}
+		got := collnet.DecodeInt64s(recv)
+		for i := range got {
+			if got[i] != 4*int64(i%97) {
+				t.Errorf("word %d = %d, want %d", i, got[i], 4*int64(i%97))
+				return
+			}
+		}
+	})
+}
+
+func TestReduceToRootHW(t *testing.T) {
+	const root = 3
+	runJob(t, torus.Dims{2, 2, 1, 1, 1}, 1, func(g *Geometry, ctx *Context) {
+		send := collnet.EncodeInt64s([]int64{int64(g.Rank())})
+		var recv []byte
+		if g.Rank() == root {
+			recv = make([]byte, 8)
+		}
+		if err := g.Reduce(root, send, recv, collnet.OpMax, collnet.Int64); err != nil {
+			t.Error(err)
+			return
+		}
+		if g.Rank() == root {
+			if got := collnet.DecodeInt64s(recv)[0]; got != 3 {
+				t.Errorf("reduce max = %d", got)
+			}
+		}
+	})
+}
+
+func TestBroadcastHWFromNonTreeRoot(t *testing.T) {
+	const root = 5
+	payload := []byte("broadcast payload 0123456789abcdef")
+	runJob(t, torus.Dims{2, 2, 2, 1, 1}, 1, func(g *Geometry, ctx *Context) {
+		buf := make([]byte, len(payload))
+		if g.Rank() == root {
+			copy(buf, payload)
+		}
+		if err := g.Broadcast(root, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if string(buf) != string(payload) {
+			t.Errorf("rank %d: broadcast got %q", g.Rank(), buf)
+		}
+	})
+}
+
+func TestBroadcastHWMultiProcPerNode(t *testing.T) {
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	runJob(t, torus.Dims{2, 1, 1, 1, 1}, 4, func(g *Geometry, ctx *Context) {
+		buf := make([]byte, len(payload))
+		if g.Rank() == 0 {
+			copy(buf, payload)
+		}
+		if err := g.Broadcast(0, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := range buf {
+			if buf[i] != payload[i] {
+				t.Errorf("rank %d: byte %d wrong", g.Rank(), i)
+				return
+			}
+		}
+	})
+}
+
+// subJob creates a sub-geometry covering the given tasks on every process
+// and runs fn on members.
+func runSubGeometry(t *testing.T, dims torus.Dims, ppn int, member func(task, nTasks int) bool,
+	fn func(g *Geometry, ctx *Context)) {
+	t.Helper()
+	m := newTestMachine(t, dims, ppn)
+	var tasks []int
+	for task := 0; task < m.Tasks(); task++ {
+		if member(task, m.Tasks()) {
+			tasks = append(tasks, task)
+		}
+	}
+	var failed sync.Once
+	m.Run(func(p *cnk.Process) {
+		defer func() {
+			if r := recover(); r != nil {
+				failed.Do(func() { t.Errorf("task %d panicked: %v", p.TaskRank(), r) })
+			}
+		}()
+		c, err := NewClient(m, p, "test")
+		if err != nil {
+			panic(err)
+		}
+		ctxs, err := c.CreateContexts(1)
+		if err != nil {
+			panic(err)
+		}
+		if !member(p.TaskRank(), m.Tasks()) {
+			return
+		}
+		g, err := c.CreateGeometry(ctxs[0], 7, tasks)
+		if err != nil {
+			panic(err)
+		}
+		fn(g, ctxs[0])
+	})
+}
+
+func TestSoftwareCollectivesIrregular(t *testing.T) {
+	// An L-shaped node subset: its bounding box is not exactly tiled, so
+	// no classroute — the software algorithms must carry the collectives.
+	member := func(task, n int) bool { return task == 0 || task == 1 || task == 2 || task == 4 }
+	runSubGeometry(t, torus.Dims{2, 2, 2, 1, 1}, 1, member, func(g *Geometry, ctx *Context) {
+		if err := g.Optimize(); err != ErrNotRectangular {
+			t.Errorf("Optimize on irregular geometry returned %v", err)
+		}
+		g.Barrier()
+		// Broadcast from rank 1.
+		buf := make([]byte, 64)
+		if g.Rank() == 1 {
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+		}
+		if err := g.Broadcast(1, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := range buf {
+			if buf[i] != byte(i) {
+				t.Errorf("rank %d: software broadcast corrupt at %d", g.Rank(), i)
+				return
+			}
+		}
+		// Allreduce min.
+		send := collnet.EncodeInt64s([]int64{int64(100 - g.Rank())})
+		recv := make([]byte, 8)
+		if err := g.Allreduce(send, recv, collnet.OpMin, collnet.Int64); err != nil {
+			t.Error(err)
+			return
+		}
+		want := int64(100 - (g.Size() - 1))
+		if got := collnet.DecodeInt64s(recv)[0]; got != want {
+			t.Errorf("rank %d: software allreduce min = %d, want %d", g.Rank(), got, want)
+		}
+		// Reduce to a non-zero root.
+		if g.Size() > 1 {
+			send = collnet.EncodeInt64s([]int64{1})
+			var r []byte
+			if g.Rank() == 1 {
+				r = make([]byte, 8)
+			}
+			if err := g.Reduce(1, send, r, collnet.OpAdd, collnet.Int64); err != nil {
+				t.Error(err)
+				return
+			}
+			if g.Rank() == 1 {
+				if got := collnet.DecodeInt64s(r)[0]; got != int64(g.Size()) {
+					t.Errorf("software reduce sum = %d, want %d", got, g.Size())
+				}
+			}
+		}
+	})
+}
+
+func TestRectangularSubGeometryOptimizes(t *testing.T) {
+	// Tasks on the A=0 plane form a rectangle: classroute must engage.
+	dims := torus.Dims{2, 2, 2, 1, 1}
+	member := func(task, n int) bool { return task < 4 } // nodes 0..3 = A=0 plane
+	runSubGeometry(t, dims, 1, member, func(g *Geometry, ctx *Context) {
+		if err := g.Optimize(); err != nil {
+			t.Errorf("rectangular sub-geometry failed to optimize: %v", err)
+			return
+		}
+		if !g.Optimized() {
+			t.Error("not optimized after Optimize")
+		}
+		send := collnet.EncodeInt64s([]int64{2})
+		recv := make([]byte, 8)
+		if err := g.Allreduce(send, recv, collnet.OpAdd, collnet.Int64); err != nil {
+			t.Error(err)
+			return
+		}
+		if got := collnet.DecodeInt64s(recv)[0]; got != 8 {
+			t.Errorf("optimized sub-geometry allreduce = %d", got)
+		}
+		g.Deoptimize()
+		if g.Optimized() {
+			t.Error("still optimized after Deoptimize")
+		}
+		// Collectives must still work, now in software.
+		send = collnet.EncodeInt64s([]int64{3})
+		if err := g.Allreduce(send, recv, collnet.OpAdd, collnet.Int64); err != nil {
+			t.Error(err)
+			return
+		}
+		if got := collnet.DecodeInt64s(recv)[0]; got != 12 {
+			t.Errorf("deoptimized allreduce = %d", got)
+		}
+	})
+}
+
+func TestGeometryValidation(t *testing.T) {
+	m := newTestMachine(t, torus.Dims{2, 1, 1, 1, 1}, 1)
+	c, ctx := newClientCtx(t, m, 0)
+	if _, err := c.CreateGeometry(ctx, 1, nil); err == nil {
+		t.Error("empty geometry accepted")
+	}
+	if _, err := c.CreateGeometry(ctx, 1, []int{1}); err == nil {
+		t.Error("geometry excluding the caller accepted")
+	}
+	if _, err := c.CreateGeometry(ctx, 1, []int{0, 0}); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := c.CreateGeometry(ctx, 1, []int{0, 99}); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+}
+
+func TestSingleTaskGeometryTrivial(t *testing.T) {
+	m := newTestMachine(t, torus.Dims{1, 1, 1, 1, 1}, 1)
+	c, ctx := newClientCtx(t, m, 0)
+	g, err := c.CreateGeometry(ctx, 3, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Barrier()
+	send := collnet.EncodeInt64s([]int64{42})
+	recv := make([]byte, 8)
+	if err := g.Allreduce(send, recv, collnet.OpAdd, collnet.Int64); err != nil {
+		t.Fatal(err)
+	}
+	if got := collnet.DecodeInt64s(recv)[0]; got != 42 {
+		t.Fatalf("self allreduce = %d", got)
+	}
+	buf := []byte("self")
+	if err := g.Broadcast(0, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionErrorPaths(t *testing.T) {
+	m := newTestMachine(t, torus.Dims{1, 1, 1, 1, 1}, 1)
+	c, ctx := newClientCtx(t, m, 0)
+	g, err := c.CreateGeometry(ctx, 4, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Allreduce(make([]byte, 7), make([]byte, 7), collnet.OpAdd, collnet.Int64); err == nil {
+		t.Error("unaligned reduction accepted")
+	}
+	if err := g.Allreduce(make([]byte, 16), make([]byte, 8), collnet.OpAdd, collnet.Int64); err == nil {
+		t.Error("short recv buffer accepted")
+	}
+	if err := g.Reduce(5, nil, nil, collnet.OpAdd, collnet.Int64); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	if err := g.Broadcast(-1, nil); err == nil {
+		t.Error("negative broadcast root accepted")
+	}
+}
+
+func TestClassRouteExhaustionAcrossGeometries(t *testing.T) {
+	// Allocate geometries until classroutes run out; Optimize must fail
+	// with ErrNoClassRoute, and Deoptimize of one frees a slot.
+	m := newTestMachine(t, torus.Dims{1, 1, 1, 1, 1}, 1)
+	c, ctx := newClientCtx(t, m, 0)
+	var geoms []*Geometry
+	for i := 0; i < collnet.UserSlots; i++ {
+		g, err := c.CreateGeometry(ctx, uint64(100+i), []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Optimize(); err != nil {
+			t.Fatalf("optimize %d failed: %v", i, err)
+		}
+		geoms = append(geoms, g)
+	}
+	extra, err := c.CreateGeometry(ctx, 999, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := extra.Optimize(); err != collnet.ErrNoClassRoute {
+		t.Fatalf("expected classroute exhaustion, got %v", err)
+	}
+	geoms[0].Deoptimize()
+	if err := extra.Optimize(); err != nil {
+		t.Fatalf("optimize after deoptimize failed: %v", err)
+	}
+}
+
+func TestGeometryConflictingTaskLists(t *testing.T) {
+	m := newTestMachine(t, torus.Dims{1, 1, 1, 1, 1}, 2)
+	var errs [2]error
+	m.Run(func(p *cnk.Process) {
+		c, _ := NewClient(m, p, "t")
+		ctxs, _ := c.CreateContexts(1)
+		tasks := []int{0, 1}
+		if p.TaskRank() == 1 {
+			tasks = []int{1, 0} // different order: must be rejected
+		}
+		_, errs[p.TaskRank()] = c.CreateGeometry(ctxs[0], 11, tasks)
+	})
+	if errs[0] == nil && errs[1] == nil {
+		t.Fatal("conflicting task lists both accepted")
+	}
+}
+
+func TestManyGeometriesConcurrentCollectives(t *testing.T) {
+	// Two disjoint geometries run collectives concurrently without
+	// crosstalk (distinct inbox keys, distinct sessions).
+	m := newTestMachine(t, torus.Dims{2, 2, 1, 1, 1}, 1)
+	var failed sync.Once
+	m.Run(func(p *cnk.Process) {
+		defer func() {
+			if r := recover(); r != nil {
+				failed.Do(func() { t.Errorf("task %d: %v", p.TaskRank(), r) })
+			}
+		}()
+		c, _ := NewClient(m, p, "t")
+		ctxs, _ := c.CreateContexts(1)
+		half := p.TaskRank() / 2
+		tasks := []int{half * 2, half*2 + 1}
+		g, err := c.CreateGeometry(ctxs[0], uint64(20+half), tasks)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < 10; i++ {
+			send := collnet.EncodeInt64s([]int64{int64(p.TaskRank())})
+			recv := make([]byte, 8)
+			if err := g.Allreduce(send, recv, collnet.OpAdd, collnet.Int64); err != nil {
+				panic(err)
+			}
+			want := int64(tasks[0] + tasks[1])
+			if got := collnet.DecodeInt64s(recv)[0]; got != want {
+				panic(fmt.Sprintf("geometry %d: got %d want %d", half, got, want))
+			}
+		}
+	})
+}

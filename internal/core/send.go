@@ -1,0 +1,339 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pamigo/internal/mu"
+)
+
+// SendMode selects the point-to-point protocol.
+type SendMode int
+
+// Protocol selection: Auto picks eager at or below the client's
+// EagerThreshold and rendezvous above it (paper §III.E).
+const (
+	ModeAuto SendMode = iota
+	ModeEager
+	ModeRendezvous
+)
+
+// SendParams describes one active-message send.
+type SendParams struct {
+	// Dest is the destination endpoint.
+	Dest Endpoint
+	// Dispatch selects the remote handler (must be < MaxUserDispatch).
+	Dispatch uint16
+	// Meta is the small out-of-band header delivered with the message
+	// (the MPI envelope rides here). It must fit in the first packet.
+	Meta []byte
+	// Data is the payload.
+	Data []byte
+	// OnDone, if non-nil, runs when the send buffer may be reused: at
+	// injection for eager, at remote-completion ack for rendezvous. It
+	// runs on the thread advancing this context.
+	OnDone func()
+	// Mode forces a protocol; ModeAuto sizes it from the payload.
+	Mode SendMode
+}
+
+// Delivery is what a dispatch handler receives. For eager messages Data
+// holds the full payload (valid only during the handler call). For
+// rendezvous messages Data is nil: the handler — immediately or later,
+// e.g. after MPI matching — calls Receive to pull the payload straight
+// into the destination buffer.
+type Delivery struct {
+	// Origin is the sending endpoint.
+	Origin Endpoint
+	// Meta is the sender's metadata (valid only during the handler call;
+	// copy to keep).
+	Meta []byte
+	// Size is the payload size in bytes.
+	Size int
+	// Data is the eager payload, nil for rendezvous.
+	Data []byte
+
+	ctx *Context
+	rts *rtsInfo
+}
+
+// rtsInfo is the sender state a rendezvous Delivery carries: where the
+// payload lives until the receiver pulls it.
+type rtsInfo struct {
+	sendID  uint64
+	mrID    uint64
+	gvaTag  uint64
+	srcProc int // sender's local process index (intra-node GVA pull)
+	size    int
+	intra   bool
+}
+
+// IsRendezvous reports whether the payload must be pulled with Receive.
+func (d *Delivery) IsRendezvous() bool { return d.rts != nil }
+
+// SendImmediate sends a small message that fits in a single packet,
+// copying it out of the caller's buffers before returning — the paper's
+// lowest-latency path (Table 1). meta+data must fit in one packet payload.
+func (ctx *Context) SendImmediate(dst Endpoint, dispatch uint16, meta, data []byte) error {
+	if dispatch >= MaxUserDispatch {
+		return fmt.Errorf("core: dispatch %#x is reserved", dispatch)
+	}
+	if len(meta)+len(data) > mu.MaxPayload {
+		return fmt.Errorf("core: SendImmediate of %d bytes exceeds the %d byte packet payload",
+			len(meta)+len(data), mu.MaxPayload)
+	}
+	ctx.sendSeq++
+	hdr := mu.Header{
+		Dispatch: dispatch,
+		Origin:   ctx.addr,
+		Seq:      ctx.sendSeq,
+		Meta:     meta,
+	}
+	return ctx.transportSend(dst, hdr, data)
+}
+
+// Send sends an active message using the eager or rendezvous protocol.
+// Call with the context lock held (or from a posted work function).
+func (ctx *Context) Send(p SendParams) error {
+	if p.Dispatch >= MaxUserDispatch {
+		return fmt.Errorf("core: dispatch %#x is reserved", p.Dispatch)
+	}
+	mode := p.Mode
+	if mode == ModeAuto {
+		if len(p.Data) <= ctx.client.EagerThreshold {
+			mode = ModeEager
+		} else {
+			mode = ModeRendezvous
+		}
+	}
+	switch mode {
+	case ModeEager:
+		return ctx.sendEager(p)
+	case ModeRendezvous:
+		return ctx.sendRendezvous(p)
+	default:
+		return fmt.Errorf("core: unknown send mode %d", mode)
+	}
+}
+
+// sendEager copies the payload into packets (or the shared-memory queue);
+// local completion is immediate.
+func (ctx *Context) sendEager(p SendParams) error {
+	ctx.sendSeq++
+	hdr := mu.Header{
+		Dispatch: p.Dispatch,
+		Origin:   ctx.addr,
+		Seq:      ctx.sendSeq,
+		Meta:     p.Meta,
+	}
+	if err := ctx.transportSend(p.Dest, hdr, p.Data); err != nil {
+		return err
+	}
+	if p.OnDone != nil {
+		p.OnDone()
+	}
+	return nil
+}
+
+// rtsMeta is the wire encoding of a rendezvous request-to-send: fixed
+// fields followed by the user's metadata.
+//
+//	sendID  uint64 — key for the completion ack
+//	mrOrTag uint64 — fabric memregion ID (inter-node) or GVA tag (intra)
+//	size    uint64 — payload bytes
+//	srcProc uint32 — sender's node-local process index
+//	intra   uint8  — 1 when the payload is pulled through the GVA
+//	dispatch uint16 — the user dispatch to deliver to
+const rtsFixed = 8 + 8 + 8 + 4 + 1 + 2
+
+func encodeRTS(info rtsInfo, dispatch uint16, userMeta []byte) []byte {
+	buf := make([]byte, rtsFixed+len(userMeta))
+	binary.LittleEndian.PutUint64(buf[0:], info.sendID)
+	mrOrTag := info.mrID
+	if info.intra {
+		mrOrTag = info.gvaTag
+	}
+	binary.LittleEndian.PutUint64(buf[8:], mrOrTag)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(info.size))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(info.srcProc))
+	if info.intra {
+		buf[28] = 1
+	}
+	binary.LittleEndian.PutUint16(buf[29:], dispatch)
+	copy(buf[rtsFixed:], userMeta)
+	return buf
+}
+
+func decodeRTS(meta []byte) (info rtsInfo, dispatch uint16, userMeta []byte, err error) {
+	if len(meta) < rtsFixed {
+		return info, 0, nil, fmt.Errorf("core: malformed RTS of %d bytes", len(meta))
+	}
+	info.sendID = binary.LittleEndian.Uint64(meta[0:])
+	mrOrTag := binary.LittleEndian.Uint64(meta[8:])
+	info.size = int(binary.LittleEndian.Uint64(meta[16:]))
+	info.srcProc = int(binary.LittleEndian.Uint32(meta[24:]))
+	info.intra = meta[28] == 1
+	if info.intra {
+		info.gvaTag = mrOrTag
+	} else {
+		info.mrID = mrOrTag
+	}
+	dispatch = binary.LittleEndian.Uint16(meta[29:])
+	return info, dispatch, meta[rtsFixed:], nil
+}
+
+// sendRendezvous publishes the payload (a fabric memregion across nodes,
+// a CNK global-VA segment within the node) and sends a request-to-send;
+// the receiver pulls the data with a remote get or a GVA copy and sends a
+// completion ack, which fires OnDone and retires the publication.
+func (ctx *Context) sendRendezvous(p SendParams) error {
+	ctx.sendSeq++
+	sendID := ctx.sendSeq
+	intra := ctx.client.mach.SameNode(ctx.addr.Task, p.Dest.Task)
+	info := rtsInfo{
+		sendID:  sendID,
+		size:    len(p.Data),
+		srcProc: ctx.client.proc.LocalID(),
+		intra:   intra,
+	}
+	ps := &pendingSend{onDone: p.OnDone}
+	// Publication IDs embed the context ordinal: the registries are keyed
+	// per task/process, and a task's contexts allocate independently.
+	ctx.nextMR++
+	pubID := mrSendIDBase | uint64(ctx.addr.Ctx)<<48 | ctx.nextMR
+	if intra {
+		info.gvaTag = pubID
+		ps.gvaTag = info.gvaTag
+		ctx.client.proc.PublishSegment(info.gvaTag, p.Data)
+	} else {
+		info.mrID = pubID
+		ps.mrID = info.mrID
+		ctx.client.mach.Fabric().RegisterMemregion(ctx.addr.Task, info.mrID, p.Data)
+	}
+	ctx.pending[sendID] = ps
+	hdr := mu.Header{
+		Dispatch: dispatchRTS,
+		Origin:   ctx.addr,
+		Seq:      ctx.sendSeq,
+		Meta:     encodeRTS(info, p.Dispatch, p.Meta),
+	}
+	return ctx.transportSend(p.Dest, hdr, nil)
+}
+
+// ID spaces for sender-side publications, disjoint from user memregions.
+const (
+	mrSendIDBase   uint64 = 1 << 62
+	gvaSendTagBase uint64 = 1 << 62
+)
+
+// transportSend routes a header+payload to the destination over shared
+// memory (same node) or the MU (off node); eager messages between two
+// endpoints always take the same path, preserving point-to-point order.
+func (ctx *Context) transportSend(dst Endpoint, hdr mu.Header, data []byte) error {
+	m := ctx.client.mach
+	if m.SameNode(ctx.addr.Task, dst.Task) {
+		return m.Shmem(ctx.client.proc.Node().Rank).Send(dst, hdr, data)
+	}
+	inj := ctx.muRes.PinnedInj(dst.Task)
+	return m.Fabric().InjectMemFIFO(inj, dst, hdr, data)
+}
+
+// handleRTS dispatches a rendezvous arrival to the user handler with a
+// pull-capable Delivery.
+func (ctx *Context) handleRTS(hdr mu.Header, viaShmem bool) {
+	info, dispatch, userMeta, err := decodeRTS(hdr.Meta)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	fn, ok := ctx.dispatch[dispatch]
+	if !ok {
+		panic(fmt.Sprintf("core: endpoint %v received RTS for unregistered dispatch %#x", ctx.addr, dispatch))
+	}
+	ctx.delivered.Add(1)
+	fn(ctx, &Delivery{
+		Origin: hdr.Origin,
+		Meta:   userMeta,
+		Size:   info.size,
+		ctx:    ctx,
+		rts:    &info,
+	})
+}
+
+// Receive pulls a rendezvous payload into buf (len(buf) bytes, at most
+// d.Size) and acknowledges the sender. It may be called from the dispatch
+// handler or later (MPI calls it when the message finally matches); it is
+// safe from any thread. done, if non-nil, runs before Receive returns —
+// data movement is synchronous in this fabric model.
+func (d *Delivery) Receive(buf []byte, done func()) error {
+	if d.rts == nil {
+		return fmt.Errorf("core: Receive on an eager delivery")
+	}
+	n := len(buf)
+	if n > d.rts.size {
+		n = d.rts.size
+	}
+	ctx := d.ctx
+	m := ctx.client.mach
+	if d.rts.intra {
+		// Pull straight out of the sender's memory through the CNK global
+		// virtual address space — the zero-copy path of paper §II.D.
+		node := ctx.client.proc.Node()
+		src, ok := node.PeerSegment(d.rts.srcProc, d.rts.gvaTag)
+		if !ok {
+			return fmt.Errorf("core: rendezvous GVA segment %d of process %d vanished", d.rts.gvaTag, d.rts.srcProc)
+		}
+		copy(buf[:n], src[:n])
+	} else {
+		inj := ctx.muRes.PinnedInj(d.Origin.Task)
+		if err := m.Fabric().InjectRemoteGet(inj, ctx.addr, d.Origin.Task, d.rts.mrID, 0, buf[:n], nil); err != nil {
+			return err
+		}
+	}
+	// Ack: tell the sender its buffer is free.
+	ack := make([]byte, 8)
+	binary.LittleEndian.PutUint64(ack, d.rts.sendID)
+	hdr := mu.Header{
+		Dispatch: dispatchAck,
+		Origin:   ctx.addr,
+		Meta:     ack,
+	}
+	if err := ctx.transportSend(d.Origin, hdr, nil); err != nil {
+		return err
+	}
+	if done != nil {
+		done()
+	}
+	return nil
+}
+
+// Discard acknowledges a rendezvous message without pulling any data —
+// the zero-length-receive / truncation path.
+func (d *Delivery) Discard() error {
+	if d.rts == nil {
+		return nil
+	}
+	return d.Receive(nil, nil)
+}
+
+// handleAck completes a rendezvous send: retire the publication and fire
+// the sender's completion callback.
+func (ctx *Context) handleAck(hdr mu.Header) {
+	if len(hdr.Meta) < 8 {
+		panic("core: malformed rendezvous ack")
+	}
+	sendID := binary.LittleEndian.Uint64(hdr.Meta)
+	ps, ok := ctx.pending[sendID]
+	if !ok {
+		panic(fmt.Sprintf("core: ack for unknown send %d on %v", sendID, ctx.addr))
+	}
+	delete(ctx.pending, sendID)
+	if ps.mrID != 0 {
+		ctx.client.mach.Fabric().DeregisterMemregion(ctx.addr.Task, ps.mrID)
+	}
+	if ps.gvaTag != 0 {
+		ctx.client.proc.RetractSegment(ps.gvaTag)
+	}
+	if ps.onDone != nil {
+		ps.onDone()
+	}
+}

@@ -1,0 +1,115 @@
+package lockless
+
+import (
+	"sync"
+	"testing"
+)
+
+// mutexQueue is the conventional alternative the paper's lockless design
+// replaces: a slice guarded by a mutex. It exists only as the ablation
+// baseline for the benchmarks below ("L2 atomics have significantly
+// lower overheads than traditional mutexes", §II.A).
+type mutexQueue[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+func (q *mutexQueue[T]) Enqueue(v T) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+}
+
+func (q *mutexQueue[T]) Dequeue() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// The ablation pair: identical workload (parallel producers, one
+// draining consumer) on the bounded-increment queue versus the mutex
+// queue. Compare with:
+//
+//	go test -bench 'Ablation.*Producers' ./internal/lockless/
+func benchProducers(b *testing.B, enqueue func(int), drain func() bool) {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				for drain() {
+				}
+				return
+			default:
+				drain()
+			}
+		}
+	}()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			enqueue(i)
+			i++
+		}
+	})
+	close(done)
+	wg.Wait()
+}
+
+func BenchmarkAblationLocklessQueueProducers(b *testing.B) {
+	q := NewQueue[int](1024)
+	benchProducers(b,
+		func(v int) { q.Enqueue(v) },
+		func() bool { _, ok := q.Dequeue(); return ok })
+}
+
+func BenchmarkAblationMutexQueueProducers(b *testing.B) {
+	var q mutexQueue[int]
+	benchProducers(b,
+		func(v int) { q.Enqueue(v) },
+		func() bool { _, ok := q.Dequeue(); return ok })
+}
+
+// Single-producer latency of one enqueue+dequeue pair.
+func BenchmarkAblationLocklessQueuePingPong(b *testing.B) {
+	q := NewQueue[int](64)
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(i)
+		q.Dequeue()
+	}
+}
+
+func BenchmarkAblationMutexQueuePingPong(b *testing.B) {
+	var q mutexQueue[int]
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(i)
+		q.Dequeue()
+	}
+}
+
+// TestMutexQueueBaselineCorrect sanity-checks the baseline so benchmark
+// comparisons are apples to apples.
+func TestMutexQueueBaselineCorrect(t *testing.T) {
+	var q mutexQueue[int]
+	for i := 0; i < 10; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("baseline queue broken at %d", i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("baseline queue not empty")
+	}
+}

@@ -1,0 +1,136 @@
+// Package lockless implements the lockless queues PAMI builds from the
+// BG/Q L2 atomic operations (paper §III.B).
+//
+// The central structure is a fixed-size array queue in which producers
+// allocate slots with the L2 "bounded increment" — an atomic
+// load-and-increment combined with a compare against a bound — so that
+// multiple threads can post to the same queue without a lock. When the
+// array is full, entries spill into an overflow queue protected by a mutex,
+// exactly as the paper describes. A monotonically increasing ticket gives
+// the queue a total FIFO order that spans both the array and the overflow,
+// which is what lets higher layers (the PAMI context work queue, the shared
+// memory reception queues) preserve per-producer ordering.
+//
+// Enqueue is safe for any number of concurrent producers. Dequeue is
+// intentionally *not* self-synchronized: a PAMI context is advanced by one
+// thread at a time (PAMI_Context_advance is documented as thread-unsafe),
+// so the single-consumer discipline is enforced by the layer above, the
+// same division of responsibility the paper assigns.
+package lockless
+
+import (
+	"pamigo/internal/l2atomic"
+)
+
+type cell[T any] struct {
+	// seq publishes the cell: a producer that wrote ticket t stores t+1.
+	seq l2atomic.Counter
+	val T
+}
+
+// Queue is a multi-producer single-consumer FIFO queue: a bounded
+// lock-free array with a mutex-protected overflow, per paper §III.B.
+// Create queues with NewQueue; the zero value is not usable.
+type Queue[T any] struct {
+	cells []cell[T]
+	mask  int64
+
+	tail l2atomic.Counter // next ticket to allocate
+	head l2atomic.Counter // next ticket to consume
+
+	overflowMu l2atomic.Mutex
+	overflow   map[int64]T
+	overflowN  l2atomic.Counter
+
+	// overflowed counts enqueues that missed the fast path; exported for
+	// the statistics the bench harness reports.
+	overflowed l2atomic.Counter
+}
+
+// NewQueue returns a queue whose lock-free array holds capacity elements.
+// capacity is rounded up to a power of two and is at least 2.
+func NewQueue[T any](capacity int) *Queue[T] {
+	c := int64(2)
+	for c < int64(capacity) {
+		c <<= 1
+	}
+	return &Queue[T]{
+		cells:    make([]cell[T], c),
+		mask:     c - 1,
+		overflow: make(map[int64]T),
+	}
+}
+
+// Cap returns the capacity of the lock-free array (overflow is unbounded).
+func (q *Queue[T]) Cap() int { return len(q.cells) }
+
+// Enqueue appends v to the queue. It never fails: if the bounded-increment
+// slot allocation finds the array full, v goes to the overflow queue under
+// a mutex. Safe for concurrent use by any number of producers.
+func (q *Queue[T]) Enqueue(v T) {
+	t := q.tail.LoadIncrement()
+	if t-q.head.Load() < int64(len(q.cells)) {
+		// Fast path: the slot for this ticket is free (its previous
+		// occupant, ticket t-cap, has already been consumed).
+		c := &q.cells[t&q.mask]
+		c.val = v
+		c.seq.Store(t + 1) // publish
+		return
+	}
+	q.overflowed.LoadIncrement()
+	q.overflowMu.Lock()
+	q.overflow[t] = v
+	q.overflowN.LoadIncrement()
+	q.overflowMu.Unlock()
+}
+
+// Dequeue removes and returns the oldest element. ok is false when no
+// element is ready — either the queue is empty or the producer owning the
+// head ticket has not finished publishing; callers retry on their next
+// progress pass. Only one goroutine may call Dequeue at a time.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	h := q.head.Load()
+	if h >= q.tail.Load() {
+		return v, false
+	}
+	c := &q.cells[h&q.mask]
+	if c.seq.Load() == h+1 {
+		v = c.val
+		var zero T
+		c.val = zero // release references for GC
+		q.head.Store(h + 1)
+		return v, true
+	}
+	// The head ticket is not in the array; it may be in overflow.
+	if q.overflowN.Load() > 0 {
+		q.overflowMu.Lock()
+		v, ok = q.overflow[h]
+		if ok {
+			delete(q.overflow, h)
+			q.overflowN.LoadDecrement()
+		}
+		q.overflowMu.Unlock()
+		if ok {
+			q.head.Store(h + 1)
+			return v, true
+		}
+	}
+	return v, false
+}
+
+// Len reports the number of elements enqueued but not yet dequeued,
+// including elements whose producers are still publishing.
+func (q *Queue[T]) Len() int {
+	n := q.tail.Load() - q.head.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// Empty reports whether the queue holds no elements (ready or in flight).
+func (q *Queue[T]) Empty() bool { return q.Len() == 0 }
+
+// Overflowed reports how many enqueues took the mutex-protected overflow
+// path since the queue was created.
+func (q *Queue[T]) Overflowed() int64 { return q.overflowed.Load() }

@@ -1,0 +1,283 @@
+package lockless
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueBasicFIFO(t *testing.T) {
+	q := NewQueue[int](8)
+	for i := 0; i < 5; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue %d = (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on empty queue returned ok")
+	}
+}
+
+func TestQueueCapacityRounding(t *testing.T) {
+	if got := NewQueue[int](5).Cap(); got != 8 {
+		t.Fatalf("Cap for 5 = %d, want 8", got)
+	}
+	if got := NewQueue[int](0).Cap(); got != 2 {
+		t.Fatalf("Cap for 0 = %d, want 2", got)
+	}
+	if got := NewQueue[int](16).Cap(); got != 16 {
+		t.Fatalf("Cap for 16 = %d, want 16", got)
+	}
+}
+
+func TestQueueOverflowPreservesFIFO(t *testing.T) {
+	q := NewQueue[int](4)
+	const n = 100 // far beyond capacity: most entries overflow
+	for i := 0; i < n; i++ {
+		q.Enqueue(i)
+	}
+	if q.Overflowed() == 0 {
+		t.Fatal("expected overflow path to be exercised")
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue %d = (%d,%v), want (%d,true)", i, v, ok, i)
+		}
+	}
+}
+
+func TestQueueInterleavedOverflowAndArray(t *testing.T) {
+	// Fill, drain partially, refill: items alternate between array and
+	// overflow; total order must still be FIFO.
+	q := NewQueue[int](4)
+	next := 0
+	expect := 0
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 500; step++ {
+		if rng.Intn(2) == 0 {
+			q.Enqueue(next)
+			next++
+		} else if v, ok := q.Dequeue(); ok {
+			if v != expect {
+				t.Fatalf("step %d: got %d, want %d", step, v, expect)
+			}
+			expect++
+		}
+	}
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if v != expect {
+			t.Fatalf("drain: got %d, want %d", v, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d items, enqueued %d", expect, next)
+	}
+}
+
+func TestQueueLenAndEmpty(t *testing.T) {
+	q := NewQueue[string](4)
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("new queue not empty")
+	}
+	q.Enqueue("a")
+	q.Enqueue("b")
+	if q.Len() != 2 || q.Empty() {
+		t.Fatalf("Len = %d after two enqueues", q.Len())
+	}
+	q.Dequeue()
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after one dequeue", q.Len())
+	}
+}
+
+// TestQueueNoLossNoDuplication drives many producers against one consumer
+// and verifies every value arrives exactly once.
+func TestQueueNoLossNoDuplication(t *testing.T) {
+	const producers = 8
+	const per = 5000
+	q := NewQueue[int](64) // small array to force heavy overflow traffic
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(p*per + i)
+			}
+		}(p)
+	}
+	seen := make([]bool, producers*per)
+	got := 0
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		v, ok := q.Dequeue()
+		if ok {
+			if seen[v] {
+				t.Errorf("value %d delivered twice", v)
+				return
+			}
+			seen[v] = true
+			got++
+			if got == producers*per {
+				break
+			}
+			continue
+		}
+		select {
+		case <-done:
+			// producers finished; drain whatever is left
+			if v, ok := q.Dequeue(); ok {
+				if seen[v] {
+					t.Fatalf("value %d delivered twice", v)
+				}
+				seen[v] = true
+				got++
+				if got == producers*per {
+					return
+				}
+				continue
+			}
+			if got != producers*per {
+				t.Fatalf("lost values: got %d of %d", got, producers*per)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestQueuePerProducerFIFO checks the ordering contract MPI depends on:
+// values from one producer are delivered in the order that producer
+// enqueued them, regardless of interleaving with other producers.
+func TestQueuePerProducerFIFO(t *testing.T) {
+	const producers = 6
+	const per = 4000
+	q := NewQueue[[2]int](32)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue([2]int{p, i})
+			}
+		}(p)
+	}
+	lastSeen := make([]int, producers)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	got := 0
+	for got < producers*per {
+		v, ok := q.Dequeue()
+		if !ok {
+			select {
+			case <-done:
+				if q.Empty() {
+					if v, ok := q.Dequeue(); ok {
+						_ = v
+						got++
+						continue
+					}
+					t.Fatalf("queue drained early: got %d of %d", got, producers*per)
+				}
+			default:
+			}
+			continue
+		}
+		p, seq := v[0], v[1]
+		if seq <= lastSeen[p] {
+			t.Fatalf("producer %d: value %d delivered after %d", p, seq, lastSeen[p])
+		}
+		if seq != lastSeen[p]+1 {
+			t.Fatalf("producer %d: value %d skipped ahead of %d", p, seq, lastSeen[p]+1)
+		}
+		lastSeen[p] = seq
+		got++
+	}
+}
+
+// TestQueueMatchesReferenceQuick compares a random single-threaded
+// enqueue/dequeue trace against a plain slice-backed reference queue.
+func TestQueueMatchesReferenceQuick(t *testing.T) {
+	f := func(ops []bool, seed int64) bool {
+		q := NewQueue[int](4)
+		var ref []int
+		next := 0
+		for _, enq := range ops {
+			if enq {
+				q.Enqueue(next)
+				ref = append(ref, next)
+				next++
+			} else {
+				v, ok := q.Dequeue()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			}
+		}
+		if q.Len() != len(ref) {
+			return false
+		}
+		for _, want := range ref {
+			v, ok := q.Dequeue()
+			if !ok || v != want {
+				return false
+			}
+		}
+		_, ok := q.Dequeue()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueReleasesReferences(t *testing.T) {
+	q := NewQueue[*int](4)
+	v := new(int)
+	q.Enqueue(v)
+	q.Dequeue()
+	// The dequeued cell must not pin the pointer: its val must be zeroed.
+	for i := range q.cells {
+		if q.cells[i].val != nil {
+			t.Fatal("dequeued cell still references the element")
+		}
+	}
+}
+
+func BenchmarkQueueEnqueueDequeue(b *testing.B) {
+	q := NewQueue[int](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Enqueue(1)
+		}
+	})
+	// Drain outside the measured loop to keep memory bounded across runs.
+	for {
+		if _, ok := q.Dequeue(); !ok && q.Empty() {
+			break
+		}
+	}
+}

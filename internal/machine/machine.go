@@ -1,0 +1,174 @@
+// Package machine assembles a functional Blue Gene/Q system out of the
+// hardware substrates: CNK nodes with processes and hardware threads
+// (internal/cnk), the Message Unit + torus data plane (internal/mu),
+// per-node shared memory segments (internal/shmem), and the collective
+// network with classroutes (internal/collnet).
+//
+// A Machine is the "job": dims.Nodes() nodes with a fixed number of
+// processes per node, task ranks assigned node-major as on the real
+// system. Run launches one goroutine per process — real concurrency, so
+// the lockless algorithms above this layer are exercised in earnest — and
+// joins them all.
+package machine
+
+import (
+	"fmt"
+	"sync"
+
+	"pamigo/internal/cnk"
+	"pamigo/internal/collnet"
+	"pamigo/internal/mu"
+	"pamigo/internal/shmem"
+	"pamigo/internal/torus"
+)
+
+// Config describes the job to boot.
+type Config struct {
+	// Dims is the torus shape; every dimension must be at least 1.
+	Dims torus.Dims
+	// PPN is the number of processes per node (1..64, power of two).
+	PPN int
+	// RecFIFOSlots sizes each reception FIFO's lock-free array; 0 picks a
+	// default of 256 packets.
+	RecFIFOSlots int
+	// TrackHops enables per-packet hop accounting in the fabric.
+	TrackHops bool
+}
+
+// Machine is a booted functional BG/Q system.
+type Machine struct {
+	cfg Config
+
+	nodes  []*cnk.Node
+	shm    []*shmem.Node
+	fabric *mu.Fabric
+	coll   *collnet.Network
+	gi     *collnet.GIBarrier
+	tasks  []*cnk.Process
+
+	geoMu  sync.Mutex
+	geoReg map[uint64]any
+}
+
+// New boots a machine: builds every node, maps every task onto the torus,
+// and wires the data planes.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Dims.Validate(); err != nil {
+		return nil, err
+	}
+	if !cnk.ValidPPN(cfg.PPN) {
+		return nil, fmt.Errorf("machine: invalid processes-per-node %d", cfg.PPN)
+	}
+	if cfg.RecFIFOSlots == 0 {
+		cfg.RecFIFOSlots = 256
+	}
+	fabric, err := mu.NewFabric(cfg.Dims, cfg.RecFIFOSlots)
+	if err != nil {
+		return nil, err
+	}
+	fabric.TrackHops = cfg.TrackHops
+	m := &Machine{
+		cfg:    cfg,
+		fabric: fabric,
+		coll:   collnet.New(cfg.Dims),
+		gi:     collnet.NewGIBarrier(cfg.Dims.Nodes()),
+		geoReg: make(map[uint64]any),
+	}
+	for r := 0; r < cfg.Dims.Nodes(); r++ {
+		node, err := cnk.NewNode(torus.Rank(r), cfg.PPN, r*cfg.PPN)
+		if err != nil {
+			return nil, err
+		}
+		m.nodes = append(m.nodes, node)
+		m.shm = append(m.shm, shmem.NewNode())
+		for _, p := range node.Procs() {
+			fabric.MapTask(p.TaskRank(), torus.Rank(r))
+			m.tasks = append(m.tasks, p)
+		}
+	}
+	return m, nil
+}
+
+// Config returns the machine's boot configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Dims returns the torus shape.
+func (m *Machine) Dims() torus.Dims { return m.cfg.Dims }
+
+// Nodes returns the number of nodes.
+func (m *Machine) Nodes() int { return len(m.nodes) }
+
+// Tasks returns the total number of processes in the job.
+func (m *Machine) Tasks() int { return len(m.tasks) }
+
+// Task returns the process with the given global task rank.
+func (m *Machine) Task(rank int) *cnk.Process { return m.tasks[rank] }
+
+// Node returns the node with the given torus rank.
+func (m *Machine) Node(r torus.Rank) *cnk.Node { return m.nodes[r] }
+
+// NodeOf returns the node hosting the given task.
+func (m *Machine) NodeOf(task int) *cnk.Node { return m.nodes[m.tasks[task].Node().Rank] }
+
+// Shmem returns the shared-memory segment of the node with torus rank r.
+func (m *Machine) Shmem(r torus.Rank) *shmem.Node { return m.shm[r] }
+
+// Fabric returns the MU/torus data plane.
+func (m *Machine) Fabric() *mu.Fabric { return m.fabric }
+
+// CollNet returns the classroute manager.
+func (m *Machine) CollNet() *collnet.Network { return m.coll }
+
+// GIBarrier returns the machine-wide global interrupt barrier (one party
+// per node).
+func (m *Machine) GIBarrier() *collnet.GIBarrier { return m.gi }
+
+// SameNode reports whether two tasks share a node.
+func (m *Machine) SameNode(a, b int) bool {
+	return m.tasks[a].Node() == m.tasks[b].Node()
+}
+
+// Run launches fn once per process, each on its own goroutine, and waits
+// for all of them — the SPMD main() of the job.
+func (m *Machine) Run(fn func(p *cnk.Process)) {
+	var wg sync.WaitGroup
+	for _, p := range m.tasks {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(p)
+		}()
+	}
+	wg.Wait()
+}
+
+// SharedState returns the process-shared object registered under key,
+// creating it with mk on first use. PAMI geometries use it for the state
+// that on the real machine lives in a shared memory segment (local
+// barriers, contribution slots, classroutes).
+func (m *Machine) SharedState(key uint64, mk func() any) any {
+	m.geoMu.Lock()
+	defer m.geoMu.Unlock()
+	if v, ok := m.geoReg[key]; ok {
+		return v
+	}
+	v := mk()
+	m.geoReg[key] = v
+	return v
+}
+
+// DropSharedState removes a shared object once every user detached.
+func (m *Machine) DropSharedState(key uint64) {
+	m.geoMu.Lock()
+	delete(m.geoReg, key)
+	m.geoMu.Unlock()
+}
+
+// Shutdown stops machine-owned background activity (commthreads started
+// through the cnk nodes).
+func (m *Machine) Shutdown() {
+	for _, n := range m.nodes {
+		n.StopCommThreads()
+	}
+}

@@ -1,0 +1,394 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Series is one curve of a figure.
+type Series struct {
+	Label string
+	XName string
+	YName string
+	X     []float64
+	Y     []float64
+}
+
+// Table is a formatted result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+func us(ns float64) string { return fmt.Sprintf("%.2fus", ns/1000) }
+
+// ---------------------------------------------------------------------
+// Table 1 — PAMI half round trip for 0B message
+// ---------------------------------------------------------------------
+
+// Table1Latencies returns the modeled PAMI 0-byte half-round-trip
+// latencies in nanoseconds (SendImmediate, Send).
+func Table1Latencies(p Params) (sendImm, send float64) {
+	net := p.NetBase0B + p.PerHop // neighbor nodes: one hop
+	return p.PAMISendImm + net + p.PAMIRecv, p.PAMISend + net + p.PAMIRecv
+}
+
+// Table1 renders the modeled Table 1.
+func Table1(p Params) Table {
+	imm, snd := Table1Latencies(p)
+	return Table{
+		Title:   "TABLE 1. PAMI half round trip for 0B message",
+		Columns: []string{"", "Single Threaded Latency"},
+		Rows: [][]string{
+			{"PAMI Send Immediate", us(imm)},
+			{"PAMI Send", us(snd)},
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// Table 2 — MPI half round trip for 0B message
+// ---------------------------------------------------------------------
+
+// Table2Config identifies one row of Table 2.
+type Table2Config struct {
+	Library     string // "classic" or "thread-optimized"
+	ThreadMode  string // "single" or "multiple"
+	LockEnabled bool   // classic initialized with threading (locks on)
+}
+
+// Table2Latency returns the modeled MPI 0-byte half-round-trip latency in
+// nanoseconds for a configuration, without and with commthreads. A
+// negative second value means the configuration does not run with
+// commthreads (the paper's N/A cells).
+func Table2Latency(p Params, cfg Table2Config) (noCT, withCT float64) {
+	imm, _ := Table1Latencies(p)
+	base := imm + p.MPISendOverhead + p.MPIRecvOverhead
+	switch {
+	case cfg.Library == "classic" && !cfg.LockEnabled:
+		return base, -1
+	case cfg.Library == "classic" && cfg.LockEnabled:
+		noCT = base + p.ClassicLockPenalty
+		// With commthreads the classic build fights them for the PAMI
+		// context locks on every call (paper §V).
+		return noCT, noCT + p.ClassicCommthreadContention
+	case cfg.Library == "thread-optimized" && cfg.ThreadMode == "single":
+		// Memory-synchronization overhead is paid even single-threaded.
+		return base + p.ThreadOptSyncPenalty, -1
+	default: // thread-optimized, THREAD_MULTIPLE
+		noCT = base + p.ThreadOptSyncPenalty + p.ClassicLockPenalty + 130
+		return noCT, noCT + p.ThreadOptCommthreadExtra
+	}
+}
+
+// Table2 renders the modeled Table 2 (same four rows as the paper).
+func Table2(p Params) Table {
+	rows := []struct {
+		name string
+		cfg  Table2Config
+	}{
+		{"Classic / Thread Single (locks elided)", Table2Config{Library: "classic"}},
+		{"Classic / Thread Single (locks on)", Table2Config{Library: "classic", LockEnabled: true}},
+		{"Thread Opt. / Thread Multiple (no sync ctx)", Table2Config{Library: "thread-optimized", ThreadMode: "single"}},
+		{"Thread Opt. / Thread Multiple", Table2Config{Library: "thread-optimized", ThreadMode: "multiple"}},
+	}
+	t := Table{
+		Title:   "TABLE 2. MPI half round trip for 0B message",
+		Columns: []string{"MPI Library / Thread Mode", "Comm. Thread Disabled", "Comm. Thread Enabled"},
+	}
+	for _, r := range rows {
+		no, with := Table2Latency(p, r.cfg)
+		withS := "N/A"
+		if with >= 0 {
+			withS = us(with)
+		}
+		t.Rows = append(t.Rows, []string{r.name, us(no), withS})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Table 3 — neighbor send+receive throughput, 1MB messages
+// ---------------------------------------------------------------------
+
+// Table3Throughput returns the modeled bidirectional throughput (MB/s)
+// for the given neighbor count, for the eager and rendezvous protocols.
+//
+// Rendezvous is pure RDMA: the reference node drives n links in each
+// direction at payload peak, with a small per-neighbor efficiency loss
+// from MU engine sharing. Eager is receiver-copy-bound: payload is copied
+// from reception FIFOs to user buffers by the cores; flows spread across
+// reception FIFOs roughly two-neighbors-per-context, and the aggregate
+// copy rate caps at the node's memory-system limit.
+func Table3Throughput(p Params, neighbors int) (eager, rendezvous float64) {
+	n := float64(neighbors)
+	eff := p.RendezvousEff0 - p.RendezvousEffSlope*(n-1)
+	rendezvous = 2 * n * p.LinkPayloadMBs * eff
+
+	copyEngines := math.Ceil(n / 2)
+	copyBW := math.Min(p.EagerCopyMBs*copyEngines, p.EagerCopyAggMBs)
+	inRate := math.Min(n*p.LinkPayloadMBs, copyBW)
+	eager = 2 * inRate
+	return eager, rendezvous
+}
+
+// Table3 renders the modeled Table 3.
+func Table3(p Params) Table {
+	t := Table{
+		Title:   "TABLE 3. MPI neighbor send+receive throughput (MB/s), 1MB messages",
+		Columns: []string{"Num. of Neighbors", "MPI Eager", "MPI Rendezvous"},
+	}
+	for _, n := range []int{1, 2, 4, 10} {
+		e, r := Table3Throughput(p, n)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), fmt.Sprintf("%.0f", e), fmt.Sprintf("%.0f", r),
+		})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Figure 5 — message rate (MMPS) on 32 nodes versus PPN
+// ---------------------------------------------------------------------
+
+// Fig5PPNs is the processes-per-node sweep of figure 5.
+var Fig5PPNs = []int{1, 2, 4, 8, 16, 32}
+
+// Fig5PAMIRate returns the PAMI message rate (million messages/s) for a
+// node at the given PPN: every process drives its own context, so the
+// rate scales with the per-message software cost.
+func Fig5PAMIRate(p Params, ppn int) float64 {
+	return float64(ppn) / p.PAMIMsgCost * 1000 // ns -> MMPS
+}
+
+// Fig5MPIRate returns the MPI message rate without commthreads: every
+// process pays the full per-message software cost on its own thread (the
+// matching queues are per process, so there is no cross-process queue
+// contention in this benchmark).
+func Fig5MPIRate(p Params, ppn int, wildcard bool) float64 {
+	main := p.MPIMsgMain
+	if wildcard {
+		main *= p.WildcardPenalty
+	}
+	per := main + p.MPIMsgOffloadable
+	return float64(ppn) / per * 1000
+}
+
+// Fig5MPIRateCommthreads returns the MPI message rate with commthreads:
+// the offloadable work spreads over the 16/ppn commthreads available to
+// each process (paper §V runs commthreads only to PPN=16), while the
+// serial main-thread share and the handoff remain.
+func Fig5MPIRateCommthreads(p Params, ppn int, wildcard bool) float64 {
+	if ppn > 16 {
+		return math.NaN() // not enabled at PPN=32 in the paper
+	}
+	k := float64(16 / ppn)
+	main := p.MPIMsgMain
+	if wildcard {
+		main *= p.WildcardPenalty
+	}
+	per := math.Max(main, p.MPIMsgOffloadable/k+p.CommthreadHandoff)
+	return float64(ppn) / per * 1000
+}
+
+// Fig5 returns the figure's series (rates in MMPS; the paper's node count
+// of 32 only multiplies the aggregate, so rates are per node as plotted).
+func Fig5(p Params) []Series {
+	mk := func(label string, f func(ppn int) float64) Series {
+		s := Series{Label: label, XName: "processes per node", YName: "MMPS"}
+		for _, ppn := range Fig5PPNs {
+			y := f(ppn)
+			if math.IsNaN(y) {
+				continue
+			}
+			s.X = append(s.X, float64(ppn))
+			s.Y = append(s.Y, y)
+		}
+		return s
+	}
+	return []Series{
+		mk("PAMI", func(ppn int) float64 { return Fig5PAMIRate(p, ppn) }),
+		mk("MPI", func(ppn int) float64 { return Fig5MPIRate(p, ppn, false) }),
+		mk("MPI + commthreads", func(ppn int) float64 { return Fig5MPIRateCommthreads(p, ppn, false) }),
+		mk("MPI + commthreads (wildcard)", func(ppn int) float64 { return Fig5MPIRateCommthreads(p, ppn, true) }),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 — MPI_Barrier latency versus nodes
+// ---------------------------------------------------------------------
+
+// FigNodeCounts is the node sweep of figures 6 and 7.
+var FigNodeCounts = []int{32, 64, 128, 256, 512, 1024, 2048}
+
+// Fig6Barrier returns the modeled MPI_Barrier latency (ns): the global
+// interrupt network barrier plus, at PPN>1, the node-local L2-atomic
+// barrier phases.
+func Fig6Barrier(p Params, nodes, ppn int) float64 {
+	lat := p.GIBase + p.GIPerLog2Nodes*Log2(nodes)
+	if ppn > 1 {
+		lat += p.LocalBarrierBase + p.LocalBarrierPerLog2PPN*Log2(ppn)
+	}
+	return lat
+}
+
+// Fig6 returns the barrier latency series for PPN 1, 4, 16.
+func Fig6(p Params) []Series {
+	return nodeSweep("MPI_Barrier", "us", func(nodes, ppn int) float64 {
+		return Fig6Barrier(p, nodes, ppn) / 1000
+	})
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 — MPI_Allreduce (1 double, sum) latency versus nodes
+// ---------------------------------------------------------------------
+
+// Fig7Allreduce returns the modeled small-allreduce latency (ns): fixed
+// software cost plus the up-and-down combine over the classroute tree
+// (≈ 2×diameter hops on the embedded torus network), adjusted per PPN.
+func Fig7Allreduce(p Params, nodes, ppn int) float64 {
+	lat := p.ARBase + p.ARPerHop*float64(2*Diameter(nodes))
+	lat += p.ARPPNAdjust[ppn]
+	if ppn > 1 {
+		lat += p.LocalBarrierPerLog2PPN * Log2(ppn)
+	}
+	return lat
+}
+
+// Fig7 returns the allreduce latency series for PPN 1, 4, 16.
+func Fig7(p Params) []Series {
+	return nodeSweep("MPI_Allreduce 8B", "us", func(nodes, ppn int) float64 {
+		return Fig7Allreduce(p, nodes, ppn) / 1000
+	})
+}
+
+func nodeSweep(name, unit string, f func(nodes, ppn int) float64) []Series {
+	var out []Series
+	for _, ppn := range []int{1, 4, 16} {
+		s := Series{
+			Label: fmt.Sprintf("%s PPN=%d", name, ppn),
+			XName: "nodes", YName: unit,
+		}
+		for _, n := range FigNodeCounts {
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, f(n, ppn))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Figures 8-9 — allreduce / broadcast throughput versus message size
+// ---------------------------------------------------------------------
+
+// FigSizes is the message-size sweep (bytes) of figures 8-10.
+var FigSizes = func() []int {
+	var s []int
+	for sz := 8; sz <= 32<<20; sz *= 2 {
+		s = append(s, sz)
+	}
+	return s
+}()
+
+// collectiveThroughput is the shared streaming model of figures 8 and 9:
+// throughput = S / (latency + S/BW), where BW is the collective network
+// payload peak scaled by the achieved efficiency — until the node's
+// working set (footprint bytes) spills the 32MB L2, after which DDR
+// bandwidth takes over (the decline the paper reports at PPN=4 and 16).
+func collectiveThroughput(p Params, size int, lat, eff, footprint float64) float64 {
+	bw := p.LinkPayloadMBs * eff
+	if footprint > p.L2CacheBytes {
+		bw = math.Min(bw, p.DDRCollMBs)
+	}
+	s := float64(size)
+	t := lat/1e9 + s/(bw*1e6)
+	return s / t / 1e6
+}
+
+// Fig8Allreduce returns allreduce throughput (MB/s) on 2048 nodes. The
+// working set is send + receive + the node-combine buffer per process.
+func Fig8Allreduce(p Params, size, ppn int) float64 {
+	lat := Fig7Allreduce(p, 2048, ppn)
+	foot := 3 * float64(size) * float64(ppn)
+	return collectiveThroughput(p, size, lat, p.CollEff[ppn], foot)
+}
+
+// Fig8 returns the figure's series.
+func Fig8(p Params) []Series {
+	return sizeSweep("Allreduce", func(size, ppn int) float64 { return Fig8Allreduce(p, size, ppn) })
+}
+
+// Fig9Broadcast returns collective-network broadcast throughput (MB/s) on
+// 2048 nodes. At PPN=1 the stream lands once per node; at PPN>1 every
+// process keeps a copy, so the working set is size × ppn × 2 (arrival
+// buffer + per-process copy).
+func Fig9Broadcast(p Params, size, ppn int) float64 {
+	lat := p.ARBase + p.ARPerHop*float64(2*Diameter(2048))
+	foot := 0.0
+	if ppn > 1 {
+		foot = 2 * float64(size) * float64(ppn)
+	}
+	return collectiveThroughput(p, size, lat, p.BcastEff[ppn], foot)
+}
+
+// Fig9 returns the figure's series.
+func Fig9(p Params) []Series {
+	return sizeSweep("Broadcast", func(size, ppn int) float64 { return Fig9Broadcast(p, size, ppn) })
+}
+
+// ---------------------------------------------------------------------
+// Figure 10 — 10-color rectangle broadcast throughput
+// ---------------------------------------------------------------------
+
+// Fig10RectBcast returns the multi-color rectangle broadcast throughput
+// (MB/s) on 2048 nodes: ten edge-disjoint spanning trees drive all ten
+// links of the root at once for an 18 GB/s aggregate peak. At PPN>1 the
+// arrived data must be redistributed to every process on the node, and
+// that copy rate — then the L2 spill — limits throughput.
+func Fig10RectBcast(p Params, size, ppn int) float64 {
+	peak := float64(p.RectColors) * p.LinkPayloadMBs * p.RectEff
+	bw := peak
+	if ppn > 1 {
+		bw = math.Min(bw, p.RectCopyMBs[ppn])
+		if 2*float64(size)*float64(ppn) > p.L2CacheBytes {
+			bw = math.Min(bw, p.DDRCollMBs*2.2) // parallel copy streams to DDR
+		}
+	}
+	lat := p.ARBase + p.ARPerHop*float64(Diameter(2048))
+	s := float64(size)
+	t := lat/1e9 + s/(bw*1e6)
+	return s / t / 1e6
+}
+
+// Fig10 returns the figure's series.
+func Fig10(p Params) []Series {
+	return sizeSweep("Rect broadcast", func(size, ppn int) float64 { return Fig10RectBcast(p, size, ppn) })
+}
+
+func sizeSweep(name string, f func(size, ppn int) float64) []Series {
+	var out []Series
+	for _, ppn := range []int{1, 4, 16} {
+		s := Series{
+			Label: fmt.Sprintf("%s PPN=%d", name, ppn),
+			XName: "message bytes", YName: "MB/s",
+		}
+		for _, sz := range FigSizes {
+			s.X = append(s.X, float64(sz))
+			s.Y = append(s.Y, f(sz, ppn))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Peak returns a series' maximum Y value and the X at which it occurs.
+func (s Series) Peak() (x, y float64) {
+	for i := range s.Y {
+		if s.Y[i] > y {
+			x, y = s.X[i], s.Y[i]
+		}
+	}
+	return x, y
+}

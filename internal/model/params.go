@@ -1,0 +1,231 @@
+// Package model contains the calibrated performance models that
+// regenerate the paper's evaluation (Tables 1-3, Figures 5-10) at full
+// BG/Q scale — 2048 nodes, up to 32 processes per node — which no
+// functional simulation on one host can reach in wall-clock time.
+//
+// Method. Each experiment is decomposed into the first-order costs the
+// paper itself identifies: fixed software overheads on the send and
+// receive paths, lock and memory-synchronization penalties of the two MPI
+// builds, the eager copy versus rendezvous zero-copy distinction, link and
+// collective-network bandwidth with packet-header efficiency, tree depth
+// over the real 5D torus geometry (package torus computes it), the node-
+// local L2 barrier, commthread offload with handoff overhead, and the
+// L2-cache-capacity knee that throttles large collectives to DDR
+// bandwidth. The constants are calibrated once, against the calibration
+// points printed in EXPERIMENTS.md, and every quantity the paper reports
+// is then *derived* from the model — the tests in this package check both
+// the calibration points and, more importantly, the shapes: who wins,
+// by what factor, and where the knees and crossovers fall.
+//
+// Absolute fidelity disclaimer: the authors measured real hardware; this
+// package is a cost model. EXPERIMENTS.md records paper-vs-model for
+// every number, alongside wall-clock measurements of the functional Go
+// runtime from the repository's benchmarks.
+package model
+
+import "pamigo/internal/torus"
+
+// Params holds every calibration constant. Times are in nanoseconds and
+// bandwidths in MB/s (10^6 bytes/s) unless noted.
+type Params struct {
+	// --- Network fabric (paper §II.B) ---
+
+	// LinkPayloadMBs is the per-link, per-direction payload bandwidth:
+	// 2 GB/s raw minus header/protocol overhead = 1.8 GB/s.
+	LinkPayloadMBs float64
+	// NetBase0B is the network traversal time of a minimal packet between
+	// nearest neighbors, including injection and reception DMA.
+	NetBase0B float64
+	// PerHop is the additional router latency per torus hop.
+	PerHop float64
+
+	// --- PAMI software overheads (Table 1) ---
+
+	// PAMISendImm is the CPU cost of PAMI_SendImmediate (build header,
+	// copy payload into the packet, ring the injection FIFO doorbell).
+	PAMISendImm float64
+	// PAMISend is the CPU cost of PAMI_Send (adds descriptor allocation
+	// and completion-callback bookkeeping).
+	PAMISend float64
+	// PAMIRecv is the CPU cost of polling the reception FIFO and running
+	// the dispatch handler.
+	PAMIRecv float64
+
+	// --- MPI overheads (Table 2, §IV.A) ---
+
+	// MPISendOverhead adds request construction and protocol selection.
+	MPISendOverhead float64
+	// MPIRecvOverhead adds tag matching and request completion.
+	MPIRecvOverhead float64
+	// ClassicLockPenalty is the global-lock cost per call when the classic
+	// library runs with threads enabled.
+	ClassicLockPenalty float64
+	// ThreadOptSyncPenalty is the fine-grained build's memory
+	// synchronization cost (it must keep state consistent with
+	// commthreads even in THREAD_SINGLE, §V).
+	ThreadOptSyncPenalty float64
+	// ThreadOptCommthreadExtra is the additional latency when a ping-pong
+	// bounces through an enabled commthread (handoff + wakeup).
+	ThreadOptCommthreadExtra float64
+	// ClassicCommthreadContention is the penalty when the classic library
+	// must win the PAMI context lock from a polling commthread on every
+	// call (Table 2's 8.7 µs pathology).
+	ClassicCommthreadContention float64
+
+	// --- Message rate (Figure 5) ---
+
+	// PAMIMsgCost is the per-message CPU cost of the PAMI message-rate
+	// benchmark's inner loop.
+	PAMIMsgCost float64
+	// MPIMsgMain is the non-offloadable per-message MPI cost (matching,
+	// request management) on the main thread.
+	MPIMsgMain float64
+	// MPIMsgOffloadable is the per-message work a commthread can absorb
+	// (descriptor build, injection, completion processing).
+	MPIMsgOffloadable float64
+	// CommthreadHandoff is the per-message cost of posting to the
+	// lock-free work queue and waking the commthread.
+	CommthreadHandoff float64
+	// WildcardPenalty multiplies the main-thread matching cost when
+	// receives use MPI_ANY_SOURCE (serialized wildcard matching, §IV.A).
+	WildcardPenalty float64
+
+	// --- Eager/rendezvous throughput (Table 3) ---
+
+	// EagerCopyMBs is one core's FIFO-to-buffer copy bandwidth.
+	EagerCopyMBs float64
+	// EagerCopyAggMBs caps the node's aggregate eager copy bandwidth
+	// (L2/DDR pressure).
+	EagerCopyAggMBs float64
+	// RendezvousEff0 is the achieved fraction of link peak for rendezvous
+	// with one neighbor; RendezvousEffSlope is the per-extra-neighbor
+	// efficiency loss (MU engine sharing).
+	RendezvousEff0, RendezvousEffSlope float64
+
+	// --- Collectives (Figures 6-10) ---
+
+	// GIBase and GIPerLog2Nodes give the global-interrupt barrier latency
+	// versus machine size.
+	GIBase, GIPerLog2Nodes float64
+	// LocalBarrierBase and LocalBarrierPerLog2PPN give the node-local
+	// L2-atomic barrier plus wakeup skew added at PPN>1.
+	LocalBarrierBase, LocalBarrierPerLog2PPN float64
+	// ARBase is the fixed software latency of a small network allreduce;
+	// ARPerHop the combine latency per tree hop (up + down counted via
+	// 2×diameter).
+	ARBase, ARPerHop float64
+	// ARPPNAdjust[p] adjusts small-allreduce latency at PPN p (the paper
+	// measures PPN=4 *faster* than PPN=1: the master drives the network
+	// while peers poll locally).
+	ARPPNAdjust map[int]float64
+	// CollEff is the achieved fraction of collective-network payload peak
+	// for streaming allreduce per PPN.
+	CollEff map[int]float64
+	// BcastEff is the same for broadcast.
+	BcastEff map[int]float64
+	// L2CacheBytes is the per-node L2 capacity (32 MB).
+	L2CacheBytes float64
+	// DDRCollMBs is the streaming collective bandwidth once buffers spill
+	// the L2 to DDR.
+	DDRCollMBs float64
+	// RectColors is the number of edge-disjoint spanning trees of the
+	// multi-color rectangle broadcast; RectEff the achieved fraction of
+	// its aggregate peak at PPN=1.
+	RectColors int
+	RectEff    float64
+	// RectCopyMBs caps the node-level redistribution copy bandwidth that
+	// limits the rectangle broadcast at PPN>1.
+	RectCopyMBs map[int]float64
+}
+
+// Default returns the calibrated parameter set. Calibration anchors are
+// the paper's quoted numbers; see EXPERIMENTS.md for the full
+// paper-vs-model table.
+func Default() Params {
+	return Params{
+		LinkPayloadMBs: 1800,
+		NetBase0B:      360,
+		PerHop:         40,
+
+		PAMISendImm: 350,
+		PAMISend:    490,
+		PAMIRecv:    430,
+
+		MPISendOverhead:             300,
+		MPIRecvOverhead:             470,
+		ClassicLockPenalty:          330,
+		ThreadOptSyncPenalty:        550,
+		ThreadOptCommthreadExtra:    290,
+		ClassicCommthreadContention: 6420,
+
+		PAMIMsgCost:       299,
+		MPIMsgMain:        583,
+		MPIMsgOffloadable: 817,
+		CommthreadHandoff: 38,
+		WildcardPenalty:   1.12,
+
+		EagerCopyMBs:       1680,
+		EagerCopyAggMBs:    4200,
+		RendezvousEff0:     0.926,
+		RendezvousEffSlope: 0.0029,
+
+		GIBase:                 1800,
+		GIPerLog2Nodes:         82,
+		LocalBarrierBase:       1100,
+		LocalBarrierPerLog2PPN: 100,
+		ARBase:                 3550,
+		ARPerHop:               75,
+		ARPPNAdjust:            map[int]float64{1: 0, 4: -700, 16: -600},
+		CollEff:                map[int]float64{1: 0.948, 4: 0.945, 16: 0.928},
+		BcastEff:               map[int]float64{1: 0.960, 4: 0.959, 16: 0.954},
+		L2CacheBytes:           32 << 20,
+		DDRCollMBs:             1425,
+		RectColors:             10,
+		RectEff:                0.94,
+		RectCopyMBs:            map[int]float64{1: 0, 4: 7600, 16: 5800},
+	}
+}
+
+// ShapeFor returns a representative BG/Q torus shape for a node count.
+// Real installations use fixed shapes per rack count; these match the
+// flavor of the machines in the paper (2048 nodes = 2 racks).
+func ShapeFor(nodes int) torus.Dims {
+	shapes := map[int]torus.Dims{
+		1:    {1, 1, 1, 1, 1},
+		2:    {2, 1, 1, 1, 1},
+		4:    {2, 2, 1, 1, 1},
+		8:    {2, 2, 2, 1, 1},
+		16:   {2, 2, 2, 2, 1},
+		32:   {2, 2, 2, 2, 2},
+		64:   {4, 2, 2, 2, 2},
+		128:  {4, 4, 2, 2, 2},
+		256:  {4, 4, 4, 2, 2},
+		512:  {4, 4, 4, 4, 2},
+		1024: {8, 4, 4, 4, 2},
+		2048: {8, 8, 4, 4, 2},
+		4096: {8, 8, 8, 4, 2},
+	}
+	if d, ok := shapes[nodes]; ok {
+		return d
+	}
+	// Fall back: factor into near-equal powers of two.
+	d := torus.Dims{1, 1, 1, 1, 1}
+	i := 0
+	for n := nodes; n > 1; n /= 2 {
+		d[i%torus.NumDims] *= 2
+		i++
+	}
+	return d
+}
+
+// Diameter returns the hop diameter of the shape for a node count.
+func Diameter(nodes int) int { return ShapeFor(nodes).Diameter() }
+
+// Log2 returns log2 of n for power-of-two n (collective model helper).
+func Log2(n int) float64 {
+	l := 0
+	for v := n; v > 1; v >>= 1 {
+		l++
+	}
+	return float64(l)
+}

@@ -1,0 +1,182 @@
+package mpilib
+
+import (
+	"testing"
+
+	"pamigo/internal/collnet"
+	"pamigo/internal/torus"
+)
+
+func TestCartCreateAndCoords(t *testing.T) {
+	runMPI(t, torus.Dims{2, 2, 1, 1, 1}, 2, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		cart, err := cw.CartCreate([]int{2, 2, 2}, []bool{true, true, false})
+		if err != nil {
+			panic(err)
+		}
+		coords := cart.Coords()
+		if got := cart.RankOf(coords); got != cart.Rank() {
+			t.Errorf("rank %d: coords %v round-trip to %d", cart.Rank(), coords, got)
+		}
+		// Row-major: rank = ((x*2)+y)*2+z.
+		want := (coords[0]*2+coords[1])*2 + coords[2]
+		if want != cart.Rank() {
+			t.Errorf("rank %d has coords %v", cart.Rank(), coords)
+		}
+		cart.Barrier()
+	})
+}
+
+func TestCartCreateValidation(t *testing.T) {
+	runMPI(t, torus.Dims{2, 1, 1, 1, 1}, 2, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		if _, err := cw.CartCreate([]int{3}, []bool{true}); err == nil {
+			t.Error("grid/size mismatch accepted")
+		}
+		if _, err := cw.CartCreate([]int{4}, []bool{true, false}); err == nil {
+			t.Error("dims/periodic mismatch accepted")
+		}
+		if _, err := cw.CartCreate([]int{0, 4}, []bool{true, true}); err == nil {
+			t.Error("zero dimension accepted")
+		}
+		cw.Barrier()
+	})
+}
+
+func TestCartShift(t *testing.T) {
+	runMPI(t, torus.Dims{2, 2, 1, 1, 1}, 1, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		// 4 ranks as a 4x1 line, non-periodic.
+		cart, err := cw.CartCreate([]int{4}, []bool{false})
+		if err != nil {
+			panic(err)
+		}
+		src, dst, err := cart.Shift(0, 1)
+		if err != nil {
+			panic(err)
+		}
+		switch cart.Rank() {
+		case 0:
+			if src != -1 || dst != 1 {
+				t.Errorf("rank 0 shift = (%d,%d)", src, dst)
+			}
+		case 3:
+			if src != 2 || dst != -1 {
+				t.Errorf("rank 3 shift = (%d,%d)", src, dst)
+			}
+		default:
+			if src != cart.Rank()-1 || dst != cart.Rank()+1 {
+				t.Errorf("rank %d shift = (%d,%d)", cart.Rank(), src, dst)
+			}
+		}
+		if _, _, err := cart.Shift(5, 1); err == nil {
+			t.Error("bad dimension accepted")
+		}
+		cart.Barrier()
+	})
+}
+
+func TestCartShiftPeriodic(t *testing.T) {
+	runMPI(t, torus.Dims{2, 2, 1, 1, 1}, 1, Options{}, func(w *World) {
+		cart, err := w.CommWorld().CartCreate([]int{4}, []bool{true})
+		if err != nil {
+			panic(err)
+		}
+		src, dst, _ := cart.Shift(0, 1)
+		if src != (cart.Rank()+3)%4 || dst != (cart.Rank()+1)%4 {
+			t.Errorf("rank %d periodic shift = (%d,%d)", cart.Rank(), src, dst)
+		}
+		cart.Barrier()
+	})
+}
+
+func TestCartSub(t *testing.T) {
+	runMPI(t, torus.Dims{2, 2, 1, 1, 1}, 2, Options{}, func(w *World) {
+		cart, err := w.CommWorld().CartCreate([]int{2, 4}, []bool{false, true})
+		if err != nil {
+			panic(err)
+		}
+		// Keep the second dimension: two row communicators of 4.
+		row, err := cart.Sub([]bool{false, true})
+		if err != nil {
+			panic(err)
+		}
+		if row.Size() != 4 {
+			t.Errorf("row size %d", row.Size())
+		}
+		if got := row.Coords()[0]; got != cart.Coords()[1] {
+			t.Errorf("row coord %d, want %d", got, cart.Coords()[1])
+		}
+		// All members of a row share the first cart coordinate.
+		sum, err := row.AllreduceInt64([]int64{int64(cart.Coords()[0])}, collnet.OpAdd)
+		if err != nil {
+			panic(err)
+		}
+		if sum[0] != int64(4*cart.Coords()[0]) {
+			t.Errorf("row members mixed across rows: sum %d", sum[0])
+		}
+		if _, err := cart.Sub([]bool{false, false}); err == nil {
+			t.Error("empty sub accepted")
+		}
+		row.Free()
+		cart.Barrier()
+	})
+}
+
+func TestCartHaloExchange(t *testing.T) {
+	runMPI(t, torus.Dims{2, 2, 1, 1, 1}, 1, Options{}, func(w *World) {
+		cart, err := w.CommWorld().CartCreate([]int{2, 2}, []bool{true, true})
+		if err != nil {
+			panic(err)
+		}
+		nd := 2
+		sendUp := make([][]byte, nd)
+		sendDown := make([][]byte, nd)
+		recvUp := make([][]byte, nd)
+		recvDown := make([][]byte, nd)
+		for d := 0; d < nd; d++ {
+			sendUp[d] = []byte{byte(cart.Rank()), byte(d), 'U'}
+			sendDown[d] = []byte{byte(cart.Rank()), byte(d), 'D'}
+			recvUp[d] = make([]byte, 3)
+			recvDown[d] = make([]byte, 3)
+		}
+		if err := cart.HaloExchange(sendUp, sendDown, recvUp, recvDown); err != nil {
+			panic(err)
+		}
+		for d := 0; d < nd; d++ {
+			srcDown, dstUp, _ := cart.Shift(d, 1)
+			// recvDown[d] came from the -1 neighbor's sendUp.
+			if recvDown[d][0] != byte(srcDown) || recvDown[d][2] != 'U' {
+				t.Errorf("rank %d dim %d: recvDown = %v (want from %d)", cart.Rank(), d, recvDown[d], srcDown)
+			}
+			if recvUp[d][0] != byte(dstUp) || recvUp[d][2] != 'D' {
+				t.Errorf("rank %d dim %d: recvUp = %v (want from %d)", cart.Rank(), d, recvUp[d], dstUp)
+			}
+		}
+		cart.Barrier()
+	})
+}
+
+func TestCartHaloExchangeNonPeriodicEdges(t *testing.T) {
+	runMPI(t, torus.Dims{2, 2, 1, 1, 1}, 1, Options{}, func(w *World) {
+		cart, err := w.CommWorld().CartCreate([]int{4}, []bool{false})
+		if err != nil {
+			panic(err)
+		}
+		sendUp := [][]byte{{byte(cart.Rank())}}
+		sendDown := [][]byte{{byte(cart.Rank())}}
+		recvUp := [][]byte{make([]byte, 1)}
+		recvDown := [][]byte{make([]byte, 1)}
+		recvUp[0][0], recvDown[0][0] = 0xEE, 0xEE
+		if err := cart.HaloExchange(sendUp, sendDown, recvUp, recvDown); err != nil {
+			panic(err)
+		}
+		if cart.Rank() == 0 && recvDown[0][0] != 0xEE {
+			t.Error("edge rank received a halo from MPI_PROC_NULL")
+		}
+		if cart.Rank() == 1 && recvDown[0][0] != 0 {
+			t.Errorf("rank 1 recvDown = %d", recvDown[0][0])
+		}
+		cart.Barrier()
+	})
+}

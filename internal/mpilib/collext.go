@@ -1,0 +1,278 @@
+package mpilib
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// The paper's future-work list (§VI) names all-to-all, scatter and
+// gather as the next collectives to optimize. This file implements them
+// over the point-to-point engine: scatter and gather as root-centric
+// fan-out/fan-in, all-to-all as a phased pairwise exchange that keeps at
+// most one outstanding exchange per phase — the standard algorithm for
+// tori, where the phase structure spreads traffic across links.
+
+// collTagBase keeps internal collective traffic away from user tags and
+// from the rectangle broadcast's tag block.
+const collTagBase = 1 << 22
+
+// collSeq returns a per-communicator operation sequence number; members
+// call collectives in the same order, so the values agree machine-wide.
+func (c *Comm) collSeq() int {
+	return int(atomic.AddUint64(&c.pt2ptCollSeq, 1))
+}
+
+// Scatter distributes root's send buffer — size() consecutive blocks of
+// n bytes — so that rank i receives block i into recv (len(recv) >= n).
+// send is ignored on non-roots.
+func (c *Comm) Scatter(send []byte, n int, recv []byte, root int) error {
+	if root < 0 || root >= c.size {
+		return fmt.Errorf("mpilib: scatter root %d out of range", root)
+	}
+	if len(recv) < n {
+		return fmt.Errorf("mpilib: scatter recv buffer %d < block %d", len(recv), n)
+	}
+	tag := collTagBase + c.collSeq()
+	if c.rank == root {
+		if len(send) < n*c.size {
+			return fmt.Errorf("mpilib: scatter send buffer %d < %d", len(send), n*c.size)
+		}
+		var reqs []*Request
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				copy(recv[:n], send[r*n:(r+1)*n])
+				continue
+			}
+			q, err := c.Isend(send[r*n:(r+1)*n], r, tag)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, q)
+		}
+		c.w.Waitall(reqs)
+		return nil
+	}
+	_, err := c.Recv(recv[:n], root, tag)
+	return err
+}
+
+// Gather collects n-byte blocks from every rank into root's recv buffer,
+// block i at offset i*n. recv is ignored on non-roots.
+func (c *Comm) Gather(send []byte, n int, recv []byte, root int) error {
+	if root < 0 || root >= c.size {
+		return fmt.Errorf("mpilib: gather root %d out of range", root)
+	}
+	if len(send) < n {
+		return fmt.Errorf("mpilib: gather send buffer %d < block %d", len(send), n)
+	}
+	tag := collTagBase + c.collSeq()
+	if c.rank == root {
+		if len(recv) < n*c.size {
+			return fmt.Errorf("mpilib: gather recv buffer %d < %d", len(recv), n*c.size)
+		}
+		var reqs []*Request
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				copy(recv[r*n:(r+1)*n], send[:n])
+				continue
+			}
+			q, err := c.Irecv(recv[r*n:(r+1)*n], r, tag)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, q)
+		}
+		c.w.Waitall(reqs)
+		return nil
+	}
+	return c.Send(send[:n], root, tag)
+}
+
+// Alltoall exchanges n-byte blocks: block i of send goes to rank i, and
+// block j of recv is filled by rank j's block for us. The exchange runs
+// in size-1 phases; in phase k every rank trades with (rank ± k), which
+// on the torus drives disjoint link sets per phase.
+func (c *Comm) Alltoall(send []byte, n int, recv []byte) error {
+	if len(send) < n*c.size || len(recv) < n*c.size {
+		return fmt.Errorf("mpilib: alltoall buffers too small for %d blocks of %d", c.size, n)
+	}
+	tag := collTagBase + c.collSeq()
+	copy(recv[c.rank*n:(c.rank+1)*n], send[c.rank*n:(c.rank+1)*n])
+	for k := 1; k < c.size; k++ {
+		to := (c.rank + k) % c.size
+		from := (c.rank - k + c.size) % c.size
+		rreq, err := c.Irecv(recv[from*n:(from+1)*n], from, tag+k)
+		if err != nil {
+			return err
+		}
+		sreq, err := c.Isend(send[to*n:(to+1)*n], to, tag+k)
+		if err != nil {
+			return err
+		}
+		c.w.Waitall([]*Request{rreq, sreq})
+		rreq.Free()
+		sreq.Free()
+	}
+	return nil
+}
+
+// AlltoallNonblocking posts every phase at once — higher message
+// concurrency, the variant that benefits from multiple contexts and
+// commthreads. Same data contract as Alltoall.
+func (c *Comm) AlltoallNonblocking(send []byte, n int, recv []byte) error {
+	if len(send) < n*c.size || len(recv) < n*c.size {
+		return fmt.Errorf("mpilib: alltoall buffers too small for %d blocks of %d", c.size, n)
+	}
+	tag := collTagBase + c.collSeq()
+	copy(recv[c.rank*n:(c.rank+1)*n], send[c.rank*n:(c.rank+1)*n])
+	var reqs []*Request
+	for k := 1; k < c.size; k++ {
+		from := (c.rank - k + c.size) % c.size
+		r, err := c.Irecv(recv[from*n:(from+1)*n], from, tag+k)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, r)
+	}
+	for k := 1; k < c.size; k++ {
+		to := (c.rank + k) % c.size
+		s, err := c.Isend(send[to*n:(to+1)*n], to, tag+k)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, s)
+	}
+	c.w.Waitall(reqs)
+	for _, r := range reqs {
+		r.Free()
+	}
+	return nil
+}
+
+// Scatterv distributes variable-length blocks: root sends counts[i]
+// bytes starting at offsets[i] of send to rank i's recv buffer.
+func (c *Comm) Scatterv(send []byte, counts, offsets []int, recv []byte, root int) error {
+	if root < 0 || root >= c.size {
+		return fmt.Errorf("mpilib: scatterv root %d out of range", root)
+	}
+	if len(counts) != c.size || len(offsets) != c.size {
+		return fmt.Errorf("mpilib: scatterv needs %d counts and offsets", c.size)
+	}
+	if len(recv) < counts[c.rank] {
+		return fmt.Errorf("mpilib: scatterv recv buffer %d < %d", len(recv), counts[c.rank])
+	}
+	tag := collTagBase + c.collSeq()
+	if c.rank == root {
+		var reqs []*Request
+		for r := 0; r < c.size; r++ {
+			if offsets[r]+counts[r] > len(send) {
+				return fmt.Errorf("mpilib: scatterv block %d overruns send buffer", r)
+			}
+			blk := send[offsets[r] : offsets[r]+counts[r]]
+			if r == root {
+				copy(recv, blk)
+				continue
+			}
+			if counts[r] == 0 {
+				continue
+			}
+			q, err := c.Isend(blk, r, tag)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, q)
+		}
+		c.w.Waitall(reqs)
+		return nil
+	}
+	if counts[c.rank] == 0 {
+		return nil
+	}
+	_, err := c.Recv(recv[:counts[c.rank]], root, tag)
+	return err
+}
+
+// Gatherv collects variable-length blocks: counts[i] bytes from rank i
+// land at offsets[i] of root's recv buffer.
+func (c *Comm) Gatherv(send []byte, recv []byte, counts, offsets []int, root int) error {
+	if root < 0 || root >= c.size {
+		return fmt.Errorf("mpilib: gatherv root %d out of range", root)
+	}
+	if len(counts) != c.size || len(offsets) != c.size {
+		return fmt.Errorf("mpilib: gatherv needs %d counts and offsets", c.size)
+	}
+	if len(send) < counts[c.rank] {
+		return fmt.Errorf("mpilib: gatherv send buffer %d < %d", len(send), counts[c.rank])
+	}
+	tag := collTagBase + c.collSeq()
+	if c.rank == root {
+		var reqs []*Request
+		for r := 0; r < c.size; r++ {
+			if offsets[r]+counts[r] > len(recv) {
+				return fmt.Errorf("mpilib: gatherv block %d overruns recv buffer", r)
+			}
+			dst := recv[offsets[r] : offsets[r]+counts[r]]
+			if r == root {
+				copy(dst, send)
+				continue
+			}
+			if counts[r] == 0 {
+				continue
+			}
+			q, err := c.Irecv(dst, r, tag)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, q)
+		}
+		c.w.Waitall(reqs)
+		return nil
+	}
+	if counts[c.rank] == 0 {
+		return nil
+	}
+	return c.Send(send[:counts[c.rank]], root, tag)
+}
+
+// Allgatherv gathers variable-length contributions: counts[i] bytes from
+// rank i land at offset offsets[i] of recv on every rank. Built as a
+// gather to rank 0 followed by a broadcast, which keeps the network
+// operations on the classroute when one is programmed.
+func (c *Comm) Allgatherv(send []byte, counts []int, recv []byte) error {
+	if len(counts) != c.size {
+		return fmt.Errorf("mpilib: allgatherv needs %d counts, got %d", c.size, len(counts))
+	}
+	offsets := make([]int, c.size)
+	total := 0
+	for i, n := range counts {
+		offsets[i] = total
+		total += n
+	}
+	if len(recv) < total {
+		return fmt.Errorf("mpilib: allgatherv recv buffer %d < %d", len(recv), total)
+	}
+	if len(send) < counts[c.rank] {
+		return fmt.Errorf("mpilib: allgatherv send buffer %d < %d", len(send), counts[c.rank])
+	}
+	tag := collTagBase + c.collSeq()
+	if c.rank == 0 {
+		var reqs []*Request
+		copy(recv[offsets[0]:offsets[0]+counts[0]], send[:counts[0]])
+		for r := 1; r < c.size; r++ {
+			if counts[r] == 0 {
+				continue
+			}
+			q, err := c.Irecv(recv[offsets[r]:offsets[r]+counts[r]], r, tag)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, q)
+		}
+		c.w.Waitall(reqs)
+	} else if counts[c.rank] > 0 {
+		if err := c.Send(send[:counts[c.rank]], 0, tag); err != nil {
+			return err
+		}
+	}
+	return c.Bcast(recv[:total], 0)
+}

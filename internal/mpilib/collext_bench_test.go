@@ -1,0 +1,57 @@
+package mpilib
+
+import (
+	"testing"
+	"time"
+
+	"pamigo/internal/cnk"
+	"pamigo/internal/machine"
+	"pamigo/internal/torus"
+)
+
+// Alltoall ablation: phased pairwise exchange (one exchange in flight)
+// versus the fully nonblocking variant (all phases posted at once).
+// Compare with:
+//
+//	go test -bench 'Alltoall' ./internal/mpilib/
+
+func benchAlltoall(b *testing.B, nonblocking bool) {
+	b.Helper()
+	m, err := machine.New(machine.Config{Dims: torus.Dims{2, 2, 2, 1, 1}, PPN: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const blk = 1024
+	var elapsed time.Duration
+	m.Run(func(p *cnk.Process) {
+		w, err := Init(m, p, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Finalize()
+		cw := w.CommWorld()
+		send := make([]byte, blk*w.Size())
+		recv := make([]byte, blk*w.Size())
+		cw.Barrier()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if nonblocking {
+				err = cw.AlltoallNonblocking(send, blk, recv)
+			} else {
+				err = cw.Alltoall(send, blk, recv)
+			}
+			if err != nil {
+				panic(err)
+			}
+		}
+		cw.Barrier()
+		if w.Rank() == 0 {
+			elapsed = time.Since(start)
+		}
+	})
+	b.ReportMetric(float64(elapsed.Microseconds())/float64(b.N), "us/op")
+}
+
+func BenchmarkAlltoallPhased(b *testing.B)      { benchAlltoall(b, false) }
+func BenchmarkAlltoallNonblocking(b *testing.B) { benchAlltoall(b, true) }

@@ -1,0 +1,249 @@
+package mpilib
+
+import (
+	"fmt"
+	"sort"
+
+	"pamigo/internal/collnet"
+	"pamigo/internal/core"
+)
+
+// Comm is an MPI communicator: an ordered process group bound to a PAMI
+// geometry. Collectives run on the collective network when the geometry
+// holds a classroute (COMM_WORLD and optimized rectangular communicators)
+// and in software otherwise.
+type Comm struct {
+	w     *World
+	id    uint64
+	group []int // world rank of each communicator rank
+	geom  *core.Geometry
+	rank  int
+	size  int
+
+	// pt2ptCollSeq numbers the point-to-point-based collectives
+	// (scatter/gather/alltoall); see collext.go.
+	pt2ptCollSeq uint64
+}
+
+func newComm(w *World, id uint64, geom *core.Geometry, group []int) *Comm {
+	rank := -1
+	for i, g := range group {
+		if g == w.rank {
+			rank = i
+		}
+	}
+	return &Comm{w: w, id: id, group: group, geom: geom, rank: rank, size: len(group)}
+}
+
+// Rank returns the caller's rank in this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Waitall completes the requests through the owning library instance
+// (convenience for code that only holds a communicator).
+func (c *Comm) Waitall(reqs []*Request) { c.w.Waitall(reqs) }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.size }
+
+// Group returns the world rank of each communicator rank.
+func (c *Comm) Group() []int { return append([]int(nil), c.group...) }
+
+// WorldRankOf translates a communicator rank to a world rank.
+func (c *Comm) WorldRankOf(rank int) int { return c.group[rank] }
+
+// Optimized reports whether collectives currently use the collective
+// network.
+func (c *Comm) Optimized() bool { return c.geom.Optimized() }
+
+// Optimize requests a classroute for the communicator (MPIX_Comm_optimize,
+// paper §III.D). Collective over the communicator.
+func (c *Comm) Optimize() error {
+	c.w.enter()
+	defer c.w.exit()
+	return c.geom.Optimize()
+}
+
+// Deoptimize releases the communicator's classroute so another active
+// communicator can reuse the slot (MPIX_Comm_deoptimize). Collective.
+func (c *Comm) Deoptimize() {
+	c.w.enter()
+	defer c.w.exit()
+	c.geom.Deoptimize()
+}
+
+// ---------------------------------------------------------------------
+// Collectives (paper §IV.B-C)
+// ---------------------------------------------------------------------
+
+// Barrier blocks until every member has entered it. On an optimized
+// communicator it combines the node-local L2-atomic barrier with the
+// global-interrupt-class network barrier.
+func (c *Comm) Barrier() {
+	c.geom.Barrier()
+}
+
+// Bcast broadcasts root's buf to every member's buf.
+func (c *Comm) Bcast(buf []byte, root int) error {
+	return c.geom.Broadcast(root, buf)
+}
+
+// Allreduce combines the members' send buffers element-wise into every
+// member's recv buffer (8-byte words).
+func (c *Comm) Allreduce(send, recv []byte, op collnet.Op, dt collnet.DType) error {
+	return c.geom.Allreduce(send, recv, op, dt)
+}
+
+// Reduce combines into root's recv buffer only.
+func (c *Comm) Reduce(send, recv []byte, op collnet.Op, dt collnet.DType, root int) error {
+	return c.geom.Reduce(root, send, recv, op, dt)
+}
+
+// AllreduceFloat64 is the MPI_DOUBLE/MPI_SUM-style convenience wrapper
+// used throughout the paper's measurements.
+func (c *Comm) AllreduceFloat64(send []float64, op collnet.Op) ([]float64, error) {
+	out := make([]byte, 8*len(send))
+	if err := c.Allreduce(collnet.EncodeFloat64s(send), out, op, collnet.Float64); err != nil {
+		return nil, err
+	}
+	return collnet.DecodeFloat64s(out), nil
+}
+
+// AllreduceInt64 is the integer convenience wrapper.
+func (c *Comm) AllreduceInt64(send []int64, op collnet.Op) ([]int64, error) {
+	out := make([]byte, 8*len(send))
+	if err := c.Allreduce(collnet.EncodeInt64s(send), out, op, collnet.Int64); err != nil {
+		return nil, err
+	}
+	return collnet.DecodeInt64s(out), nil
+}
+
+// Allgather gathers each member's contribution (equal length) into recv,
+// laid out by communicator rank. Implemented over the reduction network:
+// each rank contributes its slot of a zero vector and the slots are
+// OR-combined — one network operation instead of P broadcasts.
+func (c *Comm) Allgather(send []byte, recv []byte) error {
+	per := len(send)
+	if len(recv) < per*c.size {
+		return fmt.Errorf("mpilib: allgather recv %d < %d", len(recv), per*c.size)
+	}
+	// Pad the slot width to the 8-byte word the network ALU combines.
+	slot := (per + 7) &^ 7
+	vec := make([]byte, slot*c.size)
+	copy(vec[slot*c.rank:], send)
+	out := make([]byte, len(vec))
+	if err := c.Allreduce(vec, out, collnet.OpBitOR, collnet.Uint64); err != nil {
+		return err
+	}
+	for r := 0; r < c.size; r++ {
+		copy(recv[r*per:(r+1)*per], out[r*slot:r*slot+per])
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Communicator management
+// ---------------------------------------------------------------------
+
+// Dup duplicates the communicator (same group, fresh geometry, so its
+// collectives and classroute are independent). Collective over the
+// communicator.
+func (c *Comm) Dup() (*Comm, error) {
+	entries := make([]splitEntry, c.size)
+	for r := range entries {
+		entries[r] = splitEntry{color: 0, key: r, rank: r}
+	}
+	return c.splitInto(entries)
+}
+
+// Split partitions the communicator: members with the same color form a
+// new communicator, ordered by key (ties by old rank). color < 0 returns
+// nil (MPI_UNDEFINED). Collective over the communicator.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	// Exchange (color, key) with every member through an allgather.
+	mine := collnet.EncodeInt64s([]int64{int64(color), int64(key)})
+	all := make([]byte, len(mine)*c.size)
+	if err := c.Allgather(mine, all); err != nil {
+		return nil, err
+	}
+	vals := collnet.DecodeInt64s(all)
+	var mySplit []splitEntry
+	colors := map[int64]bool{}
+	var colorOrder []int64
+	for r := 0; r < c.size; r++ {
+		col, k := vals[2*r], vals[2*r+1]
+		if !colors[col] {
+			colors[col] = true
+			colorOrder = append(colorOrder, col)
+		}
+		if col == int64(color) {
+			mySplit = append(mySplit, splitEntry{color: int(col), key: int(k), rank: r})
+		}
+	}
+	// Communicator IDs must advance identically on every member: one new
+	// ID per distinct non-negative color, in sorted color order.
+	sort.Slice(colorOrder, func(i, j int) bool { return colorOrder[i] < colorOrder[j] })
+	c.w.commMu.Lock()
+	base := c.w.nextCommID
+	ids := make(map[int64]uint64)
+	n := uint64(0)
+	for _, col := range colorOrder {
+		if col >= 0 {
+			ids[col] = base + n
+			n++
+		}
+	}
+	c.w.nextCommID = base + n
+	c.w.commMu.Unlock()
+	if color < 0 {
+		return nil, nil
+	}
+	return c.splitIntoWithID(ids[int64(color)], mySplit)
+}
+
+type splitEntry struct {
+	color, key, rank int
+}
+
+func (c *Comm) splitInto(entries []splitEntry) (*Comm, error) {
+	c.w.commMu.Lock()
+	id := c.w.nextCommID
+	c.w.nextCommID++
+	c.w.commMu.Unlock()
+	return c.splitIntoWithID(id, entries)
+}
+
+func (c *Comm) splitIntoWithID(id uint64, entries []splitEntry) (*Comm, error) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key != entries[j].key {
+			return entries[i].key < entries[j].key
+		}
+		return entries[i].rank < entries[j].rank
+	})
+	group := make([]int, len(entries))
+	for i, e := range entries {
+		group[i] = c.group[e.rank]
+	}
+	// Bind the new geometry to the context the new communicator hashes
+	// its own collectives onto.
+	ctx := c.w.ctxs[id%uint64(len(c.w.ctxs))]
+	geom, err := c.w.client.CreateGeometry(ctx, id, group)
+	if err != nil {
+		return nil, err
+	}
+	nc := newComm(c.w, id, geom, group)
+	c.w.commMu.Lock()
+	c.w.comms[id] = nc
+	c.w.commMu.Unlock()
+	return nc, nil
+}
+
+// Free detaches from the communicator. Collective over the communicator.
+func (c *Comm) Free() {
+	if c.id == worldCommID {
+		return
+	}
+	c.geom.Destroy()
+	c.w.commMu.Lock()
+	delete(c.w.comms, c.id)
+	c.w.commMu.Unlock()
+}

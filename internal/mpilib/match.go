@@ -1,0 +1,156 @@
+package mpilib
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pamigo/internal/core"
+)
+
+// Wildcards (MPI_ANY_SOURCE / MPI_ANY_TAG). Wildcard receives are common
+// in BG/Q applications, which is why the paper keeps the single MPICH2
+// receive queue under an L2-atomic mutex instead of per-source queues
+// (§IV.A).
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// dispatchMPI is the PAMI dispatch ID of all MPI point-to-point traffic.
+const dispatchMPI uint16 = 0x0001
+
+// envelope is the MPI matching header carried as PAMI metadata.
+type envelope struct {
+	comm uint64
+	src  int32 // communicator rank of the sender
+	tag  int32
+}
+
+const envelopeLen = 8 + 4 + 4
+
+func (e envelope) encode() []byte {
+	buf := make([]byte, envelopeLen)
+	binary.LittleEndian.PutUint64(buf[0:], e.comm)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(e.src))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(e.tag))
+	return buf
+}
+
+func decodeEnvelope(meta []byte) (envelope, error) {
+	if len(meta) < envelopeLen {
+		return envelope{}, fmt.Errorf("mpilib: short envelope (%d bytes)", len(meta))
+	}
+	return envelope{
+		comm: binary.LittleEndian.Uint64(meta[0:]),
+		src:  int32(binary.LittleEndian.Uint32(meta[8:])),
+		tag:  int32(binary.LittleEndian.Uint32(meta[12:])),
+	}, nil
+}
+
+// matches applies the MPI matching rules of a posted receive against an
+// incoming envelope.
+func (p *postedRecv) matches(e envelope) bool {
+	if p.comm != e.comm {
+		return false
+	}
+	if p.src != AnySource && int32(p.src) != e.src {
+		return false
+	}
+	if p.tag != AnyTag && int32(p.tag) != e.tag {
+		return false
+	}
+	return true
+}
+
+// postedRecv is an entry in the posted-receive queue.
+type postedRecv struct {
+	comm uint64
+	src  int // communicator rank or AnySource
+	tag  int
+	buf  []byte
+	req  *Request
+}
+
+// unexpectedMsg is an entry in the unexpected queue: an eager message's
+// copied payload, or a retained rendezvous Delivery whose data is still
+// parked in the sender's memory.
+type unexpectedMsg struct {
+	env  envelope
+	data []byte         // eager payload (copied at arrival)
+	size int            // full message size
+	rdv  *core.Delivery // non-nil for rendezvous
+}
+
+// onMessage is the pamid dispatch: it looks up the posted-receive list
+// and either lands the message in the matched buffer or files it in the
+// unexpected queue (paper §IV). It runs on whichever thread advances the
+// receiving context; the queue itself is serialized by the L2 mutex while
+// payload copying happens outside it, on the advancing thread — the
+// parallelization split of §IV.A.
+func (w *World) onMessage(ctx *core.Context, d *core.Delivery) {
+	env, err := decodeEnvelope(d.Meta)
+	if err != nil {
+		panic(err.Error())
+	}
+	w.queueMu.Lock()
+	var match *postedRecv
+	for e := w.posted.Front(); e != nil; e = e.Next() {
+		p := e.Value.(*postedRecv)
+		if p.matches(env) {
+			match = p
+			w.posted.Remove(e)
+			break
+		}
+	}
+	if match == nil {
+		un := &unexpectedMsg{env: env, size: d.Size}
+		if d.IsRendezvous() {
+			// Keep the RTS; the payload stays in the sender's memory until
+			// a receive matches — rendezvous flow control for free.
+			un.rdv = d
+		} else {
+			un.data = append([]byte(nil), d.Data...)
+		}
+		w.unex.PushBack(un)
+		w.queueMu.Unlock()
+		return
+	}
+	w.queueMu.Unlock()
+
+	// Deliver outside the queue mutex.
+	n := d.Size
+	if n > len(match.buf) {
+		n = len(match.buf)
+	}
+	if d.IsRendezvous() {
+		if err := d.Receive(match.buf[:n], nil); err != nil {
+			panic(err.Error())
+		}
+	} else {
+		copy(match.buf[:n], d.Data[:n])
+	}
+	match.req.complete(Status{Source: int(env.src), Tag: int(env.tag), Count: n})
+}
+
+// matchUnexpected scans the unexpected queue for the oldest message the
+// receive matches, removing and returning it. Caller holds queueMu.
+func (w *World) matchUnexpected(comm uint64, src, tag int) *unexpectedMsg {
+	p := postedRecv{comm: comm, src: src, tag: tag}
+	for e := w.unex.Front(); e != nil; e = e.Next() {
+		un := e.Value.(*unexpectedMsg)
+		if p.matches(un.env) {
+			w.unex.Remove(e)
+			return un
+		}
+	}
+	return nil
+}
+
+// QueueDepths reports the current posted/unexpected queue lengths
+// (benchmark instrumentation).
+func (w *World) QueueDepths() (posted, unexpected int) {
+	w.queueMu.Lock()
+	p, u := w.posted.Len(), w.unex.Len()
+	w.queueMu.Unlock()
+	return p, u
+}

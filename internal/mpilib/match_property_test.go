@@ -1,0 +1,135 @@
+package mpilib
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refMatcher is an executable statement of the MPI matching rules: posted
+// receives match in post order; an arriving envelope takes the earliest
+// matching posted receive, else queues unexpected; a posted receive takes
+// the earliest matching unexpected message, else queues posted.
+type refMatcher struct {
+	posted  []refRecv
+	unex    []envelope
+	unexIDs []int // message IDs, parallel to unex
+	// pairs records (recvID, messageID) matches in the order they happen.
+	pairs [][2]int
+}
+
+type refRecv struct {
+	id       int
+	src, tag int
+	comm     uint64
+}
+
+func (m *refMatcher) arrive(msgID int, e envelope) {
+	for i, p := range m.posted {
+		pr := postedRecv{comm: p.comm, src: p.src, tag: p.tag}
+		if pr.matches(e) {
+			m.pairs = append(m.pairs, [2]int{p.id, msgID})
+			m.posted = append(m.posted[:i], m.posted[i+1:]...)
+			return
+		}
+	}
+	m.unex = append(m.unex, e)
+	m.unexIDs = append(m.unexIDs, msgID)
+}
+
+func (m *refMatcher) post(r refRecv) {
+	for i, e := range m.unex {
+		pr := postedRecv{comm: r.comm, src: r.src, tag: r.tag}
+		if pr.matches(e) {
+			m.pairs = append(m.pairs, [2]int{r.id, m.unexIDs[i]})
+			m.unex = append(m.unex[:i], m.unex[i+1:]...)
+			m.unexIDs = append(m.unexIDs[:i], m.unexIDs[i+1:]...)
+			return
+		}
+	}
+	m.posted = append(m.posted, r)
+}
+
+// TestMatcherAgainstReference runs the *World matcher (onMessage +
+// matchUnexpected, exercised white-box through its queues) against the
+// reference on random interleavings of arrivals and posts, including
+// wildcards, and demands identical match pairs.
+func TestMatcherAgainstReference(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		w := &World{} // queues only; no machine needed for matching logic
+		ref := &refMatcher{}
+
+		var gotPairs [][2]int
+		nextMsg, nextRecv := 0, 0
+		// Outstanding posted receives in w are tracked so we can identify
+		// which receive an arrival matched.
+		type livePost struct {
+			id int
+			pr *postedRecv
+		}
+		var live []livePost
+
+		steps := 30 + rng.Intn(40)
+		for s := 0; s < steps; s++ {
+			if rng.Intn(2) == 0 {
+				// A message arrives.
+				e := envelope{
+					comm: uint64(1 + rng.Intn(2)),
+					src:  int32(rng.Intn(3)),
+					tag:  int32(rng.Intn(3)),
+				}
+				msgID := nextMsg
+				nextMsg++
+				// Mirror of onMessage's queue walk.
+				w.queueMu.Lock()
+				matched := -1
+				for el := w.posted.Front(); el != nil; el = el.Next() {
+					p := el.Value.(*postedRecv)
+					if p.matches(e) {
+						for li, lp := range live {
+							if lp.pr == p {
+								matched = lp.id
+								live = append(live[:li], live[li+1:]...)
+								break
+							}
+						}
+						w.posted.Remove(el)
+						break
+					}
+				}
+				if matched >= 0 {
+					gotPairs = append(gotPairs, [2]int{matched, msgID})
+				} else {
+					w.unex.PushBack(&unexpectedMsg{env: e, size: msgID})
+				}
+				w.queueMu.Unlock()
+				ref.arrive(msgID, e)
+			} else {
+				// A receive is posted (sometimes with wildcards).
+				src := rng.Intn(4) - 1 // -1 = AnySource
+				tag := rng.Intn(4) - 1 // -1 = AnyTag
+				comm := uint64(1 + rng.Intn(2))
+				recvID := nextRecv
+				nextRecv++
+				w.queueMu.Lock()
+				if un := w.matchUnexpected(comm, src, tag); un != nil {
+					gotPairs = append(gotPairs, [2]int{recvID, un.size})
+				} else {
+					pr := &postedRecv{comm: comm, src: src, tag: tag}
+					w.posted.PushBack(pr)
+					live = append(live, livePost{recvID, pr})
+				}
+				w.queueMu.Unlock()
+				ref.post(refRecv{id: recvID, src: src, tag: tag, comm: comm})
+			}
+		}
+		if len(gotPairs) != len(ref.pairs) {
+			t.Fatalf("trial %d: %d matches vs reference %d", trial, len(gotPairs), len(ref.pairs))
+		}
+		for i := range gotPairs {
+			if gotPairs[i] != ref.pairs[i] {
+				t.Fatalf("trial %d: match %d = %v, reference %v", trial, i, gotPairs[i], ref.pairs[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package mpilib
+
+import "fmt"
+
+// PersistentRequest is an MPI persistent communication request
+// (MPI_Send_init / MPI_Recv_init): the envelope and buffer are bound
+// once, and each Start launches one instance of the operation. Stencil
+// codes rebuild the same halo exchange every iteration; persistent
+// requests let the matching information be set up once.
+type PersistentRequest struct {
+	comm   *Comm
+	isSend bool
+	buf    []byte
+	peer   int
+	tag    int
+
+	active *Request
+}
+
+// SendInit creates a persistent send of buf to dest with the given tag.
+func (c *Comm) SendInit(buf []byte, dest, tag int) (*PersistentRequest, error) {
+	if dest < 0 || dest >= c.size {
+		return nil, fmt.Errorf("mpilib: persistent send to rank %d of %d", dest, c.size)
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("mpilib: negative persistent tag %d", tag)
+	}
+	return &PersistentRequest{comm: c, isSend: true, buf: buf, peer: dest, tag: tag}, nil
+}
+
+// RecvInit creates a persistent receive into buf from src (or AnySource)
+// with the given tag (or AnyTag).
+func (c *Comm) RecvInit(buf []byte, src, tag int) (*PersistentRequest, error) {
+	if src != AnySource && (src < 0 || src >= c.size) {
+		return nil, fmt.Errorf("mpilib: persistent recv from rank %d of %d", src, c.size)
+	}
+	return &PersistentRequest{comm: c, isSend: false, buf: buf, peer: src, tag: tag}, nil
+}
+
+// Start launches one instance of the operation. The previous instance
+// must have completed (Wait / Waitall), per MPI semantics.
+func (p *PersistentRequest) Start() error {
+	if p.active != nil && !p.active.Done() {
+		return fmt.Errorf("mpilib: persistent request started while active")
+	}
+	if p.active != nil {
+		p.active.Free()
+	}
+	var err error
+	if p.isSend {
+		p.active, err = p.comm.Isend(p.buf, p.peer, p.tag)
+	} else {
+		p.active, err = p.comm.Irecv(p.buf, p.peer, p.tag)
+	}
+	return err
+}
+
+// Request returns the in-flight request of the current instance (nil
+// before the first Start).
+func (p *PersistentRequest) Request() *Request { return p.active }
+
+// Wait completes the current instance and returns its status.
+func (p *PersistentRequest) Wait() Status {
+	if p.active == nil {
+		return Status{}
+	}
+	p.comm.w.Wait(p.active)
+	return p.active.Status()
+}
+
+// StartAll starts every persistent request (MPI_Startall).
+func StartAll(reqs []*PersistentRequest) error {
+	for _, r := range reqs {
+		if err := r.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitAllPersistent completes every persistent request's current
+// instance.
+func WaitAllPersistent(reqs []*PersistentRequest) {
+	if len(reqs) == 0 {
+		return
+	}
+	w := reqs[0].comm.w
+	live := make([]*Request, 0, len(reqs))
+	for _, r := range reqs {
+		if r.active != nil {
+			live = append(live, r.active)
+		}
+	}
+	w.Waitall(live)
+}

@@ -1,0 +1,117 @@
+package mpilib
+
+import (
+	"testing"
+
+	"pamigo/internal/torus"
+)
+
+func TestPersistentHaloLoop(t *testing.T) {
+	// The persistent-request idiom: set up once, Start/Wait every sweep.
+	const sweeps = 20
+	runMPI(t, torus.Dims{2, 1, 1, 1, 1}, 2, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		peer := w.Rank() ^ 1
+		out := make([]byte, 32)
+		in := make([]byte, 32)
+		sreq, err := cw.SendInit(out, peer, 3)
+		if err != nil {
+			panic(err)
+		}
+		rreq, err := cw.RecvInit(in, peer, 3)
+		if err != nil {
+			panic(err)
+		}
+		for s := 0; s < sweeps; s++ {
+			for i := range out {
+				out[i] = byte(w.Rank()*100 + s + i)
+			}
+			if err := StartAll([]*PersistentRequest{rreq, sreq}); err != nil {
+				panic(err)
+			}
+			WaitAllPersistent([]*PersistentRequest{rreq, sreq})
+			for i := range in {
+				if in[i] != byte(peer*100+s+i) {
+					t.Errorf("rank %d sweep %d: byte %d = %d", w.Rank(), s, i, in[i])
+					return
+				}
+			}
+		}
+		cw.Barrier()
+	})
+}
+
+func TestPersistentStatusAndRestartGuard(t *testing.T) {
+	runMPI(t, torus.Dims{2, 1, 1, 1, 1}, 1, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		peer := 1 - w.Rank()
+		if w.Rank() == 0 {
+			sreq, err := cw.SendInit([]byte("persist"), peer, 9)
+			if err != nil {
+				panic(err)
+			}
+			if err := sreq.Start(); err != nil {
+				panic(err)
+			}
+			sreq.Wait()
+			// Restarting after completion is legal.
+			if err := sreq.Start(); err != nil {
+				panic(err)
+			}
+			sreq.Wait()
+		} else {
+			buf := make([]byte, 7)
+			rreq, err := cw.RecvInit(buf, AnySource, AnyTag)
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < 2; i++ {
+				if err := rreq.Start(); err != nil {
+					panic(err)
+				}
+				st := rreq.Wait()
+				if st.Source != 0 || st.Tag != 9 || string(buf) != "persist" {
+					t.Errorf("instance %d: %+v %q", i, st, buf)
+				}
+			}
+		}
+		cw.Barrier()
+	})
+}
+
+func TestPersistentValidation(t *testing.T) {
+	runMPI(t, torus.Dims{1, 1, 1, 1, 1}, 2, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		if _, err := cw.SendInit(nil, 99, 0); err == nil {
+			t.Error("bad dest accepted")
+		}
+		if _, err := cw.SendInit(nil, 0, -2); err == nil {
+			t.Error("bad tag accepted")
+		}
+		if _, err := cw.RecvInit(nil, 99, 0); err == nil {
+			t.Error("bad src accepted")
+		}
+		// Double-start without completion must be rejected: post a receive
+		// that cannot complete yet.
+		if w.Rank() == 0 {
+			r, err := cw.RecvInit(make([]byte, 1), 1, 55)
+			if err != nil {
+				panic(err)
+			}
+			if err := r.Start(); err != nil {
+				panic(err)
+			}
+			if err := r.Start(); err == nil {
+				t.Error("double Start accepted")
+			}
+			cw.Barrier() // lets rank 1 send the match
+			r.Wait()
+		} else {
+			cw.Barrier()
+			if err := cw.Send([]byte{1}, 0, 55); err != nil {
+				panic(err)
+			}
+		}
+		cw.Barrier()
+	})
+}

@@ -1,0 +1,97 @@
+package mpilib
+
+import (
+	"testing"
+
+	"pamigo/internal/torus"
+)
+
+func TestRectBcastCorrectness(t *testing.T) {
+	payload := make([]byte, 40000) // ~4KB per color slice
+	for i := range payload {
+		payload[i] = byte(i*13 + 7)
+	}
+	const root = 3
+	runMPI(t, torus.Dims{2, 2, 2, 1, 1}, 1, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		buf := make([]byte, len(payload))
+		if w.Rank() == root {
+			copy(buf, payload)
+		}
+		if err := cw.RectBcast(buf, root); err != nil {
+			panic(err)
+		}
+		for i := range buf {
+			if buf[i] != payload[i] {
+				t.Errorf("rank %d: rect bcast corrupt at byte %d", w.Rank(), i)
+				return
+			}
+		}
+		cw.Barrier()
+	})
+}
+
+func TestRectBcastSmallPayload(t *testing.T) {
+	// Fewer bytes than colors: most slices are empty.
+	runMPI(t, torus.Dims{2, 2, 1, 1, 1}, 1, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		buf := make([]byte, 5)
+		if w.Rank() == 0 {
+			copy(buf, "tiny!")
+		}
+		if err := cw.RectBcast(buf, 0); err != nil {
+			panic(err)
+		}
+		if string(buf) != "tiny!" {
+			t.Errorf("rank %d: got %q", w.Rank(), buf)
+		}
+		cw.Barrier()
+	})
+}
+
+func TestRectBcastSingleton(t *testing.T) {
+	runMPI(t, torus.Dims{1, 1, 1, 1, 1}, 1, Options{}, func(w *World) {
+		if err := w.CommWorld().RectBcast([]byte("x"), 0); err != nil {
+			panic(err)
+		}
+	})
+}
+
+func TestRectBcastRequiresOnePPN(t *testing.T) {
+	runMPI(t, torus.Dims{2, 1, 1, 1, 1}, 2, Options{}, func(w *World) {
+		err := w.CommWorld().RectBcast(make([]byte, 8), 0)
+		if err == nil {
+			t.Error("rect bcast accepted multiple processes per node")
+		}
+	})
+}
+
+func TestRectBcastRequiresRectangle(t *testing.T) {
+	runMPI(t, torus.Dims{2, 2, 2, 1, 1}, 1, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		// L-shaped subset.
+		member := w.Rank() == 0 || w.Rank() == 1 || w.Rank() == 2 || w.Rank() == 4
+		color := -1
+		if member {
+			color = 0
+		}
+		sub, err := cw.Split(color, w.Rank())
+		if err != nil {
+			panic(err)
+		}
+		if member {
+			if err := sub.RectBcast(make([]byte, 8), 0); err == nil {
+				t.Error("rect bcast accepted an irregular node set")
+			}
+			sub.Free()
+		}
+	})
+}
+
+func TestRectBcastInvalidRoot(t *testing.T) {
+	runMPI(t, torus.Dims{2, 1, 1, 1, 1}, 1, Options{}, func(w *World) {
+		if err := w.CommWorld().RectBcast(nil, 99); err == nil {
+			t.Error("invalid root accepted")
+		}
+	})
+}

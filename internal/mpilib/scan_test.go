@@ -1,0 +1,112 @@
+package mpilib
+
+import (
+	"testing"
+
+	"pamigo/internal/collnet"
+	"pamigo/internal/torus"
+)
+
+func TestScanInclusive(t *testing.T) {
+	runMPI(t, torus.Dims{2, 2, 1, 1, 1}, 2, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		send := collnet.EncodeInt64s([]int64{int64(w.Rank() + 1), 1})
+		recv := make([]byte, len(send))
+		if err := cw.Scan(send, recv, collnet.OpAdd, collnet.Int64); err != nil {
+			panic(err)
+		}
+		got := collnet.DecodeInt64s(recv)
+		r := int64(w.Rank())
+		wantA := (r + 1) * (r + 2) / 2 // 1+2+...+(r+1)
+		wantB := r + 1
+		if got[0] != wantA || got[1] != wantB {
+			t.Errorf("rank %d: scan = %v, want [%d %d]", w.Rank(), got, wantA, wantB)
+		}
+	})
+}
+
+func TestScanMax(t *testing.T) {
+	runMPI(t, torus.Dims{2, 2, 1, 1, 1}, 1, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		// Values dip in the middle; the prefix max is monotone.
+		v := int64(10 - w.Rank())
+		recv := make([]byte, 8)
+		if err := cw.Scan(collnet.EncodeInt64s([]int64{v}), recv, collnet.OpMax, collnet.Int64); err != nil {
+			panic(err)
+		}
+		if got := collnet.DecodeInt64s(recv)[0]; got != 10 {
+			t.Errorf("rank %d: prefix max = %d, want 10", w.Rank(), got)
+		}
+	})
+}
+
+func TestExscan(t *testing.T) {
+	runMPI(t, torus.Dims{2, 2, 1, 1, 1}, 1, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		send := collnet.EncodeInt64s([]int64{int64(w.Rank() + 1)})
+		recv := make([]byte, 8)
+		if err := cw.Exscan(send, recv, collnet.OpAdd, collnet.Int64); err != nil {
+			panic(err)
+		}
+		if w.Rank() > 0 {
+			r := int64(w.Rank())
+			want := r * (r + 1) / 2 // 1+...+r
+			if got := collnet.DecodeInt64s(recv)[0]; got != want {
+				t.Errorf("rank %d: exscan = %d, want %d", w.Rank(), got, want)
+			}
+		}
+	})
+}
+
+func TestScanSingleton(t *testing.T) {
+	runMPI(t, torus.Dims{1, 1, 1, 1, 1}, 1, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		recv := make([]byte, 8)
+		if err := cw.Scan(collnet.EncodeInt64s([]int64{7}), recv, collnet.OpAdd, collnet.Int64); err != nil {
+			panic(err)
+		}
+		if got := collnet.DecodeInt64s(recv)[0]; got != 7 {
+			t.Errorf("singleton scan = %d", got)
+		}
+	})
+}
+
+func TestScanValidation(t *testing.T) {
+	runMPI(t, torus.Dims{1, 1, 1, 1, 1}, 1, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		if err := cw.Scan(make([]byte, 7), make([]byte, 7), collnet.OpAdd, collnet.Int64); err == nil {
+			t.Error("unaligned scan accepted")
+		}
+		if err := cw.ReduceScatterBlock(make([]byte, 8), 7, make([]byte, 8), collnet.OpAdd, collnet.Int64); err == nil {
+			t.Error("unaligned reduce-scatter accepted")
+		}
+		if err := cw.ReduceScatterBlock(make([]byte, 4), 8, make([]byte, 8), collnet.OpAdd, collnet.Int64); err == nil {
+			t.Error("short reduce-scatter send accepted")
+		}
+	})
+}
+
+func TestReduceScatterBlock(t *testing.T) {
+	runMPI(t, torus.Dims{2, 2, 1, 1, 1}, 1, Options{}, func(w *World) {
+		cw := w.CommWorld()
+		n := 16 // one block: two int64 words
+		send := make([]byte, n*w.Size())
+		for b := 0; b < w.Size(); b++ {
+			vals := []int64{int64(w.Rank() + b), int64(w.Rank() * b)}
+			copy(send[b*n:], collnet.EncodeInt64s(vals))
+		}
+		recv := make([]byte, n)
+		if err := cw.ReduceScatterBlock(send, n, recv, collnet.OpAdd, collnet.Int64); err != nil {
+			panic(err)
+		}
+		got := collnet.DecodeInt64s(recv)
+		var wantA, wantB int64
+		for r := 0; r < w.Size(); r++ {
+			wantA += int64(r + w.Rank())
+			wantB += int64(r * w.Rank())
+		}
+		if got[0] != wantA || got[1] != wantB {
+			t.Errorf("rank %d: reduce-scatter = %v, want [%d %d]", w.Rank(), got, wantA, wantB)
+		}
+	})
+}

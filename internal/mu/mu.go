@@ -1,0 +1,452 @@
+// Package mu models the Blue Gene/Q Message Unit (paper §II.C) — the
+// hardware DMA engine that moves data between node memory and the 5D
+// torus. It supports the three point-to-point packet types PAMI programs:
+//
+//	memory FIFO — packetized delivery into a reception FIFO, used by the
+//	              eager protocol and all active-message traffic;
+//	direct put  — RDMA write into a registered remote memory region;
+//	remote get  — RDMA read: the initiator describes a remote region and a
+//	              local buffer, and the *source* MU streams the data with
+//	              no source-CPU involvement; rendezvous uses this.
+//
+// Injection is modeled synchronously: writing a descriptor to an injection
+// FIFO makes the fabric move the data immediately (the hardware's DMA is
+// asynchronous but, crucially, consumes no CPU after injection — inline
+// execution preserves exactly that software-visible contract). Reception
+// keeps the hardware's shape: packets land in lock-free reception FIFOs
+// that the owning PAMI context polls during advance, and each delivery
+// touches the destination's wakeup region so sleeping commthreads wake.
+//
+// Resource accounting mirrors the chip: 544 injection and 272 reception
+// FIFOs per node, partitioned exclusively among PAMI contexts so that no
+// lock is ever needed on the injection path, and injection FIFOs pinned
+// per destination so traffic between two endpoints always takes the same
+// deterministically-routed path — the property MPI ordering rests on.
+package mu
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pamigo/internal/l2atomic"
+	"pamigo/internal/lockless"
+	"pamigo/internal/torus"
+	"pamigo/internal/wakeup"
+)
+
+// Hardware constants from paper §II.B-C.
+const (
+	// InjFIFOsPerNode is the number of MU injection FIFOs on a node.
+	InjFIFOsPerNode = 544
+	// RecFIFOsPerNode is the number of MU reception FIFOs on a node.
+	RecFIFOsPerNode = 272
+	// PacketHeaderBytes is the torus packet header size.
+	PacketHeaderBytes = 32
+	// MaxPayload is the largest packet payload, in PayloadGranule steps.
+	MaxPayload = 512
+	// PayloadGranule is the payload size increment.
+	PayloadGranule = 32
+	// DescriptorBytes is the size of an MU injection descriptor.
+	DescriptorBytes = 64
+)
+
+// TaskAddr addresses a PAMI endpoint: a context within a task (process).
+type TaskAddr struct {
+	Task int
+	Ctx  int
+}
+
+// String formats the address as task.context.
+func (a TaskAddr) String() string { return fmt.Sprintf("%d.%d", a.Task, a.Ctx) }
+
+// Header is the software header carried in the first packet of a message.
+// It is what a PAMI active-message dispatch needs: who sent it, which
+// dispatch handler to run, reassembly coordinates, and a small metadata
+// blob (the PAMI "header" argument, e.g. the MPI envelope).
+type Header struct {
+	Dispatch uint16
+	Origin   TaskAddr
+	Seq      uint64
+	Offset   int
+	Total    int
+	Meta     []byte
+}
+
+// Packet is one torus packet delivered to a reception FIFO.
+type Packet struct {
+	Hdr     Header
+	Payload []byte
+}
+
+// RecFIFO is a reception FIFO owned by exactly one PAMI context.
+type RecFIFO struct {
+	id     int
+	q      *lockless.Queue[Packet]
+	region *wakeup.Region
+
+	received atomic.Int64
+}
+
+// Poll removes the next packet, if one is ready.
+func (f *RecFIFO) Poll() (Packet, bool) { return f.q.Dequeue() }
+
+// Empty reports whether the FIFO currently holds no packets.
+func (f *RecFIFO) Empty() bool { return f.q.Empty() }
+
+// Region returns the wakeup region touched on every delivery.
+func (f *RecFIFO) Region() *wakeup.Region { return f.region }
+
+// Received returns the number of packets delivered to this FIFO.
+func (f *RecFIFO) Received() int64 { return f.received.Load() }
+
+// ID returns the FIFO's hardware index on its node.
+func (f *RecFIFO) ID() int { return f.id }
+
+func (f *RecFIFO) deliver(p Packet) {
+	f.q.Enqueue(p)
+	f.received.Add(1)
+	f.region.Touch()
+}
+
+// InjFIFO is an injection FIFO owned by exactly one PAMI context. The
+// owning context serializes injections into each of its FIFOs, so the
+// structure needs no lock — that exclusivity is the paper's point.
+type InjFIFO struct {
+	id       int
+	injected atomic.Int64
+}
+
+// ID returns the FIFO's hardware index on its node.
+func (f *InjFIFO) ID() int { return f.id }
+
+// Injected returns the number of descriptors injected into this FIFO.
+func (f *InjFIFO) Injected() int64 { return f.injected.Load() }
+
+// ContextResources is the exclusive MU slice handed to one PAMI context.
+type ContextResources struct {
+	Inj []*InjFIFO
+	Rec *RecFIFO
+}
+
+// PinnedInj returns the injection FIFO statically pinned to the given
+// destination task, so every message to that destination uses the same
+// FIFO and hence the same deterministic route (paper §III.E).
+func (cr *ContextResources) PinnedInj(dstTask int) *InjFIFO {
+	return cr.Inj[dstTask%len(cr.Inj)]
+}
+
+// NodeMU is the per-node Message Unit: FIFO pools and allocation state.
+type NodeMU struct {
+	rank torus.Rank
+
+	mu         sync.Mutex
+	injUsed    int
+	recUsed    int
+	recFIFOCap int
+}
+
+// Rank returns the node's torus rank.
+func (n *NodeMU) Rank() torus.Rank { return n.rank }
+
+// AllocContext carves an exclusive set of injection FIFOs and one
+// reception FIFO out of the node's pools for a new PAMI context. The
+// reception FIFO signals deliveries on region; a context shares one region
+// across all its devices (MU, shared memory, work queue) so a commthread
+// has a single address to wait on. A nil region allocates a private one.
+func (n *NodeMU) AllocContext(injCount int, region *wakeup.Region) (*ContextResources, error) {
+	if injCount < 1 {
+		return nil, fmt.Errorf("mu: context needs at least one injection FIFO")
+	}
+	if region == nil {
+		region = wakeup.NewRegion()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.injUsed+injCount > InjFIFOsPerNode {
+		return nil, fmt.Errorf("mu: node %d out of injection FIFOs (%d used, %d requested)", n.rank, n.injUsed, injCount)
+	}
+	if n.recUsed+1 > RecFIFOsPerNode {
+		return nil, fmt.Errorf("mu: node %d out of reception FIFOs", n.rank)
+	}
+	res := &ContextResources{
+		Rec: &RecFIFO{
+			id:     n.recUsed,
+			q:      lockless.NewQueue[Packet](n.recFIFOCap),
+			region: region,
+		},
+	}
+	for i := 0; i < injCount; i++ {
+		res.Inj = append(res.Inj, &InjFIFO{id: n.injUsed + i})
+	}
+	n.injUsed += injCount
+	n.recUsed++
+	return res, nil
+}
+
+// InjFIFOsUsed reports how many injection FIFOs are allocated on the node.
+func (n *NodeMU) InjFIFOsUsed() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.injUsed
+}
+
+// Stats aggregates fabric-wide traffic counters.
+type Stats struct {
+	Packets      int64
+	Bytes        int64
+	MemFIFOSends int64
+	Puts         int64
+	RemoteGets   int64
+	Hops         int64
+}
+
+type memregionKey struct {
+	task int
+	id   uint64
+}
+
+// Fabric is the machine-wide Message Unit + torus data plane: it owns the
+// per-node MUs, the task placement map, registered memory regions, and
+// packet delivery.
+type Fabric struct {
+	dims  torus.Dims
+	nodes []*NodeMU
+
+	taskMu   sync.RWMutex
+	taskNode map[int]torus.Rank
+	contexts map[TaskAddr]*RecFIFO
+
+	mrMu       sync.RWMutex
+	memregions map[memregionKey][]byte
+
+	packets      atomic.Int64
+	bytes        atomic.Int64
+	memFIFOSends atomic.Int64
+	puts         atomic.Int64
+	remoteGets   atomic.Int64
+	hops         atomic.Int64
+
+	// TrackHops enables per-packet route-length accounting (costs a route
+	// computation per message; tests and examples enable it).
+	TrackHops bool
+}
+
+// NewFabric builds the MU fabric for a machine of the given shape. Each
+// reception FIFO's lock-free array holds recFIFOSlots packets before
+// spilling to its overflow queue (the hardware analogue is FIFO memory
+// backpressure; the queue keeps packets in order either way).
+func NewFabric(dims torus.Dims, recFIFOSlots int) (*Fabric, error) {
+	if err := dims.Validate(); err != nil {
+		return nil, err
+	}
+	if recFIFOSlots < 2 {
+		recFIFOSlots = 2
+	}
+	f := &Fabric{
+		dims:       dims,
+		taskNode:   make(map[int]torus.Rank),
+		contexts:   make(map[TaskAddr]*RecFIFO),
+		memregions: make(map[memregionKey][]byte),
+	}
+	for r := 0; r < dims.Nodes(); r++ {
+		f.nodes = append(f.nodes, &NodeMU{rank: torus.Rank(r), recFIFOCap: recFIFOSlots})
+	}
+	return f, nil
+}
+
+// Dims returns the machine shape.
+func (f *Fabric) Dims() torus.Dims { return f.dims }
+
+// Node returns the MU of the node with the given rank.
+func (f *Fabric) Node(r torus.Rank) *NodeMU { return f.nodes[r] }
+
+// MapTask records that a task (process) lives on the given node.
+func (f *Fabric) MapTask(task int, node torus.Rank) {
+	f.taskMu.Lock()
+	f.taskNode[task] = node
+	f.taskMu.Unlock()
+}
+
+// TaskNode returns the node a task lives on.
+func (f *Fabric) TaskNode(task int) (torus.Rank, bool) {
+	f.taskMu.RLock()
+	r, ok := f.taskNode[task]
+	f.taskMu.RUnlock()
+	return r, ok
+}
+
+// RegisterContext publishes a context's reception FIFO so packets
+// addressed to (task, ctx) can be delivered.
+func (f *Fabric) RegisterContext(addr TaskAddr, fifo *RecFIFO) {
+	f.taskMu.Lock()
+	f.contexts[addr] = fifo
+	f.taskMu.Unlock()
+}
+
+// ContextRegistered reports whether a reception FIFO has been registered
+// for the endpoint; job bootstrap uses it to rendezvous before traffic.
+func (f *Fabric) ContextRegistered(addr TaskAddr) bool {
+	f.taskMu.RLock()
+	_, ok := f.contexts[addr]
+	f.taskMu.RUnlock()
+	return ok
+}
+
+// lookupContext resolves a destination endpoint's reception FIFO.
+func (f *Fabric) lookupContext(addr TaskAddr) (*RecFIFO, error) {
+	f.taskMu.RLock()
+	fifo, ok := f.contexts[addr]
+	f.taskMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("mu: no reception FIFO registered for endpoint %v", addr)
+	}
+	return fifo, nil
+}
+
+// RegisterMemregion pins a buffer for RDMA under (task, id); puts and
+// remote gets name remote memory this way, like PAMI memregions.
+func (f *Fabric) RegisterMemregion(task int, id uint64, buf []byte) {
+	f.mrMu.Lock()
+	f.memregions[memregionKey{task, id}] = buf
+	f.mrMu.Unlock()
+}
+
+// DeregisterMemregion unpins a buffer.
+func (f *Fabric) DeregisterMemregion(task int, id uint64) {
+	f.mrMu.Lock()
+	delete(f.memregions, memregionKey{task, id})
+	f.mrMu.Unlock()
+}
+
+// Memregion resolves a registered buffer.
+func (f *Fabric) Memregion(task int, id uint64) ([]byte, bool) {
+	f.mrMu.RLock()
+	buf, ok := f.memregions[memregionKey{task, id}]
+	f.mrMu.RUnlock()
+	return buf, ok
+}
+
+func (f *Fabric) account(srcTask int, dstTask int, packets, bytes int64) {
+	f.packets.Add(packets)
+	f.bytes.Add(bytes)
+	if f.TrackHops {
+		sn, ok1 := f.TaskNode(srcTask)
+		dn, ok2 := f.TaskNode(dstTask)
+		if ok1 && ok2 {
+			f.hops.Add(packets * int64(f.dims.Hops(sn, dn)))
+		}
+	}
+}
+
+// InjectMemFIFO injects a memory-FIFO message: the payload is packetized
+// into MaxPayload chunks and delivered, in order, to the destination
+// endpoint's reception FIFO. The metadata rides only in the first packet.
+// The payload is copied out at injection time, so the caller may reuse its
+// buffer immediately — the same contract the MU gives software once the
+// descriptor's data has been DMA-read.
+func (f *Fabric) InjectMemFIFO(inj *InjFIFO, dst TaskAddr, hdr Header, payload []byte) error {
+	fifo, err := f.lookupContext(dst)
+	if err != nil {
+		return err
+	}
+	inj.injected.Add(1)
+	f.memFIFOSends.Add(1)
+	total := len(payload)
+	hdr.Total = total
+	if total == 0 {
+		hdr.Offset = 0
+		fifo.deliver(Packet{Hdr: hdr})
+		f.account(hdr.Origin.Task, dst.Task, 1, PacketHeaderBytes)
+		return nil
+	}
+	npkts := int64(0)
+	for off := 0; off < total; off += MaxPayload {
+		end := off + MaxPayload
+		if end > total {
+			end = total
+		}
+		ph := hdr
+		ph.Offset = off
+		if off > 0 {
+			ph.Meta = nil
+		}
+		chunk := make([]byte, end-off)
+		copy(chunk, payload[off:end])
+		fifo.deliver(Packet{Hdr: ph, Payload: chunk})
+		npkts++
+	}
+	f.account(hdr.Origin.Task, dst.Task, npkts, int64(total)+npkts*PacketHeaderBytes)
+	return nil
+}
+
+// InjectPut performs an RDMA write: n bytes from src are stored into the
+// destination task's registered memregion at dstOff. When done, the
+// destination counter (if any) is incremented by n and the destination
+// context's reception region is touched so pollers notice.
+func (f *Fabric) InjectPut(inj *InjFIFO, srcTask int, src []byte, dst TaskAddr, dstMR uint64, dstOff int, done *l2atomic.Counter) error {
+	buf, ok := f.Memregion(dst.Task, dstMR)
+	if !ok {
+		return fmt.Errorf("mu: put to unregistered memregion %d of task %d", dstMR, dst.Task)
+	}
+	if dstOff < 0 || dstOff+len(src) > len(buf) {
+		return fmt.Errorf("mu: put overruns memregion %d of task %d (%d+%d > %d)", dstMR, dst.Task, dstOff, len(src), len(buf))
+	}
+	inj.injected.Add(1)
+	f.puts.Add(1)
+	copy(buf[dstOff:], src)
+	if done != nil {
+		done.StoreAdd(int64(len(src)))
+	}
+	npkts := int64((len(src) + MaxPayload - 1) / MaxPayload)
+	if npkts == 0 {
+		npkts = 1
+	}
+	f.account(srcTask, dst.Task, npkts, int64(len(src))+npkts*PacketHeaderBytes)
+	if fifo, err := f.lookupContext(dst); err == nil {
+		fifo.region.Touch()
+	}
+	return nil
+}
+
+// InjectRemoteGet performs an RDMA read: n bytes of the data task's
+// registered memregion, starting at srcOff, are streamed into dst. The
+// data source's CPU is not involved — exactly the rendezvous property the
+// paper exploits. On completion the initiator's counter is incremented by
+// n and its context region touched.
+func (f *Fabric) InjectRemoteGet(inj *InjFIFO, initiator TaskAddr, dataTask int, dataMR uint64, srcOff int, dst []byte, done *l2atomic.Counter) error {
+	buf, ok := f.Memregion(dataTask, dataMR)
+	if !ok {
+		return fmt.Errorf("mu: remote get from unregistered memregion %d of task %d", dataMR, dataTask)
+	}
+	if srcOff < 0 || srcOff+len(dst) > len(buf) {
+		return fmt.Errorf("mu: remote get overruns memregion %d of task %d", dataMR, dataTask)
+	}
+	inj.injected.Add(1)
+	f.remoteGets.Add(1)
+	copy(dst, buf[srcOff:srcOff+len(dst)])
+	if done != nil {
+		done.StoreAdd(int64(len(dst)))
+	}
+	npkts := int64((len(dst) + MaxPayload - 1) / MaxPayload)
+	if npkts == 0 {
+		npkts = 1
+	}
+	f.account(dataTask, initiator.Task, npkts, int64(len(dst))+npkts*PacketHeaderBytes)
+	if fifo, err := f.lookupContext(initiator); err == nil {
+		fifo.region.Touch()
+	}
+	return nil
+}
+
+// Snapshot returns the fabric's cumulative traffic statistics.
+func (f *Fabric) Snapshot() Stats {
+	return Stats{
+		Packets:      f.packets.Load(),
+		Bytes:        f.bytes.Load(),
+		MemFIFOSends: f.memFIFOSends.Load(),
+		Puts:         f.puts.Load(),
+		RemoteGets:   f.remoteGets.Load(),
+		Hops:         f.hops.Load(),
+	}
+}

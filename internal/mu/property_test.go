@@ -1,0 +1,111 @@
+package mu
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"pamigo/internal/torus"
+)
+
+// Property: any payload survives packetization + reassembly byte-exact,
+// with every packet within the hardware payload limit and offsets
+// forming a perfect tiling.
+func TestPacketizationRoundTripQuick(t *testing.T) {
+	f := func(payload []byte, seed uint16) bool {
+		f2, err := NewFabric(torus.Dims{2, 1, 1, 1, 1}, 8)
+		if err != nil {
+			return false
+		}
+		f2.MapTask(0, 0)
+		f2.MapTask(1, 1)
+		src, err := f2.Node(0).AllocContext(1, nil)
+		if err != nil {
+			return false
+		}
+		dst, err := f2.Node(1).AllocContext(1, nil)
+		if err != nil {
+			return false
+		}
+		f2.RegisterContext(TaskAddr{1, 0}, dst.Rec)
+		hdr := Header{Dispatch: 1, Origin: TaskAddr{0, 0}, Seq: uint64(seed)}
+		if err := f2.InjectMemFIFO(src.PinnedInj(1), TaskAddr{1, 0}, hdr, payload); err != nil {
+			return false
+		}
+		out := make([]byte, len(payload))
+		covered := make([]bool, len(payload))
+		for {
+			p, ok := dst.Rec.Poll()
+			if !ok {
+				break
+			}
+			if len(p.Payload) > MaxPayload {
+				return false
+			}
+			if p.Hdr.Total != len(payload) {
+				return false
+			}
+			for i := range p.Payload {
+				if covered[p.Hdr.Offset+i] {
+					return false // overlapping chunks
+				}
+				covered[p.Hdr.Offset+i] = true
+			}
+			copy(out[p.Hdr.Offset:], p.Payload)
+		}
+		for i, c := range covered {
+			if !c {
+				_ = i
+				return false // gap
+			}
+		}
+		return bytes.Equal(out, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: puts at random offsets land exactly where addressed and
+// never clobber neighbors.
+func TestPutOffsetsQuick(t *testing.T) {
+	f := func(data []byte, offRaw uint8) bool {
+		if len(data) == 0 {
+			data = []byte{0xAA}
+		}
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		window := make([]byte, 256)
+		for i := range window {
+			window[i] = 0xEE
+		}
+		off := int(offRaw) % (len(window) - len(data))
+		f2, err := NewFabric(torus.Dims{2, 1, 1, 1, 1}, 8)
+		if err != nil {
+			return false
+		}
+		f2.MapTask(0, 0)
+		f2.MapTask(1, 1)
+		src, _ := f2.Node(0).AllocContext(1, nil)
+		dst, _ := f2.Node(1).AllocContext(1, nil)
+		f2.RegisterContext(TaskAddr{1, 0}, dst.Rec)
+		f2.RegisterMemregion(1, 9, window)
+		if err := f2.InjectPut(src.PinnedInj(1), 0, data, TaskAddr{1, 0}, 9, off, nil); err != nil {
+			return false
+		}
+		for i := range window {
+			if i >= off && i < off+len(data) {
+				if window[i] != data[i-off] {
+					return false
+				}
+			} else if window[i] != 0xEE {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"fmt"
+
+	"pamigo/internal/mu"
+	"pamigo/internal/sim"
+	"pamigo/internal/torus"
+)
+
+// CollectiveParams extends the fabric constants with the combining
+// router's ALU cost.
+type CollectiveParams struct {
+	Params
+	// ALUPerPacket is the combine time a router adds per packet merged.
+	ALUPerPacket sim.Time
+	// SoftwareBase is the end-host software cost (injection setup at the
+	// leaves, reception at the end), counted once.
+	SoftwareBase sim.Time
+	// GIPerHop and GIBase describe the global-interrupt barrier wave,
+	// which rides dedicated wires with no payload or ALU.
+	GIPerHop sim.Time
+	GIBase   sim.Time
+}
+
+// DefaultCollectiveParams matches the model package's allreduce anchors.
+func DefaultCollectiveParams() CollectiveParams {
+	return CollectiveParams{
+		Params:       DefaultParams(),
+		ALUPerPacket: 35 * sim.Nanosecond,
+		SoftwareBase: 3550 * sim.Nanosecond,
+		GIPerHop:     40 * sim.Nanosecond,
+		GIBase:       900 * sim.Nanosecond,
+	}
+}
+
+// AllreduceLatency derives the latency of a size-byte allreduce over the
+// machine's classroute tree by walking the actual spanning tree the
+// collective network would program (torus.BuildTree over the full
+// rectangle): contributions combine upward — a parent forwards a packet
+// only after the matching packet from every child has arrived and passed
+// the ALU — then the result streams back down the same tree. Multi-packet
+// operations pipeline: packet k leaves a node one serialization after
+// packet k-1.
+//
+// This is the independent, structural derivation of the figure 7 curve;
+// internal/model's closed form is calibrated against the paper, and the
+// tests cross-check the two shapes.
+func AllreduceLatency(dims torus.Dims, p CollectiveParams, size int) (sim.Time, error) {
+	if err := dims.Validate(); err != nil {
+		return 0, err
+	}
+	tree := torus.BuildTree(dims, dims.FullRectangle(), 0, 0)
+	npkts := (size + mu.MaxPayload - 1) / mu.MaxPayload
+	if npkts == 0 {
+		npkts = 1
+	}
+	lastPayload := size - (npkts-1)*mu.MaxPayload
+	if lastPayload <= 0 {
+		lastPayload = 1
+	}
+	serFull := sim.BytesTime(mu.MaxPayload, p.LinkBytesPerSec)
+	firstPayload := size
+	if firstPayload > mu.MaxPayload {
+		firstPayload = mu.MaxPayload
+	}
+	if firstPayload < 1 {
+		firstPayload = 1
+	}
+	// The first (possibly only) packet carries min(size, MaxPayload)
+	// bytes; an 8-byte allreduce serializes 8 bytes per hop, not a full
+	// packet.
+	serFirst := sim.BytesTime(int64(firstPayload), p.LinkBytesPerSec)
+	perHop := p.HopLatency + p.ALUPerPacket
+
+	// Upward combine: readyUp(n) = time node n can emit its subtree's
+	// first packet = max over children of (readyUp(c) + ser + perHop).
+	// Memoized post-order over the tree.
+	memo := make(map[torus.Rank]sim.Time, dims.Nodes())
+	var readyUp func(n torus.Rank) sim.Time
+	readyUp = func(n torus.Rank) sim.Time {
+		if t, ok := memo[n]; ok {
+			return t
+		}
+		var t sim.Time
+		for _, c := range tree.Children(n) {
+			arr := readyUp(c) + serFirst + perHop
+			if arr > t {
+				t = arr
+			}
+		}
+		memo[n] = t
+		return t
+	}
+	upFirst := readyUp(tree.Root)
+
+	// Downward broadcast of the first packet: tree depth hops.
+	depth := sim.Time(tree.Depth())
+	downFirst := depth * (serFirst + p.HopLatency)
+
+	// Remaining packets pipeline behind the first at one serialization
+	// per packet; the last (possibly short) packet closes the operation.
+	pipeline := sim.Time(0)
+	if npkts > 1 {
+		pipeline = sim.Time(npkts-2)*serFull + sim.BytesTime(int64(lastPayload), p.LinkBytesPerSec)
+	}
+	return p.SoftwareBase + upFirst + downFirst + pipeline, nil
+}
+
+// BarrierLatency is the zero-byte special case: a single up/down wave of
+// minimal packets with no payload serialization to speak of.
+func BarrierLatency(dims torus.Dims, p CollectiveParams) (sim.Time, error) {
+	if err := dims.Validate(); err != nil {
+		return 0, err
+	}
+	tree := torus.BuildTree(dims, dims.FullRectangle(), 0, 0)
+	memo := make(map[torus.Rank]sim.Time, dims.Nodes())
+	var readyUp func(n torus.Rank) sim.Time
+	readyUp = func(n torus.Rank) sim.Time {
+		if t, ok := memo[n]; ok {
+			return t
+		}
+		var t sim.Time
+		for _, c := range tree.Children(n) {
+			if arr := readyUp(c) + p.GIPerHop; arr > t {
+				t = arr
+			}
+		}
+		memo[n] = t
+		return t
+	}
+	up := readyUp(tree.Root)
+	down := sim.Time(tree.Depth()) * p.GIPerHop
+	return p.GIBase + up + down, nil
+}
+
+// AllreduceThroughput derives streaming allreduce throughput (MB/s) for
+// a size-byte operation from the pipelined latency.
+func AllreduceThroughput(dims torus.Dims, p CollectiveParams, size int) (float64, error) {
+	lat, err := AllreduceLatency(dims, p, size)
+	if err != nil {
+		return 0, err
+	}
+	if lat <= 0 {
+		return 0, fmt.Errorf("netsim: non-positive latency")
+	}
+	return float64(size) / lat.Seconds() / 1e6, nil
+}

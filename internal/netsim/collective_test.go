@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"testing"
+
+	"pamigo/internal/model"
+	"pamigo/internal/sim"
+	"pamigo/internal/torus"
+)
+
+func TestAllreduceLatencyGrowsWithMachine(t *testing.T) {
+	p := DefaultCollectiveParams()
+	var prev sim.Time
+	for _, nodes := range []int{32, 256, 2048} {
+		lat, err := AllreduceLatency(model.ShapeFor(nodes), p, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat <= prev {
+			t.Fatalf("latency not growing: %v nodes -> %v", nodes, lat)
+		}
+		prev = lat
+	}
+}
+
+func TestAllreduceLatencyMatchesModelShape(t *testing.T) {
+	// The structural DES and the calibrated closed form must agree on the
+	// figure 7 curve within ~20% at every point of the sweep (they share
+	// the paper's anchors only indirectly, through the tree geometry).
+	p := DefaultCollectiveParams()
+	mp := model.Default()
+	for _, nodes := range model.FigNodeCounts {
+		des, err := AllreduceLatency(model.ShapeFor(nodes), p, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := model.Fig7Allreduce(mp, nodes, 1) // ns
+		ratio := des.Nanos() / m
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Fatalf("%d nodes: DES %.0fns vs model %.0fns (ratio %.2f)", nodes, des.Nanos(), m, ratio)
+		}
+	}
+}
+
+func TestAllreduce2048Calibration(t *testing.T) {
+	// The paper's headline: ~5.5us for an 8B allreduce on 2048 nodes.
+	p := DefaultCollectiveParams()
+	lat, err := AllreduceLatency(model.ShapeFor(2048), p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.Micros() < 4.5 || lat.Micros() > 6.5 {
+		t.Fatalf("2048-node 8B allreduce = %v, paper 5.5us", lat)
+	}
+}
+
+func TestBarrierFasterThanAllreduce(t *testing.T) {
+	p := DefaultCollectiveParams()
+	dims := model.ShapeFor(2048)
+	b, err := BarrierLatency(dims, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AllreduceLatency(dims, p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b >= a {
+		t.Fatalf("barrier %v not faster than allreduce %v", b, a)
+	}
+	// Paper: barrier 2.7us at 2048 nodes; accept the structural estimate
+	// within a factor.
+	if b.Micros() < 1.5 || b.Micros() > 4.0 {
+		t.Fatalf("2048-node barrier = %v, paper 2.7us", b)
+	}
+}
+
+func TestAllreduceThroughputApproachesLinkPeak(t *testing.T) {
+	p := DefaultCollectiveParams()
+	dims := model.ShapeFor(2048)
+	small, err := AllreduceThroughput(dims, p, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := AllreduceThroughput(dims, p, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Fatal("throughput should rise with message size")
+	}
+	peak := p.LinkBytesPerSec / 1e6
+	if big < 0.9*peak || big > 1.02*peak {
+		t.Fatalf("8MB allreduce throughput %.0f MB/s, want ~%.0f (link peak)", big, peak)
+	}
+}
+
+func TestCollectiveValidation(t *testing.T) {
+	p := DefaultCollectiveParams()
+	bad := torus.Dims{0, 1, 1, 1, 1}
+	if _, err := AllreduceLatency(bad, p, 8); err == nil {
+		t.Error("invalid dims accepted")
+	}
+	if _, err := BarrierLatency(bad, p); err == nil {
+		t.Error("invalid dims accepted by barrier")
+	}
+}

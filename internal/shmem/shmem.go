@@ -1,0 +1,130 @@
+// Package shmem models PAMI's intra-node shared-memory device (paper
+// §III.F). With multiple processes per node, messages between node peers
+// never touch the torus: each process (strictly, each context) owns one
+// reception queue that peers write into with L2 atomic bounded-increment
+// slot allocation — "each process owns only one queue to which others
+// atomically write into" — and the wakeup unit replaces polling on the
+// receive path, exactly as it does for the MU.
+//
+// Short messages are copied through the queue (one copy in, one copy out,
+// both within the shared L2, which is why intra-node eager is fast). Large
+// messages ride the CNK global virtual address space instead: the sender
+// publishes its buffer and the receiver copies directly from the sender's
+// memory (package cnk), so the queue only carries the control message —
+// that path is wired up by the PAMI core's rendezvous protocol.
+package shmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pamigo/internal/lockless"
+	"pamigo/internal/mu"
+	"pamigo/internal/wakeup"
+)
+
+// Message is one intra-node message: the same software header the MU path
+// uses (so the PAMI dispatch layer is transport-agnostic) plus a payload
+// that was copied into shared memory at send time.
+type Message struct {
+	Hdr     mu.Header
+	Payload []byte
+}
+
+// Device is the shared-memory reception queue of one context.
+type Device struct {
+	addr   mu.TaskAddr
+	q      *lockless.Queue[Message]
+	region *wakeup.Region
+
+	received atomic.Int64
+}
+
+// Poll removes the next message, if one is ready. Single consumer: the
+// thread advancing the owning context.
+func (d *Device) Poll() (Message, bool) {
+	m, ok := d.q.Dequeue()
+	return m, ok
+}
+
+// Empty reports whether the queue holds no messages.
+func (d *Device) Empty() bool { return d.q.Empty() }
+
+// Region returns the wakeup region touched on every delivery.
+func (d *Device) Region() *wakeup.Region { return d.region }
+
+// Received returns the number of messages delivered to this device.
+func (d *Device) Received() int64 { return d.received.Load() }
+
+// Node is the per-node shared-memory segment: the registry mapping local
+// endpoints to their reception queues.
+type Node struct {
+	mu  sync.RWMutex
+	eps map[mu.TaskAddr]*Device
+
+	sends atomic.Int64
+	bytes atomic.Int64
+}
+
+// NewNode returns an empty shared-memory segment for one node.
+func NewNode() *Node {
+	return &Node{eps: make(map[mu.TaskAddr]*Device)}
+}
+
+// Register creates and publishes the reception queue for a local endpoint.
+// Deliveries signal region; pass the owning context's shared region. The
+// queue's lock-free array holds slots messages before spilling into the
+// mutex-protected overflow.
+func (n *Node) Register(addr mu.TaskAddr, slots int, region *wakeup.Region) (*Device, error) {
+	if region == nil {
+		region = wakeup.NewRegion()
+	}
+	d := &Device{
+		addr:   addr,
+		q:      lockless.NewQueue[Message](slots),
+		region: region,
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.eps[addr]; dup {
+		return nil, fmt.Errorf("shmem: endpoint %v already registered", addr)
+	}
+	n.eps[addr] = d
+	return d, nil
+}
+
+// Deregister removes a local endpoint's queue.
+func (n *Node) Deregister(addr mu.TaskAddr) {
+	n.mu.Lock()
+	delete(n.eps, addr)
+	n.mu.Unlock()
+}
+
+// Send copies the payload into the destination endpoint's queue and wakes
+// its region. Safe for concurrent use by any number of local producers;
+// per-producer FIFO order is preserved by the lockless queue.
+func (n *Node) Send(dst mu.TaskAddr, hdr mu.Header, payload []byte) error {
+	n.mu.RLock()
+	d, ok := n.eps[dst]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("shmem: no endpoint %v on this node", dst)
+	}
+	hdr.Total = len(payload)
+	msg := Message{Hdr: hdr}
+	if len(payload) > 0 {
+		msg.Payload = append([]byte(nil), payload...)
+	}
+	d.q.Enqueue(msg)
+	d.received.Add(1)
+	n.sends.Add(1)
+	n.bytes.Add(int64(len(payload)))
+	d.region.Touch()
+	return nil
+}
+
+// Stats returns the cumulative message and payload-byte counts.
+func (n *Node) Stats() (sends, bytes int64) {
+	return n.sends.Load(), n.bytes.Load()
+}

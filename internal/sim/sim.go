@@ -1,0 +1,162 @@
+// Package sim is a small discrete-event simulation engine used by the
+// performance models that regenerate the paper's tables and figures.
+//
+// The functional PAMI runtime in this repository executes for real on Go
+// goroutines; sim is only used where the paper reports *hardware timing* at
+// scales we cannot run (2048 nodes, 128K threads). Events carry simulated
+// time in picoseconds so that BG/Q cycle quantities (0.625 ns at 1.6 GHz)
+// are exactly representable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in picoseconds.
+type Time int64
+
+// Convenient units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns the time as seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the time as microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Nanos returns the time as nanoseconds.
+func (t Time) Nanos() float64 { return float64(t) / float64(Nanosecond) }
+
+// String formats the time in microseconds, the paper's usual unit.
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Micros()) }
+
+type event struct {
+	at  Time
+	seq int64 // tie-break: events at equal times fire in schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine is a single-threaded discrete-event executor. The zero value is a
+// ready-to-use engine at time 0.
+type Engine struct {
+	now   Time
+	seq   int64
+	queue eventHeap
+	steps int64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// Pending returns the number of events not yet executed.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at the given absolute simulated time. Scheduling in the
+// past panics: it would silently corrupt causality in a model.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn d after the current simulated time.
+func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Run executes events until the queue is empty and returns the final time.
+func (e *Engine) Run() Time {
+	for len(e.queue) > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	e.steps++
+	ev.fn()
+}
+
+// Resource models a serially shared unit — a torus link, a DMA engine, a
+// memory port — with first-come-first-served occupancy. Reserve books a
+// service interval and returns when the request starts and completes;
+// requests queue behind earlier reservations.
+type Resource struct {
+	freeAt Time
+	busy   Time // total busy time, for utilization reporting
+}
+
+// Reserve books service time starting no earlier than at.
+func (r *Resource) Reserve(at, service Time) (start, done Time) {
+	start = at
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	done = start + service
+	r.freeAt = done
+	r.busy += service
+	return start, done
+}
+
+// FreeAt returns the earliest time a new reservation could start.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// Busy returns the cumulative busy time of the resource.
+func (r *Resource) Busy() Time { return r.busy }
+
+// Utilization returns busy time as a fraction of the elapsed horizon.
+func (r *Resource) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(horizon)
+}
+
+// BytesTime converts a byte count moved at rate bytes/second into a
+// simulated duration, rounding up to whole picoseconds.
+func BytesTime(bytes int64, bytesPerSecond float64) Time {
+	if bytes <= 0 || bytesPerSecond <= 0 {
+		return 0
+	}
+	ps := float64(bytes) / bytesPerSecond * float64(Second)
+	t := Time(ps)
+	if float64(t) < ps {
+		t++
+	}
+	return t
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(30*Nanosecond, func() { order = append(order, 3) })
+	e.Schedule(10*Nanosecond, func() { order = append(order, 1) })
+	e.Schedule(20*Nanosecond, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30*Nanosecond {
+		t.Fatalf("final time %v, want 30ns", end)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("execution order %v", order)
+		}
+	}
+}
+
+func TestEngineStableTieBreak(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*Nanosecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	hits := 0
+	e.Schedule(0, func() {
+		e.After(10*Nanosecond, func() {
+			hits++
+			e.After(10*Nanosecond, func() { hits++ })
+		})
+	})
+	e.Run()
+	if hits != 2 || e.Now() != 20*Nanosecond {
+		t.Fatalf("hits=%d now=%v", hits, e.Now())
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5*Nanosecond, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.Schedule(10*Nanosecond, func() { fired++ })
+	e.Schedule(30*Nanosecond, func() { fired++ })
+	e.RunUntil(20 * Nanosecond)
+	if fired != 1 {
+		t.Fatalf("fired=%d before horizon, want 1", fired)
+	}
+	if e.Now() != 20*Nanosecond {
+		t.Fatalf("clock %v, want horizon 20ns", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending=%d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired=%d after Run, want 2", fired)
+	}
+}
+
+func TestEngineSteps(t *testing.T) {
+	var e Engine
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i)*Nanosecond, func() {})
+	}
+	e.Run()
+	if e.Steps() != 5 {
+		t.Fatalf("Steps = %d, want 5", e.Steps())
+	}
+}
+
+func TestResourceFCFS(t *testing.T) {
+	var r Resource
+	s1, d1 := r.Reserve(0, 10*Nanosecond)
+	if s1 != 0 || d1 != 10*Nanosecond {
+		t.Fatalf("first reservation (%v,%v)", s1, d1)
+	}
+	// Arrives while busy: queues.
+	s2, d2 := r.Reserve(5*Nanosecond, 10*Nanosecond)
+	if s2 != 10*Nanosecond || d2 != 20*Nanosecond {
+		t.Fatalf("queued reservation (%v,%v)", s2, d2)
+	}
+	// Arrives after idle gap: starts at arrival.
+	s3, _ := r.Reserve(100*Nanosecond, Nanosecond)
+	if s3 != 100*Nanosecond {
+		t.Fatalf("idle-start reservation start=%v", s3)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	var r Resource
+	r.Reserve(0, 25*Nanosecond)
+	r.Reserve(0, 25*Nanosecond)
+	got := r.Utilization(100 * Nanosecond)
+	if got != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+}
+
+func TestBytesTime(t *testing.T) {
+	// 1.8 GB/s payload rate, 512-byte packet: ~284.4 ns.
+	d := BytesTime(512, 1.8e9)
+	if d < 284*Nanosecond || d > 285*Nanosecond {
+		t.Fatalf("512B @ 1.8GB/s = %v", d)
+	}
+	if BytesTime(0, 1e9) != 0 {
+		t.Fatal("zero bytes should cost zero time")
+	}
+	if BytesTime(100, 0) != 0 {
+		t.Fatal("zero rate should cost zero time (degenerate input)")
+	}
+}
+
+func TestBytesTimeRoundsUp(t *testing.T) {
+	// 1 byte at 3 bytes/sec is 1/3 s; must round up, never down.
+	d := BytesTime(1, 3)
+	if d.Seconds() < 1.0/3.0 {
+		t.Fatalf("BytesTime rounded down: %v", d)
+	}
+}
+
+// TestEngineRandomTraceQuick: for any random set of event times, the engine
+// fires them in nondecreasing time order and ends at the max time.
+func TestEngineRandomTraceQuick(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var e Engine
+		times := make([]Time, len(raw))
+		var fired []Time
+		for i, r := range raw {
+			at := Time(r % 1000000)
+			times[i] = at
+			e.Schedule(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		for i := range fired {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceNeverOverlapsQuick(t *testing.T) {
+	// Property: service intervals returned by a resource never overlap and
+	// respect arrival times, for any arrival/service sequence.
+	f := func(raw []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var r Resource
+		arrival := Time(0)
+		var lastDone Time
+		for range raw {
+			arrival += Time(rng.Intn(100)) * Nanosecond
+			service := Time(rng.Intn(50)+1) * Nanosecond
+			start, done := r.Reserve(arrival, service)
+			if start < arrival || start < lastDone || done != start+service {
+				return false
+			}
+			lastDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+package torus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topology is a space-efficient description of an ordered set of ranks
+// (paper §III.G). PAMI keeps one per geometry; at BG/Q scale a plain rank
+// list for COMM_WORLD would cost gigabytes across the machine, so the
+// library recognizes compact shapes: contiguous rank ranges, axial sets
+// (ranks emanating from a node along one dimension), rectangles, and only
+// falls back to an explicit list for irregular sets.
+type Topology interface {
+	// Size returns the number of ranks in the set.
+	Size() int
+	// Index returns the i-th rank of the set, 0 <= i < Size().
+	Index(i int) Rank
+	// Contains reports whether r is in the set.
+	Contains(r Rank) bool
+	// Kind names the representation ("range", "axial", "rect", "list").
+	Kind() string
+}
+
+// RangeTopology is a contiguous interval of ranks [First, First+Count).
+type RangeTopology struct {
+	First Rank
+	Count int
+}
+
+// Size implements Topology.
+func (t RangeTopology) Size() int { return t.Count }
+
+// Index implements Topology.
+func (t RangeTopology) Index(i int) Rank { return t.First + Rank(i) }
+
+// Contains implements Topology.
+func (t RangeTopology) Contains(r Rank) bool {
+	return r >= t.First && r < t.First+Rank(t.Count)
+}
+
+// Kind implements Topology.
+func (t RangeTopology) Kind() string { return "range" }
+
+// AxialTopology is the set of ranks emanating from an origin node along a
+// single dimension: {origin + k·ê_dim | 0 <= k < Count}, wrapping on the
+// torus. The paper introduces it ("an axial topology which defines the
+// range of the ranks emanating from a given node") because pencils of a
+// cartesian process grid are pervasive in stencil and FFT codes.
+type AxialTopology struct {
+	Geom   Dims
+	Origin Coord
+	Dim    int
+	Count  int
+}
+
+// Size implements Topology.
+func (t AxialTopology) Size() int { return t.Count }
+
+// Index implements Topology.
+func (t AxialTopology) Index(i int) Rank {
+	c := t.Origin
+	c[t.Dim] += i
+	return t.Geom.RankOf(c)
+}
+
+// Contains implements Topology.
+func (t AxialTopology) Contains(r Rank) bool {
+	c := t.Geom.CoordOf(r)
+	for d := 0; d < NumDims; d++ {
+		if d == t.Dim {
+			continue
+		}
+		if c[d] != t.Origin[d] {
+			return false
+		}
+	}
+	off := ((c[t.Dim]-t.Origin[t.Dim])%t.Geom[t.Dim] + t.Geom[t.Dim]) % t.Geom[t.Dim]
+	return off < t.Count
+}
+
+// Kind implements Topology.
+func (t AxialTopology) Kind() string { return "axial" }
+
+// RectTopology is the rank set of a coordinate rectangle, in row-major
+// order — the shape classroutes accelerate.
+type RectTopology struct {
+	Geom Dims
+	Rect Rectangle
+}
+
+// Size implements Topology.
+func (t RectTopology) Size() int { return t.Rect.Size() }
+
+// Index implements Topology.
+func (t RectTopology) Index(i int) Rank {
+	var c Coord
+	for d := NumDims - 1; d >= 0; d-- {
+		ext := t.Rect.Extent(d)
+		c[d] = t.Rect.Lo[d] + i%ext
+		i /= ext
+	}
+	return t.Geom.RankOf(c)
+}
+
+// Contains implements Topology.
+func (t RectTopology) Contains(r Rank) bool {
+	return t.Rect.Contains(t.Geom.CoordOf(r))
+}
+
+// Kind implements Topology.
+func (t RectTopology) Kind() string { return "rect" }
+
+// ListTopology is the fallback explicit rank list for irregular sets.
+type ListTopology struct {
+	Ranks []Rank
+	set   map[Rank]bool
+}
+
+// NewListTopology copies ranks into a list topology with O(1) Contains.
+func NewListTopology(ranks []Rank) *ListTopology {
+	t := &ListTopology{Ranks: append([]Rank(nil), ranks...), set: make(map[Rank]bool, len(ranks))}
+	for _, r := range t.Ranks {
+		t.set[r] = true
+	}
+	return t
+}
+
+// Size implements Topology.
+func (t *ListTopology) Size() int { return len(t.Ranks) }
+
+// Index implements Topology.
+func (t *ListTopology) Index(i int) Rank { return t.Ranks[i] }
+
+// Contains implements Topology.
+func (t *ListTopology) Contains(r Rank) bool { return t.set[r] }
+
+// Kind implements Topology.
+func (t *ListTopology) Kind() string { return "list" }
+
+// OptimizeTopology picks the most compact topology that represents the
+// given rank sequence exactly (including order). Preference: range, axial,
+// rectangle, list.
+func OptimizeTopology(d Dims, ranks []Rank) Topology {
+	if len(ranks) == 0 {
+		return &ListTopology{set: map[Rank]bool{}}
+	}
+	if rt, ok := asRange(ranks); ok {
+		return rt
+	}
+	if at, ok := asAxial(d, ranks); ok {
+		return at
+	}
+	if rc, ok := asRect(d, ranks); ok {
+		return rc
+	}
+	return NewListTopology(ranks)
+}
+
+func asRange(ranks []Rank) (RangeTopology, bool) {
+	for i, r := range ranks {
+		if r != ranks[0]+Rank(i) {
+			return RangeTopology{}, false
+		}
+	}
+	return RangeTopology{First: ranks[0], Count: len(ranks)}, true
+}
+
+func asAxial(d Dims, ranks []Rank) (AxialTopology, bool) {
+	if len(ranks) < 2 {
+		return AxialTopology{}, false
+	}
+	origin := d.CoordOf(ranks[0])
+	second := d.CoordOf(ranks[1])
+	dim := -1
+	for i := 0; i < NumDims; i++ {
+		if origin[i] != second[i] {
+			if dim != -1 {
+				return AxialTopology{}, false
+			}
+			dim = i
+		}
+	}
+	if dim == -1 || len(ranks) > d[dim] {
+		return AxialTopology{}, false
+	}
+	t := AxialTopology{Geom: d, Origin: origin, Dim: dim, Count: len(ranks)}
+	for i, r := range ranks {
+		if t.Index(i) != r {
+			return AxialTopology{}, false
+		}
+	}
+	return t, true
+}
+
+func asRect(d Dims, ranks []Rank) (RectTopology, bool) {
+	rc, exact := BoundingRectangle(d, ranks)
+	if !exact {
+		return RectTopology{}, false
+	}
+	t := RectTopology{Geom: d, Rect: rc}
+	for i, r := range ranks {
+		if t.Index(i) != r {
+			return RectTopology{}, false
+		}
+	}
+	return t, true
+}
+
+// TopologyMemoryBytes estimates the representation's memory footprint —
+// the quantity §III.G is about. Compact forms are O(1); lists are O(n).
+func TopologyMemoryBytes(t Topology) int {
+	switch tt := t.(type) {
+	case RangeTopology:
+		return 16
+	case AxialTopology:
+		return 8*NumDims + 24
+	case RectTopology:
+		return 16 * NumDims
+	case *ListTopology:
+		return 8 * len(tt.Ranks)
+	default:
+		return 8 * t.Size()
+	}
+}
+
+// SortedRanks returns the set's ranks in ascending order; collective
+// algorithms use it to agree on a deterministic participant order.
+func SortedRanks(t Topology) []Rank {
+	out := make([]Rank, t.Size())
+	for i := range out {
+		out[i] = t.Index(i)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ValidateTopology checks internal consistency: every Index result is
+// Contains-positive and members are distinct (a topology is an ordered
+// set). Used by tests and by geometry creation in debug builds.
+func ValidateTopology(t Topology) error {
+	seen := make(map[Rank]bool, t.Size())
+	for i := 0; i < t.Size(); i++ {
+		r := t.Index(i)
+		if !t.Contains(r) {
+			return fmt.Errorf("torus: topology %s: Index(%d)=%d not Contains", t.Kind(), i, r)
+		}
+		if seen[r] {
+			return fmt.Errorf("torus: topology %s: rank %d appears twice", t.Kind(), r)
+		}
+		seen[r] = true
+	}
+	return nil
+}

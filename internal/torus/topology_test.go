@@ -1,0 +1,189 @@
+package torus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func ranksOf(t Topology) []Rank {
+	out := make([]Rank, t.Size())
+	for i := range out {
+		out[i] = t.Index(i)
+	}
+	return out
+}
+
+func TestOptimizeTopologyRange(t *testing.T) {
+	d := Dims{4, 4, 2, 1, 1}
+	ranks := []Rank{5, 6, 7, 8, 9}
+	top := OptimizeTopology(d, ranks)
+	if top.Kind() != "range" {
+		t.Fatalf("kind = %s, want range", top.Kind())
+	}
+	got := ranksOf(top)
+	for i, r := range ranks {
+		if got[i] != r {
+			t.Fatalf("Index(%d) = %d, want %d", i, got[i], r)
+		}
+	}
+	if !top.Contains(7) || top.Contains(10) || top.Contains(4) {
+		t.Fatal("range Contains wrong")
+	}
+}
+
+func TestOptimizeTopologyAxial(t *testing.T) {
+	d := Dims{4, 4, 4, 2, 2}
+	origin := Coord{1, 2, 3, 0, 1}
+	ranks := make([]Rank, 3)
+	for i := range ranks {
+		c := origin
+		c[DimC] += i // varies dim C only -> not a contiguous rank range
+		ranks[i] = d.RankOf(c)
+	}
+	top := OptimizeTopology(d, ranks)
+	if top.Kind() != "range" && top.Kind() != "axial" {
+		t.Fatalf("kind = %s, want axial (or range if contiguous)", top.Kind())
+	}
+	// Varying dim C in a 5D row-major layout with trailing dims of size 2x2
+	// strides by 4, so this cannot be a range.
+	if top.Kind() != "axial" {
+		t.Fatalf("kind = %s, want axial", top.Kind())
+	}
+	got := ranksOf(top)
+	for i := range ranks {
+		if got[i] != ranks[i] {
+			t.Fatalf("axial Index(%d) = %d, want %d", i, got[i], ranks[i])
+		}
+	}
+	for _, r := range ranks {
+		if !top.Contains(r) {
+			t.Fatalf("axial Contains(%d) = false", r)
+		}
+	}
+	other := d.RankOf(Coord{0, 0, 0, 0, 0})
+	if top.Contains(other) {
+		t.Fatal("axial Contains accepted an off-axis rank")
+	}
+}
+
+func TestAxialTopologyWraps(t *testing.T) {
+	d := Dims{4, 1, 1, 1, 1}
+	top := AxialTopology{Geom: d, Origin: Coord{3, 0, 0, 0, 0}, Dim: DimA, Count: 2}
+	if got := top.Index(1); got != d.RankOf(Coord{0, 0, 0, 0, 0}) {
+		t.Fatalf("wrapped axial Index(1) = %d", got)
+	}
+	if !top.Contains(d.RankOf(Coord{0, 0, 0, 0, 0})) {
+		t.Fatal("wrapped member not contained")
+	}
+	if top.Contains(d.RankOf(Coord{1, 0, 0, 0, 0})) {
+		t.Fatal("non-member contained")
+	}
+}
+
+func TestOptimizeTopologyRect(t *testing.T) {
+	d := Dims{4, 4, 2, 2, 1}
+	rc := Rectangle{Lo: Coord{1, 1, 0, 0, 0}, Hi: Coord{2, 2, 1, 1, 0}}
+	ranks := rc.Ranks(d)
+	top := OptimizeTopology(d, ranks)
+	if top.Kind() != "rect" {
+		t.Fatalf("kind = %s, want rect", top.Kind())
+	}
+	got := ranksOf(top)
+	for i := range ranks {
+		if got[i] != ranks[i] {
+			t.Fatalf("rect Index(%d) = %d, want %d", i, got[i], ranks[i])
+		}
+	}
+	if err := ValidateTopology(top); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeTopologyListFallback(t *testing.T) {
+	d := Dims{4, 4, 2, 1, 1}
+	ranks := []Rank{0, 5, 17, 3}
+	top := OptimizeTopology(d, ranks)
+	if top.Kind() != "list" {
+		t.Fatalf("kind = %s, want list", top.Kind())
+	}
+	got := ranksOf(top)
+	for i := range ranks {
+		if got[i] != ranks[i] {
+			t.Fatalf("list order not preserved at %d", i)
+		}
+	}
+	if !top.Contains(17) || top.Contains(2) {
+		t.Fatal("list Contains wrong")
+	}
+}
+
+func TestOptimizeTopologyEmpty(t *testing.T) {
+	top := OptimizeTopology(Dims{2, 2, 2, 2, 2}, nil)
+	if top.Size() != 0 {
+		t.Fatalf("empty topology Size = %d", top.Size())
+	}
+	if top.Contains(0) {
+		t.Fatal("empty topology contains a rank")
+	}
+}
+
+func TestTopologyMemoryOrdering(t *testing.T) {
+	d := Dims{8, 8, 4, 2, 2}
+	rc := d.FullRectangle()
+	ranks := rc.Ranks(d)
+	compact := OptimizeTopology(d, ranks)
+	list := NewListTopology(ranks)
+	if TopologyMemoryBytes(compact) >= TopologyMemoryBytes(list) {
+		t.Fatalf("compact topology (%s, %dB) not smaller than list (%dB)",
+			compact.Kind(), TopologyMemoryBytes(compact), TopologyMemoryBytes(list))
+	}
+}
+
+func TestSortedRanks(t *testing.T) {
+	top := NewListTopology([]Rank{9, 1, 5})
+	got := SortedRanks(top)
+	want := []Rank{1, 5, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedRanks = %v", got)
+		}
+	}
+}
+
+// Property: OptimizeTopology never changes the rank sequence, whatever
+// representation it picks.
+func TestOptimizePreservesSequenceQuick(t *testing.T) {
+	d := Dims{4, 3, 2, 2, 2}
+	n := d.Nodes()
+	f := func(raw []uint16) bool {
+		ranks := make([]Rank, len(raw))
+		for i, r := range raw {
+			ranks[i] = Rank(int(r) % n)
+		}
+		top := OptimizeTopology(d, ranks)
+		if top.Size() != len(ranks) {
+			return false
+		}
+		for i := range ranks {
+			if top.Index(i) != ranks[i] {
+				return false
+			}
+			if !top.Contains(ranks[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateTopologyDetectsBroken(t *testing.T) {
+	// An axial claiming more members than exist on the ring is broken.
+	d := Dims{2, 1, 1, 1, 1}
+	broken := AxialTopology{Geom: d, Origin: Coord{}, Dim: DimA, Count: 3}
+	if err := ValidateTopology(broken); err == nil {
+		t.Fatal("broken topology validated")
+	}
+}

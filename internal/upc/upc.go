@@ -1,0 +1,195 @@
+// Package upc is a UPC-flavored PGAS layer on PAMI — the first of the
+// "other programming paradigms" the paper names (§I: "efficiently enable
+// other programming paradigms such as UPC"). It provides the part of UPC
+// that exercises the messaging runtime: block-cyclic shared arrays with
+// thread affinity, one-sided reads and writes of remote elements through
+// RDMA, upc_forall-style affinity-filtered iteration, and upc_barrier.
+//
+// Like the ARMCI and chare layers, it attaches its own PAMI client, so a
+// job can mix UPC-style code with MPI — the hybrid usage the paper cites
+// (UPC+MPI scaling a memory-bound application).
+package upc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pamigo/internal/cnk"
+	"pamigo/internal/core"
+	"pamigo/internal/machine"
+)
+
+// worldGeomID keeps the UPC runtime's geometry away from MPI's, ARMCI's
+// and chare's ID spaces.
+const worldGeomID uint64 = 1 << 43
+
+// Runtime is one thread's (process's) UPC instance. In UPC terms each
+// PAMI task is one UPC thread; MYTHREAD = Rank(), THREADS = Size().
+type Runtime struct {
+	mach   *machine.Machine
+	proc   *cnk.Process
+	client *core.Client
+	ctx    *core.Context
+	world  *core.Geometry
+
+	allocSeq uint64
+}
+
+// Attach creates the UPC runtime for a process. Collective.
+func Attach(m *machine.Machine, p *cnk.Process) (*Runtime, error) {
+	client, err := core.NewClient(m, p, "UPC")
+	if err != nil {
+		return nil, err
+	}
+	ctxs, err := client.CreateContexts(1)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{mach: m, proc: p, client: client, ctx: ctxs[0]}
+	tasks := make([]int, m.Tasks())
+	for i := range tasks {
+		tasks[i] = i
+	}
+	rt.world, err = client.CreateGeometry(rt.ctx, worldGeomID, tasks)
+	if err != nil {
+		return nil, err
+	}
+	rt.world.Barrier()
+	return rt, nil
+}
+
+// MyThread returns this thread's index (UPC's MYTHREAD).
+func (rt *Runtime) MyThread() int { return rt.proc.TaskRank() }
+
+// Threads returns the thread count (UPC's THREADS).
+func (rt *Runtime) Threads() int { return rt.mach.Tasks() }
+
+// Barrier is upc_barrier.
+func (rt *Runtime) Barrier() { rt.world.Barrier() }
+
+// Client exposes the underlying PAMI client.
+func (rt *Runtime) Client() *core.Client { return rt.client }
+
+// Detach tears the runtime down. Collective.
+func (rt *Runtime) Detach() {
+	rt.world.Barrier()
+	rt.client.Destroy()
+}
+
+// SharedArray is a shared []int64 distributed block-cyclically with the
+// given block size, UPC's `shared [B] int64 a[N]`: element i has
+// affinity to thread (i/B) % THREADS and local offset derived from its
+// block index.
+type SharedArray struct {
+	rt     *Runtime
+	id     uint64
+	n      int
+	block  int
+	perThr int
+	local  []byte // this thread's slab, registered for RDMA
+}
+
+// NewSharedArray collectively allocates a shared array of n int64
+// elements with block size blockSize.
+func (rt *Runtime) NewSharedArray(n, blockSize int) (*SharedArray, error) {
+	if n <= 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("upc: shared array n=%d block=%d", n, blockSize)
+	}
+	rt.allocSeq++
+	id := (uint64(1) << 44) | rt.allocSeq
+	threads := rt.Threads()
+	nblocks := (n + blockSize - 1) / blockSize
+	blocksPerThr := (nblocks + threads - 1) / threads
+	perThr := blocksPerThr * blockSize
+	a := &SharedArray{
+		rt:     rt,
+		id:     id,
+		n:      n,
+		block:  blockSize,
+		perThr: perThr,
+		local:  make([]byte, 8*perThr),
+	}
+	rt.mach.Fabric().RegisterMemregion(rt.MyThread(), id, a.local)
+	rt.world.Barrier()
+	return a, nil
+}
+
+// Len returns the global element count.
+func (a *SharedArray) Len() int { return a.n }
+
+// Affinity returns the thread that owns element i (UPC's upc_threadof).
+func (a *SharedArray) Affinity(i int) int {
+	return (i / a.block) % a.rt.Threads()
+}
+
+// localOffset returns the byte offset of element i within its owner's
+// slab (UPC's upc_phaseof/upc_addrfield combined).
+func (a *SharedArray) localOffset(i int) int {
+	blockIdx := i / a.block
+	localBlock := blockIdx / a.rt.Threads()
+	phase := i % a.block
+	return 8 * (localBlock*a.block + phase)
+}
+
+func (a *SharedArray) check(i int) error {
+	if i < 0 || i >= a.n {
+		return fmt.Errorf("upc: index %d out of range [0,%d)", i, a.n)
+	}
+	return nil
+}
+
+// Read returns element i, wherever it lives — a local load for elements
+// with local affinity, an RDMA get otherwise.
+func (a *SharedArray) Read(i int) (int64, error) {
+	if err := a.check(i); err != nil {
+		return 0, err
+	}
+	off := a.localOffset(i)
+	owner := a.Affinity(i)
+	if owner == a.rt.MyThread() {
+		return int64(binary.LittleEndian.Uint64(a.local[off:])), nil
+	}
+	buf := make([]byte, 8)
+	if err := a.rt.ctx.Get(owner, a.id, off, buf, nil); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(buf)), nil
+}
+
+// Write stores v into element i — a local store or an RDMA put.
+func (a *SharedArray) Write(i int, v int64) error {
+	if err := a.check(i); err != nil {
+		return err
+	}
+	off := a.localOffset(i)
+	owner := a.Affinity(i)
+	if owner == a.rt.MyThread() {
+		binary.LittleEndian.PutUint64(a.local[off:], uint64(v))
+		return nil
+	}
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(v))
+	return a.rt.ctx.Put(owner, a.id, off, buf, nil)
+}
+
+// ForAll is upc_forall with affinity to the element: body(i) runs on the
+// thread that owns element i. Collective in the sense that every thread
+// calls it; each executes only its share.
+func (a *SharedArray) ForAll(body func(i int) error) error {
+	me := a.rt.MyThread()
+	for i := 0; i < a.n; i++ {
+		if a.Affinity(i) == me {
+			if err := body(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Free collectively releases the array.
+func (a *SharedArray) Free() {
+	a.rt.world.Barrier()
+	a.rt.mach.Fabric().DeregisterMemregion(a.rt.MyThread(), a.id)
+	a.rt.world.Barrier()
+}

@@ -1,0 +1,203 @@
+package upc
+
+import (
+	"sync"
+	"testing"
+
+	"pamigo/internal/cnk"
+	"pamigo/internal/machine"
+	"pamigo/internal/mpilib"
+	"pamigo/internal/torus"
+)
+
+func runUPC(t *testing.T, dims torus.Dims, ppn int, body func(rt *Runtime)) {
+	t.Helper()
+	m, err := machine.New(machine.Config{Dims: dims, PPN: ppn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fail sync.Once
+	m.Run(func(p *cnk.Process) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail.Do(func() { t.Errorf("thread %d panicked: %v", p.TaskRank(), r) })
+			}
+		}()
+		rt, err := Attach(m, p)
+		if err != nil {
+			panic(err)
+		}
+		body(rt)
+		rt.Detach()
+	})
+}
+
+func TestThreadsAndMyThread(t *testing.T) {
+	runUPC(t, torus.Dims{2, 2, 1, 1, 1}, 2, func(rt *Runtime) {
+		if rt.Threads() != 8 {
+			t.Errorf("THREADS = %d", rt.Threads())
+		}
+		if rt.MyThread() < 0 || rt.MyThread() >= 8 {
+			t.Errorf("MYTHREAD = %d", rt.MyThread())
+		}
+	})
+}
+
+func TestAffinityBlockCyclic(t *testing.T) {
+	runUPC(t, torus.Dims{2, 2, 1, 1, 1}, 1, func(rt *Runtime) {
+		// shared [3] int64 a[24] over 4 threads: blocks of 3, round robin.
+		a, err := rt.NewSharedArray(24, 3)
+		if err != nil {
+			panic(err)
+		}
+		defer a.Free()
+		for i := 0; i < 24; i++ {
+			want := (i / 3) % 4
+			if got := a.Affinity(i); got != want {
+				t.Errorf("Affinity(%d) = %d, want %d", i, got, want)
+				return
+			}
+		}
+		rt.Barrier()
+	})
+}
+
+func TestReadWriteRemote(t *testing.T) {
+	runUPC(t, torus.Dims{2, 2, 1, 1, 1}, 1, func(rt *Runtime) {
+		a, err := rt.NewSharedArray(16, 2)
+		if err != nil {
+			panic(err)
+		}
+		defer a.Free()
+		// Thread 0 writes every element (mostly remote puts).
+		if rt.MyThread() == 0 {
+			for i := 0; i < a.Len(); i++ {
+				if err := a.Write(i, int64(100+i)); err != nil {
+					panic(err)
+				}
+			}
+		}
+		rt.Barrier()
+		// Every thread reads every element (mostly remote gets).
+		for i := 0; i < a.Len(); i++ {
+			v, err := a.Read(i)
+			if err != nil {
+				panic(err)
+			}
+			if v != int64(100+i) {
+				t.Errorf("thread %d: a[%d] = %d", rt.MyThread(), i, v)
+				return
+			}
+		}
+		rt.Barrier()
+	})
+}
+
+func TestForAllAffinity(t *testing.T) {
+	runUPC(t, torus.Dims{2, 2, 1, 1, 1}, 1, func(rt *Runtime) {
+		a, err := rt.NewSharedArray(32, 4)
+		if err != nil {
+			panic(err)
+		}
+		defer a.Free()
+		// upc_forall: each thread initializes its own elements — all
+		// local stores, no traffic.
+		before, _ := rt.mach.Fabric().Snapshot().Puts, 0
+		err = a.ForAll(func(i int) error { return a.Write(i, int64(i*i)) })
+		if err != nil {
+			panic(err)
+		}
+		if rt.mach.Fabric().Snapshot().Puts != before {
+			t.Error("upc_forall with affinity generated remote puts")
+		}
+		rt.Barrier()
+		for i := 0; i < a.Len(); i++ {
+			v, err := a.Read(i)
+			if err != nil {
+				panic(err)
+			}
+			if v != int64(i*i) {
+				t.Errorf("a[%d] = %d, want %d", i, v, i*i)
+				return
+			}
+		}
+		rt.Barrier()
+	})
+}
+
+func TestSharedArrayValidation(t *testing.T) {
+	runUPC(t, torus.Dims{1, 1, 1, 1, 1}, 1, func(rt *Runtime) {
+		if _, err := rt.NewSharedArray(0, 1); err == nil {
+			t.Error("empty array accepted")
+		}
+		if _, err := rt.NewSharedArray(8, 0); err == nil {
+			t.Error("zero block accepted")
+		}
+		a, err := rt.NewSharedArray(4, 1)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := a.Read(-1); err == nil {
+			t.Error("negative index accepted")
+		}
+		if err := a.Write(4, 0); err == nil {
+			t.Error("out-of-range write accepted")
+		}
+	})
+}
+
+// TestHybridUPCPlusMPI is the paper's cited hybrid ([22]): UPC-style
+// shared arrays and MPI collectives in one job, on separate PAMI clients.
+func TestHybridUPCPlusMPI(t *testing.T) {
+	m, err := machine.New(machine.Config{Dims: torus.Dims{2, 2, 1, 1, 1}, PPN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fail sync.Once
+	m.Run(func(p *cnk.Process) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail.Do(func() { t.Errorf("thread %d: %v", p.TaskRank(), r) })
+			}
+		}()
+		w, err := mpilib.Init(m, p, mpilib.Options{})
+		if err != nil {
+			panic(err)
+		}
+		rt, err := Attach(m, p)
+		if err != nil {
+			panic(err)
+		}
+		if rt.Client() == w.Client() {
+			t.Error("UPC and MPI share a client")
+		}
+		a, err := rt.NewSharedArray(16, 2)
+		if err != nil {
+			panic(err)
+		}
+		// UPC phase: write with affinity.
+		a.ForAll(func(i int) error { return a.Write(i, int64(i+1)) })
+		rt.Barrier()
+		// MPI phase: each thread sums a strided slice it reads one-sidedly,
+		// then the partial sums reduce over the collective network.
+		partial := int64(0)
+		for i := rt.MyThread(); i < a.Len(); i += rt.Threads() {
+			v, err := a.Read(i)
+			if err != nil {
+				panic(err)
+			}
+			partial += v
+		}
+		total, err := w.CommWorld().AllreduceInt64([]int64{partial}, 0)
+		if err != nil {
+			panic(err)
+		}
+		want := int64(a.Len() * (a.Len() + 1) / 2)
+		if total[0] != want {
+			t.Errorf("hybrid sum = %d, want %d", total[0], want)
+		}
+		a.Free()
+		rt.Detach()
+		w.Finalize()
+	})
+}

@@ -1,0 +1,117 @@
+// Package wakeup models the Blue Gene/Q wakeup unit (paper §II.A, §III.C).
+//
+// The hardware unit watches programmable memory regions; a hardware thread
+// executes the PPC wait instruction and is suspended — consuming no pipeline
+// slots, no power — until a store lands in a watched region or a configured
+// signal arrives. PAMI places its lockless work queues inside watched
+// regions so that communication threads sleep instead of polling and are
+// woken the moment an application thread posts work or the Message Unit
+// delivers a packet.
+//
+// The software model keeps the exact usage contract:
+//
+//	gen := region.Gen()          // observe the region
+//	if !workAvailable() {        // re-check under the observed generation
+//	        region.Wait(gen)     // suspend until a store after Gen()
+//	}
+//
+// Producers store into the region (enqueue) and then Touch it. Because Wait
+// returns immediately when a Touch happened after the observed generation,
+// the protocol has no lost-wakeup window — the same guarantee the hardware
+// address-match logic provides.
+package wakeup
+
+import "sync"
+
+// Region is one watched memory region. The zero value is not usable;
+// create regions with NewRegion or through a Unit.
+type Region struct {
+	mu  sync.Mutex
+	gen uint64
+	ch  chan struct{}
+
+	touches uint64 // statistics: total stores observed
+	waits   uint64 // statistics: total suspensions that actually blocked
+}
+
+// NewRegion returns an empty watched region.
+func NewRegion() *Region {
+	return &Region{ch: make(chan struct{})}
+}
+
+// Gen returns the region's current generation. A caller that observes the
+// generation, finds no work, and passes the observed value to Wait is
+// guaranteed to be woken by any Touch that happens after the observation.
+func (r *Region) Gen() uint64 {
+	r.mu.Lock()
+	g := r.gen
+	r.mu.Unlock()
+	return g
+}
+
+// Touch records a store into the region and wakes every waiter.
+func (r *Region) Touch() {
+	r.mu.Lock()
+	r.gen++
+	r.touches++
+	close(r.ch)
+	r.ch = make(chan struct{})
+	r.mu.Unlock()
+}
+
+// Wait suspends the caller until the region has been touched after the
+// observed generation. If a Touch already happened, Wait returns
+// immediately. This is the software analogue of the PPC wait instruction
+// armed on the region.
+func (r *Region) Wait(observed uint64) {
+	for {
+		r.mu.Lock()
+		if r.gen > observed {
+			r.mu.Unlock()
+			return
+		}
+		ch := r.ch
+		r.waits++
+		r.mu.Unlock()
+		<-ch
+	}
+}
+
+// Stats reports how many touches the region has seen and how many waits
+// actually suspended. The ratio is the polling the wakeup unit avoided.
+func (r *Region) Stats() (touches, waits uint64) {
+	r.mu.Lock()
+	t, w := r.touches, r.waits
+	r.mu.Unlock()
+	return t, w
+}
+
+// Unit is the per-node wakeup unit: a fixed array of watched regions, one
+// per hardware thread, mirroring how CNK hands each commthread its own
+// wakeup address range.
+type Unit struct {
+	regions []*Region
+}
+
+// NewUnit returns a wakeup unit with n watched regions.
+func NewUnit(n int) *Unit {
+	u := &Unit{regions: make([]*Region, n)}
+	for i := range u.regions {
+		u.regions[i] = NewRegion()
+	}
+	return u
+}
+
+// Regions returns the number of watched regions in the unit.
+func (u *Unit) Regions() int { return len(u.regions) }
+
+// Region returns watched region i.
+func (u *Unit) Region(i int) *Region { return u.regions[i] }
+
+// TouchAll wakes every region in the unit; CNK uses the equivalent signal
+// to tear commthreads down at job exit.
+func (u *Unit) TouchAll() {
+	for _, r := range u.regions {
+		r.Touch()
+	}
+}

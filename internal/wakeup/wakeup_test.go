@@ -1,0 +1,156 @@
+package wakeup
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWaitReturnsImmediatelyAfterTouch(t *testing.T) {
+	r := NewRegion()
+	gen := r.Gen()
+	r.Touch()
+	done := make(chan struct{})
+	go func() { r.Wait(gen); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait blocked although Touch preceded it")
+	}
+}
+
+func TestWaitBlocksUntilTouch(t *testing.T) {
+	r := NewRegion()
+	gen := r.Gen()
+	woke := make(chan struct{})
+	go func() { r.Wait(gen); close(woke) }()
+	select {
+	case <-woke:
+		t.Fatal("Wait returned without a Touch")
+	case <-time.After(50 * time.Millisecond):
+	}
+	r.Touch()
+	select {
+	case <-woke:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Touch did not wake the waiter")
+	}
+}
+
+func TestGenMonotonic(t *testing.T) {
+	r := NewRegion()
+	prev := r.Gen()
+	for i := 0; i < 10; i++ {
+		r.Touch()
+		g := r.Gen()
+		if g <= prev {
+			t.Fatalf("generation not monotonic: %d after %d", g, prev)
+		}
+		prev = g
+	}
+}
+
+// TestNoLostWakeup runs the producer/consumer protocol from the package
+// doc under contention: every posted item must eventually be consumed even
+// though the consumer sleeps whenever it sees an empty queue.
+func TestNoLostWakeup(t *testing.T) {
+	r := NewRegion()
+	var queue atomic.Int64 // models the watched work queue depth
+	const items = 20000
+	var consumed atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for consumed.Load() < items {
+			gen := r.Gen()
+			if queue.Load() > 0 {
+				queue.Add(-1)
+				consumed.Add(1)
+				continue
+			}
+			r.Wait(gen)
+		}
+	}()
+	for i := 0; i < items; i++ {
+		queue.Add(1) // store into the watched region...
+		r.Touch()    // ...then signal, as the MU and work posters do
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("lost wakeup: consumed %d of %d", consumed.Load(), items)
+	}
+}
+
+func TestManyWaitersAllWake(t *testing.T) {
+	r := NewRegion()
+	const waiters = 32
+	var wg sync.WaitGroup
+	gen := r.Gen()
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); r.Wait(gen) }()
+	}
+	time.Sleep(20 * time.Millisecond)
+	r.Touch()
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Touch failed to wake all waiters")
+	}
+}
+
+func TestStatsCountTouchesAndWaits(t *testing.T) {
+	r := NewRegion()
+	gen := r.Gen()
+	released := make(chan struct{})
+	go func() { r.Wait(gen); close(released) }()
+	time.Sleep(20 * time.Millisecond)
+	r.Touch()
+	<-released
+	touches, waits := r.Stats()
+	if touches != 1 {
+		t.Fatalf("touches = %d, want 1", touches)
+	}
+	if waits < 1 {
+		t.Fatalf("waits = %d, want >= 1", waits)
+	}
+}
+
+func TestUnitRegions(t *testing.T) {
+	u := NewUnit(4)
+	if u.Regions() != 4 {
+		t.Fatalf("Regions = %d, want 4", u.Regions())
+	}
+	seen := map[*Region]bool{}
+	for i := 0; i < 4; i++ {
+		r := u.Region(i)
+		if r == nil || seen[r] {
+			t.Fatalf("region %d nil or duplicated", i)
+		}
+		seen[r] = true
+	}
+}
+
+func TestUnitTouchAll(t *testing.T) {
+	u := NewUnit(3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		r := u.Region(i)
+		gen := r.Gen()
+		wg.Add(1)
+		go func() { defer wg.Done(); r.Wait(gen) }()
+	}
+	time.Sleep(20 * time.Millisecond)
+	u.TouchAll()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("TouchAll failed to wake every region's waiter")
+	}
+}

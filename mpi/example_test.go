@@ -1,0 +1,54 @@
+package mpi_test
+
+import (
+	"fmt"
+	"sync"
+
+	"pamigo/mpi"
+	"pamigo/pami"
+)
+
+// Example runs the smallest complete MPI program: a send, a receive, and
+// an allreduce on the collective network.
+func Example() {
+	m, err := pami.NewMachine(pami.MachineConfig{
+		Dims: pami.Dims{2, 1, 1, 1, 1},
+		PPN:  1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	var once sync.Once
+	m.Run(func(p *pami.Process) {
+		w, err := mpi.Init(m, p, mpi.Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer w.Finalize()
+		cw := w.CommWorld()
+		if w.Rank() == 0 {
+			if err := cw.Send([]byte("hello rank one"), 1, 7); err != nil {
+				panic(err)
+			}
+		} else {
+			buf := make([]byte, 14)
+			st, err := cw.Recv(buf, 0, 7)
+			if err != nil {
+				panic(err)
+			}
+			once.Do(func() {
+				fmt.Printf("rank 1 got %q (tag %d)\n", buf, st.Tag)
+			})
+		}
+		sums, err := cw.AllreduceInt64([]int64{int64(w.Rank() + 1)}, pami.OpAdd)
+		if err != nil {
+			panic(err)
+		}
+		if w.Rank() == 1 {
+			fmt.Println("allreduce:", sums[0])
+		}
+	})
+	// Output:
+	// rank 1 got "hello rank one" (tag 7)
+	// allreduce: 3
+}

@@ -1,0 +1,72 @@
+// Package mpi is the public API of the MPI-over-PAMI layer (paper §IV):
+// an MPICH2-style library with tag matching, nonblocking point-to-point
+// operations, communicators, the hardware-accelerated collectives, and
+// the MPIX classroute extensions.
+//
+//	m, _ := pami.NewMachine(pami.MachineConfig{Dims: pami.Dims{2, 2, 1, 1, 1}, PPN: 2})
+//	m.Run(func(p *pami.Process) {
+//		w, _ := mpi.Init(m, p, mpi.Options{ThreadMode: mpi.ThreadMultiple})
+//		defer w.Finalize()
+//		cw := w.CommWorld()
+//		if w.Rank() == 0 {
+//			cw.Send([]byte("hello"), 1, 0)
+//		} else if w.Rank() == 1 {
+//			buf := make([]byte, 5)
+//			cw.Recv(buf, 0, 0)
+//		}
+//		cw.Barrier()
+//	})
+package mpi
+
+import (
+	"pamigo/internal/cnk"
+	"pamigo/internal/machine"
+	"pamigo/internal/mpilib"
+)
+
+// World is one process's MPI library instance.
+type World = mpilib.World
+
+// Comm is a communicator.
+type Comm = mpilib.Comm
+
+// Request is a nonblocking operation handle.
+type Request = mpilib.Request
+
+// Status describes a completed receive.
+type Status = mpilib.Status
+
+// Options configures Init.
+type Options = mpilib.Options
+
+// ThreadMode is the MPI_Init_thread level.
+type ThreadMode = mpilib.ThreadMode
+
+// Thread levels.
+const (
+	ThreadSingle     = mpilib.ThreadSingle
+	ThreadFunneled   = mpilib.ThreadFunneled
+	ThreadSerialized = mpilib.ThreadSerialized
+	ThreadMultiple   = mpilib.ThreadMultiple
+)
+
+// Library selects the classic (global lock) or thread-optimized build.
+type Library = mpilib.Library
+
+// Library builds.
+const (
+	Classic         = mpilib.Classic
+	ThreadOptimized = mpilib.ThreadOptimized
+)
+
+// Wildcards for Recv/Irecv.
+const (
+	AnySource = mpilib.AnySource
+	AnyTag    = mpilib.AnyTag
+)
+
+// Init boots MPI for one process of a machine; collective across the
+// machine's processes.
+func Init(m *machine.Machine, p *cnk.Process, opts Options) (*World, error) {
+	return mpilib.Init(m, p, opts)
+}

@@ -1,0 +1,73 @@
+package mpi_test
+
+import (
+	"sync"
+	"testing"
+
+	"pamigo/mpi"
+	"pamigo/pami"
+)
+
+func TestPublicMPISurface(t *testing.T) {
+	m, err := pami.NewMachine(pami.MachineConfig{
+		Dims: pami.Dims{2, 2, 1, 1, 1},
+		PPN:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fail sync.Once
+	m.Run(func(p *pami.Process) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail.Do(func() { t.Errorf("rank %d: %v", p.TaskRank(), r) })
+			}
+		}()
+		w, err := mpi.Init(m, p, mpi.Options{
+			Library:    mpi.ThreadOptimized,
+			ThreadMode: mpi.ThreadSerialized,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer w.Finalize()
+		cw := w.CommWorld()
+
+		// Nonblocking ring exchange with wildcard receive.
+		next := (w.Rank() + 1) % w.Size()
+		in := make([]byte, 1)
+		rr, err := cw.Irecv(in, mpi.AnySource, mpi.AnyTag)
+		if err != nil {
+			panic(err)
+		}
+		sr, err := cw.Isend([]byte{byte(w.Rank())}, next, 5)
+		if err != nil {
+			panic(err)
+		}
+		w.Waitall([]*mpi.Request{rr, sr})
+		st := rr.Status()
+		prev := (w.Rank() - 1 + w.Size()) % w.Size()
+		if in[0] != byte(prev) || st.Source != prev || st.Tag != 5 {
+			t.Errorf("rank %d: ring got %d from %d tag %d", w.Rank(), in[0], st.Source, st.Tag)
+		}
+
+		// Facade collectives and communicator management.
+		sub, err := cw.Split(w.Rank()%2, w.Rank())
+		if err != nil {
+			panic(err)
+		}
+		sum, err := sub.AllreduceInt64([]int64{int64(w.Rank())}, pami.OpAdd)
+		if err != nil {
+			panic(err)
+		}
+		want := int64(0)
+		for r := w.Rank() % 2; r < w.Size(); r += 2 {
+			want += int64(r)
+		}
+		if sum[0] != want {
+			t.Errorf("rank %d: sub allreduce = %d, want %d", w.Rank(), sum[0], want)
+		}
+		sub.Free()
+		cw.Barrier()
+	})
+}

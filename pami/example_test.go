@@ -1,0 +1,84 @@
+package pami_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pamigo/pami"
+)
+
+// Example boots a four-node machine and runs a ring of active messages —
+// the canonical PAMI program shape.
+func Example() {
+	m, err := pami.NewMachine(pami.MachineConfig{
+		Dims: pami.Dims{2, 2, 1, 1, 1},
+		PPN:  1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	var mu sync.Mutex
+	var lines []string
+	m.Run(func(p *pami.Process) {
+		client, err := pami.NewClient(m, p, "example")
+		if err != nil {
+			panic(err)
+		}
+		ctxs, err := client.CreateContexts(1)
+		if err != nil {
+			panic(err)
+		}
+		ctx := ctxs[0]
+		got := false
+		ctx.RegisterDispatch(1, func(c *pami.Context, d *pami.Delivery) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf("task %d received %q", p.TaskRank(), d.Data))
+			mu.Unlock()
+			got = true
+		})
+		world, err := client.WorldGeometry(ctx)
+		if err != nil {
+			panic(err)
+		}
+		world.Barrier()
+		next := (p.TaskRank() + 1) % m.Tasks()
+		msg := []byte(fmt.Sprintf("hop %d", p.TaskRank()))
+		if err := ctx.SendImmediate(pami.Endpoint{Task: next, Ctx: 0}, 1, nil, msg); err != nil {
+			panic(err)
+		}
+		ctx.AdvanceUntil(func() bool { return got })
+		world.Barrier()
+	})
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	// Output:
+	// task 0 received "hop 3"
+	// task 1 received "hop 0"
+	// task 2 received "hop 1"
+	// task 3 received "hop 2"
+}
+
+// ExampleGeometry_Allreduce sums one value per task over the collective
+// network.
+func ExampleGeometry_Allreduce() {
+	m, _ := pami.NewMachine(pami.MachineConfig{Dims: pami.Dims{2, 1, 1, 1, 1}, PPN: 2})
+	var once sync.Once
+	m.Run(func(p *pami.Process) {
+		client, _ := pami.NewClient(m, p, "sum")
+		ctxs, _ := client.CreateContexts(1)
+		world, _ := client.WorldGeometry(ctxs[0])
+		recv := make([]byte, 8)
+		if err := world.Allreduce(pami.EncodeInt64s([]int64{int64(p.TaskRank())}),
+			recv, pami.OpAdd, pami.Int64); err != nil {
+			panic(err)
+		}
+		once.Do(func() {
+			fmt.Println("sum of ranks:", pami.DecodeInt64s(recv)[0])
+		})
+	})
+	// Output:
+	// sum of ranks: 6
+}

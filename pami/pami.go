@@ -1,0 +1,140 @@
+// Package pami is the public API of the PAMI reproduction: the Parallel
+// Active Messaging Interface of the Blue Gene/Q supercomputer (Kumar et
+// al., IPDPS 2012), together with the simulated machine it runs on.
+//
+// A program boots a Machine (nodes on a 5D torus, processes per node),
+// then runs an SPMD body in which each process creates a Client, one or
+// more Contexts, and communicates through active messages, one-sided
+// RDMA, and geometry collectives:
+//
+//	m, _ := pami.NewMachine(pami.MachineConfig{
+//		Dims: pami.Dims{2, 2, 1, 1, 1}, PPN: 4,
+//	})
+//	m.Run(func(p *pami.Process) {
+//		client, _ := pami.NewClient(m, p, "app")
+//		ctxs, _ := client.CreateContexts(1)
+//		ctx := ctxs[0]
+//		ctx.RegisterDispatch(1, func(c *pami.Context, d *pami.Delivery) {
+//			// active message arrived
+//		})
+//		world, _ := client.WorldGeometry(ctx)
+//		world.Barrier()
+//		// ...
+//	})
+//
+// The implementation lives under internal/; this package re-exports the
+// supported surface. See README.md for the architecture overview and
+// DESIGN.md for the paper-to-package map.
+package pami
+
+import (
+	"pamigo/internal/cnk"
+	"pamigo/internal/collnet"
+	"pamigo/internal/core"
+	"pamigo/internal/machine"
+	"pamigo/internal/torus"
+)
+
+// Machine is a booted simulated BG/Q system: nodes on the 5D torus, the
+// Message Unit fabric, per-node shared memory, and the collective
+// network.
+type Machine = machine.Machine
+
+// MachineConfig configures NewMachine.
+type MachineConfig = machine.Config
+
+// NewMachine boots a machine.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return machine.New(cfg) }
+
+// Process is one application process (task) on a node.
+type Process = cnk.Process
+
+// Dims is the 5D torus shape (dimensions A through E).
+type Dims = torus.Dims
+
+// Coord is a 5D torus coordinate.
+type Coord = torus.Coord
+
+// Rank identifies a node on the torus.
+type Rank = torus.Rank
+
+// Client is an independent network instance — one per programming-model
+// runtime (paper §III.A).
+type Client = core.Client
+
+// NewClient creates a client for a process.
+func NewClient(m *Machine, p *Process, name string) (*Client, error) {
+	return core.NewClient(m, p, name)
+}
+
+// Context is a unit of messaging parallelism with exclusive hardware
+// resources, advanced by one thread at a time (paper §III.B).
+type Context = core.Context
+
+// Endpoint addresses a (task, context) pair — the PAMI communication
+// address.
+type Endpoint = core.Endpoint
+
+// DispatchFn handles an incoming active message.
+type DispatchFn = core.DispatchFn
+
+// Delivery describes an arrived message inside a dispatch handler.
+type Delivery = core.Delivery
+
+// SendParams describes an active-message send.
+type SendParams = core.SendParams
+
+// SendMode selects the point-to-point protocol.
+type SendMode = core.SendMode
+
+// Protocol selection for SendParams.Mode.
+const (
+	ModeAuto       = core.ModeAuto
+	ModeEager      = core.ModeEager
+	ModeRendezvous = core.ModeRendezvous
+)
+
+// Memregion is a buffer registered for one-sided RDMA.
+type Memregion = core.Memregion
+
+// Geometry is an ordered team of tasks with collective operations
+// (hardware classroute or software algorithms).
+type Geometry = core.Geometry
+
+// ErrNotRectangular is returned by Geometry.Optimize for node sets the
+// collective network cannot cover.
+var ErrNotRectangular = core.ErrNotRectangular
+
+// Op is a reduction operation of the collective network ALU.
+type Op = collnet.Op
+
+// Reduction operations.
+const (
+	OpAdd    = collnet.OpAdd
+	OpMin    = collnet.OpMin
+	OpMax    = collnet.OpMax
+	OpBitOR  = collnet.OpBitOR
+	OpBitAND = collnet.OpBitAND
+)
+
+// DType is a reduction element type.
+type DType = collnet.DType
+
+// Reduction element types (8-byte words).
+const (
+	Int64   = collnet.Int64
+	Uint64  = collnet.Uint64
+	Float64 = collnet.Float64
+)
+
+// EncodeFloat64s packs float64 values for reduction buffers.
+func EncodeFloat64s(vals []float64) []byte { return collnet.EncodeFloat64s(vals) }
+
+// DecodeFloat64s unpacks reduction buffers into float64 values.
+func DecodeFloat64s(buf []byte) []float64 { return collnet.DecodeFloat64s(buf) }
+
+// EncodeInt64s packs int64 values for reduction buffers.
+func EncodeInt64s(vals []int64) []byte { return collnet.EncodeInt64s(vals) }
+
+// DecodeInt64s unpacks reduction buffers into int64 values.
+func DecodeInt64s(buf []byte) []int64 { return collnet.DecodeInt64s(buf) }

@@ -1,0 +1,94 @@
+package pami_test
+
+import (
+	"sync"
+	"testing"
+
+	"pamigo/pami"
+)
+
+// TestPublicSurfaceEndToEnd exercises the documented public API exactly
+// as the package example shows it.
+func TestPublicSurfaceEndToEnd(t *testing.T) {
+	m, err := pami.NewMachine(pami.MachineConfig{
+		Dims: pami.Dims{2, 1, 1, 1, 1},
+		PPN:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes() != 2 || m.Tasks() != 4 {
+		t.Fatalf("machine shape wrong: %d nodes, %d tasks", m.Nodes(), m.Tasks())
+	}
+	var mu sync.Mutex
+	delivered := map[int]string{}
+	m.Run(func(p *pami.Process) {
+		client, err := pami.NewClient(m, p, "public")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ctxs, err := client.CreateContexts(1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ctx := ctxs[0]
+		got := false
+		err = ctx.RegisterDispatch(1, func(c *pami.Context, d *pami.Delivery) {
+			mu.Lock()
+			delivered[p.TaskRank()] = string(d.Data)
+			mu.Unlock()
+			got = true
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		world, err := client.WorldGeometry(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		world.Barrier()
+		next := (p.TaskRank() + 1) % m.Tasks()
+		if err := ctx.SendImmediate(pami.Endpoint{Task: next, Ctx: 0}, 1, nil, []byte("ring")); err != nil {
+			t.Error(err)
+			return
+		}
+		ctx.AdvanceUntil(func() bool { return got })
+
+		// Collectives through the facade constants.
+		sum := make([]byte, 8)
+		if err := world.Allreduce(pami.EncodeInt64s([]int64{1}), sum, pami.OpAdd, pami.Int64); err != nil {
+			t.Error(err)
+			return
+		}
+		if got := pami.DecodeInt64s(sum)[0]; got != int64(m.Tasks()) {
+			t.Errorf("facade allreduce = %d", got)
+		}
+		world.Barrier()
+	})
+	for task := 0; task < 4; task++ {
+		if delivered[task] != "ring" {
+			t.Fatalf("task %d never got its message", task)
+		}
+	}
+}
+
+func TestFloatEncodingHelpers(t *testing.T) {
+	in := []float64{1.5, -2.25, 0}
+	out := pami.DecodeFloat64s(pami.EncodeFloat64s(in))
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("float roundtrip broke at %d", i)
+		}
+	}
+	ints := []int64{-1, 0, 1 << 40}
+	outi := pami.DecodeInt64s(pami.EncodeInt64s(ints))
+	for i := range ints {
+		if outi[i] != ints[i] {
+			t.Fatalf("int roundtrip broke at %d", i)
+		}
+	}
+}

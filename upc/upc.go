@@ -1,0 +1,25 @@
+// Package upc is the public facade of the UPC-flavored PGAS layer on
+// PAMI (see internal/upc): block-cyclic shared arrays with affinity,
+// one-sided remote element access, upc_forall-style iteration, and
+// upc_barrier. One of the four programming models this repository runs
+// on coexisting PAMI clients (MPI, ARMCI, Charm-style chares, UPC).
+package upc
+
+import (
+	"pamigo/internal/cnk"
+	"pamigo/internal/machine"
+	"pamigo/internal/upc"
+)
+
+// Runtime is one thread's UPC instance (MYTHREAD/THREADS map to the
+// machine's task ranks).
+type Runtime = upc.Runtime
+
+// SharedArray is a block-cyclically distributed shared []int64.
+type SharedArray = upc.SharedArray
+
+// Attach creates the runtime for a process; collective across the
+// machine's processes.
+func Attach(m *machine.Machine, p *cnk.Process) (*Runtime, error) {
+	return upc.Attach(m, p)
+}
