@@ -8,6 +8,8 @@
 //
 // Custom metrics: latency benches report us/hrt (microseconds per half
 // round trip); rate benches report MMPS; throughput benches report MB/s.
+// Traffic metrics (pkts/op, collnet ops) come straight from the machine's
+// telemetry snapshot each driver returns — see README "Observability".
 package pamigo_test
 
 import (
@@ -17,71 +19,74 @@ import (
 	"pamigo/internal/bench"
 	"pamigo/internal/core"
 	"pamigo/internal/mpilib"
+	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
 )
 
-func reportHRT(b *testing.B, hrt time.Duration, err error) {
+func reportHRT(b *testing.B, hrt time.Duration, snap telemetry.Snapshot, err error) {
 	b.Helper()
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportMetric(float64(hrt.Nanoseconds())/1000, "us/hrt")
+	counters, _ := snap.Totals()
+	b.ReportMetric(float64(counters["packets"])/float64(b.N), "pkts/op")
 }
 
 // --- Table 1: PAMI half round trip, 0B ---
 
 func BenchmarkTable1_PAMISendImmediate(b *testing.B) {
-	hrt, err := bench.PingPongPAMI(b.N, 0, true)
-	reportHRT(b, hrt, err)
+	hrt, snap, err := bench.PingPongPAMI(b.N, 0, true)
+	reportHRT(b, hrt, snap, err)
 }
 
 func BenchmarkTable1_PAMISend(b *testing.B) {
-	hrt, err := bench.PingPongPAMI(b.N, 0, false)
-	reportHRT(b, hrt, err)
+	hrt, snap, err := bench.PingPongPAMI(b.N, 0, false)
+	reportHRT(b, hrt, snap, err)
 }
 
 // --- Table 2: MPI half round trip, 0B, per library configuration ---
 
 func BenchmarkTable2_ClassicThreadSingle(b *testing.B) {
-	hrt, err := bench.PingPongMPI(mpilib.Options{
+	hrt, snap, err := bench.PingPongMPI(mpilib.Options{
 		Library: mpilib.Classic, ThreadMode: mpilib.ThreadSingle,
 	}, b.N, 0)
-	reportHRT(b, hrt, err)
+	reportHRT(b, hrt, snap, err)
 }
 
 func BenchmarkTable2_ClassicLocked(b *testing.B) {
-	hrt, err := bench.PingPongMPI(mpilib.Options{
+	hrt, snap, err := bench.PingPongMPI(mpilib.Options{
 		Library: mpilib.Classic, ThreadMode: mpilib.ThreadFunneled,
 	}, b.N, 0)
-	reportHRT(b, hrt, err)
+	reportHRT(b, hrt, snap, err)
 }
 
 func BenchmarkTable2_ClassicLockedCommThreads(b *testing.B) {
-	hrt, err := bench.PingPongMPI(mpilib.Options{
+	hrt, snap, err := bench.PingPongMPI(mpilib.Options{
 		Library: mpilib.Classic, ThreadMode: mpilib.ThreadFunneled, CommThreads: true,
 	}, b.N, 0)
-	reportHRT(b, hrt, err)
+	reportHRT(b, hrt, snap, err)
 }
 
 func BenchmarkTable2_ThreadOptSingle(b *testing.B) {
-	hrt, err := bench.PingPongMPI(mpilib.Options{
+	hrt, snap, err := bench.PingPongMPI(mpilib.Options{
 		Library: mpilib.ThreadOptimized, ThreadMode: mpilib.ThreadSingle,
 	}, b.N, 0)
-	reportHRT(b, hrt, err)
+	reportHRT(b, hrt, snap, err)
 }
 
 func BenchmarkTable2_ThreadOptMultiple(b *testing.B) {
-	hrt, err := bench.PingPongMPI(mpilib.Options{
+	hrt, snap, err := bench.PingPongMPI(mpilib.Options{
 		Library: mpilib.ThreadOptimized, ThreadMode: mpilib.ThreadMultiple, DisableCommThreads: true,
 	}, b.N, 0)
-	reportHRT(b, hrt, err)
+	reportHRT(b, hrt, snap, err)
 }
 
 func BenchmarkTable2_ThreadOptMultipleCommThreads(b *testing.B) {
-	hrt, err := bench.PingPongMPI(mpilib.Options{
+	hrt, snap, err := bench.PingPongMPI(mpilib.Options{
 		Library: mpilib.ThreadOptimized, ThreadMode: mpilib.ThreadMultiple,
 	}, b.N, 0)
-	reportHRT(b, hrt, err)
+	reportHRT(b, hrt, snap, err)
 }
 
 // --- Table 3: neighbor send+receive throughput, 1MB ---
@@ -90,12 +95,20 @@ func neighborTput(b *testing.B, neighbors int, mode core.SendMode) {
 	b.Helper()
 	const msgSize = 1 << 20
 	iters := b.N
-	tput, err := bench.NeighborThroughputMPI(neighbors, msgSize, iters, mode)
+	tput, snap, err := bench.NeighborThroughputMPI(neighbors, msgSize, iters, mode)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(2 * neighbors * msgSize))
 	b.ReportMetric(tput, "MB/s")
+	counters, _ := snap.Totals()
+	b.ReportMetric(float64(counters["packets"])/float64(iters), "pkts/op")
+	// The protocol split confirms the forced mode actually ran.
+	if mode == core.ModeRendezvous {
+		b.ReportMetric(float64(counters["sends_rendezvous"])/float64(iters), "rdv/op")
+	} else {
+		b.ReportMetric(float64(counters["sends_eager"])/float64(iters), "eager/op")
+	}
 }
 
 func BenchmarkTable3_Eager1Neighbor(b *testing.B)      { neighborTput(b, 1, core.ModeEager) }
@@ -115,7 +128,7 @@ func msgRateMPI(b *testing.B, ppn int, commthreads, wildcard bool) {
 	b.Helper()
 	window := 200
 	reps := b.N/window + 1
-	rate, err := bench.MessageRateMPI(bench.MessageRateConfig{
+	rate, snap, err := bench.MessageRateMPI(bench.MessageRateConfig{
 		PPN: ppn, Window: window, Reps: reps, Wildcard: wildcard,
 		Opts: mpilib.Options{
 			Library:            mpilib.ThreadOptimized,
@@ -127,22 +140,35 @@ func msgRateMPI(b *testing.B, ppn int, commthreads, wildcard bool) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(rate, "MMPS")
+	counters, _ := snap.Totals()
+	msgs := float64(ppn * window * reps)
+	b.ReportMetric(float64(counters["match_attempts"])/msgs, "scans/msg")
 }
 
 func BenchmarkFig5_PAMIRate_PPN1(b *testing.B) {
-	rate, err := bench.MessageRatePAMI(1, 200, b.N/200+1)
+	rate, snap, err := bench.MessageRatePAMI(1, 200, b.N/200+1)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportMetric(rate, "MMPS")
+	reportFIFOPressure(b, snap)
 }
 
 func BenchmarkFig5_PAMIRate_PPN4(b *testing.B) {
-	rate, err := bench.MessageRatePAMI(4, 200, b.N/200+1)
+	rate, snap, err := bench.MessageRatePAMI(4, 200, b.N/200+1)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportMetric(rate, "MMPS")
+	reportFIFOPressure(b, snap)
+}
+
+// reportFIFOPressure surfaces the reception-FIFO high-water mark — the
+// hardware-side queueing the message-rate workload is designed to create.
+func reportFIFOPressure(b *testing.B, snap telemetry.Snapshot) {
+	b.Helper()
+	_, gauges := snap.Totals()
+	b.ReportMetric(float64(gauges["occupancy"].HighWater), "fifo-hwm")
 }
 
 func BenchmarkFig5_MPIRate_PPN1(b *testing.B)            { msgRateMPI(b, 1, false, false) }
@@ -157,7 +183,7 @@ var benchDims = torus.Dims{2, 2, 2, 1, 1} // 8 nodes
 
 func collectiveLatency(b *testing.B, kind bench.CollectiveKind, ppn, size int) {
 	b.Helper()
-	lat, err := bench.CollectiveMPI(kind, benchDims, ppn, size, b.N)
+	lat, snap, err := bench.CollectiveMPI(kind, benchDims, ppn, size, b.N)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -165,6 +191,9 @@ func collectiveLatency(b *testing.B, kind bench.CollectiveKind, ppn, size int) {
 	if size > 0 {
 		b.ReportMetric(float64(size)/lat.Seconds()/1e6, "MB/s")
 	}
+	counters, _ := snap.Totals()
+	collOps := counters["reductions"] + counters["broadcasts"] + counters["barriers"]
+	b.ReportMetric(float64(collOps)/float64(b.N), "collnet-ops/op")
 }
 
 func BenchmarkFig6_Barrier_PPN1(b *testing.B) { collectiveLatency(b, bench.KindBarrier, 1, 0) }

@@ -26,16 +26,20 @@ func main() {
 	commthreads := flag.Bool("commthreads", false, "enable communication threads (mpi layer)")
 	wildcard := flag.Bool("wildcard", false, "post receives with MPI_ANY_SOURCE (mpi layer)")
 	threadOpt := flag.Bool("threadopt", true, "use the thread-optimized MPI build")
+	stats := flag.Bool("stats", false, "print the machine's telemetry totals after the run")
 	flag.Parse()
 
 	switch *layer {
 	case "pami":
-		rate, err := bench.MessageRatePAMI(*ppn, *window, *reps)
+		rate, snap, err := bench.MessageRatePAMI(*ppn, *window, *reps)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("PAMI message rate: %.3f MMPS (PPN=%d, window=%d, reps=%d)\n",
 			rate, *ppn, *window, *reps)
+		if *stats {
+			fmt.Print(snap.RenderTotals())
+		}
 	case "mpi":
 		lib := mpilib.Classic
 		if *threadOpt {
@@ -52,12 +56,15 @@ func main() {
 				DisableCommThreads: !*commthreads,
 			},
 		}
-		rate, err := bench.MessageRateMPI(cfg)
+		rate, snap, err := bench.MessageRateMPI(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("MPI message rate: %.3f MMPS (PPN=%d, commthreads=%v, wildcard=%v, %v build)\n",
 			rate, *ppn, *commthreads, *wildcard, lib)
+		if *stats {
+			fmt.Print(snap.RenderTotals())
+		}
 	default:
 		log.Fatalf("msgrate: unknown layer %q (want pami or mpi)", *layer)
 	}

@@ -43,6 +43,7 @@ func main() {
 	dimsFlag := flag.String("dims", "2x2x2x1x1", "torus shape AxBxCxDxE")
 	ppn := flag.Int("ppn", 2, "processes per node")
 	verbose := flag.Bool("v", false, "print per-rank progress")
+	stats := flag.Bool("stats", false, "print the machine's telemetry totals after the shakedown")
 	flag.Parse()
 
 	dims, err := parseDims(*dimsFlag)
@@ -115,6 +116,11 @@ func main() {
 		s.Packets, s.Bytes, s.Hops, float64(s.Hops)/float64(max64(s.Packets, 1)))
 	fmt.Printf("operations: %d memory-FIFO sends, %d RDMA puts, %d remote gets\n",
 		s.MemFIFOSends, s.Puts, s.RemoteGets)
+	if *stats {
+		fmt.Println()
+		fmt.Println("telemetry totals (full tree: m.Telemetry().Snapshot().JSON()):")
+		fmt.Print(m.Telemetry().Snapshot().RenderTotals())
+	}
 }
 
 func max64(a, b int64) int64 {

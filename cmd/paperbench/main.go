@@ -30,10 +30,15 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|all")
 	verify := flag.Bool("verify", false, "cross-check the closed-form model against the packet-level DES (table3)")
+	stats := flag.Bool("stats", false, "run the functional machine on the table1/fig5 workloads and print its telemetry counters")
 	flag.Parse()
 
 	if *verify {
 		verifyAgainstDES()
+		return
+	}
+	if *stats {
+		functionalStats()
 		return
 	}
 
@@ -93,6 +98,31 @@ func main() {
 		os.Exit(2)
 	}
 	run()
+}
+
+// functionalStats reruns two of the paper's workloads on the functional
+// machine — the Table 1 ping-pong and the Figure 5 message-rate pattern —
+// and prints the telemetry counter totals each run accumulated: sends by
+// protocol, MU packets, reception-FIFO high-water marks, MPI matching
+// work. This is the observability view of the experiments; the model
+// (default mode) reports their paper-scale timings.
+func functionalStats() {
+	hrt, ppSnap, err := bench.PingPongPAMI(200, 0, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("TABLE 1 workload (functional run): PAMI SendImmediate ping-pong, 200 iters, hrt %v\n", hrt)
+	fmt.Print(ppSnap.RenderTotals())
+
+	fmt.Println()
+	rate, mrSnap, err := bench.MessageRateMPI(bench.MessageRateConfig{PPN: 2, Window: 200, Reps: 3})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("FIGURE 5 workload (functional run): MPI message rate, PPN=2, %.3f MMPS\n", rate)
+	fmt.Print(mrSnap.RenderTotals())
 }
 
 // verifyAgainstDES derives Table 3's rendezvous column a second way —

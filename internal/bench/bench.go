@@ -19,16 +19,28 @@ import (
 	"pamigo/internal/core"
 	"pamigo/internal/machine"
 	"pamigo/internal/mpilib"
+	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
 )
+
+// Every driver returns the machine's telemetry snapshot alongside its
+// wall-clock figure: the callers derive packets-per-operation, protocol
+// mix, and FIFO pressure from the same counter tree the runtime maintains
+// (see README "Observability") instead of keeping private tallies.
+
+// delivered reads a context's user-message delivery counter.
+func delivered(ctx *core.Context) int64 {
+	_, _, d := ctx.Stats()
+	return d
+}
 
 // PingPongPAMI measures the PAMI half-round-trip latency for a payload of
 // the given size between two neighboring nodes, over iters round trips.
 // immediate selects SendImmediate (Table 1 row 1) versus Send (row 2).
-func PingPongPAMI(iters, payload int, immediate bool) (time.Duration, error) {
+func PingPongPAMI(iters, payload int, immediate bool) (time.Duration, telemetry.Snapshot, error) {
 	m, err := machine.New(machine.Config{Dims: torus.Dims{2, 1, 1, 1, 1}, PPN: 1})
 	if err != nil {
-		return 0, err
+		return 0, telemetry.Snapshot{}, err
 	}
 	var hrt time.Duration
 	var runErr error
@@ -44,10 +56,9 @@ func PingPongPAMI(iters, payload int, immediate bool) (time.Duration, error) {
 			return
 		}
 		ctx := ctxs[0]
-		pending := 0
-		ctx.RegisterDispatch(1, func(_ *core.Context, d *core.Delivery) {
-			pending++
-		})
+		// Completion is observed through the context's own dispatch
+		// counter; the handler has nothing left to count.
+		ctx.RegisterDispatch(1, func(_ *core.Context, d *core.Delivery) {})
 		g, err := client.WorldGeometry(ctx)
 		if err != nil {
 			runErr = err
@@ -70,14 +81,14 @@ func PingPongPAMI(iters, payload int, immediate bool) (time.Duration, error) {
 					runErr = err
 					return
 				}
-				want := pending + 1
-				ctx.AdvanceUntil(func() bool { return pending >= want })
+				want := delivered(ctx) + 1
+				ctx.AdvanceUntil(func() bool { return delivered(ctx) >= want })
 			}
 			hrt = time.Since(start) / time.Duration(2*iters)
 		} else {
 			for i := 0; i < iters; i++ {
-				want := pending + 1
-				ctx.AdvanceUntil(func() bool { return pending >= want })
+				want := delivered(ctx) + 1
+				ctx.AdvanceUntil(func() bool { return delivered(ctx) >= want })
 				if err := send(); err != nil {
 					runErr = err
 					return
@@ -86,15 +97,15 @@ func PingPongPAMI(iters, payload int, immediate bool) (time.Duration, error) {
 		}
 		g.Barrier()
 	})
-	return hrt, runErr
+	return hrt, m.Telemetry().Snapshot(), runErr
 }
 
 // PingPongMPI measures the MPI half-round-trip latency for one payload
 // size under the given library options (Table 2 configurations).
-func PingPongMPI(opts mpilib.Options, iters, payload int) (time.Duration, error) {
+func PingPongMPI(opts mpilib.Options, iters, payload int) (time.Duration, telemetry.Snapshot, error) {
 	m, err := machine.New(machine.Config{Dims: torus.Dims{2, 1, 1, 1, 1}, PPN: 1})
 	if err != nil {
-		return 0, err
+		return 0, telemetry.Snapshot{}, err
 	}
 	var hrt time.Duration
 	var runErr error
@@ -135,7 +146,7 @@ func PingPongMPI(opts mpilib.Options, iters, payload int) (time.Duration, error)
 		}
 		cw.Barrier()
 	})
-	return hrt, runErr
+	return hrt, m.Telemetry().Snapshot(), runErr
 }
 
 // neighborNodesOf lists the distinct torus neighbors of node 0, in link
@@ -178,11 +189,11 @@ type MessageRateConfig struct {
 // achieved rate in million messages per second (MMPS) for the reference
 // node. A barrier after posting receives eliminates unexpected messages,
 // exactly as in the paper; the barrier cost is included in the rate.
-func MessageRateMPI(cfg MessageRateConfig) (float64, error) {
+func MessageRateMPI(cfg MessageRateConfig) (float64, telemetry.Snapshot, error) {
 	dims := torus.Dims{3, 3, 3, 1, 1}
 	m, err := machine.New(machine.Config{Dims: dims, PPN: cfg.PPN})
 	if err != nil {
-		return 0, err
+		return 0, telemetry.Snapshot{}, err
 	}
 	neighbors := neighborNodesOf(dims, 6)
 	var rate float64
@@ -245,7 +256,7 @@ func MessageRateMPI(cfg MessageRateConfig) (float64, error) {
 			rate = total / elapsed.Seconds() / 1e6
 		}
 	})
-	return rate, runErr
+	return rate, m.Telemetry().Snapshot(), runErr
 }
 
 func indexOf(s []torus.Rank, v torus.Rank) int {
@@ -260,11 +271,11 @@ func indexOf(s []torus.Rank, v torus.Rank) int {
 // MessageRatePAMI measures the raw PAMI message rate: every process on
 // the reference node blasts SendImmediate messages at a partner on a
 // neighboring node, which drains its context.
-func MessageRatePAMI(ppn, window, reps int) (float64, error) {
+func MessageRatePAMI(ppn, window, reps int) (float64, telemetry.Snapshot, error) {
 	dims := torus.Dims{3, 3, 3, 1, 1}
 	m, err := machine.New(machine.Config{Dims: dims, PPN: ppn})
 	if err != nil {
-		return 0, err
+		return 0, telemetry.Snapshot{}, err
 	}
 	neighbors := neighborNodesOf(dims, 6)
 	var rate float64
@@ -281,8 +292,7 @@ func MessageRatePAMI(ppn, window, reps int) (float64, error) {
 			return
 		}
 		ctx := ctxs[0]
-		received := 0
-		ctx.RegisterDispatch(1, func(_ *core.Context, d *core.Delivery) { received++ })
+		ctx.RegisterDispatch(1, func(_ *core.Context, d *core.Delivery) {})
 		g, err := client.WorldGeometry(ctx)
 		if err != nil {
 			runErr = err
@@ -307,8 +317,8 @@ func MessageRatePAMI(ppn, window, reps int) (float64, error) {
 				}
 			}
 		} else if idx := indexOf(neighbors, p.Node().Rank); idx >= 0 && local%len(neighbors) == idx {
-			want := window * reps
-			ctx.AdvanceUntil(func() bool { return received >= want })
+			want := int64(window * reps)
+			ctx.AdvanceUntil(func() bool { return delivered(ctx) >= want })
 		}
 		g.Barrier()
 		if onRef && local == 0 {
@@ -316,21 +326,21 @@ func MessageRatePAMI(ppn, window, reps int) (float64, error) {
 			rate = float64(ppn*window*reps) / elapsed.Seconds() / 1e6
 		}
 	})
-	return rate, runErr
+	return rate, m.Telemetry().Snapshot(), runErr
 }
 
 // NeighborThroughputMPI measures the bidirectional nearest-neighbor
 // throughput (MB/s) of Table 3: the reference node exchanges msgSize
 // messages with `neighbors` neighboring nodes per iteration, forcing the
 // given protocol.
-func NeighborThroughputMPI(neighbors, msgSize, iters int, mode core.SendMode) (float64, error) {
+func NeighborThroughputMPI(neighbors, msgSize, iters int, mode core.SendMode) (float64, telemetry.Snapshot, error) {
 	dims := torus.Dims{3, 3, 3, 2, 2}
 	if neighbors > 10 {
-		return 0, fmt.Errorf("bench: a node has at most 10 neighbors")
+		return 0, telemetry.Snapshot{}, fmt.Errorf("bench: a node has at most 10 neighbors")
 	}
 	m, err := machine.New(machine.Config{Dims: dims, PPN: 1})
 	if err != nil {
-		return 0, err
+		return 0, telemetry.Snapshot{}, err
 	}
 	nbs := neighborNodesOf(dims, neighbors)
 	var tput float64
@@ -391,7 +401,7 @@ func NeighborThroughputMPI(neighbors, msgSize, iters int, mode core.SendMode) (f
 			tput = bytes / elapsed.Seconds() / 1e6
 		}
 	})
-	return tput, runErr
+	return tput, m.Telemetry().Snapshot(), runErr
 }
 
 // CollectiveKind selects the collective a latency/throughput run drives.
@@ -409,13 +419,13 @@ const (
 // shape and PPN: iters operations on size-byte buffers (ignored for
 // barrier). It returns the mean per-operation latency; throughput is
 // size/latency.
-func CollectiveMPI(kind CollectiveKind, dims torus.Dims, ppn, size, iters int) (time.Duration, error) {
+func CollectiveMPI(kind CollectiveKind, dims torus.Dims, ppn, size, iters int) (time.Duration, telemetry.Snapshot, error) {
 	if size%8 != 0 {
 		size = (size + 7) &^ 7
 	}
 	m, err := machine.New(machine.Config{Dims: dims, PPN: ppn})
 	if err != nil {
-		return 0, err
+		return 0, telemetry.Snapshot{}, err
 	}
 	var lat time.Duration
 	var runErr error
@@ -452,5 +462,5 @@ func CollectiveMPI(kind CollectiveKind, dims torus.Dims, ppn, size, iters int) (
 		}
 		cw.Barrier()
 	})
-	return lat, runErr
+	return lat, m.Telemetry().Snapshot(), runErr
 }

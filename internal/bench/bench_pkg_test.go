@@ -12,18 +12,22 @@ import (
 
 func TestPingPongPAMIRuns(t *testing.T) {
 	for _, immediate := range []bool{true, false} {
-		hrt, err := PingPongPAMI(50, 0, immediate)
+		hrt, snap, err := PingPongPAMI(50, 0, immediate)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if hrt <= 0 {
 			t.Fatalf("non-positive latency %v (immediate=%v)", hrt, immediate)
 		}
+		counters, _ := snap.Totals()
+		if counters["packets"] == 0 {
+			t.Errorf("snapshot shows no torus packets (immediate=%v)", immediate)
+		}
 	}
 }
 
 func TestPingPongMPIRuns(t *testing.T) {
-	hrt, err := PingPongMPI(mpilib.Options{}, 50, 0)
+	hrt, _, err := PingPongMPI(mpilib.Options{}, 50, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,11 +39,11 @@ func TestPingPongMPIRuns(t *testing.T) {
 func TestPAMIFasterThanMPI(t *testing.T) {
 	// The relative claim behind Tables 1-2: PAMI's half round trip beats
 	// MPI's, which pays matching and request overheads on top.
-	pami, err := PingPongPAMI(300, 0, true)
+	pami, _, err := PingPongPAMI(300, 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mpi, err := PingPongMPI(mpilib.Options{}, 300, 0)
+	mpi, _, err := PingPongMPI(mpilib.Options{}, 300, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +53,7 @@ func TestPAMIFasterThanMPI(t *testing.T) {
 }
 
 func TestMessageRatePAMIRuns(t *testing.T) {
-	rate, err := MessageRatePAMI(2, 100, 3)
+	rate, _, err := MessageRatePAMI(2, 100, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,17 +63,20 @@ func TestMessageRatePAMIRuns(t *testing.T) {
 }
 
 func TestMessageRateMPIRuns(t *testing.T) {
-	rate, err := MessageRateMPI(MessageRateConfig{PPN: 2, Window: 50, Reps: 2})
+	rate, snap, err := MessageRateMPI(MessageRateConfig{PPN: 2, Window: 50, Reps: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rate <= 0 {
 		t.Fatalf("rate = %f", rate)
 	}
+	if hits, _ := snap.Totals(); hits["match_hits"] == 0 {
+		t.Error("snapshot shows no MPI matches")
+	}
 }
 
 func TestMessageRateWildcardRuns(t *testing.T) {
-	rate, err := MessageRateMPI(MessageRateConfig{PPN: 1, Window: 50, Reps: 2, Wildcard: true})
+	rate, _, err := MessageRateMPI(MessageRateConfig{PPN: 1, Window: 50, Reps: 2, Wildcard: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,12 +87,19 @@ func TestMessageRateWildcardRuns(t *testing.T) {
 
 func TestNeighborThroughputRuns(t *testing.T) {
 	for _, mode := range []core.SendMode{core.ModeEager, core.ModeRendezvous} {
-		tput, err := NeighborThroughputMPI(2, 64*1024, 2, mode)
+		tput, snap, err := NeighborThroughputMPI(2, 64*1024, 2, mode)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if tput <= 0 {
 			t.Fatalf("throughput = %f (mode %d)", tput, mode)
+		}
+		counters, _ := snap.Totals()
+		if mode == core.ModeRendezvous && counters["sends_rendezvous"] == 0 {
+			t.Error("forced rendezvous run recorded no rendezvous sends")
+		}
+		if mode == core.ModeEager && counters["sends_eager"] == 0 {
+			t.Error("forced eager run recorded no eager sends")
 		}
 	}
 }
@@ -93,7 +107,7 @@ func TestNeighborThroughputRuns(t *testing.T) {
 func TestCollectiveMPIRuns(t *testing.T) {
 	dims := torus.Dims{2, 2, 1, 1, 1}
 	for _, kind := range []CollectiveKind{KindBarrier, KindAllreduce, KindBroadcast, KindRectBroadcast} {
-		lat, err := CollectiveMPI(kind, dims, 1, 4096, 3)
+		lat, _, err := CollectiveMPI(kind, dims, 1, 4096, 3)
 		if err != nil {
 			t.Fatalf("kind %d: %v", kind, err)
 		}

@@ -27,6 +27,7 @@ import (
 	"math"
 	"sync"
 
+	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
 )
 
@@ -230,6 +231,16 @@ func (cr *ClassRoute) Depth() int { return cr.Tree.Depth() }
 // Network owns the classroute slot accounting for a machine.
 type Network struct {
 	dims torus.Dims
+	tele *telemetry.Registry
+
+	// Session traffic counters (paper §V drives collective tuning off
+	// exactly these quantities).
+	reductions  *telemetry.Counter // reduce/allreduce sessions completed
+	broadcasts  *telemetry.Counter // broadcast sessions completed
+	barriers    *telemetry.Counter // barrier sessions completed
+	combines    *telemetry.Counter // 8-byte words combined by the router ALU
+	traversals  *telemetry.Counter // classroute tree nodes visited while combining
+	classroutes *telemetry.Counter // classroutes ever programmed
 
 	mu     sync.Mutex
 	inUse  map[torus.Rank]int
@@ -238,8 +249,23 @@ type Network struct {
 
 // New returns the classroute manager for a machine of the given shape.
 func New(dims torus.Dims) *Network {
-	return &Network{dims: dims, inUse: make(map[torus.Rank]int)}
+	tele := telemetry.NewRegistry("collnet")
+	return &Network{
+		dims:        dims,
+		tele:        tele,
+		reductions:  tele.Counter("reductions"),
+		broadcasts:  tele.Counter("broadcasts"),
+		barriers:    tele.Counter("barriers"),
+		combines:    tele.Counter("words_combined"),
+		traversals:  tele.Counter("classroute_traversals"),
+		classroutes: tele.Counter("classroutes_allocated"),
+		inUse:       make(map[torus.Rank]int),
+	}
 }
+
+// Telemetry returns the collective network's counter registry; the
+// machine layer adopts it into the job-wide registry tree.
+func (n *Network) Telemetry() *telemetry.Registry { return n.tele }
 
 // Dims returns the machine shape.
 func (n *Network) Dims() torus.Dims { return n.dims }
@@ -269,6 +295,7 @@ func (n *Network) Allocate(rect torus.Rectangle, root torus.Rank) (*ClassRoute, 
 		n.inUse[r]++
 	}
 	n.nextID++
+	n.classroutes.Inc()
 	return &ClassRoute{
 		ID:       n.nextID,
 		Rect:     rect,

@@ -105,13 +105,32 @@ func (s *Session) Contribute(rank torus.Rank, data []byte) {
 				panic(fmt.Sprintf("collnet: two broadcast sources in session %d", s.seq))
 			}
 			s.result = append([]byte(nil), data...)
+			s.count(KindBroadcast)
 			close(s.done)
 		}
 	default:
 		if s.arrived == s.parties {
 			s.result = s.combineTree()
+			s.count(s.kind)
 			close(s.done)
 		}
+	}
+}
+
+// count records a completed session in the network's telemetry. Guarded
+// against a concurrently freed classroute, which retires the counters.
+func (s *Session) count(kind Kind) {
+	net := s.cr.net
+	if net == nil {
+		return
+	}
+	switch kind {
+	case KindBroadcast:
+		net.broadcasts.Inc()
+	case KindBarrier:
+		net.barriers.Inc()
+	default:
+		net.reductions.Inc()
 	}
 }
 
@@ -123,13 +142,20 @@ func (s *Session) combineTree() []byte {
 	if s.kind == KindBarrier || s.nbytes == 0 {
 		return nil
 	}
+	net := s.cr.net
 	var fold func(n torus.Rank) []byte
 	fold = func(n torus.Rank) []byte {
+		if net != nil {
+			net.traversals.Inc()
+		}
 		acc := append([]byte(nil), s.contrib[n]...)
 		for _, c := range s.cr.Tree.Children(n) {
 			sub := fold(c)
 			if err := Combine(s.op, s.dt, acc, sub); err != nil {
 				panic("collnet: " + err.Error())
+			}
+			if net != nil {
+				net.combines.Add(int64(len(acc) / 8))
 			}
 		}
 		return acc

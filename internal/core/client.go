@@ -30,6 +30,7 @@ import (
 	"pamigo/internal/lockless"
 	"pamigo/internal/machine"
 	"pamigo/internal/mu"
+	"pamigo/internal/telemetry"
 )
 
 // Endpoint addresses a context within a task — the PAMI communication
@@ -42,6 +43,7 @@ type Client struct {
 	name string
 	mach *machine.Machine
 	proc *cnk.Process
+	tele *telemetry.Registry
 
 	mu       sync.Mutex
 	contexts []*Context
@@ -65,6 +67,7 @@ func NewClient(m *machine.Machine, proc *cnk.Process, name string) (*Client, err
 		name:           name,
 		mach:           m,
 		proc:           proc,
+		tele:           m.Telemetry().Group("core"),
 		EagerThreshold: DefaultEagerThreshold,
 	}, nil
 }
@@ -140,6 +143,10 @@ func (c *Client) CreateContexts(n int) ([]*Context, error) {
 			reasm:    make(map[reasmKey]*reasmState),
 			pending:  make(map[uint64]*pendingSend),
 			inbox:    make(map[inboxKey][]byte),
+			stats:    newCtxStats(c.tele.Group(fmt.Sprintf("task%d", addr.Task)).Group(fmt.Sprintf("ctx%d", ord))),
+		}
+		if telemetry.TraceEnabled {
+			ctx.tracer = telemetry.NewTracer(traceRingSlots)
 		}
 		fabric.RegisterContext(addr, res.Rec)
 		c.contexts = append(c.contexts, ctx)
@@ -231,4 +238,5 @@ const (
 	shmemSlots         = 256
 	workQueueSlots     = 256
 	commThreadBatch    = 64
+	traceRingSlots     = 4096 // per-context event ring under -tags pamitrace
 )

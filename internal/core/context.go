@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"pamigo/internal/l2atomic"
 	"pamigo/internal/lockless"
 	"pamigo/internal/mu"
 	"pamigo/internal/shmem"
+	"pamigo/internal/telemetry"
 	"pamigo/internal/wakeup"
 )
 
@@ -51,17 +53,48 @@ type Context struct {
 	dispatch map[uint16]DispatchFn
 
 	// Sender-side state (touched only while advancing/sending).
-	sendSeq   uint64
-	nextMR    uint64
-	pending   map[uint64]*pendingSend
-	reasm     map[reasmKey]*reasmState
-	inbox     map[inboxKey][]byte
-	inboxGen  uint64
-	advances  atomic.Int64
-	workDone  atomic.Int64
-	delivered atomic.Int64
+	sendSeq  uint64
+	nextMR   uint64
+	pending  map[uint64]*pendingSend
+	reasm    map[reasmKey]*reasmState
+	inbox    map[inboxKey][]byte
+	inboxGen uint64
+
+	stats  *ctxStats
+	tracer *telemetry.Tracer // non-nil only under -tags pamitrace
 
 	commThreaded atomic.Bool
+}
+
+// ctxStats is a context's hardware-counter set (paper §V quantities):
+// lock-free telemetry slots created once at context creation and updated
+// with single atomic adds on the hot paths.
+type ctxStats struct {
+	sendsImmediate *telemetry.Counter
+	sendsEager     *telemetry.Counter
+	sendsRdv       *telemetry.Counter
+	bytesSent      *telemetry.Counter
+	delivered      *telemetry.Counter
+	advances       *telemetry.Counter
+	workItems      *telemetry.Counter
+	rdvInflight    *telemetry.Gauge   // rendezvous sends awaiting ack (hwm = peak exposure)
+	rdvCompleted   *telemetry.Counter // rendezvous sends acked
+	rdvLatencyNs   *telemetry.Counter // summed RTS→ack completion latency
+}
+
+func newCtxStats(reg *telemetry.Registry) *ctxStats {
+	return &ctxStats{
+		sendsImmediate: reg.Counter("sends_immediate"),
+		sendsEager:     reg.Counter("sends_eager"),
+		sendsRdv:       reg.Counter("sends_rendezvous"),
+		bytesSent:      reg.Counter("bytes_sent"),
+		delivered:      reg.Counter("dispatches"),
+		advances:       reg.Counter("advances"),
+		workItems:      reg.Counter("work_items"),
+		rdvInflight:    reg.Gauge("rdv_inflight"),
+		rdvCompleted:   reg.Counter("rdv_completed"),
+		rdvLatencyNs:   reg.Counter("rdv_latency_ns"),
+	}
 }
 
 type reasmKey struct {
@@ -87,6 +120,7 @@ type pendingSend struct {
 	onDone func()
 	mrID   uint64
 	gvaTag uint64
+	start  time.Time // RTS injection time, for the completion-latency counter
 }
 
 // Client returns the owning client.
@@ -157,9 +191,9 @@ func (ctx *Context) Advance(max int) int {
 		break
 	}
 	if n > 0 {
-		ctx.workDone.Add(int64(n))
+		ctx.stats.workItems.Add(int64(n))
 	}
-	ctx.advances.Add(1)
+	ctx.stats.advances.Inc()
 	return n
 }
 
@@ -184,10 +218,17 @@ func (ctx *Context) AdvanceUntil(cond func() bool) {
 const advanceBatch = 64
 
 // Stats reports how many Advance calls ran, how many work items were
-// processed, and how many user messages were delivered.
+// processed, and how many user messages were delivered. The values come
+// from the context's telemetry counters; the full set (sends by mode,
+// bytes, rendezvous latencies) is in the machine's telemetry snapshot
+// under core.task<T>.ctx<N>.
 func (ctx *Context) Stats() (advances, workDone, delivered int64) {
-	return ctx.advances.Load(), ctx.workDone.Load(), ctx.delivered.Load()
+	return ctx.stats.advances.Load(), ctx.stats.workItems.Load(), ctx.stats.delivered.Load()
 }
+
+// Tracer returns the context's event tracer; nil unless the build sets
+// the `pamitrace` tag (see telemetry.TraceEnabled).
+func (ctx *Context) Tracer() *telemetry.Tracer { return ctx.tracer }
 
 // handlePacket processes one MU packet: either the whole message (single
 // packet) or a piece to reassemble.
@@ -241,7 +282,10 @@ func (ctx *Context) handleMessage(hdr mu.Header, payload []byte, viaShmem bool) 
 	if !ok {
 		panic(fmt.Sprintf("core: endpoint %v received message for unregistered dispatch %#x", ctx.addr, hdr.Dispatch))
 	}
-	ctx.delivered.Add(1)
+	ctx.stats.delivered.Inc()
+	if telemetry.TraceEnabled {
+		ctx.tracer.Emit("deliver", int64(hdr.Dispatch), int64(hdr.Total))
+	}
 	fn(ctx, &Delivery{
 		Origin: hdr.Origin,
 		Meta:   hdr.Meta,

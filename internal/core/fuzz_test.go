@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"pamigo/internal/machine"
+	"pamigo/internal/mu"
+	"pamigo/internal/torus"
+)
+
+// fuzzPair builds a fresh 2-node machine with one context per task. It is
+// the non-t.Helper twin of pair() usable from fuzz targets.
+func fuzzPair(t *testing.T) (*machine.Machine, *Context, *Context) {
+	m, err := machine.New(machine.Config{Dims: torus.Dims{2, 1, 1, 1, 1}, PPN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, a := newClientCtx(t, m, 0)
+	_, b := newClientCtx(t, m, 1)
+	return m, a, b
+}
+
+// fillPattern writes a deterministic byte pattern derived from the seed so
+// corruption anywhere in the packetization pipeline is visible.
+func fillPattern(buf []byte, seed byte) {
+	for i := range buf {
+		buf[i] = byte(i)*7 + seed
+	}
+}
+
+// FuzzPacketize pushes payloads of fuzzer-chosen sizes through the real
+// inter-node eager path — packetization into 512-byte MU packets, torus
+// delivery, reassembly, dispatch — and checks the payload arrives intact
+// and the MU telemetry charged exactly ceil(size/MaxPayload) packets.
+func FuzzPacketize(f *testing.F) {
+	// Packet and protocol boundary sizes: empty, single packet, around the
+	// packet edge, around the default eager threshold, and multi-packet.
+	for _, size := range []int{0, 1, mu.MaxPayload - 1, mu.MaxPayload, mu.MaxPayload + 1,
+		DefaultEagerThreshold - 1, DefaultEagerThreshold, 3*mu.MaxPayload + 17} {
+		f.Add(size, 4, byte(size))
+	}
+	f.Fuzz(func(t *testing.T, size, metaLen int, seed byte) {
+		if size < 0 || size > 1<<16 || metaLen < 0 || metaLen > 64 {
+			t.Skip()
+		}
+		m, a, b := fuzzPair(t)
+		data := make([]byte, size)
+		meta := make([]byte, metaLen)
+		fillPattern(data, seed)
+		fillPattern(meta, ^seed)
+
+		var got capture
+		if err := b.RegisterDispatch(1, got.handler(true)); err != nil {
+			t.Fatal(err)
+		}
+		before, _ := m.Telemetry().Snapshot().Totals()
+		if err := a.Send(SendParams{Dest: b.Endpoint(), Dispatch: 1, Meta: meta, Data: data, Mode: ModeEager}); err != nil {
+			t.Fatal(err)
+		}
+		b.AdvanceUntil(func() bool { got.mu.Lock(); defer got.mu.Unlock(); return got.count == 1 })
+
+		if got.size != size || !bytes.Equal(got.data, data) {
+			t.Fatalf("payload corrupted: got %d bytes, sent %d", got.size, size)
+		}
+		if !bytes.Equal(got.meta, meta) {
+			t.Fatalf("meta corrupted: got %d bytes, sent %d", len(got.meta), len(meta))
+		}
+		after, _ := m.Telemetry().Snapshot().Totals()
+		wantPkts := int64((size + mu.MaxPayload - 1) / mu.MaxPayload)
+		if wantPkts == 0 {
+			wantPkts = 1 // an empty message still moves one packet
+		}
+		if d := after["packets"] - before["packets"]; d != wantPkts {
+			t.Fatalf("size %d: %d packets injected, want %d", size, d, wantPkts)
+		}
+		if d := after["bytes_sent"] - before["bytes_sent"]; d != int64(size) {
+			t.Fatalf("size %d: bytes_sent moved by %d", size, d)
+		}
+	})
+}
+
+// FuzzDeliveryRoundtrip exercises protocol selection (ModeAuto) across the
+// eager/rendezvous threshold: the payload must survive either path and the
+// telemetry must attribute the send to exactly one protocol counter, with
+// no rendezvous left in flight afterwards.
+func FuzzDeliveryRoundtrip(f *testing.F) {
+	for _, size := range []int{0, 1, mu.MaxPayload, DefaultEagerThreshold - 1,
+		DefaultEagerThreshold, DefaultEagerThreshold + 1, 2 * DefaultEagerThreshold} {
+		f.Add(size, byte(size))
+	}
+	f.Fuzz(func(t *testing.T, size int, seed byte) {
+		if size < 0 || size > 1<<16 {
+			t.Skip()
+		}
+		m, a, b := fuzzPair(t)
+		data := make([]byte, size)
+		fillPattern(data, seed)
+
+		var got capture
+		if err := b.RegisterDispatch(1, got.handler(true)); err != nil {
+			t.Fatal(err)
+		}
+		doneSend := false
+		before, _ := m.Telemetry().Snapshot().Totals()
+		err := a.Send(SendParams{
+			Dest: b.Endpoint(), Dispatch: 1, Data: data,
+			OnDone: func() { doneSend = true },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.AdvanceUntil(func() bool { got.mu.Lock(); defer got.mu.Unlock(); return got.count == 1 })
+		// Rendezvous completion (the ack) lands back on the sender.
+		a.AdvanceUntil(func() bool { return doneSend })
+
+		if got.size != size || !bytes.Equal(got.data, data) {
+			t.Fatalf("roundtrip corrupted at %d bytes", size)
+		}
+		after, gauges := m.Telemetry().Snapshot().Totals()
+		eager := after["sends_eager"] - before["sends_eager"]
+		rdv := after["sends_rendezvous"] - before["sends_rendezvous"]
+		if eager+rdv != 1 {
+			t.Fatalf("size %d: eager=%d rendezvous=%d, want exactly one send", size, eager, rdv)
+		}
+		wantRdv := size > DefaultEagerThreshold
+		if (rdv == 1) != wantRdv {
+			t.Fatalf("size %d took the wrong protocol (rendezvous=%v, want %v)", size, rdv == 1, wantRdv)
+		}
+		if g := gauges["rdv_inflight"]; g.Value != 0 {
+			t.Fatalf("size %d: rdv_inflight=%d after completion", size, g.Value)
+		}
+		if wantRdv && after["rdv_completed"]-before["rdv_completed"] != 1 {
+			t.Fatalf("size %d: rendezvous not acked", size)
+		}
+	})
+}

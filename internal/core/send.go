@@ -3,8 +3,10 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"pamigo/internal/mu"
+	"pamigo/internal/telemetry"
 )
 
 // SendMode selects the point-to-point protocol.
@@ -89,6 +91,11 @@ func (ctx *Context) SendImmediate(dst Endpoint, dispatch uint16, meta, data []by
 		Seq:      ctx.sendSeq,
 		Meta:     meta,
 	}
+	ctx.stats.sendsImmediate.Inc()
+	ctx.stats.bytesSent.Add(int64(len(data)))
+	if telemetry.TraceEnabled {
+		ctx.tracer.Emit("send.immediate", int64(dispatch), int64(len(data)))
+	}
 	return ctx.transportSend(dst, hdr, data)
 }
 
@@ -125,6 +132,11 @@ func (ctx *Context) sendEager(p SendParams) error {
 		Origin:   ctx.addr,
 		Seq:      ctx.sendSeq,
 		Meta:     p.Meta,
+	}
+	ctx.stats.sendsEager.Inc()
+	ctx.stats.bytesSent.Add(int64(len(p.Data)))
+	if telemetry.TraceEnabled {
+		ctx.tracer.Emit("send.eager", int64(p.Dispatch), int64(len(p.Data)))
 	}
 	if err := ctx.transportSend(p.Dest, hdr, p.Data); err != nil {
 		return err
@@ -196,7 +208,13 @@ func (ctx *Context) sendRendezvous(p SendParams) error {
 		srcProc: ctx.client.proc.LocalID(),
 		intra:   intra,
 	}
-	ps := &pendingSend{onDone: p.OnDone}
+	ps := &pendingSend{onDone: p.OnDone, start: time.Now()}
+	ctx.stats.sendsRdv.Inc()
+	ctx.stats.bytesSent.Add(int64(len(p.Data)))
+	ctx.stats.rdvInflight.Inc()
+	if telemetry.TraceEnabled {
+		ctx.tracer.Emit("send.rendezvous", int64(p.Dispatch), int64(len(p.Data)))
+	}
 	// Publication IDs embed the context ordinal: the registries are keyed
 	// per task/process, and a task's contexts allocate independently.
 	ctx.nextMR++
@@ -249,7 +267,10 @@ func (ctx *Context) handleRTS(hdr mu.Header, viaShmem bool) {
 	if !ok {
 		panic(fmt.Sprintf("core: endpoint %v received RTS for unregistered dispatch %#x", ctx.addr, dispatch))
 	}
-	ctx.delivered.Add(1)
+	ctx.stats.delivered.Inc()
+	if telemetry.TraceEnabled {
+		ctx.tracer.Emit("deliver.rts", int64(dispatch), int64(info.size))
+	}
 	fn(ctx, &Delivery{
 		Origin: hdr.Origin,
 		Meta:   userMeta,
@@ -327,6 +348,12 @@ func (ctx *Context) handleAck(hdr mu.Header) {
 		panic(fmt.Sprintf("core: ack for unknown send %d on %v", sendID, ctx.addr))
 	}
 	delete(ctx.pending, sendID)
+	ctx.stats.rdvInflight.Dec()
+	ctx.stats.rdvCompleted.Inc()
+	ctx.stats.rdvLatencyNs.Add(time.Since(ps.start).Nanoseconds())
+	if telemetry.TraceEnabled {
+		ctx.tracer.Emit("rdv.ack", int64(sendID), time.Since(ps.start).Nanoseconds())
+	}
 	if ps.mrID != 0 {
 		ctx.client.mach.Fabric().DeregisterMemregion(ctx.addr.Task, ps.mrID)
 	}

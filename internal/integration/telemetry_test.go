@@ -1,0 +1,110 @@
+package integration
+
+import (
+	"sync"
+	"testing"
+
+	"pamigo/internal/cnk"
+	"pamigo/internal/machine"
+	"pamigo/internal/mpilib"
+	"pamigo/internal/torus"
+)
+
+// TestTelemetryUnderConcurrentTraffic drives MPI traffic (mixed eager and
+// rendezvous, commthreads enabled) while separate goroutines continuously
+// snapshot, total, and serialize the machine's telemetry tree. Under
+// `go test -race` this fails if any hot-path counter update or registry
+// access is unsynchronized — it is the cross-layer companion of the
+// package-level races in internal/telemetry.
+//
+// After the job drains it also audits the books: sends happened in both
+// protocols, MU packets moved, every rendezvous acked (rdv_inflight back
+// to zero), and the MPI matching queues emptied out.
+func TestTelemetryUnderConcurrentTraffic(t *testing.T) {
+	m, err := machine.New(machine.Config{Dims: torus.Dims{2, 2, 1, 1, 1}, PPN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent snapshot readers: they race against context creation,
+	// registry growth, and every counter increment in the machine.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := m.Telemetry().Snapshot()
+				if _, err := snap.JSON(); err != nil {
+					t.Errorf("snapshot JSON: %v", err)
+					return
+				}
+				snap.Totals()
+				_ = snap.RenderTotals()
+			}
+		}()
+	}
+
+	const rounds = 40
+	var fail sync.Once
+	m.Run(func(p *cnk.Process) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail.Do(func() { t.Errorf("rank %d panicked: %v", p.TaskRank(), r) })
+			}
+		}()
+		w, err := mpilib.Init(m, p, mpilib.Options{
+			ThreadMode: mpilib.ThreadMultiple, // commthreads: extra writer threads
+			EagerLimit: 512,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer w.Finalize()
+		cw := w.CommWorld()
+		n := w.Size()
+		peer := (w.Rank() + n/2) % n // cross-node partner, symmetric pairing
+		for i := 0; i < rounds; i++ {
+			size := []int{64, 512, 3000}[i%3] // eager, at-threshold, rendezvous
+			in := make([]byte, size)
+			out := make([]byte, size)
+			if _, err := cw.SendRecv(out, peer, i, in, peer, i); err != nil {
+				panic(err)
+			}
+		}
+	})
+	close(stop)
+	readers.Wait()
+
+	counters, gauges := m.Telemetry().Snapshot().Totals()
+	if counters["sends_eager"] == 0 {
+		t.Error("no eager sends recorded")
+	}
+	if counters["sends_rendezvous"] == 0 {
+		t.Error("no rendezvous sends recorded")
+	}
+	if counters["packets"] == 0 || counters["packets_received"] == 0 {
+		t.Errorf("no MU traffic recorded: injected=%d received=%d",
+			counters["packets"], counters["packets_received"])
+	}
+	if counters["match_hits"] == 0 {
+		t.Error("no MPI matches recorded")
+	}
+	if g := gauges["rdv_inflight"]; g.Value != 0 {
+		t.Errorf("rdv_inflight = %d after drain, want 0 (hwm %d)", g.Value, g.HighWater)
+	}
+	for _, name := range []string{"posted_depth", "unexpected_depth"} {
+		if g := gauges[name]; g.Value != 0 {
+			t.Errorf("%s = %d after drain, want 0 (hwm %d)", name, g.Value, g.HighWater)
+		}
+	}
+	if g := gauges["occupancy"]; g.Value != 0 {
+		t.Errorf("reception FIFO occupancy = %d after drain, want 0", g.Value)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"pamigo/internal/collnet"
 	"pamigo/internal/mu"
 	"pamigo/internal/shmem"
+	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
 )
 
@@ -45,6 +46,7 @@ type Machine struct {
 	coll   *collnet.Network
 	gi     *collnet.GIBarrier
 	tasks  []*cnk.Process
+	tele   *telemetry.Registry
 
 	geoMu  sync.Mutex
 	geoReg map[uint64]any
@@ -73,7 +75,13 @@ func New(cfg Config) (*Machine, error) {
 		coll:   collnet.New(cfg.Dims),
 		gi:     collnet.NewGIBarrier(cfg.Dims.Nodes()),
 		geoReg: make(map[uint64]any),
+		tele:   telemetry.NewRegistry("machine"),
 	}
+	// One registry tree for the whole job: the substrates' private
+	// registries become groups, and the software layers above (core, mpi)
+	// hang their own groups off the root.
+	m.tele.Adopt(fabric.Telemetry())
+	m.tele.Adopt(m.coll.Telemetry())
 	for r := 0; r < cfg.Dims.Nodes(); r++ {
 		node, err := cnk.NewNode(torus.Rank(r), cfg.PPN, r*cfg.PPN)
 		if err != nil {
@@ -115,6 +123,12 @@ func (m *Machine) Shmem(r torus.Rank) *shmem.Node { return m.shm[r] }
 
 // Fabric returns the MU/torus data plane.
 func (m *Machine) Fabric() *mu.Fabric { return m.fabric }
+
+// Telemetry returns the job-wide counter registry: the fabric's and
+// collective network's registries are adopted as groups, and each
+// software layer (core, mpi) adds its own. Snapshot it for the tables
+// the -stats flags print.
+func (m *Machine) Telemetry() *telemetry.Registry { return m.tele }
 
 // CollNet returns the classroute manager.
 func (m *Machine) CollNet() *collnet.Network { return m.coll }

@@ -51,6 +51,11 @@ func benchAlltoall(b *testing.B, nonblocking bool) {
 		}
 	})
 	b.ReportMetric(float64(elapsed.Microseconds())/float64(b.N), "us/op")
+	// Traffic profile from the machine's telemetry: packets per alltoall
+	// and the peak reception-FIFO depth the exchange pattern produced.
+	counters, gauges := m.Telemetry().Snapshot().Totals()
+	b.ReportMetric(float64(counters["packets"])/float64(b.N), "pkts/op")
+	b.ReportMetric(float64(gauges["occupancy"].HighWater), "fifo-hwm")
 }
 
 func BenchmarkAlltoallPhased(b *testing.B)      { benchAlltoall(b, false) }

@@ -96,9 +96,12 @@ func (w *World) onMessage(ctx *core.Context, d *core.Delivery) {
 	var match *postedRecv
 	for e := w.posted.Front(); e != nil; e = e.Next() {
 		p := e.Value.(*postedRecv)
+		w.tele.matchAttempts.Inc()
 		if p.matches(env) {
 			match = p
 			w.posted.Remove(e)
+			w.tele.posted.Dec()
+			w.tele.matchHits.Inc()
 			break
 		}
 	}
@@ -112,6 +115,7 @@ func (w *World) onMessage(ctx *core.Context, d *core.Delivery) {
 			un.data = append([]byte(nil), d.Data...)
 		}
 		w.unex.PushBack(un)
+		w.tele.unexpected.Inc()
 		w.queueMu.Unlock()
 		return
 	}
@@ -138,8 +142,11 @@ func (w *World) matchUnexpected(comm uint64, src, tag int) *unexpectedMsg {
 	p := postedRecv{comm: comm, src: src, tag: tag}
 	for e := w.unex.Front(); e != nil; e = e.Next() {
 		un := e.Value.(*unexpectedMsg)
+		w.tele.matchAttempts.Inc()
 		if p.matches(un.env) {
 			w.unex.Remove(e)
+			w.tele.unexpected.Dec()
+			w.tele.matchHits.Inc()
 			return un
 		}
 	}

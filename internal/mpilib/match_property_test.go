@@ -3,6 +3,8 @@ package mpilib
 import (
 	"math/rand"
 	"testing"
+
+	"pamigo/internal/telemetry"
 )
 
 // refMatcher is an executable statement of the MPI matching rules: posted
@@ -56,7 +58,9 @@ func (m *refMatcher) post(r refRecv) {
 func TestMatcherAgainstReference(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		rng := rand.New(rand.NewSource(int64(trial)))
-		w := &World{} // queues only; no machine needed for matching logic
+		// Queues only; no machine needed for matching logic, but the stats
+		// slots must exist because matchUnexpected updates them.
+		w := &World{tele: newWorldStats(telemetry.NewRegistry("test"))}
 		ref := &refMatcher{}
 
 		var gotPairs [][2]int

@@ -150,6 +150,7 @@ func (c *Comm) Irecv(buf []byte, src, tag int) (*Request, error) {
 		return req, nil
 	}
 	w.posted.PushBack(&postedRecv{comm: c.id, src: src, tag: tag, buf: buf, req: req})
+	w.tele.posted.Inc()
 	w.queueMu.Unlock()
 	return req, nil
 }
@@ -316,6 +317,7 @@ func (c *Comm) Probe(src, tag int) (Status, bool) {
 	pr := postedRecv{comm: c.id, src: src, tag: tag}
 	for e := w.unex.Front(); e != nil; e = e.Next() {
 		un := e.Value.(*unexpectedMsg)
+		w.tele.matchAttempts.Inc()
 		if pr.matches(un.env) {
 			return Status{Source: int(un.env.src), Tag: int(un.env.tag), Count: un.size}, true
 		}

@@ -1,0 +1,117 @@
+package mpilib
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pamigo/internal/cnk"
+	"pamigo/internal/machine"
+	"pamigo/internal/torus"
+)
+
+// TestQueueDepthsReturnToZero is the conservation property of the §IV.A
+// matching queues, checked through the telemetry gauges: whatever traffic
+// shape a round takes — eager or rendezvous, receives posted before or
+// after the messages arrive, tags completed out of order — once every
+// request of the round has completed on every rank, both the posted and
+// the unexpected queue gauges must read zero again. The high-water marks,
+// by contrast, must show that the queues were actually exercised.
+func TestQueueDepthsReturnToZero(t *testing.T) {
+	m, err := machine.New(machine.Config{Dims: torus.Dims{2, 1, 1, 1, 1}, PPN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 25
+	var fail sync.Once
+	m.Run(func(p *cnk.Process) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail.Do(func() { t.Errorf("rank %d panicked: %v", p.TaskRank(), r) })
+			}
+		}()
+		w, err := Init(m, p, Options{EagerLimit: 512})
+		if err != nil {
+			panic(err)
+		}
+		defer w.Finalize()
+		cw := w.CommWorld()
+		peer := w.Rank() ^ 1
+		rng := rand.New(rand.NewSource(int64(w.Rank())*1000 + 7))
+		gaugePath := func(name string) string {
+			return fmt.Sprintf("mpi.rank%d.%s", w.Rank(), name)
+		}
+		for round := 0; round < rounds; round++ {
+			// Both ranks derive the round's message count and sizes from a
+			// shared seed so sends and receives agree; the *order* of posts
+			// versus sends is each rank's own coin flip, which is what makes
+			// some messages land unexpected.
+			shared := rand.New(rand.NewSource(int64(round) * 31))
+			nmsg := 1 + shared.Intn(6)
+			sizes := make([]int, nmsg)
+			for i := range sizes {
+				// Straddle the 512-byte eager limit: eager, boundary, rendezvous.
+				sizes[i] = []int{16, 511, 512, 513, 2000}[shared.Intn(5)]
+			}
+			var reqs []*Request
+			recvBufs := make([][]byte, nmsg)
+			postFirst := rng.Intn(2) == 0
+			post := func() {
+				for i := 0; i < nmsg; i++ {
+					recvBufs[i] = make([]byte, sizes[i])
+					r, err := cw.Irecv(recvBufs[i], peer, round*100+i)
+					if err != nil {
+						panic(err)
+					}
+					reqs = append(reqs, r)
+				}
+			}
+			send := func() {
+				for _, i := range rng.Perm(nmsg) { // out-of-order tags
+					out := make([]byte, sizes[i])
+					s, err := cw.Isend(out, peer, round*100+i)
+					if err != nil {
+						panic(err)
+					}
+					reqs = append(reqs, s)
+				}
+			}
+			if postFirst {
+				post()
+				send()
+			} else {
+				send()
+				post()
+			}
+			w.Waitall(reqs)
+			// The barrier separates rounds: every rank's receives for this
+			// round have matched, and no rank has sent round+1 traffic yet,
+			// so at this instant the queues must be globally empty.
+			cw.Barrier()
+			snap := m.Telemetry().Snapshot()
+			for _, name := range []string{"posted_depth", "unexpected_depth"} {
+				g, ok := snap.Gauge(gaugePath(name))
+				if !ok {
+					t.Errorf("rank %d: gauge %s missing", w.Rank(), gaugePath(name))
+					return
+				}
+				if g.Value != 0 {
+					t.Errorf("rank %d round %d: %s = %d after quiesce, want 0",
+						w.Rank(), round, name, g.Value)
+					return
+				}
+			}
+			cw.Barrier() // round r+1 traffic may start only after all checks
+		}
+		// The property is vacuous if the queues never held anything: demand
+		// the posted queue saw depth, and the matching machinery ran.
+		snap := m.Telemetry().Snapshot()
+		if g, _ := snap.Gauge(gaugePath("posted_depth")); g.HighWater == 0 {
+			t.Errorf("rank %d: posted queue high-water is 0 — test exercised nothing", w.Rank())
+		}
+		if hits, _ := snap.Counter(fmt.Sprintf("mpi.rank%d.match_hits", w.Rank())); hits == 0 {
+			t.Errorf("rank %d: no match hits recorded", w.Rank())
+		}
+	})
+}

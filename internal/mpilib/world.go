@@ -31,6 +31,7 @@ import (
 	"pamigo/internal/core"
 	"pamigo/internal/l2atomic"
 	"pamigo/internal/machine"
+	"pamigo/internal/telemetry"
 )
 
 // ThreadMode is the MPI_Init_thread level.
@@ -95,6 +96,25 @@ type Options struct {
 	EagerLimit int
 }
 
+// worldStats is the MPI layer's telemetry slot set: the receive-queue
+// depths of §IV.A (whose high-water marks expose matching pressure) and
+// the match-attempt/hit counters that measure queue-scan work.
+type worldStats struct {
+	posted        *telemetry.Gauge // posted-receive queue depth
+	unexpected    *telemetry.Gauge // unexpected-message queue depth
+	matchAttempts *telemetry.Counter
+	matchHits     *telemetry.Counter
+}
+
+func newWorldStats(reg *telemetry.Registry) worldStats {
+	return worldStats{
+		posted:        reg.Gauge("posted_depth"),
+		unexpected:    reg.Gauge("unexpected_depth"),
+		matchAttempts: reg.Counter("match_attempts"),
+		matchHits:     reg.Counter("match_hits"),
+	}
+}
+
 // World is one process's MPI library instance.
 type World struct {
 	mach   *machine.Machine
@@ -113,6 +133,7 @@ type World struct {
 	// deep queues (thousands of posted receives) stay linear overall.
 	posted list.List // of *postedRecv, in post order
 	unex   list.List // of *unexpectedMsg, in arrival order
+	tele   worldStats
 
 	commMu     sync.Mutex
 	comms      map[uint64]*Comm
@@ -159,6 +180,7 @@ func Init(m *machine.Machine, p *cnk.Process, opts Options) (*World, error) {
 		// process; 1 is COMM_WORLD.
 		nextCommID: 2,
 	}
+	w.tele = newWorldStats(m.Telemetry().Group("mpi").Group(fmt.Sprintf("rank%d", w.rank)))
 	for _, ctx := range ctxs {
 		ctx := ctx
 		if err := ctx.RegisterDispatch(dispatchMPI, w.onMessage); err != nil {

@@ -27,10 +27,10 @@ package mu
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"pamigo/internal/l2atomic"
 	"pamigo/internal/lockless"
+	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
 	"pamigo/internal/wakeup"
 )
@@ -85,11 +85,18 @@ type RecFIFO struct {
 	q      *lockless.Queue[Packet]
 	region *wakeup.Region
 
-	received atomic.Int64
+	received  *telemetry.Counter
+	occupancy *telemetry.Gauge
 }
 
 // Poll removes the next packet, if one is ready.
-func (f *RecFIFO) Poll() (Packet, bool) { return f.q.Dequeue() }
+func (f *RecFIFO) Poll() (Packet, bool) {
+	p, ok := f.q.Dequeue()
+	if ok {
+		f.occupancy.Dec()
+	}
+	return p, ok
+}
 
 // Empty reports whether the FIFO currently holds no packets.
 func (f *RecFIFO) Empty() bool { return f.q.Empty() }
@@ -100,12 +107,20 @@ func (f *RecFIFO) Region() *wakeup.Region { return f.region }
 // Received returns the number of packets delivered to this FIFO.
 func (f *RecFIFO) Received() int64 { return f.received.Load() }
 
+// Occupancy returns the packets currently queued and the FIFO's
+// occupancy high-water mark — the §V quantity that shows whether a
+// context keeps up with its arrival rate.
+func (f *RecFIFO) Occupancy() (cur, highWater int64) {
+	return f.occupancy.Load(), f.occupancy.HighWater()
+}
+
 // ID returns the FIFO's hardware index on its node.
 func (f *RecFIFO) ID() int { return f.id }
 
 func (f *RecFIFO) deliver(p Packet) {
 	f.q.Enqueue(p)
-	f.received.Add(1)
+	f.received.Inc()
+	f.occupancy.Inc()
 	f.region.Touch()
 }
 
@@ -114,7 +129,7 @@ func (f *RecFIFO) deliver(p Packet) {
 // structure needs no lock — that exclusivity is the paper's point.
 type InjFIFO struct {
 	id       int
-	injected atomic.Int64
+	injected *telemetry.Counter
 }
 
 // ID returns the FIFO's hardware index on its node.
@@ -139,6 +154,7 @@ func (cr *ContextResources) PinnedInj(dstTask int) *InjFIFO {
 // NodeMU is the per-node Message Unit: FIFO pools and allocation state.
 type NodeMU struct {
 	rank torus.Rank
+	tele *telemetry.Registry
 
 	mu         sync.Mutex
 	injUsed    int
@@ -169,15 +185,22 @@ func (n *NodeMU) AllocContext(injCount int, region *wakeup.Region) (*ContextReso
 	if n.recUsed+1 > RecFIFOsPerNode {
 		return nil, fmt.Errorf("mu: node %d out of reception FIFOs", n.rank)
 	}
+	recTele := n.tele.Group(fmt.Sprintf("rec%d", n.recUsed))
 	res := &ContextResources{
 		Rec: &RecFIFO{
-			id:     n.recUsed,
-			q:      lockless.NewQueue[Packet](n.recFIFOCap),
-			region: region,
+			id:        n.recUsed,
+			q:         lockless.NewQueue[Packet](n.recFIFOCap),
+			region:    region,
+			received:  recTele.Counter("packets_received"),
+			occupancy: recTele.Gauge("occupancy"),
 		},
 	}
 	for i := 0; i < injCount; i++ {
-		res.Inj = append(res.Inj, &InjFIFO{id: n.injUsed + i})
+		id := n.injUsed + i
+		res.Inj = append(res.Inj, &InjFIFO{
+			id:       id,
+			injected: n.tele.Group(fmt.Sprintf("inj%d", id)).Counter("descriptors_injected"),
+		})
 	}
 	n.injUsed += injCount
 	n.recUsed++
@@ -212,6 +235,7 @@ type memregionKey struct {
 type Fabric struct {
 	dims  torus.Dims
 	nodes []*NodeMU
+	tele  *telemetry.Registry
 
 	taskMu   sync.RWMutex
 	taskNode map[int]torus.Rank
@@ -220,12 +244,12 @@ type Fabric struct {
 	mrMu       sync.RWMutex
 	memregions map[memregionKey][]byte
 
-	packets      atomic.Int64
-	bytes        atomic.Int64
-	memFIFOSends atomic.Int64
-	puts         atomic.Int64
-	remoteGets   atomic.Int64
-	hops         atomic.Int64
+	packets      *telemetry.Counter
+	bytes        *telemetry.Counter
+	memFIFOSends *telemetry.Counter
+	puts         *telemetry.Counter
+	remoteGets   *telemetry.Counter
+	hops         *telemetry.Counter
 
 	// TrackHops enables per-packet route-length accounting (costs a route
 	// computation per message; tests and examples enable it).
@@ -243,17 +267,33 @@ func NewFabric(dims torus.Dims, recFIFOSlots int) (*Fabric, error) {
 	if recFIFOSlots < 2 {
 		recFIFOSlots = 2
 	}
+	tele := telemetry.NewRegistry("mu")
 	f := &Fabric{
-		dims:       dims,
-		taskNode:   make(map[int]torus.Rank),
-		contexts:   make(map[TaskAddr]*RecFIFO),
-		memregions: make(map[memregionKey][]byte),
+		dims:         dims,
+		tele:         tele,
+		taskNode:     make(map[int]torus.Rank),
+		contexts:     make(map[TaskAddr]*RecFIFO),
+		memregions:   make(map[memregionKey][]byte),
+		packets:      tele.Counter("packets"),
+		bytes:        tele.Counter("bytes"),
+		memFIFOSends: tele.Counter("mem_fifo_sends"),
+		puts:         tele.Counter("puts"),
+		remoteGets:   tele.Counter("remote_gets"),
+		hops:         tele.Counter("hops"),
 	}
 	for r := 0; r < dims.Nodes(); r++ {
-		f.nodes = append(f.nodes, &NodeMU{rank: torus.Rank(r), recFIFOCap: recFIFOSlots})
+		f.nodes = append(f.nodes, &NodeMU{
+			rank:       torus.Rank(r),
+			tele:       tele.Group(fmt.Sprintf("node%d", r)),
+			recFIFOCap: recFIFOSlots,
+		})
 	}
 	return f, nil
 }
+
+// Telemetry returns the fabric's counter registry; the machine layer
+// adopts it into the job-wide registry tree.
+func (f *Fabric) Telemetry() *telemetry.Registry { return f.tele }
 
 // Dims returns the machine shape.
 func (f *Fabric) Dims() torus.Dims { return f.dims }

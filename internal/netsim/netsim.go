@@ -18,6 +18,7 @@ import (
 
 	"pamigo/internal/mu"
 	"pamigo/internal/sim"
+	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
 )
 
@@ -56,9 +57,12 @@ type Network struct {
 	links  map[linkKey]*sim.Resource
 	inject map[linkKey]*sim.Resource
 
-	packets int64
-	bytes   int64
-	finish  sim.Time // latest packet arrival across all messages
+	tele      *telemetry.Registry
+	packets   *telemetry.Counter
+	bytes     *telemetry.Counter
+	hops      *telemetry.Counter // per-packet route lengths, summed
+	transfers *telemetry.Counter // individual link reservations
+	finish    sim.Time           // latest packet arrival across all messages
 }
 
 // New builds a fabric for the given torus shape.
@@ -69,13 +73,23 @@ func New(dims torus.Dims, p Params) (*Network, error) {
 	if p.LinkBytesPerSec <= 0 {
 		return nil, fmt.Errorf("netsim: non-positive link bandwidth")
 	}
+	tele := telemetry.NewRegistry("netsim")
 	return &Network{
-		dims:   dims,
-		params: p,
-		links:  make(map[linkKey]*sim.Resource),
-		inject: make(map[linkKey]*sim.Resource),
+		dims:      dims,
+		params:    p,
+		links:     make(map[linkKey]*sim.Resource),
+		inject:    make(map[linkKey]*sim.Resource),
+		tele:      tele,
+		packets:   tele.Counter("packets"),
+		bytes:     tele.Counter("payload_bytes"),
+		hops:      tele.Counter("hops"),
+		transfers: tele.Counter("link_transfers"),
 	}, nil
 }
+
+// Telemetry returns the fabric's counter registry, for adoption into a
+// larger tree or direct snapshotting.
+func (n *Network) Telemetry() *telemetry.Registry { return n.tele }
 
 // Engine exposes the simulation clock (for scheduling custom traffic).
 func (n *Network) Engine() *sim.Engine { return &n.eng }
@@ -140,8 +154,9 @@ func (n *Network) SendMessage(at sim.Time, src, dst torus.Rank, size int, onDone
 	if npkts == 0 {
 		npkts = 1
 	}
-	n.packets += int64(npkts)
-	n.bytes += int64(size)
+	n.packets.Add(int64(npkts))
+	n.bytes.Add(int64(size))
+	n.hops.Add(int64(npkts) * int64(len(path)))
 	remaining := size
 	var lastArrival sim.Time
 	injected := at
@@ -166,6 +181,7 @@ func (n *Network) SendMessage(at sim.Time, src, dst torus.Rank, size int, onDone
 				return err
 			}
 			_, done := n.linkFor(cur, l).Reserve(t, ser)
+			n.transfers.Inc()
 			t = done + n.params.HopLatency
 			cur = hop
 		}
@@ -202,7 +218,7 @@ func (n *Network) Run() sim.Time {
 }
 
 // Stats returns total packets and payload bytes moved.
-func (n *Network) Stats() (packets, bytes int64) { return n.packets, n.bytes }
+func (n *Network) Stats() (packets, bytes int64) { return n.packets.Load(), n.bytes.Load() }
 
 // LinkUtilization returns each used directed link's busy fraction over
 // the horizon, keyed "node:linkname".

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"sync/atomic"
+)
+
+// Event is one traced occurrence: a constant tag plus two operand words
+// (payload size, sequence number, whatever the emit site records).
+type Event struct {
+	Seq int64  // global emission order, starting at 0
+	Tag string // constant string at the emit site; never built per event
+	A   int64
+	B   int64
+}
+
+// Tracer is a fixed-capacity ring buffer of events: emission is a single
+// atomic slot claim plus a pointer publish, and when the ring wraps the
+// oldest events are overwritten — the flight-recorder semantics hardware
+// trace units give. A nil *Tracer is valid and ignores every Emit, which
+// is how the stack wires tracing in without paying for it when the
+// `pamitrace` build tag is off (see TraceEnabled).
+type Tracer struct {
+	slots []atomic.Pointer[Event]
+	mask  int64
+	next  atomic.Int64
+}
+
+// NewTracer returns a tracer whose ring holds capacity events (rounded
+// up to a power of two, at least 2).
+func NewTracer(capacity int) *Tracer {
+	c := int64(2)
+	for c < int64(capacity) {
+		c <<= 1
+	}
+	return &Tracer{slots: make([]atomic.Pointer[Event], c), mask: c - 1}
+}
+
+// Emit records an event. Safe from any thread; safe (and free) on a nil
+// tracer. Tracing allocates one Event per emission — the tracer trades
+// allocation for race-free wrap-around, acceptable because it is off by
+// default and never on the hot path of an untraced build.
+func (t *Tracer) Emit(tag string, a, b int64) {
+	if t == nil {
+		return
+	}
+	seq := t.next.Add(1) - 1
+	t.slots[seq&t.mask].Store(&Event{Seq: seq, Tag: tag, A: a, B: b})
+}
+
+// Emitted returns how many events were ever emitted (including any the
+// ring has since overwritten).
+func (t *Tracer) Emitted() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.next.Load()
+}
+
+// Events returns the retained events in emission order. Concurrent
+// emitters may overwrite slots while the dump runs; the result is a
+// consistent set of individually valid events, not a frozen instant.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.slots))
+	for i := range t.slots {
+		if e := t.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	// Emission order; slot order is rotated once the ring wraps.
+	sortEvents(out)
+	return out
+}
+
+func sortEvents(evs []Event) {
+	// Insertion sort: dumps are tiny and nearly sorted.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j-1].Seq > evs[j].Seq; j-- {
+			evs[j-1], evs[j] = evs[j], evs[j-1]
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !pamitrace
+
+package telemetry
+
+// TraceEnabled reports whether the stack's emit sites are compiled in.
+// In the default build it is a false constant, so every
+// `if telemetry.TraceEnabled { tracer.Emit(...) }` site folds away to
+// nothing — tracing costs zero unless the `pamitrace` build tag is set.
+const TraceEnabled = false

@@ -1,0 +1,7 @@
+//go:build pamitrace
+
+package telemetry
+
+// TraceEnabled is true under the `pamitrace` build tag: the stack's emit
+// sites are compiled in and contexts allocate ring-buffer tracers.
+const TraceEnabled = true

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Repository verification recipe: everything CI (and a pre-commit run)
+# should hold green. The race pass covers the packages with dedicated
+# concurrency stress tests plus the layers they exercise.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (telemetry + integration + hot layers)"
+go test -race ./internal/telemetry ./internal/integration ./internal/core ./internal/mpilib
+
+echo "==> go test -race -tags pamitrace ./internal/telemetry"
+go test -race -tags pamitrace ./internal/telemetry
+
+echo "all checks passed"
