@@ -6,6 +6,7 @@
 // Usage:
 //
 //	pamirun -dims 2x2x2x1x1 -ppn 2
+//	pamirun -dims 2x2x1x1x1 -faults "drop=0.05,corrupt=0.02,dup=0.01" -fault-seed 7 -deadline 30s
 package main
 
 import (
@@ -17,8 +18,10 @@ import (
 	"time"
 
 	"pamigo/internal/collnet"
+	"pamigo/internal/fault"
 	"pamigo/internal/machine"
 	"pamigo/internal/torus"
+	"pamigo/internal/watchdog"
 	"pamigo/mpi"
 	"pamigo/pami"
 )
@@ -44,18 +47,38 @@ func main() {
 	ppn := flag.Int("ppn", 2, "processes per node")
 	verbose := flag.Bool("v", false, "print per-rank progress")
 	stats := flag.Bool("stats", false, "print the machine's telemetry totals after the shakedown")
+	faults := flag.String("faults", "", `fault plan, e.g. "drop=0.05,corrupt=0.02,dup=0.01,linkdown=0:A+@500" (empty = off)`)
+	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault decisions")
+	deadline := flag.Duration("deadline", 0, "abort with a goroutine dump if the run exceeds this duration (0 = off)")
 	flag.Parse()
+
+	stop := watchdog.Start(*deadline, "pamirun shakedown")
+	defer stop()
 
 	dims, err := parseDims(*dimsFlag)
 	if err != nil {
 		log.Fatalf("pamirun: %v", err)
 	}
-	m, err := pami.NewMachine(machine.Config{Dims: dims, PPN: *ppn, TrackHops: true})
+	cfg := machine.Config{Dims: dims, PPN: *ppn, TrackHops: true, FaultSeed: *faultSeed}
+	if *faults != "" {
+		plan, err := fault.ParsePlan(*faults)
+		if err != nil {
+			log.Fatalf("pamirun: %v", err)
+		}
+		if err := plan.Validate(dims); err != nil {
+			log.Fatalf("pamirun: %v", err)
+		}
+		cfg.Faults = &plan
+	}
+	m, err := pami.NewMachine(cfg)
 	if err != nil {
 		log.Fatalf("pamirun: %v", err)
 	}
 	fmt.Printf("booted %s torus, %d nodes, %d processes (PPN=%d)\n",
 		dims, m.Nodes(), m.Tasks(), *ppn)
+	if cfg.Faults != nil {
+		fmt.Printf("fault injection armed: %s (seed %d)\n", cfg.Faults, *faultSeed)
+	}
 
 	start := time.Now()
 	m.Run(func(p *pami.Process) {
@@ -116,6 +139,22 @@ func main() {
 		s.Packets, s.Bytes, s.Hops, float64(s.Hops)/float64(max64(s.Packets, 1)))
 	fmt.Printf("operations: %d memory-FIFO sends, %d RDMA puts, %d remote gets\n",
 		s.MemFIFOSends, s.Puts, s.RemoteGets)
+	if cfg.Faults != nil {
+		snap := m.Telemetry().Snapshot()
+		get := func(name string) int64 {
+			v, _ := snap.Counter("mu.reliable." + name)
+			return v
+		}
+		downs, _ := snap.Counter("collnet.links_down")
+		rebuilds, _ := snap.Counter("collnet.classroute_rebuilds")
+		fmt.Printf("reliability: %d retransmits, %d corrupt drops, %d dup drops, %d acks (%d dropped), %d nacks\n",
+			get("retransmits"), get("corrupt_drops"), get("dup_drops"),
+			get("acks_sent"), get("acks_dropped"), get("nacks_sent"))
+		fmt.Printf("faults: %d drops, %d delays, %d stall drops; %d links down, %d classroute rebuilds, %d reroutes\n",
+			get("drops_injected"), get("delays_injected"), get("stall_drops"),
+			downs, rebuilds, get("reroutes"))
+	}
+	m.Shutdown()
 	if *stats {
 		fmt.Println()
 		fmt.Println("telemetry totals (full tree: m.Telemetry().Snapshot().JSON()):")

@@ -18,21 +18,38 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
 
 	"pamigo/internal/bench"
+	"pamigo/internal/collnet"
+	"pamigo/internal/fault"
+	"pamigo/internal/machine"
 	"pamigo/internal/model"
 	"pamigo/internal/netsim"
 	"pamigo/internal/torus"
+	"pamigo/internal/watchdog"
+	"pamigo/mpi"
+	"pamigo/pami"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|all")
 	verify := flag.Bool("verify", false, "cross-check the closed-form model against the packet-level DES (table3)")
 	stats := flag.Bool("stats", false, "run the functional machine on the table1/fig5 workloads and print its telemetry counters")
+	faults := flag.String("faults", "", "fault plan for a chaos shakedown of the functional machine (empty = off)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault decisions")
+	deadline := flag.Duration("deadline", 0, "abort with a goroutine dump if the run exceeds this duration (0 = off)")
 	flag.Parse()
 
+	stop := watchdog.Start(*deadline, "paperbench")
+	defer stop()
+
+	if *faults != "" {
+		chaosShakedown(*faults, *faultSeed)
+		return
+	}
 	if *verify {
 		verifyAgainstDES()
 		return
@@ -159,4 +176,78 @@ func verifyAgainstDES() {
 		fmt.Printf("%10d %10.2f %10.2f\n", nodes, model.Fig7Allreduce(p, nodes, 1)/1000, des.Micros())
 	}
 	fmt.Println("(the DES walks the real classroute spanning tree; paper anchor: 5.5us at 2048 nodes)")
+}
+
+// chaosShakedown boots the functional machine with the given fault plan
+// armed, drives byte-verified point-to-point and collective traffic
+// through the faulty fabric, and prints the reliability counters. A
+// non-zero exit means the exactly-once guarantee broke.
+func chaosShakedown(planStr string, seed int64) {
+	plan, err := fault.ParsePlan(planStr)
+	if err != nil {
+		log.Fatalf("paperbench: %v", err)
+	}
+	dims := torus.Dims{2, 2, 1, 1, 1}
+	if err := plan.Validate(dims); err != nil {
+		log.Fatalf("paperbench: %v", err)
+	}
+	const ppn = 2
+	m, err := pami.NewMachine(machine.Config{Dims: dims, PPN: ppn, Faults: &plan, FaultSeed: seed})
+	if err != nil {
+		log.Fatalf("paperbench: %v", err)
+	}
+	fmt.Printf("chaos shakedown: %s torus, PPN=%d, plan %s, seed %d\n", dims, ppn, &plan, seed)
+
+	const rounds = 20
+	m.Run(func(p *pami.Process) {
+		w, err := mpi.Init(m, p, mpi.Options{})
+		if err != nil {
+			log.Fatalf("rank %d: %v", p.TaskRank(), err)
+		}
+		defer w.Finalize()
+		cw := w.CommWorld()
+		next := (w.Rank() + 1) % w.Size()
+		prev := (w.Rank() - 1 + w.Size()) % w.Size()
+		for r := 0; r < rounds; r++ {
+			// Eager-size and rendezvous-size ring exchanges, byte-verified.
+			for _, size := range []int{200, 16 << 10} {
+				out := make([]byte, size)
+				for i := range out {
+					out[i] = byte(i + w.Rank() + r)
+				}
+				in := make([]byte, size)
+				if _, err := cw.SendRecv(out, next, 1, in, prev, 1); err != nil {
+					log.Fatalf("rank %d round %d sendrecv: %v", w.Rank(), r, err)
+				}
+				for i := range in {
+					if in[i] != byte(i+prev+r) {
+						log.Fatalf("rank %d round %d: byte %d corrupted (%#x != %#x)",
+							w.Rank(), r, i, in[i], byte(i+prev+r))
+					}
+				}
+			}
+			sum, err := cw.AllreduceFloat64([]float64{float64(w.Rank())}, collnet.OpAdd)
+			if err != nil {
+				log.Fatalf("rank %d round %d allreduce: %v", w.Rank(), r, err)
+			}
+			if want := float64(w.Size()*(w.Size()-1)) / 2; sum[0] != want {
+				log.Fatalf("rank %d round %d: allreduce %v, want %v", w.Rank(), r, sum[0], want)
+			}
+			cw.Barrier()
+		}
+	})
+	m.Shutdown()
+
+	snap := m.Telemetry().Snapshot()
+	get := func(name string) int64 {
+		v, _ := snap.Counter(name)
+		return v
+	}
+	fmt.Printf("all %d rounds byte-exact on every rank\n", rounds)
+	fmt.Printf("reliability: %d retransmits, %d corrupt drops, %d dup drops, %d nacks, %d backoff-ns\n",
+		get("mu.reliable.retransmits"), get("mu.reliable.corrupt_drops"),
+		get("mu.reliable.dup_drops"), get("mu.reliable.nacks_sent"), get("mu.reliable.backoff_ns"))
+	fmt.Printf("faults: %d drops, %d delays, %d links down, %d classroute rebuilds, %d reroutes\n",
+		get("mu.reliable.drops_injected"), get("mu.reliable.delays_injected"),
+		get("collnet.links_down"), get("collnet.classroute_rebuilds"), get("mu.reliable.reroutes"))
 }

@@ -27,6 +27,8 @@ import (
 	"math"
 	"sync"
 
+	"sync/atomic"
+
 	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
 )
@@ -210,10 +212,15 @@ type ClassRoute struct {
 	ID   int
 	Rect torus.Rectangle
 	Root torus.Rank
-	Tree *torus.Tree
 
-	net   *Network
-	ranks []torus.Rank
+	// tree is the currently programmed combine tree. It is swapped
+	// atomically when a link failure forces a rebuild, so in-flight
+	// sessions read a consistent tree (old or new, both spanning).
+	tree atomic.Pointer[torus.Tree]
+
+	net      *Network
+	ranks    []torus.Rank
+	degraded bool // no fault-avoiding tree exists; running on a stale one
 
 	mu       sync.Mutex
 	sessions map[uint64]*Session
@@ -225,8 +232,11 @@ func (cr *ClassRoute) Ranks() []torus.Rank { return cr.ranks }
 // Parties returns the number of participating nodes.
 func (cr *ClassRoute) Parties() int { return len(cr.ranks) }
 
+// Tree returns the currently programmed combine tree.
+func (cr *ClassRoute) Tree() *torus.Tree { return cr.tree.Load() }
+
 // Depth returns the tree depth in hops; model latency scales with it.
-func (cr *ClassRoute) Depth() int { return cr.Tree.Depth() }
+func (cr *ClassRoute) Depth() int { return cr.Tree().Depth() }
 
 // Network owns the classroute slot accounting for a machine.
 type Network struct {
@@ -242,8 +252,14 @@ type Network struct {
 	traversals  *telemetry.Counter // classroute tree nodes visited while combining
 	classroutes *telemetry.Counter // classroutes ever programmed
 
+	rebuilds        *telemetry.Counter // classroute trees rebuilt after link failures
+	rebuildFailures *telemetry.Counter // rebuilds impossible (rectangle disconnected)
+	linksDown       *telemetry.Counter // link failures observed
+
 	mu     sync.Mutex
 	inUse  map[torus.Rank]int
+	live   map[int]*ClassRoute                // allocated, not yet freed
+	down   map[torus.Rank]map[torus.Link]bool // failed directed links
 	nextID int
 }
 
@@ -259,7 +275,14 @@ func New(dims torus.Dims) *Network {
 		combines:    tele.Counter("words_combined"),
 		traversals:  tele.Counter("classroute_traversals"),
 		classroutes: tele.Counter("classroutes_allocated"),
-		inUse:       make(map[torus.Rank]int),
+
+		rebuilds:        tele.Counter("classroute_rebuilds"),
+		rebuildFailures: tele.Counter("rebuild_failures"),
+		linksDown:       tele.Counter("links_down"),
+
+		inUse: make(map[torus.Rank]int),
+		live:  make(map[int]*ClassRoute),
+		down:  make(map[torus.Rank]map[torus.Link]bool),
 	}
 }
 
@@ -296,15 +319,102 @@ func (n *Network) Allocate(rect torus.Rectangle, root torus.Rank) (*ClassRoute, 
 	}
 	n.nextID++
 	n.classroutes.Inc()
-	return &ClassRoute{
+	cr := &ClassRoute{
 		ID:       n.nextID,
 		Rect:     rect,
 		Root:     root,
-		Tree:     torus.BuildTree(n.dims, rect, root, 0),
 		net:      n,
 		ranks:    ranks,
 		sessions: make(map[uint64]*Session),
-	}, nil
+	}
+	tree, degraded := n.buildTreeLocked(rect, root)
+	cr.tree.Store(tree)
+	cr.degraded = degraded
+	n.live[cr.ID] = cr
+	return cr, nil
+}
+
+// buildTreeLocked programs a combine tree for the rectangle, avoiding
+// failed links when possible. When failures disconnect the rectangle no
+// avoiding tree exists; the route falls back to the standard tree and
+// is marked degraded — software combining over contributions still
+// completes, only the dead links would be crossed by real hardware.
+// Called with n.mu held.
+func (n *Network) buildTreeLocked(rect torus.Rectangle, root torus.Rank) (*torus.Tree, bool) {
+	if len(n.down) > 0 {
+		if t, err := torus.BuildTreeAvoiding(n.dims, rect, root, n.downLocked); err == nil {
+			return t, false
+		}
+		n.rebuildFailures.Inc()
+	}
+	return torus.BuildTree(n.dims, rect, root, 0), len(n.down) > 0
+}
+
+func (n *Network) downLocked(r torus.Rank, l torus.Link) bool {
+	return n.down[r][l]
+}
+
+// HandleLinkDown records a failed cable (both directions die) and
+// rebuilds every live classroute whose rectangle spans it. A route the
+// failure disconnects keeps its old connected tree and is marked
+// degraded — graceful degradation rather than a dead communicator.
+// Machine wiring calls this from the fault injector's link-down
+// callback; safe for concurrent use with running sessions.
+func (n *Network) HandleLinkDown(node torus.Rank, link torus.Link) {
+	nb := n.dims.Neighbor(node, link)
+	rev := torus.Link{Dim: link.Dim, Dir: -link.Dir}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down[node][link] {
+		return
+	}
+	if n.down[node] == nil {
+		n.down[node] = make(map[torus.Link]bool)
+	}
+	if n.down[nb] == nil {
+		n.down[nb] = make(map[torus.Link]bool)
+	}
+	n.down[node][link] = true
+	n.down[nb][rev] = true
+	n.linksDown.Inc()
+	nc, nbc := n.dims.CoordOf(node), n.dims.CoordOf(nb)
+	for _, cr := range n.live {
+		// Only rectangles containing both cable endpoints can be affected.
+		if !cr.Rect.Contains(nc) || !cr.Rect.Contains(nbc) {
+			continue
+		}
+		if t, err := torus.BuildTreeAvoiding(n.dims, cr.Rect, cr.Root, n.downLocked); err == nil {
+			cr.tree.Store(t)
+			cr.degraded = false
+			n.rebuilds.Inc()
+		} else {
+			cr.degraded = true
+			n.rebuildFailures.Inc()
+		}
+	}
+}
+
+// DownLinks reports how many directed links are currently failed.
+func (n *Network) DownLinks() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := 0
+	for _, ls := range n.down {
+		c += len(ls)
+	}
+	return c
+}
+
+// Degraded reports whether the route is running on a tree that crosses
+// failed links because no avoiding tree exists.
+func (cr *ClassRoute) Degraded() bool {
+	net := cr.net
+	if net == nil {
+		return cr.degraded
+	}
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return cr.degraded
 }
 
 // AllocateWorld programs the machine-wide classroute used by COMM_WORLD.
@@ -324,6 +434,7 @@ func (n *Network) Free(cr *ClassRoute) {
 			n.inUse[r]--
 		}
 	}
+	delete(n.live, cr.ID)
 	cr.net = nil // a freed route cannot run collectives
 }
 

@@ -149,7 +149,7 @@ func (s *Session) combineTree() []byte {
 			net.traversals.Inc()
 		}
 		acc := append([]byte(nil), s.contrib[n]...)
-		for _, c := range s.cr.Tree.Children(n) {
+		for _, c := range s.cr.Tree().Children(n) {
 			sub := fold(c)
 			if err := Combine(s.op, s.dt, acc, sub); err != nil {
 				panic("collnet: " + err.Error())

@@ -221,7 +221,9 @@ func (g *Geometry) Optimized() bool {
 // for irregular node sets and with collnet.ErrNoClassRoute when the
 // hardware slots are exhausted — deoptimize another geometry and retry.
 func (g *Geometry) Optimize() error {
-	g.swBarrier()
+	if err := g.swBarrier(); err != nil {
+		return err
+	}
 	if g.rank == 0 {
 		g.shared.crMu.Lock()
 		if g.shared.cr == nil {
@@ -238,16 +240,23 @@ func (g *Geometry) Optimize() error {
 		}
 		g.shared.crMu.Unlock()
 	}
-	g.swBarrier()
+	if err := g.swBarrier(); err != nil {
+		return err
+	}
 	g.shared.crMu.Lock()
 	defer g.shared.crMu.Unlock()
 	return g.shared.optErr
 }
 
 // Deoptimize releases the geometry's classroute so another geometry can
-// use the slot (MPIX_Comm_deoptimize). Collective among members.
+// use the slot (MPIX_Comm_deoptimize). Collective among members. The
+// signature is void for API compatibility, so a transport failure in
+// the member barrier (only possible under injected faults that
+// partition the torus) panics with the wrapped typed error.
 func (g *Geometry) Deoptimize() {
-	g.swBarrier()
+	if err := g.swBarrier(); err != nil {
+		panic(err)
+	}
 	if g.rank == 0 {
 		g.shared.crMu.Lock()
 		if g.shared.cr != nil {
@@ -256,7 +265,9 @@ func (g *Geometry) Deoptimize() {
 		}
 		g.shared.crMu.Unlock()
 	}
-	g.swBarrier()
+	if err := g.swBarrier(); err != nil {
+		panic(err)
+	}
 }
 
 // Destroy detaches from the geometry; the last member to call it frees
@@ -285,12 +296,17 @@ func (g *Geometry) nextSeq() uint64 {
 // Collective operations
 // ---------------------------------------------------------------------
 
-// Barrier blocks until every member has entered it.
+// Barrier blocks until every member has entered it. The signature is
+// void for API compatibility, so a transport failure in the software
+// phase (only possible under injected faults that partition the torus)
+// panics with the wrapped typed error.
 func (g *Geometry) Barrier() {
 	seq := g.nextSeq()
 	cr := g.classroute()
 	if cr == nil || len(g.tasks) == 1 {
-		g.swBarrierSeq(seq)
+		if err := g.swBarrierSeq(seq); err != nil {
+			panic(err)
+		}
 		return
 	}
 	// Local phase on the L2-atomic barrier, network phase on the
@@ -513,7 +529,9 @@ func (ctx *Context) handleCollMsg(hdr mu.Header, payload []byte) {
 
 // swSend ships a software-collective fragment to a geometry member. It
 // serializes on the context lock, so it is safe alongside commthreads.
-func (g *Geometry) swSend(dst int, phase uint8, seq uint64, data []byte) {
+// Transport failures (e.g. mu.ErrNoRoute when faults partition the
+// torus) are returned to the caller rather than crashing the job.
+func (g *Geometry) swSend(dst int, phase uint8, seq uint64, data []byte) error {
 	meta := encodeCollMeta(g.id, seq, uint32(g.rank), phase)
 	ctx := g.ctx
 	ctx.Lock()
@@ -527,8 +545,9 @@ func (g *Geometry) swSend(dst int, phase uint8, seq uint64, data []byte) {
 	err := ctx.transportSend(Endpoint{Task: g.tasks[dst], Ctx: g.ctxOrd}, hdr, data)
 	ctx.Unlock()
 	if err != nil {
-		panic("core: software collective send failed: " + err.Error())
+		return fmt.Errorf("core: software collective send to task %d: %w", g.tasks[dst], err)
 	}
+	return nil
 }
 
 // swWait advances the context until the keyed fragment arrives, then
@@ -556,19 +575,22 @@ func (g *Geometry) swWait(src int, phase uint8, seq uint64) []byte {
 }
 
 // swBarrier is a dissemination barrier over the geometry's members.
-func (g *Geometry) swBarrier() { g.swBarrierSeq(g.nextSeq()) }
+func (g *Geometry) swBarrier() error { return g.swBarrierSeq(g.nextSeq()) }
 
-func (g *Geometry) swBarrierSeq(seq uint64) {
+func (g *Geometry) swBarrierSeq(seq uint64) error {
 	n := len(g.tasks)
 	if n == 1 {
-		return
+		return nil
 	}
 	for k, dist := uint8(0), 1; dist < n; k, dist = k+1, dist*2 {
 		to := (g.rank + dist) % n
 		from := (g.rank - dist + n) % n
-		g.swSend(to, phaseBarrier+k<<2, seq, nil)
+		if err := g.swSend(to, phaseBarrier+k<<2, seq, nil); err != nil {
+			return err
+		}
 		g.swWait(from, phaseBarrier+k<<2, seq)
 	}
+	return nil
 }
 
 // swBroadcast is a binomial-tree broadcast rooted at root.
@@ -589,7 +611,9 @@ func (g *Geometry) swBroadcast(seq uint64, root int, buf []byte) error {
 	}
 	for bit := 1; bit < low && rel+bit < n; bit <<= 1 {
 		child := (rel + bit + root) % n
-		g.swSend(child, phaseBcast, seq, buf)
+		if err := g.swSend(child, phaseBcast, seq, buf); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -620,7 +644,9 @@ func (g *Geometry) swReduce(seq uint64, root int, send, recv []byte, op collnet.
 	if rel != 0 {
 		parentRel := rel &^ low
 		parent := (parentRel + effRoot) % n
-		g.swSend(parent, phaseReduce, seq, acc)
+		if err := g.swSend(parent, phaseReduce, seq, acc); err != nil {
+			return err
+		}
 	}
 	if root != -1 {
 		if g.rank == root {

@@ -17,6 +17,7 @@ import (
 
 	"pamigo/internal/cnk"
 	"pamigo/internal/collnet"
+	"pamigo/internal/fault"
 	"pamigo/internal/mu"
 	"pamigo/internal/shmem"
 	"pamigo/internal/telemetry"
@@ -34,6 +35,13 @@ type Config struct {
 	RecFIFOSlots int
 	// TrackHops enables per-packet hop accounting in the fabric.
 	TrackHops bool
+	// Faults, when non-nil and active, arms deterministic fault injection
+	// on the data planes: the fabric runs the CRC/retransmit reliable
+	// layer and the collective network rebuilds classroutes around links
+	// the plan takes down.
+	Faults *fault.Plan
+	// FaultSeed seeds the fault plan's deterministic decision hash.
+	FaultSeed int64
 }
 
 // Machine is a booted functional BG/Q system.
@@ -93,6 +101,19 @@ func New(cfg Config) (*Machine, error) {
 			fabric.MapTask(p.TaskRank(), torus.Rank(r))
 			m.tasks = append(m.tasks, p)
 		}
+	}
+	if cfg.Faults != nil && cfg.Faults.Active() {
+		inj, err := fault.NewInjector(cfg.Dims, *cfg.Faults, cfg.FaultSeed)
+		if err != nil {
+			return nil, err
+		}
+		// The collective network learns about dead cables from the same
+		// injector the fabric consults, so classroutes are rebuilt as the
+		// plan fires link-down events mid-run.
+		inj.OnLinkDown(func(n torus.Rank, l torus.Link) {
+			m.coll.HandleLinkDown(n, l)
+		})
+		fabric.InstallFaults(inj)
 	}
 	return m, nil
 }
@@ -179,10 +200,12 @@ func (m *Machine) DropSharedState(key uint64) {
 	m.geoMu.Unlock()
 }
 
-// Shutdown stops machine-owned background activity (commthreads started
-// through the cnk nodes).
+// Shutdown stops machine-owned background activity: commthreads started
+// through the cnk nodes and, when fault injection is armed, the fabric's
+// reliable-delivery retransmit daemon.
 func (m *Machine) Shutdown() {
 	for _, n := range m.nodes {
 		n.StopCommThreads()
 	}
+	m.fabric.Close()
 }

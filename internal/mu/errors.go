@@ -1,0 +1,27 @@
+package mu
+
+import "errors"
+
+// Typed fabric errors. Send paths wrap these with %w so callers can
+// classify failures with errors.Is instead of matching message text.
+var (
+	// ErrNoSuchContext means no reception FIFO is registered for the
+	// destination endpoint.
+	ErrNoSuchContext = errors.New("mu: no reception FIFO registered for endpoint")
+	// ErrNoSuchMemregion means an RDMA operation named a memregion the
+	// target task never registered.
+	ErrNoSuchMemregion = errors.New("mu: memregion not registered")
+	// ErrMemregionBounds means an RDMA operation overruns the registered
+	// memregion.
+	ErrMemregionBounds = errors.New("mu: access overruns memregion")
+	// ErrNoInjFIFO means the node's injection-FIFO pool is exhausted.
+	ErrNoInjFIFO = errors.New("mu: out of injection FIFOs")
+	// ErrNoRecFIFO means the node's reception-FIFO pool is exhausted.
+	ErrNoRecFIFO = errors.New("mu: out of reception FIFOs")
+	// ErrNoRoute means failed links partition the torus between source
+	// and destination: no route-around exists.
+	ErrNoRoute = errors.New("mu: no route to destination (failed links partition the torus)")
+	// ErrFabricClosed means the fabric was shut down while an operation
+	// was in flight.
+	ErrFabricClosed = errors.New("mu: fabric closed")
+)

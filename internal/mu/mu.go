@@ -27,6 +27,7 @@ package mu
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pamigo/internal/l2atomic"
 	"pamigo/internal/lockless"
@@ -71,6 +72,13 @@ type Header struct {
 	Offset   int
 	Total    int
 	Meta     []byte
+
+	// PktSeq is the per-flow link-level sequence number the reliable
+	// delivery layer assigns, starting at 1; 0 marks a packet that
+	// bypassed the layer (faults disabled). Checksum is the CRC-32C over
+	// the rest of the packet, verified at reception when faults are on.
+	PktSeq   uint64
+	Checksum uint32
 }
 
 // Packet is one torus packet delivered to a reception FIFO.
@@ -180,10 +188,10 @@ func (n *NodeMU) AllocContext(injCount int, region *wakeup.Region) (*ContextReso
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.injUsed+injCount > InjFIFOsPerNode {
-		return nil, fmt.Errorf("mu: node %d out of injection FIFOs (%d used, %d requested)", n.rank, n.injUsed, injCount)
+		return nil, fmt.Errorf("%w: node %d (%d used, %d requested)", ErrNoInjFIFO, n.rank, n.injUsed, injCount)
 	}
 	if n.recUsed+1 > RecFIFOsPerNode {
-		return nil, fmt.Errorf("mu: node %d out of reception FIFOs", n.rank)
+		return nil, fmt.Errorf("%w: node %d", ErrNoRecFIFO, n.rank)
 	}
 	recTele := n.tele.Group(fmt.Sprintf("rec%d", n.recUsed))
 	res := &ContextResources{
@@ -250,6 +258,10 @@ type Fabric struct {
 	puts         *telemetry.Counter
 	remoteGets   *telemetry.Counter
 	hops         *telemetry.Counter
+
+	// rel is the reliable-delivery layer, installed by InstallFaults.
+	// Nil (the default) keeps every send on the zero-overhead fast path.
+	rel atomic.Pointer[reliableLayer]
 
 	// TrackHops enables per-packet route-length accounting (costs a route
 	// computation per message; tests and examples enable it).
@@ -339,7 +351,7 @@ func (f *Fabric) lookupContext(addr TaskAddr) (*RecFIFO, error) {
 	fifo, ok := f.contexts[addr]
 	f.taskMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("mu: no reception FIFO registered for endpoint %v", addr)
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchContext, addr)
 	}
 	return fifo, nil
 }
@@ -374,7 +386,13 @@ func (f *Fabric) account(srcTask int, dstTask int, packets, bytes int64) {
 		sn, ok1 := f.TaskNode(srcTask)
 		dn, ok2 := f.TaskNode(dstTask)
 		if ok1 && ok2 {
-			f.hops.Add(packets * int64(f.dims.Hops(sn, dn)))
+			h := f.dims.Hops(sn, dn)
+			if rl := f.rel.Load(); rl != nil {
+				if rh, ok := rl.routeHops(sn, dn); ok {
+					h = rh
+				}
+			}
+			f.hops.Add(packets * int64(h))
 		}
 	}
 }
@@ -389,6 +407,9 @@ func (f *Fabric) InjectMemFIFO(inj *InjFIFO, dst TaskAddr, hdr Header, payload [
 	fifo, err := f.lookupContext(dst)
 	if err != nil {
 		return err
+	}
+	if rl := f.rel.Load(); rl != nil {
+		return rl.injectMemFIFO(inj, fifo, dst, hdr, payload)
 	}
 	inj.injected.Add(1)
 	f.memFIFOSends.Add(1)
@@ -427,13 +448,18 @@ func (f *Fabric) InjectMemFIFO(inj *InjFIFO, dst TaskAddr, hdr Header, payload [
 func (f *Fabric) InjectPut(inj *InjFIFO, srcTask int, src []byte, dst TaskAddr, dstMR uint64, dstOff int, done *l2atomic.Counter) error {
 	buf, ok := f.Memregion(dst.Task, dstMR)
 	if !ok {
-		return fmt.Errorf("mu: put to unregistered memregion %d of task %d", dstMR, dst.Task)
+		return fmt.Errorf("%w: put to memregion %d of task %d", ErrNoSuchMemregion, dstMR, dst.Task)
 	}
 	if dstOff < 0 || dstOff+len(src) > len(buf) {
-		return fmt.Errorf("mu: put overruns memregion %d of task %d (%d+%d > %d)", dstMR, dst.Task, dstOff, len(src), len(buf))
+		return fmt.Errorf("%w: put %d+%d > %d (memregion %d of task %d)", ErrMemregionBounds, dstOff, len(src), len(buf), dstMR, dst.Task)
 	}
 	inj.injected.Add(1)
 	f.puts.Add(1)
+	if rl := f.rel.Load(); rl != nil {
+		if err := rl.rdmaFaults(srcTask, dst.Task, int(dstMR), len(src)); err != nil {
+			return err
+		}
+	}
 	copy(buf[dstOff:], src)
 	if done != nil {
 		done.StoreAdd(int64(len(src)))
@@ -457,13 +483,19 @@ func (f *Fabric) InjectPut(inj *InjFIFO, srcTask int, src []byte, dst TaskAddr, 
 func (f *Fabric) InjectRemoteGet(inj *InjFIFO, initiator TaskAddr, dataTask int, dataMR uint64, srcOff int, dst []byte, done *l2atomic.Counter) error {
 	buf, ok := f.Memregion(dataTask, dataMR)
 	if !ok {
-		return fmt.Errorf("mu: remote get from unregistered memregion %d of task %d", dataMR, dataTask)
+		return fmt.Errorf("%w: remote get from memregion %d of task %d", ErrNoSuchMemregion, dataMR, dataTask)
 	}
 	if srcOff < 0 || srcOff+len(dst) > len(buf) {
-		return fmt.Errorf("mu: remote get overruns memregion %d of task %d", dataMR, dataTask)
+		return fmt.Errorf("%w: remote get %d+%d > %d (memregion %d of task %d)", ErrMemregionBounds, srcOff, len(dst), len(buf), dataMR, dataTask)
 	}
 	inj.injected.Add(1)
 	f.remoteGets.Add(1)
+	if rl := f.rel.Load(); rl != nil {
+		// The data moves dataTask -> initiator; faults hit that direction.
+		if err := rl.rdmaFaults(dataTask, initiator.Task, int(dataMR), len(dst)); err != nil {
+			return err
+		}
+	}
 	copy(dst, buf[srcOff:srcOff+len(dst)])
 	if done != nil {
 		done.StoreAdd(int64(len(dst)))

@@ -1,0 +1,640 @@
+package mu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pamigo/internal/fault"
+	"pamigo/internal/telemetry"
+	"pamigo/internal/torus"
+)
+
+// The real MU never shows software a lost packet: every link protects
+// its traffic with a CRC and retransmits on error, and the control
+// system programs static routes around failed links at partition boot.
+// This file reproduces that contract in software. It activates only
+// when a fault injector is installed; with faults off, the fabric's
+// send paths never touch any of this state.
+//
+// Protocol: every packet of a (source endpoint -> destination endpoint)
+// flow carries a link-level sequence number and a CRC-32C. The receiver
+// side — which models MU hardware, not the destination CPU — verifies
+// the checksum, suppresses duplicates, restores strict in-order
+// delivery through a reorder buffer (MPI matching and the collective
+// inbox rely on per-flow ordering), and acknowledges each sequence
+// number. The sender keeps a sliding window of unacknowledged packets
+// and a daemon retransmits any that outlive their deadline, doubling
+// the timeout up to a cap. A failed CRC elicits a nack, which triggers
+// an immediate fast retransmit.
+const (
+	// sendWindow bounds unacknowledged packets per flow; injection
+	// blocks when the window is full, modeling FIFO backpressure.
+	sendWindow = 64
+	// initialRTO is the first retransmission timeout; it doubles on
+	// every expiry up to maxRTO.
+	initialRTO = 2 * time.Millisecond
+	maxRTO     = 32 * time.Millisecond
+	// daemonTick is the retransmission daemon's polling period.
+	daemonTick = 500 * time.Microsecond
+	// maxFastRetx bounds consecutive nack-triggered retransmits before
+	// the sender falls back to its timer (guards pathological corruption
+	// rates).
+	maxFastRetx = 8
+	// maxRDMAAttempts bounds the per-chunk retry loop of faulted RDMA
+	// operations.
+	maxRDMAAttempts = 1 << 16
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// packetChecksum computes the CRC-32C over every packet field except
+// the checksum itself.
+func packetChecksum(hdr Header, payload []byte) uint32 {
+	var b [50]byte
+	binary.LittleEndian.PutUint16(b[0:], hdr.Dispatch)
+	binary.LittleEndian.PutUint64(b[2:], uint64(int64(hdr.Origin.Task)))
+	binary.LittleEndian.PutUint64(b[10:], uint64(int64(hdr.Origin.Ctx)))
+	binary.LittleEndian.PutUint64(b[18:], hdr.Seq)
+	binary.LittleEndian.PutUint64(b[26:], uint64(int64(hdr.Offset)))
+	binary.LittleEndian.PutUint64(b[34:], uint64(int64(hdr.Total)))
+	binary.LittleEndian.PutUint64(b[42:], hdr.PktSeq)
+	crc := crc32.Checksum(b[:], crcTable)
+	crc = crc32.Update(crc, crcTable, hdr.Meta)
+	return crc32.Update(crc, crcTable, payload)
+}
+
+// corruptCopy returns a copy of the packet with one byte flipped, never
+// aliasing the original's buffers (the sender must keep a pristine copy
+// for retransmission).
+func corruptCopy(p Packet, pick uint64) Packet {
+	q := p
+	flip := byte(pick>>8) | 1
+	switch {
+	case len(p.Payload) > 0:
+		pl := append([]byte(nil), p.Payload...)
+		pl[pick%uint64(len(pl))] ^= flip
+		q.Payload = pl
+	case len(p.Hdr.Meta) > 0:
+		m := append([]byte(nil), p.Hdr.Meta...)
+		m[pick%uint64(len(m))] ^= flip
+		q.Hdr.Meta = m
+	default:
+		q.Hdr.Checksum ^= uint32(pick) | 1
+	}
+	return q
+}
+
+type flowKey struct{ src, dst TaskAddr }
+
+// pendingPkt is one unacknowledged packet on the sender side. pkt,
+// fifo, and dstNode are immutable after staging; the timing fields are
+// guarded by the owning flow's smu.
+type pendingPkt struct {
+	pkt      Packet
+	fifo     *RecFIFO
+	dstNode  torus.Rank
+	deadline time.Time
+	rto      time.Duration
+	attempts int
+}
+
+// flow is the reliable-delivery state of one sender->receiver stream:
+// the sender's window under smu, the receiver's reorder buffer under
+// rmu. Lock ordering: rmu and smu are never held together except
+// rmu -> fifo internals; acks take smu only.
+type flow struct {
+	key  flowKey
+	hash uint64
+
+	smu     sync.Mutex
+	cond    *sync.Cond
+	nextSeq uint64
+	unacked map[uint64]*pendingPkt
+
+	rmu     sync.Mutex
+	nextExp uint64
+	pending map[uint64]Packet
+}
+
+type attemptOutcome int
+
+const (
+	outcomeDelivered attemptOutcome = iota
+	outcomeLost                     // dropped, stalled, or held back; the timer recovers it
+	outcomeNacked                   // CRC failed at the receiver
+)
+
+type delayedPkt struct {
+	due     time.Time
+	fl      *flow
+	pkt     Packet
+	fifo    *RecFIFO
+	attempt int
+}
+
+type routeEntry struct {
+	hops     int
+	ok       bool
+	rerouted bool
+}
+
+// reliableLayer is installed on a Fabric by InstallFaults and owns all
+// fault-injection and recovery state.
+type reliableLayer struct {
+	f   *Fabric
+	inj *fault.Injector
+
+	fmu   sync.Mutex
+	flows map[flowKey]*flow
+
+	dmu     sync.Mutex
+	delayed []delayedPkt
+
+	rmu      sync.Mutex
+	routeGen int64
+	routes   map[[2]torus.Rank]routeEntry
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+
+	retransmits    *telemetry.Counter
+	corruptDrops   *telemetry.Counter
+	dupDrops       *telemetry.Counter
+	dropsInjected  *telemetry.Counter
+	delaysInjected *telemetry.Counter
+	stallDrops     *telemetry.Counter
+	acksSent       *telemetry.Counter
+	acksDropped    *telemetry.Counter
+	nacksSent      *telemetry.Counter
+	reroutes       *telemetry.Counter
+	linkDownEvents *telemetry.Counter
+	backoffNS      *telemetry.Counter
+	unackedG       *telemetry.Gauge
+}
+
+// InstallFaults threads a fault injector through the fabric: every send
+// is routed through the reliable-delivery layer (checksums, sequence
+// numbers, ack/retransmit), and the injector's link failures steer
+// route-around. Call before traffic starts; Close stops the layer's
+// retransmission daemon.
+func (f *Fabric) InstallFaults(inj *fault.Injector) {
+	g := f.tele.Group("reliable")
+	rl := &reliableLayer{
+		f:              f,
+		inj:            inj,
+		flows:          make(map[flowKey]*flow),
+		routes:         make(map[[2]torus.Rank]routeEntry),
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+		retransmits:    g.Counter("retransmits"),
+		corruptDrops:   g.Counter("corrupt_drops"),
+		dupDrops:       g.Counter("dup_drops"),
+		dropsInjected:  g.Counter("drops_injected"),
+		delaysInjected: g.Counter("delays_injected"),
+		stallDrops:     g.Counter("stall_drops"),
+		acksSent:       g.Counter("acks_sent"),
+		acksDropped:    g.Counter("acks_dropped"),
+		nacksSent:      g.Counter("nacks_sent"),
+		reroutes:       g.Counter("reroutes"),
+		linkDownEvents: g.Counter("link_down_events"),
+		backoffNS:      g.Counter("backoff_ns"),
+		unackedG:       g.Gauge("unacked"),
+	}
+	inj.OnLinkDown(func(torus.Rank, torus.Link) { rl.linkDownEvents.Inc() })
+	f.rel.Store(rl)
+	go rl.daemon()
+}
+
+// Injector returns the installed fault injector, or nil when the fabric
+// runs fault-free.
+func (f *Fabric) Injector() *fault.Injector {
+	if rl := f.rel.Load(); rl != nil {
+		return rl.inj
+	}
+	return nil
+}
+
+// Close stops the reliable layer's retransmission daemon and unblocks
+// senders waiting on window space. Idempotent; a no-op when faults were
+// never installed.
+func (f *Fabric) Close() {
+	if rl := f.rel.Load(); rl != nil {
+		rl.close()
+	}
+}
+
+func (r *reliableLayer) close() {
+	r.closeOnce.Do(func() {
+		r.closed.Store(true)
+		close(r.stop)
+		<-r.done
+		r.fmu.Lock()
+		for _, fl := range r.flows {
+			fl.smu.Lock()
+			fl.cond.Broadcast()
+			fl.smu.Unlock()
+		}
+		r.fmu.Unlock()
+	})
+}
+
+func (r *reliableLayer) flowFor(key flowKey) *flow {
+	r.fmu.Lock()
+	defer r.fmu.Unlock()
+	fl, ok := r.flows[key]
+	if !ok {
+		fl = &flow{
+			key:     key,
+			hash:    fault.FlowHash(key.src.Task, key.src.Ctx, key.dst.Task, key.dst.Ctx),
+			nextSeq: 1,
+			nextExp: 1,
+			unacked: make(map[uint64]*pendingPkt),
+			pending: make(map[uint64]Packet),
+		}
+		fl.cond = sync.NewCond(&fl.smu)
+		r.flows[key] = fl
+	}
+	return fl
+}
+
+// routeInfo returns the hop count of the (possibly detoured) route
+// between two nodes and whether one exists at all. Results are cached
+// per link-failure generation; the reroutes counter advances once per
+// (pair, generation) whose deterministic route is blocked.
+func (r *reliableLayer) routeInfo(sn, dn torus.Rank) (int, bool) {
+	d := r.f.dims
+	downFn := r.inj.DownFn()
+	if downFn == nil {
+		return d.Hops(sn, dn), true
+	}
+	gen := r.inj.DownGen()
+	key := [2]torus.Rank{sn, dn}
+	r.rmu.Lock()
+	if r.routeGen != gen {
+		r.routeGen = gen
+		r.routes = make(map[[2]torus.Rank]routeEntry)
+	}
+	if e, ok := r.routes[key]; ok {
+		r.rmu.Unlock()
+		return e.hops, e.ok
+	}
+	r.rmu.Unlock()
+
+	def := d.Route(sn, dn)
+	path, ok := d.RouteAround(sn, dn, downFn)
+	e := routeEntry{ok: ok}
+	if ok {
+		e.hops = len(path)
+		if len(path) != len(def) {
+			e.rerouted = true
+		} else {
+			for i := range path {
+				if path[i] != def[i] {
+					e.rerouted = true
+					break
+				}
+			}
+		}
+	}
+	r.rmu.Lock()
+	if _, dup := r.routes[key]; !dup && r.routeGen == gen {
+		r.routes[key] = e
+		if e.rerouted {
+			r.reroutes.Inc()
+		}
+	}
+	r.rmu.Unlock()
+	return e.hops, e.ok
+}
+
+// routeHops reports the detoured hop count for traffic accounting; ok
+// is false when default accounting applies (no failed links, or the
+// pair is unreachable).
+func (r *reliableLayer) routeHops(sn, dn torus.Rank) (int, bool) {
+	if !r.inj.HasDownLinks() {
+		return 0, false
+	}
+	h, ok := r.routeInfo(sn, dn)
+	if !ok {
+		return 0, false
+	}
+	return h, true
+}
+
+// injectMemFIFO is InjectMemFIFO's faulted twin: same packetization and
+// accounting, but every packet goes through stage/attempt and is only
+// forgotten once acknowledged.
+func (r *reliableLayer) injectMemFIFO(inj *InjFIFO, fifo *RecFIFO, dst TaskAddr, hdr Header, payload []byte) error {
+	if r.closed.Load() {
+		return ErrFabricClosed
+	}
+	dstNode, _ := r.f.TaskNode(dst.Task)
+	if r.inj.HasDownLinks() {
+		if srcNode, ok := r.f.TaskNode(hdr.Origin.Task); ok {
+			if _, routeOK := r.routeInfo(srcNode, dstNode); !routeOK {
+				return fmt.Errorf("%w: node %d -> node %d", ErrNoRoute, srcNode, dstNode)
+			}
+		}
+	}
+	inj.injected.Add(1)
+	r.f.memFIFOSends.Add(1)
+	fl := r.flowFor(flowKey{src: hdr.Origin, dst: dst})
+	total := len(payload)
+	hdr.Total = total
+	sendOne := func(ph Header, chunk []byte) error {
+		pp, err := r.stage(fl, ph, chunk, fifo, dstNode)
+		if err != nil {
+			return err
+		}
+		r.runAttempts(fl, pp, 1)
+		return nil
+	}
+	if total == 0 {
+		hdr.Offset = 0
+		if err := sendOne(hdr, nil); err != nil {
+			return err
+		}
+		r.f.account(hdr.Origin.Task, dst.Task, 1, PacketHeaderBytes)
+		return nil
+	}
+	npkts := int64(0)
+	for off := 0; off < total; off += MaxPayload {
+		end := off + MaxPayload
+		if end > total {
+			end = total
+		}
+		ph := hdr
+		ph.Offset = off
+		if off > 0 {
+			ph.Meta = nil
+		}
+		chunk := make([]byte, end-off)
+		copy(chunk, payload[off:end])
+		if err := sendOne(ph, chunk); err != nil {
+			return err
+		}
+		npkts++
+	}
+	r.f.account(hdr.Origin.Task, dst.Task, npkts, int64(total)+npkts*PacketHeaderBytes)
+	return nil
+}
+
+// stage assigns the packet its sequence number and checksum, waits for
+// window space, and records it as unacknowledged.
+func (r *reliableLayer) stage(fl *flow, hdr Header, chunk []byte, fifo *RecFIFO, dstNode torus.Rank) (*pendingPkt, error) {
+	fl.smu.Lock()
+	for len(fl.unacked) >= sendWindow && !r.closed.Load() {
+		fl.cond.Wait()
+	}
+	if r.closed.Load() {
+		fl.smu.Unlock()
+		return nil, ErrFabricClosed
+	}
+	hdr.PktSeq = fl.nextSeq
+	fl.nextSeq++
+	hdr.Checksum = packetChecksum(hdr, chunk)
+	pp := &pendingPkt{
+		pkt:      Packet{Hdr: hdr, Payload: chunk},
+		fifo:     fifo,
+		dstNode:  dstNode,
+		deadline: time.Now().Add(initialRTO),
+		rto:      initialRTO,
+		attempts: 1,
+	}
+	fl.unacked[hdr.PktSeq] = pp
+	r.unackedG.Inc()
+	fl.smu.Unlock()
+	return pp, nil
+}
+
+// runAttempts performs one transmission attempt plus any nack-triggered
+// fast retransmits. Never called with flow locks held.
+func (r *reliableLayer) runAttempts(fl *flow, pp *pendingPkt, attempt int) {
+	for i := 0; ; i++ {
+		if r.attemptOnce(fl, pp, attempt) != outcomeNacked || i >= maxFastRetx {
+			return
+		}
+		fl.smu.Lock()
+		if _, live := fl.unacked[pp.pkt.Hdr.PktSeq]; !live {
+			fl.smu.Unlock()
+			return
+		}
+		pp.attempts++
+		attempt = pp.attempts
+		pp.deadline = time.Now().Add(pp.rto)
+		fl.smu.Unlock()
+		r.retransmits.Inc()
+	}
+}
+
+// attemptOnce pushes one copy of the packet through the injector and,
+// if it survives, the receiver-side protocol.
+func (r *reliableLayer) attemptOnce(fl *flow, pp *pendingPkt, attempt int) attemptOutcome {
+	if r.inj.NotePacket(pp.dstNode) {
+		r.stallDrops.Inc()
+		return outcomeLost
+	}
+	seq := pp.pkt.Hdr.PktSeq
+	act := r.inj.Decide(fl.hash, seq, attempt)
+	if act.Has(fault.Duplicate) {
+		// An extra copy arrives; the receiver suppresses whichever copy
+		// comes second.
+		r.deliver(fl, pp.pkt, pp.fifo, attempt)
+	}
+	if act.Has(fault.Drop) {
+		r.dropsInjected.Inc()
+		return outcomeLost
+	}
+	pkt := pp.pkt
+	if act.Has(fault.Corrupt) {
+		pkt = corruptCopy(pkt, r.inj.CorruptByte(fl.hash, seq, attempt))
+	}
+	if act.Has(fault.Delay) {
+		r.delaysInjected.Inc()
+		r.holdBack(fl, pkt, pp.fifo, attempt, r.inj.DelayFor(fl.hash, seq, attempt))
+		return outcomeLost
+	}
+	return r.deliver(fl, pkt, pp.fifo, attempt)
+}
+
+// deliver is the receiver side, run inline by fabric code (it models MU
+// hardware, not the destination CPU): CRC verify, duplicate
+// suppression, reorder to strict in-order delivery, acknowledge.
+func (r *reliableLayer) deliver(fl *flow, pkt Packet, fifo *RecFIFO, attempt int) attemptOutcome {
+	if packetChecksum(pkt.Hdr, pkt.Payload) != pkt.Hdr.Checksum {
+		r.corruptDrops.Inc()
+		r.nacksSent.Inc()
+		return outcomeNacked
+	}
+	seq := pkt.Hdr.PktSeq
+	fl.rmu.Lock()
+	_, inBuf := fl.pending[seq]
+	if seq < fl.nextExp || inBuf {
+		fl.rmu.Unlock()
+		r.dupDrops.Inc()
+		// Re-ack: the earlier ack may have been lost, leaving the sender
+		// retransmitting an already-delivered packet.
+		r.ack(fl, seq, attempt)
+		return outcomeDelivered
+	}
+	fl.pending[seq] = pkt
+	// Drain the in-order prefix into the reception FIFO while still
+	// holding rmu, so concurrent deliveries cannot interleave the
+	// restored order.
+	for {
+		p, ok := fl.pending[fl.nextExp]
+		if !ok {
+			break
+		}
+		delete(fl.pending, fl.nextExp)
+		fl.nextExp++
+		fifo.deliver(p)
+	}
+	fl.rmu.Unlock()
+	r.ack(fl, seq, attempt)
+	return outcomeDelivered
+}
+
+// ack acknowledges one sequence number back to the sender, subject to
+// ack loss on the reverse path.
+func (r *reliableLayer) ack(fl *flow, seq uint64, attempt int) {
+	if r.inj.DropAck(fl.hash, seq, attempt) {
+		r.acksDropped.Inc()
+		return
+	}
+	r.acksSent.Inc()
+	fl.smu.Lock()
+	if _, ok := fl.unacked[seq]; ok {
+		delete(fl.unacked, seq)
+		r.unackedG.Dec()
+		fl.cond.Broadcast()
+	}
+	fl.smu.Unlock()
+}
+
+func (r *reliableLayer) holdBack(fl *flow, pkt Packet, fifo *RecFIFO, attempt int, d time.Duration) {
+	r.dmu.Lock()
+	r.delayed = append(r.delayed, delayedPkt{
+		due: time.Now().Add(d), fl: fl, pkt: pkt, fifo: fifo, attempt: attempt,
+	})
+	r.dmu.Unlock()
+}
+
+// daemon is the retransmission engine: it releases held-back packets
+// and retransmits unacknowledged ones past their deadline, with capped
+// exponential backoff.
+func (r *reliableLayer) daemon() {
+	defer close(r.done)
+	t := time.NewTicker(daemonTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case now := <-t.C:
+			r.releaseDelayed(now)
+			r.retransmitDue(now)
+		}
+	}
+}
+
+func (r *reliableLayer) releaseDelayed(now time.Time) {
+	r.dmu.Lock()
+	var rel []delayedPkt
+	keep := r.delayed[:0]
+	for _, dp := range r.delayed {
+		if now.After(dp.due) {
+			rel = append(rel, dp)
+		} else {
+			keep = append(keep, dp)
+		}
+	}
+	r.delayed = keep
+	r.dmu.Unlock()
+	for _, dp := range rel {
+		// A nack here is ignored: the sender's timer covers the loss.
+		r.deliver(dp.fl, dp.pkt, dp.fifo, dp.attempt)
+	}
+}
+
+func (r *reliableLayer) retransmitDue(now time.Time) {
+	r.fmu.Lock()
+	flows := make([]*flow, 0, len(r.flows))
+	for _, fl := range r.flows {
+		flows = append(flows, fl)
+	}
+	r.fmu.Unlock()
+	type retx struct {
+		fl      *flow
+		pp      *pendingPkt
+		attempt int
+	}
+	var due []retx
+	for _, fl := range flows {
+		fl.smu.Lock()
+		for _, pp := range fl.unacked {
+			if now.After(pp.deadline) {
+				pp.attempts++
+				pp.rto *= 2
+				if pp.rto > maxRTO {
+					pp.rto = maxRTO
+				}
+				pp.deadline = now.Add(pp.rto)
+				r.backoffNS.Add(int64(pp.rto))
+				due = append(due, retx{fl, pp, pp.attempts})
+			}
+		}
+		fl.smu.Unlock()
+	}
+	for _, d := range due {
+		r.retransmits.Inc()
+		r.runAttempts(d.fl, d.pp, d.attempt)
+	}
+}
+
+// rdmaFaults models link-level recovery for put/remote-get traffic: the
+// MU retries each chunk until it crosses clean, so the operation's
+// single final copy is exactly-once. Returns ErrNoRoute when failed
+// links partition source from destination.
+func (r *reliableLayer) rdmaFaults(srcTask, dstTask, mr, n int) error {
+	sn, okS := r.f.TaskNode(srcTask)
+	dn, okD := r.f.TaskNode(dstTask)
+	if r.inj.HasDownLinks() && okS && okD {
+		if _, ok := r.routeInfo(sn, dn); !ok {
+			return fmt.Errorf("%w: node %d -> node %d", ErrNoRoute, sn, dn)
+		}
+	}
+	if !okD {
+		dn = 0
+	}
+	h := fault.FlowHash(srcTask, dstTask, mr, 0x4d52)
+	chunks := (n + MaxPayload - 1) / MaxPayload
+	if chunks == 0 {
+		chunks = 1
+	}
+	for c := 1; c <= chunks; c++ {
+		for attempt := 1; attempt <= maxRDMAAttempts; attempt++ {
+			stalled := r.inj.NotePacket(dn)
+			act := r.inj.Decide(h, uint64(c), attempt)
+			if stalled {
+				r.stallDrops.Inc()
+			} else if !act.Has(fault.Drop) && !act.Has(fault.Corrupt) {
+				break
+			}
+			if act.Has(fault.Drop) {
+				r.dropsInjected.Inc()
+			}
+			if act.Has(fault.Corrupt) {
+				r.corruptDrops.Inc()
+			}
+			r.retransmits.Inc()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"pamigo/internal/torus"
+)
+
+// A dead direct cable forces the detour and leaves the dead link idle.
+func TestFailLinkReroutes(t *testing.T) {
+	dims := torus.Dims{3, 1, 1, 1, 1}
+	n, err := New(dims, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.FailLink(0, torus.Link{Dim: torus.DimA, Dir: +1})
+	if err := n.SendMessage(0, 0, 1, 4096, nil); err != nil {
+		t.Fatal(err)
+	}
+	end := n.Run()
+	if v, _ := n.Telemetry().Snapshot().Counter("reroutes"); v != 1 {
+		t.Errorf("reroutes = %d, want 1", v)
+	}
+	util := n.LinkUtilization(end)
+	if u := util["0:A+"]; u != 0 {
+		t.Errorf("dead link 0:A+ carried traffic (utilization %v)", u)
+	}
+	// The detour 0 -> 2 -> 1 rides the A- direction twice.
+	for _, lk := range []string{"0:A-", "2:A-"} {
+		if util[lk] == 0 {
+			t.Errorf("detour link %s idle", lk)
+		}
+	}
+	// Hops accounting reflects the 2-hop detour: 8 packets x 2 hops.
+	if v, _ := n.Telemetry().Snapshot().Counter("hops"); v != 16 {
+		t.Errorf("hops = %d, want 16", v)
+	}
+}
+
+// Clean routes stay bit-identical after an unrelated link fails.
+func TestFailLinkLeavesCleanRoutesAlone(t *testing.T) {
+	dims := torus.Dims{4, 4, 1, 1, 1}
+	n, err := New(dims, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.FailLink(9, torus.Link{Dim: torus.DimB, Dir: +1})
+	if err := n.SendMessage(0, 0, 1, 512, nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if v, _ := n.Telemetry().Snapshot().Counter("reroutes"); v != 0 {
+		t.Errorf("unaffected message rerouted (%d)", v)
+	}
+}
+
+func TestPartitionedSendFails(t *testing.T) {
+	dims := torus.Dims{2, 1, 1, 1, 1}
+	n, err := New(dims, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.FailLink(0, torus.Link{Dim: torus.DimA, Dir: +1})
+	n.FailLink(0, torus.Link{Dim: torus.DimA, Dir: -1})
+	err = n.SendMessage(0, 0, 1, 512, nil)
+	if !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned send returned %v, want ErrPartitioned", err)
+	}
+}
+
+// In a size-2 dimension the second cable keeps the pair connected.
+func TestSizeTwoDimSurvivesOneCable(t *testing.T) {
+	dims := torus.Dims{2, 1, 1, 1, 1}
+	n, err := New(dims, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.FailLink(0, torus.Link{Dim: torus.DimA, Dir: +1})
+	if err := n.SendMessage(0, 0, 1, 512, nil); err != nil {
+		t.Fatalf("one dead cable of two partitioned the pair: %v", err)
+	}
+	end := n.Run()
+	util := n.LinkUtilization(end)
+	if util["0:A+"] != 0 {
+		t.Error("traffic crossed the dead cable")
+	}
+	if util["0:A-"] == 0 {
+		t.Error("surviving cable idle")
+	}
+}

@@ -14,6 +14,7 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 
 	"pamigo/internal/mu"
@@ -21,6 +22,10 @@ import (
 	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
 )
+
+// ErrPartitioned means failed links disconnect source from destination:
+// no route-around exists.
+var ErrPartitioned = errors.New("netsim: failed links partition the torus")
 
 // Params are the physical constants of the simulated fabric.
 type Params struct {
@@ -56,12 +61,14 @@ type Network struct {
 	eng    sim.Engine
 	links  map[linkKey]*sim.Resource
 	inject map[linkKey]*sim.Resource
+	down   map[linkKey]bool // failed directed links (cables fail both ways)
 
 	tele      *telemetry.Registry
 	packets   *telemetry.Counter
 	bytes     *telemetry.Counter
 	hops      *telemetry.Counter // per-packet route lengths, summed
 	transfers *telemetry.Counter // individual link reservations
+	reroutes  *telemetry.Counter // messages detoured around failed links
 	finish    sim.Time           // latest packet arrival across all messages
 }
 
@@ -79,11 +86,13 @@ func New(dims torus.Dims, p Params) (*Network, error) {
 		params:    p,
 		links:     make(map[linkKey]*sim.Resource),
 		inject:    make(map[linkKey]*sim.Resource),
+		down:      make(map[linkKey]bool),
 		tele:      tele,
 		packets:   tele.Counter("packets"),
 		bytes:     tele.Counter("payload_bytes"),
 		hops:      tele.Counter("hops"),
 		transfers: tele.Counter("link_transfers"),
+		reroutes:  tele.Counter("reroutes"),
 	}, nil
 }
 
@@ -136,6 +145,42 @@ func linkOf(d torus.Dims, cur, next torus.Rank) (torus.Link, error) {
 	return torus.Link{}, fmt.Errorf("netsim: %d and %d are not neighbors", cur, next)
 }
 
+// FailLink marks the physical cable out of node across l as dead in both
+// directions — the BG/Q control system's view of a link failure — so
+// subsequent messages route around it.
+func (n *Network) FailLink(node torus.Rank, l torus.Link) {
+	nb := n.dims.Neighbor(node, l)
+	n.down[linkKey{node, l}] = true
+	n.down[linkKey{nb, torus.Link{Dim: l.Dim, Dir: -l.Dir}}] = true
+}
+
+// downFn returns the failed-link predicate, nil when the fabric is
+// clean (torus.RouteAround's fast path).
+func (n *Network) downFn() func(torus.Rank, torus.Link) bool {
+	if len(n.down) == 0 {
+		return nil
+	}
+	return func(r torus.Rank, l torus.Link) bool { return n.down[linkKey{r, l}] }
+}
+
+// hopLink picks the live cable carrying a route hop. In a size-2
+// dimension the reverse-direction cable reaches the same neighbor, so a
+// hop survives one of the pair failing.
+func (n *Network) hopLink(cur, next torus.Rank) (torus.Link, error) {
+	l, err := linkOf(n.dims, cur, next)
+	if err != nil {
+		return l, err
+	}
+	if n.down[linkKey{cur, l}] {
+		alt := torus.Link{Dim: l.Dim, Dir: -l.Dir}
+		if n.dims[l.Dim] == 2 && !n.down[linkKey{cur, alt}] {
+			return alt, nil
+		}
+		return l, fmt.Errorf("netsim: route crosses failed link %d:%s", cur, l)
+	}
+	return l, nil
+}
+
 // SendMessage schedules a message of the given size from src to dst at
 // simulated time 'at'. The message is packetized; every packet follows
 // the deterministic dimension-ordered route, serializing on each
@@ -145,8 +190,22 @@ func (n *Network) SendMessage(at sim.Time, src, dst torus.Rank, size int, onDone
 	if src == dst {
 		return fmt.Errorf("netsim: message to self")
 	}
-	path := n.dims.Route(src, dst)
-	firstLink, err := linkOf(n.dims, src, path[0])
+	down := n.downFn()
+	path, ok := n.dims.RouteAround(src, dst, down)
+	if !ok {
+		return fmt.Errorf("%w: %d -> %d", ErrPartitioned, src, dst)
+	}
+	if down != nil {
+		def := n.dims.Route(src, dst)
+		rerouted := len(path) != len(def)
+		for i := 0; !rerouted && i < len(path); i++ {
+			rerouted = path[i] != def[i]
+		}
+		if rerouted {
+			n.reroutes.Inc()
+		}
+	}
+	firstLink, err := n.hopLink(src, path[0])
 	if err != nil {
 		return err
 	}
@@ -176,7 +235,7 @@ func (n *Network) SendMessage(at sim.Time, src, dst torus.Rank, size int, onDone
 		t := injDone
 		cur := src
 		for _, hop := range path {
-			l, err := linkOf(n.dims, cur, hop)
+			l, err := n.hopLink(cur, hop)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,183 @@
+package torus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// enumerate collects the set a Topology claims via Index enumeration.
+func enumerate(t Topology) map[Rank]bool {
+	set := make(map[Rank]bool, t.Size())
+	for i := 0; i < t.Size(); i++ {
+		set[t.Index(i)] = true
+	}
+	return set
+}
+
+// containsMatchesIndex checks that Contains agrees with Index
+// enumeration for every rank of the machine.
+func containsMatchesIndex(t *testing.T, d Dims, topo Topology) {
+	t.Helper()
+	set := enumerate(topo)
+	for r := Rank(0); r < Rank(d.Nodes()); r++ {
+		if topo.Contains(r) != set[r] {
+			t.Fatalf("%s topology: Contains(%d)=%v but enumeration says %v",
+				topo.Kind(), r, topo.Contains(r), set[r])
+		}
+	}
+}
+
+func TestZeroCountTopologies(t *testing.T) {
+	d := Dims{4, 2, 2, 1, 1}
+	for _, topo := range []Topology{
+		RangeTopology{First: 3, Count: 0},
+		AxialTopology{Geom: d, Origin: Coord{1, 1, 0, 0, 0}, Dim: DimA, Count: 0},
+	} {
+		if topo.Size() != 0 {
+			t.Errorf("%s: Size()=%d, want 0", topo.Kind(), topo.Size())
+		}
+		for r := Rank(0); r < Rank(d.Nodes()); r++ {
+			if topo.Contains(r) {
+				t.Errorf("%s: empty set contains %d", topo.Kind(), r)
+			}
+		}
+		if err := ValidateTopology(topo); err != nil {
+			t.Errorf("%s: %v", topo.Kind(), err)
+		}
+	}
+	empty := OptimizeTopology(d, nil)
+	if empty.Size() != 0 || empty.Contains(0) {
+		t.Error("OptimizeTopology(nil) not an empty set")
+	}
+}
+
+func TestAxialWraparound(t *testing.T) {
+	d := Dims{4, 2, 2, 1, 1}
+	// Starts at A=2 and runs 4 nodes along A: coordinates 2,3,0,1 — the
+	// set crosses the torus boundary.
+	topo := AxialTopology{Geom: d, Origin: Coord{2, 1, 0, 0, 0}, Dim: DimA, Count: 4}
+	wantA := []int{2, 3, 0, 1}
+	for i, a := range wantA {
+		want := d.RankOf(Coord{a, 1, 0, 0, 0})
+		if topo.Index(i) != want {
+			t.Errorf("Index(%d)=%d, want %d (A=%d)", i, topo.Index(i), want, a)
+		}
+	}
+	containsMatchesIndex(t, d, topo)
+	if err := ValidateTopology(topo); err != nil {
+		t.Error(err)
+	}
+
+	// A partial wrap: 3 of the 4 A-positions, starting past the boundary.
+	part := AxialTopology{Geom: d, Origin: Coord{3, 0, 1, 0, 0}, Dim: DimA, Count: 3}
+	containsMatchesIndex(t, d, part)
+	if part.Contains(d.RankOf(Coord{2, 0, 1, 0, 0})) {
+		t.Error("A=2 is the one excluded position yet Contains accepts it")
+	}
+}
+
+func TestOptimizeRecognizesWrappedAxial(t *testing.T) {
+	d := Dims{4, 2, 2, 1, 1}
+	ranks := []Rank{
+		d.RankOf(Coord{2, 1, 1, 0, 0}),
+		d.RankOf(Coord{3, 1, 1, 0, 0}),
+		d.RankOf(Coord{0, 1, 1, 0, 0}),
+	}
+	topo := OptimizeTopology(d, ranks)
+	if topo.Kind() != "axial" {
+		t.Fatalf("wrapped pencil optimized to %q, want axial", topo.Kind())
+	}
+	for i, r := range ranks {
+		if topo.Index(i) != r {
+			t.Errorf("Index(%d)=%d, want %d", i, topo.Index(i), r)
+		}
+	}
+	containsMatchesIndex(t, d, topo)
+}
+
+// Contains must agree with Index enumeration for every representation,
+// under testing/quick-generated shapes.
+func TestQuickContainsAgreesWithIndex(t *testing.T) {
+	d := Dims{4, 3, 2, 1, 1}
+	n := Rank(d.Nodes())
+
+	if err := quick.Check(func(first uint16, count uint8) bool {
+		topo := RangeTopology{First: Rank(first) % n, Count: int(count) % 8}
+		set := enumerate(topo)
+		for r := Rank(0); r <= n+4; r++ {
+			if topo.Contains(r) != set[r] {
+				return false
+			}
+		}
+		return ValidateTopology(topo) == nil
+	}, nil); err != nil {
+		t.Errorf("range: %v", err)
+	}
+
+	if err := quick.Check(func(o uint16, dim uint8, count uint8) bool {
+		dm := int(dim) % NumDims
+		topo := AxialTopology{
+			Geom:   d,
+			Origin: d.CoordOf(Rank(o) % n),
+			Dim:    dm,
+			Count:  int(count)%d[dm] + 1,
+		}
+		set := enumerate(topo)
+		for r := Rank(0); r < n; r++ {
+			if topo.Contains(r) != set[r] {
+				return false
+			}
+		}
+		return ValidateTopology(topo) == nil
+	}, nil); err != nil {
+		t.Errorf("axial: %v", err)
+	}
+
+	if err := quick.Check(func(lo uint16, ext [NumDims]uint8) bool {
+		c := d.CoordOf(Rank(lo) % n)
+		rc := Rectangle{Lo: c, Hi: c}
+		for i := 0; i < NumDims; i++ {
+			rc.Hi[i] = c[i] + int(ext[i])%(d[i]-c[i])
+		}
+		topo := RectTopology{Geom: d, Rect: rc}
+		set := enumerate(topo)
+		for r := Rank(0); r < n; r++ {
+			if topo.Contains(r) != set[r] {
+				return false
+			}
+		}
+		return ValidateTopology(topo) == nil
+	}, nil); err != nil {
+		t.Errorf("rect: %v", err)
+	}
+
+	if err := quick.Check(func(picks []uint16) bool {
+		seen := map[Rank]bool{}
+		var ranks []Rank
+		for _, p := range picks {
+			r := Rank(p) % n
+			if !seen[r] {
+				seen[r] = true
+				ranks = append(ranks, r)
+			}
+		}
+		topo := OptimizeTopology(d, ranks)
+		if topo.Size() != len(ranks) {
+			return false
+		}
+		for i, r := range ranks {
+			if topo.Index(i) != r {
+				return false
+			}
+		}
+		set := enumerate(topo)
+		for r := Rank(0); r < n; r++ {
+			if topo.Contains(r) != set[r] {
+				return false
+			}
+		}
+		return ValidateTopology(topo) == nil
+	}, nil); err != nil {
+		t.Errorf("optimize: %v", err)
+	}
+}

@@ -204,6 +204,165 @@ func (d Dims) RouteOrdered(a, b Rank, order [NumDims]int) []Rank {
 	return path
 }
 
+// LinkBetween returns the directed link taken from a toward a
+// neighboring rank b; ok=false when the two are not neighbors.
+func (d Dims) LinkBetween(a, b Rank) (Link, bool) {
+	ca, cb := d.CoordOf(a), d.CoordOf(b)
+	link, found := Link{}, false
+	for dim := 0; dim < NumDims; dim++ {
+		if ca[dim] == cb[dim] {
+			continue
+		}
+		if found {
+			return Link{}, false // differs in more than one dimension
+		}
+		switch d.Delta(ca, cb, dim) {
+		case 1:
+			link, found = Link{Dim: dim, Dir: +1}, true
+		case -1:
+			link, found = Link{Dim: dim, Dir: -1}, true
+		default:
+			return Link{}, false
+		}
+	}
+	return link, found
+}
+
+// HopBlocked reports whether every cable from a to its neighbor b is
+// down. In a size-2 dimension the + and - links out of a node reach the
+// same neighbor over two distinct cables, so the hop survives until
+// both have failed.
+func (d Dims) HopBlocked(a, b Rank, down func(from Rank, l Link) bool) bool {
+	l, ok := d.LinkBetween(a, b)
+	if !ok {
+		return true
+	}
+	if !down(a, l) {
+		return false
+	}
+	if d[l.Dim] == 2 {
+		return down(a, Link{Dim: l.Dim, Dir: -l.Dir})
+	}
+	return true
+}
+
+// RouteAround returns a route from a to b that avoids every link for
+// which down reports true — the software analogue of the BG/Q control
+// system programming static routes around failed links. When the
+// deterministic dimension-ordered route is clean it is returned
+// unchanged (so fault-free routing stays bit-identical); otherwise the
+// route detours through neighboring coordinates, found by breadth-first
+// search in canonical link order, which keeps the detour deterministic
+// and as short as possible. ok=false means b is unreachable: the failed
+// links partition the torus.
+func (d Dims) RouteAround(a, b Rank, down func(from Rank, l Link) bool) ([]Rank, bool) {
+	if a == b {
+		return nil, true
+	}
+	path := d.Route(a, b)
+	if down == nil {
+		return path, true
+	}
+	clean := true
+	cur := a
+	for _, next := range path {
+		if d.HopBlocked(cur, next, down) {
+			clean = false
+			break
+		}
+		cur = next
+	}
+	if clean {
+		return path, true
+	}
+	// Detour: BFS over the torus graph minus the failed links. Canonical
+	// neighbor order (A+, A-, ... E-) makes the result deterministic.
+	parent := make(map[Rank]Rank, d.Nodes())
+	parent[a] = a
+	queue := []Rank{a}
+	links := Links()
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, l := range links {
+			nb := d.Neighbor(n, l)
+			if nb == n { // size-1 dimension: the link loops back
+				continue
+			}
+			if _, seen := parent[nb]; seen || down(n, l) {
+				continue
+			}
+			parent[nb] = n
+			if nb == b {
+				var rev []Rank
+				for c := b; c != a; c = parent[c] {
+					rev = append(rev, c)
+				}
+				out := make([]Rank, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					out = append(out, rev[i])
+				}
+				return out, true
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil, false
+}
+
+// BuildTreeAvoiding builds a spanning tree over the rectangle that uses
+// no failed link: breadth-first from the root, staying inside the box
+// (classroutes never wrap), skipping links for which down reports true.
+// Classroute rebuilds use it after a link failure so collectives keep a
+// connected combine tree. It returns an error when the failures
+// disconnect the rectangle.
+func BuildTreeAvoiding(d Dims, rc Rectangle, root Rank, down func(from Rank, l Link) bool) (*Tree, error) {
+	if err := rc.Validate(d); err != nil {
+		return nil, err
+	}
+	if !rc.Contains(d.CoordOf(root)) {
+		return nil, fmt.Errorf("torus: root %d outside rectangle %v", root, rc)
+	}
+	t := &Tree{
+		Root:     root,
+		parent:   make(map[Rank]Rank),
+		children: make(map[Rank][]Rank),
+	}
+	visited := map[Rank]bool{root: true}
+	queue := []Rank{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		nc := d.CoordOf(n)
+		for dim := 0; dim < NumDims; dim++ {
+			for _, dir := range [2]int{+1, -1} {
+				cc := nc
+				cc[dim] += dir
+				if cc[dim] < rc.Lo[dim] || cc[dim] > rc.Hi[dim] {
+					continue // would leave the box (or wrap)
+				}
+				nb := d.RankOf(cc)
+				if visited[nb] || (down != nil && down(n, Link{Dim: dim, Dir: dir})) {
+					continue
+				}
+				visited[nb] = true
+				t.parent[nb] = n
+				t.children[n] = append(t.children[n], nb)
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if len(visited) != rc.Size() {
+		return nil, fmt.Errorf("torus: failed links disconnect rectangle %v (%d of %d nodes reachable from %d)",
+			rc, len(visited), rc.Size(), root)
+	}
+	for p := range t.children {
+		cs := t.children[p]
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	}
+	return t, nil
+}
+
 // FirstLink returns the first link a deterministic route from a to b
 // traverses, and ok=false when a==b. Injection-FIFO pinning uses it.
 func (d Dims) FirstLink(a, b Rank) (Link, bool) {

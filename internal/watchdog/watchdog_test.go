@@ -1,0 +1,85 @@
+package watchdog
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// capture redirects the watchdog's exit and output for one test.
+func capture(t *testing.T) (codes *[]int, buf *bytes.Buffer, wait func()) {
+	t.Helper()
+	var mu sync.Mutex
+	var got []int
+	fired := make(chan struct{})
+	b := &bytes.Buffer{}
+	oldExit, oldOut := exit, out
+	exit = func(c int) {
+		mu.Lock()
+		got = append(got, c)
+		mu.Unlock()
+		close(fired)
+		select {} // the real exit never returns; park like it
+	}
+	out = &syncWriter{w: b, mu: &mu}
+	t.Cleanup(func() { exit, out = oldExit, oldOut })
+	return &got, b, func() {
+		select {
+		case <-fired:
+		case <-time.After(5 * time.Second):
+			t.Fatal("watchdog never fired")
+		}
+		mu.Lock()
+		defer mu.Unlock()
+	}
+}
+
+type syncWriter struct {
+	w  *bytes.Buffer
+	mu *sync.Mutex
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func TestStopDisarms(t *testing.T) {
+	codes, _, _ := capture(t)
+	stop := Start(20*time.Millisecond, "test")
+	stop()
+	stop() // double-stop is safe
+	time.Sleep(60 * time.Millisecond)
+	if len(*codes) != 0 {
+		t.Fatalf("stopped watchdog fired anyway (exit %v)", *codes)
+	}
+}
+
+func TestDeadlineDumpsAndExits(t *testing.T) {
+	codes, buf, wait := capture(t)
+	Start(10*time.Millisecond, "hung-job")
+	wait()
+	if len(*codes) != 1 || (*codes)[0] != ExitCode {
+		t.Fatalf("exit codes = %v, want [%d]", *codes, ExitCode)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "hung-job") {
+		t.Error("dump does not name the label")
+	}
+	if !strings.Contains(s, "goroutine") {
+		t.Error("dump has no goroutine stacks")
+	}
+}
+
+func TestZeroDeadlineIsNoop(t *testing.T) {
+	codes, _, _ := capture(t)
+	stop := Start(0, "noop")
+	stop()
+	time.Sleep(20 * time.Millisecond)
+	if len(*codes) != 0 {
+		t.Fatalf("zero deadline fired (exit %v)", *codes)
+	}
+}

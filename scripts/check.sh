@@ -20,4 +20,9 @@ go test -race ./internal/telemetry ./internal/integration ./internal/core ./inte
 echo "==> go test -race -tags pamitrace ./internal/telemetry"
 go test -race -tags pamitrace ./internal/telemetry
 
+echo "==> chaos smoke (fault injection, fixed seed, small torus, -race)"
+go test -race -run TestChaos ./internal/integration
+go run ./cmd/pamirun -dims 2x2x1x1x1 -ppn 2 -deadline 120s \
+	-faults "drop=0.05,corrupt=0.02,dup=0.01" -fault-seed 7 >/dev/null
+
 echo "all checks passed"
