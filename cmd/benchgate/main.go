@@ -1,0 +1,245 @@
+// Command benchgate compares `go test -bench -benchmem` output against
+// the checked-in BENCH_BASELINE.json and fails when the hot paths
+// regress: more than the allowed ns/op slowdown, or *any* increase in
+// allocs/op on the benchmarks marked zero-alloc. It is the regression
+// gate scripts/check.sh runs after the functional checks.
+//
+// Usage:
+//
+//	go test -bench '...' -benchmem -run xxx | go run ./cmd/benchgate
+//	go run ./cmd/benchgate -in bench.out            # parse a saved run
+//	go run ./cmd/benchgate -in bench.out -update    # rewrite the baseline
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the schema of BENCH_BASELINE.json.
+type Baseline struct {
+	// Note documents how the numbers were captured.
+	Note string `json:"note"`
+	// TolerancePct is the allowed ns/op slowdown before the gate fails.
+	TolerancePct float64 `json:"tolerance_pct"`
+	// Benchmarks maps the benchmark name (without the -N GOMAXPROCS
+	// suffix) to its recorded figures.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's recorded figures.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// ZeroAlloc marks the zero-allocation set: any allocs/op at all fails
+	// the gate, independent of what the recorded baseline says.
+	ZeroAlloc bool `json:"zero_alloc,omitempty"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against")
+	inPath := flag.String("in", "-", "benchmark output to parse (- for stdin)")
+	update := flag.Bool("update", false, "rewrite the baseline from the parsed run instead of gating")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(got) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *update {
+		if err := writeBaseline(*baselinePath, got); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(got), *baselinePath)
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	if gate(base, got) {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}
+
+// parse extracts Benchmark lines from `go test -bench` output. A line
+// looks like:
+//
+//	BenchmarkName-8   123456   1415 ns/op   2.0 pkts/op   0 B/op   0 allocs/op
+//
+// Custom metrics are ignored; ns/op, B/op and allocs/op are kept. With
+// -count=N the same benchmark appears N times; parse keeps the *minimum*
+// ns/op (best-of-N filters scheduler noise, the standard practice for
+// wall-clock gates) and the *maximum* allocs/op and B/op (an allocation
+// on any run is a real allocation on the code path).
+func parse(r io.Reader) (map[string]Entry, error) {
+	out := make(map[string]Entry)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		e, seen := Entry{AllocsPerOp: -1, BytesPerOp: -1}, false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+				}
+				e.NsPerOp, seen = v, true
+			case "B/op":
+				v, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad B/op in %q: %v", sc.Text(), err)
+				}
+				e.BytesPerOp = v
+			case "allocs/op":
+				v, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op in %q: %v", sc.Text(), err)
+				}
+				e.AllocsPerOp = v
+			}
+		}
+		if !seen {
+			continue
+		}
+		if prev, ok := out[name]; ok {
+			if prev.NsPerOp < e.NsPerOp {
+				e.NsPerOp = prev.NsPerOp
+			}
+			if prev.AllocsPerOp > e.AllocsPerOp {
+				e.AllocsPerOp = prev.AllocsPerOp
+			}
+			if prev.BytesPerOp > e.BytesPerOp {
+				e.BytesPerOp = prev.BytesPerOp
+			}
+		}
+		out[name] = e
+	}
+	return out, sc.Err()
+}
+
+// trimProcSuffix strips the -N GOMAXPROCS suffix go test appends.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if b.TolerancePct <= 0 {
+		b.TolerancePct = 10
+	}
+	return &b, nil
+}
+
+func writeBaseline(path string, got map[string]Entry) error {
+	b := Baseline{
+		Note:         "Recorded by `go run ./cmd/benchgate -update`; see scripts/check.sh for the capture invocation.",
+		TolerancePct: 10,
+		Benchmarks:   got,
+	}
+	// Preserve zero_alloc marks across -update runs.
+	if old, err := readBaseline(path); err == nil {
+		for name, e := range b.Benchmarks {
+			if oe, ok := old.Benchmarks[name]; ok && oe.ZeroAlloc {
+				e.ZeroAlloc = true
+				b.Benchmarks[name] = e
+			}
+		}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gate compares a run against the baseline and reports every violation;
+// it returns true when the gate fails.
+func gate(base *Baseline, got map[string]Entry) bool {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		have, ok := got[name]
+		if !ok {
+			fmt.Printf("MISS %s: benchmark not in this run\n", name)
+			failed = true
+			continue
+		}
+		limit := want.NsPerOp * (1 + base.TolerancePct/100)
+		switch {
+		case have.NsPerOp > limit:
+			fmt.Printf("FAIL %s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%%\n",
+				name, have.NsPerOp, want.NsPerOp, base.TolerancePct)
+			failed = true
+		case have.AllocsPerOp < 0:
+			fmt.Printf("MISS %s: run lacks allocs/op (pass -benchmem)\n", name)
+			failed = true
+		case want.ZeroAlloc && have.AllocsPerOp != 0:
+			fmt.Printf("FAIL %s: %d allocs/op on a zero-alloc benchmark\n", name, have.AllocsPerOp)
+			failed = true
+		case have.AllocsPerOp > want.AllocsPerOp:
+			fmt.Printf("FAIL %s: allocs/op rose %d -> %d\n", name, want.AllocsPerOp, have.AllocsPerOp)
+			failed = true
+		default:
+			fmt.Printf("ok   %s: %.0f ns/op (baseline %.0f, +%.0f%% allowed), %d allocs/op\n",
+				name, have.NsPerOp, want.NsPerOp, base.TolerancePct, have.AllocsPerOp)
+		}
+	}
+	if failed {
+		fmt.Println("benchgate: performance regression detected")
+	}
+	return failed
+}

@@ -74,6 +74,10 @@ func PingPongPAMI(iters, payload int, immediate bool) (time.Duration, telemetry.
 			}
 			return ctx.Send(core.SendParams{Dest: peer, Dispatch: 1, Data: buf, Mode: core.ModeEager})
 		}
+		// One wait condition for the whole run: allocating a fresh closure
+		// per iteration would charge the measured loop one allocation each.
+		var want int64
+		cond := func() bool { return delivered(ctx) >= want }
 		start := time.Now()
 		if me == 0 {
 			for i := 0; i < iters; i++ {
@@ -81,14 +85,14 @@ func PingPongPAMI(iters, payload int, immediate bool) (time.Duration, telemetry.
 					runErr = err
 					return
 				}
-				want := delivered(ctx) + 1
-				ctx.AdvanceUntil(func() bool { return delivered(ctx) >= want })
+				want = delivered(ctx) + 1
+				ctx.AdvanceUntil(cond)
 			}
 			hrt = time.Since(start) / time.Duration(2*iters)
 		} else {
 			for i := 0; i < iters; i++ {
-				want := delivered(ctx) + 1
-				ctx.AdvanceUntil(func() bool { return delivered(ctx) >= want })
+				want = delivered(ctx) + 1
+				ctx.AdvanceUntil(cond)
 				if err := send(); err != nil {
 					runErr = err
 					return

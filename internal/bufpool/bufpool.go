@@ -1,0 +1,154 @@
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pamigo/internal/telemetry"
+)
+
+// Size classes, in bytes. The 512-byte class matches mu.MaxPayload, so
+// every torus packet payload is served from one class; the small classes
+// serve header metadata (MPI envelopes, RTS blobs, acks); the large ones
+// serve eager reassembly buffers up to the 1 MiB the throughput
+// workloads move. Buffers beyond the last class are not pooled.
+var classSizes = [...]int{64, 512, 4 << 10, 64 << 10, 1 << 20}
+
+// class is one size-classed slab pool. The telemetry instruments are
+// cache-line padded (telemetry.Counter/Gauge pad to 64 bytes), so the
+// per-class counters of neighboring classes never false-share.
+type class struct {
+	size int
+	pool sync.Pool
+
+	gets   *telemetry.Counter
+	puts   *telemetry.Counter
+	misses *telemetry.Counter
+}
+
+// Buf is one reference-counted buffer drawn from a slab pool. The zero
+// value is not usable; obtain buffers with Get.
+type Buf struct {
+	data []byte
+	n    int
+	cls  *class // nil for oversize buffers (not pooled)
+	refs atomic.Int32
+}
+
+// Bytes returns the buffer's payload view: length as requested from Get,
+// backed by the class-sized slab. Valid until the last Release.
+func (b *Buf) Bytes() []byte { return b.data[:b.n] }
+
+// Cap returns the slab capacity backing the buffer.
+func (b *Buf) Cap() int { return cap(b.data) }
+
+// Retain adds a reference. Every layer that stores the buffer beyond its
+// current call frame must Retain before storing.
+func (b *Buf) Retain() {
+	if b == nil {
+		return
+	}
+	if b.refs.Add(1) <= 1 {
+		panic("bufpool: Retain of a released buffer")
+	}
+}
+
+// Release drops one reference; the last release returns the slab to its
+// pool. Releasing more times than retained panics — a double release
+// would hand the same slab to two owners.
+func (b *Buf) Release() {
+	if b == nil {
+		return
+	}
+	r := b.refs.Add(-1)
+	if r > 0 {
+		return
+	}
+	if r < 0 {
+		panic("bufpool: Release of a released buffer")
+	}
+	live.Dec()
+	if b.cls == nil {
+		oversize.Inc()
+		return // oversize: let the GC take it
+	}
+	b.cls.puts.Inc()
+	b.cls.pool.Put(b)
+}
+
+// Refs reports the current reference count (diagnostics and tests).
+func (b *Buf) Refs() int32 { return b.refs.Load() }
+
+var (
+	reg     = telemetry.NewRegistry("bufpool")
+	live    = reg.Gauge("live")
+	missesT = reg.Counter("misses")
+	getsT   = reg.Counter("gets")
+
+	// oversize counts buffers beyond the largest class that bypassed the
+	// pools entirely (allocated fresh, dropped on release).
+	oversize = reg.Counter("oversize")
+
+	classes [len(classSizes)]*class
+)
+
+func init() {
+	for i, sz := range classSizes {
+		c := &class{
+			size:   sz,
+			gets:   reg.Counter(fmt.Sprintf("class%d_gets", sz)),
+			puts:   reg.Counter(fmt.Sprintf("class%d_puts", sz)),
+			misses: reg.Counter(fmt.Sprintf("class%d_misses", sz)),
+		}
+		sz := sz
+		c.pool.New = func() any {
+			c.misses.Inc()
+			missesT.Inc()
+			return &Buf{data: make([]byte, sz), cls: c}
+		}
+		classes[i] = c
+	}
+}
+
+// Telemetry returns the package's counter registry; the machine layer
+// adopts it into the job-wide tree. The pools — and therefore these
+// instruments — are process-global.
+func Telemetry() *telemetry.Registry { return reg }
+
+// Live returns the number of buffers currently checked out and the peak
+// ever checked out (the bufpool.live gauge).
+func Live() (cur, highWater int64) { return live.Load(), live.HighWater() }
+
+// Misses returns how many Gets required a fresh allocation.
+func Misses() int64 { return missesT.Load() }
+
+// Get returns a buffer whose Bytes() has length n, drawn from the
+// smallest size class that fits, with reference count 1. Requests beyond
+// the largest class are served by the regular allocator and are not
+// pooled on Release.
+func Get(n int) *Buf {
+	getsT.Inc()
+	live.Inc()
+	for _, c := range classes {
+		if n <= c.size {
+			c.gets.Inc()
+			b := c.pool.Get().(*Buf)
+			b.n = n
+			b.refs.Store(1)
+			return b
+		}
+	}
+	b := &Buf{data: make([]byte, n), n: n}
+	b.refs.Store(1)
+	return b
+}
+
+// GetCopy returns a pooled buffer holding a copy of src (refs = 1).
+// It is the idiom for taking ownership of caller-owned bytes at an
+// injection boundary.
+func GetCopy(src []byte) *Buf {
+	b := Get(len(src))
+	copy(b.data, src)
+	return b
+}

@@ -1,0 +1,128 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetPicksSmallestFittingClass(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{1, 64}, {64, 64}, {65, 512}, {512, 512},
+		{513, 4 << 10}, {64 << 10, 64 << 10}, {1 << 20, 1 << 20},
+	}
+	for _, c := range cases {
+		b := Get(c.n)
+		if len(b.Bytes()) != c.n {
+			t.Fatalf("Get(%d): len %d", c.n, len(b.Bytes()))
+		}
+		if b.Cap() != c.wantCap {
+			t.Fatalf("Get(%d): cap %d, want class %d", c.n, b.Cap(), c.wantCap)
+		}
+		b.Release()
+	}
+}
+
+func TestOversizeBypassesPool(t *testing.T) {
+	b := Get(1<<20 + 1)
+	if b.cls != nil {
+		t.Fatal("oversize buffer assigned to a class")
+	}
+	if len(b.Bytes()) != 1<<20+1 {
+		t.Fatalf("oversize length %d", len(b.Bytes()))
+	}
+	b.Release() // must not panic or pool
+}
+
+func TestRetainReleaseLifecycle(t *testing.T) {
+	b := Get(100)
+	b.Retain()
+	if b.Refs() != 2 {
+		t.Fatalf("refs = %d, want 2", b.Refs())
+	}
+	b.Release()
+	if b.Refs() != 1 {
+		t.Fatalf("refs = %d, want 1", b.Refs())
+	}
+	b.Release()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retain after final Release did not panic")
+		}
+	}()
+	b.Retain()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	b := Get(10)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestNilBufIsNoOp(t *testing.T) {
+	var b *Buf
+	b.Retain()  // must not panic
+	b.Release() // must not panic
+}
+
+func TestGetCopy(t *testing.T) {
+	src := []byte{1, 2, 3, 4, 5}
+	b := GetCopy(src)
+	src[0] = 99 // the pool copy must be independent
+	got := b.Bytes()
+	if len(got) != 5 || got[0] != 1 || got[4] != 5 {
+		t.Fatalf("GetCopy view = %v", got)
+	}
+	b.Release()
+}
+
+func TestLiveGaugeTracksCheckouts(t *testing.T) {
+	before, _ := Live()
+	a, b := Get(32), Get(32)
+	if cur, _ := Live(); cur != before+2 {
+		t.Fatalf("live = %d, want %d", cur, before+2)
+	}
+	a.Release()
+	b.Release()
+	if cur, _ := Live(); cur != before {
+		t.Fatalf("live = %d after release, want %d", cur, before)
+	}
+}
+
+// TestConcurrentChurn hammers Get/Retain/Release from many goroutines
+// (meaningful under -race): refcounts must stay consistent and the live
+// gauge must return to its starting point.
+func TestConcurrentChurn(t *testing.T) {
+	before, _ := Live()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b := Get(i%700 + 1)
+				b.Retain()
+				b.Bytes()[0] = byte(i)
+				b.Release()
+				b.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if cur, _ := Live(); cur != before {
+		t.Fatalf("live = %d after churn, want %d", cur, before)
+	}
+}
+
+func BenchmarkGetRelease(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := Get(512)
+		buf.Release()
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"pamigo/internal/lockless"
 	"pamigo/internal/machine"
 	"pamigo/internal/mu"
+	"pamigo/internal/shmem"
 	"pamigo/internal/telemetry"
 )
 
@@ -132,18 +133,21 @@ func (c *Client) CreateContexts(n int) ([]*Context, error) {
 			return nil, err
 		}
 		ctx := &Context{
-			client:   c,
-			addr:     addr,
-			hwThread: hwThread,
-			region:   region,
-			work:     lockless.NewQueue[func()](workQueueSlots),
-			muRes:    res,
-			shmDev:   shmDev,
-			dispatch: make(map[uint16]DispatchFn),
-			reasm:    make(map[reasmKey]*reasmState),
-			pending:  make(map[uint64]*pendingSend),
-			inbox:    make(map[inboxKey][]byte),
-			stats:    newCtxStats(c.tele.Group(fmt.Sprintf("task%d", addr.Task)).Group(fmt.Sprintf("ctx%d", ord))),
+			client:    c,
+			addr:      addr,
+			hwThread:  hwThread,
+			region:    region,
+			work:      lockless.NewQueue[func()](workQueueSlots),
+			muRes:     res,
+			shmDev:    shmDev,
+			dispatch:  make(map[uint16]DispatchFn),
+			reasm:     make(map[reasmKey]*reasmState),
+			pending:   make(map[uint64]*pendingSend),
+			inbox:     make(map[inboxKey][]byte),
+			workBatch: make([]func(), advanceBatch),
+			pktBatch:  make([]mu.Packet, advanceBatch),
+			msgBatch:  make([]shmem.Message, advanceBatch),
+			stats:     newCtxStats(c.tele.Group(fmt.Sprintf("task%d", addr.Task)).Group(fmt.Sprintf("ctx%d", ord))),
 		}
 		if telemetry.TraceEnabled {
 			ctx.tracer = telemetry.NewTracer(traceRingSlots)

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pamigo/internal/bufpool"
 	"pamigo/internal/l2atomic"
 	"pamigo/internal/lockless"
 	"pamigo/internal/mu"
@@ -14,10 +15,13 @@ import (
 )
 
 // DispatchFn is an active-message handler. It runs during Advance on the
-// thread advancing the context. d.Data is only valid for the duration of
-// the call — copy it to keep it (the PAMI "pipe address" contract). For a
-// rendezvous message d.Data is nil and the handler (now or later) calls
-// d.Receive to pull the payload.
+// thread advancing the context. d.Data and d.Meta point into pooled
+// transport buffers that are recycled as soon as the handler returns, and
+// for an eager delivery d itself is a per-context scratch object — copy
+// anything you keep (the PAMI "pipe address" contract) and never retain d
+// past the call. The one exception is rendezvous: d.Data is nil and the
+// handler (now or later) calls d.Receive to pull the payload, so a
+// rendezvous d may be retained until Receive completes.
 type DispatchFn func(ctx *Context, d *Delivery)
 
 // Dispatch ID space: user handlers below MaxUserDispatch, internal
@@ -59,6 +63,20 @@ type Context struct {
 	reasm    map[reasmKey]*reasmState
 	inbox    map[inboxKey][]byte
 	inboxGen uint64
+
+	// Batch-drain scratch, reused across every Advance call so the steady
+	// state allocates nothing. Only the advancing thread touches these
+	// (Advance is thread-unsafe by contract), and handlers never re-enter
+	// Advance on the same context, so one set per context suffices.
+	workBatch []func()
+	pktBatch  []mu.Packet
+	msgBatch  []shmem.Message
+
+	// del is the scratch Delivery reused for every eager dispatch. The
+	// DispatchFn contract makes the Delivery (not just Data) valid only for
+	// the duration of the call; rendezvous deliveries, which handlers may
+	// legitimately retain until Receive, are still allocated fresh.
+	del Delivery
 
 	stats  *ctxStats
 	tracer *telemetry.Tracer // non-nil only under -tags pamitrace
@@ -103,10 +121,12 @@ type reasmKey struct {
 }
 
 type reasmState struct {
-	buf      []byte
+	buf      []byte // full-message assembly area, backed by bbuf
+	bbuf     *bufpool.Buf
 	got      int
 	dispatch uint16
-	meta     []byte
+	meta     []byte // copied out of the first packet, backed by mbuf
+	mbuf     *bufpool.Buf
 }
 
 type inboxKey struct {
@@ -168,24 +188,51 @@ func (ctx *Context) Post(fn func()) {
 
 // Advance makes progress on the context: it runs posted work, receives MU
 // packets, and receives shared-memory messages, up to max items, and
-// returns the number processed. Thread-unsafe by design; see the type
-// comment.
+// returns the number processed. Each source is drained in batches — one
+// queue-head update per batch rather than per item — into per-context
+// scratch arrays, so the steady state performs no allocation.
+// Thread-unsafe by design; see the type comment.
 func (ctx *Context) Advance(max int) int {
 	n := 0
 	for n < max {
-		if fn, ok := ctx.work.Dequeue(); ok {
-			fn()
-			n++
+		k := max - n
+		if k > len(ctx.workBatch) {
+			k = len(ctx.workBatch)
+		}
+		if w := ctx.work.DrainInto(ctx.workBatch[:k]); w > 0 {
+			for i := 0; i < w; i++ {
+				fn := ctx.workBatch[i]
+				ctx.workBatch[i] = nil
+				fn()
+			}
+			n += w
 			continue
 		}
-		if pkt, ok := ctx.muRes.Rec.Poll(); ok {
-			ctx.handlePacket(pkt)
-			n++
+		k = max - n
+		if k > len(ctx.pktBatch) {
+			k = len(ctx.pktBatch)
+		}
+		if g := ctx.muRes.Rec.PollBatch(ctx.pktBatch[:k]); g > 0 {
+			for i := 0; i < g; i++ {
+				ctx.handlePacket(ctx.pktBatch[i])
+				ctx.pktBatch[i].Release()
+				ctx.pktBatch[i] = mu.Packet{}
+			}
+			n += g
 			continue
 		}
-		if msg, ok := ctx.shmDev.Poll(); ok {
-			ctx.handleMessage(msg.Hdr, msg.Payload, true)
-			n++
+		k = max - n
+		if k > len(ctx.msgBatch) {
+			k = len(ctx.msgBatch)
+		}
+		if g := ctx.shmDev.PollBatch(ctx.msgBatch[:k]); g > 0 {
+			for i := 0; i < g; i++ {
+				m := &ctx.msgBatch[i]
+				ctx.handleMessage(m.Hdr, m.Payload, true)
+				m.Release()
+				ctx.msgBatch[i] = shmem.Message{}
+			}
+			n += g
 			continue
 		}
 		break
@@ -241,14 +288,19 @@ func (ctx *Context) handlePacket(pkt mu.Packet) {
 	key := reasmKey{origin: hdr.Origin, seq: hdr.Seq}
 	st, ok := ctx.reasm[key]
 	if !ok {
+		bb := bufpool.Get(hdr.Total)
 		st = &reasmState{
-			buf:      make([]byte, hdr.Total),
+			buf:      bb.Bytes(),
+			bbuf:     bb,
 			dispatch: hdr.Dispatch,
 		}
 		ctx.reasm[key] = st
 	}
-	if hdr.Offset == 0 {
-		st.meta = hdr.Meta
+	if hdr.Offset == 0 && len(hdr.Meta) > 0 {
+		// The packet's meta lives in a pooled slab that is released when
+		// this packet is; the reassembly outlives it, so copy.
+		st.mbuf = bufpool.GetCopy(hdr.Meta)
+		st.meta = st.mbuf.Bytes()
 	}
 	copy(st.buf[hdr.Offset:], pkt.Payload)
 	st.got += len(pkt.Payload)
@@ -262,6 +314,8 @@ func (ctx *Context) handlePacket(pkt mu.Packet) {
 			Meta:     st.meta,
 		}
 		ctx.handleMessage(full, st.buf, false)
+		st.bbuf.Release()
+		st.mbuf.Release()
 	}
 }
 
@@ -286,11 +340,18 @@ func (ctx *Context) handleMessage(hdr mu.Header, payload []byte, viaShmem bool) 
 	if telemetry.TraceEnabled {
 		ctx.tracer.Emit("deliver", int64(hdr.Dispatch), int64(hdr.Total))
 	}
-	fn(ctx, &Delivery{
+	// Eager dispatch reuses the context's scratch Delivery: per the
+	// DispatchFn contract the Delivery is valid only during the call, and
+	// only rendezvous deliveries (allocated fresh in handleRTS) may be
+	// retained by handlers.
+	d := &ctx.del
+	*d = Delivery{
 		Origin: hdr.Origin,
 		Meta:   hdr.Meta,
 		Size:   hdr.Total,
 		Data:   payload,
 		ctx:    ctx,
-	})
+	}
+	fn(ctx, d)
+	*d = Delivery{}
 }

@@ -505,8 +505,9 @@ func encodeCollMeta(geom, seq uint64, src uint32, phase uint8) []byte {
 
 // handleCollMsg stores a software-collective payload in the context's
 // inbox; the waiting member picks it up by key. Runs on the advancing
-// thread, which owns the inbox. The payload buffers handed up by the
-// transports are private copies, so they are stored without another copy.
+// thread, which owns the inbox. The payload handed up by the transports
+// lives in a pooled slab that is recycled after this handler returns, so
+// it must be copied out before it goes into the inbox.
 func (ctx *Context) handleCollMsg(hdr mu.Header, payload []byte) {
 	m := hdr.Meta
 	if len(m) < collMetaLen {
@@ -521,10 +522,11 @@ func (ctx *Context) handleCollMsg(hdr mu.Header, payload []byte) {
 	if _, dup := ctx.inbox[key]; dup {
 		panic(fmt.Sprintf("core: duplicate software-collective message %+v", key))
 	}
-	if payload == nil {
-		payload = []byte{}
+	buf := []byte{}
+	if len(payload) > 0 {
+		buf = append([]byte(nil), payload...)
 	}
-	ctx.inbox[key] = payload
+	ctx.inbox[key] = buf
 }
 
 // swSend ships a software-collective fragment to a geometry member. It

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"pamigo/internal/bufpool"
 	"pamigo/internal/mu"
 	"pamigo/internal/telemetry"
 )
@@ -158,8 +159,11 @@ func (ctx *Context) sendEager(p SendParams) error {
 //	dispatch uint16 — the user dispatch to deliver to
 const rtsFixed = 8 + 8 + 8 + 4 + 1 + 2
 
-func encodeRTS(info rtsInfo, dispatch uint16, userMeta []byte) []byte {
-	buf := make([]byte, rtsFixed+len(userMeta))
+// encodeRTS writes the RTS wire form into a pooled scratch slab; the
+// caller releases it after the transport has copied the header out.
+func encodeRTS(info rtsInfo, dispatch uint16, userMeta []byte) *bufpool.Buf {
+	bb := bufpool.Get(rtsFixed + len(userMeta))
+	buf := bb.Bytes()
 	binary.LittleEndian.PutUint64(buf[0:], info.sendID)
 	mrOrTag := info.mrID
 	if info.intra {
@@ -168,12 +172,13 @@ func encodeRTS(info rtsInfo, dispatch uint16, userMeta []byte) []byte {
 	binary.LittleEndian.PutUint64(buf[8:], mrOrTag)
 	binary.LittleEndian.PutUint64(buf[16:], uint64(info.size))
 	binary.LittleEndian.PutUint32(buf[24:], uint32(info.srcProc))
+	buf[28] = 0 // pooled scratch is not zeroed
 	if info.intra {
 		buf[28] = 1
 	}
 	binary.LittleEndian.PutUint16(buf[29:], dispatch)
 	copy(buf[rtsFixed:], userMeta)
-	return buf
+	return bb
 }
 
 func decodeRTS(meta []byte) (info rtsInfo, dispatch uint16, userMeta []byte, err error) {
@@ -229,13 +234,16 @@ func (ctx *Context) sendRendezvous(p SendParams) error {
 		ctx.client.mach.Fabric().RegisterMemregion(ctx.addr.Task, info.mrID, p.Data)
 	}
 	ctx.pending[sendID] = ps
+	rts := encodeRTS(info, p.Dispatch, p.Meta)
 	hdr := mu.Header{
 		Dispatch: dispatchRTS,
 		Origin:   ctx.addr,
 		Seq:      ctx.sendSeq,
-		Meta:     encodeRTS(info, p.Dispatch, p.Meta),
+		Meta:     rts.Bytes(),
 	}
-	return ctx.transportSend(p.Dest, hdr, nil)
+	err := ctx.transportSend(p.Dest, hdr, nil)
+	rts.Release() // both transports copy the header before returning
+	return err
 }
 
 // ID spaces for sender-side publications, disjoint from user memregions.
@@ -310,15 +318,18 @@ func (d *Delivery) Receive(buf []byte, done func()) error {
 			return err
 		}
 	}
-	// Ack: tell the sender its buffer is free.
-	ack := make([]byte, 8)
-	binary.LittleEndian.PutUint64(ack, d.rts.sendID)
+	// Ack: tell the sender its buffer is free. The 8-byte scratch comes
+	// from the pool (Receive may run on any thread, so no context scratch).
+	ack := bufpool.Get(8)
+	binary.LittleEndian.PutUint64(ack.Bytes(), d.rts.sendID)
 	hdr := mu.Header{
 		Dispatch: dispatchAck,
 		Origin:   ctx.addr,
-		Meta:     ack,
+		Meta:     ack.Bytes(),
 	}
-	if err := ctx.transportSend(d.Origin, hdr, nil); err != nil {
+	err := ctx.transportSend(d.Origin, hdr, nil)
+	ack.Release()
+	if err != nil {
 		return err
 	}
 	if done != nil {

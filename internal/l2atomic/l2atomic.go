@@ -42,6 +42,13 @@ func (c *Counter) LoadIncrement() int64 { return c.v.Add(1) - 1 }
 // held before the decrement.
 func (c *Counter) LoadDecrement() int64 { return c.v.Add(-1) + 1 }
 
+// LoadAdd atomically adds delta to the word and returns the value it
+// held before the addition — the batched form of LoadIncrement. The real
+// L2 unit only increments by one, but a delta-sized claim is exactly a
+// run of load-increments issued back to back by one thread; the lockless
+// queues use it to allocate a ticket *range* in a single operation.
+func (c *Counter) LoadAdd(delta int64) int64 { return c.v.Add(delta) - delta }
+
 // LoadClear atomically sets the word to zero and returns its prior value.
 func (c *Counter) LoadClear() int64 { return c.v.Swap(0) }
 

@@ -1,0 +1,155 @@
+package lockless
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestBatchMatchesReferenceQuick is the property test for the batch
+// operations: a random interleaving of EnqueueN batches and DrainInto
+// calls against a small queue (so batches straddle the array/overflow
+// boundary) must drain exactly the reference sequence, in total FIFO
+// order, regardless of batch sizes or drain sizes.
+func TestBatchMatchesReferenceQuick(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQueue[int](4) // tiny array: most runs spill to overflow
+		var want, got []int
+		next := 0
+		dst := make([]int, 16)
+		for _, op := range ops {
+			if op%2 == 0 {
+				n := int(op/2)%7 + 1 // batch of 1..7 against a 4-slot array
+				batch := make([]int, n)
+				for i := range batch {
+					batch[i] = next
+					next++
+				}
+				want = append(want, batch...)
+				q.EnqueueN(batch)
+			} else {
+				k := rng.Intn(len(dst)) + 1
+				n := q.DrainInto(dst[:k])
+				got = append(got, dst[:n]...)
+			}
+		}
+		for q.Len() > 0 {
+			n := q.DrainInto(dst)
+			if n == 0 {
+				break
+			}
+			got = append(got, dst[:n]...)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainAcrossOverflowBoundary pins the exact boundary case: a single
+// batch whose head lands in the lock-free array and whose tail spills to
+// overflow must come back in one contiguous, ordered drain.
+func TestDrainAcrossOverflowBoundary(t *testing.T) {
+	q := NewQueue[int](4)
+	batch := make([]int, 11) // 4 in the array, 7 in overflow
+	for i := range batch {
+		batch[i] = i
+	}
+	q.EnqueueN(batch)
+	if q.Overflowed() == 0 {
+		t.Fatal("batch did not reach the overflow path")
+	}
+	dst := make([]int, len(batch))
+	if n := q.DrainInto(dst); n != len(batch) {
+		t.Fatalf("DrainInto returned %d, want %d", n, len(batch))
+	}
+	for i, v := range dst {
+		if v != i {
+			t.Fatalf("dst[%d] = %d, want %d", i, v, i)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after full drain")
+	}
+}
+
+// TestConcurrentEnqueueN stresses many EnqueueN producers against one
+// DrainInto consumer (run with -race). Each producer's batches must stay
+// in order relative to each other, batches must never interleave
+// internally, and nothing may be lost or duplicated.
+func TestConcurrentEnqueueN(t *testing.T) {
+	const (
+		producers = 8
+		batches   = 200
+		batchLen  = 5
+	)
+	type item struct{ producer, seq int }
+	q := NewQueue[item](64)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batch := make([]item, batchLen)
+			for b := 0; b < batches; b++ {
+				for i := range batch {
+					batch[i] = item{producer: p, seq: b*batchLen + i}
+				}
+				q.EnqueueN(batch)
+			}
+		}(p)
+	}
+
+	total := producers * batches * batchLen
+	lastSeq := make([]int, producers)
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	dst := make([]item, 32)
+	got := 0
+	for got < total {
+		n := q.DrainInto(dst)
+		for _, it := range dst[:n] {
+			if it.seq != lastSeq[it.producer]+1 {
+				t.Fatalf("producer %d: got seq %d after %d", it.producer, it.seq, lastSeq[it.producer])
+			}
+			lastSeq[it.producer] = it.seq
+		}
+		got += n
+	}
+	wg.Wait()
+	if q.Len() != 0 {
+		t.Fatalf("queue holds %d extra elements", q.Len())
+	}
+	for p, s := range lastSeq {
+		if s != batches*batchLen-1 {
+			t.Fatalf("producer %d drained through seq %d, want %d", p, s, batches*batchLen-1)
+		}
+	}
+}
+
+// BenchmarkBatchEnqueueDrain measures the batch fast path: one ticket
+// range claim and one head store per 16 elements, no allocation.
+func BenchmarkBatchEnqueueDrain(b *testing.B) {
+	q := NewQueue[int](256)
+	batch := make([]int, 16)
+	dst := make([]int, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.EnqueueN(batch)
+		q.DrainInto(dst)
+	}
+}

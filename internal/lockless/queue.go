@@ -84,6 +84,93 @@ func (q *Queue[T]) Enqueue(v T) {
 	q.overflowMu.Unlock()
 }
 
+// EnqueueN appends vs in order with a single ticket-range claim, instead
+// of one tail increment per element. All elements of the batch are
+// contiguous in the queue's total order (no other producer interleaves
+// inside the batch). Safe for concurrent use by any number of producers;
+// elements that miss the lock-free array spill to the overflow queue
+// under one lock acquisition for the whole batch.
+func (q *Queue[T]) EnqueueN(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	t0 := q.tail.LoadAdd(int64(len(vs)))
+	var spill int64 = -1
+	for i := range vs {
+		t := t0 + int64(i)
+		if t-q.head.Load() < int64(len(q.cells)) {
+			c := &q.cells[t&q.mask]
+			c.val = vs[i]
+			c.seq.Store(t + 1) // publish
+			continue
+		}
+		spill = int64(i)
+		break
+	}
+	if spill < 0 {
+		return
+	}
+	// The remainder of the batch overflows: one lock, one map pass.
+	q.overflowMu.Lock()
+	for i := spill; i < int64(len(vs)); i++ {
+		q.overflowed.LoadIncrement()
+		q.overflow[t0+i] = vs[i]
+		q.overflowN.LoadIncrement()
+	}
+	q.overflowMu.Unlock()
+}
+
+// DrainInto removes up to len(dst) ready elements in FIFO order with a
+// single head update, instead of one head store per element — the batch
+// reception drain of a context advance. It stops early at the first
+// ticket that is not yet published. Returns the number of elements
+// written to dst. Single consumer, like Dequeue.
+func (q *Queue[T]) DrainInto(dst []T) int {
+	n := 0
+	h := q.head.Load()
+	var zero T
+	for n < len(dst) {
+		if h >= q.tail.Load() {
+			break
+		}
+		c := &q.cells[h&q.mask]
+		if c.seq.Load() == h+1 {
+			dst[n] = c.val
+			c.val = zero // release references for GC / the buffer pool
+			h++
+			n++
+			continue
+		}
+		// The head ticket is not in the array; drain any contiguous run
+		// that sits in overflow under one lock acquisition.
+		if q.overflowN.Load() > 0 {
+			q.overflowMu.Lock()
+			took := false
+			for n < len(dst) {
+				v, ok := q.overflow[h]
+				if !ok {
+					break
+				}
+				delete(q.overflow, h)
+				q.overflowN.LoadDecrement()
+				dst[n] = v
+				h++
+				n++
+				took = true
+			}
+			q.overflowMu.Unlock()
+			if took {
+				continue
+			}
+		}
+		break
+	}
+	if n > 0 {
+		q.head.Store(h)
+	}
+	return n
+}
+
 // Dequeue removes and returns the oldest element. ok is false when no
 // element is ready — either the queue is empty or the producer owning the
 // head ticket has not finished publishing; callers retry on their next

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"pamigo/internal/bufpool"
 	"pamigo/internal/cnk"
 	"pamigo/internal/collnet"
 	"pamigo/internal/fault"
@@ -90,6 +91,9 @@ func New(cfg Config) (*Machine, error) {
 	// hang their own groups off the root.
 	m.tele.Adopt(fabric.Telemetry())
 	m.tele.Adopt(m.coll.Telemetry())
+	// The buffer pool is process-global (slabs flow between machines'
+	// layers freely); its registry reports process-wide live/miss counts.
+	m.tele.Adopt(bufpool.Telemetry())
 	for r := 0; r < cfg.Dims.Nodes(); r++ {
 		node, err := cnk.NewNode(torus.Rank(r), cfg.PPN, r*cfg.PPN)
 		if err != nil {

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pamigo/internal/bufpool"
 	"pamigo/internal/l2atomic"
 	"pamigo/internal/lockless"
 	"pamigo/internal/telemetry"
@@ -81,10 +82,34 @@ type Header struct {
 	Checksum uint32
 }
 
-// Packet is one torus packet delivered to a reception FIFO.
+// Packet is one torus packet delivered to a reception FIFO. Payload and
+// Hdr.Meta are views into pooled slabs when the packet was built by the
+// fabric (see internal/bufpool): the consumer that polls a packet out of
+// a reception FIFO owns one reference and must call Release when it is
+// done dispatching; a layer that stores the packet beyond that (the
+// reliable retransmit window, a delayed-packet list) holds its own
+// reference via Retain. Packets built by tests with plain slices have
+// nil buffer handles, for which Retain/Release are no-ops.
 type Packet struct {
 	Hdr     Header
 	Payload []byte
+
+	pbuf *bufpool.Buf // backing slab of Payload; nil if not pooled
+	mbuf *bufpool.Buf // backing slab of Hdr.Meta; nil if not pooled
+}
+
+// Retain adds a reference to the packet's pooled buffers.
+func (p *Packet) Retain() {
+	p.pbuf.Retain()
+	p.mbuf.Retain()
+}
+
+// Release drops the consumer's reference to the packet's pooled buffers.
+// The packet's Payload and Hdr.Meta must not be touched afterwards.
+func (p *Packet) Release() {
+	p.pbuf.Release()
+	p.mbuf.Release()
+	p.pbuf, p.mbuf = nil, nil
 }
 
 // RecFIFO is a reception FIFO owned by exactly one PAMI context.
@@ -97,13 +122,28 @@ type RecFIFO struct {
 	occupancy *telemetry.Gauge
 }
 
-// Poll removes the next packet, if one is ready.
+// Poll removes the next packet, if one is ready. The caller owns one
+// reference to the packet's pooled buffers and must Release it after
+// dispatch.
 func (f *RecFIFO) Poll() (Packet, bool) {
 	p, ok := f.q.Dequeue()
 	if ok {
 		f.occupancy.Dec()
 	}
 	return p, ok
+}
+
+// PollBatch drains up to len(dst) packets in delivery order with a
+// single ticket-range claim on the FIFO's lockless queue, instead of one
+// head update per packet — the batch reception drain of a context
+// advance. The caller owns one reference to each drained packet's
+// pooled buffers and must Release each after dispatch.
+func (f *RecFIFO) PollBatch(dst []Packet) int {
+	n := f.q.DrainInto(dst)
+	if n > 0 {
+		f.occupancy.Update(-int64(n))
+	}
+	return n
 }
 
 // Empty reports whether the FIFO currently holds no packets.
@@ -245,9 +285,13 @@ type Fabric struct {
 	nodes []*NodeMU
 	tele  *telemetry.Registry
 
-	taskMu   sync.RWMutex
-	taskNode map[int]torus.Rank
-	contexts map[TaskAddr]*RecFIFO
+	// Task placement and context registration are read on every send but
+	// written only at bootstrap, so readers go through copy-on-write maps
+	// behind atomic pointers — the send path takes no lock at all, the
+	// same no-lock-on-injection property the hardware partitioning gives.
+	taskMu   sync.Mutex                         // serializes writers
+	taskNode atomic.Pointer[map[int]torus.Rank] // read-only snapshot
+	contexts atomic.Pointer[map[TaskAddr]*RecFIFO]
 
 	mrMu       sync.RWMutex
 	memregions map[memregionKey][]byte
@@ -283,8 +327,6 @@ func NewFabric(dims torus.Dims, recFIFOSlots int) (*Fabric, error) {
 	f := &Fabric{
 		dims:         dims,
 		tele:         tele,
-		taskNode:     make(map[int]torus.Rank),
-		contexts:     make(map[TaskAddr]*RecFIFO),
 		memregions:   make(map[memregionKey][]byte),
 		packets:      tele.Counter("packets"),
 		bytes:        tele.Counter("bytes"),
@@ -293,6 +335,10 @@ func NewFabric(dims torus.Dims, recFIFOSlots int) (*Fabric, error) {
 		remoteGets:   tele.Counter("remote_gets"),
 		hops:         tele.Counter("hops"),
 	}
+	emptyTasks := make(map[int]torus.Rank)
+	emptyCtxs := make(map[TaskAddr]*RecFIFO)
+	f.taskNode.Store(&emptyTasks)
+	f.contexts.Store(&emptyCtxs)
 	for r := 0; r < dims.Nodes(); r++ {
 		f.nodes = append(f.nodes, &NodeMU{
 			rank:       torus.Rank(r),
@@ -314,17 +360,22 @@ func (f *Fabric) Dims() torus.Dims { return f.dims }
 func (f *Fabric) Node(r torus.Rank) *NodeMU { return f.nodes[r] }
 
 // MapTask records that a task (process) lives on the given node.
+// Placement is written at bootstrap; the send path reads it lock-free.
 func (f *Fabric) MapTask(task int, node torus.Rank) {
 	f.taskMu.Lock()
-	f.taskNode[task] = node
+	old := *f.taskNode.Load()
+	next := make(map[int]torus.Rank, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[task] = node
+	f.taskNode.Store(&next)
 	f.taskMu.Unlock()
 }
 
 // TaskNode returns the node a task lives on.
 func (f *Fabric) TaskNode(task int) (torus.Rank, bool) {
-	f.taskMu.RLock()
-	r, ok := f.taskNode[task]
-	f.taskMu.RUnlock()
+	r, ok := (*f.taskNode.Load())[task]
 	return r, ok
 }
 
@@ -332,24 +383,27 @@ func (f *Fabric) TaskNode(task int) (torus.Rank, bool) {
 // addressed to (task, ctx) can be delivered.
 func (f *Fabric) RegisterContext(addr TaskAddr, fifo *RecFIFO) {
 	f.taskMu.Lock()
-	f.contexts[addr] = fifo
+	old := *f.contexts.Load()
+	next := make(map[TaskAddr]*RecFIFO, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[addr] = fifo
+	f.contexts.Store(&next)
 	f.taskMu.Unlock()
 }
 
 // ContextRegistered reports whether a reception FIFO has been registered
 // for the endpoint; job bootstrap uses it to rendezvous before traffic.
 func (f *Fabric) ContextRegistered(addr TaskAddr) bool {
-	f.taskMu.RLock()
-	_, ok := f.contexts[addr]
-	f.taskMu.RUnlock()
+	_, ok := (*f.contexts.Load())[addr]
 	return ok
 }
 
-// lookupContext resolves a destination endpoint's reception FIFO.
+// lookupContext resolves a destination endpoint's reception FIFO without
+// taking any lock — it sits on the per-packet injection path.
 func (f *Fabric) lookupContext(addr TaskAddr) (*RecFIFO, error) {
-	f.taskMu.RLock()
-	fifo, ok := f.contexts[addr]
-	f.taskMu.RUnlock()
+	fifo, ok := (*f.contexts.Load())[addr]
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrNoSuchContext, addr)
 	}
@@ -400,9 +454,10 @@ func (f *Fabric) account(srcTask int, dstTask int, packets, bytes int64) {
 // InjectMemFIFO injects a memory-FIFO message: the payload is packetized
 // into MaxPayload chunks and delivered, in order, to the destination
 // endpoint's reception FIFO. The metadata rides only in the first packet.
-// The payload is copied out at injection time, so the caller may reuse its
-// buffer immediately — the same contract the MU gives software once the
-// descriptor's data has been DMA-read.
+// Both payload and metadata are copied out — into pooled slabs, not fresh
+// allocations — at injection time, so the caller may reuse its buffers
+// immediately: the same contract the MU gives software once the
+// descriptor's data has been DMA-read, at the same (zero) allocator cost.
 func (f *Fabric) InjectMemFIFO(inj *InjFIFO, dst TaskAddr, hdr Header, payload []byte) error {
 	fifo, err := f.lookupContext(dst)
 	if err != nil {
@@ -415,9 +470,14 @@ func (f *Fabric) InjectMemFIFO(inj *InjFIFO, dst TaskAddr, hdr Header, payload [
 	f.memFIFOSends.Add(1)
 	total := len(payload)
 	hdr.Total = total
+	var mbuf *bufpool.Buf
+	if len(hdr.Meta) > 0 {
+		mbuf = bufpool.GetCopy(hdr.Meta)
+		hdr.Meta = mbuf.Bytes()
+	}
 	if total == 0 {
 		hdr.Offset = 0
-		fifo.deliver(Packet{Hdr: hdr})
+		fifo.deliver(Packet{Hdr: hdr, mbuf: mbuf})
 		f.account(hdr.Origin.Task, dst.Task, 1, PacketHeaderBytes)
 		return nil
 	}
@@ -429,12 +489,13 @@ func (f *Fabric) InjectMemFIFO(inj *InjFIFO, dst TaskAddr, hdr Header, payload [
 		}
 		ph := hdr
 		ph.Offset = off
+		pm := mbuf
 		if off > 0 {
 			ph.Meta = nil
+			pm = nil
 		}
-		chunk := make([]byte, end-off)
-		copy(chunk, payload[off:end])
-		fifo.deliver(Packet{Hdr: ph, Payload: chunk})
+		pb := bufpool.GetCopy(payload[off:end])
+		fifo.deliver(Packet{Hdr: ph, Payload: pb.Bytes(), pbuf: pb, mbuf: pm})
 		npkts++
 	}
 	f.account(hdr.Origin.Task, dst.Task, npkts, int64(total)+npkts*PacketHeaderBytes)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pamigo/internal/bufpool"
 	"pamigo/internal/fault"
 	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
@@ -78,10 +79,12 @@ func corruptCopy(p Packet, pick uint64) Packet {
 		pl := append([]byte(nil), p.Payload...)
 		pl[pick%uint64(len(pl))] ^= flip
 		q.Payload = pl
+		q.pbuf = nil // private copy: the copy no longer aliases the slab
 	case len(p.Hdr.Meta) > 0:
 		m := append([]byte(nil), p.Hdr.Meta...)
 		m[pick%uint64(len(m))] ^= flip
 		q.Hdr.Meta = m
+		q.mbuf = nil
 	default:
 		q.Hdr.Checksum ^= uint32(pick) | 1
 	}
@@ -91,8 +94,13 @@ func corruptCopy(p Packet, pick uint64) Packet {
 type flowKey struct{ src, dst TaskAddr }
 
 // pendingPkt is one unacknowledged packet on the sender side. pkt,
-// fifo, and dstNode are immutable after staging; the timing fields are
-// guarded by the owning flow's smu.
+// fifo, and dstNode are immutable while the packet is live; the timing
+// and lifecycle fields are guarded by the owning flow's smu. The structs
+// themselves are recycled through the flow's free list — the same
+// pendingPkt (and the same staged Packet, holding the same pooled
+// payload slab) serves every retransmission of a sequence number, and
+// returns to the free list only once the packet is acked AND no
+// transmission attempt still holds it (inflight == 0).
 type pendingPkt struct {
 	pkt      Packet
 	fifo     *RecFIFO
@@ -100,6 +108,9 @@ type pendingPkt struct {
 	deadline time.Time
 	rto      time.Duration
 	attempts int
+
+	inflight int  // attempts executing outside smu; guards recycling
+	acked    bool // removed from the window; recycle when inflight drains
 }
 
 // flow is the reliable-delivery state of one sender->receiver stream:
@@ -114,10 +125,19 @@ type flow struct {
 	cond    *sync.Cond
 	nextSeq uint64
 	unacked map[uint64]*pendingPkt
+	free    []*pendingPkt // recycled pendingPkt structs
 
 	rmu     sync.Mutex
 	nextExp uint64
 	pending map[uint64]Packet
+}
+
+// recycle releases the window's reference to the staged packet's pooled
+// buffers and returns the pendingPkt to the flow's free list. Caller
+// holds fl.smu; the packet must be acked with no attempt in flight.
+func (fl *flow) recycle(pp *pendingPkt) {
+	pp.pkt.Release()
+	fl.free = append(fl.free, pp)
 }
 
 type attemptOutcome int
@@ -347,9 +367,16 @@ func (r *reliableLayer) injectMemFIFO(inj *InjFIFO, fifo *RecFIFO, dst TaskAddr,
 	fl := r.flowFor(flowKey{src: hdr.Origin, dst: dst})
 	total := len(payload)
 	hdr.Total = total
-	sendOne := func(ph Header, chunk []byte) error {
-		pp, err := r.stage(fl, ph, chunk, fifo, dstNode)
+	var mbuf *bufpool.Buf
+	if len(hdr.Meta) > 0 {
+		mbuf = bufpool.GetCopy(hdr.Meta)
+		hdr.Meta = mbuf.Bytes()
+	}
+	sendOne := func(ph Header, pb, pm *bufpool.Buf) error {
+		pp, err := r.stage(fl, ph, pb, pm, fifo, dstNode)
 		if err != nil {
+			pb.Release()
+			pm.Release()
 			return err
 		}
 		r.runAttempts(fl, pp, 1)
@@ -357,7 +384,7 @@ func (r *reliableLayer) injectMemFIFO(inj *InjFIFO, fifo *RecFIFO, dst TaskAddr,
 	}
 	if total == 0 {
 		hdr.Offset = 0
-		if err := sendOne(hdr, nil); err != nil {
+		if err := sendOne(hdr, nil, mbuf); err != nil {
 			return err
 		}
 		r.f.account(hdr.Origin.Task, dst.Task, 1, PacketHeaderBytes)
@@ -371,12 +398,13 @@ func (r *reliableLayer) injectMemFIFO(inj *InjFIFO, fifo *RecFIFO, dst TaskAddr,
 		}
 		ph := hdr
 		ph.Offset = off
+		pm := mbuf
 		if off > 0 {
 			ph.Meta = nil
+			pm = nil
 		}
-		chunk := make([]byte, end-off)
-		copy(chunk, payload[off:end])
-		if err := sendOne(ph, chunk); err != nil {
+		pb := bufpool.GetCopy(payload[off:end])
+		if err := sendOne(ph, pb, pm); err != nil {
 			return err
 		}
 		npkts++
@@ -386,8 +414,15 @@ func (r *reliableLayer) injectMemFIFO(inj *InjFIFO, fifo *RecFIFO, dst TaskAddr,
 }
 
 // stage assigns the packet its sequence number and checksum, waits for
-// window space, and records it as unacknowledged.
-func (r *reliableLayer) stage(fl *flow, hdr Header, chunk []byte, fifo *RecFIFO, dstNode torus.Rank) (*pendingPkt, error) {
+// window space, and records it as unacknowledged. The staged packet
+// takes ownership of the pooled payload (pb) and metadata (pm) slabs;
+// the window's reference is dropped when the packet is recycled after
+// its ack. On error the caller still owns the slabs.
+func (r *reliableLayer) stage(fl *flow, hdr Header, pb, pm *bufpool.Buf, fifo *RecFIFO, dstNode torus.Rank) (*pendingPkt, error) {
+	var chunk []byte
+	if pb != nil {
+		chunk = pb.Bytes()
+	}
 	fl.smu.Lock()
 	for len(fl.unacked) >= sendWindow && !r.closed.Load() {
 		fl.cond.Wait()
@@ -399,13 +434,21 @@ func (r *reliableLayer) stage(fl *flow, hdr Header, chunk []byte, fifo *RecFIFO,
 	hdr.PktSeq = fl.nextSeq
 	fl.nextSeq++
 	hdr.Checksum = packetChecksum(hdr, chunk)
-	pp := &pendingPkt{
-		pkt:      Packet{Hdr: hdr, Payload: chunk},
+	var pp *pendingPkt
+	if n := len(fl.free); n > 0 {
+		pp = fl.free[n-1]
+		fl.free = fl.free[:n-1]
+	} else {
+		pp = new(pendingPkt)
+	}
+	*pp = pendingPkt{
+		pkt:      Packet{Hdr: hdr, Payload: chunk, pbuf: pb, mbuf: pm},
 		fifo:     fifo,
 		dstNode:  dstNode,
 		deadline: time.Now().Add(initialRTO),
 		rto:      initialRTO,
 		attempts: 1,
+		inflight: 1, // the initial attempt the caller is about to run
 	}
 	fl.unacked[hdr.PktSeq] = pp
 	r.unackedG.Inc()
@@ -414,8 +457,18 @@ func (r *reliableLayer) stage(fl *flow, hdr Header, chunk []byte, fifo *RecFIFO,
 }
 
 // runAttempts performs one transmission attempt plus any nack-triggered
-// fast retransmits. Never called with flow locks held.
+// fast retransmits, then drops its in-flight hold on pp (recycling it if
+// the ack arrived while the attempt ran). Never called with flow locks
+// held; the caller must have counted this call in pp.inflight under smu.
 func (r *reliableLayer) runAttempts(fl *flow, pp *pendingPkt, attempt int) {
+	defer func() {
+		fl.smu.Lock()
+		pp.inflight--
+		if pp.acked && pp.inflight == 0 {
+			fl.recycle(pp)
+		}
+		fl.smu.Unlock()
+	}()
 	for i := 0; ; i++ {
 		if r.attemptOnce(fl, pp, attempt) != outcomeNacked || i >= maxFastRetx {
 			return
@@ -483,6 +536,11 @@ func (r *reliableLayer) deliver(fl *flow, pkt Packet, fifo *RecFIFO, attempt int
 		r.ack(fl, seq, attempt)
 		return outcomeDelivered
 	}
+	// The receiver keeps the packet (reorder buffer, then the reception
+	// FIFO until the consumer dispatches it): take its own reference, so
+	// the sender acking and recycling its copy cannot pull the slab out
+	// from under the consumer.
+	pkt.Retain()
 	fl.pending[seq] = pkt
 	// Drain the in-order prefix into the reception FIFO while still
 	// holding rmu, so concurrent deliveries cannot interleave the
@@ -510,8 +568,12 @@ func (r *reliableLayer) ack(fl *flow, seq uint64, attempt int) {
 	}
 	r.acksSent.Inc()
 	fl.smu.Lock()
-	if _, ok := fl.unacked[seq]; ok {
+	if pp, ok := fl.unacked[seq]; ok {
 		delete(fl.unacked, seq)
+		pp.acked = true
+		if pp.inflight == 0 {
+			fl.recycle(pp)
+		}
 		r.unackedG.Dec()
 		fl.cond.Broadcast()
 	}
@@ -519,6 +581,10 @@ func (r *reliableLayer) ack(fl *flow, seq uint64, attempt int) {
 }
 
 func (r *reliableLayer) holdBack(fl *flow, pkt Packet, fifo *RecFIFO, attempt int, d time.Duration) {
+	// The delayed list outlives the sender's window copy (the packet may
+	// be retransmitted, acked, and recycled before the delay elapses), so
+	// it holds its own reference to the pooled slabs.
+	pkt.Retain()
 	r.dmu.Lock()
 	r.delayed = append(r.delayed, delayedPkt{
 		due: time.Now().Add(d), fl: fl, pkt: pkt, fifo: fifo, attempt: attempt,
@@ -560,6 +626,7 @@ func (r *reliableLayer) releaseDelayed(now time.Time) {
 	for _, dp := range rel {
 		// A nack here is ignored: the sender's timer covers the loss.
 		r.deliver(dp.fl, dp.pkt, dp.fifo, dp.attempt)
+		dp.pkt.Release()
 	}
 }
 
@@ -586,6 +653,7 @@ func (r *reliableLayer) retransmitDue(now time.Time) {
 					pp.rto = maxRTO
 				}
 				pp.deadline = now.Add(pp.rto)
+				pp.inflight++ // held until runAttempts finishes
 				r.backoffNS.Add(int64(pp.rto))
 				due = append(due, retx{fl, pp, pp.attempts})
 			}

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pamigo/internal/bufpool"
 	"pamigo/internal/lockless"
 	"pamigo/internal/mu"
 	"pamigo/internal/wakeup"
@@ -26,10 +27,22 @@ import (
 
 // Message is one intra-node message: the same software header the MU path
 // uses (so the PAMI dispatch layer is transport-agnostic) plus a payload
-// that was copied into shared memory at send time.
+// that was copied into shared memory — a pooled slab — at send time. The
+// consumer that polls a message owns one reference and must Release it
+// after dispatch; Payload and Hdr.Meta are invalid afterwards.
 type Message struct {
 	Hdr     mu.Header
 	Payload []byte
+
+	pbuf *bufpool.Buf
+	mbuf *bufpool.Buf
+}
+
+// Release returns the message's pooled slabs to the buffer pool.
+func (m *Message) Release() {
+	m.pbuf.Release()
+	m.mbuf.Release()
+	m.pbuf, m.mbuf = nil, nil
 }
 
 // Device is the shared-memory reception queue of one context.
@@ -42,10 +55,18 @@ type Device struct {
 }
 
 // Poll removes the next message, if one is ready. Single consumer: the
-// thread advancing the owning context.
+// thread advancing the owning context, which must Release the message
+// after dispatch.
 func (d *Device) Poll() (Message, bool) {
 	m, ok := d.q.Dequeue()
 	return m, ok
+}
+
+// PollBatch drains up to len(dst) messages in delivery order with one
+// head update on the lockless queue. The consumer must Release each
+// drained message after dispatch.
+func (d *Device) PollBatch(dst []Message) int {
+	return d.q.DrainInto(dst)
 }
 
 // Empty reports whether the queue holds no messages.
@@ -113,8 +134,13 @@ func (n *Node) Send(dst mu.TaskAddr, hdr mu.Header, payload []byte) error {
 	}
 	hdr.Total = len(payload)
 	msg := Message{Hdr: hdr}
+	if len(hdr.Meta) > 0 {
+		msg.mbuf = bufpool.GetCopy(hdr.Meta)
+		msg.Hdr.Meta = msg.mbuf.Bytes()
+	}
 	if len(payload) > 0 {
-		msg.Payload = append([]byte(nil), payload...)
+		msg.pbuf = bufpool.GetCopy(payload)
+		msg.Payload = msg.pbuf.Bytes()
 	}
 	d.q.Enqueue(msg)
 	d.received.Add(1)

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -43,18 +42,50 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a binary min-heap stored inline in a slice. The heap is
+// hand-rolled rather than built on container/heap: that interface boxes
+// every Push argument and Pop result into an `any`, which costs one
+// allocation per scheduled event. Models schedule millions of events, so
+// the engine keeps the backing array across Run calls and moves events
+// by value only.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
 
 // Engine is a single-threaded discrete-event executor. The zero value is a
 // ready-to-use engine at time 0.
@@ -74,14 +105,27 @@ func (e *Engine) Steps() int64 { return e.steps }
 // Pending returns the number of events not yet executed.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// Grow pre-sizes the event queue so the next n Schedule calls append
+// without reallocating the backing array.
+func (e *Engine) Grow(n int) {
+	if free := cap(e.queue) - len(e.queue); free < n {
+		q := make(eventHeap, len(e.queue), len(e.queue)+n)
+		copy(q, e.queue)
+		e.queue = q
+	}
+}
+
 // Schedule runs fn at the given absolute simulated time. Scheduling in the
-// past panics: it would silently corrupt causality in a model.
+// past panics: it would silently corrupt causality in a model. Apart from
+// backing-array growth (avoidable with Grow), scheduling allocates
+// nothing.
 func (e *Engine) Schedule(at Time, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+	e.queue = append(e.queue, event{at: at, seq: e.seq, fn: fn})
+	e.queue.siftUp(len(e.queue) - 1)
 }
 
 // After runs fn d after the current simulated time.
@@ -106,7 +150,14 @@ func (e *Engine) RunUntil(t Time) {
 }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.queue).(event)
+	ev := e.queue[0]
+	n := len(e.queue) - 1
+	e.queue[0] = e.queue[n]
+	e.queue[n] = event{} // drop the func reference for GC
+	e.queue = e.queue[:n]
+	if n > 1 {
+		e.queue.siftDown(0)
+	}
 	e.now = ev.at
 	e.steps++
 	ev.fn()

@@ -201,3 +201,47 @@ func TestResourceNeverOverlapsQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGrowPreservesHeapOrder(t *testing.T) {
+	var e Engine
+	var got []Time
+	record := func(at Time) func() {
+		return func() { got = append(got, at) }
+	}
+	e.Schedule(5*Nanosecond, record(5*Nanosecond))
+	e.Schedule(1*Nanosecond, record(1*Nanosecond))
+	e.Grow(1024)
+	e.Schedule(3*Nanosecond, record(3*Nanosecond))
+	e.Schedule(2*Nanosecond, record(2*Nanosecond))
+	e.Run()
+	want := []Time{1 * Nanosecond, 2 * Nanosecond, 3 * Nanosecond, 5 * Nanosecond}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// BenchmarkScheduleRun measures the engine's per-event cost: after the
+// backing array has warmed up (Grow or a first Run), scheduling and
+// stepping an event must not allocate — the engine moves events by value
+// instead of boxing them through container/heap interfaces.
+func BenchmarkScheduleRun(b *testing.B) {
+	var e Engine
+	fn := func() {}
+	const batch = 64
+	e.Grow(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := e.Now()
+		for j := 0; j < batch; j++ {
+			// Deliberately non-monotonic offsets exercise siftUp/siftDown.
+			e.Schedule(base+Time((j*7)%batch)*Nanosecond, fn)
+		}
+		e.Run()
+	}
+}

@@ -21,42 +21,61 @@
 // address-match logic provides.
 package wakeup
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Region is one watched memory region. The zero value is not usable;
 // create regions with NewRegion or through a Unit.
+//
+// Touch is the data-plane hot path — every packet delivery and every
+// posted work item touches a region — so it is allocation-free and, when
+// no thread is suspended, lock-free: an atomic generation bump plus one
+// atomic load of the waiter count. The slow path (a waiter actually
+// parked) goes through a condition variable.
 type Region struct {
-	mu  sync.Mutex
-	gen uint64
-	ch  chan struct{}
+	gen     atomic.Uint64 // bumped by every Touch
+	waiters atomic.Int32  // threads inside Wait's blocking section
 
-	touches uint64 // statistics: total stores observed
-	waits   uint64 // statistics: total suspensions that actually blocked
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	touches atomic.Uint64 // statistics: total stores observed
+	waits   atomic.Uint64 // statistics: total suspensions that actually blocked
 }
 
 // NewRegion returns an empty watched region.
 func NewRegion() *Region {
-	return &Region{ch: make(chan struct{})}
+	r := &Region{}
+	r.cond = sync.NewCond(&r.mu)
+	return r
 }
 
 // Gen returns the region's current generation. A caller that observes the
 // generation, finds no work, and passes the observed value to Wait is
 // guaranteed to be woken by any Touch that happens after the observation.
 func (r *Region) Gen() uint64 {
-	r.mu.Lock()
-	g := r.gen
-	r.mu.Unlock()
-	return g
+	return r.gen.Load()
 }
 
 // Touch records a store into the region and wakes every waiter.
+//
+// The no-lost-wakeup argument is the classic store/load (Dekker) pattern:
+// Touch bumps gen *before* loading waiters, and Wait registers itself in
+// waiters *before* re-checking gen. Go atomics are sequentially
+// consistent, so at least one side observes the other: either Touch sees
+// the waiter (and broadcasts under the mutex, which the waiter holds
+// between its re-check and parking), or the waiter sees the new
+// generation and never parks.
 func (r *Region) Touch() {
-	r.mu.Lock()
-	r.gen++
-	r.touches++
-	close(r.ch)
-	r.ch = make(chan struct{})
-	r.mu.Unlock()
+	r.gen.Add(1)
+	r.touches.Add(1)
+	if r.waiters.Load() != 0 {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
 }
 
 // Wait suspends the caller until the region has been touched after the
@@ -64,26 +83,23 @@ func (r *Region) Touch() {
 // immediately. This is the software analogue of the PPC wait instruction
 // armed on the region.
 func (r *Region) Wait(observed uint64) {
-	for {
-		r.mu.Lock()
-		if r.gen > observed {
-			r.mu.Unlock()
-			return
-		}
-		ch := r.ch
-		r.waits++
-		r.mu.Unlock()
-		<-ch
+	if r.gen.Load() > observed {
+		return
 	}
+	r.mu.Lock()
+	r.waiters.Add(1)
+	for r.gen.Load() <= observed {
+		r.waits.Add(1)
+		r.cond.Wait()
+	}
+	r.waiters.Add(-1)
+	r.mu.Unlock()
 }
 
 // Stats reports how many touches the region has seen and how many waits
 // actually suspended. The ratio is the polling the wakeup unit avoided.
 func (r *Region) Stats() (touches, waits uint64) {
-	r.mu.Lock()
-	t, w := r.touches, r.waits
-	r.mu.Unlock()
-	return t, w
+	return r.touches.Load(), r.waits.Load()
 }
 
 // Unit is the per-node wakeup unit: a fixed array of watched regions, one

@@ -25,4 +25,13 @@ go test -race -run TestChaos ./internal/integration
 go run ./cmd/pamirun -dims 2x2x1x1x1 -ppn 2 -deadline 120s \
 	-faults "drop=0.05,corrupt=0.02,dup=0.01" -fault-seed 7 >/dev/null
 
+echo "==> bench regression gate (Table 1 + Fig 5 vs BENCH_BASELINE.json)"
+# Best-of-3 ns/op absorbs scheduler noise; any allocs/op on the
+# zero-alloc set fails regardless. Refresh the baseline with
+# `go run ./cmd/benchgate -update -in bench.out` after a deliberate
+# performance change.
+go test -bench 'BenchmarkTable1|BenchmarkFig5_PAMIRate' -benchmem \
+	-run xxx -benchtime 2s -count 3 | tee /tmp/pamigo-bench.out
+go run ./cmd/benchgate -in /tmp/pamigo-bench.out
+
 echo "all checks passed"
