@@ -1,0 +1,344 @@
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pamigo/internal/cnk"
+	"pamigo/internal/collnet"
+	"pamigo/internal/core"
+	"pamigo/internal/machine"
+	"pamigo/internal/mu"
+)
+
+// The crash-recovery demo: an iterative allreduce job that checkpoints
+// every few steps, loses a node to the fault plan mid-run, detects the
+// death through heartbeats, fails over survivors with typed errors, and
+// finishes byte-exact after a restore from the last checkpoint.
+//
+// The workload runs on an *unoptimized* core geometry so the collectives
+// take the software path over MU packets — that keeps the injector's
+// packet counter (which arms crash@pkt=N triggers) advancing, and
+// exercises the epoch-aware swWait cancellation.
+const (
+	ckWords = 256 // state vector: 256 uint64 words = 2 KiB on the wire
+	ckEvery = 4   // checkpoint interval in steps
+	ckSteps = 128 // total steps the job must complete
+)
+
+// contrib fills dst with rank's deterministic step contribution. The
+// final state is a pure function of (steps, ranks), so the driver can
+// compute the expected answer without a reference run.
+func contrib(dst []uint64, step, rank int) {
+	for w := range dst {
+		dst[w] = uint64(step+1)*2654435761 ^ uint64(rank+1)*40503 ^ uint64(w)*9176
+	}
+}
+
+// appBlob is the application checkpoint payload: the step to resume
+// from, then the replicated state vector.
+func encodeAppBlob(state []uint64, nextStep int) []byte {
+	blob := make([]byte, 8+len(state)*8)
+	binary.LittleEndian.PutUint64(blob, uint64(nextStep))
+	for w, v := range state {
+		binary.LittleEndian.PutUint64(blob[8+w*8:], v)
+	}
+	return blob
+}
+
+func decodeAppBlob(blob []byte) (state []uint64, nextStep int, err error) {
+	if len(blob) < 8 || (len(blob)-8)%8 != 0 {
+		return nil, 0, fmt.Errorf("malformed application blob of %d bytes", len(blob))
+	}
+	nextStep = int(binary.LittleEndian.Uint64(blob))
+	state = make([]uint64, (len(blob)-8)/8)
+	for w := range state {
+		state[w] = binary.LittleEndian.Uint64(blob[8+w*8:])
+	}
+	return state, nextStep, nil
+}
+
+// ctrlBarrier is a reusable task barrier over the out-of-band control
+// network (the real machine's service network, which does not ride the
+// torus). Await fails instead of blocking forever when the membership
+// epoch moves: a dead task is never going to arrive.
+type ctrlBarrier struct {
+	m       *machine.Machine
+	parties int
+
+	mu      sync.Mutex
+	arrived int
+	ch      chan struct{}
+}
+
+func newCtrlBarrier(m *machine.Machine, parties int) *ctrlBarrier {
+	return &ctrlBarrier{m: m, parties: parties, ch: make(chan struct{})}
+}
+
+func (b *ctrlBarrier) Await() error {
+	b.mu.Lock()
+	b.arrived++
+	if b.arrived == b.parties {
+		close(b.ch)
+		b.arrived = 0
+		b.ch = make(chan struct{})
+		b.mu.Unlock()
+		return nil
+	}
+	ch := b.ch
+	b.mu.Unlock()
+	for {
+		select {
+		case <-ch:
+			return nil
+		case <-time.After(200 * time.Microsecond):
+			if b.m.Epoch() != 0 {
+				return fmt.Errorf("membership changed at the control barrier: %w", mu.ErrEpochChanged)
+			}
+		}
+	}
+}
+
+// ckCoord is the checkpoint coordinator state shared by a run's tasks:
+// the latest encoded snapshot and the quiesce barrier.
+type ckCoord struct {
+	m   *machine.Machine
+	bar *ctrlBarrier
+
+	ckOK atomic.Bool
+
+	mu        sync.Mutex
+	saved     []byte // latest Checkpoint.Encode output
+	savedStep int
+}
+
+func (c *ckCoord) store(enc []byte, step int) {
+	c.mu.Lock()
+	c.saved, c.savedStep = enc, step
+	c.mu.Unlock()
+}
+
+func (c *ckCoord) latest() ([]byte, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saved, c.savedStep
+}
+
+// checkpointRound quiesces the job and snapshots it: every task stops
+// sending (the step structure guarantees it), drains its context, and
+// rank 0 captures the machine state plus the replicated vector. If a
+// straggler packet lands after a drain, Checkpoint refuses (the machine
+// is not quiescent) and the round drains again.
+func checkpointRound(co *ckCoord, ctx *core.Context, rank int, state []uint64, nextStep int) error {
+	for {
+		if err := co.bar.Await(); err != nil {
+			return err
+		}
+		ctx.Drain()
+		if err := co.bar.Await(); err != nil {
+			return err
+		}
+		if rank == 0 {
+			co.ckOK.Store(false)
+			ck, err := co.m.Checkpoint(map[string][]byte{"app": encodeAppBlob(state, nextStep)})
+			if err == nil {
+				var enc []byte
+				if enc, err = ck.Encode(); err == nil {
+					co.store(enc, nextStep)
+					co.ckOK.Store(true)
+				}
+			}
+		}
+		if err := co.bar.Await(); err != nil {
+			return err
+		}
+		if co.ckOK.Load() {
+			return nil
+		}
+	}
+}
+
+// runSteps executes steps [start, end) of the iterative allreduce on one
+// task, checkpointing every ckEvery steps, and returns the final state,
+// the step it stopped at, and the failure (nil when it ran to
+// completion). The caller seeds state from the checkpoint being resumed.
+func runSteps(m *machine.Machine, p *cnk.Process, co *ckCoord, seed []uint64, start, end int) ([]uint64, int, error) {
+	cl, err := core.NewClient(m, p, "crashdemo")
+	if err != nil {
+		return nil, start, err
+	}
+	ctxs, err := cl.CreateContexts(1)
+	if err != nil {
+		return nil, start, err
+	}
+	ctx := ctxs[0]
+	tasks := make([]int, m.Tasks())
+	for i := range tasks {
+		tasks[i] = i
+	}
+	g, err := cl.CreateGeometry(ctx, 1, tasks)
+	if err != nil {
+		return nil, start, err
+	}
+
+	state := append([]uint64(nil), seed...)
+	mine := make([]uint64, ckWords)
+	send := make([]byte, ckWords*8)
+	recv := make([]byte, ckWords*8)
+	for step := start; step < end; step++ {
+		if m.Crashed(cl.Task()) {
+			// The process is gone: on the real machine it simply stops
+			// executing. Cooperative analogue — return without a word.
+			return state, step, errCrashed
+		}
+		contrib(mine, step, g.Rank())
+		for w, v := range mine {
+			binary.LittleEndian.PutUint64(send[w*8:], v)
+		}
+		if err := g.Allreduce(send, recv, collnet.OpAdd, collnet.Uint64); err != nil {
+			return state, step, err
+		}
+		for w := range state {
+			state[w] += binary.LittleEndian.Uint64(recv[w*8:])
+		}
+		if (step+1)%ckEvery == 0 && step+1 < end {
+			if err := checkpointRound(co, ctx, g.Rank(), state, step+1); err != nil {
+				return state, step + 1, err
+			}
+		}
+	}
+	return state, end, nil
+}
+
+var errCrashed = errors.New("process crashed")
+
+// runCrashRecovery is the -faults crash@/hang@ driver: faulted run,
+// detection, restore, byte-exact completion.
+func runCrashRecovery(cfg machine.Config, verbose bool) error {
+	nTasks := cfg.Dims.Nodes() * cfg.PPN
+
+	// Expected final state, computed analytically.
+	expected := make([]uint64, ckWords)
+	tmp := make([]uint64, ckWords)
+	for step := 0; step < ckSteps; step++ {
+		for r := 0; r < nTasks; r++ {
+			contrib(tmp, step, r)
+			for w, v := range tmp {
+				expected[w] += v
+			}
+		}
+	}
+
+	// Fast detection so the demo turns around in milliseconds; override
+	// with -dims scale in mind if you raise PPN.
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 200 * time.Microsecond
+	}
+	if cfg.PhiThreshold == 0 {
+		cfg.PhiThreshold = 6
+	}
+
+	m, err := machine.New(cfg)
+	if err != nil {
+		return err
+	}
+	co := &ckCoord{m: m, bar: newCtrlBarrier(m, nTasks)}
+	// Base checkpoint at step 0: a freshly booted machine is trivially
+	// quiescent, and a crash before the first periodic snapshot then
+	// restarts from the beginning instead of failing the job.
+	ck0, err := m.Checkpoint(map[string][]byte{"app": encodeAppBlob(make([]uint64, ckWords), 0)})
+	if err != nil {
+		return fmt.Errorf("base checkpoint: %v", err)
+	}
+	enc0, err := ck0.Encode()
+	if err != nil {
+		return err
+	}
+	co.store(enc0, 0)
+
+	var typedFailures, crashedTasks, completed atomic.Int64
+	start := time.Now()
+	m.Run(func(p *cnk.Process) {
+		_, stop, err := runSteps(m, p, co, make([]uint64, ckWords), 0, ckSteps)
+		switch {
+		case err == nil:
+			completed.Add(1)
+		case errors.Is(err, errCrashed):
+			crashedTasks.Add(1)
+		case errors.Is(err, mu.ErrPeerDead) || errors.Is(err, mu.ErrEpochChanged):
+			typedFailures.Add(1)
+			if verbose {
+				fmt.Printf("task %d stopped at step %d: %v\n", p.TaskRank(), stop, err)
+			}
+		default:
+			// Anything untyped is a bug, not an injected failure.
+			panic(fmt.Sprintf("task %d: untyped failure at step %d: %v", p.TaskRank(), stop, err))
+		}
+	})
+	detectLatency := time.Since(start)
+
+	var deadNodes string
+	deaths := int64(0)
+	if h := m.Health(); h != nil {
+		deaths = h.Epoch()
+		deadNodes = fmt.Sprint(h.DeadNodes())
+	}
+	m.Shutdown()
+	if deaths == 0 {
+		return fmt.Errorf("the fault plan never killed a node within %d steps "+
+			"(all %d tasks finished); lower the crash@pkt threshold", ckSteps, completed.Load())
+	}
+	if typedFailures.Load() == 0 {
+		return fmt.Errorf("a node died but no survivor saw a typed failure")
+	}
+	savedEnc, savedStep := co.latest()
+	fmt.Printf("crash detected: %d node(s) %s confirmed dead in %v; %d survivors failed over "+
+		"with typed errors, %d task(s) crashed\n",
+		deaths, deadNodes, detectLatency.Round(time.Millisecond), typedFailures.Load(), crashedTasks.Load())
+	fmt.Printf("restoring from the step-%d checkpoint (%d bytes)\n", savedStep, len(savedEnc))
+
+	// Phase 2: decode the snapshot, boot a repaired partition, resume.
+	ck, err := machine.DecodeCheckpoint(savedEnc)
+	if err != nil {
+		return err
+	}
+	m2, err := machine.Restore(ck)
+	if err != nil {
+		return err
+	}
+	seed, resumeStep, err := decodeAppBlob(ck.Blob("app"))
+	if err != nil {
+		return err
+	}
+	co2 := &ckCoord{m: m2, bar: newCtrlBarrier(m2, nTasks)}
+	var exact, inexact atomic.Int64
+	m2.Run(func(p *cnk.Process) {
+		state, _, err := runSteps(m2, p, co2, seed, resumeStep, ckSteps)
+		if err != nil {
+			panic(fmt.Sprintf("task %d failed after restore: %v", p.TaskRank(), err))
+		}
+		ok := true
+		for w := range state {
+			if state[w] != expected[w] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			exact.Add(1)
+		} else {
+			inexact.Add(1)
+		}
+	})
+	m2.Shutdown()
+	if inexact.Load() != 0 {
+		return fmt.Errorf("%d task(s) finished with a state that is NOT byte-exact", inexact.Load())
+	}
+	fmt.Printf("restored run resumed at step %d and completed %d steps: "+
+		"all %d tasks byte-exact\n", resumeStep, ckSteps, exact.Load())
+	return nil
+}

@@ -70,6 +70,17 @@ func main() {
 		}
 		cfg.Faults = &plan
 	}
+	if cfg.Faults != nil && cfg.Faults.HasNodeFaults() {
+		// Node faults run the crash-recovery demo instead of the MPI
+		// shakedown: the MPI layer is deliberately not fault-aware, the
+		// core layer is (see README, "Failure model").
+		fmt.Printf("node-fault plan armed: %s (seed %d) — running crash-recovery demo\n",
+			cfg.Faults, *faultSeed)
+		if err := runCrashRecovery(cfg, *verbose); err != nil {
+			log.Fatalf("pamirun: crash recovery: %v", err)
+		}
+		return
+	}
 	m, err := pami.NewMachine(cfg)
 	if err != nil {
 		log.Fatalf("pamirun: %v", err)

@@ -29,6 +29,7 @@ import (
 
 	"sync/atomic"
 
+	"pamigo/internal/health"
 	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
 )
@@ -211,26 +212,29 @@ func DecodeInt64s(buf []byte) []int64 {
 type ClassRoute struct {
 	ID   int
 	Rect torus.Rectangle
-	Root torus.Rank
+	Root torus.Rank // current root; re-elected if the original dies
 
 	// tree is the currently programmed combine tree. It is swapped
 	// atomically when a link failure forces a rebuild, so in-flight
 	// sessions read a consistent tree (old or new, both spanning).
 	tree atomic.Pointer[torus.Tree]
 
+	// ranks is the surviving membership, swapped atomically when a node
+	// death shrinks the route.
+	ranks atomic.Pointer[[]torus.Rank]
+
 	net      *Network
-	ranks    []torus.Rank
 	degraded bool // no fault-avoiding tree exists; running on a stale one
 
 	mu       sync.Mutex
 	sessions map[uint64]*Session
 }
 
-// Ranks returns the participating node ranks in ascending order.
-func (cr *ClassRoute) Ranks() []torus.Rank { return cr.ranks }
+// Ranks returns the surviving participating node ranks in ascending order.
+func (cr *ClassRoute) Ranks() []torus.Rank { return *cr.ranks.Load() }
 
-// Parties returns the number of participating nodes.
-func (cr *ClassRoute) Parties() int { return len(cr.ranks) }
+// Parties returns the number of surviving participating nodes.
+func (cr *ClassRoute) Parties() int { return len(*cr.ranks.Load()) }
 
 // Tree returns the currently programmed combine tree.
 func (cr *ClassRoute) Tree() *torus.Tree { return cr.tree.Load() }
@@ -255,12 +259,15 @@ type Network struct {
 	rebuilds        *telemetry.Counter // classroute trees rebuilt after link failures
 	rebuildFailures *telemetry.Counter // rebuilds impossible (rectangle disconnected)
 	linksDown       *telemetry.Counter // link failures observed
+	nodesDown       *telemetry.Counter // node deaths observed
+	sessionsFailed  *telemetry.Counter // in-flight sessions failed by a death
 
-	mu     sync.Mutex
-	inUse  map[torus.Rank]int
-	live   map[int]*ClassRoute                // allocated, not yet freed
-	down   map[torus.Rank]map[torus.Link]bool // failed directed links
-	nextID int
+	mu       sync.Mutex
+	inUse    map[torus.Rank]int
+	live     map[int]*ClassRoute                // allocated, not yet freed
+	down     map[torus.Rank]map[torus.Link]bool // failed directed links
+	deadNode map[torus.Rank]bool                // confirmed-dead nodes
+	nextID   int
 }
 
 // New returns the classroute manager for a machine of the given shape.
@@ -279,10 +286,13 @@ func New(dims torus.Dims) *Network {
 		rebuilds:        tele.Counter("classroute_rebuilds"),
 		rebuildFailures: tele.Counter("rebuild_failures"),
 		linksDown:       tele.Counter("links_down"),
+		nodesDown:       tele.Counter("nodes_down"),
+		sessionsFailed:  tele.Counter("sessions_failed"),
 
-		inUse: make(map[torus.Rank]int),
-		live:  make(map[int]*ClassRoute),
-		down:  make(map[torus.Rank]map[torus.Link]bool),
+		inUse:    make(map[torus.Rank]int),
+		live:     make(map[int]*ClassRoute),
+		down:     make(map[torus.Rank]map[torus.Link]bool),
+		deadNode: make(map[torus.Rank]bool),
 	}
 }
 
@@ -306,9 +316,23 @@ func (n *Network) Allocate(rect torus.Rectangle, root torus.Rank) (*ClassRoute, 
 	if !rect.Contains(n.dims.CoordOf(root)) {
 		return nil, fmt.Errorf("collnet: root %d outside rectangle %v", root, rect)
 	}
-	ranks := rect.Ranks(n.dims)
+	all := rect.Ranks(n.dims)
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.deadNode[root] {
+		return nil, fmt.Errorf("collnet: root node %d is dead", root)
+	}
+	// Confirmed-dead nodes inside the rectangle are excluded from the
+	// membership: a route allocated after a death spans the survivors.
+	ranks := all
+	if len(n.deadNode) > 0 {
+		ranks = make([]torus.Rank, 0, len(all))
+		for _, r := range all {
+			if !n.deadNode[r] {
+				ranks = append(ranks, r)
+			}
+		}
+	}
 	for _, r := range ranks {
 		if n.inUse[r] >= UserSlots {
 			return nil, ErrNoClassRoute
@@ -324,9 +348,9 @@ func (n *Network) Allocate(rect torus.Rectangle, root torus.Rank) (*ClassRoute, 
 		Rect:     rect,
 		Root:     root,
 		net:      n,
-		ranks:    ranks,
 		sessions: make(map[uint64]*Session),
 	}
+	cr.ranks.Store(&ranks)
 	tree, degraded := n.buildTreeLocked(rect, root)
 	cr.tree.Store(tree)
 	cr.degraded = degraded
@@ -334,24 +358,29 @@ func (n *Network) Allocate(rect torus.Rectangle, root torus.Rank) (*ClassRoute, 
 	return cr, nil
 }
 
-// buildTreeLocked programs a combine tree for the rectangle, avoiding
-// failed links when possible. When failures disconnect the rectangle no
-// avoiding tree exists; the route falls back to the standard tree and
-// is marked degraded — software combining over contributions still
-// completes, only the dead links would be crossed by real hardware.
-// Called with n.mu held.
+// buildTreeLocked programs a combine tree for the rectangle, excluding
+// dead nodes and avoiding failed links when possible. When failures
+// disconnect the rectangle no such tree exists; the route falls back to
+// the standard tree and is marked degraded — software combining over
+// contributions still completes, only the dead links would be crossed
+// by real hardware. Called with n.mu held.
 func (n *Network) buildTreeLocked(rect torus.Rectangle, root torus.Rank) (*torus.Tree, bool) {
-	if len(n.down) > 0 {
-		if t, err := torus.BuildTreeAvoiding(n.dims, rect, root, n.downLocked); err == nil {
+	faulty := len(n.down) > 0 || len(n.deadNode) > 0
+	if faulty {
+		if t, err := torus.BuildTreeExcluding(n.dims, rect, root, n.deadLocked, n.downLocked); err == nil {
 			return t, false
 		}
 		n.rebuildFailures.Inc()
 	}
-	return torus.BuildTree(n.dims, rect, root, 0), len(n.down) > 0
+	return torus.BuildTree(n.dims, rect, root, 0), faulty
 }
 
 func (n *Network) downLocked(r torus.Rank, l torus.Link) bool {
 	return n.down[r][l]
+}
+
+func (n *Network) deadLocked(r torus.Rank) bool {
+	return n.deadNode[r]
 }
 
 // HandleLinkDown records a failed cable (both directions die) and
@@ -383,7 +412,7 @@ func (n *Network) HandleLinkDown(node torus.Rank, link torus.Link) {
 		if !cr.Rect.Contains(nc) || !cr.Rect.Contains(nbc) {
 			continue
 		}
-		if t, err := torus.BuildTreeAvoiding(n.dims, cr.Rect, cr.Root, n.downLocked); err == nil {
+		if t, err := torus.BuildTreeExcluding(n.dims, cr.Rect, cr.Root, n.deadLocked, n.downLocked); err == nil {
 			cr.tree.Store(t)
 			cr.degraded = false
 			n.rebuilds.Inc()
@@ -392,6 +421,85 @@ func (n *Network) HandleLinkDown(node torus.Rank, link torus.Link) {
 			n.rebuildFailures.Inc()
 		}
 	}
+}
+
+// HandleNodeDown records a confirmed node death and reconfigures every
+// live classroute spanning it: the dead node leaves the membership, the
+// root is re-elected (lowest surviving rank) if it died, the combine
+// tree is rebuilt over the survivors, and every in-flight session on an
+// affected route fails with ErrEpochChanged — surviving ranks' blocked
+// collectives return an error instead of waiting forever for a
+// contribution that will never come. Subsequent sessions joined on the
+// shrunk route complete over the surviving membership. Machine wiring
+// calls this from the health monitor's death callback; safe for
+// concurrent use with running sessions.
+func (n *Network) HandleNodeDown(node torus.Rank) {
+	n.mu.Lock()
+	if n.deadNode[node] {
+		n.mu.Unlock()
+		return
+	}
+	n.deadNode[node] = true
+	n.nodesDown.Inc()
+	var affected []*ClassRoute
+	for _, cr := range n.live {
+		ranks := *cr.ranks.Load()
+		idx := -1
+		for i, r := range ranks {
+			if r == node {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		survivors := make([]torus.Rank, 0, len(ranks)-1)
+		survivors = append(survivors, ranks[:idx]...)
+		survivors = append(survivors, ranks[idx+1:]...)
+		if len(survivors) == 0 {
+			// Every participant is dead; nothing left to reconfigure.
+			cr.ranks.Store(&survivors)
+			cr.degraded = true
+			continue
+		}
+		if cr.Root == node {
+			cr.Root = survivors[0] // re-elect: lowest surviving rank
+		}
+		if t, err := torus.BuildTreeExcluding(n.dims, cr.Rect, cr.Root, n.deadLocked, n.downLocked); err == nil {
+			cr.tree.Store(t)
+			cr.degraded = false
+			n.rebuilds.Inc()
+		} else {
+			cr.degraded = true
+			n.rebuildFailures.Inc()
+		}
+		cr.ranks.Store(&survivors)
+		affected = append(affected, cr)
+	}
+	n.mu.Unlock()
+	// Fail in-flight sessions outside n.mu (lock order: cr.mu, then s.mu).
+	for _, cr := range affected {
+		cr.mu.Lock()
+		open := make([]*Session, 0, len(cr.sessions))
+		for _, s := range cr.sessions {
+			open = append(open, s)
+		}
+		cr.mu.Unlock()
+		for _, s := range open {
+			if s.Fail(fmt.Errorf("collnet: node %d died during session %d: %w",
+				node, s.seq, health.ErrEpochChanged)) {
+				n.sessionsFailed.Inc()
+			}
+		}
+	}
+}
+
+// DeadNodes reports how many node deaths the network has recorded.
+func (n *Network) DeadNodes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.deadNode)
 }
 
 // DownLinks reports how many directed links are currently failed.
@@ -429,7 +537,7 @@ func (n *Network) Free(cr *ClassRoute) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	for _, r := range cr.ranks {
+	for _, r := range *cr.ranks.Load() {
 		if n.inUse[r] > 0 {
 			n.inUse[r]--
 		}

@@ -41,6 +41,7 @@ type Session struct {
 	waited  int
 	done    chan struct{}
 	result  []byte
+	err     error // set by Fail: membership changed mid-session
 }
 
 // Join finds or creates the session with the given sequence number on the
@@ -81,6 +82,12 @@ func (cr *ClassRoute) Join(seq uint64, kind Kind, op Op, dt DType, nbytes int) *
 func (s *Session) Contribute(rank torus.Rank, data []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.err != nil {
+		// The session already failed (a participant died); late
+		// contributions from survivors are moot — they learn the failure
+		// from WaitErr.
+		return
+	}
 	if _, dup := s.contrib[rank]; dup {
 		panic(fmt.Sprintf("collnet: node %d contributed twice to session %d", rank, s.seq))
 	}
@@ -177,23 +184,63 @@ func (s *Session) Ready() bool {
 	}
 }
 
+// Fail completes the session exceptionally: waiters wake with err
+// instead of a result. Reports whether this call failed the session (a
+// completed or already-failed session is left untouched).
+func (s *Session) Fail(err error) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		return false // already completed or failed
+	default:
+	}
+	s.err = err
+	close(s.done)
+	return true
+}
+
+// Err returns the session's failure, or nil. Meaningful once Done is
+// closed.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
 // Wait blocks until the result is available and returns it. Every
 // participant must call Wait exactly once: the session is retired from the
 // classroute when the last participant has read the result. The returned
-// buffer is shared — callers copy out of it.
+// buffer is shared — callers copy out of it. Returns nil when the session
+// failed; callers on routes that can shrink use WaitErr.
 func (s *Session) Wait() []byte {
+	res, _ := s.WaitErr()
+	return res
+}
+
+// WaitErr blocks until the session completes or fails, returning the
+// network result or the typed failure (ErrEpochChanged wrapped with the
+// dead node). A failed session retires once every *surviving*
+// participant has waited — the dead node's Wait never comes.
+func (s *Session) WaitErr() ([]byte, error) {
 	<-s.done
 	s.mu.Lock()
 	s.waited++
-	last := s.waited == s.parties
-	res := s.result
+	parties := s.parties
+	if s.err != nil {
+		if p := s.cr.Parties(); p < parties {
+			parties = p
+		}
+	}
+	last := s.waited >= parties
+	res, err := s.result, s.err
 	s.mu.Unlock()
 	if last {
 		s.cr.mu.Lock()
 		delete(s.cr.sessions, s.seq)
 		s.cr.mu.Unlock()
 	}
-	return res
+	return res, err
 }
 
 // GIBarrier is the Global Interrupt network barrier: a reusable,

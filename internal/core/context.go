@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -64,6 +65,12 @@ type Context struct {
 	inbox    map[inboxKey][]byte
 	inboxGen uint64
 
+	// epoch is the membership epoch this context last observed. Advance
+	// compares it against the machine's (one atomic load; always 0 when no
+	// failure detector is armed) and on a change cancels rendezvous sends
+	// whose peer died — their completion ack will never arrive.
+	epoch int64
+
 	// Batch-drain scratch, reused across every Advance call so the steady
 	// state allocates nothing. Only the advancing thread touches these
 	// (Advance is thread-unsafe by contract), and handlers never re-enter
@@ -98,6 +105,7 @@ type ctxStats struct {
 	rdvInflight    *telemetry.Gauge   // rendezvous sends awaiting ack (hwm = peak exposure)
 	rdvCompleted   *telemetry.Counter // rendezvous sends acked
 	rdvLatencyNs   *telemetry.Counter // summed RTS→ack completion latency
+	rdvFailed      *telemetry.Counter // rendezvous sends cancelled: peer died
 }
 
 func newCtxStats(reg *telemetry.Registry) *ctxStats {
@@ -112,6 +120,7 @@ func newCtxStats(reg *telemetry.Registry) *ctxStats {
 		rdvInflight:    reg.Gauge("rdv_inflight"),
 		rdvCompleted:   reg.Counter("rdv_completed"),
 		rdvLatencyNs:   reg.Counter("rdv_latency_ns"),
+		rdvFailed:      reg.Counter("rdv_failed"),
 	}
 }
 
@@ -137,7 +146,9 @@ type inboxKey struct {
 }
 
 type pendingSend struct {
+	dst    Endpoint
 	onDone func()
+	onFail func(error)
 	mrID   uint64
 	gvaTag uint64
 	start  time.Time // RTS injection time, for the completion-latency counter
@@ -182,7 +193,12 @@ func (ctx *Context) RegisterDispatch(id uint16, fn DispatchFn) error {
 // handoff that lets application threads drive many contexts without locks
 // (paper §III.B-C). Safe from any thread.
 func (ctx *Context) Post(fn func()) {
-	ctx.work.Enqueue(fn)
+	if err := ctx.work.Enqueue(fn); err != nil {
+		// Tens of thousands of posted closures pending means the context
+		// is never advanced again (its process died mid-run); dropping
+		// work silently would turn that into a quiet deadlock.
+		panic(fmt.Sprintf("core: context %v work queue: %v", ctx.addr, err))
+	}
 	ctx.region.Touch()
 }
 
@@ -193,6 +209,10 @@ func (ctx *Context) Post(fn func()) {
 // scratch arrays, so the steady state performs no allocation.
 // Thread-unsafe by design; see the type comment.
 func (ctx *Context) Advance(max int) int {
+	if e := ctx.client.mach.Epoch(); e != ctx.epoch {
+		ctx.epoch = e
+		ctx.cancelDeadSends()
+	}
 	n := 0
 	for n < max {
 		k := max - n
@@ -263,6 +283,63 @@ func (ctx *Context) AdvanceUntil(cond func() bool) {
 }
 
 const advanceBatch = 64
+
+// cancelDeadSends fails every pending rendezvous send whose destination
+// node has been confirmed dead: the receiver can no longer pull the
+// payload or ack it, so the publication is retired and the sender's
+// completion callback fires exceptionally. Runs on the advancing thread
+// when Advance observes a membership epoch change.
+func (ctx *Context) cancelDeadSends() {
+	if len(ctx.pending) == 0 {
+		return
+	}
+	m := ctx.client.mach
+	for sendID, ps := range ctx.pending {
+		if m.Alive(ps.dst.Task) {
+			continue
+		}
+		delete(ctx.pending, sendID)
+		ctx.stats.rdvInflight.Dec()
+		ctx.stats.rdvFailed.Inc()
+		if ps.mrID != 0 {
+			m.Fabric().DeregisterMemregion(ctx.addr.Task, ps.mrID)
+		}
+		if ps.gvaTag != 0 {
+			ctx.client.proc.RetractSegment(ps.gvaTag)
+		}
+		err := fmt.Errorf("core: rendezvous send %d to %v cancelled: %w", sendID, ps.dst, mu.ErrPeerDead)
+		if ps.onFail != nil {
+			ps.onFail(err)
+		} else if ps.onDone != nil {
+			// No failure callback: fire the completion callback anyway so a
+			// waiter counting completions does not hang forever. The send
+			// buffer really is reusable — nobody will ever pull from it.
+			ps.onDone()
+		}
+	}
+}
+
+// Drain advances the context until it is quiescent: no posted work, no
+// undelivered MU packets or shared-memory messages, no partial
+// reassemblies, and no rendezvous sends awaiting their completion ack.
+// Call it only once every peer has stopped initiating traffic (after a
+// team barrier, or after a failure cancelled the job) — Drain is the
+// quiesce step checkpointing requires, not a general-purpose flush.
+// Rendezvous sends to dead peers are cancelled by the epoch check inside
+// Advance, so Drain terminates even when a peer crashed mid-protocol.
+func (ctx *Context) Drain() {
+	for {
+		for ctx.Advance(advanceBatch) > 0 {
+		}
+		if ctx.work.Empty() && ctx.muRes.Rec.Empty() && ctx.shmDev.Empty() &&
+			len(ctx.reasm) == 0 && len(ctx.pending) == 0 {
+			return
+		}
+		// Quiet but not quiescent: a rendezvous ack or a late packet is
+		// still in flight somewhere. Yield so its sender runs.
+		runtime.Gosched()
+	}
+}
 
 // Stats reports how many Advance calls ran, how many work items were
 // processed, and how many user messages were delivered. The values come

@@ -35,6 +35,13 @@ type Geometry struct {
 	shared *geomShared
 	team   *nodeTeam
 	seq    uint64
+
+	// Membership-failure cache: deadMember scans the task list only when
+	// the machine's epoch moved past memEpoch; the verdict is sticky for
+	// the epoch. Per-member state (collective calls are single-threaded
+	// per member), so no locking.
+	memEpoch int64
+	memErr   error
 }
 
 // geomShared is the state all member processes of a geometry share — the
@@ -65,6 +72,7 @@ type nodeTeam struct {
 	slots  [][]byte
 	local  []byte
 	result []byte
+	err    error // network-phase failure, set by the master before release
 }
 
 func (t *nodeTeam) memberIndex(task int) int {
@@ -292,6 +300,56 @@ func (g *Geometry) nextSeq() uint64 {
 	return g.seq
 }
 
+// deadMember returns the typed failure when any member's node has been
+// confirmed dead, nil otherwise. A geometry whose membership shrank can
+// never again complete a full-membership collective — completing on the
+// survivors would silently drop the dead member's contribution — so once
+// a member dies, every collective on the geometry fails fast with
+// mu.ErrPeerDead until the application rebuilds a geometry over the
+// survivors. The scan runs only when the membership epoch moved (one
+// atomic load per call otherwise, zero when no failure detector is
+// armed).
+func (g *Geometry) deadMember() error {
+	e := g.client.mach.Epoch()
+	if e == 0 {
+		return nil
+	}
+	if e == g.memEpoch {
+		return g.memErr
+	}
+	g.memEpoch = e
+	g.memErr = nil
+	for i, t := range g.tasks {
+		if !g.client.mach.Alive(t) {
+			g.memErr = fmt.Errorf("core: geometry %d rank %d (task %d) is dead: %w",
+				g.id, i, t, mu.ErrPeerDead)
+			break
+		}
+	}
+	return g.memErr
+}
+
+// hwWait collects a collective-network session result. With no failure
+// detector armed it is a plain blocking wait. Under node-fault injection
+// it polls, watching the membership epoch: a master whose Join raced
+// with the death notification (the failed session already retired, so
+// it created a fresh one nobody else will join) would otherwise block
+// forever — instead it fails the session itself the moment it observes
+// a member death, and every path converges on the typed error.
+func (g *Geometry) hwWait(s *collnet.Session) ([]byte, error) {
+	if g.client.mach.Health() == nil {
+		return s.WaitErr()
+	}
+	for !s.Ready() {
+		if err := g.deadMember(); err != nil {
+			s.Fail(err)
+			break
+		}
+		runtime.Gosched()
+	}
+	return s.WaitErr()
+}
+
 // ---------------------------------------------------------------------
 // Collective operations
 // ---------------------------------------------------------------------
@@ -301,6 +359,9 @@ func (g *Geometry) nextSeq() uint64 {
 // phase (only possible under injected faults that partition the torus)
 // panics with the wrapped typed error.
 func (g *Geometry) Barrier() {
+	if err := g.deadMember(); err != nil {
+		panic(err)
+	}
 	seq := g.nextSeq()
 	cr := g.classroute()
 	if cr == nil || len(g.tasks) == 1 {
@@ -315,9 +376,14 @@ func (g *Geometry) Barrier() {
 	if g.isTeamMaster() {
 		s := cr.Join(seq, collnet.KindBarrier, collnet.OpAdd, collnet.Uint64, 0)
 		s.Contribute(g.team.node, nil)
-		s.Wait()
+		_, g.team.err = g.hwWait(s)
 	}
 	g.team.barrier.Await()
+	if err := g.team.err; err != nil {
+		// A member node died mid-barrier (collnet failed the session with
+		// ErrEpochChanged). Every surviving member observes the same error.
+		panic(err)
+	}
 }
 
 // Broadcast sends root's buf to every member's buf (len(buf) must match
@@ -325,6 +391,9 @@ func (g *Geometry) Barrier() {
 func (g *Geometry) Broadcast(root int, buf []byte) error {
 	if root < 0 || root >= len(g.tasks) {
 		return fmt.Errorf("core: broadcast root %d out of range", root)
+	}
+	if err := g.deadMember(); err != nil {
+		return err
 	}
 	seq := g.nextSeq()
 	if len(g.tasks) == 1 {
@@ -353,9 +422,14 @@ func (g *Geometry) Broadcast(root int, buf []byte) error {
 			}
 			s.Contribute(g.team.node, data)
 		}
-		g.team.result = s.Wait()
+		g.team.result, g.team.err = g.hwWait(s)
 	}
 	g.team.barrier.Await()
+	if err := g.team.err; err != nil {
+		// Every member returns before the release barrier, so the team
+		// observes the failure consistently.
+		return err
+	}
 	if g.client.Task() != rootTask {
 		copy(buf, g.team.result)
 	}
@@ -392,6 +466,9 @@ func (g *Geometry) reduceCommon(root int, send, recv []byte, op collnet.Op, dt c
 	needRecv := root == -1 || g.rank == root
 	if needRecv && len(recv) < len(send) {
 		return fmt.Errorf("core: reduction recv buffer %d < %d", len(recv), len(send))
+	}
+	if err := g.deadMember(); err != nil {
+		return err
 	}
 	seq := g.nextSeq()
 	if len(g.tasks) == 1 {
@@ -466,9 +543,14 @@ func (g *Geometry) hwReduceChunk(cr *collnet.ClassRoute, seq uint64, root int, s
 	if idx == 0 {
 		s := cr.Join(seq, collnet.KindReduce, op, dt, len(send))
 		s.Contribute(team.node, team.local)
-		team.result = s.Wait()
+		team.result, team.err = g.hwWait(s)
 	}
 	team.barrier.Await()
+	if err := team.err; err != nil {
+		// A member node died mid-reduction; every member returns the typed
+		// failure before the release barrier.
+		return err
+	}
 	needRecv := root == -1 || g.rank == root
 	if needRecv {
 		copy(recv, team.result)
@@ -554,17 +636,26 @@ func (g *Geometry) swSend(dst int, phase uint8, seq uint64, data []byte) error {
 
 // swWait advances the context until the keyed fragment arrives, then
 // claims it. Progress is made under the context lock so application
-// threads and commthreads can share the context.
-func (g *Geometry) swWait(src int, phase uint8, seq uint64) []byte {
+// threads and commthreads can share the context. When any geometry
+// member's node is confirmed dead, swWait fails with mu.ErrPeerDead
+// instead of spinning forever: even if the directly awaited peer is a
+// survivor, that survivor's own wait may have failed on the dead member,
+// so its fragment would never be sent — failing on *any* member death is
+// what makes every survivor converge on the error instead of a subset
+// deadlocking on the others.
+func (g *Geometry) swWait(src int, phase uint8, seq uint64) ([]byte, error) {
 	key := inboxKey{geom: g.id, seq: seq, src: src, phase: phase}
 	ctx := g.ctx
 	for {
+		if err := g.deadMember(); err != nil {
+			return nil, err
+		}
 		worked := 0
 		if ctx.TryLock() {
 			if v, ok := ctx.inbox[key]; ok {
 				delete(ctx.inbox, key)
 				ctx.Unlock()
-				return v
+				return v, nil
 			}
 			worked = ctx.Advance(advanceBatch)
 			ctx.Unlock()
@@ -590,7 +681,9 @@ func (g *Geometry) swBarrierSeq(seq uint64) error {
 		if err := g.swSend(to, phaseBarrier+k<<2, seq, nil); err != nil {
 			return err
 		}
-		g.swWait(from, phaseBarrier+k<<2, seq)
+		if _, err := g.swWait(from, phaseBarrier+k<<2, seq); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -603,7 +696,10 @@ func (g *Geometry) swBroadcast(seq uint64, root int, buf []byte) error {
 	if rel != 0 {
 		parentRel := rel &^ (rel & -rel)
 		parent := (parentRel + root) % n
-		data := g.swWait(parent, phaseBcast, seq)
+		data, err := g.swWait(parent, phaseBcast, seq)
+		if err != nil {
+			return err
+		}
 		copy(buf, data)
 	}
 	// Forward to children: set bits above rel's lowest set bit.
@@ -638,7 +734,10 @@ func (g *Geometry) swReduce(seq uint64, root int, send, recv []byte, op collnet.
 	for bit := 1; bit < low && rel+bit < n; bit <<= 1 {
 		childRel := rel + bit
 		child := (childRel + effRoot) % n
-		data := g.swWait(child, phaseReduce, seq)
+		data, err := g.swWait(child, phaseReduce, seq)
+		if err != nil {
+			return err
+		}
 		if err := collnet.Combine(op, dt, acc, data); err != nil {
 			return err
 		}

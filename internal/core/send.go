@@ -36,6 +36,12 @@ type SendParams struct {
 	// injection for eager, at remote-completion ack for rendezvous. It
 	// runs on the thread advancing this context.
 	OnDone func()
+	// OnFail, if non-nil, runs instead of OnDone when a rendezvous send is
+	// cancelled because the destination node was confirmed dead before the
+	// completion ack arrived. The error wraps mu.ErrPeerDead. When OnFail
+	// is nil, OnDone fires on cancellation too (the buffer is reusable
+	// either way), so completion-counting waiters never hang.
+	OnFail func(error)
 	// Mode forces a protocol; ModeAuto sizes it from the payload.
 	Mode SendMode
 }
@@ -213,7 +219,7 @@ func (ctx *Context) sendRendezvous(p SendParams) error {
 		srcProc: ctx.client.proc.LocalID(),
 		intra:   intra,
 	}
-	ps := &pendingSend{onDone: p.OnDone, start: time.Now()}
+	ps := &pendingSend{dst: p.Dest, onDone: p.OnDone, onFail: p.OnFail, start: time.Now()}
 	ctx.stats.sendsRdv.Inc()
 	ctx.stats.bytesSent.Add(int64(len(p.Data)))
 	ctx.stats.rdvInflight.Inc()

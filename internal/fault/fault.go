@@ -68,6 +68,40 @@ type Stall struct {
 	From, To int64
 }
 
+// NodeFaultKind distinguishes how a node dies.
+type NodeFaultKind int
+
+// Node fault kinds. Both present identically to the rest of the machine
+// (a silent endpoint that stops heartbeating — the crash-stop model);
+// the difference is bookkeeping: a crashed process is gone, a hung one
+// is frozen mid-flight and may hold resources.
+const (
+	// FaultCrash kills every process on the node: they stop executing
+	// and never come back.
+	FaultCrash NodeFaultKind = iota
+	// FaultHang freezes every process on the node: they stop making
+	// progress (no sends, no advances, no heartbeats) but their
+	// goroutines are parked, not gone.
+	FaultHang
+)
+
+// String names the kind as the plan grammar spells it.
+func (k NodeFaultKind) String() string {
+	if k == FaultHang {
+		return "hang"
+	}
+	return "crash"
+}
+
+// NodeFault is a crash-stop node failure: every process on Node dies (or
+// freezes) once the fabric has moved AfterPackets packets.
+// AfterPackets <= 0 means dead from boot.
+type NodeFault struct {
+	Node         torus.Rank
+	Kind         NodeFaultKind
+	AfterPackets int64
+}
+
 // Plan is a complete fault scenario. The zero value injects nothing.
 type Plan struct {
 	// Drop, Corrupt, Duplicate, Delay are per-transmission-attempt
@@ -82,14 +116,21 @@ type Plan struct {
 
 	// Stalls are reception stall windows.
 	Stalls []Stall
+
+	// NodeFaults are crash-stop node failures at given packet counts.
+	NodeFaults []NodeFault
 }
 
 // Active reports whether the plan injects any fault at all; an inactive
 // plan keeps the data plane on its zero-overhead fast path.
 func (p Plan) Active() bool {
 	return p.Drop > 0 || p.Corrupt > 0 || p.Duplicate > 0 || p.Delay > 0 ||
-		len(p.LinkDowns) > 0 || len(p.Stalls) > 0
+		len(p.LinkDowns) > 0 || len(p.Stalls) > 0 || len(p.NodeFaults) > 0
 }
+
+// HasNodeFaults reports whether the plan kills or freezes any node; the
+// machine arms the heartbeat failure detector only when it does.
+func (p Plan) HasNodeFaults() bool { return len(p.NodeFaults) > 0 }
 
 // Validate checks probability ranges and event well-formedness.
 func (p Plan) Validate(dims torus.Dims) error {
@@ -115,6 +156,14 @@ func (p Plan) Validate(dims torus.Dims) error {
 		}
 		if s.From < 0 || s.To < s.From {
 			return fmt.Errorf("fault: stall window [%d,%d) malformed", s.From, s.To)
+		}
+	}
+	for _, nf := range p.NodeFaults {
+		if nf.Node < 0 || int(nf.Node) >= dims.Nodes() {
+			return fmt.Errorf("fault: %s node %d outside %v", nf.Kind, nf.Node, dims)
+		}
+		if nf.Kind != FaultCrash && nf.Kind != FaultHang {
+			return fmt.Errorf("fault: node fault kind %d malformed", nf.Kind)
 		}
 	}
 	return nil
@@ -147,10 +196,15 @@ type Injector struct {
 	downCount atomic.Int64 // len(down), readable without the lock
 	downGen   atomic.Int64 // bumped on every new failure; route caches key on it
 
-	mu      sync.Mutex
-	pending []LinkDown // not yet fired, sorted by AfterPackets
-	down    map[cable]bool
-	cbs     []func(torus.Rank, torus.Link)
+	faultedCount atomic.Int64 // len(faulted), readable without the lock
+
+	mu          sync.Mutex
+	pending     []LinkDown // not yet fired, sorted by AfterPackets
+	down        map[cable]bool
+	cbs         []func(torus.Rank, torus.Link)
+	pendingNode []NodeFault // not yet fired, sorted by AfterPackets
+	faulted     map[torus.Rank]NodeFaultKind
+	nodeCbs     []func(NodeFault)
 }
 
 // NewInjector builds an injector for the plan. Link-down events with
@@ -160,16 +214,22 @@ func NewInjector(dims torus.Dims, plan Plan, seed int64) (*Injector, error) {
 		return nil, err
 	}
 	in := &Injector{
-		dims: dims,
-		plan: plan,
-		seed: mix(uint64(seed) ^ 0xb10c6e5e5eed),
-		down: make(map[cable]bool),
+		dims:    dims,
+		plan:    plan,
+		seed:    mix(uint64(seed) ^ 0xb10c6e5e5eed),
+		down:    make(map[cable]bool),
+		faulted: make(map[torus.Rank]NodeFaultKind),
 	}
 	in.pending = append(in.pending, plan.LinkDowns...)
 	sort.SliceStable(in.pending, func(i, j int) bool {
 		return in.pending[i].AfterPackets < in.pending[j].AfterPackets
 	})
+	in.pendingNode = append(in.pendingNode, plan.NodeFaults...)
+	sort.SliceStable(in.pendingNode, func(i, j int) bool {
+		return in.pendingNode[i].AfterPackets < in.pendingNode[j].AfterPackets
+	})
 	in.fireDue(0)
+	in.fireNodeDue(0)
 	return in, nil
 }
 
@@ -258,6 +318,9 @@ func (in *Injector) NotePacket(dstNode torus.Rank) (stalled bool) {
 	if len(in.plan.LinkDowns) > 0 {
 		in.fireDue(c)
 	}
+	if len(in.plan.NodeFaults) > 0 {
+		in.fireNodeDue(c)
+	}
 	for _, s := range in.plan.Stalls {
 		if s.Node == dstNode && c >= s.From && c < s.To {
 			return true
@@ -289,6 +352,59 @@ func (in *Injector) fireDue(count int64) {
 			fn(ld.Node, ld.Link)
 		}
 	}
+}
+
+// fireNodeDue kills every pending node whose threshold the counter
+// reached, then invokes the callbacks outside the lock. A node dies only
+// once: a crash and a later hang of the same node collapse to the first.
+func (in *Injector) fireNodeDue(count int64) {
+	var fired []NodeFault
+	in.mu.Lock()
+	for len(in.pendingNode) > 0 && in.pendingNode[0].AfterPackets <= count {
+		nf := in.pendingNode[0]
+		in.pendingNode = in.pendingNode[1:]
+		if _, dead := in.faulted[nf.Node]; !dead {
+			in.faulted[nf.Node] = nf.Kind
+			in.faultedCount.Add(1)
+			fired = append(fired, nf)
+		}
+	}
+	cbs := in.nodeCbs
+	in.mu.Unlock()
+	for _, nf := range fired {
+		for _, fn := range cbs {
+			fn(nf)
+		}
+	}
+}
+
+// OnNodeFault registers a callback invoked whenever a node dies. Nodes
+// already dead at registration time are replayed immediately, so late
+// subscribers (the health monitor, the reliable layer) still learn of
+// boot-time deaths.
+func (in *Injector) OnNodeFault(fn func(NodeFault)) {
+	in.mu.Lock()
+	in.nodeCbs = append(in.nodeCbs, fn)
+	var replay []NodeFault
+	for n, k := range in.faulted {
+		replay = append(replay, NodeFault{Node: n, Kind: k})
+	}
+	in.mu.Unlock()
+	sort.Slice(replay, func(i, j int) bool { return replay[i].Node < replay[j].Node })
+	for _, nf := range replay {
+		fn(nf)
+	}
+}
+
+// NodeFaulted reports whether node r has crashed or hung.
+func (in *Injector) NodeFaulted(r torus.Rank) bool {
+	if in.faultedCount.Load() == 0 {
+		return false
+	}
+	in.mu.Lock()
+	_, dead := in.faulted[r]
+	in.mu.Unlock()
+	return dead
 }
 
 // OnLinkDown registers a callback invoked whenever a link fails. Links

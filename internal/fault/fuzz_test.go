@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"testing"
+)
+
+// TestParseNodeFaultPlan exercises the stateful crash@/hang@ grammar:
+// every fault verb opens a pending node fault that the next node= clause
+// must close.
+func TestParseNodeFaultPlan(t *testing.T) {
+	p, err := ParsePlan("drop=0.05,crash@pkt=5000,node=3,hang@pkt=100,node=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.NodeFaults) != 2 {
+		t.Fatalf("NodeFaults = %+v, want 2 entries", p.NodeFaults)
+	}
+	if nf := p.NodeFaults[0]; nf.Kind != FaultCrash || nf.Node != 3 || nf.AfterPackets != 5000 {
+		t.Errorf("crash fault wrong: %+v", nf)
+	}
+	if nf := p.NodeFaults[1]; nf.Kind != FaultHang || nf.Node != 1 || nf.AfterPackets != 100 {
+		t.Errorf("hang fault wrong: %+v", nf)
+	}
+	if !p.HasNodeFaults() || !p.Active() {
+		t.Error("plan with node faults reported inactive")
+	}
+	back, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", p.String(), err)
+	}
+	if back.String() != p.String() {
+		t.Errorf("round trip %q != %q", back.String(), p.String())
+	}
+}
+
+// TestParseNodeFaultErrors rejects malformed node-fault grammar: orphan
+// node= clauses, fault verbs with no node, and clauses interleaved into
+// an open crash@/node= pair.
+func TestParseNodeFaultErrors(t *testing.T) {
+	for _, bad := range []string{
+		"node=3",                    // orphan node= with no open fault
+		"crash@pkt=100",             // fault verb never closed
+		"crash@pkt=100,drop=0.1",    // another clause while a fault is open
+		"crash@pkt=x,node=1",        // bad packet count
+		"hang@pkt=5,node=x",         // bad node
+		"crash@pkt=1,node=1,node=2", // second node= with nothing open
+		"hang@pkt=1,crash@pkt=2",    // fault verb while a fault is open
+		"crash@pkt=-1,node=0",       // negative threshold
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+// FuzzParsePlan feeds arbitrary specs through the parser: malformed
+// input must produce an error, never a panic, and anything the parser
+// accepts must round-trip through String back to an equal plan.
+func FuzzParsePlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"drop=0.05,corrupt=0.02,dup=0.01",
+		"delay=0.1,linkdown=3:A+@500,stall=1@100-200",
+		"crash@pkt=5000,node=3",
+		"hang@pkt=0,node=0",
+		"drop=0.05,crash@pkt=100,node=2,hang@pkt=200,node=1",
+		"node=3",
+		"crash@pkt=100",
+		"crash@pkt=,node=",
+		"linkdown=0:E-@1,crash@pkt=9223372036854775807,node=1",
+		"drop=1.0,dup=1.0,corrupt=1.0,delay=1.0",
+		"crash@pkt=1,node=1,crash@pkt=1,node=1",
+		", , ,",
+		"=,@=,=@",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePlan(spec) // must not panic
+		if err != nil || !p.Active() {
+			return // inactive plans print as "none", which is not a spec
+		}
+		s := p.String()
+		back, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q) ok but re-parse of String %q failed: %v", spec, s, err)
+		}
+		if back.String() != s {
+			t.Fatalf("round trip %q -> %q -> %q", spec, s, back.String())
+		}
+	})
+}

@@ -18,8 +18,14 @@ import (
 //	linkdown=N:L@C  the cable out of node N across link L (e.g. A+, C-)
 //	                dies once C packets have moved; @C optional (@0)
 //	stall=N@F-T   node N refuses reception while the packet count is in [F,T)
+//	crash@pkt=C   followed by node=X: node X crashes once C packets have
+//	              moved (crash-stop: its processes stop and never return)
+//	hang@pkt=C    followed by node=X: node X freezes instead (processes
+//	              park but hold their resources)
 //
-// e.g. "drop=0.05,corrupt=0.02,dup=0.01,linkdown=3:A+@500,stall=1@100-200".
+// e.g. "drop=0.05,corrupt=0.02,dup=0.01,linkdown=3:A+@500,stall=1@100-200"
+// or "crash@pkt=5000,node=3". The crash/hang verbs are stateful: each
+// opens a node fault that the next node= clause completes.
 // An empty spec parses to the zero (inactive) plan.
 func ParsePlan(spec string) (Plan, error) {
 	var p Plan
@@ -27,10 +33,15 @@ func ParsePlan(spec string) (Plan, error) {
 	if spec == "" {
 		return p, nil
 	}
+	var pendingNF *NodeFault // opened by crash@pkt/hang@pkt, closed by node=
 	for _, clause := range strings.Split(spec, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(clause), "=")
 		if !ok {
 			return p, fmt.Errorf("fault: clause %q is not key=value", clause)
+		}
+		if pendingNF != nil && key != "node" {
+			return p, fmt.Errorf("fault: %s@pkt=%d wants a node= clause next, got %q",
+				pendingNF.Kind, pendingNF.AfterPackets, clause)
 		}
 		switch key {
 		case "drop", "corrupt", "dup", "delay":
@@ -60,9 +71,34 @@ func ParsePlan(spec string) (Plan, error) {
 				return p, err
 			}
 			p.Stalls = append(p.Stalls, s)
+		case "crash@pkt", "hang@pkt":
+			c, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || c < 0 {
+				return p, fmt.Errorf("fault: %s count %q must be a non-negative integer", key, val)
+			}
+			kind := FaultCrash
+			if key == "hang@pkt" {
+				kind = FaultHang
+			}
+			pendingNF = &NodeFault{Kind: kind, AfterPackets: c}
+		case "node":
+			if pendingNF == nil {
+				return p, fmt.Errorf("fault: node=%s without a preceding crash@pkt/hang@pkt clause", val)
+			}
+			node, err := strconv.Atoi(val)
+			if err != nil {
+				return p, fmt.Errorf("fault: node %q: %v", val, err)
+			}
+			pendingNF.Node = torus.Rank(node)
+			p.NodeFaults = append(p.NodeFaults, *pendingNF)
+			pendingNF = nil
 		default:
 			return p, fmt.Errorf("fault: unknown clause %q", key)
 		}
+	}
+	if pendingNF != nil {
+		return p, fmt.Errorf("fault: %s@pkt=%d missing its node= clause",
+			pendingNF.Kind, pendingNF.AfterPackets)
 	}
 	return p, nil
 }
@@ -158,6 +194,9 @@ func (p Plan) String() string {
 	}
 	for _, s := range p.Stalls {
 		parts = append(parts, fmt.Sprintf("stall=%d@%d-%d", s.Node, s.From, s.To))
+	}
+	for _, nf := range p.NodeFaults {
+		parts = append(parts, fmt.Sprintf("%s@pkt=%d,node=%d", nf.Kind, nf.AfterPackets, nf.Node))
 	}
 	if len(parts) == 0 {
 		return "none"

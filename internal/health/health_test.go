@@ -1,0 +1,94 @@
+package health
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pamigo/internal/telemetry"
+	"pamigo/internal/torus"
+)
+
+func TestMonitorDetectsSilentNode(t *testing.T) {
+	reg := telemetry.NewRegistry("test")
+	m, err := NewMonitor(Config{Nodes: 4, BeatInterval: 200 * time.Microsecond, PhiThreshold: 4, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var died atomic.Int64
+	var victim atomic.Int64
+	m.OnDeath(func(n torus.Rank) {
+		died.Add(1)
+		victim.Store(int64(n))
+	})
+	m.Start()
+	defer m.Stop()
+
+	if m.Epoch() != 0 {
+		t.Fatalf("boot epoch = %d, want 0", m.Epoch())
+	}
+	m.Silence(2)
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Alive(2) {
+		if time.Now().After(deadline) {
+			t.Fatalf("node 2 never confirmed dead (phi=%v)", m.Phi(2))
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if died.Load() != 1 || victim.Load() != 2 {
+		t.Fatalf("deaths=%d victim=%d, want 1 death of node 2", died.Load(), victim.Load())
+	}
+	if m.Epoch() != 1 {
+		t.Fatalf("epoch = %d after one death, want 1", m.Epoch())
+	}
+	for _, n := range []torus.Rank{0, 1, 3} {
+		if !m.Alive(n) {
+			t.Fatalf("node %d wrongly declared dead", n)
+		}
+	}
+	if got := m.DeadNodes(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("DeadNodes = %v, want [2]", got)
+	}
+}
+
+func TestMonitorSurvivorsKeepBeating(t *testing.T) {
+	m, err := NewMonitor(Config{Nodes: 2, BeatInterval: 200 * time.Microsecond, PhiThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	defer m.Stop()
+	time.Sleep(20 * time.Millisecond) // many threshold windows
+	if !m.Alive(0) || !m.Alive(1) {
+		t.Fatal("heartbeating node declared dead")
+	}
+	if m.Epoch() != 0 {
+		t.Fatalf("epoch = %d with no deaths, want 0", m.Epoch())
+	}
+}
+
+func TestDeclareDeadImmediateAndReplay(t *testing.T) {
+	m, err := NewMonitor(Config{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Start: DeclareDead must work without the scanner.
+	m.DeclareDead(1)
+	m.DeclareDead(1) // idempotent
+	if m.Alive(1) || m.Epoch() != 1 {
+		t.Fatalf("alive=%v epoch=%d after DeclareDead, want dead/1", m.Alive(1), m.Epoch())
+	}
+	var replayed []torus.Rank
+	m.OnDeath(func(n torus.Rank) { replayed = append(replayed, n) })
+	if len(replayed) != 1 || replayed[0] != 1 {
+		t.Fatalf("late subscriber replay = %v, want [1]", replayed)
+	}
+	m.Stop() // Stop without Start must not hang
+}
+
+func TestTypedErrors(t *testing.T) {
+	if !errors.Is(ErrPeerDead, ErrPeerDead) || errors.Is(ErrPeerDead, ErrEpochChanged) {
+		t.Fatal("typed errors are not distinct sentinels")
+	}
+}

@@ -1,0 +1,67 @@
+package lockless
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOverflowCapRefusesEnqueue(t *testing.T) {
+	q := NewQueue[int](4) // array cap 4
+	q.SetOverflowCap(8)
+	for i := 0; i < 12; i++ { // 4 array + 8 overflow
+		if err := q.Enqueue(i); err != nil {
+			t.Fatalf("Enqueue %d under cap: %v", i, err)
+		}
+	}
+	if q.OverflowLen() != 8 {
+		t.Fatalf("OverflowLen = %d, want 8", q.OverflowLen())
+	}
+	if err := q.Enqueue(99); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("Enqueue past cap = %v, want ErrBackpressure", err)
+	}
+	if err := q.EnqueueN([]int{1, 2, 3}); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("EnqueueN past cap = %v, want ErrBackpressure", err)
+	}
+	// A refused enqueue must not claim a ticket: everything accepted so
+	// far drains in order with no holes.
+	for i := 0; i < 12; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue %d = (%d,%v): refused enqueue left a hole", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue should be empty")
+	}
+	// Draining lifts the backpressure.
+	if err := q.Enqueue(42); err != nil {
+		t.Fatalf("Enqueue after drain: %v", err)
+	}
+	if q.OverflowHWM() != 8 {
+		t.Fatalf("OverflowHWM = %d, want 8", q.OverflowHWM())
+	}
+}
+
+func TestOverflowCapDefaultGenerous(t *testing.T) {
+	q := NewQueue[int](2)
+	for i := 0; i < 10_000; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatalf("Enqueue %d under default cap: %v", i, err)
+		}
+	}
+}
+
+func TestSetOverflowCapUnlimited(t *testing.T) {
+	q := NewQueue[int](2)
+	q.SetOverflowCap(1)
+	q.Enqueue(0)
+	q.Enqueue(1)
+	q.Enqueue(2) // fills the one overflow slot
+	if err := q.Enqueue(3); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("want backpressure at cap 1, got %v", err)
+	}
+	q.SetOverflowCap(0) // unlimited
+	if err := q.Enqueue(3); err != nil {
+		t.Fatalf("unlimited cap refused: %v", err)
+	}
+}

@@ -19,8 +19,22 @@
 package lockless
 
 import (
+	"errors"
+
 	"pamigo/internal/l2atomic"
 )
+
+// ErrBackpressure reports that an enqueue was refused because the
+// overflow queue reached its cap: the consumer has fallen hopelessly
+// behind (or died), and accepting more would grow memory without bound.
+// Callers treat it like a full hardware FIFO — back off and retry, or
+// surface the loss to their reliability layer.
+var ErrBackpressure = errors.New("lockless: queue overflow cap exceeded")
+
+// DefaultOverflowCap bounds the overflow map. Generous: overflow is the
+// slow path and normally drains within one consumer pass, so hitting
+// tens of thousands of parked entries means the consumer is gone.
+const DefaultOverflowCap = 1 << 16
 
 type cell[T any] struct {
 	// seq publishes the cell: a producer that wrote ticket t stores t+1.
@@ -38,13 +52,16 @@ type Queue[T any] struct {
 	tail l2atomic.Counter // next ticket to allocate
 	head l2atomic.Counter // next ticket to consume
 
-	overflowMu l2atomic.Mutex
-	overflow   map[int64]T
-	overflowN  l2atomic.Counter
+	overflowMu  l2atomic.Mutex
+	overflow    map[int64]T
+	overflowN   l2atomic.Counter
+	overflowCap int64
 
 	// overflowed counts enqueues that missed the fast path; exported for
-	// the statistics the bench harness reports.
-	overflowed l2atomic.Counter
+	// the statistics the bench harness reports. overflowHWM is the
+	// high-water mark of parked overflow entries.
+	overflowed  l2atomic.Counter
+	overflowHWM l2atomic.Counter
 }
 
 // NewQueue returns a queue whose lock-free array holds capacity elements.
@@ -55,19 +72,40 @@ func NewQueue[T any](capacity int) *Queue[T] {
 		c <<= 1
 	}
 	return &Queue[T]{
-		cells:    make([]cell[T], c),
-		mask:     c - 1,
-		overflow: make(map[int64]T),
+		cells:       make([]cell[T], c),
+		mask:        c - 1,
+		overflow:    make(map[int64]T),
+		overflowCap: DefaultOverflowCap,
 	}
 }
 
-// Cap returns the capacity of the lock-free array (overflow is unbounded).
+// Cap returns the capacity of the lock-free array.
 func (q *Queue[T]) Cap() int { return len(q.cells) }
 
-// Enqueue appends v to the queue. It never fails: if the bounded-increment
-// slot allocation finds the array full, v goes to the overflow queue under
-// a mutex. Safe for concurrent use by any number of producers.
-func (q *Queue[T]) Enqueue(v T) {
+// SetOverflowCap bounds the overflow map at n parked entries; n <= 0
+// removes the bound. The cap is soft: it is checked before a producer
+// claims its ticket (a claimed ticket must always publish, or the
+// consumer would stall forever on the hole), so a burst of concurrent
+// producers can land a few entries past it. Call before communication
+// starts.
+func (q *Queue[T]) SetOverflowCap(n int) {
+	if n <= 0 {
+		q.overflowCap = int64(1) << 62
+		return
+	}
+	q.overflowCap = int64(n)
+}
+
+// Enqueue appends v to the queue: the bounded-increment slot allocation,
+// with spill to the mutex-protected overflow queue when the array is
+// full. Returns ErrBackpressure — before claiming a ticket — when the
+// overflow queue has reached its cap. Safe for concurrent use by any
+// number of producers.
+func (q *Queue[T]) Enqueue(v T) error {
+	if q.overflowN.Load() >= q.overflowCap &&
+		q.tail.Load()-q.head.Load() >= int64(len(q.cells)) {
+		return ErrBackpressure
+	}
 	t := q.tail.LoadIncrement()
 	if t-q.head.Load() < int64(len(q.cells)) {
 		// Fast path: the slot for this ticket is free (its previous
@@ -75,24 +113,31 @@ func (q *Queue[T]) Enqueue(v T) {
 		c := &q.cells[t&q.mask]
 		c.val = v
 		c.seq.Store(t + 1) // publish
-		return
+		return nil
 	}
 	q.overflowed.LoadIncrement()
 	q.overflowMu.Lock()
 	q.overflow[t] = v
-	q.overflowN.LoadIncrement()
+	q.overflowHWM.StoreMax(q.overflowN.LoadIncrement() + 1)
 	q.overflowMu.Unlock()
+	return nil
 }
 
 // EnqueueN appends vs in order with a single ticket-range claim, instead
 // of one tail increment per element. All elements of the batch are
 // contiguous in the queue's total order (no other producer interleaves
-// inside the batch). Safe for concurrent use by any number of producers;
-// elements that miss the lock-free array spill to the overflow queue
-// under one lock acquisition for the whole batch.
-func (q *Queue[T]) EnqueueN(vs []T) {
+// inside the batch). Returns ErrBackpressure — refusing the whole batch
+// before claiming tickets — when the overflow queue cannot absorb it.
+// Safe for concurrent use by any number of producers; elements that miss
+// the lock-free array spill to the overflow queue under one lock
+// acquisition for the whole batch.
+func (q *Queue[T]) EnqueueN(vs []T) error {
 	if len(vs) == 0 {
-		return
+		return nil
+	}
+	if q.overflowN.Load()+int64(len(vs)) > q.overflowCap &&
+		q.tail.Load()-q.head.Load() >= int64(len(q.cells)) {
+		return ErrBackpressure
 	}
 	t0 := q.tail.LoadAdd(int64(len(vs)))
 	var spill int64 = -1
@@ -108,16 +153,19 @@ func (q *Queue[T]) EnqueueN(vs []T) {
 		break
 	}
 	if spill < 0 {
-		return
+		return nil
 	}
-	// The remainder of the batch overflows: one lock, one map pass.
+	// The remainder of the batch overflows: one lock, one map pass. The
+	// tickets are already claimed, so the spill always completes even if
+	// it lands past the (soft) cap.
 	q.overflowMu.Lock()
 	for i := spill; i < int64(len(vs)); i++ {
 		q.overflowed.LoadIncrement()
 		q.overflow[t0+i] = vs[i]
-		q.overflowN.LoadIncrement()
+		q.overflowHWM.StoreMax(q.overflowN.LoadIncrement() + 1)
 	}
 	q.overflowMu.Unlock()
+	return nil
 }
 
 // DrainInto removes up to len(dst) ready elements in FIFO order with a
@@ -221,3 +269,13 @@ func (q *Queue[T]) Empty() bool { return q.Len() == 0 }
 // Overflowed reports how many enqueues took the mutex-protected overflow
 // path since the queue was created.
 func (q *Queue[T]) Overflowed() int64 { return q.overflowed.Load() }
+
+// OverflowLen reports how many entries are currently parked in the
+// overflow queue.
+func (q *Queue[T]) OverflowLen() int64 { return q.overflowN.Load() }
+
+// OverflowCap reports the overflow bound SetOverflowCap configured.
+func (q *Queue[T]) OverflowCap() int64 { return q.overflowCap }
+
+// OverflowHWM reports the high-water mark of parked overflow entries.
+func (q *Queue[T]) OverflowHWM() int64 { return q.overflowHWM.Load() }

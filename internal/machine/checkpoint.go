@@ -1,0 +1,103 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"pamigo/internal/torus"
+)
+
+// Checkpoint is a consistent snapshot of a quiesced job: the machine
+// shape, the membership history (epoch and confirmed-dead nodes), and
+// the application state each task contributed. It is the coordinated
+// checkpoint of BG/Q practice — taken at a global quiesce point, written
+// through the control network, and restored onto a repaired partition.
+//
+// A checkpoint holds no transport state on purpose: the quiesce
+// precondition (Fabric.Quiesced) guarantees there is nothing in flight
+// to save — every reception FIFO is empty and every reliable-delivery
+// window between live nodes has drained. Restarting from a checkpoint
+// therefore never replays or loses a message.
+type Checkpoint struct {
+	// Dims and PPN record the job shape the snapshot was taken on;
+	// Restore boots the same shape.
+	Dims torus.Dims
+	PPN  int
+	// Epoch is the membership epoch at snapshot time (0 = no deaths).
+	Epoch int64
+	// DeadNodes lists the nodes confirmed dead before the snapshot,
+	// ascending. Historical: Restore boots a repaired partition.
+	DeadNodes []torus.Rank
+	// Blobs is the application state, keyed by application-defined names
+	// (e.g. one entry per task, or one shared entry when all tasks hold
+	// replicated state). Deep-copied on capture.
+	Blobs map[string][]byte
+}
+
+// Checkpoint captures a snapshot of the machine. The data plane must be
+// quiescent — every task has stopped initiating traffic and drained its
+// contexts (core.Context.Drain) — or the call fails with an error naming
+// the busy component, so a torn snapshot can never be written. blobs is
+// the application state to save; it is deep-copied, so callers may reuse
+// their buffers immediately.
+func (m *Machine) Checkpoint(blobs map[string][]byte) (*Checkpoint, error) {
+	if err := m.fabric.Quiesced(); err != nil {
+		return nil, fmt.Errorf("machine: checkpoint refused, data plane not quiescent: %w", err)
+	}
+	ck := &Checkpoint{
+		Dims:  m.cfg.Dims,
+		PPN:   m.cfg.PPN,
+		Epoch: m.Epoch(),
+		Blobs: make(map[string][]byte, len(blobs)),
+	}
+	if m.hmon != nil {
+		ck.DeadNodes = m.hmon.DeadNodes()
+	}
+	for k, v := range blobs {
+		ck.Blobs[k] = append([]byte(nil), v...)
+	}
+	return ck, nil
+}
+
+// Blob returns the named application blob, or nil when absent.
+func (ck *Checkpoint) Blob(name string) []byte { return ck.Blobs[name] }
+
+// BlobNames returns the saved blob keys in sorted order.
+func (ck *Checkpoint) BlobNames() []string {
+	names := make([]string, 0, len(ck.Blobs))
+	for k := range ck.Blobs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Encode serializes the checkpoint to a byte stream — the "write to the
+// parallel file system" step of checkpoint-restart.
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return nil, fmt.Errorf("machine: encode checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint parses a checkpoint previously produced by Encode.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("machine: decode checkpoint: %w", err)
+	}
+	return &ck, nil
+}
+
+// Restore boots a fresh, fault-free machine with the checkpoint's shape —
+// the job restarted on a repaired partition. The transports start clean
+// (quiescence at capture time means there is nothing to replay); the
+// application re-seeds its state from the checkpoint's blobs and resumes
+// from the step it saved.
+func Restore(ck *Checkpoint) (*Machine, error) {
+	return New(Config{Dims: ck.Dims, PPN: ck.PPN})
+}

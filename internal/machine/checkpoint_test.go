@@ -1,0 +1,73 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"pamigo/internal/torus"
+)
+
+// TestCheckpointRoundTrip captures a quiescent machine, pushes the
+// snapshot through Encode/Decode, and restores a fresh machine of the
+// same shape with the blobs intact.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dims := torus.Dims{2, 2, 1, 1, 1}
+	m, err := New(Config{Dims: dims, PPN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	blobs := map[string][]byte{
+		"state": {1, 2, 3, 4},
+		"step":  {9},
+	}
+	ck, err := m.Checkpoint(blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot is a deep copy: mutating the caller's buffer afterwards
+	// must not change it.
+	blobs["state"][0] = 0xFF
+	if ck.Blob("state")[0] != 1 {
+		t.Fatal("checkpoint aliases the caller's blob buffer")
+	}
+	enc, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCheckpoint(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dims != dims || back.PPN != 2 || back.Epoch != 0 {
+		t.Fatalf("decoded shape wrong: %+v", back)
+	}
+	if !bytes.Equal(back.Blob("state"), []byte{1, 2, 3, 4}) || !bytes.Equal(back.Blob("step"), []byte{9}) {
+		t.Fatalf("blobs corrupted: %v", back.Blobs)
+	}
+	if got := back.BlobNames(); len(got) != 2 || got[0] != "state" || got[1] != "step" {
+		t.Fatalf("BlobNames = %v", got)
+	}
+	m2, err := Restore(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Shutdown()
+	if m2.Dims() != dims || m2.Tasks() != m.Tasks() {
+		t.Fatalf("restored machine shape: dims %v tasks %d", m2.Dims(), m2.Tasks())
+	}
+	if m2.Epoch() != 0 || m2.Health() != nil {
+		t.Fatal("restored machine must boot healthy with no failure detector")
+	}
+}
+
+// TestDecodeCheckpointRejectsGarbage requires a corrupt snapshot to fail
+// decoding instead of restoring a torn state.
+func TestDecodeCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := DecodeCheckpoint([]byte("not a checkpoint")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeCheckpoint(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -14,11 +14,13 @@ package machine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"pamigo/internal/bufpool"
 	"pamigo/internal/cnk"
 	"pamigo/internal/collnet"
 	"pamigo/internal/fault"
+	"pamigo/internal/health"
 	"pamigo/internal/mu"
 	"pamigo/internal/shmem"
 	"pamigo/internal/telemetry"
@@ -43,6 +45,12 @@ type Config struct {
 	Faults *fault.Plan
 	// FaultSeed seeds the fault plan's deterministic decision hash.
 	FaultSeed int64
+	// HeartbeatInterval overrides the health monitor's beat period when
+	// the plan contains node faults; 0 picks the health default (1ms).
+	HeartbeatInterval time.Duration
+	// PhiThreshold overrides the suspicion threshold (silent heartbeat
+	// periods before a node is declared dead); 0 picks the default (8).
+	PhiThreshold float64
 }
 
 // Machine is a booted functional BG/Q system.
@@ -56,6 +64,10 @@ type Machine struct {
 	gi     *collnet.GIBarrier
 	tasks  []*cnk.Process
 	tele   *telemetry.Registry
+
+	// hmon is the heartbeat failure detector, armed only when the fault
+	// plan kills or freezes nodes; nil otherwise (zero steady-state cost).
+	hmon *health.Monitor
 
 	geoMu  sync.Mutex
 	geoReg map[uint64]any
@@ -118,8 +130,76 @@ func New(cfg Config) (*Machine, error) {
 			m.coll.HandleLinkDown(n, l)
 		})
 		fabric.InstallFaults(inj)
+		if cfg.Faults.HasNodeFaults() {
+			hmon, err := health.NewMonitor(health.Config{
+				Nodes:        cfg.Dims.Nodes(),
+				BeatInterval: cfg.HeartbeatInterval,
+				PhiThreshold: cfg.PhiThreshold,
+				Telemetry:    m.tele,
+			})
+			if err != nil {
+				return nil, err
+			}
+			m.hmon = hmon
+			// A node fault firing silences the node's heartbeats; the
+			// monitor then accrues suspicion until it confirms the death.
+			// (The fabric blackholes the node's traffic from the same
+			// injector event, no wiring needed.)
+			inj.OnNodeFault(func(nf fault.NodeFault) {
+				hmon.Silence(nf.Node)
+			})
+			// Confirmed death: propagate through every layer —
+			//   fabric:  fail flows touching the node, wake blocked senders
+			//   collnet: shrink classroutes, fail in-flight sessions
+			//   cnk:     stop the dead node's commthreads
+			// then wake every parked context so survivors observe the new
+			// epoch instead of sleeping on a signal that will never come.
+			hmon.OnDeath(func(n torus.Rank) {
+				m.fabric.MarkNodeDead(n)
+				m.coll.HandleNodeDown(n)
+				m.nodes[n].StopCommThreads()
+				m.fabric.TouchAll()
+			})
+			hmon.Start()
+		}
 	}
 	return m, nil
+}
+
+// Health returns the heartbeat failure detector, or nil when the fault
+// plan contains no node faults.
+func (m *Machine) Health() *health.Monitor { return m.hmon }
+
+// Epoch returns the cluster membership epoch: 0 at boot and whenever no
+// failure detector is armed, +1 per confirmed node death. One atomic
+// load; contexts compare it against their cached value every advance.
+func (m *Machine) Epoch() int64 {
+	if m.hmon == nil {
+		return 0
+	}
+	return m.hmon.Epoch()
+}
+
+// Alive reports whether the node hosting the given task has not been
+// confirmed dead.
+func (m *Machine) Alive(task int) bool {
+	if m.hmon == nil {
+		return true
+	}
+	return m.hmon.Alive(m.tasks[task].Node().Rank)
+}
+
+// Crashed reports whether the node hosting the given task has a node
+// fault fired against it (crash or hang) — true from the instant the
+// injector fires, before the health monitor confirms the death. Workload
+// goroutines simulating processes on that node poll it and stop
+// executing, the cooperative analogue of the process being gone.
+func (m *Machine) Crashed(task int) bool {
+	inj := m.fabric.Injector()
+	if inj == nil {
+		return false
+	}
+	return inj.NodeFaulted(m.tasks[task].Node().Rank)
 }
 
 // Config returns the machine's boot configuration.
@@ -208,6 +288,9 @@ func (m *Machine) DropSharedState(key uint64) {
 // through the cnk nodes and, when fault injection is armed, the fabric's
 // reliable-delivery retransmit daemon.
 func (m *Machine) Shutdown() {
+	if m.hmon != nil {
+		m.hmon.Stop()
+	}
 	for _, n := range m.nodes {
 		n.StopCommThreads()
 	}

@@ -1,6 +1,11 @@
 package mu
 
-import "errors"
+import (
+	"errors"
+
+	"pamigo/internal/health"
+	"pamigo/internal/lockless"
+)
 
 // Typed fabric errors. Send paths wrap these with %w so callers can
 // classify failures with errors.Is instead of matching message text.
@@ -24,4 +29,17 @@ var (
 	// ErrFabricClosed means the fabric was shut down while an operation
 	// was in flight.
 	ErrFabricClosed = errors.New("mu: fabric closed")
+)
+
+// Membership and backpressure errors re-exported from the layers that
+// own them, so mu callers can errors.Is against mu's own vocabulary.
+var (
+	// ErrPeerDead means the destination task's node has been confirmed
+	// dead; the operation will never complete.
+	ErrPeerDead = health.ErrPeerDead
+	// ErrEpochChanged means cluster membership changed mid-operation.
+	ErrEpochChanged = health.ErrEpochChanged
+	// ErrBackpressure means a reception FIFO refused delivery because its
+	// overflow reached cap (the consumer has fallen hopelessly behind).
+	ErrBackpressure = lockless.ErrBackpressure
 )

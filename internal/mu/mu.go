@@ -118,8 +118,9 @@ type RecFIFO struct {
 	q      *lockless.Queue[Packet]
 	region *wakeup.Region
 
-	received  *telemetry.Counter
-	occupancy *telemetry.Gauge
+	received    *telemetry.Counter
+	occupancy   *telemetry.Gauge
+	overflowHWM *telemetry.Gauge
 }
 
 // Poll removes the next packet, if one is ready. The caller owns one
@@ -149,6 +150,11 @@ func (f *RecFIFO) PollBatch(dst []Packet) int {
 // Empty reports whether the FIFO currently holds no packets.
 func (f *RecFIFO) Empty() bool { return f.q.Empty() }
 
+// Saturated reports whether the FIFO can no longer absorb deliveries:
+// its lockless overflow queue has reached cap, meaning the owning
+// context has stopped consuming.
+func (f *RecFIFO) Saturated() bool { return f.q.OverflowLen() >= f.q.OverflowCap() }
+
 // Region returns the wakeup region touched on every delivery.
 func (f *RecFIFO) Region() *wakeup.Region { return f.region }
 
@@ -165,11 +171,21 @@ func (f *RecFIFO) Occupancy() (cur, highWater int64) {
 // ID returns the FIFO's hardware index on its node.
 func (f *RecFIFO) ID() int { return f.id }
 
-func (f *RecFIFO) deliver(p Packet) {
-	f.q.Enqueue(p)
+// deliver appends one packet to the FIFO. It fails with
+// lockless.ErrBackpressure when the FIFO's overflow is at cap — the
+// hardware analogue of a reception FIFO whose consumer has died — and
+// the caller then owns the packet's buffers.
+func (f *RecFIFO) deliver(p Packet) error {
+	if err := f.q.Enqueue(p); err != nil {
+		return err
+	}
 	f.received.Inc()
 	f.occupancy.Inc()
+	if f.q.OverflowLen() > 0 { // overflow is the rare path; gauge it only then
+		f.overflowHWM.Set(f.q.OverflowHWM())
+	}
 	f.region.Touch()
+	return nil
 }
 
 // InjFIFO is an injection FIFO owned by exactly one PAMI context. The
@@ -236,11 +252,12 @@ func (n *NodeMU) AllocContext(injCount int, region *wakeup.Region) (*ContextReso
 	recTele := n.tele.Group(fmt.Sprintf("rec%d", n.recUsed))
 	res := &ContextResources{
 		Rec: &RecFIFO{
-			id:        n.recUsed,
-			q:         lockless.NewQueue[Packet](n.recFIFOCap),
-			region:    region,
-			received:  recTele.Counter("packets_received"),
-			occupancy: recTele.Gauge("occupancy"),
+			id:          n.recUsed,
+			q:           lockless.NewQueue[Packet](n.recFIFOCap),
+			region:      region,
+			received:    recTele.Counter("packets_received"),
+			occupancy:   recTele.Gauge("occupancy"),
+			overflowHWM: recTele.Gauge("overflow_hwm"),
 		},
 	}
 	for i := 0; i < injCount; i++ {
@@ -393,6 +410,35 @@ func (f *Fabric) RegisterContext(addr TaskAddr, fifo *RecFIFO) {
 	f.taskMu.Unlock()
 }
 
+// TouchAll wakes every registered context's wakeup region. The machine
+// calls it after a confirmed node death so commthreads and application
+// threads parked in region.Wait re-advance, observe the new membership
+// epoch, and fail their cancelled operations instead of sleeping on a
+// signal the dead peer will never send.
+func (f *Fabric) TouchAll() {
+	for _, fifo := range *f.contexts.Load() {
+		fifo.region.Touch()
+	}
+}
+
+// Quiesced verifies the data plane is idle — the precondition for a
+// checkpoint: every registered reception FIFO is empty and, when the
+// reliable layer is armed, no packet is delayed, unacknowledged, or
+// parked out of order on any flow between live nodes. Flows touching a
+// confirmed-dead node are exempt (their state is garbage by definition).
+// Returns nil when quiescent, or an error naming the busy component.
+func (f *Fabric) Quiesced() error {
+	for addr, fifo := range *f.contexts.Load() {
+		if !fifo.Empty() {
+			return fmt.Errorf("mu: rec FIFO of %v still holds packets", addr)
+		}
+	}
+	if r := f.rel.Load(); r != nil {
+		return r.quiesced()
+	}
+	return nil
+}
+
 // ContextRegistered reports whether a reception FIFO has been registered
 // for the endpoint; job bootstrap uses it to rendezvous before traffic.
 func (f *Fabric) ContextRegistered(addr TaskAddr) bool {
@@ -477,7 +523,10 @@ func (f *Fabric) InjectMemFIFO(inj *InjFIFO, dst TaskAddr, hdr Header, payload [
 	}
 	if total == 0 {
 		hdr.Offset = 0
-		fifo.deliver(Packet{Hdr: hdr, mbuf: mbuf})
+		pkt := Packet{Hdr: hdr, mbuf: mbuf}
+		if err := pkt.deliverTo(fifo); err != nil {
+			return err
+		}
 		f.account(hdr.Origin.Task, dst.Task, 1, PacketHeaderBytes)
 		return nil
 	}
@@ -495,10 +544,24 @@ func (f *Fabric) InjectMemFIFO(inj *InjFIFO, dst TaskAddr, hdr Header, payload [
 			pm = nil
 		}
 		pb := bufpool.GetCopy(payload[off:end])
-		fifo.deliver(Packet{Hdr: ph, Payload: pb.Bytes(), pbuf: pb, mbuf: pm})
+		pkt := Packet{Hdr: ph, Payload: pb.Bytes(), pbuf: pb, mbuf: pm}
+		if err := pkt.deliverTo(fifo); err != nil {
+			f.account(hdr.Origin.Task, dst.Task, npkts, int64(off)+npkts*PacketHeaderBytes)
+			return err
+		}
 		npkts++
 	}
 	f.account(hdr.Origin.Task, dst.Task, npkts, int64(total)+npkts*PacketHeaderBytes)
+	return nil
+}
+
+// deliverTo hands the packet to a reception FIFO, reclaiming its pooled
+// buffers if the FIFO refuses it under backpressure.
+func (p *Packet) deliverTo(fifo *RecFIFO) error {
+	if err := fifo.deliver(*p); err != nil {
+		p.Release()
+		return fmt.Errorf("mu: rec FIFO %d refused packet: %w", fifo.id, err)
+	}
 	return nil
 }
 

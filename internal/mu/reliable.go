@@ -48,6 +48,11 @@ const (
 	// maxRDMAAttempts bounds the per-chunk retry loop of faulted RDMA
 	// operations.
 	maxRDMAAttempts = 1 << 16
+	// defaultRetryBudget caps the total time a flow keeps retransmitting
+	// one packet before giving up with ErrPeerDead: a peer silent for
+	// many maxRTO periods is gone, not slow. It comfortably exceeds any
+	// recoverable chaos storm (RTO caps at 32ms).
+	defaultRetryBudget = 500 * time.Millisecond
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -105,6 +110,7 @@ type pendingPkt struct {
 	pkt      Packet
 	fifo     *RecFIFO
 	dstNode  torus.Rank
+	firstTx  time.Time // when the packet was staged; bounds total retry time
 	deadline time.Time
 	rto      time.Duration
 	attempts int
@@ -126,6 +132,7 @@ type flow struct {
 	nextSeq uint64
 	unacked map[uint64]*pendingPkt
 	free    []*pendingPkt // recycled pendingPkt structs
+	failed  error         // set once, permanently: the peer is dead
 
 	rmu     sync.Mutex
 	nextExp uint64
@@ -168,8 +175,13 @@ type reliableLayer struct {
 	f   *Fabric
 	inj *fault.Injector
 
-	fmu   sync.Mutex
-	flows map[flowKey]*flow
+	retryBudget time.Duration
+
+	deadCount atomic.Int64 // len(deadNodes), readable without fmu
+
+	fmu       sync.Mutex
+	flows     map[flowKey]*flow
+	deadNodes map[torus.Rank]bool // confirmed-dead nodes: fail fast
 
 	dmu     sync.Mutex
 	delayed []delayedPkt
@@ -196,6 +208,10 @@ type reliableLayer struct {
 	linkDownEvents *telemetry.Counter
 	backoffNS      *telemetry.Counter
 	unackedG       *telemetry.Gauge
+	blackholed     *telemetry.Counter
+	peerDeadFails  *telemetry.Counter
+	budgetExceeded *telemetry.Counter
+	fifoRefusals   *telemetry.Counter
 }
 
 // InstallFaults threads a fault injector through the fabric: every send
@@ -208,7 +224,9 @@ func (f *Fabric) InstallFaults(inj *fault.Injector) {
 	rl := &reliableLayer{
 		f:              f,
 		inj:            inj,
+		retryBudget:    defaultRetryBudget,
 		flows:          make(map[flowKey]*flow),
+		deadNodes:      make(map[torus.Rank]bool),
 		routes:         make(map[[2]torus.Rank]routeEntry),
 		stop:           make(chan struct{}),
 		done:           make(chan struct{}),
@@ -225,6 +243,10 @@ func (f *Fabric) InstallFaults(inj *fault.Injector) {
 		linkDownEvents: g.Counter("link_down_events"),
 		backoffNS:      g.Counter("backoff_ns"),
 		unackedG:       g.Gauge("unacked"),
+		blackholed:     g.Counter("blackholed"),
+		peerDeadFails:  g.Counter("peer_dead_fails"),
+		budgetExceeded: g.Counter("retry_budget_exceeded"),
+		fifoRefusals:   g.Counter("fifo_refusals"),
 	}
 	inj.OnLinkDown(func(torus.Rank, torus.Link) { rl.linkDownEvents.Inc() })
 	f.rel.Store(rl)
@@ -355,6 +377,10 @@ func (r *reliableLayer) injectMemFIFO(inj *InjFIFO, fifo *RecFIFO, dst TaskAddr,
 		return ErrFabricClosed
 	}
 	dstNode, _ := r.f.TaskNode(dst.Task)
+	if r.deadCount.Load() > 0 && r.nodeDead(dstNode) {
+		r.peerDeadFails.Inc()
+		return fmt.Errorf("mu: send to task %d on node %d: %w", dst.Task, dstNode, ErrPeerDead)
+	}
 	if r.inj.HasDownLinks() {
 		if srcNode, ok := r.f.TaskNode(hdr.Origin.Task); ok {
 			if _, routeOK := r.routeInfo(srcNode, dstNode); !routeOK {
@@ -424,8 +450,13 @@ func (r *reliableLayer) stage(fl *flow, hdr Header, pb, pm *bufpool.Buf, fifo *R
 		chunk = pb.Bytes()
 	}
 	fl.smu.Lock()
-	for len(fl.unacked) >= sendWindow && !r.closed.Load() {
+	for len(fl.unacked) >= sendWindow && !r.closed.Load() && fl.failed == nil {
 		fl.cond.Wait()
+	}
+	if fl.failed != nil {
+		err := fl.failed
+		fl.smu.Unlock()
+		return nil, err
 	}
 	if r.closed.Load() {
 		fl.smu.Unlock()
@@ -441,11 +472,13 @@ func (r *reliableLayer) stage(fl *flow, hdr Header, pb, pm *bufpool.Buf, fifo *R
 	} else {
 		pp = new(pendingPkt)
 	}
+	now := time.Now()
 	*pp = pendingPkt{
 		pkt:      Packet{Hdr: hdr, Payload: chunk, pbuf: pb, mbuf: pm},
 		fifo:     fifo,
 		dstNode:  dstNode,
-		deadline: time.Now().Add(initialRTO),
+		firstTx:  now,
+		deadline: now.Add(initialRTO),
 		rto:      initialRTO,
 		attempts: 1,
 		inflight: 1, // the initial attempt the caller is about to run
@@ -493,6 +526,13 @@ func (r *reliableLayer) attemptOnce(fl *flow, pp *pendingPkt, attempt int) attem
 		r.stallDrops.Inc()
 		return outcomeLost
 	}
+	if r.inj.NodeFaulted(pp.dstNode) {
+		// The destination node has crashed or hung: its MU accepts
+		// nothing. The packet vanishes; the sender's timer retries until
+		// the retry budget or the health monitor declares the peer dead.
+		r.blackholed.Inc()
+		return outcomeLost
+	}
 	seq := pp.pkt.Hdr.PktSeq
 	act := r.inj.Decide(fl.hash, seq, attempt)
 	if act.Has(fault.Duplicate) {
@@ -536,6 +576,15 @@ func (r *reliableLayer) deliver(fl *flow, pkt Packet, fifo *RecFIFO, attempt int
 		r.ack(fl, seq, attempt)
 		return outcomeDelivered
 	}
+	if fifo.Saturated() {
+		// The reception FIFO's overflow is at cap: its consumer has
+		// stopped draining (dead or hopelessly behind). Refuse the packet
+		// before accepting it — no ack, so the sender's timer retries,
+		// which is exactly the backpressure a full hardware FIFO exerts.
+		fl.rmu.Unlock()
+		r.fifoRefusals.Inc()
+		return outcomeLost
+	}
 	// The receiver keeps the packet (reorder buffer, then the reception
 	// FIFO until the consumer dispatches it): take its own reference, so
 	// the sender acking and recycling its copy cannot pull the slab out
@@ -550,9 +599,22 @@ func (r *reliableLayer) deliver(fl *flow, pkt Packet, fifo *RecFIFO, attempt int
 		if !ok {
 			break
 		}
+		if fifo.deliver(p) != nil {
+			// Saturation raced past the pre-check. If the refused packet
+			// is the one this attempt carried, withdraw it and report the
+			// attempt lost so the sender retries; an already-acked parked
+			// packet just stays in the reorder buffer for the next drain.
+			r.fifoRefusals.Inc()
+			if fl.nextExp == seq {
+				delete(fl.pending, seq)
+				pkt.Release()
+				fl.rmu.Unlock()
+				return outcomeLost
+			}
+			break
+		}
 		delete(fl.pending, fl.nextExp)
 		fl.nextExp++
-		fifo.deliver(p)
 	}
 	fl.rmu.Unlock()
 	r.ack(fl, seq, attempt)
@@ -643,27 +705,149 @@ func (r *reliableLayer) retransmitDue(now time.Time) {
 		attempt int
 	}
 	var due []retx
+	var gaveUp []*flow
 	for _, fl := range flows {
 		fl.smu.Lock()
+		exhausted := false
 		for _, pp := range fl.unacked {
-			if now.After(pp.deadline) {
-				pp.attempts++
-				pp.rto *= 2
-				if pp.rto > maxRTO {
-					pp.rto = maxRTO
-				}
-				pp.deadline = now.Add(pp.rto)
-				pp.inflight++ // held until runAttempts finishes
-				r.backoffNS.Add(int64(pp.rto))
-				due = append(due, retx{fl, pp, pp.attempts})
+			if !now.After(pp.deadline) {
+				continue
 			}
+			if now.Sub(pp.firstTx) > r.retryBudget {
+				// The peer has been silent for the whole backoff budget:
+				// stop retrying and fail the flow with ErrPeerDead.
+				exhausted = true
+				break
+			}
+			pp.attempts++
+			pp.rto *= 2
+			if pp.rto > maxRTO {
+				pp.rto = maxRTO
+			}
+			pp.deadline = now.Add(pp.rto)
+			pp.inflight++ // held until runAttempts finishes
+			r.backoffNS.Add(int64(pp.rto))
+			due = append(due, retx{fl, pp, pp.attempts})
 		}
 		fl.smu.Unlock()
+		if exhausted {
+			gaveUp = append(gaveUp, fl)
+		}
+	}
+	for _, fl := range gaveUp {
+		r.budgetExceeded.Inc()
+		r.failFlow(fl, fmt.Errorf("mu: flow %v -> %v: retry budget %v exhausted: %w",
+			fl.key.src, fl.key.dst, r.retryBudget, ErrPeerDead))
 	}
 	for _, d := range due {
 		r.retransmits.Inc()
 		r.runAttempts(d.fl, d.pp, d.attempt)
 	}
+}
+
+// failFlow marks the flow permanently failed, releases its send window,
+// and wakes blocked senders. Idempotent; must be called without smu held.
+func (r *reliableLayer) failFlow(fl *flow, err error) {
+	fl.smu.Lock()
+	if fl.failed == nil {
+		fl.failed = err
+		r.peerDeadFails.Inc()
+		for seq, pp := range fl.unacked {
+			delete(fl.unacked, seq)
+			pp.acked = true // lifecycle-wise: leaves the window for good
+			if pp.inflight == 0 {
+				fl.recycle(pp)
+			}
+			r.unackedG.Dec()
+		}
+		fl.cond.Broadcast()
+	}
+	fl.smu.Unlock()
+}
+
+// nodeDead reports whether node n's death has been confirmed to the
+// reliable layer. Callers gate on deadCount first for the fast path.
+func (r *reliableLayer) nodeDead(n torus.Rank) bool {
+	r.fmu.Lock()
+	d := r.deadNodes[n]
+	r.fmu.Unlock()
+	return d
+}
+
+// MarkNodeDead tells the fabric that node's death has been confirmed
+// (by the health monitor): every flow touching the node fails with
+// ErrPeerDead — blocked senders wake, send windows release their pooled
+// buffers — and future sends to it fail fast. Idempotent; a no-op when
+// faults were never installed.
+func (f *Fabric) MarkNodeDead(node torus.Rank) {
+	if rl := f.rel.Load(); rl != nil {
+		rl.markNodeDead(node)
+	}
+}
+
+func (r *reliableLayer) markNodeDead(node torus.Rank) {
+	r.fmu.Lock()
+	if r.deadNodes[node] {
+		r.fmu.Unlock()
+		return
+	}
+	r.deadNodes[node] = true
+	r.deadCount.Add(1)
+	flows := make([]*flow, 0, len(r.flows))
+	for _, fl := range r.flows {
+		flows = append(flows, fl)
+	}
+	r.fmu.Unlock()
+	for _, fl := range flows {
+		sn, okS := r.f.TaskNode(fl.key.src.Task)
+		dn, okD := r.f.TaskNode(fl.key.dst.Task)
+		if (okS && sn == node) || (okD && dn == node) {
+			r.failFlow(fl, fmt.Errorf("mu: flow %v -> %v: node %d confirmed dead: %w",
+				fl.key.src, fl.key.dst, node, ErrPeerDead))
+		}
+	}
+}
+
+// quiesced verifies every flow between live nodes is idle: no delayed
+// packets awaiting re-delivery, empty retransmit windows, and empty
+// reorder buffers. Flows with a dead endpoint are skipped — a death
+// strands window state by design, and failFlow already released it.
+func (r *reliableLayer) quiesced() error {
+	r.dmu.Lock()
+	delayed := len(r.delayed)
+	r.dmu.Unlock()
+	if delayed > 0 {
+		return fmt.Errorf("mu: %d delayed packets still in flight", delayed)
+	}
+	r.fmu.Lock()
+	flows := make([]*flow, 0, len(r.flows))
+	for _, fl := range r.flows {
+		flows = append(flows, fl)
+	}
+	r.fmu.Unlock()
+	for _, fl := range flows {
+		sn, okS := r.f.TaskNode(fl.key.src.Task)
+		dn, okD := r.f.TaskNode(fl.key.dst.Task)
+		if (okS && r.nodeDead(sn)) || (okD && r.nodeDead(dn)) {
+			continue
+		}
+		fl.smu.Lock()
+		unacked, failed := len(fl.unacked), fl.failed
+		fl.smu.Unlock()
+		if failed != nil {
+			continue
+		}
+		if unacked > 0 {
+			return fmt.Errorf("mu: flow %v -> %v: %d packets unacknowledged", fl.key.src, fl.key.dst, unacked)
+		}
+		fl.rmu.Lock()
+		parked := len(fl.pending)
+		fl.rmu.Unlock()
+		if parked > 0 {
+			return fmt.Errorf("mu: flow %v -> %v: %d packets parked out of order", fl.key.src, fl.key.dst, parked)
+		}
+	}
+	return nil
 }
 
 // rdmaFaults models link-level recovery for put/remote-get traffic: the
@@ -673,6 +857,10 @@ func (r *reliableLayer) retransmitDue(now time.Time) {
 func (r *reliableLayer) rdmaFaults(srcTask, dstTask, mr, n int) error {
 	sn, okS := r.f.TaskNode(srcTask)
 	dn, okD := r.f.TaskNode(dstTask)
+	if r.deadCount.Load() > 0 && okD && r.nodeDead(dn) {
+		r.peerDeadFails.Inc()
+		return fmt.Errorf("mu: rdma to task %d on node %d: %w", dstTask, dn, ErrPeerDead)
+	}
 	if r.inj.HasDownLinks() && okS && okD {
 		if _, ok := r.routeInfo(sn, dn); !ok {
 			return fmt.Errorf("%w: node %d -> node %d", ErrNoRoute, sn, dn)
@@ -689,6 +877,12 @@ func (r *reliableLayer) rdmaFaults(srcTask, dstTask, mr, n int) error {
 	for c := 1; c <= chunks; c++ {
 		for attempt := 1; attempt <= maxRDMAAttempts; attempt++ {
 			stalled := r.inj.NotePacket(dn)
+			if r.inj.NodeFaulted(dn) {
+				// The target's MU died mid-operation; no amount of
+				// hardware retry completes the copy.
+				r.blackholed.Inc()
+				return fmt.Errorf("mu: rdma to task %d on node %d: %w", dstTask, dn, ErrPeerDead)
+			}
 			act := r.inj.Decide(h, uint64(c), attempt)
 			if stalled {
 				r.stallDrops.Inc()

@@ -142,7 +142,10 @@ func (n *Node) Send(dst mu.TaskAddr, hdr mu.Header, payload []byte) error {
 		msg.pbuf = bufpool.GetCopy(payload)
 		msg.Payload = msg.pbuf.Bytes()
 	}
-	d.q.Enqueue(msg)
+	if err := d.q.Enqueue(msg); err != nil {
+		msg.Release()
+		return fmt.Errorf("shmem: endpoint %v refused message: %w", dst, err)
+	}
 	d.received.Add(1)
 	n.sends.Add(1)
 	n.bytes.Add(int64(len(payload)))

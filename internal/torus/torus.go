@@ -363,6 +363,72 @@ func BuildTreeAvoiding(d Dims, rc Rectangle, root Rank, down func(from Rank, l L
 	return t, nil
 }
 
+// BuildTreeExcluding builds a spanning tree over the rectangle's
+// *surviving* nodes: nodes for which excluded reports true are left out
+// of the tree entirely, and links for which down reports true are never
+// used. It extends BuildTreeAvoiding from link faults to node faults:
+// classroute rebuilds use it after a node death so collectives keep a
+// connected combine tree over the remaining membership. The root must be
+// a surviving node. It returns an error when the exclusions and failed
+// links disconnect the surviving nodes.
+func BuildTreeExcluding(d Dims, rc Rectangle, root Rank, excluded func(Rank) bool, down func(from Rank, l Link) bool) (*Tree, error) {
+	if err := rc.Validate(d); err != nil {
+		return nil, err
+	}
+	if !rc.Contains(d.CoordOf(root)) {
+		return nil, fmt.Errorf("torus: root %d outside rectangle %v", root, rc)
+	}
+	if excluded != nil && excluded(root) {
+		return nil, fmt.Errorf("torus: root %d is excluded", root)
+	}
+	survivors := 0
+	for _, r := range rc.Ranks(d) {
+		if excluded == nil || !excluded(r) {
+			survivors++
+		}
+	}
+	t := &Tree{
+		Root:     root,
+		parent:   make(map[Rank]Rank),
+		children: make(map[Rank][]Rank),
+	}
+	visited := map[Rank]bool{root: true}
+	queue := []Rank{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		nc := d.CoordOf(n)
+		for dim := 0; dim < NumDims; dim++ {
+			for _, dir := range [2]int{+1, -1} {
+				cc := nc
+				cc[dim] += dir
+				if cc[dim] < rc.Lo[dim] || cc[dim] > rc.Hi[dim] {
+					continue // would leave the box (or wrap)
+				}
+				nb := d.RankOf(cc)
+				if visited[nb] ||
+					(excluded != nil && excluded(nb)) ||
+					(down != nil && down(n, Link{Dim: dim, Dir: dir})) {
+					continue
+				}
+				visited[nb] = true
+				t.parent[nb] = n
+				t.children[n] = append(t.children[n], nb)
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if len(visited) != survivors {
+		return nil, fmt.Errorf("torus: faults disconnect rectangle %v (%d of %d surviving nodes reachable from %d)",
+			rc, len(visited), survivors, root)
+	}
+	for p := range t.children {
+		cs := t.children[p]
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	}
+	return t, nil
+}
+
 // FirstLink returns the first link a deterministic route from a to b
 // traverses, and ok=false when a==b. Injection-FIFO pinning uses it.
 func (d Dims) FirstLink(a, b Rank) (Link, bool) {

@@ -25,6 +25,13 @@ go test -race -run TestChaos ./internal/integration
 go run ./cmd/pamirun -dims 2x2x1x1x1 -ppn 2 -deadline 120s \
 	-faults "drop=0.05,corrupt=0.02,dup=0.01" -fault-seed 7 >/dev/null
 
+echo "==> crash-recovery smoke (node death, checkpoint-restart, fixed seed)"
+go run ./cmd/pamirun -dims 2x2x2x1x1 -ppn 1 -deadline 120s \
+	-faults "crash@pkt=5000,node=3" -fault-seed 7 >/dev/null
+
+echo "==> fault-grammar fuzz (short deterministic run)"
+go test -run xxx -fuzz FuzzParsePlan -fuzztime 10s ./internal/fault >/dev/null
+
 echo "==> bench regression gate (Table 1 + Fig 5 vs BENCH_BASELINE.json)"
 # Best-of-3 ns/op absorbs scheduler noise; any allocs/op on the
 # zero-alloc set fails regardless. Refresh the baseline with
