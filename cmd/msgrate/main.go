@@ -7,6 +7,14 @@
 //	msgrate -layer pami -ppn 4
 //	msgrate -layer mpi -ppn 4 -commthreads
 //	msgrate -layer mpi -ppn 1 -wildcard
+//
+// A fault plan with a flood@ verb switches to the many-to-one overload
+// workload instead: `senders` tasks blast the flooded node's endpoint
+// and the run reports how flow control bounded the damage. Storm verbs
+// (drop/dup/corrupt) may ride along:
+//
+//	msgrate -faults "flood@node=0" -budget 64 -senders 32
+//	msgrate -faults "drop=0.10,flood@node=2" -budget 64
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"log"
 
 	"pamigo/internal/bench"
+	"pamigo/internal/fault"
 	"pamigo/internal/mpilib"
 )
 
@@ -27,7 +36,30 @@ func main() {
 	wildcard := flag.Bool("wildcard", false, "post receives with MPI_ANY_SOURCE (mpi layer)")
 	threadOpt := flag.Bool("threadopt", true, "use the thread-optimized MPI build")
 	stats := flag.Bool("stats", false, "print the machine's telemetry totals after the run")
+	faults := flag.String("faults", "", "fault plan; a flood@node=N verb selects the overload workload")
+	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the fault plan")
+	budget := flag.Int("budget", 0, "unexpected-message budget for the flood workload (0 = library default)")
+	senders := flag.Int("senders", 32, "flooding tasks for the flood workload")
 	flag.Parse()
+
+	if *faults != "" {
+		plan, err := fault.ParsePlan(*faults)
+		if err != nil {
+			log.Fatalf("msgrate: %v", err)
+		}
+		if !plan.HasFloods() {
+			log.Fatalf("msgrate: -faults needs a flood@node=N verb here (plain storms belong to pamirun)")
+		}
+		rep, snap, err := bench.OverloadFlood(*senders, *window, *budget, &plan, *faultSeed)
+		if err != nil {
+			log.Fatalf("msgrate: %v", err)
+		}
+		fmt.Println(rep)
+		if *stats {
+			fmt.Print(snap.RenderTotals())
+		}
+		return
+	}
 
 	switch *layer {
 	case "pami":

@@ -11,6 +11,7 @@ import (
 	"pamigo/internal/cnk"
 	"pamigo/internal/collnet"
 	"pamigo/internal/core"
+	"pamigo/internal/fault"
 	"pamigo/internal/machine"
 	"pamigo/internal/mu"
 )
@@ -90,12 +91,17 @@ func (b *ctrlBarrier) Await() error {
 		return nil
 	}
 	ch := b.ch
+	ord := int64(b.arrived)
 	b.mu.Unlock()
-	for {
+	// Epoch polling cadence comes from the fault-plan seed, desynchronized
+	// per arrival order — deterministic for a given plan, never in lockstep
+	// across parties.
+	seed := b.m.Config().FaultSeed
+	for step := int64(1); ; step++ {
 		select {
 		case <-ch:
 			return nil
-		case <-time.After(200 * time.Microsecond):
+		case <-time.After(fault.Jitter(seed, ord<<32|step, 100*time.Microsecond)):
 			if b.m.Epoch() != 0 {
 				return fmt.Errorf("membership changed at the control barrier: %w", mu.ErrEpochChanged)
 			}

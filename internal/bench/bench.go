@@ -11,7 +11,9 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"pamigo/internal/cnk"
@@ -314,9 +316,21 @@ func MessageRatePAMI(ppn, window, reps int) (float64, telemetry.Snapshot, error)
 			payload := make([]byte, 8)
 			for rep := 0; rep < reps; rep++ {
 				for k := 0; k < window; k++ {
-					if err := ctx.SendImmediate(dst, 1, nil, payload); err != nil {
-						runErr = err
-						return
+					for {
+						err := ctx.SendImmediate(dst, 1, nil, payload)
+						if err == nil {
+							break
+						}
+						if !errors.Is(err, core.ErrThrottled) {
+							runErr = err
+							return
+						}
+						// The receiver fell a full unexpected-message
+						// budget behind; the throttle is the flow-control
+						// contract working. Yield until it drains — the
+						// stall is honestly part of the measured rate.
+						ctx.Advance(64)
+						runtime.Gosched()
 					}
 				}
 			}

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"pamigo/internal/cnk"
+	"pamigo/internal/core"
+	"pamigo/internal/fault"
+	"pamigo/internal/machine"
+	"pamigo/internal/mu"
+	"pamigo/internal/telemetry"
+	"pamigo/internal/torus"
+)
+
+// FloodReport summarizes a many-to-one overload run: how the data plane
+// degraded (throttles, eager→rendezvous fallbacks) and how deep the
+// victim's reception FIFO actually got, against the budget that was
+// supposed to bound it.
+type FloodReport struct {
+	Senders   int
+	Messages  int   // per sender
+	Budget    int64 // unexpected-message budget in force
+	Delivered int64 // byte-exact messages absorbed by the victim
+	Corrupt   int64 // payload-pattern mismatches (must stay zero)
+	Throttled int64 // ErrThrottled refusals senders retried through
+	Fallbacks int64 // eager sends degraded to rendezvous
+	QueueHWM  int64 // victim reception-FIFO occupancy high-water mark
+	Elapsed   time.Duration
+}
+
+func (r FloodReport) String() string {
+	return fmt.Sprintf(
+		"flood: %d senders x %d msgs -> 1 victim in %v: delivered=%d corrupt=%d throttled=%d fallbacks=%d queueHWM=%d budget=%d",
+		r.Senders, r.Messages, r.Elapsed, r.Delivered, r.Corrupt,
+		r.Throttled, r.Fallbacks, r.QueueHWM, r.Budget)
+}
+
+// floodDims picks the smallest standard torus holding tasks nodes at PPN 1.
+func floodDims(tasks int) (torus.Dims, error) {
+	for _, d := range []torus.Dims{
+		{2, 2, 2, 1, 1}, {2, 2, 2, 2, 1}, {2, 2, 2, 2, 2},
+		{3, 3, 2, 2, 2}, {3, 3, 3, 2, 2},
+	} {
+		if d.Nodes() >= tasks {
+			return d, nil
+		}
+	}
+	return torus.Dims{}, fmt.Errorf("bench: flood of %d tasks exceeds the largest stock torus", tasks)
+}
+
+// OverloadFlood drives a sustained many-to-one eager flood: `senders`
+// tasks blast `messages` tiny payloads each at one victim endpoint that
+// is alive but deliberately slow to pick a protocol winner — the overload
+// scenario of paper §III.E. budget sets every client's unexpected-message
+// budget (0 keeps the default). A fault plan may ride along: flood@node
+// verbs move the victim, and drop/dup/corrupt storms arm the reliable
+// layer underneath the flood, proving the two protections compose.
+//
+// Senders alternate the two guarded paths — windowed Send (ModeAuto, so
+// congestion degrades it to rendezvous) and SendImmediate retried through
+// ErrThrottled — and the victim verifies every payload byte-for-byte.
+func OverloadFlood(senders, messages, budget int, plan *fault.Plan, seed int64) (FloodReport, telemetry.Snapshot, error) {
+	if senders < 1 || messages < 1 {
+		return FloodReport{}, telemetry.Snapshot{}, fmt.Errorf("bench: flood needs at least one sender and one message")
+	}
+	dims, err := floodDims(senders + 1)
+	if err != nil {
+		return FloodReport{}, telemetry.Snapshot{}, err
+	}
+	cfg := machine.Config{Dims: dims, PPN: 1}
+	victimNode := torus.Rank(0)
+	if plan != nil {
+		if err := plan.Validate(dims); err != nil {
+			return FloodReport{}, telemetry.Snapshot{}, err
+		}
+		cfg.Faults = plan
+		cfg.FaultSeed = seed
+		if targets := plan.FloodTargets(); len(targets) > 0 {
+			victimNode = targets[0]
+		}
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return FloodReport{}, telemetry.Snapshot{}, err
+	}
+	victim := core.Endpoint{Task: int(victimNode), Ctx: 0}
+	want := int64(senders) * int64(messages)
+
+	var (
+		got       atomic.Int64
+		corrupt   atomic.Int64
+		throttled atomic.Int64
+		runErr    atomic.Pointer[error]
+	)
+	fail := func(err error) { runErr.CompareAndSwap(nil, &err) }
+	// senderID(task) maps world ranks onto 1..senders skipping the victim.
+	senderID := func(task int) int {
+		if task > int(victimNode) {
+			return task
+		}
+		return task + 1
+	}
+
+	const dispatch = 1
+	const window = 64
+	start := time.Now()
+	m.Run(func(p *cnk.Process) {
+		client, err := core.NewClient(m, p, "flood")
+		if err != nil {
+			fail(err)
+			return
+		}
+		if budget > 0 {
+			client.UnexpectedBudget = budget
+		}
+		ctxs, err := client.CreateContexts(1)
+		if err != nil {
+			fail(err)
+			return
+		}
+		ctx := ctxs[0]
+		ctx.RegisterDispatch(dispatch, func(_ *core.Context, d *core.Delivery) {
+			check := func(payload []byte) {
+				if len(payload) == 8 {
+					sid := int(binary.LittleEndian.Uint32(payload[0:4]))
+					seq := binary.LittleEndian.Uint32(payload[4:8])
+					if sid >= 1 && sid <= senders && seq < uint32(messages) {
+						got.Add(1)
+						return
+					}
+				}
+				corrupt.Add(1)
+			}
+			if d.IsRendezvous() {
+				buf := make([]byte, d.Size)
+				if err := d.Receive(buf, func() { check(buf) }); err != nil {
+					fail(err)
+				}
+				return
+			}
+			check(d.Data)
+		})
+		g, err := client.WorldGeometry(ctx)
+		if err != nil {
+			fail(err)
+			return
+		}
+		g.Barrier()
+		me := p.TaskRank()
+		isVictim := torus.Rank(me) == victimNode
+		isSender := !isVictim && senderID(me) <= senders
+		switch {
+		case isVictim:
+			ctx.AdvanceUntil(func() bool {
+				return got.Load()+corrupt.Load() >= want || runErr.Load() != nil
+			})
+		case isSender:
+			id := senderID(me)
+			var outstanding atomic.Int64
+			payload := make([]byte, 8)
+			binary.LittleEndian.PutUint32(payload[0:4], uint32(id))
+			for seq := 0; seq < messages && runErr.Load() == nil; seq++ {
+				binary.LittleEndian.PutUint32(payload[4:8], uint32(seq))
+				if seq%4 == 3 {
+					// The single-packet path has no fallback: spin through
+					// ErrThrottled, advancing our own context between tries
+					// (the PAMI_EAGAIN idiom).
+					for {
+						err := ctx.SendImmediate(victim, dispatch, nil, payload)
+						if err == nil {
+							break
+						}
+						if !errors.Is(err, core.ErrThrottled) {
+							fail(err)
+							return
+						}
+						throttled.Add(1)
+						ctx.Advance(window)
+						runtime.Gosched()
+					}
+					continue
+				}
+				for outstanding.Load() >= window {
+					ctx.Advance(window)
+					runtime.Gosched()
+				}
+				outstanding.Add(1)
+				buf := append([]byte(nil), payload...)
+				err := ctx.Send(core.SendParams{
+					Dest:     victim,
+					Dispatch: dispatch,
+					Data:     buf,
+					OnDone:   func() { outstanding.Add(-1) },
+				})
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+			ctx.AdvanceUntil(func() bool {
+				return outstanding.Load() == 0 || runErr.Load() != nil
+			})
+		}
+		g.Barrier()
+	})
+
+	rep := FloodReport{
+		Senders:   senders,
+		Messages:  messages,
+		Budget:    int64(budget),
+		Delivered: got.Load(),
+		Corrupt:   corrupt.Load(),
+		Throttled: throttled.Load(),
+		Elapsed:   time.Since(start),
+	}
+	if budget <= 0 {
+		rep.Budget = core.DefaultUnexpectedBudget
+	}
+	if fifo, ok := m.Fabric().RecFIFOOf(mu.TaskAddr{Task: victim.Task, Ctx: victim.Ctx}); ok {
+		_, rep.QueueHWM = fifo.Occupancy()
+	}
+	snap := m.Telemetry().Snapshot()
+	counters, _ := snap.Totals()
+	rep.Fallbacks = counters["eager_fallbacks"]
+	if ep := runErr.Load(); ep != nil {
+		return rep, snap, *ep
+	}
+	if rep.Corrupt != 0 || rep.Delivered != want {
+		return rep, snap, fmt.Errorf("bench: flood lost integrity: %v (want %d delivered)", rep, want)
+	}
+	return rep, snap, nil
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"pamigo/internal/fault"
+)
+
+// TestOverloadFloodBounded drives a many-to-one flood with a deliberately
+// tiny unexpected-message budget and checks the overload contract: every
+// payload arrives byte-exact, senders were actually throttled and
+// degraded to rendezvous, the victim's queue high-water mark stays near
+// the budget instead of absorbing the whole storm, and the run leaks no
+// goroutines.
+func TestOverloadFloodBounded(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const senders, messages, budget = 15, 200, 64
+	rep, _, err := OverloadFlood(senders, messages, budget, nil, 1)
+	if err != nil {
+		t.Fatalf("OverloadFlood: %v", err)
+	}
+	t.Logf("%v", rep)
+	if rep.Delivered != int64(senders*messages) || rep.Corrupt != 0 {
+		t.Fatalf("integrity: %v", rep)
+	}
+	if rep.Throttled == 0 {
+		t.Errorf("budget %d never throttled an immediate send", budget)
+	}
+	if rep.Fallbacks == 0 {
+		t.Errorf("budget %d never degraded an eager send to rendezvous", budget)
+	}
+	// Gate checks race with in-flight deliveries, so allow one message of
+	// overshoot per concurrent sender — but nothing near the un-budgeted
+	// flood depth.
+	if max := int64(budget + senders); rep.QueueHWM > max {
+		t.Errorf("victim queue HWM %d exceeds budget %d + %d senders", rep.QueueHWM, budget, senders)
+	}
+	// The machine's goroutines (commthreads, fault daemon) must all be
+	// joined by Run's return; give the runtime a beat to retire them.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before flood, %d after", before, after)
+	}
+}
+
+// TestOverloadFloodUnderStorm composes the flood with a 10%% drop / dup /
+// corrupt storm aimed at the victim named by the flood@ verb: reliable
+// delivery and flow control must hold byte-exact delivery together.
+func TestOverloadFloodUnderStorm(t *testing.T) {
+	plan, err := fault.ParsePlan("drop=0.10,dup=0.05,corrupt=0.05,flood@node=2")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	const senders, messages, budget = 7, 120, 48
+	rep, _, err := OverloadFlood(senders, messages, budget, &plan, 7)
+	if err != nil {
+		t.Fatalf("OverloadFlood under storm: %v", err)
+	}
+	t.Logf("%v", rep)
+	if rep.Delivered != int64(senders*messages) || rep.Corrupt != 0 {
+		t.Fatalf("storm broke integrity: %v", rep)
+	}
+	// Duplicated and retransmitted packets are injected by the fault layer
+	// and the retransmit daemon, not by Send, so they land outside the
+	// sender-side budget gate. Each flow can have at most one reliable
+	// window of packets in flight, which bounds that slack.
+	if max := int64(budget + senders*64); rep.QueueHWM > max {
+		t.Errorf("victim queue HWM %d exceeds budget %d + storm slack %d", rep.QueueHWM, budget, senders*64)
+	}
+}

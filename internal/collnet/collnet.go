@@ -228,6 +228,7 @@ type ClassRoute struct {
 
 	mu       sync.Mutex
 	sessions map[uint64]*Session
+	retired  *sync.Cond // signalled under mu when a session retires or the route is freed
 }
 
 // Ranks returns the surviving participating node ranks in ascending order.
@@ -262,6 +263,13 @@ type Network struct {
 	nodesDown       *telemetry.Counter // node deaths observed
 	sessionsFailed  *telemetry.Counter // in-flight sessions failed by a death
 
+	// Inbox accounting: open sessions consume classroute credits, parked
+	// contributions consume receiver memory. The gauges' high-water marks
+	// bound both under any flood.
+	sessionsOpen *telemetry.Gauge   // sessions joined but not yet retired
+	inboxBytes   *telemetry.Gauge   // contribution bytes parked in open sessions
+	creditStalls *telemetry.Counter // Joins that blocked on a full session inbox
+
 	mu       sync.Mutex
 	inUse    map[torus.Rank]int
 	live     map[int]*ClassRoute                // allocated, not yet freed
@@ -288,6 +296,10 @@ func New(dims torus.Dims) *Network {
 		linksDown:       tele.Counter("links_down"),
 		nodesDown:       tele.Counter("nodes_down"),
 		sessionsFailed:  tele.Counter("sessions_failed"),
+
+		sessionsOpen: tele.Gauge("sessions_open"),
+		inboxBytes:   tele.Gauge("inbox_bytes"),
+		creditStalls: tele.Counter("session_credit_stalls"),
 
 		inUse:    make(map[torus.Rank]int),
 		live:     make(map[int]*ClassRoute),
@@ -350,6 +362,7 @@ func (n *Network) Allocate(rect torus.Rectangle, root torus.Rank) (*ClassRoute, 
 		net:      n,
 		sessions: make(map[uint64]*Session),
 	}
+	cr.retired = sync.NewCond(&cr.mu)
 	cr.ranks.Store(&ranks)
 	tree, degraded := n.buildTreeLocked(rect, root)
 	cr.tree.Store(tree)
@@ -536,14 +549,19 @@ func (n *Network) Free(cr *ClassRoute) {
 		return
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	for _, r := range *cr.ranks.Load() {
 		if n.inUse[r] > 0 {
 			n.inUse[r]--
 		}
 	}
 	delete(n.live, cr.ID)
-	cr.net = nil // a freed route cannot run collectives
+	n.mu.Unlock()
+	// A freed route cannot run collectives; wake anyone parked in Join
+	// waiting for a session credit that will now never be granted.
+	cr.mu.Lock()
+	cr.net = nil
+	cr.retired.Broadcast()
+	cr.mu.Unlock()
 }
 
 // InUse reports how many user classroute slots node r currently occupies.

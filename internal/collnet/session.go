@@ -21,6 +21,17 @@ const (
 	KindBarrier
 )
 
+// SessionCredits bounds how many sessions may be open on one classroute
+// at once — the collective network's inbox. Each open session parks up to
+// parties copies of its contribution, so without a bound a participant
+// racing ahead of slow peers (joining and contributing to ever-later
+// sequence numbers before anyone Waits) grows receiver memory without
+// limit. Past the cap, Join blocks until a session retires: the runaway
+// producer stalls instead of OOMing the inbox. Blocking collectives hold
+// at most two sessions open per route, so the cap only bites pipelined
+// (mis)use.
+const SessionCredits = 16
+
 // Session is one in-flight collective operation on a classroute. Node
 // processes Join the same sequence number, Contribute their local data,
 // and Wait for the network result. Combining happens in deterministic
@@ -37,6 +48,7 @@ type Session struct {
 
 	mu      sync.Mutex
 	contrib map[torus.Rank][]byte
+	parked  int64 // contribution bytes held until the session retires
 	arrived int
 	waited  int
 	done    chan struct{}
@@ -54,12 +66,27 @@ func (cr *ClassRoute) Join(seq uint64, kind Kind, op Op, dt DType, nbytes int) *
 	}
 	cr.mu.Lock()
 	defer cr.mu.Unlock()
-	if s, ok := cr.sessions[seq]; ok {
-		if s.kind != kind || s.op != op || s.dt != dt || s.nbytes != nbytes {
-			panic(fmt.Sprintf("collnet: session %d parameter mismatch: have (%v,%v,%v,%d), got (%v,%v,%v,%d)",
-				seq, s.kind, s.op, s.dt, s.nbytes, kind, op, dt, nbytes))
+	for {
+		if s, ok := cr.sessions[seq]; ok {
+			if s.kind != kind || s.op != op || s.dt != dt || s.nbytes != nbytes {
+				panic(fmt.Sprintf("collnet: session %d parameter mismatch: have (%v,%v,%v,%d), got (%v,%v,%v,%d)",
+					seq, s.kind, s.op, s.dt, s.nbytes, kind, op, dt, nbytes))
+			}
+			return s
 		}
-		return s
+		if len(cr.sessions) < SessionCredits {
+			break
+		}
+		// Inbox full: block until a session retires and frees a credit.
+		// Joining an already-open session (above) never blocks, so slow
+		// peers can always reach the sessions that will retire first.
+		if cr.net != nil {
+			cr.net.creditStalls.Inc()
+		}
+		cr.retired.Wait()
+		if cr.net == nil {
+			panic("collnet: classroute freed while waiting for a session credit")
+		}
 	}
 	s := &Session{
 		cr:      cr,
@@ -73,6 +100,9 @@ func (cr *ClassRoute) Join(seq uint64, kind Kind, op Op, dt DType, nbytes int) *
 		done:    make(chan struct{}),
 	}
 	cr.sessions[seq] = s
+	if cr.net != nil {
+		cr.net.sessionsOpen.Inc()
+	}
 	return s
 }
 
@@ -101,6 +131,10 @@ func (s *Session) Contribute(rank torus.Rank, data []byte) {
 		stored = append([]byte(nil), data...)
 	}
 	s.contrib[rank] = stored
+	s.parked += int64(len(stored))
+	if net := s.cr.net; net != nil {
+		net.inboxBytes.Update(int64(len(stored)))
+	}
 	s.arrived++
 	switch s.kind {
 	case KindBroadcast:
@@ -234,10 +268,21 @@ func (s *Session) WaitErr() ([]byte, error) {
 	}
 	last := s.waited >= parties
 	res, err := s.result, s.err
+	parked := s.parked
 	s.mu.Unlock()
 	if last {
 		s.cr.mu.Lock()
-		delete(s.cr.sessions, s.seq)
+		// A shrunken failed session can compute last more than once (the
+		// quorum drops while stragglers still Wait); retire exactly once
+		// so the credit and inbox accounting stay conserved.
+		if _, open := s.cr.sessions[s.seq]; open {
+			delete(s.cr.sessions, s.seq)
+			if net := s.cr.net; net != nil {
+				net.sessionsOpen.Dec()
+				net.inboxBytes.Update(-parked)
+			}
+			s.cr.retired.Broadcast()
+		}
 		s.cr.mu.Unlock()
 	}
 	return res, err

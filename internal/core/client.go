@@ -52,8 +52,19 @@ type Client struct {
 
 	// EagerThreshold is the message size (bytes) at or below which Send
 	// uses the eager protocol; larger messages use rendezvous. Mutable
-	// before communication starts.
+	// before communication starts. Under destination congestion the
+	// effective threshold adapts downward from this value and recovers
+	// additively (see flowcontrol.go).
 	EagerThreshold int
+
+	// UnexpectedBudget bounds how deep a destination's inbound queue may
+	// grow, in messages, before this client's senders stop committing
+	// eager payloads to it: Send falls back to rendezvous, SendImmediate
+	// fails with ErrThrottled. <= 0 disables the budget. Mutable before
+	// communication starts.
+	UnexpectedBudget int
+
+	fc flowControl
 }
 
 // DefaultEagerThreshold is the eager/rendezvous crossover, in bytes.
@@ -65,11 +76,12 @@ func NewClient(m *machine.Machine, proc *cnk.Process, name string) (*Client, err
 		return nil, fmt.Errorf("core: nil machine or process")
 	}
 	return &Client{
-		name:           name,
-		mach:           m,
-		proc:           proc,
-		tele:           m.Telemetry().Group("core"),
-		EagerThreshold: DefaultEagerThreshold,
+		name:             name,
+		mach:             m,
+		proc:             proc,
+		tele:             m.Telemetry().Group("core"),
+		EagerThreshold:   DefaultEagerThreshold,
+		UnexpectedBudget: DefaultUnexpectedBudget,
 	}, nil
 }
 
@@ -143,6 +155,7 @@ func (c *Client) CreateContexts(n int) ([]*Context, error) {
 			dispatch:  make(map[uint16]DispatchFn),
 			reasm:     make(map[reasmKey]*reasmState),
 			pending:   make(map[uint64]*pendingSend),
+			deferred:  make(map[Endpoint][]SendParams),
 			inbox:     make(map[inboxKey][]byte),
 			workBatch: make([]func(), advanceBatch),
 			pktBatch:  make([]mu.Packet, advanceBatch),

@@ -65,6 +65,16 @@ type Context struct {
 	inbox    map[inboxKey][]byte
 	inboxGen uint64
 
+	// deferred parks sends whose destination sat at or over the hard
+	// unexpected-message budget: the payload stays in our memory and the
+	// send is retried by Advance once pressure clears. Keyed per
+	// destination, and once a destination has a queue every later Send to
+	// it joins the tail, so point-to-point order survives the detour.
+	// deferredLen mirrors the total across destinations (checked on every
+	// Advance, so it must not cost a map walk).
+	deferred    map[Endpoint][]SendParams
+	deferredLen int
+
 	// epoch is the membership epoch this context last observed. Advance
 	// compares it against the machine's (one atomic load; always 0 when no
 	// failure detector is armed) and on a change cancels rendezvous sends
@@ -106,6 +116,12 @@ type ctxStats struct {
 	rdvCompleted   *telemetry.Counter // rendezvous sends acked
 	rdvLatencyNs   *telemetry.Counter // summed RTS→ack completion latency
 	rdvFailed      *telemetry.Counter // rendezvous sends cancelled: peer died
+
+	eagerFallbacks *telemetry.Counter // ModeAuto eager sends degraded to rendezvous: destination congested
+	throttled      *telemetry.Counter // SendImmediate calls refused with ErrThrottled
+	eagerThreshold *telemetry.Gauge   // effective adaptive eager threshold, bytes
+	inboxMsgs      *telemetry.Gauge   // software-collective fragments parked in the inbox (hwm = peak)
+	deferredSends  *telemetry.Gauge   // sends parked for an over-budget destination (hwm = peak)
 }
 
 func newCtxStats(reg *telemetry.Registry) *ctxStats {
@@ -121,6 +137,12 @@ func newCtxStats(reg *telemetry.Registry) *ctxStats {
 		rdvCompleted:   reg.Counter("rdv_completed"),
 		rdvLatencyNs:   reg.Counter("rdv_latency_ns"),
 		rdvFailed:      reg.Counter("rdv_failed"),
+
+		eagerFallbacks: reg.Counter("eager_fallbacks"),
+		throttled:      reg.Counter("throttled"),
+		eagerThreshold: reg.Gauge("eager_threshold"),
+		inboxMsgs:      reg.Gauge("inbox_msgs"),
+		deferredSends:  reg.Gauge("deferred_sends"),
 	}
 }
 
@@ -214,6 +236,9 @@ func (ctx *Context) Advance(max int) int {
 		ctx.cancelDeadSends()
 	}
 	n := 0
+	if ctx.deferredLen > 0 {
+		n += ctx.drainDeferred(max)
+	}
 	for n < max {
 		k := max - n
 		if k > len(ctx.workBatch) {
@@ -275,6 +300,13 @@ func (ctx *Context) AdvanceUntil(cond func() bool) {
 			if cond() {
 				return
 			}
+			if ctx.deferredLen > 0 {
+				// A deferred send is waiting for the destination's queue to
+				// drain, and that drain will not touch our wakeup region —
+				// poll instead of sleeping, yielding so the receiver runs.
+				runtime.Gosched()
+				continue
+			}
 			if ctx.work.Empty() && ctx.muRes.Rec.Empty() && ctx.shmDev.Empty() {
 				ctx.region.Wait(gen)
 			}
@@ -290,6 +322,7 @@ const advanceBatch = 64
 // completion callback fires exceptionally. Runs on the advancing thread
 // when Advance observes a membership epoch change.
 func (ctx *Context) cancelDeadSends() {
+	ctx.cancelDeadDeferred()
 	if len(ctx.pending) == 0 {
 		return
 	}
@@ -332,7 +365,7 @@ func (ctx *Context) Drain() {
 		for ctx.Advance(advanceBatch) > 0 {
 		}
 		if ctx.work.Empty() && ctx.muRes.Rec.Empty() && ctx.shmDev.Empty() &&
-			len(ctx.reasm) == 0 && len(ctx.pending) == 0 {
+			len(ctx.reasm) == 0 && len(ctx.pending) == 0 && ctx.deferredLen == 0 {
 			return
 		}
 		// Quiet but not quiescent: a rendezvous ack or a late packet is

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Sender-side flow control (overload protection for the data plane).
+//
+// The reliable-delivery layer paces each flow with receiver-granted
+// credits, but it is armed only when faults are installed; this file is
+// the layer above it, always on, and protocol-level rather than
+// packet-level. Two mechanisms:
+//
+//  1. An unexpected-message budget. Every client bounds how deep a
+//     destination's inbound queue may grow before its senders stop
+//     committing eager payloads to it. Send (ModeAuto) falls back to
+//     rendezvous — the payload stays in the sender's memory until the
+//     receiver pulls it, so receiver-side memory stays bounded — and
+//     SendImmediate, which has no rendezvous to fall back to, fails fast
+//     with ErrThrottled (the PAMI_EAGAIN idiom: advance your own context
+//     and retry).
+//
+//  2. An adaptive eager threshold. Each congestion observation halves the
+//     client's effective eager/rendezvous crossover (multiplicative
+//     decrease, floored at MinEagerThreshold); each uncongested eager
+//     send recovers it additively until it reaches the configured
+//     EagerThreshold again. Under a sustained many-to-one storm the
+//     client converges to shipping only small payloads eagerly, exactly
+//     the degradation §III.E prescribes for reception-FIFO pressure.
+//
+// Pressure is read from the destination's actual inbound queue (the
+// reception FIFO off node, the shared-memory queue on node) rather than
+// tracked with explicit credit messages: in this model senders can read
+// the receiver's occupancy as cheaply as hardware reads its FIFO free
+// space, and the figure is exact, not an estimate.
+
+// ErrThrottled reports that a send was refused because the destination's
+// inbound queue is over the client's unexpected-message budget. The
+// overload is transient by construction — the receiver is alive, just
+// behind — so callers advance their own context (draining acks and
+// handlers that free the receiver) and retry.
+var ErrThrottled = errors.New("core: destination over the unexpected-message budget")
+
+const (
+	// DefaultUnexpectedBudget is the per-destination inbound-queue depth,
+	// in messages, at which senders stop committing eager traffic.
+	// Generous: a healthy receiver drains its queue within one advance,
+	// so thousands of parked messages already signal a many-to-one storm.
+	DefaultUnexpectedBudget = 16384
+
+	// MinEagerThreshold floors the adaptive eager threshold: congestion
+	// never pushes the crossover below one packet's worth of payload
+	// minus headroom, so tiny messages keep their latency advantage.
+	MinEagerThreshold = 128
+
+	// eagerRecoveryStep is the additive-increase step, in bytes, by which
+	// an uncongested eager send raises the adaptive threshold back toward
+	// the configured one.
+	eagerRecoveryStep = 4
+)
+
+// flowControl is the client-wide adaptive state. The zero value means
+// "uncongested": the effective threshold tracks the configured one.
+type flowControl struct {
+	// eagerNow is the adaptive eager threshold in bytes; 0 means no
+	// congestion has been observed and Client.EagerThreshold applies.
+	eagerNow atomic.Int64
+}
+
+// eagerLimit returns the effective eager/rendezvous crossover in bytes.
+func (c *Client) eagerLimit() int {
+	if t := c.fc.eagerNow.Load(); t != 0 {
+		return int(t)
+	}
+	return c.EagerThreshold
+}
+
+// noteCongestion multiplicatively decreases the adaptive threshold.
+func (c *Client) noteCongestion() {
+	configured := int64(c.EagerThreshold)
+	floor := int64(MinEagerThreshold)
+	if floor > configured {
+		floor = configured
+	}
+	for {
+		cur := c.fc.eagerNow.Load()
+		base := cur
+		if base == 0 {
+			base = configured
+		}
+		next := base >> 1
+		if next < floor {
+			next = floor
+		}
+		if cur != 0 && next >= cur {
+			return // already at the floor
+		}
+		if c.fc.eagerNow.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// noteEagerOK additively recovers the adaptive threshold after an
+// uncongested eager send; on reaching the configured threshold the state
+// returns to zero (fully recovered). Losing a CAS race just skips one
+// recovery step.
+func (c *Client) noteEagerOK() {
+	cur := c.fc.eagerNow.Load()
+	if cur == 0 {
+		return
+	}
+	next := cur + eagerRecoveryStep
+	if next >= int64(c.EagerThreshold) {
+		next = 0
+	}
+	c.fc.eagerNow.CompareAndSwap(cur, next)
+}
+
+// destPressure reads the destination endpoint's inbound-queue occupancy
+// and the capacity of its lock-free array, through whichever transport a
+// send would take. ok is false when the destination is unknown (bootstrap
+// races resolve on the send itself, which has the authoritative error).
+func (ctx *Context) destPressure(dst Endpoint) (occ, arrayCap int64, ok bool) {
+	m := ctx.client.mach
+	if m.SameNode(ctx.addr.Task, dst.Task) {
+		return m.Shmem(ctx.client.proc.Node().Rank).Pressure(dst)
+	}
+	return m.Fabric().InboundPressure(dst)
+}
+
+// destCongested reports whether eager traffic to dst should degrade to
+// rendezvous: the destination's inbound queue has reached half the
+// client's unexpected-message budget. The half is deliberate — it puts
+// graceful degradation (rendezvous keeps completing once matched, the
+// payload just stays at the sender) well before SendImmediate's hard
+// refusal at the full budget, and far above any backlog a healthy
+// receiver accumulates. Mere array spill is NOT congestion: programs
+// legitimately flood thousands of small unexpected messages and drain
+// them later, and an eager send must still complete locally then.
+func (ctx *Context) destCongested(dst Endpoint) bool {
+	budget := int64(ctx.client.UnexpectedBudget)
+	if budget <= 0 {
+		return false
+	}
+	occ, _, ok := ctx.destPressure(dst)
+	return ok && occ >= budget/2
+}
+
+// hardCongested reports whether the destination sits at or over the full
+// unexpected-message budget — the point where Send stops emitting even
+// rendezvous RTS packets and parks the send in the deferred queue, so the
+// destination's inbound packet queue itself stays bounded by the budget.
+func (ctx *Context) hardCongested(dst Endpoint) bool {
+	_, _, over := ctx.overBudget(dst)
+	return over
+}
+
+// overBudget is SendImmediate's hard gate: true only past the configured
+// budget itself, never at mere array spill — the immediate path stays
+// usable under ordinary bursts and refuses only genuine overload.
+func (ctx *Context) overBudget(dst Endpoint) (occ, budget int64, over bool) {
+	budget = int64(ctx.client.UnexpectedBudget)
+	if budget <= 0 {
+		return 0, 0, false
+	}
+	occ, _, ok := ctx.destPressure(dst)
+	return occ, budget, ok && occ >= budget
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"pamigo/internal/lockless"
+	"pamigo/internal/mu"
+	"pamigo/internal/torus"
+)
+
+// TestBackpressureWrappedAcrossLayers drives a send from the core layer
+// into a saturated reception FIFO and checks that the queue-level
+// sentinel survives every wrap on the way up: errors.Is must see
+// lockless.ErrBackpressure from a core call site, and the message must
+// name the refusing endpoint so the operator knows which flow died.
+func TestBackpressureWrappedAcrossLayers(t *testing.T) {
+	m := newTestMachine(t, torus.Dims{2, 1, 1, 1, 1}, 1)
+	sc, sctx := newClientCtx(t, m, 0)
+	_, rctx := newClientCtx(t, m, 1)
+	rctx.RegisterDispatch(1, func(_ *Context, _ *Delivery) {})
+	sctx.RegisterDispatch(1, func(_ *Context, _ *Delivery) {})
+	sc.UnexpectedBudget = 0 // disable the budget gate: we want the raw queue refusal
+	dst := rctx.Endpoint()
+	fifo, ok := m.Fabric().RecFIFOOf(mu.TaskAddr{Task: dst.Task, Ctx: dst.Ctx})
+	if !ok {
+		t.Fatal("receiver FIFO not registered")
+	}
+	fifo.SetOverflowCap(4)
+	var refusal error
+	for i := 0; i < 10000; i++ {
+		if err := sctx.SendImmediate(dst, 1, nil, []byte{1}); err != nil {
+			refusal = err
+			break
+		}
+	}
+	if refusal == nil {
+		t.Fatal("saturated FIFO never refused a send")
+	}
+	if !errors.Is(refusal, lockless.ErrBackpressure) {
+		t.Fatalf("refusal does not wrap lockless.ErrBackpressure: %v", refusal)
+	}
+	if !strings.Contains(refusal.Error(), "1.0") {
+		t.Fatalf("refusal %q does not name endpoint %v", refusal, dst)
+	}
+}
+
+// TestSendImmediateThrottledTyped floods past a tiny budget with nobody
+// draining and checks the typed refusal: errors.Is(err, ErrThrottled).
+func TestSendImmediateThrottledTyped(t *testing.T) {
+	m := newTestMachine(t, torus.Dims{2, 1, 1, 1, 1}, 1)
+	sc, sctx := newClientCtx(t, m, 0)
+	_, rctx := newClientCtx(t, m, 1)
+	rctx.RegisterDispatch(1, func(_ *Context, _ *Delivery) {})
+	sc.UnexpectedBudget = 4
+	dst := rctx.Endpoint()
+	var throttled error
+	for i := 0; i < 100; i++ {
+		if err := sctx.SendImmediate(dst, 1, nil, []byte{1}); err != nil {
+			throttled = err
+			break
+		}
+	}
+	if !errors.Is(throttled, ErrThrottled) {
+		t.Fatalf("over-budget immediate send = %v, want ErrThrottled", throttled)
+	}
+	// Draining the receiver clears the pressure; the same send succeeds.
+	rctx.Advance(64)
+	if err := sctx.SendImmediate(dst, 1, nil, []byte{1}); err != nil {
+		t.Fatalf("send after drain still refused: %v", err)
+	}
+}
+
+// TestDeferredSendsPreserveOrder pushes a burst of Sends far past the
+// hard budget so the tail parks in the deferred queue, then drains both
+// sides and checks every message arrived exactly once, in send order —
+// the point-to-point guarantee must survive the deferral detour.
+func TestDeferredSendsPreserveOrder(t *testing.T) {
+	m := newTestMachine(t, torus.Dims{2, 1, 1, 1, 1}, 1)
+	sc, sctx := newClientCtx(t, m, 0)
+	_, rctx := newClientCtx(t, m, 1)
+	sc.UnexpectedBudget = 8
+	var order []uint32
+	rctx.RegisterDispatch(1, func(_ *Context, d *Delivery) {
+		seq := binary.LittleEndian.Uint32(d.Meta)
+		if d.IsRendezvous() {
+			buf := make([]byte, d.Size)
+			if err := d.Receive(buf, func() { order = append(order, seq) }); err != nil {
+				t.Errorf("Receive: %v", err)
+			}
+			return
+		}
+		order = append(order, seq)
+	})
+	sctx.RegisterDispatch(1, func(_ *Context, _ *Delivery) {})
+
+	const msgs = 100
+	completions := 0
+	for i := 0; i < msgs; i++ {
+		meta := make([]byte, 4)
+		binary.LittleEndian.PutUint32(meta, uint32(i))
+		err := sctx.Send(SendParams{
+			Dest:     rctx.Endpoint(),
+			Dispatch: 1,
+			Meta:     meta,
+			Data:     []byte{byte(i)},
+			OnDone:   func() { completions++ },
+		})
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if sctx.stats.deferredSends.HighWater() == 0 {
+		t.Fatal("burst past the hard budget deferred nothing")
+	}
+	for len(order) < msgs || completions < msgs {
+		rctx.Advance(64)
+		sctx.Advance(64)
+	}
+	for i, seq := range order {
+		if seq != uint32(i) {
+			t.Fatalf("arrival %d has seq %d: deferral reordered the flow (%v...)", i, seq, order[:i+1])
+		}
+	}
+}
+
+// TestAdaptiveEagerThreshold checks the AIMD rules directly: congestion
+// halves the effective threshold down to the floor, uncongested eager
+// sends recover it additively, and full recovery snaps back to tracking
+// the configured value.
+func TestAdaptiveEagerThreshold(t *testing.T) {
+	m := newTestMachine(t, torus.Dims{2, 1, 1, 1, 1}, 1)
+	c, _ := newClientCtx(t, m, 0)
+	configured := c.EagerThreshold
+	if got := c.eagerLimit(); got != configured {
+		t.Fatalf("fresh client eagerLimit %d, want configured %d", got, configured)
+	}
+	c.noteCongestion()
+	if got := c.eagerLimit(); got != configured/2 {
+		t.Fatalf("after one congestion eagerLimit %d, want %d", got, configured/2)
+	}
+	for i := 0; i < 64; i++ {
+		c.noteCongestion()
+	}
+	floor := MinEagerThreshold
+	if configured < floor {
+		floor = configured
+	}
+	if got := c.eagerLimit(); got != floor {
+		t.Fatalf("sustained congestion eagerLimit %d, want floor %d", got, floor)
+	}
+	for i := 0; i < (configured-floor)/eagerRecoveryStep+2; i++ {
+		c.noteEagerOK()
+	}
+	if got := c.eagerLimit(); got != configured {
+		t.Fatalf("recovered eagerLimit %d, want configured %d", got, configured)
+	}
+	if v := c.fc.eagerNow.Load(); v != 0 {
+		t.Fatalf("recovered state %d, want 0 (tracking configured)", v)
+	}
+}

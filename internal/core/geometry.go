@@ -609,6 +609,12 @@ func (ctx *Context) handleCollMsg(hdr mu.Header, payload []byte) {
 		buf = append([]byte(nil), payload...)
 	}
 	ctx.inbox[key] = buf
+	// The inbox gauge is the collective layer's pressure signal: its
+	// high-water mark bounds how far any member ever ran ahead of the
+	// slowest one (inbox credits are implicit — the collective algorithms
+	// never send round k+1 before round k completes, so the gauge staying
+	// near the fan-in width is the invariant overload tests assert).
+	ctx.stats.inboxMsgs.Set(int64(len(ctx.inbox)))
 }
 
 // swSend ships a software-collective fragment to a geometry member. It
@@ -654,6 +660,7 @@ func (g *Geometry) swWait(src int, phase uint8, seq uint64) ([]byte, error) {
 		if ctx.TryLock() {
 			if v, ok := ctx.inbox[key]; ok {
 				delete(ctx.inbox, key)
+				ctx.stats.inboxMsgs.Set(int64(len(ctx.inbox)))
 				ctx.Unlock()
 				return v, nil
 			}

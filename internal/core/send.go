@@ -91,6 +91,22 @@ func (ctx *Context) SendImmediate(dst Endpoint, dispatch uint16, meta, data []by
 		return fmt.Errorf("core: SendImmediate of %d bytes exceeds the %d byte packet payload",
 			len(meta)+len(data), mu.MaxPayload)
 	}
+	if len(ctx.deferred[dst]) > 0 {
+		// Sends are already parked for this destination; letting the
+		// immediate path jump the queue would reorder the flow.
+		ctx.stats.throttled.Inc()
+		return fmt.Errorf("core: immediate send %v -> %v: %d sends deferred ahead of it: %w",
+			ctx.addr, dst, len(ctx.deferred[dst]), ErrThrottled)
+	}
+	if occ, budget, over := ctx.overBudget(dst); over {
+		// The immediate path has no rendezvous to degrade to: refuse the
+		// send outright rather than let an unbounded flood pile up at the
+		// receiver. PAMI_EAGAIN semantics — advance and retry.
+		ctx.stats.throttled.Inc()
+		ctx.client.noteCongestion()
+		return fmt.Errorf("core: immediate send %v -> %v: inbound queue at %d of budget %d: %w",
+			ctx.addr, dst, occ, budget, ErrThrottled)
+	}
 	ctx.sendSeq++
 	hdr := mu.Header{
 		Dispatch: dispatch,
@@ -114,20 +130,117 @@ func (ctx *Context) Send(p SendParams) error {
 	}
 	mode := p.Mode
 	if mode == ModeAuto {
-		if len(p.Data) <= ctx.client.EagerThreshold {
-			mode = ModeEager
+		if len(p.Data) <= ctx.client.eagerLimit() {
+			if ctx.destCongested(p.Dest) {
+				// Degrade gracefully: ship a rendezvous RTS (one header-sized
+				// packet) instead of committing the payload to a receiver
+				// that is not draining, and shrink the adaptive threshold.
+				ctx.stats.eagerFallbacks.Inc()
+				ctx.client.noteCongestion()
+				mode = ModeRendezvous
+			} else {
+				ctx.client.noteEagerOK()
+				mode = ModeEager
+			}
+			ctx.stats.eagerThreshold.Set(int64(ctx.client.eagerLimit()))
 		} else {
 			mode = ModeRendezvous
 		}
 	}
-	switch mode {
-	case ModeEager:
-		return ctx.sendEager(p)
-	case ModeRendezvous:
-		return ctx.sendRendezvous(p)
-	default:
+	if mode != ModeEager && mode != ModeRendezvous {
 		return fmt.Errorf("core: unknown send mode %d", mode)
 	}
+	// Hard budget: past it, even the RTS stays home. The send parks in the
+	// per-destination deferred queue (payload in our memory, retried by
+	// Advance), and once a destination has a queue every later Send joins
+	// the tail so point-to-point order survives the detour.
+	if len(ctx.deferred[p.Dest]) > 0 ||
+		(mode == ModeRendezvous && ctx.hardCongested(p.Dest)) {
+		p.Mode = mode
+		ctx.deferSend(p)
+		return nil
+	}
+	return ctx.sendResolved(mode, p)
+}
+
+// sendResolved dispatches a Send whose protocol has been decided.
+func (ctx *Context) sendResolved(mode SendMode, p SendParams) error {
+	if mode == ModeEager {
+		return ctx.sendEager(p)
+	}
+	return ctx.sendRendezvous(p)
+}
+
+// deferSend parks a protocol-resolved send for a destination that sits at
+// or over the hard unexpected-message budget.
+func (ctx *Context) deferSend(p SendParams) {
+	ctx.deferred[p.Dest] = append(ctx.deferred[p.Dest], p)
+	ctx.deferredLen++
+	ctx.stats.deferredSends.Set(int64(ctx.deferredLen))
+	ctx.client.noteCongestion()
+}
+
+// drainDeferred retries parked sends, oldest first per destination, while
+// the destination stays under the hard budget. A transport failure here
+// has no Send call to return through: it goes to the send's OnFail, or
+// panics like an in-handler failure would, so it cannot vanish.
+func (ctx *Context) drainDeferred(max int) int {
+	n := 0
+	for dst, q := range ctx.deferred {
+		for len(q) > 0 && n < max && !ctx.hardCongested(dst) {
+			p := q[0]
+			q[0] = SendParams{}
+			q = q[1:]
+			ctx.deferredLen--
+			n++
+			if err := ctx.sendResolved(p.Mode, p); err != nil {
+				if p.OnFail != nil {
+					p.OnFail(err)
+				} else {
+					panic(fmt.Sprintf("core: deferred send %v -> %v failed with no OnFail: %v",
+						ctx.addr, dst, err))
+				}
+			}
+		}
+		if len(q) == 0 {
+			delete(ctx.deferred, dst)
+		} else {
+			ctx.deferred[dst] = q
+		}
+		if n >= max {
+			break
+		}
+	}
+	if n > 0 {
+		ctx.stats.deferredSends.Set(int64(ctx.deferredLen))
+	}
+	return n
+}
+
+// cancelDeadDeferred drops deferred sends whose destination died: its
+// queue occupancy will never drain, so waiting on it would hang forever.
+// Callbacks fire exactly as rendezvous cancellation fires them.
+func (ctx *Context) cancelDeadDeferred() {
+	if ctx.deferredLen == 0 {
+		return
+	}
+	m := ctx.client.mach
+	for dst, q := range ctx.deferred {
+		if m.Alive(dst.Task) {
+			continue
+		}
+		delete(ctx.deferred, dst)
+		ctx.deferredLen -= len(q)
+		for _, p := range q {
+			err := fmt.Errorf("core: deferred send %v -> %v cancelled: %w", ctx.addr, dst, mu.ErrPeerDead)
+			if p.OnFail != nil {
+				p.OnFail(err)
+			} else if p.OnDone != nil {
+				p.OnDone()
+			}
+		}
+	}
+	ctx.stats.deferredSends.Set(int64(ctx.deferredLen))
 }
 
 // sendEager copies the payload into packets (or the shared-memory queue);

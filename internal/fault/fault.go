@@ -102,6 +102,15 @@ type NodeFault struct {
 	AfterPackets int64
 }
 
+// Flood is an overload injection: every task except those on Node
+// blasts eager traffic at Node's context 0 for the duration of the run.
+// Unlike the loss verbs it breaks nothing by itself — it exists to
+// prove the flow-control layer keeps the victim's queues bounded and
+// the senders throttled instead of the receiver OOMing.
+type Flood struct {
+	Node torus.Rank
+}
+
 // Plan is a complete fault scenario. The zero value injects nothing.
 type Plan struct {
 	// Drop, Corrupt, Duplicate, Delay are per-transmission-attempt
@@ -119,13 +128,30 @@ type Plan struct {
 
 	// NodeFaults are crash-stop node failures at given packet counts.
 	NodeFaults []NodeFault
+
+	// Floods are many-to-one overload targets; drivers that support the
+	// verb aim their traffic at these nodes.
+	Floods []Flood
 }
 
 // Active reports whether the plan injects any fault at all; an inactive
 // plan keeps the data plane on its zero-overhead fast path.
 func (p Plan) Active() bool {
 	return p.Drop > 0 || p.Corrupt > 0 || p.Duplicate > 0 || p.Delay > 0 ||
-		len(p.LinkDowns) > 0 || len(p.Stalls) > 0 || len(p.NodeFaults) > 0
+		len(p.LinkDowns) > 0 || len(p.Stalls) > 0 || len(p.NodeFaults) > 0 ||
+		len(p.Floods) > 0
+}
+
+// HasFloods reports whether the plan aims an overload flood anywhere.
+func (p Plan) HasFloods() bool { return len(p.Floods) > 0 }
+
+// FloodTargets returns the flooded nodes in plan order.
+func (p Plan) FloodTargets() []torus.Rank {
+	var ts []torus.Rank
+	for _, fl := range p.Floods {
+		ts = append(ts, fl.Node)
+	}
+	return ts
 }
 
 // HasNodeFaults reports whether the plan kills or freezes any node; the
@@ -164,6 +190,11 @@ func (p Plan) Validate(dims torus.Dims) error {
 		}
 		if nf.Kind != FaultCrash && nf.Kind != FaultHang {
 			return fmt.Errorf("fault: node fault kind %d malformed", nf.Kind)
+		}
+	}
+	for _, fl := range p.Floods {
+		if fl.Node < 0 || int(fl.Node) >= dims.Nodes() {
+			return fmt.Errorf("fault: flood node %d outside %v", fl.Node, dims)
 		}
 	}
 	return nil
@@ -464,4 +495,18 @@ func (in *Injector) DownFn() func(torus.Rank, torus.Link) bool {
 // decision functions take.
 func FlowHash(a, b, c, d int) uint64 {
 	return mix(uint64(a)<<48 ^ uint64(b)<<32 ^ uint64(c)<<16 ^ uint64(d) ^ 0xf1ab)
+}
+
+// Jitter derives a deterministic polling backoff in [base, 2*base)
+// from a fault-plan seed and a step ordinal. Chaos tests and demo
+// drivers use it instead of fixed wall-clock sleeps, so their timing
+// pattern is a pure function of the plan seed — replayable, and free
+// of the lockstep resonance that fixed sleep intervals produce across
+// concurrent pollers.
+func Jitter(seed int64, step int64, base time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	h := mix(uint64(seed)^0x9117e2b0057a11ed) ^ mix(uint64(step)+0x517)
+	return base + time.Duration(mix(h)%uint64(base))
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"pamigo/internal/torus"
 )
@@ -161,6 +162,51 @@ func TestStallWindow(t *testing.T) {
 	}
 	if in.NotePacket(0) {
 		t.Error("stall leaked onto another node")
+	}
+}
+
+func TestParsePlanFlood(t *testing.T) {
+	p, err := ParsePlan("flood@node=2,drop=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Active() || !p.HasFloods() || len(p.Floods) != 1 || p.Floods[0].Node != 2 {
+		t.Fatalf("flood clause wrong: %+v", p)
+	}
+	if ts := p.FloodTargets(); len(ts) != 1 || ts[0] != 2 {
+		t.Fatalf("FloodTargets wrong: %v", ts)
+	}
+	back, err := ParsePlan(p.String())
+	if err != nil || back.String() != p.String() {
+		t.Fatalf("flood round trip %q -> %q (%v)", p.String(), back.String(), err)
+	}
+	if _, err := ParsePlan("flood@node=x"); err == nil {
+		t.Error("flood@node=x accepted")
+	}
+	dims := torus.Dims{2, 2, 1, 1, 1}
+	if err := (Plan{Floods: []Flood{{Node: 99}}}).Validate(dims); err == nil {
+		t.Error("out-of-range flood node accepted")
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	base := 10 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	for step := int64(0); step < 64; step++ {
+		d := Jitter(7, step, base)
+		if d != Jitter(7, step, base) {
+			t.Fatalf("Jitter not deterministic at step %d", step)
+		}
+		if d < base || d >= 2*base {
+			t.Fatalf("Jitter(7,%d)=%v outside [base, 2*base)", step, d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("jitter shows no spread: %d distinct values", len(seen))
+	}
+	if Jitter(7, 1, 0) != 0 {
+		t.Fatal("zero base must yield zero jitter")
 	}
 }
 

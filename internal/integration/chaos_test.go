@@ -57,9 +57,11 @@ func runChaosJob(t *testing.T, cfg machine.Config, opts mpilib.Options, body fun
 	}
 	m.Shutdown()
 	// All commthreads and the retransmit daemon must be gone. The runtime
-	// needs a moment to unwind them, so poll before declaring a leak.
+	// needs a moment to unwind them, so poll before declaring a leak —
+	// on a cadence derived from the fault-plan seed, not the wall clock,
+	// so a given plan re-runs with identical timing behavior.
 	deadline := time.Now().Add(5 * time.Second)
-	for {
+	for step := int64(0); ; step++ {
 		if g := runtime.NumGoroutine(); g <= before {
 			break
 		}
@@ -68,7 +70,7 @@ func runChaosJob(t *testing.T, cfg machine.Config, opts mpilib.Options, body fun
 				before, runtime.NumGoroutine(), watchdog.Stacks())
 			break
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(fault.Jitter(cfg.FaultSeed, step, 5*time.Millisecond))
 	}
 	return m
 }

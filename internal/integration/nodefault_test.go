@@ -13,6 +13,7 @@ import (
 	"pamigo/internal/cnk"
 	"pamigo/internal/collnet"
 	"pamigo/internal/core"
+	"pamigo/internal/fault"
 	"pamigo/internal/machine"
 	"pamigo/internal/mu"
 	"pamigo/internal/torus"
@@ -53,7 +54,7 @@ func runNodeFaultJob(t *testing.T, cfg machine.Config, body func(m *machine.Mach
 	}
 	m.Shutdown()
 	deadline := time.Now().Add(5 * time.Second)
-	for {
+	for step := int64(0); ; step++ {
 		if g := runtime.NumGoroutine(); g <= before {
 			break
 		}
@@ -62,7 +63,8 @@ func runNodeFaultJob(t *testing.T, cfg machine.Config, body func(m *machine.Mach
 				before, runtime.NumGoroutine(), watchdog.Stacks())
 			break
 		}
-		time.Sleep(10 * time.Millisecond)
+		// Seed-derived cadence: a given fault plan re-runs identically.
+		time.Sleep(fault.Jitter(cfg.FaultSeed, step, 5*time.Millisecond))
 	}
 	return m
 }
@@ -331,12 +333,18 @@ func (b *stormBarrier) Await() error {
 		return nil
 	}
 	ch := b.ch
+	ord := int64(b.arrived)
 	b.mu.Unlock()
-	for {
+	// Poll cadence derives from the fault-plan seed, salted by arrival
+	// order: deterministic for a given plan, and parties never poll in
+	// lockstep (the wall-clock variant flaked when synchronized polls all
+	// sampled the epoch just before the flip).
+	seed := b.m.Config().FaultSeed
+	for step := int64(1); ; step++ {
 		select {
 		case <-ch:
 			return nil
-		case <-time.After(200 * time.Microsecond):
+		case <-time.After(fault.Jitter(seed, ord<<32|step, 100*time.Microsecond)):
 			if b.m.Epoch() != 0 {
 				return mu.ErrEpochChanged
 			}

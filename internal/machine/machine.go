@@ -112,7 +112,7 @@ func New(cfg Config) (*Machine, error) {
 			return nil, err
 		}
 		m.nodes = append(m.nodes, node)
-		m.shm = append(m.shm, shmem.NewNode())
+		m.shm = append(m.shm, shmem.NewNode(torus.Rank(r)))
 		for _, p := range node.Procs() {
 			fabric.MapTask(p.TaskRank(), torus.Rank(r))
 			m.tasks = append(m.tasks, p)

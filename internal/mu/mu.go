@@ -158,6 +158,12 @@ func (f *RecFIFO) Saturated() bool { return f.q.OverflowLen() >= f.q.OverflowCap
 // Region returns the wakeup region touched on every delivery.
 func (f *RecFIFO) Region() *wakeup.Region { return f.region }
 
+// SetOverflowCap bounds the FIFO's overflow queue: deliveries beyond the
+// lock-free array spill to the overflow until it holds n packets, after
+// which the FIFO refuses further traffic (Saturated). Drivers that model
+// a strict unexpected-message budget lower this from the default.
+func (f *RecFIFO) SetOverflowCap(n int) { f.q.SetOverflowCap(n) }
+
 // Received returns the number of packets delivered to this FIFO.
 func (f *RecFIFO) Received() int64 { return f.received.Load() }
 
@@ -298,9 +304,10 @@ type memregionKey struct {
 // per-node MUs, the task placement map, registered memory regions, and
 // packet delivery.
 type Fabric struct {
-	dims  torus.Dims
-	nodes []*NodeMU
-	tele  *telemetry.Registry
+	dims         torus.Dims
+	nodes        []*NodeMU
+	tele         *telemetry.Registry
+	recFIFOSlots int // lock-free array slots per reception FIFO
 
 	// Task placement and context registration are read on every send but
 	// written only at bootstrap, so readers go through copy-on-write maps
@@ -344,6 +351,7 @@ func NewFabric(dims torus.Dims, recFIFOSlots int) (*Fabric, error) {
 	f := &Fabric{
 		dims:         dims,
 		tele:         tele,
+		recFIFOSlots: recFIFOSlots,
 		memregions:   make(map[memregionKey][]byte),
 		packets:      tele.Counter("packets"),
 		bytes:        tele.Counter("bytes"),
@@ -446,6 +454,37 @@ func (f *Fabric) ContextRegistered(addr TaskAddr) bool {
 	return ok
 }
 
+// Congestion returns the fabric's per-link congestion sensor, or nil when
+// faults were never installed (the sensor rides on the reliable layer).
+func (f *Fabric) Congestion() *torus.Congestion {
+	if rl := f.rel.Load(); rl != nil {
+		return rl.cong
+	}
+	return nil
+}
+
+// InboundPressure reports the destination endpoint's reception FIFO
+// occupancy and the capacity of its lock-free array. Senders read it to
+// pace themselves before committing an eager message — the software
+// analogue of the MU reporting reception FIFO free space. ok is false
+// when the endpoint has no registered context.
+func (f *Fabric) InboundPressure(addr TaskAddr) (occ, arrayCap int64, ok bool) {
+	fifo, found := (*f.contexts.Load())[addr]
+	if !found {
+		return 0, 0, false
+	}
+	cur, _ := fifo.Occupancy()
+	return cur, int64(fifo.q.Cap()), true
+}
+
+// RecFIFOOf returns the reception FIFO registered for the endpoint, for
+// harnesses that tune its overflow cap or read its occupancy high-water
+// mark. ok is false when the endpoint has no registered context.
+func (f *Fabric) RecFIFOOf(addr TaskAddr) (*RecFIFO, bool) {
+	fifo, found := (*f.contexts.Load())[addr]
+	return fifo, found
+}
+
 // lookupContext resolves a destination endpoint's reception FIFO without
 // taking any lock — it sits on the per-packet injection path.
 func (f *Fabric) lookupContext(addr TaskAddr) (*RecFIFO, error) {
@@ -524,7 +563,7 @@ func (f *Fabric) InjectMemFIFO(inj *InjFIFO, dst TaskAddr, hdr Header, payload [
 	if total == 0 {
 		hdr.Offset = 0
 		pkt := Packet{Hdr: hdr, mbuf: mbuf}
-		if err := pkt.deliverTo(fifo); err != nil {
+		if err := pkt.deliverTo(fifo, dst); err != nil {
 			return err
 		}
 		f.account(hdr.Origin.Task, dst.Task, 1, PacketHeaderBytes)
@@ -545,7 +584,7 @@ func (f *Fabric) InjectMemFIFO(inj *InjFIFO, dst TaskAddr, hdr Header, payload [
 		}
 		pb := bufpool.GetCopy(payload[off:end])
 		pkt := Packet{Hdr: ph, Payload: pb.Bytes(), pbuf: pb, mbuf: pm}
-		if err := pkt.deliverTo(fifo); err != nil {
+		if err := pkt.deliverTo(fifo, dst); err != nil {
 			f.account(hdr.Origin.Task, dst.Task, npkts, int64(off)+npkts*PacketHeaderBytes)
 			return err
 		}
@@ -556,11 +595,15 @@ func (f *Fabric) InjectMemFIFO(inj *InjFIFO, dst TaskAddr, hdr Header, payload [
 }
 
 // deliverTo hands the packet to a reception FIFO, reclaiming its pooled
-// buffers if the FIFO refuses it under backpressure.
-func (p *Packet) deliverTo(fifo *RecFIFO) error {
+// buffers if the FIFO refuses it under backpressure. The error names the
+// flow (origin endpoint -> destination endpoint) and FIFO so callers up
+// in core/mpilib can both diagnose it and errors.Is-match the underlying
+// lockless.ErrBackpressure sentinel.
+func (p *Packet) deliverTo(fifo *RecFIFO, dst TaskAddr) error {
 	if err := fifo.deliver(*p); err != nil {
 		p.Release()
-		return fmt.Errorf("mu: rec FIFO %d refused packet: %w", fifo.id, err)
+		return fmt.Errorf("mu: rec FIFO %d of endpoint %v refused packet from %v: %w",
+			fifo.id, dst, p.Hdr.Origin, err)
 	}
 	return nil
 }

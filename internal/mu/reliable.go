@@ -53,6 +53,10 @@ const (
 	// many maxRTO periods is gone, not slow. It comfortably exceeds any
 	// recoverable chaos storm (RTO caps at 32ms).
 	defaultRetryBudget = 500 * time.Millisecond
+	// maxCreditGrant caps how many packets of credit one ack can extend
+	// a flow, whatever the reception FIFO's slack; it bounds the
+	// per-flow burst a momentarily idle receiver can invite.
+	maxCreditGrant = 256
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -110,6 +114,9 @@ type pendingPkt struct {
 	pkt      Packet
 	fifo     *RecFIFO
 	dstNode  torus.Rank
+	srcNode  torus.Rank
+	injLink  torus.Link // first link of the deterministic route; feeds congestion sensing
+	hasLink  bool
 	firstTx  time.Time // when the packet was staged; bounds total retry time
 	deadline time.Time
 	rto      time.Duration
@@ -123,6 +130,20 @@ type pendingPkt struct {
 // the sender's window under smu, the receiver's reorder buffer under
 // rmu. Lock ordering: rmu and smu are never held together except
 // rmu -> fifo internals; acks take smu only.
+//
+// Credit accounting (all under smu): creditLimit is the highest PktSeq
+// the receiver has authorized the sender to stage. It is a cumulative
+// grant that only ratchets upward — every ack carries a fresh
+// advertisement derived from the destination FIFO's slack, and the
+// retransmission daemon re-derives it for flows blocked with no ack in
+// flight — so duplicated or reordered grants are harmless, credits are
+// never negative, and at all times
+//
+//	creditLimit == (nextSeq-1) + outstanding,  outstanding >= 0
+//
+// where nextSeq-1 is the credits consumed (packets staged) and
+// outstanding is what the sender may still stage without hearing from
+// the receiver again.
 type flow struct {
 	key  flowKey
 	hash uint64
@@ -133,6 +154,17 @@ type flow struct {
 	unacked map[uint64]*pendingPkt
 	free    []*pendingPkt // recycled pendingPkt structs
 	failed  error         // set once, permanently: the peer is dead
+
+	creditLimit uint64   // highest stageable PktSeq (receiver-granted, ratchets up)
+	maxAcked    uint64   // highest PktSeq known delivered; base of daemon re-grants
+	lastFifo    *RecFIFO // destination FIFO; the daemon's credit refresh reads its slack
+
+	// Credit-stall liveness: while a sender is blocked on credit the
+	// daemon watches the destination FIFO. Any drain progress resets
+	// the clock; a receiver that absorbs nothing for the whole retry
+	// budget is declared dead, exactly as a silent ack path would be.
+	stallSince time.Time // zero when not credit-blocked
+	stallOcc   int64     // destination occupancy when the stall began
 
 	rmu     sync.Mutex
 	nextExp uint64
@@ -186,8 +218,13 @@ type reliableLayer struct {
 	dmu     sync.Mutex
 	delayed []delayedPkt
 
+	// cong is the per-link congestion sensor (FIFO-occupancy EWMA);
+	// route selection biases detours away from links it reports hot.
+	cong *torus.Congestion
+
 	rmu      sync.Mutex
 	routeGen int64
+	congGen  int64
 	routes   map[[2]torus.Rank]routeEntry
 
 	closed    atomic.Bool
@@ -212,6 +249,11 @@ type reliableLayer struct {
 	peerDeadFails  *telemetry.Counter
 	budgetExceeded *telemetry.Counter
 	fifoRefusals   *telemetry.Counter
+
+	creditsGranted  *telemetry.Counter // cumulative credit extended to senders
+	creditStalls    *telemetry.Counter // times a sender blocked on exhausted credit
+	creditRefreshes *telemetry.Counter // daemon re-grants to credit-blocked flows
+	hotLinks        *telemetry.Gauge   // links over the congestion threshold (hwm = worst heat)
 }
 
 // InstallFaults threads a fault injector through the fabric: every send
@@ -221,10 +263,18 @@ type reliableLayer struct {
 // retransmission daemon.
 func (f *Fabric) InstallFaults(inj *fault.Injector) {
 	g := f.tele.Group("reliable")
+	// A link counts as hot once its smoothed FIFO occupancy reaches half
+	// the reception array — backlog building faster than the consumer
+	// drains, well before overflow.
+	hotThreshold := f.recFIFOSlots / 2
+	if hotThreshold < 8 {
+		hotThreshold = 8
+	}
 	rl := &reliableLayer{
 		f:              f,
 		inj:            inj,
 		retryBudget:    defaultRetryBudget,
+		cong:           torus.NewCongestion(f.dims, hotThreshold),
 		flows:          make(map[flowKey]*flow),
 		deadNodes:      make(map[torus.Rank]bool),
 		routes:         make(map[[2]torus.Rank]routeEntry),
@@ -247,6 +297,11 @@ func (f *Fabric) InstallFaults(inj *fault.Injector) {
 		peerDeadFails:  g.Counter("peer_dead_fails"),
 		budgetExceeded: g.Counter("retry_budget_exceeded"),
 		fifoRefusals:   g.Counter("fifo_refusals"),
+
+		creditsGranted:  g.Counter("credits_granted"),
+		creditStalls:    g.Counter("credit_stalls"),
+		creditRefreshes: g.Counter("credit_refreshes"),
+		hotLinks:        g.Gauge("hot_links"),
 	}
 	inj.OnLinkDown(func(torus.Rank, torus.Link) { rl.linkDownEvents.Inc() })
 	f.rel.Store(rl)
@@ -286,6 +341,40 @@ func (r *reliableLayer) close() {
 	})
 }
 
+// creditFor derives the receiver's current credit advertisement for a
+// flow into fifo: the queue's remaining headroom — free lock-free array
+// slots plus what its bounded overflow still accepts — clamped to
+// [0, maxCreditGrant]. Senders therefore block (zero credit) shortly
+// *before* the overflow cap would hard-refuse deliveries: overload
+// becomes receiver-driven pacing instead of a refusal/retransmit storm,
+// and the receiver's memory stays bounded by the same cap as before.
+// Mutual traffic never deadlocks on this: the bound only bites once the
+// consumer has fallen a whole overflow budget behind, and the daemon
+// re-advertises (or, failing drain progress, kills the flow) on its own
+// goroutine.
+func creditFor(fifo *RecFIFO) uint64 {
+	h := fifo.q.Headroom()
+	if h < 0 {
+		h = 0
+	}
+	if h > maxCreditGrant {
+		h = maxCreditGrant
+	}
+	return uint64(h)
+}
+
+// grantLocked raises the flow's credit limit to the receiver's latest
+// advertisement and wakes blocked senders. Caller holds fl.smu.
+func (r *reliableLayer) grantLocked(fl *flow, limit uint64) {
+	if limit <= fl.creditLimit {
+		return
+	}
+	r.creditsGranted.Add(int64(limit - fl.creditLimit))
+	fl.creditLimit = limit
+	fl.stallSince = time.Time{}
+	fl.cond.Broadcast()
+}
+
 func (r *reliableLayer) flowFor(key flowKey) *flow {
 	r.fmu.Lock()
 	defer r.fmu.Unlock()
@@ -306,20 +395,26 @@ func (r *reliableLayer) flowFor(key flowKey) *flow {
 }
 
 // routeInfo returns the hop count of the (possibly detoured) route
-// between two nodes and whether one exists at all. Results are cached
-// per link-failure generation; the reroutes counter advances once per
-// (pair, generation) whose deterministic route is blocked.
+// between two nodes and whether one exists at all. Routes dodge failed
+// links (mandatory) and congestion-hot links (advisory: when no route
+// clears both, dead links win and the traffic rides the heat). Results
+// are cached per (link-failure, congestion) generation pair; the
+// reroutes counter advances once per (pair, generation) whose
+// deterministic route is blocked or biased away.
 func (r *reliableLayer) routeInfo(sn, dn torus.Rank) (int, bool) {
 	d := r.f.dims
 	downFn := r.inj.DownFn()
-	if downFn == nil {
+	hotFn := r.cong.HotFn()
+	if downFn == nil && hotFn == nil {
 		return d.Hops(sn, dn), true
 	}
 	gen := r.inj.DownGen()
+	cgen := r.cong.Gen()
 	key := [2]torus.Rank{sn, dn}
 	r.rmu.Lock()
-	if r.routeGen != gen {
+	if r.routeGen != gen || r.congGen != cgen {
 		r.routeGen = gen
+		r.congGen = cgen
 		r.routes = make(map[[2]torus.Rank]routeEntry)
 	}
 	if e, ok := r.routes[key]; ok {
@@ -329,7 +424,23 @@ func (r *reliableLayer) routeInfo(sn, dn torus.Rank) (int, bool) {
 	r.rmu.Unlock()
 
 	def := d.Route(sn, dn)
-	path, ok := d.RouteAround(sn, dn, downFn)
+	avoid := downFn
+	switch {
+	case downFn == nil:
+		avoid = hotFn
+	case hotFn != nil:
+		avoid = func(n torus.Rank, l torus.Link) bool { return downFn(n, l) || hotFn(n, l) }
+	}
+	path, ok := d.RouteAround(sn, dn, avoid)
+	if !ok && hotFn != nil {
+		// Heat alone must never partition the machine: retry avoiding only
+		// the links that are actually dead.
+		if downFn == nil {
+			path, ok = def, true
+		} else {
+			path, ok = d.RouteAround(sn, dn, downFn)
+		}
+	}
 	e := routeEntry{ok: ok}
 	if ok {
 		e.hops = len(path)
@@ -345,7 +456,7 @@ func (r *reliableLayer) routeInfo(sn, dn torus.Rank) (int, bool) {
 		}
 	}
 	r.rmu.Lock()
-	if _, dup := r.routes[key]; !dup && r.routeGen == gen {
+	if _, dup := r.routes[key]; !dup && r.routeGen == gen && r.congGen == cgen {
 		r.routes[key] = e
 		if e.rerouted {
 			r.reroutes.Inc()
@@ -356,10 +467,10 @@ func (r *reliableLayer) routeInfo(sn, dn torus.Rank) (int, bool) {
 }
 
 // routeHops reports the detoured hop count for traffic accounting; ok
-// is false when default accounting applies (no failed links, or the
-// pair is unreachable).
+// is false when default accounting applies (no failed links, no hot
+// links, or the pair is unreachable).
 func (r *reliableLayer) routeHops(sn, dn torus.Rank) (int, bool) {
-	if !r.inj.HasDownLinks() {
+	if !r.inj.HasDownLinks() && r.cong.HotCount() == 0 {
 		return 0, false
 	}
 	h, ok := r.routeInfo(sn, dn)
@@ -381,12 +492,19 @@ func (r *reliableLayer) injectMemFIFO(inj *InjFIFO, fifo *RecFIFO, dst TaskAddr,
 		r.peerDeadFails.Inc()
 		return fmt.Errorf("mu: send to task %d on node %d: %w", dst.Task, dstNode, ErrPeerDead)
 	}
-	if r.inj.HasDownLinks() {
-		if srcNode, ok := r.f.TaskNode(hdr.Origin.Task); ok {
-			if _, routeOK := r.routeInfo(srcNode, dstNode); !routeOK {
-				return fmt.Errorf("%w: node %d -> node %d", ErrNoRoute, srcNode, dstNode)
-			}
+	srcNode, srcOK := r.f.TaskNode(hdr.Origin.Task)
+	if r.inj.HasDownLinks() && srcOK {
+		if _, routeOK := r.routeInfo(srcNode, dstNode); !routeOK {
+			return fmt.Errorf("%w: node %d -> node %d", ErrNoRoute, srcNode, dstNode)
 		}
+	}
+	// The first link of the deterministic route is where this flow's
+	// traffic leaves the source node; deliveries attribute the
+	// destination FIFO's occupancy to it for congestion sensing.
+	var injLink torus.Link
+	hasLink := false
+	if srcOK {
+		injLink, hasLink = r.f.dims.FirstLink(srcNode, dstNode)
 	}
 	inj.injected.Add(1)
 	r.f.memFIFOSends.Add(1)
@@ -399,7 +517,7 @@ func (r *reliableLayer) injectMemFIFO(inj *InjFIFO, fifo *RecFIFO, dst TaskAddr,
 		hdr.Meta = mbuf.Bytes()
 	}
 	sendOne := func(ph Header, pb, pm *bufpool.Buf) error {
-		pp, err := r.stage(fl, ph, pb, pm, fifo, dstNode)
+		pp, err := r.stage(fl, ph, pb, pm, fifo, dstNode, srcNode, injLink, hasLink)
 		if err != nil {
 			pb.Release()
 			pm.Release()
@@ -440,17 +558,35 @@ func (r *reliableLayer) injectMemFIFO(inj *InjFIFO, fifo *RecFIFO, dst TaskAddr,
 }
 
 // stage assigns the packet its sequence number and checksum, waits for
-// window space, and records it as unacknowledged. The staged packet
-// takes ownership of the pooled payload (pb) and metadata (pm) slabs;
-// the window's reference is dropped when the packet is recycled after
-// its ack. On error the caller still owns the slabs.
-func (r *reliableLayer) stage(fl *flow, hdr Header, pb, pm *bufpool.Buf, fifo *RecFIFO, dstNode torus.Rank) (*pendingPkt, error) {
+// window space and receiver credit, and records it as unacknowledged.
+// The staged packet takes ownership of the pooled payload (pb) and
+// metadata (pm) slabs; the window's reference is dropped when the
+// packet is recycled after its ack. On error the caller still owns the
+// slabs.
+func (r *reliableLayer) stage(fl *flow, hdr Header, pb, pm *bufpool.Buf, fifo *RecFIFO, dstNode, srcNode torus.Rank, injLink torus.Link, hasLink bool) (*pendingPkt, error) {
 	var chunk []byte
 	if pb != nil {
 		chunk = pb.Bytes()
 	}
 	fl.smu.Lock()
-	for len(fl.unacked) >= sendWindow && !r.closed.Load() && fl.failed == nil {
+	if fl.lastFifo == nil {
+		fl.lastFifo = fifo
+		// Seed the flow's credit with the receiver's current slack; from
+		// here on only acks and the daemon extend it.
+		r.grantLocked(fl, creditFor(fifo))
+	}
+	stalled := false
+	for (len(fl.unacked) >= sendWindow || fl.nextSeq > fl.creditLimit) &&
+		!r.closed.Load() && fl.failed == nil {
+		if fl.nextSeq > fl.creditLimit && !stalled {
+			stalled = true
+			r.creditStalls.Inc()
+			if fl.stallSince.IsZero() {
+				occ, _ := fifo.Occupancy()
+				fl.stallSince = time.Now()
+				fl.stallOcc = occ
+			}
+		}
 		fl.cond.Wait()
 	}
 	if fl.failed != nil {
@@ -477,6 +613,9 @@ func (r *reliableLayer) stage(fl *flow, hdr Header, pb, pm *bufpool.Buf, fifo *R
 		pkt:      Packet{Hdr: hdr, Payload: chunk, pbuf: pb, mbuf: pm},
 		fifo:     fifo,
 		dstNode:  dstNode,
+		srcNode:  srcNode,
+		injLink:  injLink,
+		hasLink:  hasLink,
 		firstTx:  now,
 		deadline: now.Add(initialRTO),
 		rto:      initialRTO,
@@ -553,7 +692,15 @@ func (r *reliableLayer) attemptOnce(fl *flow, pp *pendingPkt, attempt int) attem
 		r.holdBack(fl, pkt, pp.fifo, attempt, r.inj.DelayFor(fl.hash, seq, attempt))
 		return outcomeLost
 	}
-	return r.deliver(fl, pkt, pp.fifo, attempt)
+	out := r.deliver(fl, pkt, pp.fifo, attempt)
+	if pp.hasLink {
+		// Feed the congestion sensor: the destination FIFO's occupancy,
+		// attributed to the link this flow's traffic leaves the source on.
+		occ, _ := pp.fifo.Occupancy()
+		r.cong.Observe(pp.srcNode, pp.injLink, occ)
+		r.hotLinks.Set(r.cong.HotCount())
+	}
+	return out
 }
 
 // deliver is the receiver side, run inline by fabric code (it models MU
@@ -573,7 +720,7 @@ func (r *reliableLayer) deliver(fl *flow, pkt Packet, fifo *RecFIFO, attempt int
 		r.dupDrops.Inc()
 		// Re-ack: the earlier ack may have been lost, leaving the sender
 		// retransmitting an already-delivered packet.
-		r.ack(fl, seq, attempt)
+		r.ack(fl, seq, attempt, fifo)
 		return outcomeDelivered
 	}
 	if fifo.Saturated() {
@@ -617,13 +764,18 @@ func (r *reliableLayer) deliver(fl *flow, pkt Packet, fifo *RecFIFO, attempt int
 		fl.nextExp++
 	}
 	fl.rmu.Unlock()
-	r.ack(fl, seq, attempt)
+	r.ack(fl, seq, attempt, fifo)
 	return outcomeDelivered
 }
 
 // ack acknowledges one sequence number back to the sender, subject to
-// ack loss on the reverse path.
-func (r *reliableLayer) ack(fl *flow, seq uint64, attempt int) {
+// ack loss on the reverse path. Every ack piggybacks the receiver's
+// current credit advertisement — the destination FIFO's slack — so
+// credit flows back on the very traffic it regulates; an ack lost on
+// the reverse path loses its grant too, and the daemon's refresh or
+// the next ack repairs it (grants are cumulative, so replays and
+// reordering are harmless).
+func (r *reliableLayer) ack(fl *flow, seq uint64, attempt int, fifo *RecFIFO) {
 	if r.inj.DropAck(fl.hash, seq, attempt) {
 		r.acksDropped.Inc()
 		return
@@ -639,6 +791,10 @@ func (r *reliableLayer) ack(fl *flow, seq uint64, attempt int) {
 		r.unackedG.Dec()
 		fl.cond.Broadcast()
 	}
+	if seq > fl.maxAcked {
+		fl.maxAcked = seq
+	}
+	r.grantLocked(fl, fl.maxAcked+creditFor(fifo))
 	fl.smu.Unlock()
 }
 
@@ -706,8 +862,30 @@ func (r *reliableLayer) retransmitDue(now time.Time) {
 	}
 	var due []retx
 	var gaveUp []*flow
+	var stalledOut []*flow
 	for _, fl := range flows {
 		fl.smu.Lock()
+		// Credit refresh: a flow blocked on credit with no ack in flight
+		// would otherwise never learn the receiver drained. Re-derive the
+		// advertisement from the destination FIFO; any drain progress also
+		// resets the stall clock, while a receiver that absorbed nothing
+		// for the whole retry budget is declared dead.
+		if fl.failed == nil && fl.lastFifo != nil && fl.nextSeq > fl.creditLimit {
+			if limit := fl.maxAcked + creditFor(fl.lastFifo); limit > fl.creditLimit {
+				r.creditRefreshes.Inc()
+				r.grantLocked(fl, limit)
+			} else if !fl.stallSince.IsZero() {
+				occ, _ := fl.lastFifo.Occupancy()
+				if occ < fl.stallOcc {
+					fl.stallSince = now
+					fl.stallOcc = occ
+				} else if now.Sub(fl.stallSince) > r.retryBudget {
+					fl.smu.Unlock()
+					stalledOut = append(stalledOut, fl)
+					continue
+				}
+			}
+		}
 		exhausted := false
 		for _, pp := range fl.unacked {
 			if !now.After(pp.deadline) {
@@ -737,6 +915,11 @@ func (r *reliableLayer) retransmitDue(now time.Time) {
 	for _, fl := range gaveUp {
 		r.budgetExceeded.Inc()
 		r.failFlow(fl, fmt.Errorf("mu: flow %v -> %v: retry budget %v exhausted: %w",
+			fl.key.src, fl.key.dst, r.retryBudget, ErrPeerDead))
+	}
+	for _, fl := range stalledOut {
+		r.budgetExceeded.Inc()
+		r.failFlow(fl, fmt.Errorf("mu: flow %v -> %v: receiver absorbed nothing for the credit-stall budget %v: %w",
 			fl.key.src, fl.key.dst, r.retryBudget, ErrPeerDead))
 	}
 	for _, d := range due {

@@ -22,6 +22,7 @@ import (
 	"pamigo/internal/bufpool"
 	"pamigo/internal/lockless"
 	"pamigo/internal/mu"
+	"pamigo/internal/torus"
 	"pamigo/internal/wakeup"
 )
 
@@ -81,6 +82,8 @@ func (d *Device) Received() int64 { return d.received.Load() }
 // Node is the per-node shared-memory segment: the registry mapping local
 // endpoints to their reception queues.
 type Node struct {
+	rank torus.Rank
+
 	mu  sync.RWMutex
 	eps map[mu.TaskAddr]*Device
 
@@ -88,9 +91,10 @@ type Node struct {
 	bytes atomic.Int64
 }
 
-// NewNode returns an empty shared-memory segment for one node.
-func NewNode() *Node {
-	return &Node{eps: make(map[mu.TaskAddr]*Device)}
+// NewNode returns an empty shared-memory segment for the node with the
+// given torus rank (the rank only labels errors and diagnostics).
+func NewNode(rank torus.Rank) *Node {
+	return &Node{rank: rank, eps: make(map[mu.TaskAddr]*Device)}
 }
 
 // Register creates and publishes the reception queue for a local endpoint.
@@ -144,13 +148,28 @@ func (n *Node) Send(dst mu.TaskAddr, hdr mu.Header, payload []byte) error {
 	}
 	if err := d.q.Enqueue(msg); err != nil {
 		msg.Release()
-		return fmt.Errorf("shmem: endpoint %v refused message: %w", dst, err)
+		return fmt.Errorf("shmem: endpoint %v on node %d refused message from %v: %w",
+			dst, n.rank, hdr.Origin, err)
 	}
 	d.received.Add(1)
 	n.sends.Add(1)
 	n.bytes.Add(int64(len(payload)))
 	d.region.Touch()
 	return nil
+}
+
+// Pressure reports the destination endpoint's queue occupancy and the
+// capacity of its lock-free array; ok is false when the endpoint is not
+// registered on this node. Senders read it to pace eager traffic before
+// committing a copy into shared memory.
+func (n *Node) Pressure(dst mu.TaskAddr) (occ, arrayCap int64, ok bool) {
+	n.mu.RLock()
+	d, found := n.eps[dst]
+	n.mu.RUnlock()
+	if !found {
+		return 0, 0, false
+	}
+	return int64(d.q.Len()), int64(d.q.Cap()), true
 }
 
 // Stats returns the cumulative message and payload-byte counts.

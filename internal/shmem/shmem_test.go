@@ -8,7 +8,7 @@ import (
 )
 
 func TestSendReceive(t *testing.T) {
-	n := NewNode()
+	n := NewNode(0)
 	dev, err := n.Register(mu.TaskAddr{Task: 1, Ctx: 0}, 16, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -30,7 +30,7 @@ func TestSendReceive(t *testing.T) {
 }
 
 func TestSendCopiesPayload(t *testing.T) {
-	n := NewNode()
+	n := NewNode(0)
 	dev, _ := n.Register(mu.TaskAddr{Task: 1}, 4, nil)
 	buf := []byte("before")
 	if err := n.Send(mu.TaskAddr{Task: 1}, mu.Header{}, buf); err != nil {
@@ -44,14 +44,14 @@ func TestSendCopiesPayload(t *testing.T) {
 }
 
 func TestSendUnknownEndpoint(t *testing.T) {
-	n := NewNode()
+	n := NewNode(0)
 	if err := n.Send(mu.TaskAddr{Task: 5}, mu.Header{}, nil); err == nil {
 		t.Fatal("send to unknown endpoint succeeded")
 	}
 }
 
 func TestRegisterDuplicate(t *testing.T) {
-	n := NewNode()
+	n := NewNode(0)
 	if _, err := n.Register(mu.TaskAddr{Task: 1}, 4, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestRegisterDuplicate(t *testing.T) {
 }
 
 func TestDeregister(t *testing.T) {
-	n := NewNode()
+	n := NewNode(0)
 	addr := mu.TaskAddr{Task: 2, Ctx: 1}
 	if _, err := n.Register(addr, 4, nil); err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func TestDeregister(t *testing.T) {
 }
 
 func TestWakeupTouchedOnSend(t *testing.T) {
-	n := NewNode()
+	n := NewNode(0)
 	dev, _ := n.Register(mu.TaskAddr{Task: 1}, 4, nil)
 	before, _ := dev.Region().Stats()
 	if err := n.Send(mu.TaskAddr{Task: 1}, mu.Header{}, []byte("x")); err != nil {
@@ -86,7 +86,7 @@ func TestWakeupTouchedOnSend(t *testing.T) {
 }
 
 func TestZeroByteMessage(t *testing.T) {
-	n := NewNode()
+	n := NewNode(0)
 	dev, _ := n.Register(mu.TaskAddr{Task: 1}, 4, nil)
 	if err := n.Send(mu.TaskAddr{Task: 1}, mu.Header{Seq: 1}, nil); err != nil {
 		t.Fatal(err)
@@ -98,7 +98,7 @@ func TestZeroByteMessage(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	n := NewNode()
+	n := NewNode(0)
 	n.Register(mu.TaskAddr{Task: 1}, 4, nil)
 	n.Send(mu.TaskAddr{Task: 1}, mu.Header{}, make([]byte, 10))
 	n.Send(mu.TaskAddr{Task: 1}, mu.Header{}, make([]byte, 5))
@@ -109,7 +109,7 @@ func TestStats(t *testing.T) {
 }
 
 func TestConcurrentProducersPerSourceFIFO(t *testing.T) {
-	n := NewNode()
+	n := NewNode(0)
 	dst := mu.TaskAddr{Task: 0}
 	dev, _ := n.Register(dst, 8, nil) // small array: exercise overflow
 	const producers = 8

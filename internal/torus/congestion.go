@@ -1,0 +1,140 @@
+package torus
+
+import "sync/atomic"
+
+// Congestion tracks a FIFO-occupancy EWMA per directed link of the
+// torus — the software analogue of the BG/Q network device's per-link
+// FIFO fill sensors. The reliable-delivery layer feeds it one occupancy
+// sample per delivered packet (attributed to the sender's injection
+// link toward the destination), and route selection consults HotFn to
+// bias detours away from links whose smoothed occupancy sits above the
+// hot threshold.
+//
+// All methods are safe for concurrent use. The EWMA is kept in Q16
+// fixed point in one atomic word per (node, link) cell:
+//
+//	ewma += (sample<<16 - ewma) >> ewmaShift
+//
+// i.e. alpha = 1/2^ewmaShift. Crossings of the hot threshold maintain a
+// global hot-link count and bump a generation counter, so route caches
+// can key on congestion state exactly like they key on link-down state.
+type Congestion struct {
+	dims      Dims
+	threshold int64 // hot threshold, Q16 fixed point
+	cells     []atomic.Int64
+
+	hotCount atomic.Int64 // links currently at or above threshold
+	gen      atomic.Int64 // bumped on every hot-set change
+}
+
+// ewmaShift sets the smoothing factor alpha = 1/8: a handful of calm
+// samples cools a hot link, one burst does not heat a cold one.
+const ewmaShift = 3
+
+// NewCongestion builds a congestion sensor for the machine shape. A
+// link is hot while its smoothed occupancy is at or above threshold
+// (in packets); threshold <= 0 disables sensing (HotFn always nil).
+func NewCongestion(d Dims, threshold int) *Congestion {
+	c := &Congestion{
+		dims:      d,
+		threshold: int64(threshold) << 16,
+	}
+	if threshold > 0 {
+		c.cells = make([]atomic.Int64, d.Nodes()*2*NumDims)
+	}
+	return c
+}
+
+// linkIndex flattens a directed link out of node n into a cell index.
+func (c *Congestion) linkIndex(n Rank, l Link) int {
+	di := l.Dim * 2
+	if l.Dir < 0 {
+		di++
+	}
+	return int(n)*2*NumDims + di
+}
+
+// Observe folds one FIFO-occupancy sample (in packets) into the EWMA of
+// the directed link out of node n, maintaining the hot count and
+// generation on threshold crossings.
+func (c *Congestion) Observe(n Rank, l Link, occupancy int64) {
+	if c == nil || c.cells == nil {
+		return
+	}
+	cell := &c.cells[c.linkIndex(n, l)]
+	s := occupancy << 16
+	for {
+		old := cell.Load()
+		next := old + (s-old)>>ewmaShift
+		if next == old && s != old {
+			// The shift floored the step to zero; nudge toward the sample
+			// so a sustained signal always converges.
+			if s > old {
+				next = old + 1
+			} else {
+				next = old - 1
+			}
+		}
+		if cell.CompareAndSwap(old, next) {
+			wasHot := old >= c.threshold
+			isHot := next >= c.threshold
+			if isHot != wasHot {
+				if isHot {
+					c.hotCount.Add(1)
+				} else {
+					c.hotCount.Add(-1)
+				}
+				c.gen.Add(1)
+			}
+			return
+		}
+	}
+}
+
+// Load returns the smoothed occupancy (in packets) of the directed link
+// out of node n.
+func (c *Congestion) Load(n Rank, l Link) float64 {
+	if c == nil || c.cells == nil {
+		return 0
+	}
+	return float64(c.cells[c.linkIndex(n, l)].Load()) / (1 << 16)
+}
+
+// Hot reports whether the directed link out of node n is currently
+// above the hot threshold.
+func (c *Congestion) Hot(n Rank, l Link) bool {
+	if c == nil || c.cells == nil {
+		return false
+	}
+	return c.cells[c.linkIndex(n, l)].Load() >= c.threshold
+}
+
+// HotCount returns the number of directed links currently hot.
+func (c *Congestion) HotCount() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hotCount.Load()
+}
+
+// Gen returns a generation counter bumped on every hot-set change;
+// route caches key on it the same way they key on the link-down
+// generation.
+func (c *Congestion) Gen() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.gen.Load()
+}
+
+// HotFn returns the hot-link predicate in the shape torus.RouteAround
+// consumes, or nil when no link is hot (the fault-free fast path).
+// Routing treats hot links as soft-down: a detour avoiding them is
+// preferred, but unlike a real link failure the caller falls back to
+// the congested route when no cool path exists.
+func (c *Congestion) HotFn() func(Rank, Link) bool {
+	if c == nil || c.cells == nil || c.hotCount.Load() == 0 {
+		return nil
+	}
+	return c.Hot
+}

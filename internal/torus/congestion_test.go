@@ -1,0 +1,92 @@
+package torus
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCongestionEWMAConvergesAndCrosses(t *testing.T) {
+	d := Dims{4, 2, 1, 1, 1}
+	c := NewCongestion(d, 8)
+	l := Link{Dim: 0, Dir: +1}
+
+	if c.Hot(0, l) || c.HotCount() != 0 || c.HotFn() != nil {
+		t.Fatalf("fresh sensor reports heat: hot=%v count=%d", c.Hot(0, l), c.HotCount())
+	}
+	// A sustained occupancy of 64 must cross the threshold of 8.
+	for i := 0; i < 64; i++ {
+		c.Observe(0, l, 64)
+	}
+	if got := c.Load(0, l); got < 8 {
+		t.Fatalf("EWMA %v did not converge toward 64", got)
+	}
+	if !c.Hot(0, l) || c.HotCount() != 1 {
+		t.Fatalf("link should be hot: hot=%v count=%d", c.Hot(0, l), c.HotCount())
+	}
+	if fn := c.HotFn(); fn == nil || !fn(0, l) {
+		t.Fatalf("HotFn should report the hot link")
+	}
+	gen := c.Gen()
+	if gen == 0 {
+		t.Fatalf("crossing the threshold must bump the generation")
+	}
+	// Cooling back below threshold flips it back and bumps the generation.
+	for i := 0; i < 256; i++ {
+		c.Observe(0, l, 0)
+	}
+	if c.Hot(0, l) || c.HotCount() != 0 {
+		t.Fatalf("link should have cooled: hot=%v count=%d load=%v", c.Hot(0, l), c.HotCount(), c.Load(0, l))
+	}
+	if c.Gen() == gen {
+		t.Fatalf("cooling must bump the generation")
+	}
+	if c.HotFn() != nil {
+		t.Fatalf("HotFn must be nil with no hot links")
+	}
+}
+
+func TestCongestionDisabledAndNil(t *testing.T) {
+	var c *Congestion
+	l := Link{Dim: 1, Dir: -1}
+	c.Observe(0, l, 100) // must not panic
+	if c.Hot(0, l) || c.HotCount() != 0 || c.HotFn() != nil || c.Gen() != 0 || c.Load(0, l) != 0 {
+		t.Fatalf("nil sensor must be inert")
+	}
+	d := Dims{2, 2, 1, 1, 1}
+	off := NewCongestion(d, 0)
+	off.Observe(1, l, 100)
+	if off.Hot(1, l) || off.HotFn() != nil {
+		t.Fatalf("threshold<=0 must disable sensing")
+	}
+}
+
+func TestCongestionConcurrentObserve(t *testing.T) {
+	d := Dims{4, 4, 2, 1, 1}
+	c := NewCongestion(d, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := Link{Dim: g % NumDims, Dir: 1 - 2*(g%2)}
+			n := Rank(g % d.Nodes())
+			for i := 0; i < 2000; i++ {
+				c.Observe(n, l, int64(i%128))
+			}
+		}()
+	}
+	wg.Wait()
+	// Hot count must agree with a full scan of the cells.
+	var scan int64
+	for n := 0; n < d.Nodes(); n++ {
+		for _, l := range Links() {
+			if c.Hot(Rank(n), l) {
+				scan++
+			}
+		}
+	}
+	if scan != c.HotCount() {
+		t.Fatalf("hot count %d disagrees with cell scan %d", c.HotCount(), scan)
+	}
+}

@@ -1,0 +1,132 @@
+package wakeup
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSpuriousWakeupsDoNotLoseWork models a throttled sender parked on a
+// region while unrelated traffic touches it constantly: every Wait return
+// where the sender's own condition is still false is, from its point of
+// view, spurious. The observe-recheck-wait protocol must shrug those off
+// — every produced item is claimed exactly once, nobody parks forever.
+func TestSpuriousWakeupsDoNotLoseWork(t *testing.T) {
+	r := NewRegion()
+	const consumers = 4
+	const items = 5000
+	var (
+		work    atomic.Int64 // produced-but-unclaimed items
+		claimed atomic.Int64
+		done    atomic.Bool
+		wg      sync.WaitGroup
+	)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				for {
+					n := work.Load()
+					if n == 0 {
+						break
+					}
+					if work.CompareAndSwap(n, n-1) {
+						claimed.Add(1)
+						break
+					}
+				}
+				if done.Load() && work.Load() == 0 {
+					return
+				}
+				gen := r.Gen()
+				if work.Load() == 0 && !done.Load() {
+					r.Wait(gen)
+				}
+			}
+		}()
+	}
+	// The noise goroutine touches without producing: every wakeup it
+	// causes is spurious for the consumers.
+	noiseStop := make(chan struct{})
+	var noise sync.WaitGroup
+	noise.Add(1)
+	go func() {
+		defer noise.Done()
+		for {
+			select {
+			case <-noiseStop:
+				return
+			default:
+				r.Touch()
+			}
+		}
+	}()
+	for i := 0; i < items; i++ {
+		work.Add(1)
+		r.Touch()
+	}
+	done.Store(true)
+	// Keep touching until everyone drained and exited: the done flag is
+	// not itself a store into the watched region.
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	deadline := time.After(30 * time.Second)
+	for {
+		r.Touch()
+		select {
+		case <-waited:
+			close(noiseStop)
+			noise.Wait()
+			if got := claimed.Load(); got != items {
+				t.Fatalf("claimed %d items, want %d", got, items)
+			}
+			return
+		case <-deadline:
+			t.Fatal("consumers still parked after 30s: lost wakeup under spurious touches")
+		default:
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+}
+
+// TestConcurrentTouchAllWakesThrottledWaiters parks one waiter per unit
+// region — the shape of a fleet of throttled senders sleeping until
+// pressure clears — while TouchAll storms from several goroutines
+// concurrently with fresh Gen observations. Every waiter must wake: the
+// generation protocol may not tear, deadlock, or skip a region.
+func TestConcurrentTouchAllWakesThrottledWaiters(t *testing.T) {
+	const regions = 8
+	const rounds = 2000
+	u := NewUnit(regions)
+	var woke atomic.Int64
+	var wg sync.WaitGroup
+	for round := 0; round < rounds; round++ {
+		woke.Store(0)
+		for i := 0; i < regions; i++ {
+			r := u.Region(i)
+			gen := r.Gen()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.Wait(gen)
+				woke.Add(1)
+			}()
+		}
+		// Two TouchAll stormers race each other and the parking waiters.
+		var stormers sync.WaitGroup
+		for s := 0; s < 2; s++ {
+			stormers.Add(1)
+			go func() {
+				defer stormers.Done()
+				u.TouchAll()
+			}()
+		}
+		stormers.Wait()
+		wg.Wait()
+		if got := woke.Load(); got != regions {
+			t.Fatalf("round %d: %d of %d waiters woke", round, got, regions)
+		}
+	}
+}

@@ -15,7 +15,7 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (telemetry + integration + hot layers)"
-go test -race ./internal/telemetry ./internal/integration ./internal/core ./internal/mpilib
+go test -race ./internal/telemetry ./internal/integration ./internal/core ./internal/mpilib ./internal/mu
 
 echo "==> go test -race -tags pamitrace ./internal/telemetry"
 go test -race -tags pamitrace ./internal/telemetry
@@ -28,6 +28,10 @@ go run ./cmd/pamirun -dims 2x2x1x1x1 -ppn 2 -deadline 120s \
 echo "==> crash-recovery smoke (node death, checkpoint-restart, fixed seed)"
 go run ./cmd/pamirun -dims 2x2x2x1x1 -ppn 1 -deadline 120s \
 	-faults "crash@pkt=5000,node=3" -fault-seed 7 >/dev/null
+
+echo "==> overload smoke (many-to-one flood, bounded queue HWM, no goroutine leaks, -race)"
+go test -race -run TestOverloadFlood ./internal/bench
+go run ./cmd/msgrate -faults "flood@node=0" -budget 64 -senders 32 -window 300 >/dev/null
 
 echo "==> fault-grammar fuzz (short deterministic run)"
 go test -run xxx -fuzz FuzzParsePlan -fuzztime 10s ./internal/fault >/dev/null
