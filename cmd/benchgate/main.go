@@ -42,6 +42,15 @@ type Entry struct {
 	// ZeroAlloc marks the zero-allocation set: any allocs/op at all fails
 	// the gate, independent of what the recorded baseline says.
 	ZeroAlloc bool `json:"zero_alloc,omitempty"`
+	// SpeedupVs names a reference benchmark in the same run; the gate then
+	// also tracks the ratio reference-ns/op over this-ns/op (the speedup
+	// of this benchmark relative to the reference) and fails when it
+	// drops below the recorded Speedup by more than the tolerance.
+	// Ratios are robust where absolute ns/op gates are not: both sides
+	// move together when the machine changes.
+	SpeedupVs string `json:"speedup_vs,omitempty"`
+	// Speedup is the recorded reference ratio for SpeedupVs entries.
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 func main() {
@@ -185,13 +194,22 @@ func writeBaseline(path string, got map[string]Entry) error {
 		TolerancePct: 10,
 		Benchmarks:   got,
 	}
-	// Preserve zero_alloc marks across -update runs.
+	// Preserve zero_alloc marks and speedup_vs links across -update runs;
+	// the recorded speedup itself is recomputed from the new numbers.
 	if old, err := readBaseline(path); err == nil {
 		for name, e := range b.Benchmarks {
-			if oe, ok := old.Benchmarks[name]; ok && oe.ZeroAlloc {
-				e.ZeroAlloc = true
-				b.Benchmarks[name] = e
+			oe, ok := old.Benchmarks[name]
+			if !ok {
+				continue
 			}
+			e.ZeroAlloc = oe.ZeroAlloc
+			if oe.SpeedupVs != "" {
+				e.SpeedupVs = oe.SpeedupVs
+				if ref, ok := got[oe.SpeedupVs]; ok && e.NsPerOp > 0 {
+					e.Speedup = ref.NsPerOp / e.NsPerOp
+				}
+			}
+			b.Benchmarks[name] = e
 		}
 	}
 	data, err := json.MarshalIndent(b, "", "  ")
@@ -236,6 +254,24 @@ func gate(base *Baseline, got map[string]Entry) bool {
 		default:
 			fmt.Printf("ok   %s: %.0f ns/op (baseline %.0f, +%.0f%% allowed), %d allocs/op\n",
 				name, have.NsPerOp, want.NsPerOp, base.TolerancePct, have.AllocsPerOp)
+		}
+		if want.SpeedupVs != "" && want.Speedup > 0 {
+			ref, ok := got[want.SpeedupVs]
+			switch floor := want.Speedup * (1 - base.TolerancePct/100); {
+			case !ok:
+				fmt.Printf("MISS %s: speedup reference %s not in this run\n", name, want.SpeedupVs)
+				failed = true
+			case have.NsPerOp <= 0:
+				fmt.Printf("MISS %s: no ns/op for speedup check\n", name)
+				failed = true
+			case ref.NsPerOp/have.NsPerOp < floor:
+				fmt.Printf("FAIL %s: speedup vs %s fell to %.3fx, baseline %.3fx (floor %.3fx)\n",
+					name, want.SpeedupVs, ref.NsPerOp/have.NsPerOp, want.Speedup, floor)
+				failed = true
+			default:
+				fmt.Printf("ok   %s: speedup vs %s %.3fx (baseline %.3fx, floor %.3fx)\n",
+					name, want.SpeedupVs, ref.NsPerOp/have.NsPerOp, want.Speedup, floor)
+			}
 		}
 	}
 	if failed {

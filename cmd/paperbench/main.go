@@ -28,6 +28,8 @@ import (
 	"pamigo/internal/machine"
 	"pamigo/internal/model"
 	"pamigo/internal/netsim"
+	"pamigo/internal/sim/des"
+	"pamigo/internal/sim/warp"
 	"pamigo/internal/torus"
 	"pamigo/internal/watchdog"
 	"pamigo/mpi"
@@ -37,6 +39,8 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|all")
 	verify := flag.Bool("verify", false, "cross-check the closed-form model against the packet-level DES (table3)")
+	engine := flag.String("engine", "seq", "DES backend for -verify: seq (sequential oracle) or warp (optimistic parallel)")
+	lps := flag.Int("lps", 1, "logical processes for -engine=warp (torus nodes shard onto LPs)")
 	stats := flag.Bool("stats", false, "run the functional machine on the table1/fig5 workloads and print its telemetry counters")
 	faults := flag.String("faults", "", "fault plan for a chaos shakedown of the functional machine (empty = off)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault decisions")
@@ -51,7 +55,7 @@ func main() {
 		return
 	}
 	if *verify {
-		verifyAgainstDES()
+		verifyAgainstDES(*engine, *lps)
 		return
 	}
 	if *stats {
@@ -142,22 +146,53 @@ func functionalStats() {
 	fmt.Print(mrSnap.RenderTotals())
 }
 
+// newDESEngine builds the packet-level simulation backend selected on
+// the command line: the sequential oracle or the optimistic Time Warp
+// engine with the requested LP count.
+func newDESEngine(engine string, lps int) des.Engine {
+	switch engine {
+	case "seq":
+		return des.NewSeq(lps)
+	case "warp":
+		return warp.New(lps, warp.Options{})
+	default:
+		fmt.Fprintf(os.Stderr, "paperbench: unknown -engine %q (want seq or warp)\n", engine)
+		os.Exit(2)
+		return nil
+	}
+}
+
 // verifyAgainstDES derives Table 3's rendezvous column a second way —
 // packet-level discrete-event simulation over contended links — and
-// prints it next to the closed-form model and the paper.
-func verifyAgainstDES() {
+// prints it next to the closed-form model and the paper. With
+// -engine=warp the simulation runs on the optimistic parallel backend
+// and every row is additionally cross-checked against a fresh run of
+// the sequential oracle: any divergence aborts.
+func verifyAgainstDES(engine string, lps int) {
 	p := model.Default()
 	np := netsim.DefaultParams()
 	dims := torus.Dims{3, 3, 3, 3, 3}
 	paper := map[int]float64{1: 3333, 2: 6625, 4: 13139, 10: 32355}
-	fmt.Println("Table 3 rendezvous column: paper vs closed-form model vs packet-level DES (MB/s)")
+	fmt.Printf("Table 3 rendezvous column: paper vs closed-form model vs packet-level DES (MB/s, engine=%s lps=%d)\n", engine, lps)
 	fmt.Printf("%10s %10s %10s %10s\n", "neighbors", "paper", "model", "DES")
 	for _, nb := range []int{1, 2, 4, 10} {
 		_, rdv := model.Table3Throughput(p, nb)
-		des, err := netsim.NeighborExchange(dims, np, nb, 1<<20, 2)
+		des, err := netsim.NeighborExchangeOn(newDESEngine(engine, lps), dims, np, nb, 1<<20, 2)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
+		}
+		if engine != "seq" {
+			oracle, err := netsim.NeighborExchange(dims, np, nb, 1<<20, 2)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+				os.Exit(1)
+			}
+			if des != oracle {
+				fmt.Fprintf(os.Stderr, "paperbench: %s engine diverged from sequential oracle at neighbors=%d: %.6f vs %.6f MB/s\n",
+					engine, nb, des, oracle)
+				os.Exit(1)
+			}
 		}
 		fmt.Printf("%10d %10.0f %10.0f %10.0f\n", nb, paper[nb], rdv, des)
 	}

@@ -1,0 +1,208 @@
+package netsim
+
+// Cross-engine coverage: the netsim suites replayed on every simulation
+// backend — the sequential oracle and the optimistic warp engine at 1,
+// 2 and 8 LPs — asserting the parallel backend reproduces the oracle's
+// packet schedule exactly (identical completion times, counters and
+// link occupancy, which is what "byte-identical" means at this layer:
+// every downstream number is a pure function of those).
+//
+// The collective suite (collective_test.go) is not parameterized: the
+// tree collectives are closed-form latency equations that never touch a
+// simulation engine.
+
+import (
+	"testing"
+
+	"pamigo/internal/sim"
+	"pamigo/internal/sim/des"
+	"pamigo/internal/sim/warp"
+	"pamigo/internal/torus"
+)
+
+// engineConfigs enumerates the backends under test. The tiny fossil
+// threshold forces frequent GVT rounds and fossil collection even on
+// short netsim runs; the windowed config additionally throttles
+// optimism so the window-blocked park/resume path sees netsim traffic.
+var engineConfigs = []struct {
+	name string
+	mk   func() des.Engine
+}{
+	{"seq1", func() des.Engine { return des.NewSeq(1) }},
+	{"warp1", func() des.Engine { return warp.New(1, warp.Options{FossilEvery: 64}) }},
+	{"warp2", func() des.Engine { return warp.New(2, warp.Options{FossilEvery: 64}) }},
+	{"warp8", func() des.Engine { return warp.New(8, warp.Options{FossilEvery: 64}) }},
+	{"warp8w", func() des.Engine {
+		return warp.New(8, warp.Options{FossilEvery: 64, Window: 5 * sim.Microsecond})
+	}},
+}
+
+func TestEnginesSmallMessageLatency(t *testing.T) {
+	// The exact-latency assertion of TestSmallMessageLatency must hold
+	// bit-for-bit on every backend, not just the oracle.
+	p := DefaultParams()
+	dst := torus.Rank(dims333.RankOf(torus.Coord{1, 1, 0, 0, 0})) // 2 hops
+	ser := sim.BytesTime(1, p.LinkBytesPerSec)
+	want := p.InjectOverhead + 2*(ser+p.HopLatency)
+	for _, cfg := range engineConfigs {
+		t.Run(cfg.name, func(t *testing.T) {
+			n, err := NewOn(dims333, p, cfg.mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var done sim.Time
+			if err := n.SendMessage(0, 0, dst, 1, func(d sim.Time) { done = d }); err != nil {
+				t.Fatal(err)
+			}
+			n.Run()
+			if done != want {
+				t.Fatalf("2-hop latency %v, want %v", done, want)
+			}
+		})
+	}
+}
+
+func TestEnginesSingleMessageBandwidth(t *testing.T) {
+	p := DefaultParams()
+	const size = 1 << 20
+	dst := dims333.Neighbor(0, torus.Link{Dim: 0, Dir: 1})
+	for _, cfg := range engineConfigs {
+		t.Run(cfg.name, func(t *testing.T) {
+			n, err := NewOn(dims333, p, cfg.mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var done sim.Time
+			if err := n.SendMessage(0, 0, dst, size, func(d sim.Time) { done = d }); err != nil {
+				t.Fatal(err)
+			}
+			n.Run()
+			if done == 0 {
+				t.Fatal("completion callback never fired")
+			}
+			tput := float64(size) / done.Seconds()
+			if tput < 0.95*p.LinkBytesPerSec || tput > 1.01*p.LinkBytesPerSec {
+				t.Fatalf("single flow throughput %.0f B/s, want ~%.0f", tput, p.LinkBytesPerSec)
+			}
+		})
+	}
+}
+
+// TestEnginesNeighborExchangeEquivalent is the headline cross-engine
+// check: the Table 3 rendezvous derivation must come out *identical* —
+// same simulated completion time, hence the same float to the last bit —
+// on the oracle and on every warp configuration.
+func TestEnginesNeighborExchangeEquivalent(t *testing.T) {
+	// 64 KB keeps the packet count (and -race runtime) bounded; the
+	// equivalence claim is exact equality, not an absolute-throughput
+	// window, so message size carries no test power here.
+	p := DefaultParams()
+	const size = 1 << 16
+	for _, nb := range []int{1, 4, 10} {
+		want, err := NeighborExchange(dims333, p, nb, size, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range engineConfigs[1:] {
+			got, err := NeighborExchangeOn(cfg.mk(), dims333, p, nb, size, 2)
+			if err != nil {
+				t.Fatalf("%s: %v", cfg.name, err)
+			}
+			if got != want {
+				t.Fatalf("%s neighbors=%d: %.6f MB/s diverges from oracle %.6f MB/s",
+					cfg.name, nb, got, want)
+			}
+		}
+	}
+}
+
+// TestEnginesUniformAllToAllEquivalent: heavy cross-LP contention — 26
+// nodes sharded over up to 8 LPs, every link shared — must still
+// reproduce the oracle's completion time and utilization profile
+// exactly.
+func TestEnginesUniformAllToAllEquivalent(t *testing.T) {
+	dims := torus.Dims{3, 3, 3, 1, 1}
+	p := DefaultParams()
+	wantEnd, wantMax, wantMean, err := UniformAllToAll(dims, p, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range engineConfigs[1:] {
+		end, max, mean, err := UniformAllToAllOn(cfg.mk(), dims, p, 4096)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		if end != wantEnd || max != wantMax || mean != wantMean {
+			t.Fatalf("%s: (end %v, max %.9f, mean %.9f) diverges from oracle (end %v, max %.9f, mean %.9f)",
+				cfg.name, end, max, mean, wantEnd, wantMax, wantMean)
+		}
+	}
+}
+
+// TestEnginesTransfersCounter checks the journaled in-event counter: on
+// the optimistic backend a rolled-back hop must take its link_transfers
+// increment back with it, so the committed total matches the oracle.
+func TestEnginesTransfersCounter(t *testing.T) {
+	p := DefaultParams()
+	var want int64 = -1
+	for _, cfg := range engineConfigs {
+		t.Run(cfg.name, func(t *testing.T) {
+			n, err := NewOn(dims333, p, cfg.mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := torus.Rank(dims333.RankOf(torus.Coord{1, 1, 1, 0, 0})) // 3 hops
+			for i := 0; i < 4; i++ {
+				if err := n.SendMessage(0, 0, dst, 2048, nil); err != nil {
+					t.Fatal(err)
+				}
+				if err := n.SendMessage(0, dst, 0, 2048, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			n.Run()
+			got, _ := n.Telemetry().Snapshot().Counter("link_transfers")
+			if want == -1 {
+				want = got
+				// 8 messages x 4 packets x 3 hops.
+				if want != 8*4*3 {
+					t.Fatalf("oracle link_transfers = %d, want %d", want, 8*4*3)
+				}
+			} else if got != want {
+				t.Fatalf("link_transfers = %d, oracle counted %d", got, want)
+			}
+		})
+	}
+}
+
+// TestEnginesFaultReroute replays the fault suite's reroute scenario on
+// every backend: detours and dead-link idleness are properties of the
+// committed schedule and must survive optimistic execution.
+func TestEnginesFaultReroute(t *testing.T) {
+	dims := torus.Dims{3, 1, 1, 1, 1}
+	for _, cfg := range engineConfigs {
+		t.Run(cfg.name, func(t *testing.T) {
+			n, err := NewOn(dims, DefaultParams(), cfg.mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			n.FailLink(0, torus.Link{Dim: torus.DimA, Dir: +1})
+			if err := n.SendMessage(0, 0, 1, 4096, nil); err != nil {
+				t.Fatal(err)
+			}
+			end := n.Run()
+			if v, _ := n.Telemetry().Snapshot().Counter("reroutes"); v != 1 {
+				t.Errorf("reroutes = %d, want 1", v)
+			}
+			util := n.LinkUtilization(end)
+			if u := util["0:A+"]; u != 0 {
+				t.Errorf("dead link 0:A+ carried traffic (utilization %v)", u)
+			}
+			for _, lk := range []string{"0:A-", "2:A-"} {
+				if util[lk] == 0 {
+					t.Errorf("detour link %s idle", lk)
+				}
+			}
+		})
+	}
+}

@@ -11,6 +11,16 @@
 // forward per hop (a conservative stand-in for the hardware's cut-through
 // that preserves bandwidth results exactly and inflates only the
 // per-packet latency term by hops×serialization).
+//
+// Execution is event-driven over the backend-neutral internal/sim/des
+// interface: every packet advances hop by hop as events on the logical
+// process that owns its current node (node rank mod LP count). New runs
+// on the sequential oracle; NewOn accepts any backend, in particular the
+// optimistic parallel engine internal/sim/warp — the per-node resource
+// sharding, journaled reservations, and Commit-deferred completion
+// callbacks below are exactly what lets the same model roll back cleanly
+// there. The cross-engine test suite asserts both backends produce
+// byte-identical packet schedules.
 package netsim
 
 import (
@@ -19,6 +29,7 @@ import (
 
 	"pamigo/internal/mu"
 	"pamigo/internal/sim"
+	"pamigo/internal/sim/des"
 	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
 )
@@ -53,15 +64,47 @@ type linkKey struct {
 	link torus.Link
 }
 
-// Network is one simulated fabric instance. Not safe for concurrent use;
-// a simulation run is single-threaded by construction.
+// message is one SendMessage call's run-time state. Route, resources and
+// owner LPs are resolved eagerly at SendMessage time — the resource maps
+// are never touched during the run, so hop events on different LPs share
+// nothing but the per-node resources they own. The arrival bookkeeping
+// at the bottom belongs exclusively to the destination's LP.
+type message struct {
+	size  int
+	npkts int
+
+	inject *sim.Resource
+	// links[h] carries hop h; hopLP[h] is the LP owning its upstream
+	// node (where the hop's reservation event executes); nextLP[h] is
+	// where the packet goes after hop h (the next hop's LP, or the
+	// destination LP for the last hop).
+	links  []*sim.Resource
+	hopLP  []int32
+	nextLP []int32
+
+	onDone func(sim.Time)
+
+	// Owned by the destination LP, mutated under journal.
+	arrived int
+	lastArr sim.Time
+}
+
+// Event payloads: plain values, as the optimistic backend requires.
+type evInject struct{ msg, pkt int32 }   // reserve the MU injection engine
+type evHop struct{ msg, pkt, hop int32 } // reserve one link, forward
+type evArrive struct{ msg, pkt int32 }   // packet complete at destination
+
+// Network is one simulated fabric instance. Building traffic
+// (SendMessage, FailLink) is not safe for concurrent use; the run phase
+// is parallelized internally by the chosen backend.
 type Network struct {
 	dims   torus.Dims
 	params Params
-	eng    sim.Engine
+	eng    des.Engine
 	links  map[linkKey]*sim.Resource
 	inject map[linkKey]*sim.Resource
 	down   map[linkKey]bool // failed directed links (cables fail both ways)
+	msgs   []*message
 
 	tele      *telemetry.Registry
 	packets   *telemetry.Counter
@@ -69,11 +112,19 @@ type Network struct {
 	hops      *telemetry.Counter // per-packet route lengths, summed
 	transfers *telemetry.Counter // individual link reservations
 	reroutes  *telemetry.Counter // messages detoured around failed links
-	finish    sim.Time           // latest packet arrival across all messages
 }
 
-// New builds a fabric for the given torus shape.
+// New builds a fabric for the given torus shape on the sequential
+// engine.
 func New(dims torus.Dims, p Params) (*Network, error) {
+	return NewOn(dims, p, des.NewSeq(1))
+}
+
+// NewOn builds a fabric running on an explicit simulation backend —
+// des.NewSeq(n) for the deterministic oracle, warp.New(n, ...) for the
+// optimistic parallel engine. Torus nodes are sharded onto the backend's
+// LPs by rank modulo LP count.
+func NewOn(dims torus.Dims, p Params, eng des.Engine) (*Network, error) {
 	if err := dims.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,6 +135,7 @@ func New(dims torus.Dims, p Params) (*Network, error) {
 	return &Network{
 		dims:      dims,
 		params:    p,
+		eng:       eng,
 		links:     make(map[linkKey]*sim.Resource),
 		inject:    make(map[linkKey]*sim.Resource),
 		down:      make(map[linkKey]bool),
@@ -100,8 +152,13 @@ func New(dims torus.Dims, p Params) (*Network, error) {
 // larger tree or direct snapshotting.
 func (n *Network) Telemetry() *telemetry.Registry { return n.tele }
 
-// Engine exposes the simulation clock (for scheduling custom traffic).
-func (n *Network) Engine() *sim.Engine { return &n.eng }
+// Backend exposes the simulation backend the fabric runs on.
+func (n *Network) Backend() des.Engine { return n.eng }
+
+// lpOf shards torus nodes over the backend's logical processes.
+func (n *Network) lpOf(node torus.Rank) int32 {
+	return int32(int(node) % n.eng.LPs())
+}
 
 func (n *Network) linkFor(node torus.Rank, l torus.Link) *sim.Resource {
 	k := linkKey{node, l}
@@ -183,9 +240,12 @@ func (n *Network) hopLink(cur, next torus.Rank) (torus.Link, error) {
 
 // SendMessage schedules a message of the given size from src to dst at
 // simulated time 'at'. The message is packetized; every packet follows
-// the deterministic dimension-ordered route, serializing on each
-// directed link. onDone (optional) fires when the last packet arrives.
-// Call Run afterwards to execute the simulation.
+// the deterministic dimension-ordered route, serializing on the MU
+// injection engine at the source and then on each directed link, hop by
+// hop as simulation events. onDone (optional) fires when the last packet
+// arrives; on the optimistic backend it is deferred until the arrival
+// can no longer be rolled back. Call Run afterwards to execute the
+// simulation.
 func (n *Network) SendMessage(at sim.Time, src, dst torus.Rank, size int, onDone func(done sim.Time)) error {
 	if src == dst {
 		return fmt.Errorf("netsim: message to self")
@@ -205,75 +265,123 @@ func (n *Network) SendMessage(at sim.Time, src, dst torus.Rank, size int, onDone
 			n.reroutes.Inc()
 		}
 	}
-	firstLink, err := n.hopLink(src, path[0])
-	if err != nil {
-		return err
-	}
+	// Resolve the whole route — links, resources, owner LPs — eagerly:
+	// route errors surface here, and the run phase then shares no maps
+	// across LPs.
 	npkts := (size + mu.MaxPayload - 1) / mu.MaxPayload
 	if npkts == 0 {
 		npkts = 1
 	}
+	m := &message{
+		size:   size,
+		npkts:  npkts,
+		onDone: onDone,
+		links:  make([]*sim.Resource, len(path)),
+		hopLP:  make([]int32, len(path)),
+		nextLP: make([]int32, len(path)),
+	}
+	cur := src
+	for h, next := range path {
+		l, err := n.hopLink(cur, next)
+		if err != nil {
+			return err
+		}
+		m.links[h] = n.linkFor(cur, l)
+		m.hopLP[h] = n.lpOf(cur)
+		if h == 0 {
+			m.inject = n.injectFor(src, l)
+		}
+		cur = next
+	}
+	for h := range path {
+		if h+1 < len(path) {
+			m.nextLP[h] = m.hopLP[h+1]
+		} else {
+			m.nextLP[h] = n.lpOf(dst)
+		}
+	}
 	n.packets.Add(int64(npkts))
 	n.bytes.Add(int64(size))
 	n.hops.Add(int64(npkts) * int64(len(path)))
-	remaining := size
-	var lastArrival sim.Time
-	injected := at
-	for p := 0; p < npkts; p++ {
-		payload := mu.MaxPayload
-		if payload > remaining {
-			payload = remaining
-		}
-		remaining -= payload
-		// Serialize payload bytes at the payload rate: the 32B header's
-		// wire time is already folded into the 1.8 GB/s payload figure
-		// (2 GB/s raw minus header and protocol overhead, paper §II.B).
-		ser := sim.BytesTime(int64(payloadOr1(payload)), n.params.LinkBytesPerSec)
-		// Injection engine at the source.
-		_, injDone := n.injectFor(src, firstLink).Reserve(injected, n.params.InjectOverhead)
-		injected = injDone
-		t := injDone
-		cur := src
-		for _, hop := range path {
-			l, err := n.hopLink(cur, hop)
-			if err != nil {
-				return err
-			}
-			_, done := n.linkFor(cur, l).Reserve(t, ser)
-			n.transfers.Inc()
-			t = done + n.params.HopLatency
-			cur = hop
-		}
-		if t > lastArrival {
-			lastArrival = t
-		}
-		if t > n.finish {
-			n.finish = t
-		}
-		if p == npkts-1 && onDone != nil {
-			final := lastArrival
-			n.eng.Schedule(final, func() { onDone(final) })
-		}
-	}
+	n.msgs = append(n.msgs, m)
+	n.eng.Post(int(m.hopLP[0]), at, evInject{msg: int32(len(n.msgs) - 1)})
 	return nil
 }
 
-func payloadOr1(p int) int {
+// payload returns packet pkt's payload size (full packets, then the
+// remainder; a zero-byte message still serializes one header byte).
+func (m *message) payload(pkt int32) int {
+	p := m.size - int(pkt)*mu.MaxPayload
+	if p > mu.MaxPayload {
+		p = mu.MaxPayload
+	}
 	if p < 1 {
-		return 1
+		p = 1
 	}
 	return p
 }
 
-// Run executes all scheduled events and returns the completion time of
-// the simulation: the latest packet arrival (link occupancy is computed
-// eagerly at SendMessage time; the event queue only carries callbacks).
-func (n *Network) Run() sim.Time {
-	end := n.eng.Run()
-	if n.finish > end {
-		end = n.finish
+// reserve books service on r at the current event's time, journaled so
+// the optimistic backend can undo it on rollback.
+func reserve(p des.Proc, r *sim.Resource, service sim.Time) (start, done sim.Time) {
+	freeAt, busy := r.State()
+	p.Journal(func() { r.SetState(freeAt, busy) })
+	return r.Reserve(p.Now(), service)
+}
+
+// HandleEvent implements des.Handler: the per-packet lifecycle
+// inject -> hop* -> arrive.
+func (n *Network) HandleEvent(p des.Proc, msg des.Msg) {
+	switch ev := msg.(type) {
+	case evInject:
+		m := n.msgs[ev.msg]
+		_, injDone := reserve(p, m.inject, n.params.InjectOverhead)
+		if int(ev.pkt)+1 < m.npkts {
+			// Next packet enters the injection engine when this one
+			// clears it, back to back.
+			p.Send(p.LP(), injDone, evInject{msg: ev.msg, pkt: ev.pkt + 1})
+		}
+		p.Send(p.LP(), injDone, evHop{msg: ev.msg, pkt: ev.pkt})
+
+	case evHop:
+		m := n.msgs[ev.msg]
+		// Serialize payload bytes at the payload rate: the 32B header's
+		// wire time is already folded into the 1.8 GB/s payload figure
+		// (2 GB/s raw minus header and protocol overhead, paper §II.B).
+		ser := sim.BytesTime(int64(m.payload(ev.pkt)), n.params.LinkBytesPerSec)
+		_, done := reserve(p, m.links[ev.hop], ser)
+		n.transfers.Inc()
+		p.Journal(func() { n.transfers.Add(-1) })
+		arr := done + n.params.HopLatency
+		if int(ev.hop)+1 < len(m.links) {
+			p.Send(int(m.nextLP[ev.hop]), arr, evHop{msg: ev.msg, pkt: ev.pkt, hop: ev.hop + 1})
+		} else {
+			p.Send(int(m.nextLP[ev.hop]), arr, evArrive{msg: ev.msg, pkt: ev.pkt})
+		}
+
+	case evArrive:
+		m := n.msgs[ev.msg]
+		oldArrived, oldLast := m.arrived, m.lastArr
+		p.Journal(func() { m.arrived, m.lastArr = oldArrived, oldLast })
+		m.arrived++
+		if t := p.Now(); t > m.lastArr {
+			m.lastArr = t
+		}
+		if m.arrived == m.npkts && m.onDone != nil {
+			final := m.lastArr
+			cb := m.onDone
+			p.Commit(func() { cb(final) })
+		}
+
+	default:
+		panic(fmt.Sprintf("netsim: unknown event %T", msg))
 	}
-	return end
+}
+
+// Run executes all scheduled traffic and returns the completion time of
+// the simulation: the latest packet arrival.
+func (n *Network) Run() sim.Time {
+	return n.eng.Run(n)
 }
 
 // Stats returns total packets and payload bytes moved.
@@ -299,7 +407,12 @@ func (n *Network) LinkUtilization(horizon sim.Time) map[string]float64 {
 // returns the aggregate throughput in MB/s. This is the rendezvous
 // (RDMA) data path: no CPU copies, links are the only resource.
 func NeighborExchange(dims torus.Dims, p Params, neighbors, size, iters int) (float64, error) {
-	n, err := New(dims, p)
+	return NeighborExchangeOn(des.NewSeq(1), dims, p, neighbors, size, iters)
+}
+
+// NeighborExchangeOn is NeighborExchange on an explicit backend.
+func NeighborExchangeOn(eng des.Engine, dims torus.Dims, p Params, neighbors, size, iters int) (float64, error) {
+	n, err := NewOn(dims, p, eng)
 	if err != nil {
 		return 0, err
 	}
@@ -341,7 +454,12 @@ func NeighborExchange(dims torus.Dims, p Params, neighbors, size, iters int) (fl
 // link utilization). On a symmetric torus, dimension-ordered routing
 // balances uniform traffic: max/mean stays near 1.
 func UniformAllToAll(dims torus.Dims, p Params, size int) (sim.Time, float64, float64, error) {
-	n, err := New(dims, p)
+	return UniformAllToAllOn(des.NewSeq(1), dims, p, size)
+}
+
+// UniformAllToAllOn is UniformAllToAll on an explicit backend.
+func UniformAllToAllOn(eng des.Engine, dims torus.Dims, p Params, size int) (sim.Time, float64, float64, error) {
+	n, err := NewOn(dims, p, eng)
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -1,0 +1,240 @@
+// Package des defines the engine-neutral discrete-event execution model
+// shared by the two simulation backends: the sequential oracle (Seq,
+// built on the untouched internal/sim event heap) and the optimistic
+// Time Warp engine (internal/sim/warp). Models written against this
+// interface run identically on both — the simtest harness relies on that
+// to prove the parallel engine byte-equivalent to the sequential one.
+//
+// The model is the classic logical-process decomposition: the event
+// space is sharded over LPs (logical processes), events are plain data
+// values (Msg) addressed to an LP at a simulated time, and a Handler
+// executes them. Because the optimistic backend must be able to undo,
+// re-execute, and cancel events, the execution contract is stricter than
+// internal/sim's raw closures:
+//
+//   - Events are values, not closures. The warp engine stores them in
+//     rollback history and matches anti-messages against them.
+//   - Handlers must be deterministic functions of (model state, event):
+//     same state + same event => same mutations, sends, and commits.
+//   - Every state mutation must be journaled first (Proc.Journal), so
+//     the optimistic engine can roll it back. The sequential backend
+//     never rolls back and discards journal entries.
+//   - Externally visible side effects (completion callbacks, I/O) must
+//     go through Proc.Commit; the optimistic engine defers them until
+//     GVT passes the event, the sequential engine runs them inline.
+package des
+
+import (
+	"fmt"
+	"math"
+
+	"pamigo/internal/sim"
+)
+
+// Msg is a model-defined event payload. It must be plain comparable-ish
+// data (typically a small struct), never a closure: backends store, log,
+// and cancel events by value.
+type Msg any
+
+// TimeMax is the "+infinity" simulated time: above every schedulable
+// event, used as the GVT of a finished simulation and as the idle floor
+// of an empty LP.
+const TimeMax = sim.Time(math.MaxInt64)
+
+// Key totally orders events, deterministically and identically on every
+// backend. Ordering is lexicographic over (At, Gen, Src, Seq):
+//
+//   - At is the event's simulated time.
+//   - Gen breaks same-time causal chains: an event sent with zero delay
+//     (at == now) carries its creator's generation + 1, so a child
+//     always sorts after the event that created it even at equal time.
+//     Events posted before Run and sends to a strictly later time are
+//     generation 0.
+//   - Src is the LP that sent the event (-1 for pre-run posts), and Seq
+//     is that sender's running send count. Committed execution is
+//     deterministic, so (Src, Seq) — and therefore the whole key — is
+//     reproducible run to run and across backends.
+//
+// Keys are unique: no two live events ever compare equal.
+type Key struct {
+	At  sim.Time
+	Gen uint32
+	Src int32
+	Seq uint64
+}
+
+// Less reports whether k orders strictly before o.
+func (k Key) Less(o Key) bool {
+	if k.At != o.At {
+		return k.At < o.At
+	}
+	if k.Gen != o.Gen {
+		return k.Gen < o.Gen
+	}
+	if k.Src != o.Src {
+		return k.Src < o.Src
+	}
+	return k.Seq < o.Seq
+}
+
+// String renders the key compactly for event logs; the equivalence
+// harness compares these byte for byte.
+func (k Key) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", int64(k.At), k.Gen, k.Src, k.Seq)
+}
+
+// Proc is the API an executing event handler sees. It is only valid for
+// the duration of the HandleEvent call that received it.
+type Proc interface {
+	// Now is the executing event's simulated time.
+	Now() sim.Time
+	// LP is the logical process the event executes on.
+	LP() int
+	// Key is the executing event's full ordering key (useful to seed
+	// deterministic per-event pseudo-randomness in models).
+	Key() Key
+	// Send schedules m on lp at absolute time at. at must be >= Now;
+	// sending into the past panics (causality violation in the model).
+	Send(lp int, at sim.Time, m Msg)
+	// Journal registers an undo for a state mutation the handler is
+	// about to make. Undos run in reverse order on rollback. A handler
+	// that mutates shared model state without journaling breaks the
+	// optimistic backend.
+	Journal(undo func())
+	// Commit registers an externally visible action (completion
+	// callback, output). It runs exactly once, only after the event can
+	// no longer be rolled back, in per-LP event order.
+	Commit(act func())
+}
+
+// Handler executes events. One Handler instance serves all LPs of a run;
+// per-LP state lives inside the model, and an event may only touch state
+// owned by the LP it executes on.
+type Handler interface {
+	HandleEvent(p Proc, m Msg)
+}
+
+// Engine is the shared backend interface. Implementations: Seq (this
+// package, the sequential oracle) and warp.Engine (optimistic parallel).
+type Engine interface {
+	// LPs is the number of logical processes.
+	LPs() int
+	// Post schedules an initial event before Run. Posted events carry
+	// Src -1 and fire in Post order at equal times.
+	Post(lp int, at sim.Time, m Msg)
+	// Run executes events until none remain and returns the final
+	// simulated time (the largest committed event time; 0 if no events
+	// ran). Run may be called once.
+	Run(h Handler) sim.Time
+	// Observe installs a committed-event log hook, called once per
+	// committed event in per-LP key order. On the parallel backend the
+	// hook is invoked from LP goroutines concurrently (never twice at
+	// once for the same lp); it must be safe for that. Install before
+	// Run.
+	Observe(fn func(lp int, k Key, m Msg))
+}
+
+// Item is one scheduled event: its ordering key, destination LP, and
+// payload. Shared by the backends' queues.
+type Item struct {
+	Key Key
+	LP  int32
+	Msg Msg
+}
+
+// Heap is a binary min-heap of Items ordered by Key. The zero value is
+// an empty heap.
+type Heap []Item
+
+// Len returns the number of queued items.
+func (h Heap) Len() int { return len(h) }
+
+// Min returns the smallest item without removing it.
+func (h Heap) Min() Item { return h[0] }
+
+// Push inserts an item.
+func (h *Heap) Push(it Item) {
+	*h = append(*h, it)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q[i].Key.Less(q[p].Key) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+// Pop removes and returns the smallest item.
+func (h *Heap) Pop() Item {
+	q := *h
+	it := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = Item{} // drop the Msg reference for GC
+	*h = q[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+	return it
+}
+
+// Remove deletes the item with exactly key k, reporting whether it was
+// present. Linear scan: removal only happens on anti-message
+// annihilation, which is rare relative to queue size.
+func (h *Heap) Remove(k Key) bool {
+	q := *h
+	for i := range q {
+		if q[i].Key == k {
+			n := len(q) - 1
+			q[i] = q[n]
+			q[n] = Item{}
+			*h = q[:n]
+			if i < n {
+				h.fix(i)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (h Heap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h[r].Key.Less(h[l].Key) {
+			m = r
+		}
+		if !h[m].Key.Less(h[i].Key) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// fix restores heap order around index i after an arbitrary replacement.
+func (h Heap) fix(i int) {
+	if i > 0 {
+		p := (i - 1) / 2
+		if h[i].Key.Less(h[p].Key) {
+			for i > 0 {
+				p = (i - 1) / 2
+				if !h[i].Key.Less(h[p].Key) {
+					return
+				}
+				h[i], h[p] = h[p], h[i]
+				i = p
+			}
+			return
+		}
+	}
+	h.siftDown(i)
+}

@@ -1,0 +1,146 @@
+package des
+
+import (
+	"fmt"
+
+	"pamigo/internal/sim"
+)
+
+// Seq is the sequential backend: the deterministic oracle the optimistic
+// engine is verified against. Scheduling and clock advance ride the
+// untouched internal/sim binary-heap Engine; Seq adds only the piece the
+// raw engine cannot express — the backend-neutral Key order within one
+// timestamp — by draining a per-timestamp bucket of pending events in
+// Key order from a single sim.Engine trampoline event.
+//
+// Seq never rolls back: Journal entries are discarded and Commit actions
+// run inline.
+type Seq struct {
+	eng     sim.Engine // the oracle scheduler, by value: zero ready
+	nlps    int
+	h       Handler
+	buckets map[sim.Time]*Heap
+	postSeq uint64
+	sendSeq []uint64
+	obs     func(lp int, k Key, m Msg)
+
+	// executing event context
+	cur   Key
+	curLP int
+	busy  bool
+	ran   bool
+}
+
+// NewSeq builds a sequential backend with lps logical processes.
+func NewSeq(lps int) *Seq {
+	if lps < 1 {
+		panic("des: NewSeq needs at least 1 LP")
+	}
+	return &Seq{
+		nlps:    lps,
+		buckets: make(map[sim.Time]*Heap),
+		sendSeq: make([]uint64, lps),
+	}
+}
+
+// LPs implements Engine.
+func (s *Seq) LPs() int { return s.nlps }
+
+// Observe implements Engine.
+func (s *Seq) Observe(fn func(lp int, k Key, m Msg)) { s.obs = fn }
+
+// Oracle exposes the underlying sequential heap engine (the clock), for
+// callers that want to inspect it; the returned engine must not be
+// driven directly while Run is in flight.
+func (s *Seq) Oracle() *sim.Engine { return &s.eng }
+
+// Post implements Engine.
+func (s *Seq) Post(lp int, at sim.Time, m Msg) {
+	if s.ran {
+		panic("des: Post after Run")
+	}
+	s.checkLP(lp)
+	s.postSeq++
+	s.insert(Item{Key: Key{At: at, Src: -1, Seq: s.postSeq}, LP: int32(lp), Msg: m})
+}
+
+// Run implements Engine.
+func (s *Seq) Run(h Handler) sim.Time {
+	if s.ran {
+		panic("des: Run called twice")
+	}
+	s.ran = true
+	s.h = h
+	return s.eng.Run()
+}
+
+func (s *Seq) checkLP(lp int) {
+	if lp < 0 || lp >= s.nlps {
+		panic(fmt.Sprintf("des: LP %d out of range [0,%d)", lp, s.nlps))
+	}
+}
+
+// insert queues an event, creating the timestamp's bucket — and its one
+// trampoline event on the heap engine — on first use.
+func (s *Seq) insert(it Item) {
+	b, ok := s.buckets[it.Key.At]
+	if !ok {
+		b = &Heap{}
+		s.buckets[it.Key.At] = b
+		at := it.Key.At
+		s.eng.Schedule(at, func() { s.drain(at) })
+	}
+	b.Push(it)
+}
+
+// drain executes every event at one timestamp in Key order. Zero-delay
+// sends land back in the live bucket with a higher generation, so they
+// always sort after the event that produced them and execute in the same
+// drain.
+func (s *Seq) drain(at sim.Time) {
+	b := s.buckets[at]
+	for b.Len() > 0 {
+		it := b.Pop()
+		s.cur, s.curLP, s.busy = it.Key, int(it.LP), true
+		if s.obs != nil {
+			s.obs(s.curLP, it.Key, it.Msg)
+		}
+		s.h.HandleEvent(seqProc{s}, it.Msg)
+	}
+	s.busy = false
+	delete(s.buckets, at)
+}
+
+// seqProc is the Proc the sequential backend hands to handlers.
+type seqProc struct{ s *Seq }
+
+func (p seqProc) Now() sim.Time { return p.s.cur.At }
+func (p seqProc) LP() int       { return p.s.curLP }
+func (p seqProc) Key() Key      { return p.s.cur }
+
+func (p seqProc) Send(lp int, at sim.Time, m Msg) {
+	s := p.s
+	if !s.busy {
+		panic("des: Send outside event execution")
+	}
+	s.checkLP(lp)
+	if at < s.cur.At {
+		panic(fmt.Sprintf("des: send at %v before now %v", at, s.cur.At))
+	}
+	var gen uint32
+	if at == s.cur.At {
+		gen = s.cur.Gen + 1
+	}
+	s.sendSeq[s.curLP]++
+	s.insert(Item{
+		Key: Key{At: at, Gen: gen, Src: int32(s.curLP), Seq: s.sendSeq[s.curLP]},
+		LP:  int32(lp),
+		Msg: m,
+	})
+}
+
+// Journal is a no-op: the sequential backend never rolls back.
+func (p seqProc) Journal(undo func()) {}
+
+// Commit runs the action inline: every sequential execution is final.
+func (p seqProc) Commit(act func()) { act() }

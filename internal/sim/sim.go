@@ -119,6 +119,14 @@ func (e *Engine) Grow(n int) {
 // past panics: it would silently corrupt causality in a model. Apart from
 // backing-array growth (avoidable with Grow), scheduling allocates
 // nothing.
+//
+// Tie-breaking is part of the engine's contract: events at equal times
+// fire in Schedule order. Every event carries a monotone sequence number
+// and the heap orders by (time, seq), so same-time ordering is total and
+// deterministic — never dependent on heap insertion shape. The
+// equivalence between the sequential oracle and the optimistic parallel
+// engine (internal/sim/des, internal/sim/warp) is anchored on this
+// guarantee; TestEngineTieBreakIsScheduleOrder is its regression test.
 func (e *Engine) Schedule(at Time, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
@@ -189,6 +197,15 @@ func (r *Resource) FreeAt() Time { return r.freeAt }
 
 // Busy returns the cumulative busy time of the resource.
 func (r *Resource) Busy() Time { return r.busy }
+
+// State returns the resource's internal accumulators — next free time
+// and cumulative busy time — so a caller that must be able to undo a
+// Reserve (the optimistic simulation backend's rollback) can snapshot
+// and later restore them.
+func (r *Resource) State() (freeAt, busy Time) { return r.freeAt, r.busy }
+
+// SetState restores accumulators captured by State.
+func (r *Resource) SetState(freeAt, busy Time) { r.freeAt, r.busy = freeAt, busy }
 
 // Utilization returns busy time as a fraction of the elapsed horizon.
 func (r *Resource) Utilization(horizon Time) float64 {

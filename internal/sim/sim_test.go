@@ -39,6 +39,59 @@ func TestEngineStableTieBreak(t *testing.T) {
 	}
 }
 
+// TestEngineTieBreakIsScheduleOrder pins the engine's documented
+// tie-breaking contract: events at equal times fire in Schedule order,
+// regardless of how they interleave with other timestamps in the heap.
+// The parallel-engine oracle (internal/sim/des) depends on this.
+func TestEngineTieBreakIsScheduleOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var e Engine
+		var fired []int
+		type slot struct {
+			at Time
+			id int
+		}
+		var want []slot
+		// Many events over few distinct times forces dense ties while the
+		// heap keeps reshaping under random insertion order.
+		for id := 0; id < 200; id++ {
+			at := Time(rng.Intn(8)) * Nanosecond
+			want = append(want, slot{at, id})
+			id := id
+			e.Schedule(at, func() { fired = append(fired, id) })
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		e.Run()
+		for i := range want {
+			if fired[i] != want[i].id {
+				t.Fatalf("trial %d: position %d fired id %d, want %d (schedule order within time %v)",
+					trial, i, fired[i], want[i].id, want[i].at)
+			}
+		}
+	}
+}
+
+// Same-time events scheduled from within a same-time event fire after
+// every previously scheduled event at that time — tie order is schedule
+// order even across nesting.
+func TestEngineTieBreakNestedSameTime(t *testing.T) {
+	var e Engine
+	var order []string
+	e.Schedule(5*Nanosecond, func() {
+		order = append(order, "a")
+		e.Schedule(5*Nanosecond, func() { order = append(order, "a.child") })
+	})
+	e.Schedule(5*Nanosecond, func() { order = append(order, "b") })
+	e.Run()
+	want := []string{"a", "b", "a.child"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
 func TestEngineNestedScheduling(t *testing.T) {
 	var e Engine
 	hits := 0

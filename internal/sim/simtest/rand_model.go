@@ -1,0 +1,146 @@
+package simtest
+
+import (
+	"fmt"
+
+	"pamigo/internal/sim"
+	"pamigo/internal/sim/des"
+)
+
+// RandWorkload is a seeded random event DAG: Init root events land on
+// random LPs at random (deliberately colliding) times, and every event
+// forwards up to Fanout children to random LPs at adversarial delays —
+// exact ties, zero delay (same-timestamp causal chains), one tick, and
+// the full lookahead MaxDelay. All randomness derives from the event
+// payload itself (a splitmix64 chain), never from shared RNG state, so a
+// handler execution is a pure function of its event — the determinism
+// the optimistic backend's re-executions rely on.
+type RandWorkload struct {
+	Seed     int64
+	Init     int      // number of root events
+	Depth    int      // max forwarding hops per root
+	Fanout   int      // max children per event
+	MaxDelay sim.Time // the "max-lookahead" adversarial delay
+}
+
+// DefaultRandWorkload is sized so a full run is a few thousand events:
+// big enough to shake out interleavings, small enough to replay across
+// many seeds and LP counts in one test.
+func DefaultRandWorkload(seed int64) RandWorkload {
+	return RandWorkload{Seed: seed, Init: 24, Depth: 6, Fanout: 2, MaxDelay: 500 * sim.Nanosecond}
+}
+
+// rmsg is the random DAG's event payload: remaining hop budget plus the
+// rng word every downstream decision derives from.
+type rmsg struct {
+	Hops int32
+	Tag  uint64
+}
+
+func (m rmsg) String() string { return fmt.Sprintf("h%d/%016x", m.Hops, m.Tag) }
+
+// randModel is one instance of the workload's state: per-LP event
+// counts and order-sensitive hashes (mutated optimistically, journaled),
+// plus per-LP commit-order hashes (mutated only via Proc.Commit).
+type randModel struct {
+	w         RandWorkload
+	lps       int
+	counts    []uint64
+	hashes    []uint64
+	committed []uint64
+}
+
+// Build implements Workload.
+func (w RandWorkload) Build(eng des.Engine) (des.Handler, func() string) {
+	m := &randModel{
+		w:         w,
+		lps:       eng.LPs(),
+		counts:    make([]uint64, eng.LPs()),
+		hashes:    make([]uint64, eng.LPs()),
+		committed: make([]uint64, eng.LPs()),
+	}
+	rng := uint64(w.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for i := 0; i < w.Init; i++ {
+		rng = splitmix(rng)
+		lp := int(rng % uint64(m.lps))
+		rng = splitmix(rng)
+		// Few distinct root times over many roots: dense cross-LP ties.
+		at := sim.Time(rng%4) * 10 * sim.Nanosecond
+		rng = splitmix(rng)
+		eng.Post(lp, at, rmsg{Hops: int32(w.Depth), Tag: rng})
+	}
+	return m, m.output
+}
+
+// HandleEvent implements des.Handler. Every mutation of model state is
+// journaled before it happens; the committed hash moves only through
+// Commit.
+func (m *randModel) HandleEvent(p des.Proc, msg des.Msg) {
+	ev := msg.(rmsg)
+	lp := p.LP()
+	k := p.Key()
+
+	oldCount, oldHash := m.counts[lp], m.hashes[lp]
+	p.Journal(func() { m.counts[lp], m.hashes[lp] = oldCount, oldHash })
+	stamp := mix(mix(ev.Tag, uint64(k.At)), uint64(k.Seq)<<16|uint64(k.Gen))
+	m.counts[lp]++
+	m.hashes[lp] = mix(m.hashes[lp], stamp)
+
+	h := m.hashes[lp]
+	p.Commit(func() { m.committed[lp] = mix(m.committed[lp], h) })
+
+	if ev.Hops <= 0 {
+		return
+	}
+	r := splitmix(ev.Tag)
+	fanout := int(r % uint64(m.w.Fanout+1))
+	for c := 0; c < fanout; c++ {
+		r = splitmix(r)
+		dst := int(r % uint64(m.lps))
+		r = splitmix(r)
+		at := p.Now() + m.delay(r)
+		r = splitmix(r)
+		p.Send(dst, at, rmsg{Hops: ev.Hops - 1, Tag: r})
+	}
+}
+
+// delay picks an adversarial delay: mostly ties and zero-delay chains,
+// with one tick and the full lookahead mixed in.
+func (m *randModel) delay(r uint64) sim.Time {
+	switch r % 8 {
+	case 0, 1:
+		return 0 // zero-delay: same-time causal chain across LPs
+	case 2, 3:
+		return 10 * sim.Nanosecond // collides with root-time grid: ties
+	case 4:
+		return sim.Time(1) // one picosecond tick
+	case 5:
+		return m.w.MaxDelay // max lookahead
+	default:
+		return sim.Time(r%977) * sim.Nanosecond
+	}
+}
+
+func (m *randModel) output() string {
+	var out string
+	for lp := 0; lp < m.lps; lp++ {
+		out += fmt.Sprintf("lp%d n=%d h=%016x c=%016x\n", lp, m.counts[lp], m.hashes[lp], m.committed[lp])
+	}
+	return out
+}
+
+// splitmix is splitmix64: the workload's only randomness primitive.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mix folds v into an order-sensitive hash h: mix(mix(h,a),b) differs
+// from mix(mix(h,b),a), so the hash pins event execution order, not just
+// the event multiset.
+func mix(h, v uint64) uint64 {
+	return splitmix(h ^ (v + 0x165667b19e3779f9))
+}

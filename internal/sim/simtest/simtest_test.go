@@ -1,0 +1,207 @@
+package simtest
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pamigo/internal/fault"
+	"pamigo/internal/sim"
+	"pamigo/internal/sim/des"
+	"pamigo/internal/sim/warp"
+)
+
+// TestRandomDAGEquivalence is the property-based core of the harness:
+// for many seeds, a random event DAG full of adversarial timestamps —
+// cross-LP ties, zero-delay same-time chains, max-lookahead jumps —
+// must produce byte-identical committed logs and outputs on the warp
+// engine and the sequential oracle at 1, 2, and 8 LPs. A small fossil
+// threshold forces frequent GVT rounds and fossil collection mid-run.
+func TestRandomDAGEquivalence(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := 0; seed < seeds; seed++ {
+		mk := func() Workload { return DefaultRandWorkload(int64(seed)) }
+		opt := warp.Options{FossilEvery: 64}
+		if seed%2 == 1 {
+			// Odd seeds run with a tight optimism window so the
+			// window-blocked park/resume path is equivalence-checked too.
+			opt.Window = 100 * sim.Nanosecond
+		}
+		CheckEquivalence(t, mk, opt, 1, 2, 8)
+	}
+}
+
+// TestZeroDelayStorm hammers the nastiest corner alone: every delay is
+// a tie or a zero-delay chain, so whole cascades execute inside single
+// timestamps and ordering is carried entirely by the (Gen, Src, Seq)
+// key fields.
+func TestZeroDelayStorm(t *testing.T) {
+	for seed := int64(100); seed < 104; seed++ {
+		mk := func() Workload {
+			return RandWorkload{Seed: seed, Init: 16, Depth: 8, Fanout: 2, MaxDelay: 0}
+		}
+		opt := warp.Options{FossilEvery: 32}
+		if seed >= 102 {
+			// A window of zero width (everything happens at GVT or on the
+			// 10ns tie grid) is the degenerate throttling case: events
+			// are only eligible exactly at the window edge.
+			opt.Window = sim.Nanosecond
+		}
+		CheckEquivalence(t, mk, opt, 1, 2, 8)
+	}
+}
+
+// chainWorkload is a deliberately rollback-heavy schedule. LP 1 runs a
+// long self-send chain (t = 10ns, 20ns, ...), echoing every link to
+// LP 2, which executes the echoes as they arrive. LP 0 holds one event
+// at t = 0 that sends a straggler into the middle of LP 1's chain at
+// t = 15ns. The test gates LP 0 (via warp.Options.PreExec) until LP 1
+// and LP 2 have demonstrably raced far ahead, so on the warp engine the
+// straggler is guaranteed to force a rollback on LP 1, a wave of
+// anti-messages to LP 2, and secondary rollbacks of LP 2's already
+// executed echoes — the aggressive-cancellation cascade.
+type chainWorkload struct{ links int }
+
+type cmsg struct {
+	Kind string // "start", "link", "echo", "straggler"
+	N    int32
+}
+
+func (w chainWorkload) Build(eng des.Engine) (des.Handler, func() string) {
+	m := &chainModel{hashes: make([]uint64, eng.LPs()), links: w.links}
+	eng.Post(0, 0, cmsg{Kind: "start"})
+	eng.Post(1, 10*sim.Nanosecond, cmsg{Kind: "link", N: int32(w.links)})
+	return m, m.output
+}
+
+type chainModel struct {
+	links  int
+	hashes []uint64
+}
+
+func (m *chainModel) HandleEvent(p des.Proc, msg des.Msg) {
+	ev := msg.(cmsg)
+	lp := p.LP()
+	old := m.hashes[lp]
+	p.Journal(func() { m.hashes[lp] = old })
+	m.hashes[lp] = mix(m.hashes[lp], mix(uint64(p.Key().Seq)<<8|uint64(p.Key().Gen), uint64(ev.N)))
+	switch ev.Kind {
+	case "start":
+		p.Send(1, 15*sim.Nanosecond, cmsg{Kind: "straggler"})
+	case "link":
+		if ev.N > 0 {
+			p.Send(1, p.Now()+10*sim.Nanosecond, cmsg{Kind: "link", N: ev.N - 1})
+		}
+		p.Send(2, p.Now()+sim.Nanosecond, cmsg{Kind: "echo", N: ev.N})
+	}
+}
+
+func (m *chainModel) output() string {
+	var out string
+	for lp, h := range m.hashes {
+		out += string(rune('a'+lp)) + ":"
+		for i := 60; i >= 0; i -= 4 {
+			out += string("0123456789abcdef"[(h>>uint(i))&15])
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func TestRollbackHeavySchedule(t *testing.T) {
+	const links = 60
+	mk := func() Workload { return chainWorkload{links: links} }
+	want := RunOn(des.NewSeq(3), mk())
+
+	var lp1, lp2 atomic.Int64
+	opt := warp.Options{
+		FossilEvery: 16,
+		PreExec: func(lp int, k des.Key) {
+			switch lp {
+			case 1:
+				lp1.Add(1)
+			case 2:
+				lp2.Add(1)
+			case 0:
+				// Hold LP 0's straggler source until the chain has raced
+				// far past t=15ns on both downstream LPs.
+				for lp1.Load() < 40 || lp2.Load() < 20 {
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		},
+	}
+	weng := warp.New(3, opt)
+	got := RunOn(weng, mk())
+	if ws, gs := want.String(), got.String(); ws != gs {
+		t.Fatalf("rollback-heavy run diverged from oracle\n--- oracle ---\n%s--- warp ---\n%s", ws, gs)
+	}
+	st := weng.Stats()
+	if st.Rollbacks < 2 {
+		t.Fatalf("gated straggler caused %d rollbacks, want the forced LP1+LP2 cascade (>=2); stats %+v", st.Rollbacks, st)
+	}
+	if st.AntisSent == 0 {
+		t.Fatalf("rollback of echo-sending events sent no anti-messages; stats %+v", st)
+	}
+	if st.AntisSent != st.Annihilated {
+		t.Fatalf("anti-messages did not fully cancel: sent %d, annihilated %d", st.AntisSent, st.Annihilated)
+	}
+}
+
+// TestWarpStressRace shakes goroutine interleavings with seeded jitter
+// injected into event execution, checks equivalence every round, and
+// verifies the engine leaks no goroutines. Runtime is bounded: jitter
+// sleeps are a few hundred microseconds and only hit 1 event in 32.
+func TestWarpStressRace(t *testing.T) {
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	before := runtime.NumGoroutine()
+	for seed := 0; seed < rounds; seed++ {
+		mk := func() Workload {
+			w := DefaultRandWorkload(int64(1000 + seed))
+			w.Init = 12
+			w.Depth = 5
+			return w
+		}
+		var step atomic.Int64
+		opt := warp.Options{
+			FossilEvery: 48,
+			PreExec: func(lp int, k des.Key) {
+				s := step.Add(1)
+				if s%32 == 0 {
+					time.Sleep(fault.Jitter(int64(seed), s, 200*time.Microsecond))
+				}
+			},
+		}
+		CheckEquivalence(t, mk, opt, 2, 8)
+	}
+	// All LP and controller goroutines must have exited; poll briefly to
+	// let the scheduler retire them.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before stress, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSeqBackendMatchesItself pins the oracle's own determinism: two
+// fresh runs of the same workload produce identical results.
+func TestSeqBackendMatchesItself(t *testing.T) {
+	mk := func() Workload { return DefaultRandWorkload(42) }
+	a := RunOn(des.NewSeq(4), mk())
+	b := RunOn(des.NewSeq(4), mk())
+	if a.String() != b.String() {
+		t.Fatalf("sequential backend is nondeterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,90 @@
+package warp
+
+import (
+	"sync"
+	"testing"
+
+	"pamigo/internal/sim"
+	"pamigo/internal/sim/des"
+)
+
+// FuzzGVT fuzzes the GVT accumulator — the piece every correctness
+// argument in this package leans on. Bytes drive a sequence of rounds:
+// each round picks an LP count and per-LP floors (including TimeMax
+// "idle" floors and adversarial duplicates), stamps them from concurrent
+// goroutines, and requires wait to return exactly the minimum. A wrong
+// min in either direction is fatal: too low stalls fossil collection
+// forever, too high fossil-collects history a rollback still needs.
+func FuzzGVT(f *testing.F) {
+	f.Add([]byte{1, 0, 0})
+	f.Add([]byte{7, 255, 255, 255, 255, 0, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{3, 9, 9, 9, 2, 200, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r gvtRound
+		for len(data) > 0 {
+			n := int(data[0]%8) + 1
+			data = data[1:]
+			floors := make([]sim.Time, n)
+			want := des.TimeMax
+			for i := 0; i < n; i++ {
+				floors[i] = des.TimeMax // parked LP: idle floor
+				if len(data) > 0 {
+					if b := data[0]; b != 255 {
+						floors[i] = sim.Time(b) * sim.Nanosecond
+					}
+					data = data[1:]
+				}
+				if floors[i] < want {
+					want = floors[i]
+				}
+			}
+			r.begin(n)
+			var wg sync.WaitGroup
+			wg.Add(n)
+			for _, fl := range floors {
+				go func(fl sim.Time) {
+					defer wg.Done()
+					r.stamp(fl)
+				}(fl)
+			}
+			got := r.wait()
+			wg.Wait()
+			if got != want {
+				t.Fatalf("round over %v: GVT %v, want %v", floors, got, want)
+			}
+		}
+	})
+}
+
+// FuzzGVT's companion: a whole-engine fuzz on tiny workloads, checking
+// the engine always terminates with GVT at TimeMax and conserves
+// anti-messages regardless of topology bytes.
+func FuzzGVTEngine(f *testing.F) {
+	f.Add([]byte{2, 3, 1, 4, 1, 5, 9, 2, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		lps := int(data[0]%4) + 1
+		e := New(lps, Options{FossilEvery: 8})
+		for i, b := range data[1:] {
+			if i >= 16 {
+				break
+			}
+			e.Post(int(b)%lps, sim.Time(b%7)*sim.Nanosecond, int(b))
+		}
+		e.Run(handlerFunc(func(p des.Proc, m des.Msg) {
+			v := m.(int)
+			if v > 2 {
+				p.Send((p.LP()+v)%lps, p.Now()+sim.Time(v%3)*sim.Nanosecond, v/2)
+			}
+		}))
+		if g := e.GVT(); g != des.TimeMax {
+			t.Fatalf("engine terminated with GVT %v, want TimeMax", g)
+		}
+		st := e.Stats()
+		if st.AntisSent != st.Annihilated {
+			t.Fatalf("anti-message leak: sent %d annihilated %d", st.AntisSent, st.Annihilated)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package warp
+
+import (
+	"sync/atomic"
+
+	"pamigo/internal/sim"
+	"pamigo/internal/sim/des"
+)
+
+// gvtRound folds per-LP virtual-time floors into a Global Virtual Time
+// estimate via a shared atomic min — the flat-shared-memory equivalent
+// of a Mattern token ring. One round = one pulse: the controller calls
+// begin, every LP contributes exactly one stamp, wait returns the min.
+//
+// Soundness (see DESIGN.md "Time Warp invariants" for the full
+// argument): each LP's stamp is
+//
+//	min(earliest pending event, earliest send since the LP's previous
+//	    stamp — anti-messages included)
+//
+// taken after the LP drained its inbox. Any message not yet reflected
+// in its receiver's pending queue when the receiver stamped was sent by
+// an LP that either had not stamped this round (so the send lands in
+// that sender's sendMin) or was executing an event that was in its own
+// pending queue when it stamped (so the round min already lower-bounds
+// the send time). Either way the returned min is a true lower bound on
+// every event and message in the system, so nothing below it can ever
+// be rolled back.
+type gvtRound struct {
+	min       atomic.Int64
+	remaining atomic.Int32
+	done      chan struct{}
+}
+
+// begin arms the round for n stamps. Caller (the controller) must
+// publish the new pulse number after begin returns; LPs stamp only
+// after observing the new pulse, which orders begin's writes before any
+// stamp.
+func (r *gvtRound) begin(n int) {
+	r.min.Store(int64(des.TimeMax))
+	r.remaining.Store(int32(n))
+	r.done = make(chan struct{})
+}
+
+// stamp folds one LP floor into the round. The n-th stamp completes the
+// round and releases wait. Callable from any LP goroutine, once per LP
+// per round.
+func (r *gvtRound) stamp(floor sim.Time) {
+	for {
+		cur := r.min.Load()
+		if int64(floor) >= cur || r.min.CompareAndSwap(cur, int64(floor)) {
+			break
+		}
+	}
+	if r.remaining.Add(-1) == 0 {
+		close(r.done)
+	}
+}
+
+// wait blocks until all n stamps arrived and returns the folded min.
+func (r *gvtRound) wait() sim.Time {
+	<-r.done
+	return sim.Time(r.min.Load())
+}

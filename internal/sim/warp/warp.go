@@ -1,0 +1,586 @@
+// Package warp is an optimistic parallel discrete-event engine — Time
+// Warp (Jefferson) — implementing the des.Engine interface, so any model
+// written against internal/sim/des runs on it unchanged and
+// byte-equivalent to the sequential oracle (des.Seq).
+//
+// The event space is sharded over logical processes (LPs), one goroutine
+// each. Every LP executes its pending events optimistically in Key order
+// without global synchronization. Cross-LP sends are delivered
+// synchronously into the destination's FIFO inbox; when a message
+// arrives in an LP's processed past (a straggler), the LP rolls back:
+// incremental state saving (per-event undo journals) restores model
+// state, anti-messages cancel every event the rolled-back execution
+// sent, and execution resumes from the straggler. Global Virtual Time —
+// a lower bound below which no rollback can ever reach — is computed by
+// pulse rounds that fold every LP's local floor into a shared atomic
+// min; GVT drives fossil collection of rollback history and the release
+// of committed side effects (des.Proc.Commit actions).
+//
+// See DESIGN.md "Time Warp invariants" for why the floor accounting and
+// the fossil-collection horizon are safe.
+package warp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pamigo/internal/sim"
+	"pamigo/internal/sim/des"
+)
+
+// Options tune the engine; the zero value is ready to use.
+type Options struct {
+	// FossilEvery is the uncommitted-history length at which an LP
+	// requests a GVT round so memory can be reclaimed. <= 0 means the
+	// default (4096 events).
+	FossilEvery int
+	// Window, when > 0, bounds optimism (a moving time window): an LP
+	// never executes an event later than GVT + Window, parking until a
+	// GVT round moves the window forward. Unthrottled optimism can be
+	// pathological — an LP that races far ahead gets its work rolled
+	// back by every straggler, and on a loaded machine the wasted
+	// re-execution can dwarf useful work. Progress is always preserved:
+	// after every GVT round the LP holding the globally earliest event
+	// is inside the window (its event time IS the new GVT). 0 disables
+	// throttling.
+	Window sim.Time
+	// PreExec, when non-nil, is called on the owning LP goroutine
+	// immediately before each optimistic event execution (including
+	// re-executions after rollback). Test instrumentation only: the
+	// equivalence suite uses it to force adversarial interleavings
+	// (e.g. make one LP race ahead so a straggler must roll it back).
+	PreExec func(lp int, k des.Key)
+}
+
+const defaultFossilEvery = 4096
+
+// Stats are cumulative engine counters, readable after Run. All
+// anti-messages sent must have annihilated a positive by the end of a
+// run — the equivalence suite asserts AntisSent == Annihilated.
+type Stats struct {
+	// Executed counts optimistic event executions, including work that
+	// was later rolled back.
+	Executed int64
+	// Committed counts events that survived to commit; equals the
+	// sequential oracle's event count on the same workload.
+	Committed int64
+	// Rollbacks counts rollback episodes; RolledBack counts the event
+	// executions they undid.
+	Rollbacks  int64
+	RolledBack int64
+	// AntisSent counts anti-messages issued; Annihilated counts
+	// positive events they cancelled (queued or already executed).
+	AntisSent   int64
+	Annihilated int64
+	// GVTRounds counts completed GVT pulse rounds.
+	GVTRounds int64
+}
+
+// Engine is the optimistic backend. Create with New, drive through the
+// des.Engine interface.
+type Engine struct {
+	nlps    int
+	opt     Options
+	h       des.Handler
+	obs     func(lp int, k des.Key, m des.Msg)
+	lps     []*lp
+	postSeq uint64
+	ran     bool
+
+	pulse    atomic.Uint64 // current GVT pulse number; LPs stamp once per pulse
+	round    gvtRound      // accumulator for the in-flight pulse
+	pulseReq chan struct{} // buffered(1): coalesced pulse requests
+	gvt      atomic.Int64  // published GVT (sim.Time); minInt64 until first round
+	idle     atomic.Int32  // LPs currently parked
+	done     atomic.Bool   // termination: set once GVT reaches +inf
+	end      atomic.Int64  // max committed event time
+
+	executed    atomic.Int64
+	committed   atomic.Int64
+	rollbacks   atomic.Int64
+	rolledBack  atomic.Int64
+	antisSent   atomic.Int64
+	annihilated atomic.Int64
+	gvtRounds   atomic.Int64
+}
+
+// New builds an optimistic engine with lps logical processes.
+func New(lps int, opt Options) *Engine {
+	if lps < 1 {
+		panic("warp: need at least 1 LP")
+	}
+	if opt.FossilEvery <= 0 {
+		opt.FossilEvery = defaultFossilEvery
+	}
+	e := &Engine{
+		nlps:     lps,
+		opt:      opt,
+		pulseReq: make(chan struct{}, 1),
+	}
+	e.gvt.Store(int64(minTime))
+	e.lps = make([]*lp, lps)
+	for i := range e.lps {
+		l := &lp{e: e, id: i, sendMin: des.TimeMax}
+		l.cond = sync.NewCond(&l.mu)
+		e.lps[i] = l
+	}
+	return e
+}
+
+const minTime = sim.Time(-1 << 63)
+
+// LPs implements des.Engine.
+func (e *Engine) LPs() int { return e.nlps }
+
+// Observe implements des.Engine. The hook runs on LP goroutines as
+// events commit (fossil collection and final flush), in Key order per
+// LP, concurrently across LPs.
+func (e *Engine) Observe(fn func(lp int, k des.Key, m des.Msg)) { e.obs = fn }
+
+// Post implements des.Engine. Not safe for concurrent use; call before Run.
+func (e *Engine) Post(lp int, at sim.Time, m des.Msg) {
+	if e.ran {
+		panic("warp: Post after Run")
+	}
+	if lp < 0 || lp >= e.nlps {
+		panic(fmt.Sprintf("warp: LP %d out of range [0,%d)", lp, e.nlps))
+	}
+	if at < 0 {
+		panic("warp: Post before time zero")
+	}
+	e.postSeq++
+	e.lps[lp].pending.Push(des.Item{
+		Key: des.Key{At: at, Src: -1, Seq: e.postSeq},
+		LP:  int32(lp),
+		Msg: m,
+	})
+}
+
+// Run implements des.Engine: spawns one goroutine per LP plus the GVT
+// controller, executes until every LP is drained, and returns the
+// largest committed event time. All Commit actions and Observe calls
+// happen before Run returns.
+func (e *Engine) Run(h des.Handler) sim.Time {
+	if e.ran {
+		panic("warp: Run called twice")
+	}
+	e.ran = true
+	e.h = h
+	var wg sync.WaitGroup
+	wg.Add(e.nlps)
+	for _, l := range e.lps {
+		go l.run(&wg)
+	}
+	ctl := make(chan struct{})
+	go func() {
+		defer close(ctl)
+		e.controller()
+	}()
+	wg.Wait()
+	<-ctl
+	return sim.Time(e.end.Load())
+}
+
+// Stats returns the engine's cumulative counters. Call after Run.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Executed:    e.executed.Load(),
+		Committed:   e.committed.Load(),
+		Rollbacks:   e.rollbacks.Load(),
+		RolledBack:  e.rolledBack.Load(),
+		AntisSent:   e.antisSent.Load(),
+		Annihilated: e.annihilated.Load(),
+		GVTRounds:   e.gvtRounds.Load(),
+	}
+}
+
+// GVT returns the engine's published Global Virtual Time.
+func (e *Engine) GVT() sim.Time { return sim.Time(e.gvt.Load()) }
+
+func (e *Engine) requestPulse() {
+	select {
+	case e.pulseReq <- struct{}{}:
+	default:
+	}
+}
+
+// controller serializes GVT rounds: on request it begins a round, wakes
+// every LP to stamp its floor, folds the stamps into the shared atomic
+// min, and publishes the result. A round that reports +inf means no LP
+// holds or can ever create another event — termination.
+func (e *Engine) controller() {
+	for range e.pulseReq {
+		if e.done.Load() {
+			return
+		}
+		e.round.begin(e.nlps)
+		e.pulse.Add(1)
+		e.wakeAll()
+		min := e.round.wait()
+		e.gvtRounds.Add(1)
+		if min == des.TimeMax {
+			e.gvt.Store(int64(des.TimeMax))
+			e.done.Store(true)
+			e.wakeAll()
+			return
+		}
+		// GVT is monotone; a round can only raise it (see DESIGN.md).
+		if cur := sim.Time(e.gvt.Load()); min > cur {
+			e.gvt.Store(int64(min))
+		}
+		// Wake everyone: the new GVT unblocks fossil collection and
+		// moves the optimism window forward.
+		e.wakeAll()
+	}
+}
+
+func (e *Engine) wakeAll() {
+	for _, l := range e.lps {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// insert is one queued delivery: a positive event or an anti-message
+// (matched by Key; an anti's Msg is nil).
+type insert struct {
+	it   des.Item
+	anti bool
+}
+
+// sentRef remembers one send so rollback can cancel it.
+type sentRef struct {
+	dst int32
+	key des.Key
+}
+
+// record is one optimistically executed event: everything needed to
+// unwind it (incremental state saving) or to commit it.
+type record struct {
+	it        des.Item
+	undo      []func()
+	sent      []sentRef
+	commits   []func()
+	seqBefore uint64  // send counter before execution, restored on rollback
+	prevKey   des.Key // lastKey before execution, restored on rollback
+	prevHave  bool
+}
+
+// lp is one logical process. The inbox (and cond) is the only state
+// other goroutines touch; pending, recs and the execution context are
+// owner-only.
+type lp struct {
+	e  *Engine
+	id int
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	inbox []insert
+
+	// owner-only state
+	pending  des.Heap // unprocessed events, min = next to execute
+	recs     []record // processed, uncommitted history in Key order
+	lastKey  des.Key  // key of the most recent processed event
+	haveLast bool
+	sendSeq  uint64
+	sendMin  sim.Time // min time of sends (incl. antis) since last stamp
+	stamped  uint64   // pulse number of the LP's latest stamp
+	cur      *record  // record of the event currently executing
+	maxDone  sim.Time // largest committed event time on this LP
+}
+
+// deliver enqueues in on l's inbox; callable from any goroutine.
+func (l *lp) deliver(in insert) {
+	l.mu.Lock()
+	l.inbox = append(l.inbox, in)
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+// run is the LP main loop: drain inbox (annihilate / roll back /
+// enqueue), stamp GVT pulses, fossil-collect, execute the next pending
+// event — or park when idle.
+func (l *lp) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	e := l.e
+	var batch []insert
+	for {
+		l.mu.Lock()
+		for len(l.inbox) == 0 && !l.execReady() &&
+			!e.done.Load() && e.pulse.Load() == l.stamped {
+			if e.idle.Add(1) == int32(e.nlps) {
+				// Everyone is parked — drained or window-blocked — and no
+				// handler is running, so no message is in flight: ask the
+				// controller to run a round. If all floors are +inf it
+				// terminates us; otherwise the raised GVT moves the
+				// optimism window and the controller wakes us again.
+				e.requestPulse()
+			}
+			l.cond.Wait()
+			e.idle.Add(-1)
+		}
+		batch, l.inbox = l.inbox, batch[:0]
+		l.mu.Unlock()
+
+		if e.done.Load() {
+			l.flush()
+			return
+		}
+		for _, in := range batch {
+			l.apply(in)
+		}
+		if ps := e.pulse.Load(); ps != l.stamped {
+			l.stamp(ps)
+		}
+		if g := sim.Time(e.gvt.Load()); g > minTime {
+			l.fossil(g)
+		}
+		if !l.execReady() {
+			continue
+		}
+		l.exec(l.pending.Pop())
+		if len(l.recs) >= e.opt.FossilEvery {
+			e.requestPulse()
+		}
+	}
+}
+
+// execReady reports whether the earliest pending event may be executed
+// now. With no optimism window that means "pending is non-empty"; with
+// one, the event must also lie within GVT + Window. Progress is
+// guaranteed: a GVT round folds every LP's pending floor, so the LP
+// holding the globally earliest event always finds it at exactly the
+// new GVT, inside any window >= 0.
+func (l *lp) execReady() bool {
+	if l.pending.Len() == 0 {
+		return false
+	}
+	w := l.e.opt.Window
+	if w <= 0 {
+		return true
+	}
+	g := sim.Time(l.e.gvt.Load())
+	if g == minTime {
+		// Bootstrap: block until the first round publishes a real GVT,
+		// so the window has an anchor.
+		return false
+	}
+	limit := g + w
+	if limit < g { // saturate on overflow
+		limit = des.TimeMax
+	}
+	return l.pending.Min().Key.At <= limit
+}
+
+// stamp publishes this LP's GVT floor for pulse ps: the earliest event
+// it still holds, folded with the earliest message it sent since its
+// previous stamp. The send-min term is what keeps the non-blocking cut
+// consistent: a message this LP put in someone else's inbox after that
+// inbox was stamped is still covered here, because the sender always
+// stamps after the insertion it performed.
+func (l *lp) stamp(ps uint64) {
+	floor := l.sendMin
+	if l.pending.Len() > 0 {
+		if at := l.pending.Min().Key.At; at < floor {
+			floor = at
+		}
+	}
+	l.sendMin = des.TimeMax
+	l.stamped = ps
+	l.e.round.stamp(floor)
+}
+
+// apply processes one inbox delivery in FIFO order.
+func (l *lp) apply(in insert) {
+	k := in.it.Key
+	if in.anti {
+		l.e.annihilated.Add(1)
+		if l.haveLast && !l.lastKey.Less(k) {
+			// The positive was already executed: unwind everything after
+			// it, then unwind and discard the positive itself.
+			l.rollback(k)
+			n := len(l.recs) - 1
+			if n < 0 || l.recs[n].it.Key != k {
+				panic("warp: anti-message for an unknown executed event")
+			}
+			rec := l.recs[n]
+			l.recs = l.recs[:n]
+			l.e.rollbacks.Add(1)
+			l.e.rolledBack.Add(1)
+			l.unwind(rec)
+			return
+		}
+		if !l.pending.Remove(k) {
+			panic("warp: anti-message with no matching positive")
+		}
+		return
+	}
+	if l.haveLast && k.Less(l.lastKey) {
+		// Straggler: restore the past before admitting it.
+		l.e.rollbacks.Add(1)
+		l.rollback(k)
+	}
+	l.pending.Push(in.it)
+}
+
+// rollback unwinds every executed record with key strictly greater than
+// k, re-enqueueing the unwound events for re-execution.
+func (l *lp) rollback(k des.Key) {
+	for n := len(l.recs); n > 0; n = len(l.recs) {
+		rec := l.recs[n-1]
+		if !k.Less(rec.it.Key) {
+			return
+		}
+		l.recs = l.recs[:n-1]
+		l.e.rolledBack.Add(1)
+		l.unwind(rec)
+		l.pending.Push(rec.it)
+	}
+}
+
+// unwind reverses one record: undo journal in reverse, anti-messages for
+// every send, send counter and last-key restoration. Anti-message times
+// fold into sendMin — a cancellation is a message too, and GVT floors
+// must cover it.
+func (l *lp) unwind(rec record) {
+	for i := len(rec.undo) - 1; i >= 0; i-- {
+		rec.undo[i]()
+	}
+	for i := len(rec.sent) - 1; i >= 0; i-- {
+		s := rec.sent[i]
+		if s.key.At < l.sendMin {
+			l.sendMin = s.key.At
+		}
+		l.e.antisSent.Add(1)
+		l.e.lps[s.dst].deliver(insert{it: des.Item{Key: s.key, LP: s.dst}, anti: true})
+	}
+	l.sendSeq = rec.seqBefore
+	l.lastKey, l.haveLast = rec.prevKey, rec.prevHave
+}
+
+// exec optimistically executes one event, recording everything needed to
+// unwind it.
+func (l *lp) exec(it des.Item) {
+	e := l.e
+	if e.opt.PreExec != nil {
+		e.opt.PreExec(l.id, it.Key)
+	}
+	e.executed.Add(1)
+	l.recs = append(l.recs, record{
+		it:        it,
+		seqBefore: l.sendSeq,
+		prevKey:   l.lastKey,
+		prevHave:  l.haveLast,
+	})
+	l.cur = &l.recs[len(l.recs)-1]
+	l.lastKey, l.haveLast = it.Key, true
+	e.h.HandleEvent(l, it.Msg)
+	l.cur = nil
+}
+
+// fossil commits and discards history strictly below the GVT horizon g.
+// Events at exactly g must stay: a zero-delay send from another LP's
+// event at g can still arrive — and roll back — at time g.
+func (l *lp) fossil(g sim.Time) {
+	n := 0
+	for n < len(l.recs) && l.recs[n].it.Key.At < g {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	l.commit(l.recs[:n])
+	rest := copy(l.recs, l.recs[n:])
+	// Zero the freed tail so committed journals/payloads can be GC'd.
+	for i := rest; i < len(l.recs); i++ {
+		l.recs[i] = record{}
+	}
+	l.recs = l.recs[:rest]
+}
+
+// flush commits whatever history remains at termination (GVT = +inf).
+func (l *lp) flush() {
+	l.commit(l.recs)
+	l.recs = nil
+	for {
+		cur := l.e.end.Load()
+		if int64(l.maxDone) <= cur || l.e.end.CompareAndSwap(cur, int64(l.maxDone)) {
+			return
+		}
+	}
+}
+
+func (l *lp) commit(recs []record) {
+	e := l.e
+	for i := range recs {
+		rec := &recs[i]
+		e.committed.Add(1)
+		if e.obs != nil {
+			e.obs(l.id, rec.it.Key, rec.it.Msg)
+		}
+		for _, act := range rec.commits {
+			act()
+		}
+		if rec.it.Key.At > l.maxDone {
+			l.maxDone = rec.it.Key.At
+		}
+	}
+}
+
+// --- des.Proc implementation (valid only during exec) ---
+
+// Now implements des.Proc.
+func (l *lp) Now() sim.Time { return l.cur.it.Key.At }
+
+// LP implements des.Proc.
+func (l *lp) LP() int { return l.id }
+
+// Key implements des.Proc.
+func (l *lp) Key() des.Key { return l.cur.it.Key }
+
+// Send implements des.Proc. Every send — self included — goes through
+// the destination inbox, so positives and the anti-messages that may
+// later chase them share one FIFO and cancellation can never pass its
+// target.
+func (l *lp) Send(lp int, at sim.Time, m des.Msg) {
+	cur := l.cur
+	if cur == nil {
+		panic("warp: Send outside event execution")
+	}
+	if lp < 0 || lp >= l.e.nlps {
+		panic(fmt.Sprintf("warp: LP %d out of range [0,%d)", lp, l.e.nlps))
+	}
+	now := cur.it.Key.At
+	if at < now {
+		panic(fmt.Sprintf("warp: send at %v before now %v", at, now))
+	}
+	var gen uint32
+	if at == now {
+		gen = cur.it.Key.Gen + 1
+	}
+	l.sendSeq++
+	k := des.Key{At: at, Gen: gen, Src: int32(l.id), Seq: l.sendSeq}
+	if at < l.sendMin {
+		l.sendMin = at
+	}
+	cur.sent = append(cur.sent, sentRef{dst: int32(lp), key: k})
+	l.e.lps[lp].deliver(insert{it: des.Item{Key: k, LP: int32(lp), Msg: m}})
+}
+
+// Journal implements des.Proc.
+func (l *lp) Journal(undo func()) {
+	if l.cur == nil {
+		panic("warp: Journal outside event execution")
+	}
+	l.cur.undo = append(l.cur.undo, undo)
+}
+
+// Commit implements des.Proc.
+func (l *lp) Commit(act func()) {
+	if l.cur == nil {
+		panic("warp: Commit outside event execution")
+	}
+	l.cur.commits = append(l.cur.commits, act)
+}

@@ -1,0 +1,176 @@
+package warp
+
+import (
+	"sync"
+	"testing"
+
+	"pamigo/internal/sim"
+	"pamigo/internal/sim/des"
+)
+
+type handlerFunc func(p des.Proc, m des.Msg)
+
+func (f handlerFunc) HandleEvent(p des.Proc, m des.Msg) { f(p, m) }
+
+func TestEmptyRunTerminates(t *testing.T) {
+	e := New(4, Options{})
+	end := e.Run(handlerFunc(func(p des.Proc, m des.Msg) { t.Error("event on empty run") }))
+	if end != 0 {
+		t.Fatalf("empty run ended at %v, want 0", end)
+	}
+	if g := e.GVT(); g != des.TimeMax {
+		t.Fatalf("GVT after termination = %v, want TimeMax", g)
+	}
+}
+
+func TestSingleLPCommitsInKeyOrder(t *testing.T) {
+	e := New(1, Options{})
+	for _, at := range []sim.Time{30, 10, 20, 10, 0} {
+		e.Post(0, at*sim.Nanosecond, int(at))
+	}
+	var got []des.Key
+	e.Observe(func(lp int, k des.Key, m des.Msg) { got = append(got, k) })
+	end := e.Run(handlerFunc(func(p des.Proc, m des.Msg) {}))
+	if end != 30*sim.Nanosecond {
+		t.Fatalf("end %v, want 30ns", end)
+	}
+	if len(got) != 5 {
+		t.Fatalf("committed %d events, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].Less(got[i]) {
+			t.Fatalf("commit order violates key order at %d: %v then %v", i, got[i-1], got[i])
+		}
+	}
+	// Equal times tie-break on posting order (Seq field).
+	if got[1].At != got[2].At || got[1].Seq > got[2].Seq {
+		t.Fatalf("same-time posts out of post order: %v then %v", got[1], got[2])
+	}
+}
+
+func TestFanInCommitsInKeyOrder(t *testing.T) {
+	const lps = 8
+	e := New(lps, Options{FossilEvery: 8})
+	for lp := 1; lp < lps; lp++ {
+		e.Post(lp, 0, "seed")
+	}
+	var mu sync.Mutex
+	var lp0 []des.Key
+	e.Observe(func(lp int, k des.Key, m des.Msg) {
+		if lp == 0 {
+			mu.Lock()
+			lp0 = append(lp0, k)
+			mu.Unlock()
+		}
+	})
+	e.Run(handlerFunc(func(p des.Proc, m des.Msg) {
+		if m == "seed" {
+			// Every non-zero LP floods LP 0 at staggered and tied times.
+			for i := 0; i < 20; i++ {
+				p.Send(0, p.Now()+sim.Time(i%5)*sim.Nanosecond, p.LP()*100+i)
+			}
+		}
+	}))
+	if len(lp0) != (lps-1)*20 {
+		t.Fatalf("LP0 committed %d events, want %d", len(lp0), (lps-1)*20)
+	}
+	for i := 1; i < len(lp0); i++ {
+		if !lp0[i-1].Less(lp0[i]) {
+			t.Fatalf("fan-in commit order broke at %d: %v then %v", i, lp0[i-1], lp0[i])
+		}
+	}
+}
+
+func TestCommitRunsExactlyOnceDespiteRollback(t *testing.T) {
+	// LP1 races ahead on a chain; LP0's send lands as a straggler. The
+	// rolled-back executions' Commit actions must never fire.
+	gate := make(chan struct{})
+	e := New(2, Options{
+		FossilEvery: 4,
+		PreExec: func(lp int, k des.Key) {
+			if lp == 0 {
+				<-gate
+			}
+		},
+	})
+	e.Post(0, 0, "straggle")
+	e.Post(1, 10*sim.Nanosecond, 8)
+	var mu sync.Mutex
+	commits := map[string]int{}
+	executed, released := 0, false
+	e.Run(handlerFunc(func(p des.Proc, m des.Msg) {
+		k := p.Key().String()
+		p.Commit(func() {
+			mu.Lock()
+			commits[k]++
+			mu.Unlock()
+		})
+		switch v := m.(type) {
+		case string:
+			p.Send(1, 15*sim.Nanosecond, -1)
+		case int:
+			mu.Lock()
+			executed++
+			if !released && executed >= 8 {
+				// LP1 consumed its whole chain: release the straggler.
+				released = true
+				close(gate)
+			}
+			mu.Unlock()
+			if v > 1 {
+				p.Send(1, p.Now()+10*sim.Nanosecond, v-1)
+			}
+		}
+	}))
+	st := e.Stats()
+	if st.Rollbacks == 0 {
+		t.Fatalf("gated straggler rolled nothing back; stats %+v", st)
+	}
+	for k, n := range commits {
+		if n != 1 {
+			t.Fatalf("event %s committed %d times, want exactly once", k, n)
+		}
+	}
+	if int64(len(commits)) != st.Committed {
+		t.Fatalf("%d distinct commits vs %d committed events", len(commits), st.Committed)
+	}
+}
+
+func TestPostValidation(t *testing.T) {
+	e := New(2, Options{})
+	mustPanic(t, "out-of-range LP", func() { e.Post(2, 0, nil) })
+	mustPanic(t, "negative time", func() { e.Post(0, -1, nil) })
+	e.Post(0, 0, nil)
+	e.Run(handlerFunc(func(p des.Proc, m des.Msg) {
+		mustPanic(t, "send into the past", func() { p.Send(0, p.Now()-1, nil) })
+	}))
+	mustPanic(t, "post after run", func() { e.Post(0, 0, nil) })
+	mustPanic(t, "second run", func() { e.Run(handlerFunc(func(p des.Proc, m des.Msg) {})) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestGVTRoundFoldsMin(t *testing.T) {
+	var r gvtRound
+	r.begin(3)
+	go r.stamp(30 * sim.Nanosecond)
+	go r.stamp(10 * sim.Nanosecond)
+	go r.stamp(20 * sim.Nanosecond)
+	if min := r.wait(); min != 10*sim.Nanosecond {
+		t.Fatalf("round min %v, want 10ns", min)
+	}
+	r.begin(2)
+	go r.stamp(des.TimeMax)
+	go r.stamp(des.TimeMax)
+	if min := r.wait(); min != des.TimeMax {
+		t.Fatalf("all-idle round min %v, want TimeMax", min)
+	}
+}

@@ -17,6 +17,9 @@ go test ./...
 echo "==> go test -race (telemetry + integration + hot layers)"
 go test -race ./internal/telemetry ./internal/integration ./internal/core ./internal/mpilib ./internal/mu
 
+echo "==> go test -race (Time Warp engine: equivalence vs oracle, rollback stress, netsim cross-engine)"
+go test -race ./internal/sim/... ./internal/netsim
+
 echo "==> go test -race -tags pamitrace ./internal/telemetry"
 go test -race -tags pamitrace ./internal/telemetry
 
@@ -36,12 +39,18 @@ go run ./cmd/msgrate -faults "flood@node=0" -budget 64 -senders 32 -window 300 >
 echo "==> fault-grammar fuzz (short deterministic run)"
 go test -run xxx -fuzz FuzzParsePlan -fuzztime 10s ./internal/fault >/dev/null
 
-echo "==> bench regression gate (Table 1 + Fig 5 vs BENCH_BASELINE.json)"
+echo "==> GVT fuzz (concurrent stamp folding + whole-engine runs, short)"
+go test -run xxx -fuzz 'FuzzGVT$' -fuzztime 10s ./internal/sim/warp >/dev/null
+go test -run xxx -fuzz 'FuzzGVTEngine$' -fuzztime 10s ./internal/sim/warp >/dev/null
+
+echo "==> bench regression gate (Table 1 + Fig 5 + warp speedup vs BENCH_BASELINE.json)"
 # Best-of-3 ns/op absorbs scheduler noise; any allocs/op on the
-# zero-alloc set fails regardless. Refresh the baseline with
-# `go run ./cmd/benchgate -update -in bench.out` after a deliberate
-# performance change.
-go test -bench 'BenchmarkTable1|BenchmarkFig5_PAMIRate' -benchmem \
+# zero-alloc set fails regardless, and the warp PHOLD entry gates the
+# seq/warp ns-per-op ratio (speedup_vs) so optimism-throttling
+# regressions fail even when absolute machine speed shifts. Refresh the
+# baseline with `go run ./cmd/benchgate -update -in bench.out` after a
+# deliberate performance change.
+go test -bench 'BenchmarkTable1|BenchmarkFig5_PAMIRate|BenchmarkWarpSpeedup' -benchmem \
 	-run xxx -benchtime 2s -count 3 | tee /tmp/pamigo-bench.out
 go run ./cmd/benchgate -in /tmp/pamigo-bench.out
 
