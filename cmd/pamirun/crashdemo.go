@@ -70,6 +70,7 @@ func decodeAppBlob(blob []byte) (state []uint64, nextStep int, err error) {
 type ctrlBarrier struct {
 	m       *machine.Machine
 	parties int
+	base    int64 // the epoch the run started at; a move past it aborts
 
 	mu      sync.Mutex
 	arrived int
@@ -77,7 +78,14 @@ type ctrlBarrier struct {
 }
 
 func newCtrlBarrier(m *machine.Machine, parties int) *ctrlBarrier {
-	return &ctrlBarrier{m: m, parties: parties, ch: make(chan struct{})}
+	return newCtrlBarrierAt(m, parties, 0)
+}
+
+// newCtrlBarrierAt builds a barrier for a run that started at a nonzero
+// membership epoch (a post-recovery generation: earlier deaths are
+// history, only a further death aborts).
+func newCtrlBarrierAt(m *machine.Machine, parties int, base int64) *ctrlBarrier {
+	return &ctrlBarrier{m: m, parties: parties, base: base, ch: make(chan struct{})}
 }
 
 func (b *ctrlBarrier) Await() error {
@@ -102,7 +110,7 @@ func (b *ctrlBarrier) Await() error {
 		case <-ch:
 			return nil
 		case <-time.After(fault.Jitter(seed, ord<<32|step, 100*time.Microsecond)):
-			if b.m.Epoch() != 0 {
+			if b.m.Epoch() != b.base {
 				return fmt.Errorf("membership changed at the control barrier: %w", mu.ErrEpochChanged)
 			}
 		}

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"pamigo/internal/cnk"
 	"pamigo/internal/collnet"
 	"pamigo/internal/fault"
 	"pamigo/internal/machine"
@@ -50,6 +51,12 @@ func main() {
 	faults := flag.String("faults", "", `fault plan, e.g. "drop=0.05,corrupt=0.02,dup=0.01,linkdown=0:A+@500" (empty = off)`)
 	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault decisions")
 	deadline := flag.Duration("deadline", 0, "abort with a goroutine dump if the run exceeds this duration (0 = off)")
+	listen := flag.String("listen", "", "wire listen address (host:port or unix:/path) so other processes of the partition can join")
+	join := flag.String("join", "", "comma-separated wire addresses of already-started partition processes to join")
+	rankRange := flag.String("rank-range", "", `task range "lo:hi" this process hosts (half-open, bounds multiples of -ppn); default: all`)
+	partitionID := flag.Uint64("partition", 1, "partition ID every process of the job must share")
+	dieRound := flag.Int("die-round", -1, "SIGKILL this process when it reaches the given wire-shakedown round (chaos testing; -1 = never)")
+	wiredemo := flag.Bool("wiredemo", false, "run the wire shakedown workload even single-process (reference digests for byte-exact comparison)")
 	flag.Parse()
 
 	stop := watchdog.Start(*deadline, "pamirun shakedown")
@@ -57,7 +64,10 @@ func main() {
 
 	dims, err := parseDims(*dimsFlag)
 	if err != nil {
-		log.Fatalf("pamirun: %v", err)
+		log.Fatalf("pamirun: -dims %q: %v (want AxBxCxDxE with every extent >= 1, e.g. 2x2x2x1x1)", *dimsFlag, err)
+	}
+	if !cnk.ValidPPN(*ppn) {
+		log.Fatalf("pamirun: -ppn %d is not a valid BG/Q process count: use a power of two between 1 and 64", *ppn)
 	}
 	cfg := machine.Config{Dims: dims, PPN: *ppn, TrackHops: true, FaultSeed: *faultSeed}
 	if *faults != "" {
@@ -69,6 +79,25 @@ func main() {
 			log.Fatalf("pamirun: %v", err)
 		}
 		cfg.Faults = &plan
+	}
+	if *listen != "" || *join != "" || *rankRange != "" || *wiredemo || *dieRound >= 0 {
+		wf, err := validateWireFlags(dims, *ppn, *listen, *join, *rankRange, *partitionID, *dieRound)
+		if err != nil {
+			log.Fatalf("pamirun: %v", err)
+		}
+		if cfg.Faults != nil {
+			// In wire mode the fault plan's drop/corrupt rates drive the
+			// wire-level storm (cut connections, flipped bytes); the torus
+			// injector stays off — the inter-process link is the fabric
+			// under test.
+			wf.drop, wf.corrupt = cfg.Faults.Drop, cfg.Faults.Corrupt
+			cfg.Faults = nil
+			fmt.Printf("wire fault storm armed: drop=%g corrupt=%g (seed %d)\n", wf.drop, wf.corrupt, *faultSeed)
+		}
+		if err := runWireShakedown(cfg, wf, *verbose); err != nil {
+			log.Fatalf("pamirun: wire shakedown: %v", err)
+		}
+		return
 	}
 	if cfg.Faults != nil && cfg.Faults.HasNodeFaults() {
 		// Node faults run the crash-recovery demo instead of the MPI

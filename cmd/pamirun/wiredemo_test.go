@@ -1,0 +1,118 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pamigo/internal/torus"
+)
+
+var demoDims = torus.Dims{2, 1, 1, 1, 1}
+
+func TestValidateWireFlagsAccepts(t *testing.T) {
+	wf, err := validateWireFlags(demoDims, 2, "127.0.0.1:0", "", "0:2", 7, -1)
+	if err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	if wf.lo != 0 || wf.hi != 2 || wf.partition != 7 {
+		t.Fatalf("parsed flags wrong: %+v", wf)
+	}
+	// No range at all hosts the full partition.
+	wf, err = validateWireFlags(demoDims, 2, "", "", "", 1, -1)
+	if err != nil {
+		t.Fatalf("full-range default rejected: %v", err)
+	}
+	if wf.lo != 0 || wf.hi != 4 {
+		t.Fatalf("default range [%d,%d), want [0,4)", wf.lo, wf.hi)
+	}
+	// Join lists split on commas and trim spaces.
+	wf, err = validateWireFlags(demoDims, 1, "", "127.0.0.1:7000, unix:/tmp/p1.sock", "1:2", 1, -1)
+	if err != nil {
+		t.Fatalf("join list rejected: %v", err)
+	}
+	if len(wf.join) != 2 || wf.join[1] != "unix:/tmp/p1.sock" {
+		t.Fatalf("join list parsed wrong: %v", wf.join)
+	}
+}
+
+// Every rejection must say what is wrong AND what to do about it.
+func TestValidateWireFlagsRejects(t *testing.T) {
+	cases := []struct {
+		name      string
+		ppn       int
+		listen    string
+		join      string
+		rankRange string
+		die       int
+		want      string
+	}{
+		{"bad format", 1, "x:0", "", "0-2", -1, `"lo:hi"`},
+		{"not numbers", 1, "x:0", "", "a:b", -1, `"lo:hi"`},
+		{"out of bounds", 1, "x:0", "", "0:5", -1, "outside the partition"},
+		{"empty range", 1, "x:0", "", "1:1", -1, "lo must be below hi"},
+		{"splits a node", 2, "x:0", "", "1:4", -1, "splits a node"},
+		{"unreachable rest", 1, "", "", "0:1", -1, "-listen"},
+		{"empty join element", 1, "", "a:1,,b:2", "", -1, "empty address"},
+		{"die past end", 1, "x:0", "", "", wireRounds, "past the end"},
+		{"die single process", 1, "", "", "", 3, "multi-process"},
+	}
+	for _, tc := range cases {
+		_, err := validateWireFlags(demoDims, tc.ppn, tc.listen, tc.join, tc.rankRange, 1, tc.die)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// The digest machinery must be deterministic and coordinate-bound, or
+// byte-exact comparison across process layouts means nothing.
+func TestWireDigestDeterminism(t *testing.T) {
+	if wireSig(3, 1, 2) != wireSigBytes(3, 1, 2, wirePayload(3, 1, 2)) {
+		t.Fatal("analytic signature disagrees with the received-bytes path")
+	}
+	if wireSig(3, 1, 2) == wireSig(3, 2, 1) {
+		t.Fatal("signature ignores direction")
+	}
+	p := wirePayload(5, 0, 1)
+	p[len(p)/2] ^= 0x40
+	if wireSigBytes(5, 0, 1, p) == wireSig(5, 0, 1) {
+		t.Fatal("a flipped bit went unnoticed")
+	}
+}
+
+func TestWireBlobRoundTrip(t *testing.T) {
+	in := map[int]uint64{0: 7, 3: 0xdeadbeefcafef00d}
+	resume, out, err := decodeWireBlob(encodeWireBlob(8, in))
+	if err != nil || resume != 8 || len(out) != 2 || out[3] != in[3] || out[0] != 7 {
+		t.Fatalf("round trip: resume=%d out=%v err=%v", resume, out, err)
+	}
+	if _, _, err := decodeWireBlob([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+}
+
+// Membership segments: a recovery truncates history at the resume round
+// and replays later rounds with survivors only.
+func TestExpectedDigestSegments(t *testing.T) {
+	full := []int{0, 1}
+	segs := []memberSeg{{from: 0, alive: full}}
+	base := expectedWireDigest(0, 8, segs)
+	segs = []memberSeg{{from: 0, alive: full}, {from: 4, alive: []int{0}}}
+	reduced := expectedWireDigest(0, 8, segs)
+	if base == reduced {
+		t.Fatal("dropping a member changed nothing")
+	}
+	var want uint64
+	for r := 0; r < 8; r++ {
+		want += wireSig(r, 0, 0)
+		if r < 4 {
+			want += wireSig(r, 1, 0)
+		}
+	}
+	if reduced != want {
+		t.Fatalf("segmented digest %016x, want %016x", reduced, want)
+	}
+}

@@ -129,6 +129,14 @@ func (ctx *Context) Send(p SendParams) error {
 		return fmt.Errorf("core: dispatch %#x is reserved", p.Dispatch)
 	}
 	mode := p.Mode
+	if mode == ModeAuto && !ctx.client.mach.Hosted(p.Dest.Task) {
+		// The destination lives in another OS process: rendezvous is off
+		// the table, because its RDMA get reaches into the sender's
+		// memory and remote memory is not addressable across processes.
+		// The wire transport carries eager payloads of any size,
+		// segmented and flow-controlled, so eager is always safe here.
+		mode = ModeEager
+	}
 	if mode == ModeAuto {
 		if len(p.Data) <= ctx.client.eagerLimit() {
 			if ctx.destCongested(p.Dest) {

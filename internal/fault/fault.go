@@ -503,6 +503,25 @@ func FlowHash(a, b, c, d int) uint64 {
 // pattern is a pure function of the plan seed — replayable, and free
 // of the lockstep resonance that fixed sleep intervals produce across
 // concurrent pollers.
+// Chance reports a deterministic probability-p event derived from the
+// seed and the event coordinates — the wire transport's frame-level
+// analogue of Injector.Decide, for layers that fault whole frames
+// rather than torus packets. The same (p, seed, a, b, c) always gives
+// the same answer, so a storm run replays exactly.
+func Chance(p float64, seed int64, a, b, c int64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	h := mix(uint64(seed) ^ 0xc4a75e11f0a37a1d)
+	h = mix(h ^ mix(uint64(a)+0x9e3779b97f4a7c15))
+	h = mix(h ^ mix(uint64(b)+0x517cc1b727220a95))
+	h = mix(h ^ mix(uint64(c)+0x2545f4914f6cdd1d))
+	return float64(h>>11)/(1<<53) < p
+}
+
 func Jitter(seed int64, step int64, base time.Duration) time.Duration {
 	if base <= 0 {
 		return 0

@@ -71,6 +71,8 @@ type Monitor struct {
 	lastBeat []atomic.Int64 // UnixNano of node's latest heartbeat
 	silenced []atomic.Bool  // node stopped heartbeating (fault fired)
 	dead     []atomic.Bool  // death confirmed; permanent
+	external []atomic.Bool  // beats arrive over a wire transport, not self-stamped
+	everBeat []atomic.Bool  // external node has delivered at least one beat
 
 	deadCount atomic.Int64
 	epoch     atomic.Int64 // bumped once per confirmed death
@@ -105,6 +107,8 @@ func NewMonitor(cfg Config) (*Monitor, error) {
 		lastBeat: make([]atomic.Int64, cfg.Nodes),
 		silenced: make([]atomic.Bool, cfg.Nodes),
 		dead:     make([]atomic.Bool, cfg.Nodes),
+		external: make([]atomic.Bool, cfg.Nodes),
+		everBeat: make([]atomic.Bool, cfg.Nodes),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -152,9 +156,19 @@ func (m *Monitor) scan() {
 				continue
 			}
 			if !m.silenced[n].Load() {
-				// The service network delivered another beat.
-				m.lastBeat[n].Store(now)
-				continue
+				if !m.external[n].Load() {
+					// The service network delivered another beat.
+					m.lastBeat[n].Store(now)
+					continue
+				}
+				if !m.everBeat[n].Load() {
+					// External node whose process has not joined yet:
+					// suspicion cannot accrue before the first real beat
+					// arrives (bootstrap grace; the join path has its own
+					// timeout). Once it has beaten, silence is suspicion.
+					m.lastBeat[n].Store(now)
+					continue
+				}
 			}
 			phi := float64(now-m.lastBeat[n].Load()) / float64(m.interval)
 			if m.phiGauges != nil {
@@ -164,6 +178,28 @@ func (m *Monitor) scan() {
 				m.declareDead(torus.Rank(n))
 			}
 		}
+	}
+}
+
+// SetExternal marks node n's heartbeats as externally supplied: they
+// arrive as out-of-band beat frames over a wire transport, so the
+// scanner stops self-stamping and Beat is the only thing that keeps the
+// node alive. A machine spanning OS processes marks every non-hosted
+// node external at boot. Suspicion only starts accruing after the first
+// real beat — before its process joins, an external node is in
+// bootstrap grace and cannot be declared dead.
+func (m *Monitor) SetExternal(n torus.Rank) {
+	if int(n) < len(m.external) {
+		m.external[n].Store(true)
+	}
+}
+
+// Beat records a live heartbeat for node n, delivered by the wire
+// transport's out-of-band beat frames. Safe from any goroutine.
+func (m *Monitor) Beat(n torus.Rank) {
+	if int(n) < len(m.lastBeat) {
+		m.lastBeat[n].Store(time.Now().UnixNano())
+		m.everBeat[n].Store(true)
 	}
 }
 
@@ -249,7 +285,12 @@ func (m *Monitor) DeadNodes() []torus.Rank {
 // Phi returns node n's current suspicion level: heartbeat periods of
 // silence. 0 for a heartbeating node.
 func (m *Monitor) Phi(n torus.Rank) float64 {
-	if int(n) >= len(m.lastBeat) || !m.silenced[n].Load() {
+	if int(n) >= len(m.lastBeat) {
+		return 0
+	}
+	accruing := m.silenced[n].Load() ||
+		(m.external[n].Load() && m.everBeat[n].Load())
+	if !accruing {
 		return 0
 	}
 	return float64(time.Now().UnixNano()-m.lastBeat[n].Load()) / float64(m.interval)

@@ -92,3 +92,63 @@ func TestTypedErrors(t *testing.T) {
 		t.Fatal("typed errors are not distinct sentinels")
 	}
 }
+
+func TestExternalBeatLifecycle(t *testing.T) {
+	// A wide silence tolerance (BeatInterval*PhiThreshold = 16ms) keeps
+	// the race detector's scheduling jitter from outrunning the beater
+	// goroutine below.
+	m, err := NewMonitor(Config{Nodes: 2, BeatInterval: 2 * time.Millisecond, PhiThreshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetExternal(1)
+	var died atomic.Int64
+	m.OnDeath(func(torus.Rank) { died.Add(1) })
+	m.Start()
+	defer m.Stop()
+
+	// Bootstrap grace: an external node whose process has not joined yet
+	// cannot be declared dead — suspicion needs a first beat to anchor.
+	time.Sleep(10 * time.Millisecond) // many threshold windows
+	if !m.Alive(1) {
+		t.Fatal("external node declared dead before its first beat")
+	}
+	if m.Phi(1) != 0 {
+		t.Fatalf("phi=%v accrued during bootstrap grace", m.Phi(1))
+	}
+
+	// Beats flowing: stays alive.
+	stop := make(chan struct{})
+	beatDone := make(chan struct{})
+	go func() {
+		defer close(beatDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Beat(1)
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if !m.Alive(1) {
+		t.Fatal("beating external node declared dead")
+	}
+
+	// Beats stop (the process was SIGKILLed): suspicion accrues and the
+	// death is confirmed without any Silence call.
+	close(stop)
+	<-beatDone
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Alive(1) {
+		if time.Now().After(deadline) {
+			t.Fatalf("external node never confirmed dead after beats stopped (phi=%v)", m.Phi(1))
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if died.Load() != 1 || !m.Alive(0) {
+		t.Fatalf("deaths=%d alive(0)=%v, want exactly the external node dead", died.Load(), m.Alive(0))
+	}
+}

@@ -46,6 +46,14 @@ func (m *Machine) Checkpoint(blobs map[string][]byte) (*Checkpoint, error) {
 	if err := m.fabric.Quiesced(); err != nil {
 		return nil, fmt.Errorf("machine: checkpoint refused, data plane not quiescent: %w", err)
 	}
+	// In wire mode the invariant extends across processes: every frame
+	// to every live peer must be acknowledged, so the checkpoint holds
+	// no transport state and a restore starts its transports clean.
+	if m.wt != nil {
+		if err := m.wt.Quiesced(); err != nil {
+			return nil, fmt.Errorf("machine: checkpoint refused, wire transport not quiescent: %w", err)
+		}
+	}
 	ck := &Checkpoint{
 		Dims:  m.cfg.Dims,
 		PPN:   m.cfg.PPN,
@@ -99,5 +107,18 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 // application re-seeds its state from the checkpoint's blobs and resumes
 // from the step it saved.
 func Restore(ck *Checkpoint) (*Machine, error) {
-	return New(Config{Dims: ck.Dims, PPN: ck.PPN})
+	return RestoreWith(ck, Config{})
+}
+
+// RestoreWith is Restore with a caller-supplied config for everything
+// the checkpoint does not pin: wire transport options, hosted range,
+// fault plan. The shape (Dims, PPN) always comes from the checkpoint —
+// a snapshot restores onto the geometry it was taken on. Transports
+// start from scratch: fresh listeners, fresh handshakes, sequence
+// numbers at zero — valid precisely because the quiesce precondition
+// left nothing in flight to replay.
+func RestoreWith(ck *Checkpoint, cfg Config) (*Machine, error) {
+	cfg.Dims = ck.Dims
+	cfg.PPN = ck.PPN
+	return New(cfg)
 }

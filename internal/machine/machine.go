@@ -25,6 +25,7 @@ import (
 	"pamigo/internal/shmem"
 	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
+	"pamigo/internal/wire"
 )
 
 // Config describes the job to boot.
@@ -51,6 +52,39 @@ type Config struct {
 	// PhiThreshold overrides the suspicion threshold (silent heartbeat
 	// periods before a node is declared dead); 0 picks the default (8).
 	PhiThreshold float64
+	// Wire, when non-nil, makes this process host only the task range
+	// [HostedLo, HostedHi) and reach the rest of the partition through a
+	// wire transport (TCP or Unix sockets) — the partition spans OS
+	// processes. The health monitor is always armed in wire mode: remote
+	// nodes prove liveness with out-of-band beats, and a process that
+	// dies (even SIGKILL) is confirmed dead by phi accrual.
+	Wire *wire.Options
+	// HostedLo/HostedHi is the locally hosted task range in wire mode,
+	// node-aligned (multiples of PPN). Both zero means "host everything"
+	// (useful for a single-process wire-mode reference run).
+	HostedLo, HostedHi int
+}
+
+// validateHosted checks the wire-mode task range, with messages that
+// tell the operator what to fix rather than just what is wrong.
+func validateHosted(cfg *Config) error {
+	nTasks := cfg.Dims.Nodes() * cfg.PPN
+	if cfg.HostedLo == 0 && cfg.HostedHi == 0 {
+		cfg.HostedHi = nTasks
+	}
+	if cfg.HostedLo < 0 || cfg.HostedHi > nTasks {
+		return fmt.Errorf("machine: hosted task range [%d,%d) outside the partition's %d tasks (dims %v x PPN %d); adjust -rank-range",
+			cfg.HostedLo, cfg.HostedHi, nTasks, cfg.Dims, cfg.PPN)
+	}
+	if cfg.HostedLo >= cfg.HostedHi {
+		return fmt.Errorf("machine: hosted task range [%d,%d) is empty; a process must host at least one node's tasks",
+			cfg.HostedLo, cfg.HostedHi)
+	}
+	if cfg.HostedLo%cfg.PPN != 0 || cfg.HostedHi%cfg.PPN != 0 {
+		return fmt.Errorf("machine: hosted task range [%d,%d) splits a node: with PPN %d both bounds must be multiples of %d so same-node tasks share a process (the shared-memory path requires it)",
+			cfg.HostedLo, cfg.HostedHi, cfg.PPN, cfg.PPN)
+	}
+	return nil
 }
 
 // Machine is a booted functional BG/Q system.
@@ -65,9 +99,13 @@ type Machine struct {
 	tasks  []*cnk.Process
 	tele   *telemetry.Registry
 
-	// hmon is the heartbeat failure detector, armed only when the fault
-	// plan kills or freezes nodes; nil otherwise (zero steady-state cost).
+	// hmon is the heartbeat failure detector, armed when the fault plan
+	// kills or freezes nodes or when the machine runs in wire mode; nil
+	// otherwise (zero steady-state cost).
 	hmon *health.Monitor
+
+	// wt is the inter-process transport; nil in single-process mode.
+	wt *wire.Transport
 
 	geoMu  sync.Mutex
 	geoReg map[uint64]any
@@ -118,6 +156,36 @@ func New(cfg Config) (*Machine, error) {
 			m.tasks = append(m.tasks, p)
 		}
 	}
+	needHmon := cfg.Wire != nil ||
+		(cfg.Faults != nil && cfg.Faults.Active() && cfg.Faults.HasNodeFaults())
+	if needHmon {
+		hmon, err := health.NewMonitor(health.Config{
+			Nodes:        cfg.Dims.Nodes(),
+			BeatInterval: cfg.HeartbeatInterval,
+			PhiThreshold: cfg.PhiThreshold,
+			Telemetry:    m.tele,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.hmon = hmon
+		// Confirmed death: propagate through every layer —
+		//   fabric:  fail flows touching the node, wake blocked senders
+		//   collnet: shrink classroutes, fail in-flight sessions
+		//   cnk:     stop the dead node's commthreads
+		//   wire:    fail queued and future sends with ErrPeerDead
+		// then wake every parked context so survivors observe the new
+		// epoch instead of sleeping on a signal that will never come.
+		hmon.OnDeath(func(n torus.Rank) {
+			m.fabric.MarkNodeDead(n)
+			m.coll.HandleNodeDown(n)
+			m.nodes[n].StopCommThreads()
+			if m.wt != nil {
+				m.wt.MarkTaskDead(int(n) * cfg.PPN)
+			}
+			m.fabric.TouchAll()
+		})
+	}
 	if cfg.Faults != nil && cfg.Faults.Active() {
 		inj, err := fault.NewInjector(cfg.Dims, *cfg.Faults, cfg.FaultSeed)
 		if err != nil {
@@ -131,44 +199,95 @@ func New(cfg Config) (*Machine, error) {
 		})
 		fabric.InstallFaults(inj)
 		if cfg.Faults.HasNodeFaults() {
-			hmon, err := health.NewMonitor(health.Config{
-				Nodes:        cfg.Dims.Nodes(),
-				BeatInterval: cfg.HeartbeatInterval,
-				PhiThreshold: cfg.PhiThreshold,
-				Telemetry:    m.tele,
-			})
-			if err != nil {
-				return nil, err
-			}
-			m.hmon = hmon
 			// A node fault firing silences the node's heartbeats; the
 			// monitor then accrues suspicion until it confirms the death.
 			// (The fabric blackholes the node's traffic from the same
 			// injector event, no wiring needed.)
 			inj.OnNodeFault(func(nf fault.NodeFault) {
-				hmon.Silence(nf.Node)
+				m.hmon.Silence(nf.Node)
 			})
-			// Confirmed death: propagate through every layer —
-			//   fabric:  fail flows touching the node, wake blocked senders
-			//   collnet: shrink classroutes, fail in-flight sessions
-			//   cnk:     stop the dead node's commthreads
-			// then wake every parked context so survivors observe the new
-			// epoch instead of sleeping on a signal that will never come.
-			hmon.OnDeath(func(n torus.Rank) {
-				m.fabric.MarkNodeDead(n)
-				m.coll.HandleNodeDown(n)
-				m.nodes[n].StopCommThreads()
-				m.fabric.TouchAll()
-			})
-			hmon.Start()
 		}
+	}
+	if cfg.Wire != nil {
+		if err := validateHosted(&m.cfg); err != nil {
+			return nil, err
+		}
+		cfg.HostedLo, cfg.HostedHi = m.cfg.HostedLo, m.cfg.HostedHi
+		// Remote nodes prove liveness with beat frames off the wire, not
+		// the simulated service network: mark them external so silence
+		// accrues suspicion once their process has joined.
+		for r := 0; r < cfg.Dims.Nodes(); r++ {
+			if task := r * cfg.PPN; task < cfg.HostedLo || task >= cfg.HostedHi {
+				m.hmon.SetExternal(torus.Rank(r))
+			}
+		}
+		wt, err := wire.New(wire.Config{
+			Options:  *cfg.Wire,
+			Dims:     cfg.Dims,
+			PPN:      cfg.PPN,
+			HostedLo: cfg.HostedLo,
+			HostedHi: cfg.HostedHi,
+			Deliver:  fabric.DeliverRemote,
+			Epoch:    m.hmon.Epoch,
+			OnBeat: func(taskLo, taskHi int) {
+				for r := taskLo / cfg.PPN; r < (taskHi+cfg.PPN-1)/cfg.PPN; r++ {
+					m.hmon.Beat(torus.Rank(r))
+				}
+			},
+			RangeDead: func(lo, hi int) bool {
+				for r := lo / cfg.PPN; r < (hi+cfg.PPN-1)/cfg.PPN; r++ {
+					if m.hmon.Dead(torus.Rank(r)) {
+						return true
+					}
+				}
+				return false
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.wt = wt
+		m.tele.Adopt(wt.Telemetry())
+		fabric.InstallTransport(wt)
+	}
+	if m.hmon != nil {
+		m.hmon.Start()
 	}
 	return m, nil
 }
 
-// Health returns the heartbeat failure detector, or nil when the fault
-// plan contains no node faults.
+// Health returns the heartbeat failure detector, or nil when neither
+// node faults nor wire mode armed it.
 func (m *Machine) Health() *health.Monitor { return m.hmon }
+
+// Wire returns the inter-process transport, or nil in single-process
+// mode.
+func (m *Machine) Wire() *wire.Transport { return m.wt }
+
+// Hosted reports whether the given task runs in this process. Always
+// true in single-process mode.
+func (m *Machine) Hosted(task int) bool {
+	return m.wt == nil || m.wt.Local(task)
+}
+
+// HostedRange returns the locally hosted task range [lo, hi); the full
+// range in single-process mode.
+func (m *Machine) HostedRange() (lo, hi int) {
+	if m.wt == nil {
+		return 0, len(m.tasks)
+	}
+	return m.wt.HostedRange()
+}
+
+// WaitWire blocks until every task of the partition is reachable — all
+// peer processes joined (or resolved dead) — failing fast on terminal
+// handshake errors. A no-op in single-process mode.
+func (m *Machine) WaitWire(timeout time.Duration) error {
+	if m.wt == nil {
+		return nil
+	}
+	return m.wt.WaitComplete(timeout)
+}
 
 // Epoch returns the cluster membership epoch: 0 at boot and whenever no
 // failure detector is armed, +1 per confirmed node death. One atomic
@@ -247,12 +366,17 @@ func (m *Machine) SameNode(a, b int) bool {
 	return m.tasks[a].Node() == m.tasks[b].Node()
 }
 
-// Run launches fn once per process, each on its own goroutine, and waits
-// for all of them — the SPMD main() of the job.
+// Run launches fn once per locally hosted process, each on its own
+// goroutine, and waits for all of them — the SPMD main() of the job. In
+// wire mode only the hosted task range runs here; the rest of the
+// partition runs in its own OS processes.
 func (m *Machine) Run(fn func(p *cnk.Process)) {
 	var wg sync.WaitGroup
 	for _, p := range m.tasks {
 		p := p
+		if !m.Hosted(p.TaskRank()) {
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -288,6 +412,12 @@ func (m *Machine) DropSharedState(key uint64) {
 // through the cnk nodes and, when fault injection is armed, the fabric's
 // reliable-delivery retransmit daemon.
 func (m *Machine) Shutdown() {
+	// The wire transport goes first: its read loops deliver into the
+	// fabric and its beats feed the monitor, so nothing may arrive after
+	// the layers below stop.
+	if m.wt != nil {
+		m.wt.Close()
+	}
 	if m.hmon != nil {
 		m.hmon.Stop()
 	}

@@ -1,0 +1,291 @@
+package machine_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pamigo/internal/core"
+	"pamigo/internal/fault"
+	"pamigo/internal/health"
+	"pamigo/internal/machine"
+	"pamigo/internal/mu"
+	"pamigo/internal/torus"
+	"pamigo/internal/wire"
+)
+
+var wireDims = torus.Dims{2, 1, 1, 1, 1}
+
+// wirePair boots a 2-task partition split across two machines in this
+// test process, connected over loopback TCP — the in-test stand-in for
+// two OS processes.
+func wirePair(t *testing.T, opts wire.Options) (ma, mb *machine.Machine) {
+	t.Helper()
+	optsA := opts
+	optsA.Listen = "127.0.0.1:0"
+	ma, err := machine.New(machine.Config{
+		Dims: wireDims, PPN: 1,
+		HostedLo: 0, HostedHi: 1,
+		Wire: &optsA,
+	})
+	if err != nil {
+		t.Fatalf("machine a: %v", err)
+	}
+	t.Cleanup(ma.Shutdown)
+	optsB := opts
+	optsB.Join = []string{ma.Wire().Addr()}
+	mb, err = machine.New(machine.Config{
+		Dims: wireDims, PPN: 1,
+		HostedLo: 1, HostedHi: 2,
+		Wire: &optsB,
+	})
+	if err != nil {
+		t.Fatalf("machine b: %v", err)
+	}
+	t.Cleanup(mb.Shutdown)
+	if err := ma.WaitWire(5 * time.Second); err != nil {
+		t.Fatalf("a incomplete: %v", err)
+	}
+	if err := mb.WaitWire(5 * time.Second); err != nil {
+		t.Fatalf("b incomplete: %v", err)
+	}
+	return ma, mb
+}
+
+func wireCtx(t *testing.T, m *machine.Machine, task int) *core.Context {
+	t.Helper()
+	c, err := core.NewClient(m, m.Task(task), "wiretest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs, err := c.CreateContexts(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctxs[0]
+}
+
+func fastBeats() wire.Options {
+	return wire.Options{
+		Partition:    7,
+		BeatInterval: 500 * time.Microsecond,
+		BackoffBase:  time.Millisecond,
+		BackoffMax:   20 * time.Millisecond,
+		Seed:         99,
+	}
+}
+
+// TestCrossProcessEagerSend pushes core sends across the wire in both
+// directions: a small eager message and one far above the eager
+// threshold, which auto-mode must still send eagerly because rendezvous
+// RDMA cannot reach another process's memory.
+func TestCrossProcessEagerSend(t *testing.T) {
+	ma, mb := wirePair(t, fastBeats())
+	ca := wireCtx(t, ma, 0)
+	cb := wireCtx(t, mb, 1)
+
+	type got struct {
+		meta, data []byte
+		rendez     bool
+	}
+	recv := make(map[string]*got)
+	cb.RegisterDispatch(1, func(_ *core.Context, d *core.Delivery) {
+		recv[string(d.Meta)] = &got{
+			meta:   append([]byte(nil), d.Meta...),
+			data:   append([]byte(nil), d.Data...),
+			rendez: d.IsRendezvous(),
+		}
+	})
+
+	small := []byte("across the wire")
+	big := make([]byte, 3*core.DefaultEagerThreshold+13)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	if err := ca.Send(core.SendParams{Dest: cb.Endpoint(), Dispatch: 1, Meta: []byte("m1"), Data: small}); err != nil {
+		t.Fatalf("small send: %v", err)
+	}
+	if err := ca.Send(core.SendParams{Dest: cb.Endpoint(), Dispatch: 1, Meta: []byte("m2"), Data: big}); err != nil {
+		t.Fatalf("big send: %v", err)
+	}
+	cb.AdvanceUntil(func() bool { return len(recv) == 2 })
+	bodies := map[string][]byte{}
+	for key, g := range recv {
+		if g.rendez {
+			t.Fatalf("message %q crossed processes as rendezvous", key)
+		}
+		bodies[key] = g.data
+	}
+	if string(bodies["m1"]) != string(small) {
+		t.Fatalf("small payload mangled: %d bytes", len(bodies["m1"]))
+	}
+	if len(bodies["m2"]) != len(big) {
+		t.Fatalf("big payload %d bytes, want %d", len(bodies["m2"]), len(big))
+	}
+	for i := range big {
+		if bodies["m2"][i] != big[i] {
+			t.Fatalf("big payload byte %d: %02x want %02x", i, bodies["m2"][i], big[i])
+		}
+	}
+
+	// Reverse direction: the acceptor-side machine sends too.
+	var back []byte
+	ca.RegisterDispatch(2, func(_ *core.Context, d *core.Delivery) {
+		back = append([]byte(nil), d.Data...)
+	})
+	if err := cb.Send(core.SendParams{Dest: ca.Endpoint(), Dispatch: 2, Data: []byte("reply")}); err != nil {
+		t.Fatalf("reverse send: %v", err)
+	}
+	ca.AdvanceUntil(func() bool { return back != nil })
+	if string(back) != "reply" {
+		t.Fatalf("reverse payload: %q", back)
+	}
+}
+
+// TestWireDeathDetection kills machine b without ceremony and asserts
+// machine a's phi-accrual detector confirms the death from heartbeat
+// silence alone, after which sends fail typed with ErrPeerDead.
+func TestWireDeathDetection(t *testing.T) {
+	opts := fastBeats()
+	ma, mb := wirePair(t, opts)
+	ca := wireCtx(t, ma, 0)
+
+	// The monitor needs at least one real beat before silence counts
+	// (bootstrap grace); WaitWire guarantees the join, beats follow.
+	deadline := time.Now().Add(5 * time.Second)
+	for step := int64(0); ma.Health().Phi(1) == 0 && ma.Alive(1); step++ {
+		if time.Now().After(deadline) {
+			break // no suspicion at all — beats flowing, which is what we want
+		}
+		time.Sleep(fault.Jitter(99, step, time.Millisecond))
+	}
+	if !ma.Alive(1) {
+		t.Fatal("node 1 declared dead while its process was healthy")
+	}
+
+	// The "SIGKILL": b's process stops existing. No goodbye, no FIN
+	// ordering guarantees — just silence.
+	mb.Shutdown()
+
+	deadline = time.Now().Add(10 * time.Second)
+	for step := int64(0); ma.Alive(1); step++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("node 1 never confirmed dead (phi=%v)", ma.Health().Phi(1))
+		}
+		time.Sleep(fault.Jitter(99, step, time.Millisecond))
+	}
+	if ma.Epoch() == 0 {
+		t.Fatal("epoch did not advance on death")
+	}
+
+	// Sends to the dead range fail typed, immediately.
+	err := ca.Send(core.SendParams{Dest: core.Endpoint{Task: 1}, Dispatch: 1, Data: []byte("x")})
+	if err == nil {
+		// The send may have been accepted into the context before the
+		// death propagated; advancing must surface the failure rather
+		// than hang. Either way the wire itself must refuse new frames.
+		werr := ma.Wire().Send(core.Endpoint{Task: 1}, wireTestHeader(1), []byte("x"))
+		if !errors.Is(werr, health.ErrPeerDead) {
+			t.Fatalf("wire send to dead peer: %v, want ErrPeerDead", werr)
+		}
+	} else if !errors.Is(err, health.ErrPeerDead) {
+		t.Fatalf("send to dead peer: %v, want ErrPeerDead", err)
+	}
+
+	// Survivor recovers by checkpoint-restart: quiesce, snapshot,
+	// restore into a fresh machine whose transports start clean.
+	ca.Drain()
+	ck, err := ma.Checkpoint(map[string][]byte{"state": []byte("survivor")})
+	if err != nil {
+		t.Fatalf("checkpoint after death: %v", err)
+	}
+	if len(ck.DeadNodes) != 1 || ck.DeadNodes[0] != 1 {
+		t.Fatalf("checkpoint dead set %v, want [1]", ck.DeadNodes)
+	}
+	m2, err := machine.RestoreWith(ck, machine.Config{})
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	defer m2.Shutdown()
+	if m2.Tasks() != 2 || string(ck.Blob("state")) != "survivor" {
+		t.Fatalf("restored shape/blobs wrong: tasks=%d", m2.Tasks())
+	}
+}
+
+// TestHostedRangeValidation asserts wire-mode boot rejects bad ranges
+// with messages that say what to fix.
+func TestHostedRangeValidation(t *testing.T) {
+	opts := fastBeats()
+	cases := []struct {
+		lo, hi int
+		ppn    int
+		want   string
+	}{
+		{lo: 1, hi: 2, ppn: 2, want: "splits a node"},
+		{lo: 0, hi: 6, ppn: 2, want: "outside the partition"},
+		{lo: 2, hi: 2, ppn: 2, want: "empty"},
+	}
+	for _, tc := range cases {
+		_, err := machine.New(machine.Config{
+			Dims: wireDims, PPN: tc.ppn,
+			HostedLo: tc.lo, HostedHi: tc.hi,
+			Wire: &opts,
+		})
+		if err == nil {
+			t.Fatalf("range [%d,%d) ppn %d accepted", tc.lo, tc.hi, tc.ppn)
+		}
+		if !contains(err.Error(), tc.want) {
+			t.Fatalf("range [%d,%d): error %q does not explain %q", tc.lo, tc.hi, err, tc.want)
+		}
+	}
+}
+
+// TestCheckpointRefusedWhileWireBusy asserts the wire transport's
+// unacknowledged frames block a checkpoint — the cross-process half of
+// the "checkpoints hold no transport state" invariant.
+func TestCheckpointRefusedWhileWireBusy(t *testing.T) {
+	ma, mb := wirePair(t, fastBeats())
+	// A reception FIFO must exist on b's side for the frame to land in;
+	// the ack returns once it does (no handler dispatch required).
+	wireCtx(t, mb, 1)
+	// A frame the peer will deliver but whose ack may not have returned
+	// yet: immediately after Send, the outbound window is non-empty.
+	if err := ma.Wire().Send(core.Endpoint{Task: 1}, wireTestHeader(4), []byte("busy")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := ma.Wire().Quiesced(); err == nil {
+		// The ack can race in before we check; only assert the refusal
+		// when the window is demonstrably still open.
+		t.Skip("ack arrived before the quiescence check; nothing to refuse")
+	}
+	if _, err := ma.Checkpoint(nil); err == nil {
+		t.Fatal("checkpoint accepted with unacknowledged wire frames")
+	}
+	// Once acknowledged, the checkpoint goes through.
+	deadline := time.Now().Add(5 * time.Second)
+	for step := int64(0); ma.Wire().Quiesced() != nil; step++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("wire never quiesced: %v", ma.Wire().Quiesced())
+		}
+		time.Sleep(fault.Jitter(99, step, time.Millisecond))
+	}
+	if _, err := ma.Checkpoint(nil); err != nil {
+		t.Fatalf("checkpoint after quiesce: %v", err)
+	}
+}
+
+func wireTestHeader(n int) mu.Header {
+	return mu.Header{Dispatch: 1, Origin: mu.TaskAddr{Task: 0}, Seq: 1, Total: n}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+var _ = fmt.Sprintf

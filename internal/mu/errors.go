@@ -29,6 +29,11 @@ var (
 	// ErrFabricClosed means the fabric was shut down while an operation
 	// was in flight.
 	ErrFabricClosed = errors.New("mu: fabric closed")
+	// ErrCrossProcessRDMA means an RDMA operation named a task hosted by
+	// another OS process: memregions and GVA segments are process memory,
+	// so puts and remote gets cannot cross the wire transport. Senders
+	// use eager memory-FIFO messages between processes instead.
+	ErrCrossProcessRDMA = errors.New("mu: RDMA cannot reach a task in another process")
 )
 
 // Membership and backpressure errors re-exported from the layers that

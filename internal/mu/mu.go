@@ -331,6 +331,11 @@ type Fabric struct {
 	// Nil (the default) keeps every send on the zero-overhead fast path.
 	rel atomic.Pointer[reliableLayer]
 
+	// transport is the inter-process leg, installed by InstallTransport
+	// when the partition spans OS processes. Nil (the default) keeps
+	// every send in-process.
+	transport atomic.Pointer[transportSlot]
+
 	// TrackHops enables per-packet route-length accounting (costs a route
 	// computation per message; tests and examples enable it).
 	TrackHops bool
@@ -544,6 +549,9 @@ func (f *Fabric) account(srcTask int, dstTask int, packets, bytes int64) {
 // immediately: the same contract the MU gives software once the
 // descriptor's data has been DMA-read, at the same (zero) allocator cost.
 func (f *Fabric) InjectMemFIFO(inj *InjFIFO, dst TaskAddr, hdr Header, payload []byte) error {
+	if t := f.remoteFor(dst.Task); t != nil {
+		return f.injectRemote(t, inj, dst, hdr, payload)
+	}
 	fifo, err := f.lookupContext(dst)
 	if err != nil {
 		return err
@@ -613,6 +621,9 @@ func (p *Packet) deliverTo(fifo *RecFIFO, dst TaskAddr) error {
 // destination counter (if any) is incremented by n and the destination
 // context's reception region is touched so pollers notice.
 func (f *Fabric) InjectPut(inj *InjFIFO, srcTask int, src []byte, dst TaskAddr, dstMR uint64, dstOff int, done *l2atomic.Counter) error {
+	if err := f.crossProcessRDMACheck("put", dst.Task); err != nil {
+		return err
+	}
 	buf, ok := f.Memregion(dst.Task, dstMR)
 	if !ok {
 		return fmt.Errorf("%w: put to memregion %d of task %d", ErrNoSuchMemregion, dstMR, dst.Task)
@@ -648,6 +659,9 @@ func (f *Fabric) InjectPut(inj *InjFIFO, srcTask int, src []byte, dst TaskAddr, 
 // paper exploits. On completion the initiator's counter is incremented by
 // n and its context region touched.
 func (f *Fabric) InjectRemoteGet(inj *InjFIFO, initiator TaskAddr, dataTask int, dataMR uint64, srcOff int, dst []byte, done *l2atomic.Counter) error {
+	if err := f.crossProcessRDMACheck("remote get", dataTask); err != nil {
+		return err
+	}
 	buf, ok := f.Memregion(dataTask, dataMR)
 	if !ok {
 		return fmt.Errorf("%w: remote get from memregion %d of task %d", ErrNoSuchMemregion, dataMR, dataTask)

@@ -1,0 +1,148 @@
+package mu
+
+import (
+	"fmt"
+
+	"pamigo/internal/bufpool"
+)
+
+// Transport moves memory-FIFO messages addressed to tasks hosted by
+// another OS process. The fabric consults it on every injection: tasks
+// the transport reports as local stay on the in-process path (zero
+// allocations, direct FIFO delivery); the rest are handed to the
+// transport, which owns framing, integrity, ordering, and liveness for
+// the inter-process leg. internal/wire provides the TCP/Unix-socket
+// implementation; a single-process machine installs none and pays
+// one atomic load per send.
+type Transport interface {
+	// Local reports whether the task runs inside this OS process.
+	Local(task int) bool
+	// Send ships one complete memory-FIFO message (hdr.Offset 0,
+	// hdr.Total unset — the transport owns segmentation) to the process
+	// hosting dst.Task. It must either accept the whole message or fail
+	// it typed: health.ErrPeerDead once the peer is confirmed dead,
+	// lockless.ErrBackpressure when the peer's bounded outbound queue is
+	// full. The payload is copied before Send returns.
+	Send(dst TaskAddr, hdr Header, payload []byte) error
+	// Close tears the transport down and unblocks its goroutines.
+	Close() error
+}
+
+// transportSlot boxes the interface so the fabric can swap it atomically.
+type transportSlot struct{ t Transport }
+
+// InstallTransport routes sends to non-local tasks through t. Installed
+// once at machine boot, before any traffic.
+func (f *Fabric) InstallTransport(t Transport) {
+	f.transport.Store(&transportSlot{t: t})
+}
+
+// Transport returns the installed inter-process transport, or nil.
+func (f *Fabric) Transport() Transport {
+	if s := f.transport.Load(); s != nil {
+		return s.t
+	}
+	return nil
+}
+
+// remoteFor returns the transport when dst.Task lives in another OS
+// process, nil otherwise. Sits on the injection fast path: one atomic
+// load when no transport is installed.
+func (f *Fabric) remoteFor(task int) Transport {
+	s := f.transport.Load()
+	if s == nil || s.t.Local(task) {
+		return nil
+	}
+	return s.t
+}
+
+// injectRemote hands a memory-FIFO message to the inter-process
+// transport, keeping the fabric's injection accounting so telemetry
+// views traffic uniformly regardless of which leg carried it.
+func (f *Fabric) injectRemote(t Transport, inj *InjFIFO, dst TaskAddr, hdr Header, payload []byte) error {
+	inj.injected.Add(1)
+	f.memFIFOSends.Add(1)
+	hdr.Total = len(payload)
+	hdr.Offset = 0
+	npkts := int64((len(payload) + MaxPayload - 1) / MaxPayload)
+	if npkts == 0 {
+		npkts = 1
+	}
+	f.account(hdr.Origin.Task, dst.Task, npkts, int64(len(payload))+npkts*PacketHeaderBytes)
+	return t.Send(dst, hdr, payload)
+}
+
+// DeliverRemote injects a message segment that arrived from a peer
+// process into the destination endpoint's reception FIFO, packetized
+// exactly like a local injection (MaxPayload chunks, metadata only on
+// the offset-0 packet). hdr.Offset is the segment's absolute offset
+// within hdr.Total; meta and payload are copied into pooled slabs, so
+// the caller may reuse its frame buffer immediately.
+//
+// It returns the number of payload bytes delivered. On backpressure
+// (the FIFO's overflow is at cap) the error wraps
+// lockless.ErrBackpressure and consumed < len(payload): the caller
+// retries with the remainder — hdr.Offset advanced by consumed — once
+// the consumer drains, so no packet is ever delivered twice.
+func (f *Fabric) DeliverRemote(dst TaskAddr, hdr Header, payload []byte) (consumed int, err error) {
+	fifo, err := f.lookupContext(dst)
+	if err != nil {
+		return 0, err
+	}
+	// Wire integrity and ordering are the transport's job; mark the
+	// packets as having bypassed the in-process reliable layer.
+	hdr.PktSeq = 0
+	hdr.Checksum = 0
+	var mbuf *bufpool.Buf
+	if len(hdr.Meta) > 0 && hdr.Offset == 0 {
+		mbuf = bufpool.GetCopy(hdr.Meta)
+		hdr.Meta = mbuf.Bytes()
+	} else {
+		hdr.Meta = nil
+	}
+	if len(payload) == 0 {
+		pkt := Packet{Hdr: hdr, mbuf: mbuf}
+		if err := pkt.deliverTo(fifo, dst); err != nil {
+			return 0, err
+		}
+		f.account(hdr.Origin.Task, dst.Task, 1, PacketHeaderBytes)
+		return 0, nil
+	}
+	base := hdr.Offset
+	npkts := int64(0)
+	for off := 0; off < len(payload); off += MaxPayload {
+		end := off + MaxPayload
+		if end > len(payload) {
+			end = len(payload)
+		}
+		ph := hdr
+		ph.Offset = base + off
+		pm := mbuf
+		if off > 0 {
+			ph.Meta = nil
+			pm = nil
+		}
+		pb := bufpool.GetCopy(payload[off:end])
+		pkt := Packet{Hdr: ph, Payload: pb.Bytes(), pbuf: pb, mbuf: pm}
+		if err := pkt.deliverTo(fifo, dst); err != nil {
+			f.account(hdr.Origin.Task, dst.Task, npkts, int64(off)+npkts*PacketHeaderBytes)
+			return off, err
+		}
+		npkts++
+	}
+	f.account(hdr.Origin.Task, dst.Task, npkts, int64(len(payload))+npkts*PacketHeaderBytes)
+	return len(payload), nil
+}
+
+// crossProcessRDMACheck rejects RDMA naming a task in another process:
+// memregions and GVA segments are process memory, and the simulated MU
+// cannot reach across address spaces. Rendezvous between processes is
+// avoided above this layer (core forces eager for remote tasks); this
+// guard turns any residual attempt into a typed error instead of a
+// silent miss deep in the memregion table.
+func (f *Fabric) crossProcessRDMACheck(op string, task int) error {
+	if t := f.remoteFor(task); t != nil {
+		return fmt.Errorf("%w: %s names task %d hosted by another process", ErrCrossProcessRDMA, op, task)
+	}
+	return nil
+}

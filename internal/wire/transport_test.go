@@ -1,0 +1,421 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pamigo/internal/fault"
+	"pamigo/internal/lockless"
+	"pamigo/internal/mu"
+	"pamigo/internal/torus"
+	"pamigo/internal/watchdog"
+)
+
+// dims2 is a 2-task partition: two nodes, one task per node, one task
+// per process.
+var dims2 = torus.Dims{2, 1, 1, 1, 1}
+
+// waitFor polls cond on a seed-derived jitter cadence (no wall-clock
+// sleeps) and fails with goroutine stacks on timeout.
+func waitFor(t *testing.T, seed int64, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for step := int64(0); ; step++ {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %s\n%s", msg, watchdog.Stacks())
+		}
+		time.Sleep(fault.Jitter(seed, step, time.Millisecond))
+	}
+}
+
+// collector is a test-side Deliver sink: it reassembles messages by
+// (origin, seq) from in-order segments and can simulate reception
+// saturation.
+type collector struct {
+	mu      sync.Mutex
+	bodies  map[string][]byte
+	arrived map[string]int // segments seen, to catch duplicates
+	stall   atomic.Bool
+}
+
+var errSaturated = fmt.Errorf("collector: reception saturated: %w", lockless.ErrBackpressure)
+
+func newCollector() *collector {
+	return &collector{bodies: make(map[string][]byte), arrived: make(map[string]int)}
+}
+
+func (c *collector) deliver(dst mu.TaskAddr, hdr mu.Header, payload []byte) (int, error) {
+	if c.stall.Load() {
+		return 0, errSaturated
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := fmt.Sprintf("%d.%d-%d", hdr.Origin.Task, hdr.Origin.Ctx, hdr.Seq)
+	if got := len(c.bodies[key]); got != hdr.Offset {
+		return 0, fmt.Errorf("collector: %s segment at offset %d, have %d bytes", key, hdr.Offset, got)
+	}
+	c.bodies[key] = append(c.bodies[key], payload...)
+	c.arrived[key]++
+	return len(payload), nil
+}
+
+func (c *collector) complete() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.bodies)
+}
+
+func (c *collector) body(key string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.bodies[key]...)
+}
+
+// pairOptions tunes a two-process test partition for fast tests.
+func pairOptions(seed int64) Options {
+	return Options{
+		Partition:     42,
+		DialTimeout:   2 * time.Second,
+		BeatInterval:  500 * time.Microsecond,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    20 * time.Millisecond,
+		OutboundQueue: 256,
+		Seed:          seed,
+	}
+}
+
+// newPair boots a connected 2-process partition: a hosts task 0 and
+// listens, b hosts task 1 and joins.
+func newPair(t *testing.T, opts Options, ca, cb *collector) (a, b *Transport) {
+	t.Helper()
+	var err error
+	a, err = New(Config{
+		Options: optListen(opts, "127.0.0.1:0"),
+		Dims:    dims2, PPN: 1, HostedLo: 0, HostedHi: 1,
+		Deliver: ca.deliver,
+	})
+	if err != nil {
+		t.Fatalf("transport a: %v", err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err = New(Config{
+		Options: optJoin(opts, a.Addr()),
+		Dims:    dims2, PPN: 1, HostedLo: 1, HostedHi: 2,
+		Deliver: cb.deliver,
+	})
+	if err != nil {
+		t.Fatalf("transport b: %v", err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if err := b.WaitComplete(5 * time.Second); err != nil {
+		t.Fatalf("b incomplete: %v", err)
+	}
+	if err := a.WaitComplete(5 * time.Second); err != nil {
+		t.Fatalf("a incomplete: %v", err)
+	}
+	return a, b
+}
+
+func optListen(o Options, addr string) Options { o.Listen = addr; return o }
+func optJoin(o Options, addr string) Options   { o.Join = []string{addr}; return o }
+
+func TestSendDeliversInOrder(t *testing.T) {
+	ca, cb := newCollector(), newCollector()
+	a, b := newPair(t, pairOptions(1), ca, cb)
+	const n = 50
+	for i := 0; i < n; i++ {
+		payload := []byte(fmt.Sprintf("message %03d", i))
+		hdr := mu.Header{
+			Dispatch: 1, Origin: mu.TaskAddr{Task: 1}, Seq: uint64(i),
+			Total: len(payload), Meta: []byte{byte(i)},
+		}
+		if err := b.Send(mu.TaskAddr{Task: 0}, hdr, payload); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	waitFor(t, 1, 5*time.Second, func() bool { return ca.complete() == n }, "deliveries")
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("1.0-%d", i)
+		if got := string(ca.body(key)); got != fmt.Sprintf("message %03d", i) {
+			t.Fatalf("message %d mangled: %q", i, got)
+		}
+	}
+	// And the reverse direction (acceptor-side send).
+	if err := a.Send(mu.TaskAddr{Task: 1}, mu.Header{Origin: mu.TaskAddr{Task: 0}, Seq: 7, Total: 2}, []byte("hi")); err != nil {
+		t.Fatalf("reverse send: %v", err)
+	}
+	waitFor(t, 1, 5*time.Second, func() bool { return cb.complete() == 1 }, "reverse delivery")
+}
+
+func TestLargeMessageSegments(t *testing.T) {
+	ca, cb := newCollector(), newCollector()
+	_, b := newPair(t, pairOptions(2), ca, cb)
+	payload := make([]byte, 3*maxSegment+777)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	hdr := mu.Header{Origin: mu.TaskAddr{Task: 1}, Seq: 1, Total: len(payload), Meta: []byte("big")}
+	if err := b.Send(mu.TaskAddr{Task: 0}, hdr, payload); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	waitFor(t, 2, 5*time.Second, func() bool {
+		return len(ca.body("1.0-1")) == len(payload)
+	}, "large message reassembly")
+	got := ca.body("1.0-1")
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d: %02x, want %02x", i, got[i], payload[i])
+		}
+	}
+	ca.mu.Lock()
+	segs := ca.arrived["1.0-1"]
+	ca.mu.Unlock()
+	if want := 4; segs != want {
+		t.Fatalf("%d segments, want %d", segs, want)
+	}
+}
+
+func TestPartitionIDMismatchIsTerminal(t *testing.T) {
+	ca := newCollector()
+	a, err := New(Config{
+		Options: optListen(pairOptions(3), "127.0.0.1:0"),
+		Dims:    dims2, PPN: 1, HostedLo: 0, HostedHi: 1,
+		Deliver: ca.deliver,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	opts := optJoin(pairOptions(3), a.Addr())
+	opts.Partition = 99 // crossed the streams of two jobs
+	b, err := New(Config{
+		Options: opts,
+		Dims:    dims2, PPN: 1, HostedLo: 1, HostedHi: 2,
+		Deliver: newCollector().deliver,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	err = b.WaitComplete(5 * time.Second)
+	if !errors.Is(err, ErrPartitionIDMismatch) {
+		t.Fatalf("err=%v, want ErrPartitionIDMismatch", err)
+	}
+	if !errors.Is(err, ErrHandshakeMismatch) && errors.Is(err, ErrDialTimeout) {
+		t.Fatalf("mismatch mislabelled as dial timeout: %v", err)
+	}
+}
+
+func TestShapeMismatchIsTerminal(t *testing.T) {
+	ca := newCollector()
+	a, err := New(Config{
+		Options: optListen(pairOptions(4), "127.0.0.1:0"),
+		Dims:    dims2, PPN: 1, HostedLo: 0, HostedHi: 1,
+		Deliver: ca.deliver,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := New(Config{
+		Options: optJoin(pairOptions(4), a.Addr()),
+		Dims:    dims2, PPN: 2, HostedLo: 2, HostedHi: 4, // disagrees on PPN
+		Deliver: newCollector().deliver,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if err := b.WaitComplete(5 * time.Second); !errors.Is(err, ErrHandshakeMismatch) {
+		t.Fatalf("err=%v, want ErrHandshakeMismatch", err)
+	}
+}
+
+func TestDialTimeoutTyped(t *testing.T) {
+	// A listener that accepts and never answers the handshake: the
+	// dialer's read deadline converts the silence into ErrDialTimeout.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+	opts := pairOptions(5)
+	opts.DialTimeout = 50 * time.Millisecond
+	tr, err := New(Config{
+		Options: opts, // no Listen, no Join: dial manually below
+		Dims:    dims2, PPN: 1, HostedLo: 1, HostedHi: 2,
+		Deliver: newCollector().deliver,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	_, _, terminal, err := tr.dialAndShake(ln.Addr().String())
+	if !errors.Is(err, ErrDialTimeout) {
+		t.Fatalf("err=%v, want ErrDialTimeout", err)
+	}
+	if terminal {
+		t.Fatal("a dial timeout must stay retryable")
+	}
+}
+
+func TestDeadRangeJoinIsFenced(t *testing.T) {
+	ca := newCollector()
+	a, err := New(Config{
+		Options: optListen(pairOptions(6), "127.0.0.1:0"),
+		Dims:    dims2, PPN: 1, HostedLo: 0, HostedHi: 1,
+		Deliver: ca.deliver,
+		// Task 1's node is confirmed dead: a restarted process claiming
+		// its range may not rejoin the epoch.
+		RangeDead: func(lo, hi int) bool { return lo <= 1 && 1 < hi },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := New(Config{
+		Options: optJoin(pairOptions(6), a.Addr()),
+		Dims:    dims2, PPN: 1, HostedLo: 1, HostedHi: 2,
+		Deliver: newCollector().deliver,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if err := b.WaitComplete(5 * time.Second); !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("err=%v, want ErrPeerDead", err)
+	}
+}
+
+func TestBackpressureBoundedQueue(t *testing.T) {
+	ca, cb := newCollector(), newCollector()
+	ca.stall.Store(true) // receiver saturated from the start
+	opts := pairOptions(7)
+	opts.OutboundQueue = 8
+	_, b := newPair(t, opts, ca, cb)
+	payload := []byte("pressure")
+	var refused error
+	sent := 0
+	for i := 0; i < 1000; i++ {
+		err := b.Send(mu.TaskAddr{Task: 0},
+			mu.Header{Origin: mu.TaskAddr{Task: 1}, Seq: uint64(i), Total: len(payload)}, payload)
+		if err != nil {
+			refused = err
+			break
+		}
+		sent++
+	}
+	if !errors.Is(refused, ErrBackpressure) {
+		t.Fatalf("after %d sends err=%v, want ErrBackpressure", sent, refused)
+	}
+	if sent > opts.OutboundQueue {
+		t.Fatalf("queue admitted %d messages, bound is %d", sent, opts.OutboundQueue)
+	}
+	// Saturation lifts: everything queued drains, exactly once, and the
+	// transport quiesces.
+	ca.stall.Store(false)
+	waitFor(t, 7, 5*time.Second, func() bool { return ca.complete() == sent }, "drain after stall")
+	waitFor(t, 7, 5*time.Second, func() bool { return b.Quiesced() == nil }, "quiescence after drain")
+}
+
+func TestMarkTaskDeadFailsFast(t *testing.T) {
+	ca, cb := newCollector(), newCollector()
+	a, b := newPair(t, pairOptions(8), ca, cb)
+	b.MarkTaskDead(0)
+	err := b.Send(mu.TaskAddr{Task: 0}, mu.Header{Origin: mu.TaskAddr{Task: 1}, Total: 1}, []byte("x"))
+	if !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("send to dead peer: err=%v, want ErrPeerDead", err)
+	}
+	if err := b.Quiesced(); err != nil {
+		t.Fatalf("dead peer holds quiescence hostage: %v", err)
+	}
+	// WaitComplete still succeeds: the dead range is resolved, not
+	// missing.
+	if err := b.WaitComplete(time.Second); err != nil {
+		t.Fatalf("resolved-dead coverage: %v", err)
+	}
+	_ = a
+}
+
+func TestBeatsFlow(t *testing.T) {
+	var fromB, fromA atomic.Int64
+	ca, cb := newCollector(), newCollector()
+	a, err := New(Config{
+		Options: optListen(pairOptions(9), "127.0.0.1:0"),
+		Dims:    dims2, PPN: 1, HostedLo: 0, HostedHi: 1,
+		Deliver: ca.deliver,
+		OnBeat: func(lo, hi int) {
+			if lo == 1 && hi == 2 {
+				fromB.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := New(Config{
+		Options: optJoin(pairOptions(9), a.Addr()),
+		Dims:    dims2, PPN: 1, HostedLo: 1, HostedHi: 2,
+		Deliver: cb.deliver,
+		OnBeat: func(lo, hi int) {
+			if lo == 0 && hi == 1 {
+				fromA.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	waitFor(t, 9, 5*time.Second, func() bool {
+		return fromA.Load() >= 5 && fromB.Load() >= 5
+	}, "heartbeats in both directions")
+}
+
+func TestSendWithoutPeer(t *testing.T) {
+	tr, err := New(Config{
+		Options: pairOptions(10),
+		Dims:    dims2, PPN: 1, HostedLo: 0, HostedHi: 1,
+		Deliver: newCollector().deliver,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	err = tr.Send(mu.TaskAddr{Task: 1}, mu.Header{Origin: mu.TaskAddr{Task: 0}, Total: 1}, []byte("x"))
+	if !errors.Is(err, ErrNoPeer) {
+		t.Fatalf("err=%v, want ErrNoPeer", err)
+	}
+	if err := tr.WaitComplete(10 * time.Millisecond); err == nil {
+		t.Fatal("WaitComplete succeeded with task 1 uncovered")
+	} else if got := err.Error(); !contains(got, "[1,2)") {
+		t.Fatalf("coverage gap unnamed in %q", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

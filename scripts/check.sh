@@ -20,6 +20,9 @@ go test -race ./internal/telemetry ./internal/integration ./internal/core ./inte
 echo "==> go test -race (Time Warp engine: equivalence vs oracle, rollback stress, netsim cross-engine)"
 go test -race ./internal/sim/... ./internal/netsim
 
+echo "==> go test -race (wire transport: reconnect storm, fault storm, cross-process machines)"
+go test -race ./internal/wire ./internal/machine ./internal/health ./cmd/pamirun
+
 echo "==> go test -race -tags pamitrace ./internal/telemetry"
 go test -race -tags pamitrace ./internal/telemetry
 
@@ -36,8 +39,14 @@ echo "==> overload smoke (many-to-one flood, bounded queue HWM, no goroutine lea
 go test -race -run TestOverloadFlood ./internal/bench
 go run ./cmd/msgrate -faults "flood@node=0" -budget 64 -senders 32 -window 300 >/dev/null
 
+echo "==> multi-process wire smoke (2 OS processes, fault storm, SIGKILL survival)"
+sh scripts/wire_smoke.sh
+
 echo "==> fault-grammar fuzz (short deterministic run)"
 go test -run xxx -fuzz FuzzParsePlan -fuzztime 10s ./internal/fault >/dev/null
+
+echo "==> wire frame fuzz (decoder must never panic on hostile bytes)"
+go test -run xxx -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/wire >/dev/null
 
 echo "==> GVT fuzz (concurrent stamp folding + whole-engine runs, short)"
 go test -run xxx -fuzz 'FuzzGVT$' -fuzztime 10s ./internal/sim/warp >/dev/null
