@@ -163,6 +163,24 @@ func BenchmarkFig5_PAMIRate_PPN4(b *testing.B) {
 	reportFIFOPressure(b, snap)
 }
 
+// --- Fan-in: N senders incast into one reception FIFO ---
+//
+// The worst case for the reception path: every sender's packets land in
+// the same context's FIFO, so the enqueue side is all contention and the
+// drain side is all batching. The origin-sharded FIFO spreads the
+// producers; this benchmark gates that it keeps paying off.
+
+func BenchmarkFanIn_NtoOne(b *testing.B) {
+	const senders = 8
+	window := 100
+	rate, snap, err := bench.FanInPAMI(senders, window, b.N/window+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rate, "MMPS")
+	reportFIFOPressure(b, snap)
+}
+
 // reportFIFOPressure surfaces the reception-FIFO high-water mark — the
 // hardware-side queueing the message-rate workload is designed to create.
 func reportFIFOPressure(b *testing.B, snap telemetry.Snapshot) {

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Baseline is the schema of BENCH_BASELINE.json.
@@ -276,6 +277,30 @@ func gate(base *Baseline, got map[string]Entry) bool {
 	}
 	if failed {
 		fmt.Println("benchgate: performance regression detected")
+	} else {
+		printDeltaTable(base, got, names)
 	}
 	return failed
+}
+
+// printDeltaTable summarizes a passing run: where every gated benchmark
+// landed relative to its recorded baseline, in one aligned table.
+// Negative deltas are improvements. The per-line ok output above is the
+// audit trail; this is the at-a-glance answer to "did anything drift?"
+// that otherwise takes a scan of twenty lines to assemble.
+func printDeltaTable(base *Baseline, got map[string]Entry, names []string) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Println("\nbenchgate: pass — deltas vs baseline (negative = faster)")
+	fmt.Fprintln(w, "  benchmark\tbaseline ns/op\trun ns/op\tdelta\tallocs/op")
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		have, ok := got[name]
+		if !ok || want.NsPerOp <= 0 {
+			continue
+		}
+		delta := (have.NsPerOp - want.NsPerOp) / want.NsPerOp * 100
+		fmt.Fprintf(w, "  %s\t%.0f\t%.0f\t%+.1f%%\t%d\n",
+			name, want.NsPerOp, have.NsPerOp, delta, have.AllocsPerOp)
+	}
+	w.Flush()
 }

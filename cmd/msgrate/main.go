@@ -25,6 +25,7 @@ import (
 	"pamigo/internal/bench"
 	"pamigo/internal/fault"
 	"pamigo/internal/mpilib"
+	"pamigo/internal/profiles"
 )
 
 func main() {
@@ -40,7 +41,15 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the fault plan")
 	budget := flag.Int("budget", 0, "unexpected-message budget for the flood workload (0 = library default)")
 	senders := flag.Int("senders", 32, "flooding tasks for the flood workload")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	stopProfiles, err := profiles.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatalf("msgrate: %v", err)
+	}
+	defer stopProfiles()
 
 	if *faults != "" {
 		plan, err := fault.ParsePlan(*faults)

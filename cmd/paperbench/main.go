@@ -28,6 +28,7 @@ import (
 	"pamigo/internal/machine"
 	"pamigo/internal/model"
 	"pamigo/internal/netsim"
+	"pamigo/internal/profiles"
 	"pamigo/internal/sim/des"
 	"pamigo/internal/sim/warp"
 	"pamigo/internal/torus"
@@ -45,10 +46,18 @@ func main() {
 	faults := flag.String("faults", "", "fault plan for a chaos shakedown of the functional machine (empty = off)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault decisions")
 	deadline := flag.Duration("deadline", 0, "abort with a goroutine dump if the run exceeds this duration (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	stop := watchdog.Start(*deadline, "paperbench")
 	defer stop()
+
+	stopProfiles, err := profiles.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatalf("paperbench: %v", err)
+	}
+	defer stopProfiles()
 
 	if *faults != "" {
 		chaosShakedown(*faults, *faultSeed)

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"time"
 
+	"pamigo/internal/bufpool"
 	"pamigo/internal/cnk"
 	"pamigo/internal/collnet"
 	"pamigo/internal/core"
@@ -29,12 +30,6 @@ import (
 // wall-clock figure: the callers derive packets-per-operation, protocol
 // mix, and FIFO pressure from the same counter tree the runtime maintains
 // (see README "Observability") instead of keeping private tallies.
-
-// delivered reads a context's user-message delivery counter.
-func delivered(ctx *core.Context) int64 {
-	_, _, d := ctx.Stats()
-	return d
-}
 
 // PingPongPAMI measures the PAMI half-round-trip latency for a payload of
 // the given size between two neighboring nodes, over iters round trips.
@@ -58,9 +53,13 @@ func PingPongPAMI(iters, payload int, immediate bool) (time.Duration, telemetry.
 			return
 		}
 		ctx := ctxs[0]
-		// Completion is observed through the context's own dispatch
-		// counter; the handler has nothing left to count.
-		ctx.RegisterDispatch(1, func(_ *core.Context, d *core.Delivery) {})
+		// Completion is counted in the handler, not read back from the
+		// sharded telemetry counter: the wait condition polls on every
+		// AdvanceUntil iteration, and a fold across all counter shards per
+		// poll would tax the measured loop. Handler and waiter run on the
+		// same (only) advancing thread, so a plain variable is exact.
+		var got int64
+		ctx.RegisterDispatch(1, func(_ *core.Context, d *core.Delivery) { got++ })
 		g, err := client.WorldGeometry(ctx)
 		if err != nil {
 			runErr = err
@@ -79,7 +78,7 @@ func PingPongPAMI(iters, payload int, immediate bool) (time.Duration, telemetry.
 		// One wait condition for the whole run: allocating a fresh closure
 		// per iteration would charge the measured loop one allocation each.
 		var want int64
-		cond := func() bool { return delivered(ctx) >= want }
+		cond := func() bool { return got >= want }
 		start := time.Now()
 		if me == 0 {
 			for i := 0; i < iters; i++ {
@@ -87,13 +86,13 @@ func PingPongPAMI(iters, payload int, immediate bool) (time.Duration, telemetry.
 					runErr = err
 					return
 				}
-				want = delivered(ctx) + 1
+				want = got + 1
 				ctx.AdvanceUntil(cond)
 			}
 			hrt = time.Since(start) / time.Duration(2*iters)
 		} else {
 			for i := 0; i < iters; i++ {
-				want = delivered(ctx) + 1
+				want = got + 1
 				ctx.AdvanceUntil(cond)
 				if err := send(); err != nil {
 					runErr = err
@@ -298,7 +297,11 @@ func MessageRatePAMI(ppn, window, reps int) (float64, telemetry.Snapshot, error)
 			return
 		}
 		ctx := ctxs[0]
-		ctx.RegisterDispatch(1, func(_ *core.Context, d *core.Delivery) {})
+		// Handler-local delivery count: the receiver's wait condition polls
+		// per advance, and folding the sharded telemetry counter per poll
+		// would tax the measured drain loop.
+		var got int64
+		ctx.RegisterDispatch(1, func(_ *core.Context, d *core.Delivery) { got++ })
 		g, err := client.WorldGeometry(ctx)
 		if err != nil {
 			runErr = err
@@ -313,15 +316,21 @@ func MessageRatePAMI(ppn, window, reps int) (float64, telemetry.Snapshot, error)
 				Task: int(neighbors[local%len(neighbors)])*ppn + local,
 				Ctx:  0,
 			}
-			payload := make([]byte, 8)
+			var payload [8]byte
 			for rep := 0; rep < reps; rep++ {
 				for k := 0; k < window; k++ {
+					// Ownership-transfer send: fill a pooled slab and
+					// relinquish it; the stack moves it to the receiver
+					// with zero further copies. ErrThrottled leaves the
+					// slab with the caller, so the retry reuses it.
+					buf := bufpool.GetCopy(payload[:])
 					for {
-						err := ctx.SendImmediate(dst, 1, nil, payload)
+						err := ctx.SendImmediateBuf(dst, 1, nil, buf)
 						if err == nil {
 							break
 						}
 						if !errors.Is(err, core.ErrThrottled) {
+							buf.Release()
 							runErr = err
 							return
 						}
@@ -336,12 +345,88 @@ func MessageRatePAMI(ppn, window, reps int) (float64, telemetry.Snapshot, error)
 			}
 		} else if idx := indexOf(neighbors, p.Node().Rank); idx >= 0 && local%len(neighbors) == idx {
 			want := int64(window * reps)
-			ctx.AdvanceUntil(func() bool { return delivered(ctx) >= want })
+			ctx.AdvanceUntil(func() bool { return got >= want })
 		}
 		g.Barrier()
 		if onRef && local == 0 {
 			elapsed := time.Since(start)
 			rate = float64(ppn*window*reps) / elapsed.Seconds() / 1e6
+		}
+	})
+	return rate, m.Telemetry().Snapshot(), runErr
+}
+
+// FanInPAMI measures the N-to-one message rate: `senders` tasks on
+// distinct neighbor nodes blast small ownership-transfer sends at a
+// single context on the reference node — the incast pattern whose
+// receive side is one reception FIFO fed by many concurrent producers.
+// The sharded reception FIFO exists for exactly this shape: each origin
+// lands on its own shard, so producers stop serializing on one queue
+// tail. Rate is reported in MMPS, as delivered at the receiver.
+func FanInPAMI(senders, window, reps int) (float64, telemetry.Snapshot, error) {
+	dims := torus.Dims{3, 3, 3, 3, 1} // 4 wrap dims: up to 8 distinct neighbors
+	m, err := machine.New(machine.Config{Dims: dims, PPN: 1})
+	if err != nil {
+		return 0, telemetry.Snapshot{}, err
+	}
+	neighbors := neighborNodesOf(dims, senders)
+	if len(neighbors) < senders {
+		return 0, telemetry.Snapshot{}, fmt.Errorf("bench: only %d neighbor nodes for %d senders", len(neighbors), senders)
+	}
+	var rate float64
+	var runErr error
+	m.Run(func(p *cnk.Process) {
+		client, err := core.NewClient(m, p, "bench")
+		if err != nil {
+			runErr = err
+			return
+		}
+		ctxs, err := client.CreateContexts(1)
+		if err != nil {
+			runErr = err
+			return
+		}
+		ctx := ctxs[0]
+		var got int64
+		ctx.RegisterDispatch(1, func(_ *core.Context, d *core.Delivery) { got++ })
+		g, err := client.WorldGeometry(ctx)
+		if err != nil {
+			runErr = err
+			return
+		}
+		g.Barrier()
+		isReceiver := p.Node().Rank == 0
+		isSender := indexOf(neighbors, p.Node().Rank) >= 0
+		start := time.Now()
+		if isSender {
+			dst := core.Endpoint{Task: 0, Ctx: 0}
+			var payload [8]byte
+			for rep := 0; rep < reps; rep++ {
+				for k := 0; k < window; k++ {
+					buf := bufpool.GetCopy(payload[:])
+					for {
+						err := ctx.SendImmediateBuf(dst, 1, nil, buf)
+						if err == nil {
+							break
+						}
+						if !errors.Is(err, core.ErrThrottled) {
+							buf.Release()
+							runErr = err
+							return
+						}
+						ctx.Advance(64)
+						runtime.Gosched()
+					}
+				}
+			}
+		} else if isReceiver {
+			want := int64(senders * window * reps)
+			ctx.AdvanceUntil(func() bool { return got >= want })
+		}
+		g.Barrier()
+		if isReceiver {
+			elapsed := time.Since(start)
+			rate = float64(senders*window*reps) / elapsed.Seconds() / 1e6
 		}
 	})
 	return rate, m.Telemetry().Snapshot(), runErr

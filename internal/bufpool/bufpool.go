@@ -38,7 +38,10 @@ type Buf struct {
 
 // Bytes returns the buffer's payload view: length as requested from Get,
 // backed by the class-sized slab. Valid until the last Release.
-func (b *Buf) Bytes() []byte { return b.data[:b.n] }
+func (b *Buf) Bytes() []byte {
+	debugCheckUsable(b)
+	return b.data[:b.n]
+}
 
 // Cap returns the slab capacity backing the buffer.
 func (b *Buf) Cap() int { return cap(b.data) }
@@ -50,6 +53,7 @@ func (b *Buf) Retain() {
 		return
 	}
 	if b.refs.Add(1) <= 1 {
+		debugViolation(b, "Retain of a released buffer")
 		panic("bufpool: Retain of a released buffer")
 	}
 }
@@ -66,12 +70,16 @@ func (b *Buf) Release() {
 		return
 	}
 	if r < 0 {
+		debugViolation(b, "double Release")
 		panic("bufpool: Release of a released buffer")
 	}
 	live.Dec()
 	if b.cls == nil {
 		oversize.Inc()
 		return // oversize: let the GC take it
+	}
+	if debugQuarantine(b) {
+		return // bufpooldebug: never repool, so stale handles are caught
 	}
 	b.cls.puts.Inc()
 	b.cls.pool.Put(b)
@@ -81,8 +89,11 @@ func (b *Buf) Release() {
 func (b *Buf) Refs() int32 { return b.refs.Load() }
 
 var (
-	reg     = telemetry.NewRegistry("bufpool")
-	live    = reg.Gauge("live")
+	reg = telemetry.NewRegistry("bufpool")
+	// live is process-global and touched by every Get/Release on every
+	// context, so it is the one gauge that must not share a cache line
+	// across producers: ShardedGauge folds at snapshot/Live() time.
+	live    = reg.ShardedGauge("live")
 	missesT = reg.Counter("misses")
 	getsT   = reg.Counter("gets")
 

@@ -1,0 +1,14 @@
+//go:build !bufpooldebug
+
+package bufpool
+
+// DebugEnabled reports whether the bufpooldebug build tag is active.
+// Without it the debug hooks below are empty and inline away — the hot
+// path pays nothing.
+const DebugEnabled = false
+
+func debugQuarantine(*Buf) bool { return false }
+
+func debugViolation(*Buf, string) {}
+
+func debugCheckUsable(*Buf) {}

@@ -1,0 +1,76 @@
+//go:build bufpooldebug
+
+package bufpool
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs fn and returns the panic message, failing the test if
+// fn returns normally.
+func mustPanic(t *testing.T, fn func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		fn()
+		t.Fatal("expected a bufpooldebug panic, got none")
+	}()
+	return msg
+}
+
+func TestDebugDoubleRelease(t *testing.T) {
+	b := Get(100)
+	b.Release()
+	msg := mustPanic(t, b.Release)
+	if !strings.Contains(msg, "double Release") {
+		t.Fatalf("panic message does not name the misuse: %q", msg)
+	}
+	if !strings.Contains(msg, "released at") || !strings.Contains(msg, "current stack") {
+		t.Fatalf("panic message lacks the two stacks: %q", msg)
+	}
+	if !strings.Contains(msg, "TestDebugDoubleRelease") {
+		t.Fatalf("stacks do not reach the misusing test frame: %q", msg)
+	}
+}
+
+func TestDebugUseAfterRelease(t *testing.T) {
+	b := Get(100)
+	b.Bytes()[0] = 1 // live use is fine
+	b.Release()
+	msg := mustPanic(t, func() { _ = b.Bytes() })
+	if !strings.Contains(msg, "use (Bytes) of a released buffer") {
+		t.Fatalf("panic message does not name the misuse: %q", msg)
+	}
+	if !strings.Contains(msg, "released at") {
+		t.Fatalf("panic message lacks the releasing stack: %q", msg)
+	}
+}
+
+func TestDebugRetainAfterRelease(t *testing.T) {
+	b := Get(100)
+	b.Release()
+	msg := mustPanic(t, b.Retain)
+	if !strings.Contains(msg, "Retain of a released buffer") {
+		t.Fatalf("panic message does not name the misuse: %q", msg)
+	}
+}
+
+// TestDebugQuarantineNeverRepools: a released buffer must not come back
+// from Get while the tag is on — aliasing would defeat the checks.
+func TestDebugQuarantineNeverRepools(t *testing.T) {
+	old := Get(100)
+	old.Release()
+	for i := 0; i < 64; i++ {
+		nb := Get(100)
+		if nb == old {
+			t.Fatal("quarantined buffer returned from Get")
+		}
+		defer nb.Release()
+	}
+}

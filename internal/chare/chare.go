@@ -181,18 +181,25 @@ func (a *Array) Send(elem int, method uint8, payload []byte) error {
 	if _, ok := a.entries[method]; !ok {
 		return fmt.Errorf("chare: entry %d not registered", method)
 	}
-	meta := make([]byte, entryMetaLen)
+	// The invocation header lives in a stack array: every transport
+	// copies Hdr.Meta into a pooled slab before SendImmediate returns, so
+	// the per-send heap allocation the old make([]byte, ...) paid was
+	// pure garbage-collector tax on the model's hottest operation.
+	var meta [entryMetaLen]byte
 	binary.LittleEndian.PutUint32(meta[0:], a.id)
 	binary.LittleEndian.PutUint64(meta[4:], uint64(elem))
 	meta[12] = method
 	rt := a.rt
 	rt.sent.Add(1)
 	dst := core.Endpoint{Task: a.HomeOf(elem), Ctx: rt.ctx.Endpoint().Ctx}
-	if len(meta)+len(payload) <= 512 {
-		return rt.ctx.SendImmediate(dst, dispatchEntry, meta, payload)
+	if entryMetaLen+len(payload) <= 512 {
+		return rt.ctx.SendImmediate(dst, dispatchEntry, meta[:], payload)
 	}
+	// The non-immediate path can defer the send and retain Meta, so it
+	// needs a heap copy.
 	return rt.ctx.Send(core.SendParams{
-		Dest: dst, Dispatch: dispatchEntry, Meta: meta, Data: payload, Mode: core.ModeEager,
+		Dest: dst, Dispatch: dispatchEntry, Meta: append([]byte(nil), meta[:]...),
+		Data: payload, Mode: core.ModeEager,
 	})
 }
 

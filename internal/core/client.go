@@ -157,9 +157,10 @@ func (c *Client) CreateContexts(n int) ([]*Context, error) {
 			pending:   make(map[uint64]*pendingSend),
 			deferred:  make(map[Endpoint][]SendParams),
 			inbox:     make(map[inboxKey][]byte),
-			workBatch: make([]func(), advanceBatch),
-			pktBatch:  make([]mu.Packet, advanceBatch),
-			msgBatch:  make([]shmem.Message, advanceBatch),
+			workBatch: make([]func(), advanceBatchInit),
+			pktBatch:  make([]mu.Packet, advanceBatchInit),
+			msgBatch:  make([]shmem.Message, advanceBatchInit),
+			advTarget: advanceBatchInit,
 			stats:     newCtxStats(c.tele.Group(fmt.Sprintf("task%d", addr.Task)).Group(fmt.Sprintf("ctx%d", ord))),
 		}
 		if telemetry.TraceEnabled {
@@ -205,7 +206,9 @@ func (c *Client) EnableCommThreads() {
 				// but report activity so we re-check soon.
 				return 1
 			}
-			n := ctx.Advance(commThreadBatch)
+			// Adaptive batch: a flooded commthread widens its drain to the
+			// max, an idle one narrows to cheap empty polls before sleeping.
+			n := ctx.AdvanceAuto()
 			ctx.Unlock()
 			return n
 		})
@@ -254,6 +257,5 @@ const (
 	injFIFOsPerContext = 4
 	shmemSlots         = 256
 	workQueueSlots     = 256
-	commThreadBatch    = 64
 	traceRingSlots     = 4096 // per-context event ring under -tags pamitrace
 )

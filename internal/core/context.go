@@ -34,6 +34,10 @@ const (
 	dispatchRTS  uint16 = 0xFF10 // rendezvous request-to-send
 	dispatchAck  uint16 = 0xFF11 // rendezvous completion ack
 	dispatchColl uint16 = 0xFF12 // software collective payload
+
+	// dispatchLowIDs bounds the flat handler array that serves the packet
+	// hot path; IDs at or above it fall back to the map.
+	dispatchLowIDs = 64
 )
 
 // Context is a PAMI communication context (paper §III.B): an independent
@@ -55,7 +59,13 @@ type Context struct {
 
 	lock l2atomic.Mutex
 
-	dispatch map[uint16]DispatchFn
+	// dispatchLow short-circuits the handler lookup for the small IDs
+	// every runtime actually uses (MPI, chare, and the benches all
+	// register single-digit dispatch numbers): an indexed load instead of
+	// a map hash per delivered packet. dispatch remains the authoritative
+	// table for the full ID space.
+	dispatchLow [dispatchLowIDs]DispatchFn
+	dispatch    map[uint16]DispatchFn
 
 	// Sender-side state (touched only while advancing/sending).
 	sendSeq  uint64
@@ -94,6 +104,19 @@ type Context struct {
 	// the duration of the call; rendezvous deliveries, which handlers may
 	// legitimately retain until Receive, are still allocated fresh.
 	del Delivery
+
+	// advTarget is the adaptive Advance batch size used by the progress
+	// loops (AdvanceAuto): it doubles after a full drain — traffic is
+	// arriving faster than we harvest it — and halves after an empty poll,
+	// bounded to [advanceBatchMin, advanceBatchMax]. Only the advancing
+	// thread reads or writes it.
+	advTarget int
+
+	// dcache is the context's single-entry destination-resolution cache:
+	// repeated sends to one endpoint (the dominant pattern under pinned
+	// routes) skip the shmem endpoint map / MU context map per message.
+	// Owner-thread only, like every other send-side field.
+	dcache destEntry
 
 	stats  *ctxStats
 	tracer *telemetry.Tracer // non-nil only under -tags pamitrace
@@ -173,7 +196,8 @@ type pendingSend struct {
 	onFail func(error)
 	mrID   uint64
 	gvaTag uint64
-	start  time.Time // RTS injection time, for the completion-latency counter
+	buf    *bufpool.Buf // ownership-transfer payload; released when the send retires
+	start  time.Time    // RTS injection time, for the completion-latency counter
 }
 
 // Client returns the owning client.
@@ -207,7 +231,21 @@ func (ctx *Context) RegisterDispatch(id uint16, fn DispatchFn) error {
 		return fmt.Errorf("core: nil dispatch handler")
 	}
 	ctx.dispatch[id] = fn
+	if id < dispatchLowIDs {
+		ctx.dispatchLow[id] = fn
+	}
 	return nil
+}
+
+// dispatchFor resolves the handler for a dispatch ID: indexed load for
+// the low IDs on the packet hot path, map lookup above that.
+func (ctx *Context) dispatchFor(id uint16) (DispatchFn, bool) {
+	if id < dispatchLowIDs {
+		fn := ctx.dispatchLow[id]
+		return fn, fn != nil
+	}
+	fn, ok := ctx.dispatch[id]
+	return fn, ok
 }
 
 // Post hands a work function to the context's lock-free work queue to be
@@ -259,7 +297,7 @@ func (ctx *Context) Advance(max int) int {
 		}
 		if g := ctx.muRes.Rec.PollBatch(ctx.pktBatch[:k]); g > 0 {
 			for i := 0; i < g; i++ {
-				ctx.handlePacket(ctx.pktBatch[i])
+				ctx.handlePacket(&ctx.pktBatch[i])
 				ctx.pktBatch[i].Release()
 				ctx.pktBatch[i] = mu.Packet{}
 			}
@@ -289,11 +327,48 @@ func (ctx *Context) Advance(max int) int {
 	return n
 }
 
+// AdvanceAuto is Advance at the context's adaptive batch target: a full
+// drain doubles the target (the arrival rate beat the harvest rate, so
+// amortize more per queue-head update), an empty poll halves it (don't
+// sweep three sources at width 512 to find nothing). The scratch arrays
+// grow with the target, so the steady state still allocates nothing.
+func (ctx *Context) AdvanceAuto() int {
+	t := ctx.advTarget
+	if t == 0 {
+		t = advanceBatchInit
+	}
+	ctx.ensureScratch(t)
+	n := ctx.Advance(t)
+	switch {
+	case n >= t:
+		if t < advanceBatchMax {
+			ctx.advTarget = t * 2
+		}
+	case n == 0:
+		if t > advanceBatchMin {
+			ctx.advTarget = t / 2
+		}
+	}
+	return n
+}
+
+// ensureScratch grows the batch-drain scratch arrays to width n. Growth
+// happens only when the adaptive target ratchets up, a handful of times
+// per context lifetime.
+func (ctx *Context) ensureScratch(n int) {
+	if len(ctx.pktBatch) >= n {
+		return
+	}
+	ctx.workBatch = make([]func(), n)
+	ctx.pktBatch = make([]mu.Packet, n)
+	ctx.msgBatch = make([]shmem.Message, n)
+}
+
 // AdvanceUntil advances the context until cond reports true. It is the
 // blocking-progress idiom the MPI layer uses while waiting for a request.
 func (ctx *Context) AdvanceUntil(cond func() bool) {
 	for !cond() {
-		if ctx.Advance(advanceBatch) == 0 && !cond() {
+		if ctx.AdvanceAuto() == 0 && !cond() {
 			// Nothing to do: sleep on the wakeup region like the hardware
 			// thread would, re-checking the condition against lost wakeups.
 			gen := ctx.region.Gen()
@@ -314,7 +389,15 @@ func (ctx *Context) AdvanceUntil(cond func() bool) {
 	}
 }
 
-const advanceBatch = 64
+// Adaptive Advance batch bounds. The old fixed batch of 64 was either
+// too wide (idle contexts sweeping three empty sources) or too narrow
+// (floods paying a queue-head update every 64 packets); AdvanceAuto
+// walks between these bounds instead.
+const (
+	advanceBatchMin  = 16
+	advanceBatchInit = 64
+	advanceBatchMax  = 64
+)
 
 // cancelDeadSends fails every pending rendezvous send whose destination
 // node has been confirmed dead: the receiver can no longer pull the
@@ -340,6 +423,7 @@ func (ctx *Context) cancelDeadSends() {
 		if ps.gvaTag != 0 {
 			ctx.client.proc.RetractSegment(ps.gvaTag)
 		}
+		ps.buf.Release()
 		err := fmt.Errorf("core: rendezvous send %d to %v cancelled: %w", sendID, ps.dst, mu.ErrPeerDead)
 		if ps.onFail != nil {
 			ps.onFail(err)
@@ -362,7 +446,7 @@ func (ctx *Context) cancelDeadSends() {
 // Advance, so Drain terminates even when a peer crashed mid-protocol.
 func (ctx *Context) Drain() {
 	for {
-		for ctx.Advance(advanceBatch) > 0 {
+		for ctx.AdvanceAuto() > 0 {
 		}
 		if ctx.work.Empty() && ctx.muRes.Rec.Empty() && ctx.shmDev.Empty() &&
 			len(ctx.reasm) == 0 && len(ctx.pending) == 0 && ctx.deferredLen == 0 {
@@ -388,8 +472,9 @@ func (ctx *Context) Stats() (advances, workDone, delivered int64) {
 func (ctx *Context) Tracer() *telemetry.Tracer { return ctx.tracer }
 
 // handlePacket processes one MU packet: either the whole message (single
-// packet) or a piece to reassemble.
-func (ctx *Context) handlePacket(pkt mu.Packet) {
+// packet) or a piece to reassemble. It takes the packet by pointer into
+// the drain scratch so the hot path never copies the Packet struct.
+func (ctx *Context) handlePacket(pkt *mu.Packet) {
 	hdr := pkt.Hdr
 	if hdr.Offset == 0 && len(pkt.Payload) == hdr.Total {
 		ctx.handleMessage(hdr, pkt.Payload, false)
@@ -442,7 +527,7 @@ func (ctx *Context) handleMessage(hdr mu.Header, payload []byte, viaShmem bool) 
 		ctx.handleCollMsg(hdr, payload)
 		return
 	}
-	fn, ok := ctx.dispatch[hdr.Dispatch]
+	fn, ok := ctx.dispatchFor(hdr.Dispatch)
 	if !ok {
 		panic(fmt.Sprintf("core: endpoint %v received message for unregistered dispatch %#x", ctx.addr, hdr.Dispatch))
 	}

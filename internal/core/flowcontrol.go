@@ -76,6 +76,14 @@ func (c *Client) eagerLimit() int {
 	return c.EagerThreshold
 }
 
+// EagerLimit reports the effective eager/rendezvous crossover in bytes —
+// the configured EagerThreshold, lowered while the AIMD controller is
+// backing off congestion. Runtimes layered on core use it to decide
+// whether a payload is worth copying into a relinquished pool buffer
+// (eager: the copy here is the only one the stack makes) or should stay
+// in caller memory for the rendezvous pull.
+func (c *Client) EagerLimit() int { return c.eagerLimit() }
+
 // noteCongestion multiplicatively decreases the adaptive threshold.
 func (c *Client) noteCongestion() {
 	configured := int64(c.EagerThreshold)
@@ -122,12 +130,23 @@ func (c *Client) noteEagerOK() {
 // and the capacity of its lock-free array, through whichever transport a
 // send would take. ok is false when the destination is unknown (bootstrap
 // races resolve on the send itself, which has the authoritative error).
+// It resolves through the context's destination cache — sends probe
+// pressure per message, so this sits on the hot path with transportSend
+// and shares its owner-thread-only contract.
 func (ctx *Context) destPressure(dst Endpoint) (occ, arrayCap int64, ok bool) {
-	m := ctx.client.mach
-	if m.SameNode(ctx.addr.Task, dst.Task) {
-		return m.Shmem(ctx.client.proc.Node().Rank).Pressure(dst)
+	e := ctx.destResolve(dst)
+	if e.sameNode {
+		if e.dev == nil {
+			return 0, 0, false
+		}
+		occ, arrayCap = e.dev.Pressure()
+		return occ, arrayCap, true
 	}
-	return m.Fabric().InboundPressure(dst)
+	if e.fifo == nil {
+		return 0, 0, false
+	}
+	cur, _ := e.fifo.Occupancy()
+	return cur, int64(e.fifo.ArrayCap()), true
 }
 
 // destCongested reports whether eager traffic to dst should degrade to

@@ -664,7 +664,7 @@ func (g *Geometry) swWait(src int, phase uint8, seq uint64) ([]byte, error) {
 				ctx.Unlock()
 				return v, nil
 			}
-			worked = ctx.Advance(advanceBatch)
+			worked = ctx.AdvanceAuto()
 			ctx.Unlock()
 		}
 		if worked == 0 {

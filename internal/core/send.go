@@ -7,6 +7,7 @@ import (
 
 	"pamigo/internal/bufpool"
 	"pamigo/internal/mu"
+	"pamigo/internal/shmem"
 	"pamigo/internal/telemetry"
 )
 
@@ -32,6 +33,14 @@ type SendParams struct {
 	Meta []byte
 	// Data is the payload.
 	Data []byte
+	// DataBuf, when non-nil, replaces Data with an ownership transfer: the
+	// caller relinquishes the pooled buffer (its Bytes are exactly the
+	// payload) and the context consumes that reference on every path —
+	// success, error, deferral or cancellation. Same-node eager delivery
+	// then dispatches straight out of this slab with no copy at all, and
+	// the MU path packetizes it as views instead of copies. Do not set
+	// Data and DataBuf together, and do not touch the buffer after Send.
+	DataBuf *bufpool.Buf
 	// OnDone, if non-nil, runs when the send buffer may be reused: at
 	// injection for eager, at remote-completion ack for rendezvous. It
 	// runs on the thread advancing this context.
@@ -91,7 +100,7 @@ func (ctx *Context) SendImmediate(dst Endpoint, dispatch uint16, meta, data []by
 		return fmt.Errorf("core: SendImmediate of %d bytes exceeds the %d byte packet payload",
 			len(meta)+len(data), mu.MaxPayload)
 	}
-	if len(ctx.deferred[dst]) > 0 {
+	if ctx.deferredLen > 0 && len(ctx.deferred[dst]) > 0 {
 		// Sends are already parked for this destination; letting the
 		// immediate path jump the queue would reorder the flow.
 		ctx.stats.throttled.Inc()
@@ -122,11 +131,65 @@ func (ctx *Context) SendImmediate(dst Endpoint, dispatch uint16, meta, data []by
 	return ctx.transportSend(dst, hdr, data)
 }
 
+// SendImmediateBuf is SendImmediate with ownership transfer: the caller
+// relinquishes data — a pooled buffer whose Bytes are the payload — and
+// the context consumes that reference on every path that *acts* on the
+// send, success or hard failure. ErrThrottled is the one exception,
+// deliberately EAGAIN-shaped: nothing was sent, the caller still owns
+// the buffer, and the natural retry loop reuses it as-is — a throttled
+// flood must not pay a pool round-trip and a payload copy per refusal.
+// The payload is never copied on the same-node path: the receiving
+// context dispatches straight out of this slab.
+func (ctx *Context) SendImmediateBuf(dst Endpoint, dispatch uint16, meta []byte, data *bufpool.Buf) error {
+	if data == nil {
+		return ctx.SendImmediate(dst, dispatch, meta, nil)
+	}
+	if dispatch >= MaxUserDispatch {
+		data.Release()
+		return fmt.Errorf("core: dispatch %#x is reserved", dispatch)
+	}
+	n := len(data.Bytes())
+	if len(meta)+n > mu.MaxPayload {
+		data.Release()
+		return fmt.Errorf("core: SendImmediate of %d bytes exceeds the %d byte packet payload",
+			len(meta)+n, mu.MaxPayload)
+	}
+	if ctx.deferredLen > 0 && len(ctx.deferred[dst]) > 0 {
+		ctx.stats.throttled.Inc()
+		return fmt.Errorf("core: immediate send %v -> %v: %d sends deferred ahead of it: %w",
+			ctx.addr, dst, len(ctx.deferred[dst]), ErrThrottled)
+	}
+	if occ, budget, over := ctx.overBudget(dst); over {
+		ctx.stats.throttled.Inc()
+		ctx.client.noteCongestion()
+		return fmt.Errorf("core: immediate send %v -> %v: inbound queue at %d of budget %d: %w",
+			ctx.addr, dst, occ, budget, ErrThrottled)
+	}
+	ctx.sendSeq++
+	hdr := mu.Header{
+		Dispatch: dispatch,
+		Origin:   ctx.addr,
+		Seq:      ctx.sendSeq,
+		Meta:     meta,
+	}
+	ctx.stats.sendsImmediate.Inc()
+	ctx.stats.bytesSent.Add(int64(n))
+	if telemetry.TraceEnabled {
+		ctx.tracer.Emit("send.immediate", int64(dispatch), int64(n))
+	}
+	return ctx.transportSendBuf(dst, hdr, data)
+}
+
 // Send sends an active message using the eager or rendezvous protocol.
 // Call with the context lock held (or from a posted work function).
 func (ctx *Context) Send(p SendParams) error {
 	if p.Dispatch >= MaxUserDispatch {
+		p.DataBuf.Release()
 		return fmt.Errorf("core: dispatch %#x is reserved", p.Dispatch)
+	}
+	plen := len(p.Data)
+	if p.DataBuf != nil {
+		plen = len(p.DataBuf.Bytes())
 	}
 	mode := p.Mode
 	if mode == ModeAuto && !ctx.client.mach.Hosted(p.Dest.Task) {
@@ -138,7 +201,7 @@ func (ctx *Context) Send(p SendParams) error {
 		mode = ModeEager
 	}
 	if mode == ModeAuto {
-		if len(p.Data) <= ctx.client.eagerLimit() {
+		if plen <= ctx.client.eagerLimit() {
 			if ctx.destCongested(p.Dest) {
 				// Degrade gracefully: ship a rendezvous RTS (one header-sized
 				// packet) instead of committing the payload to a receiver
@@ -156,6 +219,7 @@ func (ctx *Context) Send(p SendParams) error {
 		}
 	}
 	if mode != ModeEager && mode != ModeRendezvous {
+		p.DataBuf.Release()
 		return fmt.Errorf("core: unknown send mode %d", mode)
 	}
 	// Hard budget: past it, even the RTS stays home. The send parks in the
@@ -240,6 +304,7 @@ func (ctx *Context) cancelDeadDeferred() {
 		delete(ctx.deferred, dst)
 		ctx.deferredLen -= len(q)
 		for _, p := range q {
+			p.DataBuf.Release()
 			err := fmt.Errorf("core: deferred send %v -> %v cancelled: %w", ctx.addr, dst, mu.ErrPeerDead)
 			if p.OnFail != nil {
 				p.OnFail(err)
@@ -251,8 +316,9 @@ func (ctx *Context) cancelDeadDeferred() {
 	ctx.stats.deferredSends.Set(int64(ctx.deferredLen))
 }
 
-// sendEager copies the payload into packets (or the shared-memory queue);
-// local completion is immediate.
+// sendEager copies the payload into packets (or the shared-memory queue)
+// — or, for a DataBuf send, transfers the caller's slab with no copy at
+// all; local completion is immediate either way.
 func (ctx *Context) sendEager(p SendParams) error {
 	ctx.sendSeq++
 	hdr := mu.Header{
@@ -261,12 +327,22 @@ func (ctx *Context) sendEager(p SendParams) error {
 		Seq:      ctx.sendSeq,
 		Meta:     p.Meta,
 	}
-	ctx.stats.sendsEager.Inc()
-	ctx.stats.bytesSent.Add(int64(len(p.Data)))
-	if telemetry.TraceEnabled {
-		ctx.tracer.Emit("send.eager", int64(p.Dispatch), int64(len(p.Data)))
+	plen := len(p.Data)
+	if p.DataBuf != nil {
+		plen = len(p.DataBuf.Bytes())
 	}
-	if err := ctx.transportSend(p.Dest, hdr, p.Data); err != nil {
+	ctx.stats.sendsEager.Inc()
+	ctx.stats.bytesSent.Add(int64(plen))
+	if telemetry.TraceEnabled {
+		ctx.tracer.Emit("send.eager", int64(p.Dispatch), int64(plen))
+	}
+	var err error
+	if p.DataBuf != nil {
+		err = ctx.transportSendBuf(p.Dest, hdr, p.DataBuf)
+	} else {
+		err = ctx.transportSend(p.Dest, hdr, p.Data)
+	}
+	if err != nil {
 		return err
 	}
 	if p.OnDone != nil {
@@ -334,18 +410,25 @@ func (ctx *Context) sendRendezvous(p SendParams) error {
 	ctx.sendSeq++
 	sendID := ctx.sendSeq
 	intra := ctx.client.mach.SameNode(ctx.addr.Task, p.Dest.Task)
+	// A DataBuf rendezvous publishes the caller's slab directly: the
+	// pending send holds the reference until the completion ack (or a
+	// peer-death cancellation) retires the publication and releases it.
+	data := p.Data
+	if p.DataBuf != nil {
+		data = p.DataBuf.Bytes()
+	}
 	info := rtsInfo{
 		sendID:  sendID,
-		size:    len(p.Data),
+		size:    len(data),
 		srcProc: ctx.client.proc.LocalID(),
 		intra:   intra,
 	}
-	ps := &pendingSend{dst: p.Dest, onDone: p.OnDone, onFail: p.OnFail, start: time.Now()}
+	ps := &pendingSend{dst: p.Dest, onDone: p.OnDone, onFail: p.OnFail, buf: p.DataBuf, start: time.Now()}
 	ctx.stats.sendsRdv.Inc()
-	ctx.stats.bytesSent.Add(int64(len(p.Data)))
+	ctx.stats.bytesSent.Add(int64(len(data)))
 	ctx.stats.rdvInflight.Inc()
 	if telemetry.TraceEnabled {
-		ctx.tracer.Emit("send.rendezvous", int64(p.Dispatch), int64(len(p.Data)))
+		ctx.tracer.Emit("send.rendezvous", int64(p.Dispatch), int64(len(data)))
 	}
 	// Publication IDs embed the context ordinal: the registries are keyed
 	// per task/process, and a task's contexts allocate independently.
@@ -354,11 +437,11 @@ func (ctx *Context) sendRendezvous(p SendParams) error {
 	if intra {
 		info.gvaTag = pubID
 		ps.gvaTag = info.gvaTag
-		ctx.client.proc.PublishSegment(info.gvaTag, p.Data)
+		ctx.client.proc.PublishSegment(info.gvaTag, data)
 	} else {
 		info.mrID = pubID
 		ps.mrID = info.mrID
-		ctx.client.mach.Fabric().RegisterMemregion(ctx.addr.Task, info.mrID, p.Data)
+		ctx.client.mach.Fabric().RegisterMemregion(ctx.addr.Task, info.mrID, data)
 	}
 	ctx.pending[sendID] = ps
 	rts := encodeRTS(info, p.Dispatch, p.Meta)
@@ -370,6 +453,19 @@ func (ctx *Context) sendRendezvous(p SendParams) error {
 	}
 	err := ctx.transportSend(p.Dest, hdr, nil)
 	rts.Release() // both transports copy the header before returning
+	if err != nil {
+		// The RTS never left: unwind the publication so the pending table
+		// does not pin the payload (or an owned DataBuf slab) forever.
+		delete(ctx.pending, sendID)
+		ctx.stats.rdvInflight.Dec()
+		if ps.mrID != 0 {
+			ctx.client.mach.Fabric().DeregisterMemregion(ctx.addr.Task, ps.mrID)
+		}
+		if ps.gvaTag != 0 {
+			ctx.client.proc.RetractSegment(ps.gvaTag)
+		}
+		ps.buf.Release()
+	}
 	return err
 }
 
@@ -379,10 +475,86 @@ const (
 	gvaSendTagBase uint64 = 1 << 62
 )
 
+// destEntry is one resolved destination route, cached per context so the
+// per-message cost of repeated sends to one endpoint is a handful of
+// compares instead of a registry probe. Validation is by generation
+// stamp: the shmem node bumps its Gen on endpoint (de)registration, the
+// fabric bumps ContextsGen when its COW context map swaps.
+type destEntry struct {
+	dst      Endpoint
+	valid    bool
+	sameNode bool
+
+	snode *shmem.Node
+	sgen  uint64
+	dev   *shmem.Device // nil when the endpoint is not (yet) registered
+
+	cgen uint64
+	fifo *mu.RecFIFO // nil for wire-remote destinations
+}
+
+// destResolve returns the cached route for dst, refilling on miss or
+// stale generation. Owner-thread only (it mutates ctx.dcache).
+func (ctx *Context) destResolve(dst Endpoint) *destEntry {
+	e := &ctx.dcache
+	m := ctx.client.mach
+	if e.valid && e.dst == dst {
+		if e.sameNode {
+			if e.sgen == e.snode.Gen() {
+				return e
+			}
+		} else if e.cgen == m.Fabric().ContextsGen() {
+			return e
+		}
+	}
+	*e = destEntry{dst: dst, valid: true}
+	if m.SameNode(ctx.addr.Task, dst.Task) {
+		e.sameNode = true
+		e.snode = m.Shmem(ctx.client.proc.Node().Rank)
+		e.sgen = e.snode.Gen()
+		e.dev, _ = e.snode.Resolve(dst)
+	} else {
+		fab := m.Fabric()
+		e.cgen = fab.ContextsGen()
+		e.fifo, _ = fab.RecFIFOOf(dst)
+	}
+	return e
+}
+
 // transportSend routes a header+payload to the destination over shared
 // memory (same node) or the MU (off node); eager messages between two
 // endpoints always take the same path, preserving point-to-point order.
+// Owner-thread only: it resolves through the context's destination cache.
 func (ctx *Context) transportSend(dst Endpoint, hdr mu.Header, data []byte) error {
+	if e := ctx.destResolve(dst); e.sameNode {
+		if e.dev != nil {
+			return e.snode.SendTo(e.dev, hdr, data)
+		}
+		return e.snode.Send(dst, hdr, data)
+	}
+	inj := ctx.muRes.PinnedInj(dst.Task)
+	return ctx.client.mach.Fabric().InjectMemFIFO(inj, dst, hdr, data)
+}
+
+// transportSendBuf is transportSend with ownership transfer: the payload
+// reference is consumed by the transport on every path, and no copy is
+// made on the same-node leg. Owner-thread only.
+func (ctx *Context) transportSendBuf(dst Endpoint, hdr mu.Header, data *bufpool.Buf) error {
+	if e := ctx.destResolve(dst); e.sameNode {
+		if e.dev != nil {
+			return e.snode.SendBufTo(e.dev, hdr, data)
+		}
+		return e.snode.SendBuf(dst, hdr, data)
+	}
+	inj := ctx.muRes.PinnedInj(dst.Task)
+	return ctx.client.mach.Fabric().InjectMemFIFOBuf(inj, dst, hdr, data)
+}
+
+// transportSendAnyThread is the cache-free transportSend used where the
+// thread contract is loose: Delivery.Receive (and so the rendezvous ack)
+// may run on any thread, which must touch neither the context's
+// destination cache nor an injection FIFO's single-owner cache.
+func (ctx *Context) transportSendAnyThread(dst Endpoint, hdr mu.Header, data []byte) error {
 	m := ctx.client.mach
 	if m.SameNode(ctx.addr.Task, dst.Task) {
 		return m.Shmem(ctx.client.proc.Node().Rank).Send(dst, hdr, data)
@@ -398,7 +570,7 @@ func (ctx *Context) handleRTS(hdr mu.Header, viaShmem bool) {
 	if err != nil {
 		panic("core: " + err.Error())
 	}
-	fn, ok := ctx.dispatch[dispatch]
+	fn, ok := ctx.dispatchFor(dispatch)
 	if !ok {
 		panic(fmt.Sprintf("core: endpoint %v received RTS for unregistered dispatch %#x", ctx.addr, dispatch))
 	}
@@ -454,7 +626,7 @@ func (d *Delivery) Receive(buf []byte, done func()) error {
 		Origin:   ctx.addr,
 		Meta:     ack.Bytes(),
 	}
-	err := ctx.transportSend(d.Origin, hdr, nil)
+	err := ctx.transportSendAnyThread(d.Origin, hdr, nil)
 	ack.Release()
 	if err != nil {
 		return err
@@ -498,6 +670,7 @@ func (ctx *Context) handleAck(hdr mu.Header) {
 	if ps.gvaTag != 0 {
 		ctx.client.proc.RetractSegment(ps.gvaTag)
 	}
+	ps.buf.Release()
 	if ps.onDone != nil {
 		ps.onDone()
 	}

@@ -42,6 +42,13 @@ type cell[T any] struct {
 	val T
 }
 
+// ovfCell is one slot of the overflow ring: tick holds ticket+1 so the
+// zero value reads as empty.
+type ovfCell[T any] struct {
+	tick int64
+	val  T
+}
+
 // Queue is a multi-producer single-consumer FIFO queue: a bounded
 // lock-free array with a mutex-protected overflow, per paper §III.B.
 // Create queues with NewQueue; the zero value is not usable.
@@ -52,10 +59,20 @@ type Queue[T any] struct {
 	tail l2atomic.Counter // next ticket to allocate
 	head l2atomic.Counter // next ticket to consume
 
+	// Overflow entries park in a ticket-indexed ring, not a hash map:
+	// tickets are dense integers, so slot ticket&mask is an exact-fit
+	// address and a parked entry costs two array writes instead of a
+	// hash, a probe, and a map-cell copy each way. The ring grows (under
+	// the mutex, amortized) until the live ticket span fits; it never
+	// shrinks, mirroring how hardware sizes a FIFO for its worst flood.
 	overflowMu  l2atomic.Mutex
-	overflow    map[int64]T
+	overflow    []ovfCell[T]
 	overflowN   l2atomic.Counter
 	overflowCap int64
+	// hwmLocal shadows overflowHWM for the ratchet compare: it is only
+	// touched under overflowMu, so the common already-at-peak case costs
+	// a register compare instead of an atomic max.
+	hwmLocal int64
 
 	// overflowed counts enqueues that missed the fast path; exported for
 	// the statistics the bench harness reports. overflowHWM is the
@@ -74,7 +91,6 @@ func NewQueue[T any](capacity int) *Queue[T] {
 	return &Queue[T]{
 		cells:       make([]cell[T], c),
 		mask:        c - 1,
-		overflow:    make(map[int64]T),
 		overflowCap: DefaultOverflowCap,
 	}
 }
@@ -94,6 +110,54 @@ func (q *Queue[T]) SetOverflowCap(n int) {
 		return
 	}
 	q.overflowCap = int64(n)
+}
+
+// ovfPut parks ticket t in the overflow ring. Call with overflowMu held.
+// Distinct live tickets can collide only while the ring is smaller than
+// their span, and the span is bounded by array+overflowCap, so the grow
+// loop terminates with ring ≈ the deepest backlog ever parked.
+func (q *Queue[T]) ovfPut(t int64, v *T) {
+	if q.overflow == nil {
+		q.overflow = make([]ovfCell[T], 64)
+	}
+	for {
+		c := &q.overflow[t&int64(len(q.overflow)-1)]
+		if c.tick == 0 {
+			c.tick = t + 1
+			c.val = *v
+			return
+		}
+		q.growOvf()
+	}
+}
+
+// growOvf doubles the overflow ring and re-slots the parked entries.
+// Call with overflowMu held.
+func (q *Queue[T]) growOvf() {
+	old := q.overflow
+	q.overflow = make([]ovfCell[T], 2*len(old))
+	for i := range old {
+		if old[i].tick != 0 {
+			q.overflow[(old[i].tick-1)&int64(len(q.overflow)-1)] = old[i]
+		}
+	}
+}
+
+// ovfTake removes ticket t from the overflow ring if parked there.
+// Call with overflowMu held.
+func (q *Queue[T]) ovfTake(t int64, out *T) bool {
+	if len(q.overflow) == 0 {
+		return false
+	}
+	c := &q.overflow[t&int64(len(q.overflow)-1)]
+	if c.tick != t+1 {
+		return false
+	}
+	*out = c.val
+	var zero T
+	c.val = zero // release references for GC / the buffer pool
+	c.tick = 0
+	return true
 }
 
 // Enqueue appends v to the queue: the bounded-increment slot allocation,
@@ -117,8 +181,42 @@ func (q *Queue[T]) Enqueue(v T) error {
 	}
 	q.overflowed.LoadIncrement()
 	q.overflowMu.Lock()
-	q.overflow[t] = v
-	q.overflowHWM.StoreMax(q.overflowN.LoadIncrement() + 1)
+	q.ovfPut(t, &v)
+	q.noteParked()
+	q.overflowMu.Unlock()
+	return nil
+}
+
+// noteParked accounts one newly parked overflow entry. Call with
+// overflowMu held.
+func (q *Queue[T]) noteParked() {
+	if live := q.overflowN.LoadIncrement() + 1; live > q.hwmLocal {
+		q.hwmLocal = live
+		q.overflowHWM.Store(live)
+	}
+}
+
+// EnqueueRef is Enqueue for large element types: the element is copied
+// into its cell (or the overflow map) straight from *v, so the value is
+// not passed a second time through the call frame. The queue owns a copy
+// after return; the caller may reuse *v. Same backpressure and
+// concurrency contract as Enqueue.
+func (q *Queue[T]) EnqueueRef(v *T) error {
+	if q.overflowN.Load() >= q.overflowCap &&
+		q.tail.Load()-q.head.Load() >= int64(len(q.cells)) {
+		return ErrBackpressure
+	}
+	t := q.tail.LoadIncrement()
+	if t-q.head.Load() < int64(len(q.cells)) {
+		c := &q.cells[t&q.mask]
+		c.val = *v
+		c.seq.Store(t + 1) // publish
+		return nil
+	}
+	q.overflowed.LoadIncrement()
+	q.overflowMu.Lock()
+	q.ovfPut(t, v)
+	q.noteParked()
 	q.overflowMu.Unlock()
 	return nil
 }
@@ -161,8 +259,8 @@ func (q *Queue[T]) EnqueueN(vs []T) error {
 	q.overflowMu.Lock()
 	for i := spill; i < int64(len(vs)); i++ {
 		q.overflowed.LoadIncrement()
-		q.overflow[t0+i] = vs[i]
-		q.overflowHWM.StoreMax(q.overflowN.LoadIncrement() + 1)
+		q.ovfPut(t0+i, &vs[i])
+		q.noteParked()
 	}
 	q.overflowMu.Unlock()
 	return nil
@@ -193,21 +291,21 @@ func (q *Queue[T]) DrainInto(dst []T) int {
 		// that sits in overflow under one lock acquisition.
 		if q.overflowN.Load() > 0 {
 			q.overflowMu.Lock()
-			took := false
+			took := 0
 			for n < len(dst) {
-				v, ok := q.overflow[h]
-				if !ok {
+				if !q.ovfTake(h, &dst[n]) {
 					break
 				}
-				delete(q.overflow, h)
-				q.overflowN.LoadDecrement()
-				dst[n] = v
 				h++
 				n++
-				took = true
+				took++
+			}
+			if took > 0 {
+				// One counter update for the run, not one per element.
+				q.overflowN.StoreAdd(int64(-took))
 			}
 			q.overflowMu.Unlock()
-			if took {
+			if took > 0 {
 				continue
 			}
 		}
@@ -239,9 +337,8 @@ func (q *Queue[T]) Dequeue() (v T, ok bool) {
 	// The head ticket is not in the array; it may be in overflow.
 	if q.overflowN.Load() > 0 {
 		q.overflowMu.Lock()
-		v, ok = q.overflow[h]
+		ok = q.ovfTake(h, &v)
 		if ok {
-			delete(q.overflow, h)
 			q.overflowN.LoadDecrement()
 		}
 		q.overflowMu.Unlock()

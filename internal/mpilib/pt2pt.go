@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"pamigo/internal/bufpool"
 	"pamigo/internal/core"
 	"pamigo/internal/l2atomic"
 )
@@ -95,11 +96,22 @@ func (c *Comm) isend(buf []byte, dest, tag int, mode core.SendMode) (*Request, e
 		Dest:     core.Endpoint{Task: destWorld, Ctx: dstOrd},
 		Dispatch: dispatchMPI,
 		Meta:     env.encode(),
-		Data:     buf,
 		Mode:     mode,
 		OnDone: func() {
 			req.complete(Status{Source: c.rank, Tag: tag, Count: len(buf)})
 		},
+	}
+	if mode != core.ModeRendezvous && len(buf) <= w.client.EagerLimit() {
+		// Eager-size payloads are copied once here, at the MPI boundary,
+		// into a relinquished pool slab: the layers below reference the
+		// slab instead of re-copying (same-node receivers dispatch
+		// straight out of it), and on the commthread path the copy runs
+		// on the application thread, off the injection thread. Rendezvous
+		// payloads stay in caller memory — MPI forbids touching the
+		// buffer until completion, so the pull reads it in place.
+		params.DataBuf = bufpool.GetCopy(buf)
+	} else {
+		params.Data = buf
 	}
 	if w.client.CommThreadsEnabled() && w.opts.Library == ThreadOptimized {
 		// Hand off descriptor construction and injection to the context's

@@ -112,35 +112,72 @@ func (p *Packet) Release() {
 	p.pbuf, p.mbuf = nil, nil
 }
 
-// RecFIFO is a reception FIFO owned by exactly one PAMI context.
+// recShards is the number of per-producer queue shards inside one
+// reception FIFO. Producers are origin-hashed onto shards, so a
+// many-to-one fan-in spreads its ticket CASes over recShards cache
+// lines instead of rendezvousing on one tail word. Must stay a power of
+// two for the mask in shardFor. Order within one origin is untouched
+// (an origin always hashes to the same shard); order *across* origins
+// was never guaranteed — concurrent producers raced for tickets before.
+const recShards = 4
+
+// RecFIFO is a reception FIFO owned by exactly one PAMI context. It is
+// recShards lockless queues behind one facade: deliveries hash their
+// origin endpoint onto a shard, and the owning context's Poll/PollBatch
+// drains the shards round-robin starting from a rotating cursor so no
+// shard can starve the others.
 type RecFIFO struct {
 	id     int
-	q      *lockless.Queue[Packet]
+	shards [recShards]*lockless.Queue[Packet]
 	region *wakeup.Region
+	next   uint32 // round-robin drain cursor; single consumer, no atomics
 
-	received    *telemetry.Counter
+	received *telemetry.Counter
+
+	// occupancy is deliberately NOT sharded, unlike the write-hot
+	// counters: every sender reads it per message (the flow-control
+	// pressure probe), and folding a sharded gauge per probe costs eight
+	// dirtied cache lines where this single line costs one. Shard the
+	// write-hot/read-rare stats; keep the read-hot ones compact.
 	occupancy   *telemetry.Gauge
 	overflowHWM *telemetry.Gauge
+}
+
+// shardFor picks the delivery shard for an origin endpoint. The same
+// origin always lands on the same shard — the per-flow FIFO-order
+// contract the reliable layer and MPI matching rest on.
+func (f *RecFIFO) shardFor(origin TaskAddr) *lockless.Queue[Packet] {
+	h := uint32(origin.Task)*0x9E3779B1 ^ uint32(origin.Ctx)*0x85EBCA6B
+	return f.shards[(h>>13)&(recShards-1)]
 }
 
 // Poll removes the next packet, if one is ready. The caller owns one
 // reference to the packet's pooled buffers and must Release it after
 // dispatch.
 func (f *RecFIFO) Poll() (Packet, bool) {
-	p, ok := f.q.Dequeue()
-	if ok {
-		f.occupancy.Dec()
+	for i := uint32(0); i < recShards; i++ {
+		idx := (f.next + i) & (recShards - 1)
+		if p, ok := f.shards[idx].Dequeue(); ok {
+			f.next = idx + 1
+			f.occupancy.Dec()
+			return p, ok
+		}
 	}
-	return p, ok
+	return Packet{}, false
 }
 
-// PollBatch drains up to len(dst) packets in delivery order with a
-// single ticket-range claim on the FIFO's lockless queue, instead of one
-// head update per packet — the batch reception drain of a context
-// advance. The caller owns one reference to each drained packet's
-// pooled buffers and must Release each after dispatch.
+// PollBatch drains up to len(dst) packets with one ticket-range claim
+// per non-empty shard. The starting shard rotates every call, so under
+// sustained fan-in every producer shard gets the front slot equally
+// often. The caller owns one reference to each drained packet's pooled
+// buffers and must Release each after dispatch.
 func (f *RecFIFO) PollBatch(dst []Packet) int {
-	n := f.q.DrainInto(dst)
+	n := 0
+	start := f.next
+	f.next++
+	for i := uint32(0); i < recShards && n < len(dst); i++ {
+		n += f.shards[(start+i)&(recShards-1)].DrainInto(dst[n:])
+	}
 	if n > 0 {
 		f.occupancy.Update(-int64(n))
 	}
@@ -148,21 +185,52 @@ func (f *RecFIFO) PollBatch(dst []Packet) int {
 }
 
 // Empty reports whether the FIFO currently holds no packets.
-func (f *RecFIFO) Empty() bool { return f.q.Empty() }
+func (f *RecFIFO) Empty() bool {
+	for _, q := range f.shards {
+		if !q.Empty() {
+			return false
+		}
+	}
+	return true
+}
 
-// Saturated reports whether the FIFO can no longer absorb deliveries:
-// its lockless overflow queue has reached cap, meaning the owning
-// context has stopped consuming.
-func (f *RecFIFO) Saturated() bool { return f.q.OverflowLen() >= f.q.OverflowCap() }
+// Saturated reports whether the FIFO can no longer absorb deliveries
+// from at least one producer shard: that shard's overflow has reached
+// cap, meaning the owning context has stopped consuming.
+func (f *RecFIFO) Saturated() bool {
+	for _, q := range f.shards {
+		if q.OverflowLen() >= q.OverflowCap() {
+			return true
+		}
+	}
+	return false
+}
+
+// saturatedFor reports whether the shard serving the given origin can no
+// longer absorb its deliveries — the per-flow form of Saturated the
+// reliable layer's delivery check uses.
+func (f *RecFIFO) saturatedFor(origin TaskAddr) bool {
+	q := f.shardFor(origin)
+	return q.OverflowLen() >= q.OverflowCap()
+}
 
 // Region returns the wakeup region touched on every delivery.
 func (f *RecFIFO) Region() *wakeup.Region { return f.region }
 
-// SetOverflowCap bounds the FIFO's overflow queue: deliveries beyond the
-// lock-free array spill to the overflow until it holds n packets, after
-// which the FIFO refuses further traffic (Saturated). Drivers that model
-// a strict unexpected-message budget lower this from the default.
-func (f *RecFIFO) SetOverflowCap(n int) { f.q.SetOverflowCap(n) }
+// SetOverflowCap bounds the FIFO's overflow queues: the budget is split
+// evenly over the shards (rounded up), so the whole FIFO parks at most
+// n+recShards-1 packets beyond its lock-free arrays before refusing
+// further traffic (Saturated). Drivers that model a strict
+// unexpected-message budget lower this from the default.
+func (f *RecFIFO) SetOverflowCap(n int) {
+	per := n
+	if n > 0 {
+		per = (n + recShards - 1) / recShards
+	}
+	for _, q := range f.shards {
+		q.SetOverflowCap(per)
+	}
+}
 
 // Received returns the number of packets delivered to this FIFO.
 func (f *RecFIFO) Received() int64 { return f.received.Load() }
@@ -174,21 +242,38 @@ func (f *RecFIFO) Occupancy() (cur, highWater int64) {
 	return f.occupancy.Load(), f.occupancy.HighWater()
 }
 
+// ArrayCap returns the total lock-free array capacity across the FIFO's
+// shards — the denominator of the InboundPressure ratio.
+func (f *RecFIFO) ArrayCap() int {
+	n := 0
+	for _, q := range f.shards {
+		n += q.Cap()
+	}
+	return n
+}
+
 // ID returns the FIFO's hardware index on its node.
 func (f *RecFIFO) ID() int { return f.id }
 
-// deliver appends one packet to the FIFO. It fails with
-// lockless.ErrBackpressure when the FIFO's overflow is at cap — the
-// hardware analogue of a reception FIFO whose consumer has died — and
-// the caller then owns the packet's buffers.
-func (f *RecFIFO) deliver(p Packet) error {
-	if err := f.q.Enqueue(p); err != nil {
+// deliver appends one packet to the origin's shard of the FIFO. It fails
+// with lockless.ErrBackpressure when that shard's overflow is at cap —
+// the hardware analogue of a reception FIFO whose consumer has died —
+// and the caller then owns the packet's buffers. The packet is copied
+// out of *p into the queue; the caller's struct is not retained.
+func (f *RecFIFO) deliver(p *Packet) error {
+	q := f.shardFor(p.Hdr.Origin)
+	if err := q.EnqueueRef(p); err != nil {
 		return err
 	}
 	f.received.Inc()
 	f.occupancy.Inc()
-	if f.q.OverflowLen() > 0 { // overflow is the rare path; gauge it only then
-		f.overflowHWM.Set(f.q.OverflowHWM())
+	// Gauge only this shard's own high-water mark: under a sustained
+	// flood every delivery lands here, and scanning the other shards'
+	// counters would drag their producer-owned cache lines through this
+	// core once per packet. Slight undercount across shards, zero
+	// cross-shard traffic.
+	if hwm := q.OverflowHWM(); hwm > 0 {
+		f.overflowHWM.Set(hwm)
 	}
 	f.region.Touch()
 	return nil
@@ -196,10 +281,25 @@ func (f *RecFIFO) deliver(p Packet) error {
 
 // InjFIFO is an injection FIFO owned by exactly one PAMI context. The
 // owning context serializes injections into each of its FIFOs, so the
-// structure needs no lock — that exclusivity is the paper's point.
+// structure needs no lock — that exclusivity is the paper's point, and
+// it is what makes the embedded destination cache legal: only the owner
+// reads or writes it.
 type InjFIFO struct {
 	id       int
 	injected *telemetry.Counter
+
+	// Destination-resolution cache. Injection FIFOs are pinned per
+	// destination (PinnedInj), so consecutive injections overwhelmingly
+	// resolve the same endpoint; caching the reception FIFO skips the
+	// contexts-map hash per packet. The cache is validated by COW map
+	// identity: any registration swaps the map pointer and misses here.
+	// Only InjectMemFIFOBuf — the ownership-transfer path, which only the
+	// owning context thread may call — touches these fields; InjectMemFIFO
+	// stays cache-free because the rendezvous ack can inject from any
+	// thread.
+	lastMap  *map[TaskAddr]*RecFIFO
+	lastDst  TaskAddr
+	lastFifo *RecFIFO
 }
 
 // ID returns the FIFO's hardware index on its node.
@@ -259,12 +359,24 @@ func (n *NodeMU) AllocContext(injCount int, region *wakeup.Region) (*ContextReso
 	res := &ContextResources{
 		Rec: &RecFIFO{
 			id:          n.recUsed,
-			q:           lockless.NewQueue[Packet](n.recFIFOCap),
 			region:      region,
 			received:    recTele.Counter("packets_received"),
 			occupancy:   recTele.Gauge("occupancy"),
 			overflowHWM: recTele.Gauge("overflow_hwm"),
 		},
+	}
+	// Every shard gets the FULL configured array capacity, not a
+	// 1/recShards slice of it: a single-origin flow hashes onto exactly
+	// one shard, and shrinking that shard's array would push a flow into
+	// the mutex-protected overflow recShards times sooner than the
+	// unsharded FIFO did. Sharding is meant to spread contention and add
+	// buffering, never to subdivide it.
+	perShard := n.recFIFOCap
+	if perShard < 2 {
+		perShard = 2
+	}
+	for i := range res.Rec.shards {
+		res.Rec.shards[i] = lockless.NewQueue[Packet](perShard)
 	}
 	for i := 0; i < injCount; i++ {
 		id := n.injUsed + i
@@ -316,6 +428,7 @@ type Fabric struct {
 	taskMu   sync.Mutex                         // serializes writers
 	taskNode atomic.Pointer[map[int]torus.Rank] // read-only snapshot
 	contexts atomic.Pointer[map[TaskAddr]*RecFIFO]
+	ctxGen   atomic.Uint64 // bumped with every contexts swap; see ContextsGen
 
 	mrMu       sync.RWMutex
 	memregions map[memregionKey][]byte
@@ -420,6 +533,7 @@ func (f *Fabric) RegisterContext(addr TaskAddr, fifo *RecFIFO) {
 	}
 	next[addr] = fifo
 	f.contexts.Store(&next)
+	f.ctxGen.Add(1)
 	f.taskMu.Unlock()
 }
 
@@ -479,7 +593,7 @@ func (f *Fabric) InboundPressure(addr TaskAddr) (occ, arrayCap int64, ok bool) {
 		return 0, 0, false
 	}
 	cur, _ := fifo.Occupancy()
-	return cur, int64(fifo.q.Cap()), true
+	return cur, int64(fifo.ArrayCap()), true
 }
 
 // RecFIFOOf returns the reception FIFO registered for the endpoint, for
@@ -499,6 +613,29 @@ func (f *Fabric) lookupContext(addr TaskAddr) (*RecFIFO, error) {
 	}
 	return fifo, nil
 }
+
+// lookupContextCached is lookupContext through the injection FIFO's
+// single-owner destination cache: pinned-destination traffic resolves
+// with one atomic load and two compares instead of a map probe. The
+// cache self-invalidates when a registration swaps the COW map.
+func (f *Fabric) lookupContextCached(inj *InjFIFO, addr TaskAddr) (*RecFIFO, error) {
+	m := f.contexts.Load()
+	if inj.lastMap == m && inj.lastDst == addr {
+		return inj.lastFifo, nil
+	}
+	fifo, ok := (*m)[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchContext, addr)
+	}
+	inj.lastMap, inj.lastDst, inj.lastFifo = m, addr, fifo
+	return fifo, nil
+}
+
+// ContextsGen returns a generation stamp for the context registration
+// map: it changes whenever RegisterContext swaps the COW map. Layers
+// above (core's per-context destination cache) revalidate against it
+// instead of re-probing the map per message.
+func (f *Fabric) ContextsGen() uint64 { return f.ctxGen.Load() }
 
 // RegisterMemregion pins a buffer for RDMA under (task, id); puts and
 // remote gets name remote memory this way, like PAMI memregions.
@@ -552,6 +689,9 @@ func (f *Fabric) InjectMemFIFO(inj *InjFIFO, dst TaskAddr, hdr Header, payload [
 	if t := f.remoteFor(dst.Task); t != nil {
 		return f.injectRemote(t, inj, dst, hdr, payload)
 	}
+	// Uncached lookup: this entry point is callable from any thread (the
+	// rendezvous ack fires from whichever thread ran Receive), so it must
+	// not touch the injection FIFO's single-owner destination cache.
 	fifo, err := f.lookupContext(dst)
 	if err != nil {
 		return err
@@ -602,13 +742,87 @@ func (f *Fabric) InjectMemFIFO(inj *InjFIFO, dst TaskAddr, hdr Header, payload [
 	return nil
 }
 
+// InjectMemFIFOBuf is InjectMemFIFO with ownership transfer: the caller
+// relinquishes payload — a pooled buffer whose Bytes() are exactly the
+// message — and the fabric consumes that reference on every path,
+// success or failure. The payload is never copied again: packets carry
+// views into the caller's slab, each chunk holding its own reference,
+// and the last consumer Release returns the slab to the pool. The
+// metadata blob still rides by copy (it is small and first-packet-only).
+// A nil payload is the zero-length message.
+func (f *Fabric) InjectMemFIFOBuf(inj *InjFIFO, dst TaskAddr, hdr Header, payload *bufpool.Buf) error {
+	if payload == nil {
+		return f.InjectMemFIFO(inj, dst, hdr, nil)
+	}
+	if t := f.remoteFor(dst.Task); t != nil {
+		// The transport contract copies the payload before Send returns,
+		// so the wire leg can consume the caller's reference right here.
+		err := f.injectRemote(t, inj, dst, hdr, payload.Bytes())
+		payload.Release()
+		return err
+	}
+	fifo, err := f.lookupContextCached(inj, dst)
+	if err != nil {
+		payload.Release()
+		return err
+	}
+	if rl := f.rel.Load(); rl != nil {
+		return rl.injectMemFIFOBuf(inj, fifo, dst, hdr, payload)
+	}
+	inj.injected.Add(1)
+	f.memFIFOSends.Add(1)
+	pbytes := payload.Bytes()
+	total := len(pbytes)
+	hdr.Total = total
+	var mbuf *bufpool.Buf
+	if len(hdr.Meta) > 0 {
+		mbuf = bufpool.GetCopy(hdr.Meta)
+		hdr.Meta = mbuf.Bytes()
+	}
+	if total == 0 {
+		payload.Release()
+		hdr.Offset = 0
+		pkt := Packet{Hdr: hdr, mbuf: mbuf}
+		if err := pkt.deliverTo(fifo, dst); err != nil {
+			return err
+		}
+		f.account(hdr.Origin.Task, dst.Task, 1, PacketHeaderBytes)
+		return nil
+	}
+	npkts := int64(0)
+	for off := 0; off < total; off += MaxPayload {
+		end := off + MaxPayload
+		if end > total {
+			end = total
+		}
+		ph := hdr
+		ph.Offset = off
+		pm := mbuf
+		if off > 0 {
+			ph.Meta = nil
+			pm = nil
+			payload.Retain() // each chunk past the first holds its own ref
+		}
+		pkt := Packet{Hdr: ph, Payload: pbytes[off:end], pbuf: payload, mbuf: pm}
+		if err := pkt.deliverTo(fifo, dst); err != nil {
+			// deliverTo released the refused chunk's references; chunks not
+			// yet built never took theirs. Nothing further to reclaim.
+			f.account(hdr.Origin.Task, dst.Task, npkts, int64(off)+npkts*PacketHeaderBytes)
+			return err
+		}
+		npkts++
+	}
+	f.account(hdr.Origin.Task, dst.Task, npkts, int64(total)+npkts*PacketHeaderBytes)
+	return nil
+}
+
 // deliverTo hands the packet to a reception FIFO, reclaiming its pooled
 // buffers if the FIFO refuses it under backpressure. The error names the
 // flow (origin endpoint -> destination endpoint) and FIFO so callers up
 // in core/mpilib can both diagnose it and errors.Is-match the underlying
 // lockless.ErrBackpressure sentinel.
 func (p *Packet) deliverTo(fifo *RecFIFO, dst TaskAddr) error {
-	if err := fifo.deliver(*p); err != nil {
+	if err := fifo.deliver(p); err != nil {
 		p.Release()
 		return fmt.Errorf("mu: rec FIFO %d of endpoint %v refused packet from %v: %w",
 			fifo.id, dst, p.Hdr.Origin, err)

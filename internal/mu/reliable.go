@@ -352,8 +352,12 @@ func (r *reliableLayer) close() {
 // consumer has fallen a whole overflow budget behind, and the daemon
 // re-advertises (or, failing drain progress, kills the flow) on its own
 // goroutine.
-func creditFor(fifo *RecFIFO) uint64 {
-	h := fifo.q.Headroom()
+// With sharded reception FIFOs the advertisement is per-flow for real:
+// it is the headroom of the shard serving this flow's origin, so one
+// origin's backlog cannot starve the credit of flows landing on other
+// shards.
+func creditFor(fifo *RecFIFO, origin TaskAddr) uint64 {
+	h := fifo.shardFor(origin).Headroom()
 	if h < 0 {
 		h = 0
 	}
@@ -517,7 +521,11 @@ func (r *reliableLayer) injectMemFIFO(inj *InjFIFO, fifo *RecFIFO, dst TaskAddr,
 		hdr.Meta = mbuf.Bytes()
 	}
 	sendOne := func(ph Header, pb, pm *bufpool.Buf) error {
-		pp, err := r.stage(fl, ph, pb, pm, fifo, dstNode, srcNode, injLink, hasLink)
+		var chunk []byte
+		if pb != nil {
+			chunk = pb.Bytes()
+		}
+		pp, err := r.stage(fl, ph, chunk, pb, pm, fifo, dstNode, srcNode, injLink, hasLink)
 		if err != nil {
 			pb.Release()
 			pm.Release()
@@ -557,23 +565,107 @@ func (r *reliableLayer) injectMemFIFO(inj *InjFIFO, fifo *RecFIFO, dst TaskAddr,
 	return nil
 }
 
+// injectMemFIFOBuf is InjectMemFIFOBuf's faulted twin: the same staging,
+// windowing and credit protocol as injectMemFIFO, but the packets carry
+// views into the caller-relinquished slab instead of per-chunk copies.
+// The caller's reference rides the first chunk; every later chunk takes
+// its own with Retain, and the retransmit window / receiver / delayed
+// lists stack further references on top exactly as they do for copied
+// packets. The payload reference is consumed on every path, error
+// included.
+func (r *reliableLayer) injectMemFIFOBuf(inj *InjFIFO, fifo *RecFIFO, dst TaskAddr, hdr Header, payload *bufpool.Buf) error {
+	if r.closed.Load() {
+		payload.Release()
+		return ErrFabricClosed
+	}
+	dstNode, _ := r.f.TaskNode(dst.Task)
+	if r.deadCount.Load() > 0 && r.nodeDead(dstNode) {
+		payload.Release()
+		r.peerDeadFails.Inc()
+		return fmt.Errorf("mu: send to task %d on node %d: %w", dst.Task, dstNode, ErrPeerDead)
+	}
+	srcNode, srcOK := r.f.TaskNode(hdr.Origin.Task)
+	if r.inj.HasDownLinks() && srcOK {
+		if _, routeOK := r.routeInfo(srcNode, dstNode); !routeOK {
+			payload.Release()
+			return fmt.Errorf("%w: node %d -> node %d", ErrNoRoute, srcNode, dstNode)
+		}
+	}
+	var injLink torus.Link
+	hasLink := false
+	if srcOK {
+		injLink, hasLink = r.f.dims.FirstLink(srcNode, dstNode)
+	}
+	inj.injected.Add(1)
+	r.f.memFIFOSends.Add(1)
+	fl := r.flowFor(flowKey{src: hdr.Origin, dst: dst})
+	pbytes := payload.Bytes()
+	total := len(pbytes)
+	hdr.Total = total
+	var mbuf *bufpool.Buf
+	if len(hdr.Meta) > 0 {
+		mbuf = bufpool.GetCopy(hdr.Meta)
+		hdr.Meta = mbuf.Bytes()
+	}
+	sendOne := func(ph Header, chunk []byte, pb, pm *bufpool.Buf) error {
+		pp, err := r.stage(fl, ph, chunk, pb, pm, fifo, dstNode, srcNode, injLink, hasLink)
+		if err != nil {
+			pb.Release()
+			pm.Release()
+			return err
+		}
+		r.runAttempts(fl, pp, 1)
+		return nil
+	}
+	if total == 0 {
+		payload.Release()
+		hdr.Offset = 0
+		if err := sendOne(hdr, nil, nil, mbuf); err != nil {
+			return err
+		}
+		r.f.account(hdr.Origin.Task, dst.Task, 1, PacketHeaderBytes)
+		return nil
+	}
+	npkts := int64(0)
+	for off := 0; off < total; off += MaxPayload {
+		end := off + MaxPayload
+		if end > total {
+			end = total
+		}
+		ph := hdr
+		ph.Offset = off
+		pm := mbuf
+		if off > 0 {
+			ph.Meta = nil
+			pm = nil
+			payload.Retain() // each chunk past the first holds its own ref
+		}
+		if err := sendOne(ph, pbytes[off:end], payload, pm); err != nil {
+			// sendOne released this chunk's payload reference; staged
+			// earlier chunks keep theirs until acked.
+			return err
+		}
+		npkts++
+	}
+	r.f.account(hdr.Origin.Task, dst.Task, npkts, int64(total)+npkts*PacketHeaderBytes)
+	return nil
+}
+
 // stage assigns the packet its sequence number and checksum, waits for
 // window space and receiver credit, and records it as unacknowledged.
-// The staged packet takes ownership of the pooled payload (pb) and
-// metadata (pm) slabs; the window's reference is dropped when the
-// packet is recycled after its ack. On error the caller still owns the
-// slabs.
-func (r *reliableLayer) stage(fl *flow, hdr Header, pb, pm *bufpool.Buf, fifo *RecFIFO, dstNode, srcNode torus.Rank, injLink torus.Link, hasLink bool) (*pendingPkt, error) {
-	var chunk []byte
-	if pb != nil {
-		chunk = pb.Bytes()
-	}
+// chunk is the packet's payload view; it must be backed by pb (for
+// ownership-transfer sends it is a sub-slice of a larger slab, so it is
+// passed explicitly rather than derived from pb.Bytes()). The staged
+// packet takes ownership of the pooled payload (pb) and metadata (pm)
+// references; the window's reference is dropped when the packet is
+// recycled after its ack. On error the caller still owns them.
+func (r *reliableLayer) stage(fl *flow, hdr Header, chunk []byte, pb, pm *bufpool.Buf, fifo *RecFIFO, dstNode, srcNode torus.Rank, injLink torus.Link, hasLink bool) (*pendingPkt, error) {
 	fl.smu.Lock()
 	if fl.lastFifo == nil {
 		fl.lastFifo = fifo
 		// Seed the flow's credit with the receiver's current slack; from
 		// here on only acks and the daemon extend it.
-		r.grantLocked(fl, creditFor(fifo))
+		r.grantLocked(fl, creditFor(fifo, fl.key.src))
 	}
 	stalled := false
 	for (len(fl.unacked) >= sendWindow || fl.nextSeq > fl.creditLimit) &&
@@ -723,11 +815,12 @@ func (r *reliableLayer) deliver(fl *flow, pkt Packet, fifo *RecFIFO, attempt int
 		r.ack(fl, seq, attempt, fifo)
 		return outcomeDelivered
 	}
-	if fifo.Saturated() {
-		// The reception FIFO's overflow is at cap: its consumer has
-		// stopped draining (dead or hopelessly behind). Refuse the packet
-		// before accepting it — no ack, so the sender's timer retries,
-		// which is exactly the backpressure a full hardware FIFO exerts.
+	if fifo.saturatedFor(fl.key.src) {
+		// This flow's shard of the reception FIFO has its overflow at cap:
+		// the consumer has stopped draining (dead or hopelessly behind).
+		// Refuse the packet before accepting it — no ack, so the sender's
+		// timer retries, which is exactly the backpressure a full hardware
+		// FIFO exerts.
 		fl.rmu.Unlock()
 		r.fifoRefusals.Inc()
 		return outcomeLost
@@ -746,7 +839,7 @@ func (r *reliableLayer) deliver(fl *flow, pkt Packet, fifo *RecFIFO, attempt int
 		if !ok {
 			break
 		}
-		if fifo.deliver(p) != nil {
+		if fifo.deliver(&p) != nil {
 			// Saturation raced past the pre-check. If the refused packet
 			// is the one this attempt carried, withdraw it and report the
 			// attempt lost so the sender retries; an already-acked parked
@@ -794,7 +887,7 @@ func (r *reliableLayer) ack(fl *flow, seq uint64, attempt int, fifo *RecFIFO) {
 	if seq > fl.maxAcked {
 		fl.maxAcked = seq
 	}
-	r.grantLocked(fl, fl.maxAcked+creditFor(fifo))
+	r.grantLocked(fl, fl.maxAcked+creditFor(fifo, fl.key.src))
 	fl.smu.Unlock()
 }
 
@@ -871,7 +964,7 @@ func (r *reliableLayer) retransmitDue(now time.Time) {
 		// resets the stall clock, while a receiver that absorbed nothing
 		// for the whole retry budget is declared dead.
 		if fl.failed == nil && fl.lastFifo != nil && fl.nextSeq > fl.creditLimit {
-			if limit := fl.maxAcked + creditFor(fl.lastFifo); limit > fl.creditLimit {
+			if limit := fl.maxAcked + creditFor(fl.lastFifo, fl.key.src); limit > fl.creditLimit {
 				r.creditRefreshes.Inc()
 				r.grantLocked(fl, limit)
 			} else if !fl.stallSince.IsZero() {

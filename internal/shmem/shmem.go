@@ -22,6 +22,7 @@ import (
 	"pamigo/internal/bufpool"
 	"pamigo/internal/lockless"
 	"pamigo/internal/mu"
+	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
 	"pamigo/internal/wakeup"
 )
@@ -52,7 +53,9 @@ type Device struct {
 	q      *lockless.Queue[Message]
 	region *wakeup.Region
 
-	received atomic.Int64
+	// received is sharded (telemetry.Counter) because every local
+	// producer increments it on the eager fast path.
+	received telemetry.Counter
 }
 
 // Poll removes the next message, if one is ready. Single consumer: the
@@ -79,6 +82,13 @@ func (d *Device) Region() *wakeup.Region { return d.region }
 // Received returns the number of messages delivered to this device.
 func (d *Device) Received() int64 { return d.received.Load() }
 
+// Pressure reports the device's queue occupancy and lock-free array
+// capacity without any endpoint lookup — the fast-path form of
+// Node.Pressure for senders that hold a resolved *Device.
+func (d *Device) Pressure() (occ, arrayCap int64) {
+	return int64(d.q.Len()), int64(d.q.Cap())
+}
+
 // Node is the per-node shared-memory segment: the registry mapping local
 // endpoints to their reception queues.
 type Node struct {
@@ -86,9 +96,12 @@ type Node struct {
 
 	mu  sync.RWMutex
 	eps map[mu.TaskAddr]*Device
+	gen atomic.Uint64 // bumped on every Register/Deregister; see Gen
 
-	sends atomic.Int64
-	bytes atomic.Int64
+	// sends/bytes are incremented by every local producer concurrently;
+	// sharded counters keep the node totals off the senders' hot lines.
+	sends telemetry.Counter
+	bytes telemetry.Counter
 }
 
 // NewNode returns an empty shared-memory segment for the node with the
@@ -116,6 +129,7 @@ func (n *Node) Register(addr mu.TaskAddr, slots int, region *wakeup.Region) (*De
 		return nil, fmt.Errorf("shmem: endpoint %v already registered", addr)
 	}
 	n.eps[addr] = d
+	n.gen.Add(1)
 	return d, nil
 }
 
@@ -123,19 +137,40 @@ func (n *Node) Register(addr mu.TaskAddr, slots int, region *wakeup.Region) (*De
 func (n *Node) Deregister(addr mu.TaskAddr) {
 	n.mu.Lock()
 	delete(n.eps, addr)
+	n.gen.Add(1)
 	n.mu.Unlock()
+}
+
+// Gen returns a generation stamp that changes with every Register or
+// Deregister. Senders that cache a Resolve result revalidate against it
+// instead of re-probing the endpoint map under its lock per message.
+func (n *Node) Gen() uint64 { return n.gen.Load() }
+
+// Resolve looks up the reception device of a local endpoint, for senders
+// that pin a destination: resolve once, revalidate with Gen, then send
+// through SendTo/SendBufTo with no lock or map probe per message.
+func (n *Node) Resolve(dst mu.TaskAddr) (*Device, bool) {
+	n.mu.RLock()
+	d, ok := n.eps[dst]
+	n.mu.RUnlock()
+	return d, ok
 }
 
 // Send copies the payload into the destination endpoint's queue and wakes
 // its region. Safe for concurrent use by any number of local producers;
 // per-producer FIFO order is preserved by the lockless queue.
 func (n *Node) Send(dst mu.TaskAddr, hdr mu.Header, payload []byte) error {
-	n.mu.RLock()
-	d, ok := n.eps[dst]
-	n.mu.RUnlock()
+	d, ok := n.Resolve(dst)
 	if !ok {
 		return fmt.Errorf("shmem: no endpoint %v on this node", dst)
 	}
+	return n.SendTo(d, hdr, payload)
+}
+
+// SendTo is Send against an already-resolved device: the payload and
+// metadata are copied into pooled shared-memory slabs, so the caller may
+// reuse its buffers immediately.
+func (n *Node) SendTo(d *Device, hdr mu.Header, payload []byte) error {
 	hdr.Total = len(payload)
 	msg := Message{Hdr: hdr}
 	if len(hdr.Meta) > 0 {
@@ -146,14 +181,55 @@ func (n *Node) Send(dst mu.TaskAddr, hdr mu.Header, payload []byte) error {
 		msg.pbuf = bufpool.GetCopy(payload)
 		msg.Payload = msg.pbuf.Bytes()
 	}
-	if err := d.q.Enqueue(msg); err != nil {
+	return n.finish(d, &msg)
+}
+
+// SendBuf is Send with ownership transfer: the caller relinquishes the
+// pooled payload and the queue takes it with no copy at all — the
+// receiving context dispatches straight out of the sender's slab and
+// Releases it. The reference is consumed on every path, error included.
+// A nil payload is the zero-length message.
+func (n *Node) SendBuf(dst mu.TaskAddr, hdr mu.Header, payload *bufpool.Buf) error {
+	d, ok := n.Resolve(dst)
+	if !ok {
+		payload.Release()
+		return fmt.Errorf("shmem: no endpoint %v on this node", dst)
+	}
+	return n.SendBufTo(d, hdr, payload)
+}
+
+// SendBufTo is SendBuf against an already-resolved device.
+func (n *Node) SendBufTo(d *Device, hdr mu.Header, payload *bufpool.Buf) error {
+	msg := Message{Hdr: hdr}
+	if payload != nil {
+		msg.Payload = payload.Bytes()
+		msg.Hdr.Total = len(msg.Payload)
+		msg.pbuf = payload
+		if len(msg.Payload) == 0 {
+			payload.Release()
+			msg.pbuf = nil
+		}
+	} else {
+		msg.Hdr.Total = 0
+	}
+	if len(hdr.Meta) > 0 {
+		msg.mbuf = bufpool.GetCopy(hdr.Meta)
+		msg.Hdr.Meta = msg.mbuf.Bytes()
+	}
+	return n.finish(d, &msg)
+}
+
+// finish enqueues the built message and settles accounting; on refusal
+// the message's references are reclaimed.
+func (n *Node) finish(d *Device, msg *Message) error {
+	if err := d.q.EnqueueRef(msg); err != nil {
 		msg.Release()
 		return fmt.Errorf("shmem: endpoint %v on node %d refused message from %v: %w",
-			dst, n.rank, hdr.Origin, err)
+			d.addr, n.rank, msg.Hdr.Origin, err)
 	}
-	d.received.Add(1)
-	n.sends.Add(1)
-	n.bytes.Add(int64(len(payload)))
+	d.received.Inc()
+	n.sends.Inc()
+	n.bytes.Add(int64(msg.Hdr.Total))
 	d.region.Touch()
 	return nil
 }

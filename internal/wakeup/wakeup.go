@@ -35,14 +35,21 @@ import (
 // atomic load of the waiter count. The slow path (a waiter actually
 // parked) goes through a condition variable.
 type Region struct {
-	gen     atomic.Uint64 // bumped by every Touch
+	gen     atomic.Uint64 // bumped by every Touch; doubles as the touch count
 	waiters atomic.Int32  // threads inside Wait's blocking section
+
+	// signaled elides redundant broadcasts: a parked waiter needs exactly
+	// one wakeup, but it can stay registered in waiters for a while after
+	// the broadcast (it is runnable, not yet scheduled). Without the flag
+	// every Touch in that window — thousands, under a flood — pays a
+	// mutex acquisition and a broadcast for a waiter that is already
+	// awake. Waiters clear the flag before parking.
+	signaled atomic.Bool
 
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	touches atomic.Uint64 // statistics: total stores observed
-	waits   atomic.Uint64 // statistics: total suspensions that actually blocked
+	waits atomic.Uint64 // statistics: total suspensions that actually blocked
 }
 
 // NewRegion returns an empty watched region.
@@ -70,8 +77,7 @@ func (r *Region) Gen() uint64 {
 // generation and never parks.
 func (r *Region) Touch() {
 	r.gen.Add(1)
-	r.touches.Add(1)
-	if r.waiters.Load() != 0 {
+	if r.waiters.Load() != 0 && r.signaled.CompareAndSwap(false, true) {
 		r.mu.Lock()
 		r.cond.Broadcast()
 		r.mu.Unlock()
@@ -88,7 +94,15 @@ func (r *Region) Wait(observed uint64) {
 	}
 	r.mu.Lock()
 	r.waiters.Add(1)
-	for r.gen.Load() <= observed {
+	for {
+		// Clear signaled *before* re-checking gen (same Dekker pattern as
+		// waiters vs gen): either a concurrent Touch's gen bump is seen
+		// here and we never park, or our clear is seen by its CAS and it
+		// broadcasts.
+		r.signaled.Store(false)
+		if r.gen.Load() > observed {
+			break
+		}
 		r.waits.Add(1)
 		r.cond.Wait()
 	}
@@ -99,7 +113,7 @@ func (r *Region) Wait(observed uint64) {
 // Stats reports how many touches the region has seen and how many waits
 // actually suspended. The ratio is the polling the wakeup unit avoided.
 func (r *Region) Stats() (touches, waits uint64) {
-	return r.touches.Load(), r.waits.Load()
+	return r.gen.Load(), r.waits.Load()
 }
 
 // Unit is the per-node wakeup unit: a fixed array of watched regions, one

@@ -28,6 +28,7 @@
 package pami
 
 import (
+	"pamigo/internal/bufpool"
 	"pamigo/internal/cnk"
 	"pamigo/internal/collnet"
 	"pamigo/internal/core"
@@ -83,6 +84,25 @@ type Delivery = core.Delivery
 
 // SendParams describes an active-message send.
 type SendParams = core.SendParams
+
+// Buf is a pooled, reference-counted payload buffer. The zero-copy send
+// paths — SendParams.DataBuf and Context.SendImmediateBuf — take a Buf
+// by ownership transfer: fill Bytes(), hand the Buf to the send, and
+// never touch it again. The stack consumes the reference on every path
+// that acts on the send, success or error — except ErrThrottled, which
+// is EAGAIN-shaped: nothing happened, the caller still owns the Buf and
+// retries with the same one.
+// Receivers of a rendezvous pull or an eager dispatch are unaffected:
+// the handler contract is unchanged.
+type Buf = bufpool.Buf
+
+// GetBuf returns a pooled buffer whose Bytes() has exactly n bytes of
+// capacity-class-rounded, possibly dirty storage. Pair with the Buf
+// ownership-transfer send paths; Release any Buf that is never sent.
+func GetBuf(n int) *Buf { return bufpool.Get(n) }
+
+// GetBufCopy returns a pooled buffer initialized with a copy of src.
+func GetBufCopy(src []byte) *Buf { return bufpool.GetCopy(src) }
 
 // SendMode selects the point-to-point protocol.
 type SendMode = core.SendMode

@@ -26,6 +26,9 @@ go test -race ./internal/wire ./internal/machine ./internal/health ./cmd/pamirun
 echo "==> go test -race -tags pamitrace ./internal/telemetry"
 go test -race -tags pamitrace ./internal/telemetry
 
+echo "==> go test -tags bufpooldebug (buffer ownership: double-release, use-after-release)"
+go test -tags bufpooldebug ./internal/bufpool
+
 echo "==> chaos smoke (fault injection, fixed seed, small torus, -race)"
 go test -race -run TestChaos ./internal/integration
 go run ./cmd/pamirun -dims 2x2x1x1x1 -ppn 2 -deadline 120s \
@@ -52,14 +55,14 @@ echo "==> GVT fuzz (concurrent stamp folding + whole-engine runs, short)"
 go test -run xxx -fuzz 'FuzzGVT$' -fuzztime 10s ./internal/sim/warp >/dev/null
 go test -run xxx -fuzz 'FuzzGVTEngine$' -fuzztime 10s ./internal/sim/warp >/dev/null
 
-echo "==> bench regression gate (Table 1 + Fig 5 + warp speedup vs BENCH_BASELINE.json)"
+echo "==> bench regression gate (Table 1 + Fig 5 + fan-in + warp speedup vs BENCH_BASELINE.json)"
 # Best-of-3 ns/op absorbs scheduler noise; any allocs/op on the
 # zero-alloc set fails regardless, and the warp PHOLD entry gates the
 # seq/warp ns-per-op ratio (speedup_vs) so optimism-throttling
 # regressions fail even when absolute machine speed shifts. Refresh the
 # baseline with `go run ./cmd/benchgate -update -in bench.out` after a
 # deliberate performance change.
-go test -bench 'BenchmarkTable1|BenchmarkFig5_PAMIRate|BenchmarkWarpSpeedup' -benchmem \
+go test -bench 'BenchmarkTable1|BenchmarkFig5_PAMIRate|BenchmarkFanIn|BenchmarkWarpSpeedup' -benchmem \
 	-run xxx -benchtime 2s -count 3 | tee /tmp/pamigo-bench.out
 go run ./cmd/benchgate -in /tmp/pamigo-bench.out
 
