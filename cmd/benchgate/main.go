@@ -249,8 +249,13 @@ func gate(base *Baseline, got map[string]Entry) bool {
 		case want.ZeroAlloc && have.AllocsPerOp != 0:
 			fmt.Printf("FAIL %s: %d allocs/op on a zero-alloc benchmark\n", name, have.AllocsPerOp)
 			failed = true
-		case have.AllocsPerOp > want.AllocsPerOp:
-			fmt.Printf("FAIL %s: allocs/op rose %d -> %d\n", name, want.AllocsPerOp, have.AllocsPerOp)
+		case have.AllocsPerOp > want.AllocsPerOp+want.AllocsPerOp/100:
+			// Non-zero-alloc benchmarks get 1% slack: parallel engines
+			// (the warp benches) allocate nondeterministically with
+			// scheduling, and a ±few-in-tens-of-thousands wobble must not
+			// fail the gate. A real per-op leak is orders above 1%.
+			fmt.Printf("FAIL %s: allocs/op rose %d -> %d (baseline %d +1%%)\n",
+				name, want.AllocsPerOp, have.AllocsPerOp, want.AllocsPerOp)
 			failed = true
 		default:
 			fmt.Printf("ok   %s: %.0f ns/op (baseline %.0f, +%.0f%% allowed), %d allocs/op\n",

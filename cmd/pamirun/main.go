@@ -57,6 +57,11 @@ func main() {
 	partitionID := flag.Uint64("partition", 1, "partition ID every process of the job must share")
 	dieRound := flag.Int("die-round", -1, "SIGKILL this process when it reaches the given wire-shakedown round (chaos testing; -1 = never)")
 	wiredemo := flag.Bool("wiredemo", false, "run the wire shakedown workload even single-process (reference digests for byte-exact comparison)")
+	recoverMode := flag.String("recover", "", `"auto" turns on self-healing: buddy-replicated in-memory checkpoints with automatic online recovery`)
+	buddyInterval := flag.Int("buddy-interval", 4, "rounds between buddy checkpoints in the -recover=auto demo")
+	spares := flag.Int("spares", 4, "respawn budget: how many times -respawn relaunches a killed worker")
+	respawn := flag.Bool("respawn", false, "run as the respawn supervisor: launch this command as a worker and relaunch it with a bumped incarnation when a signal kills it")
+	incarnation := flag.Uint("incarnation", 0, "worker incarnation tag, bumped by the respawn supervisor on every relaunch (internal)")
 	flag.Parse()
 
 	stop := watchdog.Start(*deadline, "pamirun shakedown")
@@ -79,6 +84,40 @@ func main() {
 			log.Fatalf("pamirun: %v", err)
 		}
 		cfg.Faults = &plan
+	}
+	if *recoverMode != "" {
+		if *recoverMode != "auto" {
+			log.Fatalf(`pamirun: -recover %q: the only supported mode is "auto"`, *recoverMode)
+		}
+		if *buddyInterval < 1 {
+			log.Fatalf("pamirun: -buddy-interval %d: the checkpoint interval must be at least 1 round", *buddyInterval)
+		}
+		if *respawn {
+			// Parent: supervise a worker child, relaunching on kills.
+			if err := runRespawnSupervisor(*spares); err != nil {
+				log.Fatalf("pamirun: respawn supervisor: %v", err)
+			}
+			return
+		}
+		if *listen != "" || *join != "" {
+			wf, err := validateWireFlags(dims, *ppn, *listen, *join, *rankRange, *partitionID, *dieRound)
+			if err != nil {
+				log.Fatalf("pamirun: %v", err)
+			}
+			if cfg.Faults != nil {
+				wf.drop, wf.corrupt = cfg.Faults.Drop, cfg.Faults.Corrupt
+				cfg.Faults = nil
+				fmt.Printf("wire fault storm armed: drop=%g corrupt=%g (seed %d)\n", wf.drop, wf.corrupt, *faultSeed)
+			}
+			if err := runWireRecover(cfg, wf, *incarnation, *buddyInterval, *verbose); err != nil {
+				log.Fatalf("pamirun: wire self-heal: %v", err)
+			}
+			return
+		}
+		if err := runRecoverDemo(cfg, *buddyInterval, *verbose); err != nil {
+			log.Fatalf("pamirun: self-heal: %v", err)
+		}
+		return
 	}
 	if *listen != "" || *join != "" || *rankRange != "" || *wiredemo || *dieRound >= 0 {
 		wf, err := validateWireFlags(dims, *ppn, *listen, *join, *rankRange, *partitionID, *dieRound)

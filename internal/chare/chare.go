@@ -57,9 +57,12 @@ type Array struct {
 	state   map[int]any // locally hosted elements' state
 	entries map[uint8]EntryFn
 
-	// Migration support (migrate.go): the home's location directory and
-	// the PUP serializer pair.
+	// Migration support (migrate.go): the home's location directory
+	// (with the version fence that keeps reordered updates out), the
+	// hosted elements' migration counts, and the PUP serializer pair.
 	loc    map[int]int
+	locVer map[int]uint32 // home: version of the loc entry
+	migVer map[int]uint32 // host: how many times the element has migrated
 	pack   func(state any) []byte
 	unpack func(data []byte) any
 }
@@ -134,6 +137,8 @@ func (rt *Runtime) NewArray(id uint32, elems int, init func(elem int) any) (*Arr
 		state:   make(map[int]any),
 		entries: make(map[uint8]EntryFn),
 		loc:     make(map[int]int),
+		locVer:  make(map[int]uint32),
+		migVer:  make(map[int]uint32),
 	}
 	for e := 0; e < elems; e++ {
 		if a.HomeOf(e) == rt.Rank() {

@@ -29,20 +29,29 @@ func (a *Array) PUP(pack func(state any) []byte, unpack func(data []byte) any) e
 	return nil
 }
 
-// migrate wire format: array id, element, kind, origin/location rank.
+// migrate wire format: array id, element, kind, origin/location rank,
+// migration version. The version counts the element's migrations and
+// travels with it: the home applies a location update only if it is
+// newer than what it has. Without it, two back-to-back migrations
+// (A→B→C) put updates from *different origins* (B and C) in flight to
+// the home at once, and origin-sharded reception FIFOs may deliver C's
+// before B's — the home would end pointing at B forever, and every
+// invocation of the element would bounce home→B→home, so quiescence
+// (which counts each hop) never converges.
 const (
 	migInstall uint8 = 1
 	migUpdate  uint8 = 2
 )
 
-const migMetaLen = 4 + 8 + 1 + 4
+const migMetaLen = 4 + 8 + 1 + 4 + 4
 
-func migMeta(id uint32, elem int, kind uint8, rank int) []byte {
+func migMeta(id uint32, elem int, kind uint8, rank int, ver uint32) []byte {
 	m := make([]byte, migMetaLen)
 	binary.LittleEndian.PutUint32(m[0:], id)
 	binary.LittleEndian.PutUint64(m[4:], uint64(elem))
 	m[12] = kind
 	binary.LittleEndian.PutUint32(m[13:], uint32(rank))
+	binary.LittleEndian.PutUint32(m[17:], ver)
 	return m
 }
 
@@ -68,16 +77,20 @@ func (a *Array) Migrate(elem, dest int) error {
 		return nil
 	}
 	data := a.pack(st)
+	ver := a.migVer[elem] + 1
 	delete(a.state, elem)
+	delete(a.migVer, elem)
 	if a.HomeOf(elem) == rt.Rank() {
 		// The home is losing the element: repoint immediately so
-		// forwarding never dead-ends.
+		// forwarding never dead-ends, and fence out any older update
+		// still in flight.
 		a.loc[elem] = dest
+		a.locVer[elem] = ver
 	}
 	rt.sent.Add(1)
 	addr := a.rt.endpointOf(dest)
 	return rt.ctx.Send(sendParamsFor(addr, dispatchMigrate,
-		migMeta(a.id, elem, migInstall, rt.Rank()), data))
+		migMeta(a.id, elem, migInstall, rt.Rank(), ver), data))
 }
 
 // onMigrate handles install and location-update control messages.
@@ -89,6 +102,7 @@ func (rt *Runtime) onMigrate(meta, payload []byte) {
 	elem := int(binary.LittleEndian.Uint64(meta[4:]))
 	kind := meta[12]
 	rank := int(binary.LittleEndian.Uint32(meta[13:]))
+	ver := binary.LittleEndian.Uint32(meta[17:])
 	a, ok := rt.arrays[id]
 	if !ok {
 		panic(fmt.Sprintf("chare: migration for unknown array %d", id))
@@ -97,22 +111,28 @@ func (rt *Runtime) onMigrate(meta, payload []byte) {
 	switch kind {
 	case migInstall:
 		a.state[elem] = a.unpack(payload)
+		a.migVer[elem] = ver
 		home := a.HomeOf(elem)
 		if home == rt.Rank() {
-			a.loc[elem] = rt.Rank()
+			if ver > a.locVer[elem] {
+				a.loc[elem] = rt.Rank()
+				a.locVer[elem] = ver
+			}
 			return
 		}
 		rt.sent.Add(1)
 		if err := rt.ctx.Send(sendParamsFor(a.rt.endpointOf(home), dispatchMigrate,
-			migMeta(a.id, elem, migUpdate, rt.Rank()), nil)); err != nil {
+			migMeta(a.id, elem, migUpdate, rt.Rank(), ver), nil)); err != nil {
 			panic("chare: location update failed: " + err.Error())
 		}
 	case migUpdate:
-		a.loc[elem] = rank
+		if ver > a.locVer[elem] {
+			a.loc[elem] = rank
+			a.locVer[elem] = ver
+		}
 	default:
 		panic(fmt.Sprintf("chare: unknown migration kind %d", kind))
 	}
-	_ = rank
 }
 
 // LocationOf returns the element's current location as its home records

@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"sync/atomic"
@@ -501,6 +502,72 @@ func (n *Network) HandleNodeDown(node torus.Rank) {
 		cr.mu.Unlock()
 		for _, s := range open {
 			if s.Fail(fmt.Errorf("collnet: node %d died during session %d: %w",
+				node, s.seq, health.ErrEpochChanged)) {
+				n.sessionsFailed.Inc()
+			}
+		}
+	}
+}
+
+// HandleNodeUp reverses HandleNodeDown once the recovery supervisor has
+// restored a dead node: the node rejoins the membership of every live
+// classroute whose rectangle spans it, combine trees are rebuilt over
+// the grown membership, and in-flight sessions on affected routes fail
+// with ErrEpochChanged — exactly as they do on a death, because a
+// session opened against the shrunk membership would otherwise wait on
+// (or be waited on by) a contributor set that no longer matches the
+// route. Root election is sticky: the revived node rejoins as a leaf
+// even if it was the root before it died (survivors already re-elected,
+// and re-electing again would churn every open allocation). Machine
+// wiring calls this from the recovery supervisor; safe for concurrent
+// use with running sessions.
+func (n *Network) HandleNodeUp(node torus.Rank) {
+	n.mu.Lock()
+	if !n.deadNode[node] {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.deadNode, node)
+	nc := n.dims.CoordOf(node)
+	var affected []*ClassRoute
+	for _, cr := range n.live {
+		if !cr.Rect.Contains(nc) {
+			continue
+		}
+		ranks := *cr.ranks.Load()
+		idx := sort.Search(len(ranks), func(i int) bool { return ranks[i] >= node })
+		if idx < len(ranks) && ranks[idx] == node {
+			continue // already a member (route allocated after the revival)
+		}
+		grown := make([]torus.Rank, 0, len(ranks)+1)
+		grown = append(grown, ranks[:idx]...)
+		grown = append(grown, node)
+		grown = append(grown, ranks[idx:]...)
+		if cr.Root == node || len(ranks) == 0 {
+			cr.Root = grown[0]
+		}
+		if t, err := torus.BuildTreeExcluding(n.dims, cr.Rect, cr.Root, n.deadLocked, n.downLocked); err == nil {
+			cr.tree.Store(t)
+			cr.degraded = false
+			n.rebuilds.Inc()
+		} else {
+			cr.degraded = true
+			n.rebuildFailures.Inc()
+		}
+		cr.ranks.Store(&grown)
+		affected = append(affected, cr)
+	}
+	n.mu.Unlock()
+	// Fail in-flight sessions outside n.mu (lock order: cr.mu, then s.mu).
+	for _, cr := range affected {
+		cr.mu.Lock()
+		open := make([]*Session, 0, len(cr.sessions))
+		for _, s := range cr.sessions {
+			open = append(open, s)
+		}
+		cr.mu.Unlock()
+		for _, s := range open {
+			if s.Fail(fmt.Errorf("collnet: node %d rejoined during session %d: %w",
 				node, s.seq, health.ErrEpochChanged)) {
 				n.sessionsFailed.Inc()
 			}

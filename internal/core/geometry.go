@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -193,7 +194,7 @@ func (c *Client) WorldGeometry(ctx *Context) (*Geometry, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := g.Optimize(); err != nil && err != collnet.ErrNoClassRoute {
+	if err := g.Optimize(); err != nil && !errors.Is(err, collnet.ErrNoClassRoute) {
 		return nil, err
 	}
 	return g, nil

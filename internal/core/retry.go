@@ -1,0 +1,87 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pamigo/internal/fault"
+	"pamigo/internal/lockless"
+	"pamigo/internal/mu"
+)
+
+// DefaultRetryTimeout bounds one transparently retried operation: long
+// enough to ride out a detection + fence + restore cycle with margin,
+// short enough that a permanently gone peer fails the caller rather
+// than hanging it.
+const DefaultRetryTimeout = 10 * time.Second
+
+// Transient reports whether err names a condition that clears under
+// continued progress with no recovery action: the destination is over
+// its unexpected-message budget (ErrThrottled) or a bounded queue is
+// momentarily full (lockless.ErrBackpressure). Advancing the context —
+// which drains deferred sends and receives the acks freeing the queues
+// — and retrying is always correct for these.
+func Transient(err error) bool {
+	return errors.Is(err, ErrThrottled) || errors.Is(err, lockless.ErrBackpressure)
+}
+
+// Recoverable reports whether err names a condition the self-healing
+// subsystem can repair: the destination's node was confirmed dead
+// (in-flight sends toward it were cancelled with ErrPeerDead) or the
+// membership epoch moved under a collective (ErrEpochChanged). With a
+// recovery supervisor armed the node returns with fresh flows, and
+// re-issuing the operation after its revival is safe precisely because
+// the cancellation was total: every send the death interrupted surfaced
+// an error, so nothing can complete twice.
+func Recoverable(err error) bool {
+	return errors.Is(err, mu.ErrPeerDead) || errors.Is(err, mu.ErrEpochChanged)
+}
+
+// SendRetry issues op — any context operation directed at dstTask — and
+// makes the crash-recover cycle transparent to the caller: transient
+// refusals advance-and-retry, and recoverable failures (the destination
+// died mid-operation) wait for the recovery supervisor to revive the
+// node, then re-issue op against its fresh incarnation. Without a
+// supervisor armed, recoverable failures return immediately — dead
+// stays dead and the caller must handle it.
+//
+// Call from the context's advancing thread, under the same discipline
+// as Send and Advance. timeout <= 0 picks DefaultRetryTimeout; on
+// expiry the last error is returned wrapped, so errors.Is still
+// classifies the underlying cause.
+func (ctx *Context) SendRetry(dstTask int, timeout time.Duration, op func() error) error {
+	if timeout <= 0 {
+		timeout = DefaultRetryTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	var step int64
+	for {
+		err := op()
+		switch {
+		case err == nil:
+			return nil
+		case Transient(err):
+			// Fall through to the advance below.
+		case Recoverable(err) && ctx.client.mach.Recovery() != nil:
+			// Wait out detect → fence → restore: the supervisor flips
+			// Alive back before bumping the epoch, so polling Alive sees
+			// the revival as early as possible.
+			for !ctx.client.mach.Alive(dstTask) {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("core: task %d not revived within %v: %w", dstTask, timeout, err)
+				}
+				ctx.AdvanceAuto()
+				time.Sleep(fault.Jitter(int64(dstTask), step, 200*time.Microsecond))
+				step++
+			}
+		default:
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: operation toward task %d still failing after %v: %w", dstTask, timeout, err)
+		}
+		ctx.AdvanceAuto()
+		step++
+	}
+}

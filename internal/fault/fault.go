@@ -427,6 +427,22 @@ func (in *Injector) OnNodeFault(fn func(NodeFault)) {
 	}
 }
 
+// ClearNodeFault forgets a fired node fault: the recovery supervisor
+// calls it when node r is revived, so the data plane stops blackholing
+// traffic to it. Pending (not yet fired) faults against r are untouched
+// — a revived node can die again later in the plan, which is exactly
+// what the chaos soak wants. Reports whether r was faulted.
+func (in *Injector) ClearNodeFault(r torus.Rank) bool {
+	in.mu.Lock()
+	_, dead := in.faulted[r]
+	if dead {
+		delete(in.faulted, r)
+		in.faultedCount.Add(-1)
+	}
+	in.mu.Unlock()
+	return dead
+}
+
 // NodeFaulted reports whether node r has crashed or hung.
 func (in *Injector) NodeFaulted(r torus.Rank) bool {
 	if in.faultedCount.Load() == 0 {

@@ -12,9 +12,11 @@
 // Suspicion is a simplified phi accrual: phi(n) = elapsed/interval, the
 // number of heartbeat periods node n has been silent. phi crossing
 // Config.PhiThreshold confirms the death, bumps the cluster membership
-// epoch, and fires OnDeath callbacks exactly once per node. Deaths are
-// permanent — crash-stop nodes never rejoin an epoch; recovery happens
-// by checkpoint-restart into a fresh machine.
+// epoch, and fires OnDeath callbacks exactly once per node. A confirmed
+// death ends that node's incarnation — the crash-stop model — but the
+// node itself may return: the recovery supervisor calls Revive once the
+// node's state has been restored from its buddy replica, which bumps
+// the epoch again and re-arms detection for the new incarnation.
 package health
 
 import (
@@ -243,6 +245,43 @@ func (m *Monitor) declareDead(n torus.Rank) {
 	for _, fn := range cbs {
 		fn(n)
 	}
+}
+
+// Revive returns a previously confirmed-dead node to the living
+// membership: the recovery supervisor calls it after the node's state
+// has been restored from its buddy replica and the fabric re-adopted
+// its ranks. Revival bumps the membership epoch again (survivors must
+// observe that the world changed, just as they did for the death) and
+// re-arms detection: for an in-process node the scanner resumes
+// self-stamping, for an external node everBeat resets so the node is
+// back in bootstrap grace until its new incarnation's first beat
+// arrives. Reports whether n was dead (false = no-op).
+func (m *Monitor) Revive(n torus.Rank) bool {
+	if int(n) >= len(m.dead) {
+		return false
+	}
+	if !m.dead[n].CompareAndSwap(true, false) {
+		return false
+	}
+	// Re-arm before the epoch bump: once survivors see the new epoch
+	// they may immediately probe Alive(n) and start talking to it.
+	m.silenced[n].Store(false)
+	m.everBeat[n].Store(false)
+	m.lastBeat[n].Store(time.Now().UnixNano())
+	if m.phiGauges != nil {
+		m.phiGauges[n].Set(0)
+	}
+	m.mu.Lock()
+	for i, d := range m.deadList {
+		if d == n {
+			m.deadList = append(m.deadList[:i], m.deadList[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+	m.deadCount.Add(-1)
+	m.epoch.Add(1)
+	return true
 }
 
 // OnDeath registers a callback invoked once per confirmed death. Nodes

@@ -12,6 +12,7 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"pamigo/internal/fault"
 	"pamigo/internal/health"
 	"pamigo/internal/mu"
+	"pamigo/internal/recovery"
 	"pamigo/internal/shmem"
 	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
@@ -63,6 +65,11 @@ type Config struct {
 	// node-aligned (multiples of PPN). Both zero means "host everything"
 	// (useful for a single-process wire-mode reference run).
 	HostedLo, HostedHi int
+	// Recovery, when non-nil, arms the self-healing subsystem: a
+	// recovery.Supervisor that keeps buddy-replicated in-memory
+	// checkpoints and — with AutoRevive, single-process mode — turns a
+	// confirmed death into an online restart. Arms the health monitor.
+	Recovery *recovery.Options
 }
 
 // validateHosted checks the wire-mode task range, with messages that
@@ -106,6 +113,10 @@ type Machine struct {
 
 	// wt is the inter-process transport; nil in single-process mode.
 	wt *wire.Transport
+
+	// rsup is the self-healing coordinator, armed by Config.Recovery;
+	// nil otherwise.
+	rsup *recovery.Supervisor
 
 	geoMu  sync.Mutex
 	geoReg map[uint64]any
@@ -156,7 +167,7 @@ func New(cfg Config) (*Machine, error) {
 			m.tasks = append(m.tasks, p)
 		}
 	}
-	needHmon := cfg.Wire != nil ||
+	needHmon := cfg.Wire != nil || cfg.Recovery != nil ||
 		(cfg.Faults != nil && cfg.Faults.Active() && cfg.Faults.HasNodeFaults())
 	if needHmon {
 		hmon, err := health.NewMonitor(health.Config{
@@ -242,6 +253,43 @@ func New(cfg Config) (*Machine, error) {
 				}
 				return false
 			},
+			// A dead peer range reconnecting with a higher incarnation is a
+			// recovered process rejoining. If this process holds buddy
+			// replicas for any of the victim's nodes, they are enqueued
+			// FIRST — the rejoin admission pre-created the peer record, so
+			// the replica becomes frame #1 of the new incarnation's stream.
+			// Only then are the nodes revived through the full chain
+			// (fabric flow reset, classroute regrow, membership epoch
+			// bump): revival unparks senders blocked in retry loops, and
+			// their data must sequence BEHIND the replica, because the
+			// rejoined process cannot consume data until its tasks have
+			// restored from it (head-of-line deadlock otherwise).
+			OnRejoin: func(taskLo, taskHi int, incarnation uint32) {
+				loN, hiN := taskLo/cfg.PPN, (taskHi+cfg.PPN-1)/cfg.PPN
+				if m.rsup != nil {
+					for r := loN; r < hiN; r++ {
+						if blob, ok := m.rsup.ReplicaResponse(torus.Rank(r), loN, hiN); ok {
+							if err := m.wt.SendReplica(r*cfg.PPN, blob); err != nil {
+								go m.pushReplica(r*cfg.PPN, blob)
+							}
+						}
+					}
+				}
+				for r := loN; r < hiN; r++ {
+					m.Revive(torus.Rank(r))
+				}
+				if m.rsup == nil {
+					return
+				}
+				for r := loN; r < hiN; r++ {
+					m.rsup.NoteRestored(torus.Rank(r))
+				}
+			},
+			OnReplica: func(blob []byte) {
+				if m.rsup != nil {
+					m.rsup.AcceptReplica(blob)
+				}
+			},
 		})
 		if err != nil {
 			return nil, err
@@ -250,11 +298,84 @@ func New(cfg Config) (*Machine, error) {
 		m.tele.Adopt(wt.Telemetry())
 		fabric.InstallTransport(wt)
 	}
+	if cfg.Recovery != nil {
+		loN, hiN := 0, cfg.Dims.Nodes()
+		opts := *cfg.Recovery
+		rcfg := recovery.Config{
+			Nodes:     cfg.Dims.Nodes(),
+			Telemetry: m.tele,
+			Alive:     func(n torus.Rank) bool { return m.hmon.Alive(n) },
+			Revive:    m.Revive,
+		}
+		if m.wt != nil {
+			loN, hiN = m.cfg.HostedLo/cfg.PPN, m.cfg.HostedHi/cfg.PPN
+			// Over a wire, a dead node means a dead OS process: nothing in
+			// this process can revive it. Recovery there is respawn + rejoin
+			// handshake, so the in-process auto path stays off.
+			opts.AutoRevive = false
+			rcfg.Replicate = func(buddy torus.Rank, blob []byte) error {
+				if m.Hosted(int(buddy) * cfg.PPN) {
+					return m.rsup.AcceptReplica(blob)
+				}
+				return m.wt.SendReplica(int(buddy)*cfg.PPN, blob)
+			}
+		}
+		rcfg.HostedLo, rcfg.HostedHi = loN, hiN
+		rcfg.Options = opts
+		rsup, err := recovery.NewSupervisor(rcfg)
+		if err != nil {
+			return nil, err
+		}
+		m.rsup = rsup
+		// Registered after the death-propagation callback above, so by the
+		// time the supervisor fences a victim the flows are already failed
+		// and the classroutes already shrunk.
+		m.hmon.OnDeath(m.rsup.NoteDeath)
+	}
 	if m.hmon != nil {
 		m.hmon.Start()
 	}
 	return m, nil
 }
+
+// pushReplica ships a buddy replica to a freshly rejoined victim,
+// retrying while its peer record attaches (the rejoin hook fires before
+// the handshake completes) and while the send queue back-pressures.
+func (m *Machine) pushReplica(dstTask int, blob []byte) {
+	for i := 0; i < 400; i++ {
+		err := m.wt.SendReplica(dstTask, blob)
+		if err == nil || errors.Is(err, wire.ErrClosed) || errors.Is(err, wire.ErrFrameTooLarge) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Revive returns a confirmed-dead node to service: clears its injected
+// fault so it can heartbeat again, resets every fabric flow touching it
+// (fresh flows restart at sequence 1 on both sides), regrows the
+// classroutes it belongs to, re-admits it to the health membership
+// (epoch bump), and wakes every parked context so blocked callers
+// observe the new epoch. Idempotent: reviving an alive node is a no-op.
+// Restarting the node's application tasks — and its commthreads, if the
+// workload uses them — is the caller's job after Revive returns.
+func (m *Machine) Revive(n torus.Rank) error {
+	if m.hmon == nil || !m.hmon.Dead(n) {
+		return nil
+	}
+	if inj := m.fabric.Injector(); inj != nil {
+		inj.ClearNodeFault(n)
+	}
+	m.fabric.ReviveNode(n)
+	m.coll.HandleNodeUp(n)
+	m.hmon.Revive(n)
+	m.fabric.TouchAll()
+	return nil
+}
+
+// Recovery returns the self-healing coordinator, or nil when
+// Config.Recovery did not arm it.
+func (m *Machine) Recovery() *recovery.Supervisor { return m.rsup }
 
 // Health returns the heartbeat failure detector, or nil when neither
 // node faults nor wire mode armed it.
@@ -420,6 +541,9 @@ func (m *Machine) Shutdown() {
 	}
 	if m.hmon != nil {
 		m.hmon.Stop()
+	}
+	if m.rsup != nil {
+		m.rsup.Stop()
 	}
 	for _, n := range m.nodes {
 		n.StopCommThreads()

@@ -1084,6 +1084,57 @@ func (r *reliableLayer) markNodeDead(node torus.Rank) {
 	}
 }
 
+// ReviveNode tells the fabric that node has been restored by the
+// recovery supervisor: sends to it stop failing fast, and every flow
+// that touched the node is torn down so the next send builds a fresh
+// flow starting at sequence 1 — the revived incarnation shares no
+// sequence space with the dead one. Idempotent; a no-op when faults
+// were never installed.
+func (f *Fabric) ReviveNode(node torus.Rank) {
+	if rl := f.rel.Load(); rl != nil {
+		rl.reviveNode(node)
+	}
+}
+
+func (r *reliableLayer) reviveNode(node torus.Rank) {
+	r.fmu.Lock()
+	if !r.deadNodes[node] {
+		r.fmu.Unlock()
+		return
+	}
+	delete(r.deadNodes, node)
+	r.deadCount.Add(-1)
+	// Unhook every flow touching the node while the map is locked, so a
+	// concurrent sender's next flowFor builds a fresh flow (nextSeq 1,
+	// nextExp 1) instead of resuming the dead incarnation's stream.
+	var torn []*flow
+	for key, fl := range r.flows {
+		sn, okS := r.f.TaskNode(key.src.Task)
+		dn, okD := r.f.TaskNode(key.dst.Task)
+		if (okS && sn == node) || (okD && dn == node) {
+			delete(r.flows, key)
+			torn = append(torn, fl)
+		}
+	}
+	r.fmu.Unlock()
+	for _, fl := range torn {
+		// Sender side: release the unacked window and wake anyone still
+		// blocked on the dead flow (failFlow is idempotent — most of
+		// these already failed when the death was marked).
+		r.failFlow(fl, fmt.Errorf("mu: flow %v -> %v: node %d revived, flow reset: %w",
+			fl.key.src, fl.key.dst, node, ErrEpochChanged))
+		// Receiver side: drop the reorder buffer — packets parked past a
+		// gap the dead incarnation will never fill — and release their
+		// pooled buffers.
+		fl.rmu.Lock()
+		for seq, pkt := range fl.pending {
+			delete(fl.pending, seq)
+			pkt.Release()
+		}
+		fl.rmu.Unlock()
+	}
+}
+
 // quiesced verifies every flow between live nodes is idle: no delayed
 // packets awaiting re-delivery, empty retransmit windows, and empty
 // reorder buffers. Flows with a dead endpoint are skipped — a death

@@ -1,0 +1,74 @@
+package recovery
+
+import (
+	"sync"
+
+	"pamigo/internal/torus"
+)
+
+// Store holds this process's share of the double in-memory checkpoint:
+// the local snapshots of the nodes it hosts, and the buddy replicas it
+// keeps on behalf of nodes hosted elsewhere (or, in a single-process
+// machine, of its other nodes). Both sides keep only the newest version
+// per node — replication frames may arrive duplicated or out of order
+// across reconnects, and an older version must never clobber a newer
+// one. All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	local   map[torus.Rank]*Snapshot
+	replica map[torus.Rank]*Snapshot
+}
+
+// NewStore builds an empty checkpoint store.
+func NewStore() *Store {
+	return &Store{
+		local:   make(map[torus.Rank]*Snapshot),
+		replica: make(map[torus.Rank]*Snapshot),
+	}
+}
+
+func put(m map[torus.Rank]*Snapshot, s *Snapshot) bool {
+	if old, ok := m[s.Node]; ok && old.Version > s.Version {
+		return false
+	}
+	m[s.Node] = s
+	return true
+}
+
+// PutLocal records a node's own snapshot. Reports whether it was kept
+// (false: an equal-or-newer version is already held — version ties keep
+// the latest write, re-checkpointing the same round is idempotent).
+func (st *Store) PutLocal(s *Snapshot) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return put(st.local, s)
+}
+
+// PutReplica records a buddy replica held for another node.
+func (st *Store) PutReplica(s *Snapshot) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return put(st.replica, s)
+}
+
+// Local returns the newest local snapshot for node n, or nil.
+func (st *Store) Local(n torus.Rank) *Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.local[n]
+}
+
+// Replica returns the newest buddy replica held for node n, or nil.
+func (st *Store) Replica(n torus.Rank) *Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.replica[n]
+}
+
+// Drop forgets both sides' state for node n (a node leaving for good).
+func (st *Store) Drop(n torus.Rank) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.local, n)
+	delete(st.replica, n)
+}

@@ -53,6 +53,16 @@ var (
 	// truncated read, not an error on a live connection (the reader
 	// blocks for the rest).
 	ErrShortFrame = errors.New("wire: truncated frame")
+
+	// ErrStaleCursor means the peer's welcome advertised a receive
+	// cursor ahead of our send cursor: the peer is still holding the
+	// sequence state of a PREVIOUS incarnation of this process. For
+	// incarnation 0 that is a genuine identity collision and terminal;
+	// for a respawned process (incarnation > 0) it is the expected
+	// transient while the peer's phi detector confirms the old
+	// incarnation dead, and the dialer retries until the rejoin path
+	// admits it.
+	ErrStaleCursor = errors.New("wire: peer holds a previous incarnation's cursor")
 )
 
 // Membership and backpressure errors re-exported from the layers that

@@ -38,7 +38,9 @@ import (
 
 // ProtocolVersion is the wire protocol version carried in every
 // handshake; processes with different versions refuse to join.
-const ProtocolVersion = 1
+// Version 2 added the Incarnation handshake field and replica frames
+// (the self-healing rejoin protocol).
+const ProtocolVersion = 2
 
 // Size bounds. MaxFrame bounds one frame's post-length bytes and is
 // checked before any allocation; maxSegment is the largest data payload
@@ -60,6 +62,7 @@ const (
 	kindPacket  = byte(4) // one memory-FIFO message segment
 	kindAck     = byte(5) // cumulative ack of packet sequence numbers
 	kindBeat    = byte(6) // out-of-band heartbeat
+	kindReplica = byte(7) // buddy-checkpoint replica blob (recovery traffic)
 )
 
 // Reject codes, mapped back to typed errors on the dialer side.
@@ -86,6 +89,14 @@ type Hello struct {
 	TaskHi    int
 	Epoch     int64  // sender's membership epoch, for diagnostics
 	RecvSeq   uint64 // last packet seq the sender has delivered from us
+
+	// Incarnation counts how many times the sender's process has been
+	// (re)started for this task range: 0 at first launch, bumped by the
+	// respawn supervisor on every automatic restart. A dead range
+	// presenting a *higher* incarnation than the one that died is a
+	// recovered process asking to rejoin; the same or a lower one is a
+	// zombie and is fenced with rejectDead.
+	Incarnation uint32
 }
 
 // PacketFrame is one decoded data frame: a segment of a memory-FIFO
@@ -107,9 +118,11 @@ type Frame struct {
 	RejectMsg  string      // kindReject
 	Packet     PacketFrame // kindPacket
 	AckSeq     uint64      // kindAck
+	ReplicaSeq uint64      // kindReplica: data sequence number (shared with packets)
+	Replica    []byte      // kindReplica: encoded recovery snapshot (view into data)
 }
 
-const helloBody = 2 + 8 + 2*torus.NumDims + 2 + 4 + 4 + 8 + 8
+const helloBody = 2 + 8 + 2*torus.NumDims + 2 + 4 + 4 + 8 + 8 + 4
 
 // appendHello appends an encoded hello or welcome frame.
 func appendHello(dst []byte, kind byte, h Hello) []byte {
@@ -127,6 +140,7 @@ func appendHello(dst []byte, kind byte, h Hello) []byte {
 	binary.BigEndian.PutUint32(b[off+6:], uint32(h.TaskHi))
 	binary.BigEndian.PutUint64(b[off+10:], uint64(h.Epoch))
 	binary.BigEndian.PutUint64(b[off+18:], h.RecvSeq)
+	binary.BigEndian.PutUint32(b[off+26:], h.Incarnation)
 	return finish(dst, body)
 }
 
@@ -183,6 +197,18 @@ func appendAck(dst []byte, ackSeq uint64) []byte {
 func appendBeat(dst []byte) []byte {
 	dst, body := reserve(dst, 1)
 	body[0] = kindBeat
+	return finish(dst, body)
+}
+
+// appendReplica appends an encoded replica frame: a buddy-checkpoint
+// blob riding the same per-peer sequence space as packet frames, so
+// replicas inherit the resend window's exactly-once delivery and flush
+// after any data already queued — the low-priority flow.
+func appendReplica(dst []byte, seq uint64, blob []byte) []byte {
+	dst, body := reserve(dst, 1+8+len(blob))
+	body[0] = kindReplica
+	binary.BigEndian.PutUint64(body[1:], seq)
+	copy(body[9:], blob)
 	return finish(dst, body)
 }
 
@@ -271,6 +297,7 @@ func decodeBody(f *Frame, kind byte, b []byte) error {
 		h.TaskHi = int(binary.BigEndian.Uint32(b[off+6:]))
 		h.Epoch = int64(binary.BigEndian.Uint64(b[off+10:]))
 		h.RecvSeq = binary.BigEndian.Uint64(b[off+18:])
+		h.Incarnation = binary.BigEndian.Uint32(b[off+26:])
 	case kindReject:
 		if len(b) < 3 {
 			return fmt.Errorf("%w: reject body %d bytes", ErrFrameCorrupt, len(b))
@@ -321,6 +348,14 @@ func decodeBody(f *Frame, kind byte, b []byte) error {
 	case kindBeat:
 		if len(b) != 0 {
 			return fmt.Errorf("%w: beat body %d bytes", ErrFrameCorrupt, len(b))
+		}
+	case kindReplica:
+		if len(b) < 8 {
+			return fmt.Errorf("%w: replica body %d bytes", ErrFrameCorrupt, len(b))
+		}
+		f.ReplicaSeq = binary.BigEndian.Uint64(b)
+		if len(b) > 8 {
+			f.Replica = b[8:]
 		}
 	default:
 		return fmt.Errorf("%w: unknown frame kind %d", ErrFrameCorrupt, kind)

@@ -8,6 +8,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"pamigo/internal/fault"
@@ -64,6 +65,12 @@ type Options struct {
 	// reconnect+resend path; delivery stays exactly-once.
 	DropProb    float64
 	CorruptProb float64
+	// Incarnation is this process's restart ordinal for its task range:
+	// 0 at first launch, bumped by the respawn supervisor on every
+	// automatic restart. Carried in handshakes; the rejoin path admits a
+	// dead range only when it presents a strictly higher incarnation
+	// than the one that died.
+	Incarnation uint32
 }
 
 // Config wires a Transport into its process: the partition geometry,
@@ -89,6 +96,18 @@ type Config struct {
 	// [lo, hi) is confirmed dead; joins from such ranges are fenced
 	// (a restarted process may not impersonate a dead one).
 	RangeDead func(lo, hi int) bool
+	// OnRejoin, if non-nil, arms the self-healing rejoin path: a
+	// confirmed-dead range presenting a strictly higher incarnation than
+	// the one that died is re-admitted instead of fenced. The callback
+	// fires before the new connection attaches — the machine revives the
+	// range (health, fabric, classroutes) inside it, so by the time
+	// traffic flows RangeDead is false again. Zombies (the dead
+	// incarnation itself reconnecting) still get rejectDead.
+	OnRejoin func(taskLo, taskHi int, incarnation uint32)
+	// OnReplica, if non-nil, receives buddy-checkpoint replica blobs
+	// sent by peers via SendReplica. The blob is only valid for the
+	// duration of the call; decode or copy before returning.
+	OnReplica func(blob []byte)
 }
 
 // outFrame is one encoded data frame parked in a peer's bounded
@@ -146,6 +165,7 @@ type Transport struct {
 	mu       sync.Mutex
 	cond     *sync.Cond // roster or connectivity changed
 	peers    map[int]*peer
+	increc   map[int]uint32 // highest incarnation admitted per peer taskLo
 	dials    map[string]*dialState
 	pending  map[net.Conn]struct{} // inbound conns mid-handshake
 	closed   bool
@@ -170,6 +190,10 @@ type Transport struct {
 	deliverStalls *telemetry.Counter
 	cutsInjected  *telemetry.Counter
 	corrInjected  *telemetry.Counter
+	replicasSent  *telemetry.Counter
+	replicasRecv  *telemetry.Counter
+	rejoins       *telemetry.Counter
+	bindRetries   *telemetry.Counter
 }
 
 var _ mu.Transport = (*Transport)(nil)
@@ -218,6 +242,7 @@ func New(cfg Config) (*Transport, error) {
 		cfg:     cfg,
 		nTasks:  nTasks,
 		peers:   make(map[int]*peer),
+		increc:  make(map[int]uint32),
 		dials:   make(map[string]*dialState),
 		pending: make(map[net.Conn]struct{}),
 		closeCh: make(chan struct{}),
@@ -240,9 +265,13 @@ func New(cfg Config) (*Transport, error) {
 	t.deliverStalls = t.tele.Counter("deliver_stalls")
 	t.cutsInjected = t.tele.Counter("conn_cuts_injected")
 	t.corrInjected = t.tele.Counter("corrupts_injected")
+	t.replicasSent = t.tele.Counter("replicas_sent")
+	t.replicasRecv = t.tele.Counter("replicas_received")
+	t.rejoins = t.tele.Counter("rejoins")
+	t.bindRetries = t.tele.Counter("bind_retries")
 	if cfg.Listen != "" {
 		network, target := splitAddr(cfg.Listen)
-		ln, err := net.Listen(network, target)
+		ln, err := t.listenRetry(network, target)
 		if err != nil {
 			return nil, fmt.Errorf("wire: listen %s: %w", cfg.Listen, err)
 		}
@@ -266,6 +295,38 @@ type dialState struct {
 	lastErr  error
 	terminal bool
 	peerLo   int // -1 until a handshake reveals the peer's identity
+}
+
+// Bind-retry schedule: a respawned process routinely rebinds the dead
+// incarnation's port before the OS has released it (lingering sockets
+// from the SIGKILLed process), so EADDRINUSE at boot is transient.
+const (
+	bindAttempts    = 40
+	bindBackoffBase = 5 * time.Millisecond
+	bindBackoffMax  = 250 * time.Millisecond
+)
+
+// listenRetry binds the listen address, retrying EADDRINUSE with capped
+// deterministic backoff (worst case a few seconds). Any other bind
+// error — a malformed address, a permission problem — fails
+// immediately: only the transient port-reuse race is worth waiting out.
+func (t *Transport) listenRetry(network, target string) (net.Listener, error) {
+	var last error
+	for attempt := 1; attempt <= bindAttempts; attempt++ {
+		ln, err := net.Listen(network, target)
+		if err == nil {
+			return ln, nil
+		}
+		if !errors.Is(err, syscall.EADDRINUSE) {
+			return nil, err
+		}
+		last = err
+		t.bindRetries.Inc()
+		if !t.sleep(backoffDelay(bindBackoffBase, bindBackoffMax, t.cfg.Seed, attempt, int64(attempt))) {
+			break
+		}
+	}
+	return nil, last
 }
 
 // splitAddr maps "unix:/path" to the unix network and anything else to
@@ -366,19 +427,25 @@ func backoffDelay(base, max time.Duration, seed int64, attempt int, step int64) 
 // cursor for the peer expected to host taskLo (0 when unknown).
 func (t *Transport) hello(peerLo int) Hello {
 	h := Hello{
-		Version:   ProtocolVersion,
-		Partition: t.cfg.Partition,
-		Dims:      t.cfg.Dims,
-		PPN:       t.cfg.PPN,
-		TaskLo:    t.cfg.HostedLo,
-		TaskHi:    t.cfg.HostedHi,
-		Epoch:     t.epoch(),
+		Version:     ProtocolVersion,
+		Partition:   t.cfg.Partition,
+		Dims:        t.cfg.Dims,
+		PPN:         t.cfg.PPN,
+		TaskLo:      t.cfg.HostedLo,
+		TaskHi:      t.cfg.HostedHi,
+		Epoch:       t.epoch(),
+		Incarnation: t.cfg.Incarnation,
 	}
 	if peerLo >= 0 {
 		t.mu.Lock()
 		if p := t.peers[peerLo]; p != nil {
 			p.mu.Lock()
-			h.RecvSeq = p.recvSeq
+			// A dead peer's cursor belongs to the dead incarnation; a
+			// rejoining replacement starts a virgin stream at seq 0, and
+			// advertising the stale cursor would trip its fence.
+			if !p.dead {
+				h.RecvSeq = p.recvSeq
+			}
 			p.mu.Unlock()
 		}
 		t.mu.Unlock()
@@ -413,11 +480,74 @@ func (t *Transport) validateHello(h Hello, addr string) (byte, error) {
 		return rejectRange, fmt.Errorf("%w: peer %s task range [%d,%d) overlaps locally hosted [%d,%d)",
 			ErrHandshakeMismatch, addr, h.TaskLo, h.TaskHi, t.cfg.HostedLo, t.cfg.HostedHi)
 	}
-	if t.cfg.RangeDead != nil && t.cfg.RangeDead(h.TaskLo, h.TaskHi) {
+	if t.cfg.RangeDead != nil && t.cfg.RangeDead(h.TaskLo, h.TaskHi) && !t.rejoinEligible(h) {
 		return rejectDead, fmt.Errorf("peer %s task range [%d,%d) contains confirmed-dead nodes: %w",
 			addr, h.TaskLo, h.TaskHi, ErrPeerDead)
 	}
 	return 0, nil
+}
+
+// rejoinEligible reports whether a hello from a confirmed-dead range is
+// a recovered process the rejoin path may re-admit: the path is armed
+// and the incarnation is strictly newer than the highest one admitted
+// for the range. The dead incarnation itself (or an older zombie)
+// presenting again is never eligible.
+func (t *Transport) rejoinEligible(h Hello) bool {
+	if t.cfg.OnRejoin == nil {
+		return false
+	}
+	t.mu.Lock()
+	last := t.increc[h.TaskLo]
+	t.mu.Unlock()
+	return h.Incarnation > last
+}
+
+// maybeRejoin completes the admission of a recovered process: with the
+// range still confirmed dead and the hello eligible, it retires the
+// dead peer record (the new incarnation shares no sequence space with
+// the old one) and fires OnRejoin so the machine revives the range —
+// health, fabric flows, classroutes — before the connection attaches.
+func (t *Transport) maybeRejoin(h Hello) {
+	if t.cfg.OnRejoin == nil || t.cfg.RangeDead == nil || !t.cfg.RangeDead(h.TaskLo, h.TaskHi) {
+		return
+	}
+	if !t.rejoinEligible(h) {
+		return
+	}
+	t.mu.Lock()
+	if p := t.peers[h.TaskLo]; p != nil {
+		// Retire the old incarnation's record whether or not
+		// MarkTaskDead has caught up with it: admitting a strictly
+		// higher incarnation IS the death confirmation for the old one.
+		p.mu.Lock()
+		p.dead = true
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.outq = nil
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		delete(t.peers, h.TaskLo)
+	}
+	// Pre-create the replacement record (no connection yet — the
+	// handshake in flight attaches it) so the buddy replica OnRejoin
+	// pushes enqueues as the FIRST frame of the new incarnation's
+	// stream. Order matters: revival unparks senders blocked in
+	// retry loops, and the rejoined process cannot consume their data
+	// until its tasks have restored from the replica — a data frame
+	// sequenced ahead of the replica is a head-of-line deadlock.
+	np := &peer{t: t, taskLo: h.TaskLo, taskHi: h.TaskHi}
+	np.cond = sync.NewCond(&np.mu)
+	t.peers[h.TaskLo] = np
+	if h.Incarnation > t.increc[h.TaskLo] {
+		t.increc[h.TaskLo] = h.Incarnation
+	}
+	t.wg.Add(1)
+	go np.writer()
+	t.mu.Unlock()
+	t.rejoins.Inc()
+	t.cfg.OnRejoin(h.TaskLo, h.TaskHi, h.Incarnation)
 }
 
 // rejectToError maps a received reject code back to the typed error
@@ -500,6 +630,10 @@ func (t *Transport) dialAndShake(addr string) (net.Conn, Hello, bool, error) {
 			conn.Close()
 			return nil, Hello{}, true, err
 		}
+		// The welcome may come from a recovered incarnation of a peer we
+		// confirmed dead (dialers keep redialing dead addresses while the
+		// rejoin path is armed); re-admit it before attaching.
+		t.maybeRejoin(f.Hello)
 		return conn, f.Hello, false, nil
 	default:
 		conn.Close()
@@ -534,6 +668,15 @@ func (t *Transport) supervise(addr string) {
 		if aerr != nil {
 			conn.Close()
 			terminal := errors.Is(aerr, ErrPeerDead) || errors.Is(aerr, ErrHandshakeMismatch) || errors.Is(aerr, ErrClosed)
+			if errors.Is(aerr, ErrStaleCursor) {
+				// Incarnation 0 hitting the cursor fence is a genuine
+				// identity collision (two live processes claiming the
+				// same range) — terminal. A respawned incarnation
+				// (> 0) retries: the peer's phi detector will confirm
+				// the old incarnation dead within a few heartbeat
+				// intervals and the rejoin path will admit us.
+				terminal = t.cfg.Incarnation == 0
+			}
 			t.noteDial(addr, aerr, terminal)
 			if terminal || t.isClosed() {
 				return
@@ -552,10 +695,21 @@ func (t *Transport) supervise(addr string) {
 		for p.conn != nil && !p.dead && !p.closed {
 			p.cond.Wait()
 		}
-		gone := p.dead || p.closed
+		dead, closed := p.dead, p.closed
 		p.mu.Unlock()
-		if gone {
+		if closed {
 			return
+		}
+		if dead {
+			// Rejoin armed: the address may come back as a recovered
+			// incarnation, so keep probing it at the maximum backoff.
+			// Without the rejoin path a dead peer is dead forever.
+			if t.cfg.OnRejoin == nil {
+				return
+			}
+			if !t.sleep(backoffDelay(t.cfg.BackoffBase, t.cfg.BackoffMax, t.cfg.Seed, 1<<20, step)) {
+				return
+			}
 		}
 	}
 }
@@ -625,6 +779,9 @@ func (t *Transport) handleInbound(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	// Re-admit a recovered incarnation of a dead range before the
+	// welcome goes out, so the welcome already reflects the revival.
+	t.maybeRejoin(f.Hello)
 	// Welcome carries our receive cursor for this peer, which trims its
 	// resend window to exactly the frames we have not delivered.
 	if err := writeFrame(conn, appendHello(nil, kindWelcome, t.hello(f.Hello.TaskLo)), t.cfg.DialTimeout); err != nil {
@@ -659,12 +816,19 @@ func (t *Transport) attachPeer(conn net.Conn, h Hello, addr string, dialer bool)
 		p = &peer{t: t, taskLo: h.TaskLo, taskHi: h.TaskHi, addr: addr, dialer: dialer}
 		p.cond = sync.NewCond(&p.mu)
 		t.peers[h.TaskLo] = p
+		if h.Incarnation > t.increc[h.TaskLo] {
+			t.increc[h.TaskLo] = h.Incarnation
+		}
 		t.wg.Add(1)
 		go p.writer()
 	} else if p.taskHi != h.TaskHi {
 		t.mu.Unlock()
 		return nil, fmt.Errorf("%w: peer re-joined as [%d,%d), previously [%d,%d)",
 			ErrHandshakeMismatch, h.TaskLo, h.TaskHi, p.taskLo, p.taskHi)
+	} else if p.addr == "" && addr != "" {
+		// A record pre-created by the rejoin admission learns its dial
+		// address from the first connection that attaches it.
+		p.addr, p.dialer = addr, dialer
 	}
 	t.mu.Unlock()
 
@@ -679,10 +843,15 @@ func (t *Transport) attachPeer(conn net.Conn, h Hello, addr string, dialer bool)
 	}
 	if h.RecvSeq > p.sendSeq {
 		// The peer claims to have delivered frames we never sent: it is
-		// talking to a previous incarnation of this process. Fence it.
+		// talking to a previous incarnation of this process. Fence the
+		// attach — but with ErrStaleCursor, not ErrHandshakeMismatch,
+		// because for a respawned dialer this is the startup race (it
+		// dialed back in before the survivor's detector confirmed the
+		// old incarnation dead) and the dial supervisor must keep
+		// retrying until the survivor catches up and admits the rejoin.
 		p.mu.Unlock()
-		return nil, fmt.Errorf("%w: peer receive cursor %d ahead of our send cursor %d (stale incarnation?)",
-			ErrHandshakeMismatch, h.RecvSeq, p.sendSeq)
+		return nil, fmt.Errorf("%w: peer receive cursor %d ahead of our send cursor %d",
+			ErrStaleCursor, h.RecvSeq, p.sendSeq)
 	}
 	if p.conn != nil {
 		p.conn.Close() // stale connection; its reader exits on the gen guard
@@ -704,6 +873,16 @@ func (t *Transport) attachPeer(conn net.Conn, h Hello, addr string, dialer bool)
 	t.mu.Lock()
 	t.cond.Broadcast()
 	t.mu.Unlock()
+	// A successful attach proves the peer's process is alive right now,
+	// so it counts as a heartbeat and ends the bootstrap grace. (Failed
+	// dial/hello *attempts* must never count — see DESIGN §7c — but an
+	// admitted peer beats every BeatInterval from here on, so silence
+	// after this point is real suspicion. Without this, a peer killed
+	// between admission and its first beat frame stays in grace forever
+	// and its death is never confirmed.)
+	if t.cfg.OnBeat != nil {
+		t.cfg.OnBeat(h.TaskLo, h.TaskHi)
+	}
 	t.wg.Add(1)
 	go t.readLoop(p, conn, gen)
 	return p, nil
@@ -795,6 +974,78 @@ func (p *peer) send(dst mu.TaskAddr, hdr mu.Header, payload []byte) error {
 			break
 		}
 	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return nil
+}
+
+// maxReplica bounds one replica blob: it must fit a single frame.
+const maxReplica = MaxFrame - 64
+
+// SendReplica ships a buddy-checkpoint replica blob to the process
+// hosting dstTask. Replica frames ride the same per-peer sequence space
+// as packet frames — they inherit the resend window's exactly-once
+// delivery across reconnects — and enqueue behind whatever data is
+// already parked, which makes replication the low-priority flow: it
+// never overtakes application traffic.
+func (t *Transport) SendReplica(dstTask int, blob []byte) error {
+	if len(blob) > maxReplica {
+		return fmt.Errorf("wire: replica of %d bytes exceeds the %d-byte frame bound", len(blob), maxReplica)
+	}
+	p := t.peerFor(dstTask)
+	if p == nil {
+		return fmt.Errorf("%w %d (partition incomplete, or the peer process was never launched)", ErrNoPeer, dstTask)
+	}
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return fmt.Errorf("wire: replica to peer %s: %w", p.label(), ErrPeerDead)
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("wire: replica to peer %s: %w", p.label(), ErrClosed)
+	}
+	if len(p.outq)+1 > p.t.cfg.OutboundQueue {
+		n := len(p.outq)
+		p.mu.Unlock()
+		t.backpressured.Inc()
+		return fmt.Errorf("wire: replica to peer %s: outbound queue full (%d frames unacknowledged): %w",
+			p.label(), n, ErrBackpressure)
+	}
+	p.sendSeq++
+	p.outq = append(p.outq, outFrame{seq: p.sendSeq, buf: appendReplica(nil, p.sendSeq, blob)})
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	t.replicasSent.Inc()
+	return nil
+}
+
+// handleReplica accepts one in-sequence replica frame: same duplicate
+// suppression and gap fencing as data packets (shared sequence space),
+// but the blob goes to the recovery hook instead of the fabric. With no
+// hook installed the blob is acknowledged and dropped — replicas are
+// soft state; the next checkpoint interval replaces them.
+func (t *Transport) handleReplica(p *peer, seq uint64, blob []byte) error {
+	p.mu.Lock()
+	if seq <= p.recvSeq {
+		p.ackDue = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		t.dupDrops.Inc()
+		return nil
+	}
+	if seq != p.recvSeq+1 {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: replica seq %d follows %d (sequence gap)", ErrFrameCorrupt, seq, p.recvSeq)
+	}
+	p.mu.Unlock()
+	t.replicasRecv.Inc()
+	if t.cfg.OnReplica != nil {
+		t.cfg.OnReplica(blob)
+	}
+	p.mu.Lock()
+	p.recvSeq = seq
+	p.ackDue = true
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	return nil
@@ -946,6 +1197,11 @@ loop:
 			t.beatsRecv.Inc()
 			if t.cfg.OnBeat != nil {
 				t.cfg.OnBeat(p.taskLo, p.taskHi)
+			}
+		case kindReplica:
+			if err := t.handleReplica(p, f.ReplicaSeq, f.Replica); err != nil {
+				streamErr = err
+				break loop
 			}
 		default:
 			streamErr = fmt.Errorf("%w: unexpected frame kind %d mid-stream", ErrFrameCorrupt, f.Kind)

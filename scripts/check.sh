@@ -45,6 +45,27 @@ go run ./cmd/msgrate -faults "flood@node=0" -budget 64 -senders 32 -window 300 >
 echo "==> multi-process wire smoke (2 OS processes, fault storm, SIGKILL survival)"
 sh scripts/wire_smoke.sh
 
+echo "==> recovery soak (5 kills: 3 in-process + 2 wire SIGKILLs, online self-heal)"
+sh scripts/recovery_soak.sh
+
+# Deeper static analysis, gated on the tools being present: the build
+# environment is hermetic (no network installs), so absence is a notice,
+# never a failure. Install locally with:
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+#   go install golang.org/x/vuln/cmd/govulncheck@latest
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "==> staticcheck ./..."
+	staticcheck ./...
+else
+	echo "==> staticcheck not installed; skipping (notice, not a failure)"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+	echo "==> govulncheck ./..."
+	govulncheck ./...
+else
+	echo "==> govulncheck not installed; skipping (notice, not a failure)"
+fi
+
 echo "==> fault-grammar fuzz (short deterministic run)"
 go test -run xxx -fuzz FuzzParsePlan -fuzztime 10s ./internal/fault >/dev/null
 

@@ -1,0 +1,99 @@
+#!/bin/sh
+# Chaos soak for the self-healing subsystem: five kills across one run
+# per failure domain, every one recovered automatically and online, and
+# every final digest byte-exact against the analytic fault-free value.
+#
+#   1. In-process: a 4-node partition takes THREE sequential node
+#      crashes from the fault plan; the recovery supervisor fences,
+#      auto-revives, and restores each victim from its buddy replica
+#      while the other nodes keep running. MTTR comes out of the
+#      recovery.* telemetry printed at the end.
+#   2. Wire, listener killed: the process hosting the listen socket
+#      SIGKILLs itself mid-run; the -respawn supervisor relaunches it
+#      with a bumped incarnation and it REBINDS THE SAME PORT — the
+#      listen-bind retry (EADDRINUSE backoff) is load-bearing here —
+#      rejoins, and restores from the survivor's buddy replica.
+#   3. Wire, dialer killed: same, with the joining process as victim,
+#      so the survivor's dead-peer redial loop is what heals the edge.
+#
+# Everything is bounded by -deadline: a hang is a failure, never a wait.
+set -eu
+cd "$(dirname "$0")/.."
+
+DIMS_IN=2x2x1x1x1
+DIMS_WIRE=2x1x1x1x1
+DIR=$(mktemp -d /tmp/pamigo-recovery-soak.XXXXXX)
+trap 'rm -rf "$DIR"; kill $(jobs -p) 2>/dev/null || true' EXIT INT TERM
+
+go build -o "$DIR/pamirun" ./cmd/pamirun
+
+# The listener uses a FIXED port below the ephemeral range: the respawn
+# supervisor must rebind the same address after the kill, and a
+# kernel-assigned port could meanwhile be recycled as the local port of
+# some unrelated outbound socket, turning the rebind into a permanent
+# EADDRINUSE. Fixed ports keep the rebind deterministic.
+wait_addr() { # logfile
+	i=0
+	while [ $i -lt 200 ]; do
+		addr=$(sed -n 's/.*listening on \([^ ]*\).*/\1/p' "$1" 2>/dev/null | head -1)
+		[ -n "$addr" ] && { echo "$addr"; return 0; }
+		i=$((i + 1))
+		sleep 0.05
+	done
+	echo "recovery_soak: no listen address appeared in $1" >&2
+	return 1
+}
+
+echo "  -> in-process: 3 sequential node kills, online auto-revive"
+"$DIR/pamirun" -recover=auto -dims $DIMS_IN -ppn 1 -deadline 120s \
+	-faults "crash@pkt=100,node=1,crash@pkt=220,node=3,crash@pkt=340,node=2" \
+	-fault-seed 17 >"$DIR/inproc.log" 2>&1 ||
+	{ echo "recovery_soak: in-process run failed; log:" >&2; cat "$DIR/inproc.log" >&2; exit 1; }
+grep -q '3 restore(s)' "$DIR/inproc.log" ||
+	{ echo "recovery_soak: expected 3 restores; log:" >&2; cat "$DIR/inproc.log" >&2; exit 1; }
+grep -q 'byte-exact' "$DIR/inproc.log" ||
+	{ echo "recovery_soak: in-process digests not byte-exact" >&2; cat "$DIR/inproc.log" >&2; exit 1; }
+grep -q 'last MTTR 0s' "$DIR/inproc.log" &&
+	{ echo "recovery_soak: MTTR telemetry never moved" >&2; exit 1; }
+
+run_wire_kill() { # victim_role (listen|join)
+	role=$1
+	rm -f "$DIR/w_l.log" "$DIR/w_j.log"
+	port=$2
+	if [ "$role" = listen ]; then
+		"$DIR/pamirun" -recover=auto -respawn -spares 2 -dims $DIMS_WIRE -ppn 1 \
+			-listen 127.0.0.1:$port -rank-range 0:1 -die-round 7 -deadline 120s >"$DIR/w_l.log" 2>&1 &
+		ADDR=$(wait_addr "$DIR/w_l.log")
+		"$DIR/pamirun" -recover=auto -dims $DIMS_WIRE -ppn 1 \
+			-join "$ADDR" -rank-range 1:2 -deadline 120s >"$DIR/w_j.log" 2>&1 ||
+			{ echo "recovery_soak($role): survivor failed; logs:" >&2; cat "$DIR/w_j.log" "$DIR/w_l.log" >&2; exit 1; }
+		survivor=$DIR/w_j.log victim=$DIR/w_l.log
+	else
+		"$DIR/pamirun" -recover=auto -dims $DIMS_WIRE -ppn 1 \
+			-listen 127.0.0.1:$port -rank-range 0:1 -deadline 120s >"$DIR/w_l.log" 2>&1 &
+		ADDR=$(wait_addr "$DIR/w_l.log")
+		"$DIR/pamirun" -recover=auto -respawn -spares 2 -dims $DIMS_WIRE -ppn 1 \
+			-join "$ADDR" -rank-range 1:2 -die-round 7 -deadline 120s >"$DIR/w_j.log" 2>&1 ||
+			{ echo "recovery_soak($role): respawned victim failed; log:" >&2; cat "$DIR/w_j.log" >&2; exit 1; }
+		survivor=$DIR/w_l.log victim=$DIR/w_j.log
+	fi
+	wait %1 || { echo "recovery_soak($role): background worker failed; log:" >&2; cat "$DIR/w_l.log" >&2; exit 1; }
+	grep -q 'killed by killed; relaunching as incarnation 1' "$victim" ||
+		{ echo "recovery_soak($role): the victim was never killed and respawned" >&2; cat "$victim" >&2; exit 1; }
+	grep -q 'restored from its buddy replica: resuming at round [1-9]' "$victim" ||
+		{ echo "recovery_soak($role): the respawned victim did not resume from a buddy checkpoint" >&2; cat "$victim" >&2; exit 1; }
+	grep -q '1 restore(s) observed here' "$survivor" ||
+		{ echo "recovery_soak($role): the survivor never recorded the restore" >&2; cat "$survivor" >&2; exit 1; }
+	grep -q 'last MTTR 0s' "$survivor" &&
+		{ echo "recovery_soak($role): survivor MTTR telemetry never moved" >&2; exit 1; }
+	grep -q 'byte-exact' "$DIR/w_l.log" && grep -q 'byte-exact' "$DIR/w_j.log" ||
+		{ echo "recovery_soak($role): digests not byte-exact on both sides" >&2; exit 1; }
+}
+
+echo "  -> wire: SIGKILL the LISTENER; respawn must rebind the same port and rejoin"
+run_wire_kill listen 7861
+
+echo "  -> wire: SIGKILL the DIALER; survivor's redial loop must heal the edge"
+run_wire_kill join 7862
+
+echo "  -> recovery soak passed: 5 kills (3 in-process, 2 wire), all healed online, digests byte-exact"
