@@ -51,6 +51,8 @@ func main() {
 	faults := flag.String("faults", "", `fault plan, e.g. "drop=0.05,corrupt=0.02,dup=0.01,linkdown=0:A+@500" (empty = off)`)
 	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault decisions")
 	deadline := flag.Duration("deadline", 0, "abort with a goroutine dump if the run exceeds this duration (0 = off)")
+	hangDump := flag.Bool("hang-dump", false, "install a SIGQUIT handler that prints the stall-sentinel wait-site table plus a goroutine dump and keeps running")
+	stallDeadline := flag.Duration("stall-deadline", 0, "arm the partition stall sentinel: any escalatable wait parked longer than this is aborted with a typed cause (0 = observe only)")
 	listen := flag.String("listen", "", "wire listen address (host:port or unix:/path) so other processes of the partition can join")
 	join := flag.String("join", "", "comma-separated wire addresses of already-started partition processes to join")
 	rankRange := flag.String("rank-range", "", `task range "lo:hi" this process hosts (half-open, bounds multiples of -ppn); default: all`)
@@ -66,6 +68,9 @@ func main() {
 
 	stop := watchdog.Start(*deadline, "pamirun shakedown")
 	defer stop()
+	if *hangDump {
+		watchdog.InstallHangDump("pamirun")
+	}
 
 	dims, err := parseDims(*dimsFlag)
 	if err != nil {
@@ -74,7 +79,7 @@ func main() {
 	if !cnk.ValidPPN(*ppn) {
 		log.Fatalf("pamirun: -ppn %d is not a valid BG/Q process count: use a power of two between 1 and 64", *ppn)
 	}
-	cfg := machine.Config{Dims: dims, PPN: *ppn, TrackHops: true, FaultSeed: *faultSeed}
+	cfg := machine.Config{Dims: dims, PPN: *ppn, TrackHops: true, FaultSeed: *faultSeed, StallDeadline: *stallDeadline}
 	if *faults != "" {
 		plan, err := fault.ParsePlan(*faults)
 		if err != nil {

@@ -46,12 +46,16 @@ func main() {
 	faults := flag.String("faults", "", "fault plan for a chaos shakedown of the functional machine (empty = off)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault decisions")
 	deadline := flag.Duration("deadline", 0, "abort with a goroutine dump if the run exceeds this duration (0 = off)")
+	hangDump := flag.Bool("hang-dump", false, "install a SIGQUIT handler that prints the stall-sentinel wait-site table plus a goroutine dump and keeps running")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	stop := watchdog.Start(*deadline, "paperbench")
 	defer stop()
+	if *hangDump {
+		watchdog.InstallHangDump("paperbench")
+	}
 
 	stopProfiles, err := profiles.Start(*cpuprofile, *memprofile)
 	if err != nil {

@@ -33,6 +33,7 @@ import (
 	"pamigo/internal/health"
 	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
+	"pamigo/internal/watchdog"
 )
 
 // SlotsPerNode is the hardware classroute capacity of a node.
@@ -230,6 +231,37 @@ type ClassRoute struct {
 	mu       sync.Mutex
 	sessions map[uint64]*Session
 	retired  *sync.Cond // signalled under mu when a session retires or the route is freed
+	poison   error      // sticky route failure: every Join fails fast with it
+}
+
+// Poison marks the classroute failed: parked and future Joins return
+// err (typically an abort.Cause from the stall sentinel) instead of
+// waiting for credits that will never free. The first cause sticks.
+func (cr *ClassRoute) Poison(err error) {
+	if err == nil {
+		panic("collnet: Poison with nil error")
+	}
+	cr.mu.Lock()
+	if cr.poison == nil {
+		cr.poison = err
+		cr.retired.Broadcast()
+	}
+	cr.mu.Unlock()
+}
+
+// Poisoned returns the route's sticky failure, nil while healthy.
+func (cr *ClassRoute) Poisoned() error {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	return cr.poison
+}
+
+// Heal clears a poisoned route so fresh Joins proceed; the collective
+// layer calls it once the membership is healthy again.
+func (cr *ClassRoute) Heal() {
+	cr.mu.Lock()
+	cr.poison = nil
+	cr.mu.Unlock()
 }
 
 // Ranks returns the surviving participating node ranks in ascending order.
@@ -277,6 +309,21 @@ type Network struct {
 	down     map[torus.Rank]map[torus.Link]bool // failed directed links
 	deadNode map[torus.Rank]bool                // confirmed-dead nodes
 	nextID   int
+
+	// joinSite is the stall-sentinel wait site credit-blocked Joins
+	// register at; nil until the machine installs a sentinel.
+	joinSite atomic.Pointer[watchdog.Site]
+}
+
+// SetSentinel registers the network's credit-gate wait site with the
+// partition's stall sentinel: a Join parked past the site deadline is
+// escalated by poisoning its classroute, so the joiner returns a typed
+// abort instead of waiting for a credit that will never free.
+func (n *Network) SetSentinel(s *watchdog.Sentinel) {
+	if s == nil {
+		return
+	}
+	n.joinSite.Store(s.Site("collnet.join.credit"))
 }
 
 // New returns the classroute manager for a machine of the given shape.

@@ -185,7 +185,7 @@ func runSession(t *testing.T, cr *ClassRoute, kind Kind, op Op, dt DType, contri
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := cr.Join(7, kind, op, dt, nbytes)
+			s, _ := cr.Join(7, kind, op, dt, nbytes)
 			if kind != KindBroadcast || r == cr.Root {
 				s.Contribute(r, contribs[r])
 			}

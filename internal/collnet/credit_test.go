@@ -44,7 +44,7 @@ func TestSessionCreditsBoundInbox(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for seq := uint64(0); seq < total; seq++ {
-			s := cr.Join(seq, KindReduce, OpAdd, Int64, nbytes)
+			s, _ := cr.Join(seq, KindReduce, OpAdd, Int64, nbytes)
 			contributeAll(cr, s, payload)
 		}
 	}()
@@ -65,7 +65,7 @@ func TestSessionCreditsBoundInbox(t *testing.T) {
 	// Retire sessions in order; each retirement frees a credit and the
 	// producer advances. Join of an already-open session must not block.
 	for seq := uint64(0); seq < total; seq++ {
-		s := cr.Join(seq, KindReduce, OpAdd, Int64, nbytes)
+		s, _ := cr.Join(seq, KindReduce, OpAdd, Int64, nbytes)
 		<-s.Done()
 		drain(s)
 	}

@@ -56,7 +56,7 @@ func TestHandleNodeDownFailsOpenSessions(t *testing.T) {
 	}
 	ranks := cr.Ranks()
 	victim := ranks[len(ranks)-1]
-	s := cr.Join(1, KindBarrier, OpAdd, Uint64, 0)
+	s, _ := cr.Join(1, KindBarrier, OpAdd, Uint64, 0)
 	s.Contribute(ranks[0], nil) // one survivor arrived; the rest never will
 	n.HandleNodeDown(victim)
 	if !s.Ready() {

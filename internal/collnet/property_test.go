@@ -34,7 +34,7 @@ func TestSessionFoldMatchesSequentialQuick(t *testing.T) {
 				vals[i] = int64(i)
 			}
 		}
-		s := cr.Join(1, KindReduce, op, Int64, 8)
+		s, _ := cr.Join(1, KindReduce, op, Int64, 8)
 		for i, r := range cr.Ranks() {
 			s.Contribute(r, EncodeInt64s([]int64{vals[i]}))
 		}

@@ -37,7 +37,7 @@ func runAllreduce(t *testing.T, cr *ClassRoute, seq uint64) {
 	for _, r := range cr.Ranks() {
 		want += int64(r) + 1
 	}
-	s := cr.Join(seq, KindReduce, OpAdd, Int64, 8)
+	s, _ := cr.Join(seq, KindReduce, OpAdd, Int64, 8)
 	for _, r := range cr.Ranks() {
 		s.Contribute(r, EncodeInt64s([]int64{int64(r) + 1}))
 	}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 
+	"pamigo/internal/abort"
 	"pamigo/internal/torus"
+	"pamigo/internal/watchdog"
 )
 
 // Kind distinguishes what a collective session computes.
@@ -60,10 +62,22 @@ type Session struct {
 // classroute. All participants must pass identical parameters; mismatches
 // indicate a program error and panic, like mismatched collectives on the
 // real machine silently corrupting data, only louder.
-func (cr *ClassRoute) Join(seq uint64, kind Kind, op Op, dt DType, nbytes int) *Session {
+//
+// A Join that blocks on the session-credit gate is abortable: it
+// registers with the stall sentinel (when armed) and returns the typed
+// poison cause — wrapping abort.ErrAborted — if the route is poisoned
+// while it waits, instead of blocking on a credit that will never free.
+func (cr *ClassRoute) Join(seq uint64, kind Kind, op Op, dt DType, nbytes int) (*Session, error) {
 	if cr.net == nil {
 		panic("collnet: Join on a freed classroute")
 	}
+	var park watchdog.Park
+	parked := false
+	defer func() {
+		if parked {
+			park.Leave()
+		}
+	}()
 	cr.mu.Lock()
 	defer cr.mu.Unlock()
 	for {
@@ -72,7 +86,10 @@ func (cr *ClassRoute) Join(seq uint64, kind Kind, op Op, dt DType, nbytes int) *
 				panic(fmt.Sprintf("collnet: session %d parameter mismatch: have (%v,%v,%v,%d), got (%v,%v,%v,%d)",
 					seq, s.kind, s.op, s.dt, s.nbytes, kind, op, dt, nbytes))
 			}
-			return s
+			return s, nil
+		}
+		if err := cr.poison; err != nil {
+			return nil, err
 		}
 		if len(cr.sessions) < SessionCredits {
 			break
@@ -82,6 +99,10 @@ func (cr *ClassRoute) Join(seq uint64, kind Kind, op Op, dt DType, nbytes int) *
 		// peers can always reach the sessions that will retire first.
 		if cr.net != nil {
 			cr.net.creditStalls.Inc()
+			if st := cr.net.joinSite.Load(); st != nil && !parked {
+				parked = true
+				st.Enter(&park, func(c *abort.Cause) { cr.Poison(c) })
+			}
 		}
 		cr.retired.Wait()
 		if cr.net == nil {
@@ -103,7 +124,7 @@ func (cr *ClassRoute) Join(seq uint64, kind Kind, op Op, dt DType, nbytes int) *
 	if cr.net != nil {
 		cr.net.sessionsOpen.Inc()
 	}
-	return s
+	return s, nil
 }
 
 // Contribute injects node rank's local contribution. For KindBroadcast
@@ -292,12 +313,24 @@ func (s *Session) WaitErr() ([]byte, error) {
 // generation-counted barrier across the nodes of a partition (paper §IV.B:
 // "we use the fast L2 atomics and the global interrupt network to provide
 // very low-overhead barrier across the entire machine").
+//
+// Like the L2 barrier, the GI barrier is poisonable: Poison releases
+// every parked party of the in-flight generation with the typed cause
+// and makes later Awaits fail fast until Heal.
 type GIBarrier struct {
 	parties int
 
 	mu      sync.Mutex
 	arrived int
-	ch      chan struct{}
+	gen     *giGen
+	poison  error // sticky: set by Poison, cleared by Heal
+}
+
+// giGen is one barrier generation: its completion channel and the error
+// (nil on a normal completion) every waiter of that generation returns.
+type giGen struct {
+	ch  chan struct{}
+	err error
 }
 
 // NewGIBarrier returns a barrier for the given number of nodes.
@@ -305,24 +338,68 @@ func NewGIBarrier(parties int) *GIBarrier {
 	if parties < 1 {
 		panic("collnet: GI barrier needs at least one party")
 	}
-	return &GIBarrier{parties: parties, ch: make(chan struct{})}
+	return &GIBarrier{parties: parties, gen: &giGen{ch: make(chan struct{})}}
 }
 
 // Parties returns the number of participating nodes.
 func (b *GIBarrier) Parties() int { return b.parties }
 
-// Await blocks until all parties of the current generation arrive.
-func (b *GIBarrier) Await() {
+// Await blocks until all parties of the current generation arrive, or
+// until the barrier is poisoned — then every party of the generation
+// (parked and yet-to-arrive) gets the typed cause.
+func (b *GIBarrier) Await() error {
 	b.mu.Lock()
+	if b.poison != nil {
+		err := b.poison
+		b.mu.Unlock()
+		return err
+	}
 	b.arrived++
 	if b.arrived == b.parties {
-		close(b.ch)
+		g := b.gen
+		close(g.ch)
 		b.arrived = 0
-		b.ch = make(chan struct{})
+		b.gen = &giGen{ch: make(chan struct{})}
 		b.mu.Unlock()
+		return g.err
+	}
+	g := b.gen
+	b.mu.Unlock()
+	<-g.ch
+	return g.err
+}
+
+// Poison fails the in-flight generation with err and latches the cause:
+// parked parties wake with it, and later Awaits fail fast until Heal.
+// The first cause sticks.
+func (b *GIBarrier) Poison(err error) {
+	if err == nil {
+		panic("collnet: GIBarrier.Poison(nil)")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poison != nil {
 		return
 	}
-	ch := b.ch
-	b.mu.Unlock()
-	<-ch
+	b.poison = err
+	g := b.gen
+	g.err = err
+	close(g.ch)
+	b.arrived = 0
+	b.gen = &giGen{ch: make(chan struct{})}
+}
+
+// Poisoned returns the latched cause, or nil.
+func (b *GIBarrier) Poisoned() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.poison
+}
+
+// Heal clears the poison so the barrier is usable again; the recovery
+// layer calls it once membership is consistent. Idempotent.
+func (b *GIBarrier) Heal() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.poison = nil
 }

@@ -166,6 +166,14 @@ func (c *Client) CreateContexts(n int) ([]*Context, error) {
 		if telemetry.TraceEnabled {
 			ctx.tracer = telemetry.NewTracer(traceRingSlots)
 		}
+		if sent := c.mach.Sentinel(); sent != nil {
+			ctx.idleSite = sent.Site("core.ctx.idle")
+			// Idle progress parks are legitimately indefinite: pinned
+			// observe-only so an armed sentinel never escalates them.
+			ctx.idleSite.SetDeadline(-1)
+			ctx.deferredSite = sent.Site("core.deferred.send")
+			ctx.abortDeferred = ctx.Abort
+		}
 		fabric.RegisterContext(addr, res.Rec)
 		c.contexts = append(c.contexts, ctx)
 		created = append(created, ctx)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pamigo/internal/abort"
 	"pamigo/internal/bufpool"
 	"pamigo/internal/l2atomic"
 	"pamigo/internal/lockless"
@@ -13,6 +14,7 @@ import (
 	"pamigo/internal/shmem"
 	"pamigo/internal/telemetry"
 	"pamigo/internal/wakeup"
+	"pamigo/internal/watchdog"
 )
 
 // DispatchFn is an active-message handler. It runs during Advance on the
@@ -122,6 +124,25 @@ type Context struct {
 	tracer *telemetry.Tracer // non-nil only under -tags pamitrace
 
 	commThreaded atomic.Bool
+
+	// aborted is the typed cancellation flag for the deferred-send
+	// queues: any thread (the stall sentinel's scanner, a shutdown path)
+	// stores a cause via Abort, and the owning thread drains it on its
+	// next Advance — failing every parked deferred send with the cause —
+	// because only the owner may touch the thread-unsafe queues.
+	aborted atomic.Pointer[abort.Cause]
+
+	// Stall-sentinel wiring: the observe-only idle park (progress loops
+	// sleeping on the wakeup region are legitimately indefinite) and the
+	// escalating deferred-send park, with its pre-built abort hook.
+	// Caller-owned Parks keep the blocking slow path allocation-free;
+	// AdvanceUntil is thread-unsafe like the rest of the context, so one
+	// set per context suffices.
+	idleSite      *watchdog.Site
+	deferredSite  *watchdog.Site
+	idlePark      watchdog.Park
+	deferredPark  watchdog.Park
+	abortDeferred func(*abort.Cause)
 }
 
 // ctxStats is a context's hardware-counter set (paper §V quantities):
@@ -273,6 +294,10 @@ func (ctx *Context) Advance(max int) int {
 		ctx.epoch = e
 		ctx.cancelDeadSends()
 	}
+	if c := ctx.aborted.Load(); c != nil {
+		ctx.aborted.Store(nil)
+		ctx.failDeferred(c)
+	}
 	n := 0
 	if ctx.deferredLen > 0 {
 		n += ctx.drainDeferred(max)
@@ -367,26 +392,79 @@ func (ctx *Context) ensureScratch(n int) {
 // AdvanceUntil advances the context until cond reports true. It is the
 // blocking-progress idiom the MPI layer uses while waiting for a request.
 func (ctx *Context) AdvanceUntil(cond func() bool) {
+	ctx.advanceUntil(cond, nil)
+}
+
+// AdvanceUntilAbort is AdvanceUntil with typed cancellation: it
+// additionally returns — with the latched cause, which wraps
+// abort.ErrAborted — when sig aborts, instead of advancing forever on a
+// condition that can no longer come true. A nil sig is AdvanceUntil.
+func (ctx *Context) AdvanceUntilAbort(cond func() bool, sig *abort.Signal) error {
+	return ctx.advanceUntil(cond, sig)
+}
+
+func (ctx *Context) advanceUntil(cond func() bool, sig *abort.Signal) error {
+	idleParked, defParked := false, false
+	leave := func() {
+		if idleParked {
+			idleParked = false
+			ctx.idlePark.Leave()
+		}
+		if defParked {
+			defParked = false
+			ctx.deferredPark.Leave()
+		}
+	}
+	defer leave()
 	for !cond() {
+		if sig != nil {
+			if err := sig.Err(); err != nil {
+				return err
+			}
+		}
 		if ctx.AdvanceAuto() == 0 && !cond() {
 			// Nothing to do: sleep on the wakeup region like the hardware
 			// thread would, re-checking the condition against lost wakeups.
 			gen := ctx.region.Gen()
 			if cond() {
-				return
+				return nil
 			}
 			if ctx.deferredLen > 0 {
 				// A deferred send is waiting for the destination's queue to
 				// drain, and that drain will not touch our wakeup region —
 				// poll instead of sleeping, yielding so the receiver runs.
+				// The park makes the stall visible to the sentinel, whose
+				// escalation fails the deferred queue with a typed cause.
+				if !defParked && ctx.deferredSite != nil {
+					defParked = true
+					ctx.deferredSite.Enter(&ctx.deferredPark, ctx.abortDeferred)
+				}
 				runtime.Gosched()
 				continue
 			}
-			if ctx.work.Empty() && ctx.muRes.Rec.Empty() && ctx.shmDev.Empty() {
-				ctx.region.Wait(gen)
+			if defParked {
+				defParked = false
+				ctx.deferredPark.Leave()
 			}
+			if ctx.work.Empty() && ctx.muRes.Rec.Empty() && ctx.shmDev.Empty() {
+				if !idleParked && ctx.idleSite != nil {
+					// Observe-only: an idle progress loop may legitimately
+					// park forever, so it shows in hang dumps but is never
+					// escalated.
+					idleParked = true
+					ctx.idleSite.Enter(&ctx.idlePark, nil)
+				}
+				if err := ctx.region.WaitAbort(gen, sig); err != nil {
+					return err
+				}
+			}
+		} else if idleParked || defParked {
+			// Progress resumed: drop the parks so their ages measure one
+			// continuous stall, not the sum of unrelated idle spells.
+			leave()
 		}
 	}
+	return nil
 }
 
 // Adaptive Advance batch bounds. The old fixed batch of 64 was either
@@ -398,6 +476,44 @@ const (
 	advanceBatchInit = 64
 	advanceBatchMax  = 64
 )
+
+// Abort posts a typed cancellation to the context's deferred-send
+// queues. Safe from any thread (the stall sentinel's scanner, shutdown
+// paths): the cause is latched — first one wins — and the owning thread
+// drains it on its next Advance, failing every parked deferred send
+// with an ErrAborted-wrapped error. The region touch wakes the owner if
+// it is sleeping.
+func (ctx *Context) Abort(c *abort.Cause) {
+	if c == nil {
+		return
+	}
+	if ctx.aborted.CompareAndSwap(nil, c) {
+		ctx.region.Touch()
+	}
+}
+
+// failDeferred fails every parked deferred send with the abort cause,
+// destination by destination. Runs on the advancing thread, which owns
+// the queues.
+func (ctx *Context) failDeferred(c *abort.Cause) {
+	if ctx.deferredLen == 0 {
+		return
+	}
+	for dst, q := range ctx.deferred {
+		delete(ctx.deferred, dst)
+		ctx.deferredLen -= len(q)
+		for _, p := range q {
+			p.DataBuf.Release()
+			err := fmt.Errorf("core: deferred send %v -> %v aborted: %w", ctx.addr, dst, c)
+			if p.OnFail != nil {
+				p.OnFail(err)
+			} else if p.OnDone != nil {
+				p.OnDone()
+			}
+		}
+	}
+	ctx.stats.deferredSends.Set(int64(ctx.deferredLen))
+}
 
 // cancelDeadSends fails every pending rendezvous send whose destination
 // node has been confirmed dead: the receiver can no longer pull the

@@ -8,10 +8,12 @@ import (
 	"sort"
 	"sync"
 
+	"pamigo/internal/abort"
 	"pamigo/internal/collnet"
 	"pamigo/internal/l2atomic"
 	"pamigo/internal/mu"
 	"pamigo/internal/torus"
+	"pamigo/internal/watchdog"
 )
 
 // Geometry is PAMI's communicator analogue: an ordered team of tasks with
@@ -43,6 +45,16 @@ type Geometry struct {
 	// per member), so no locking.
 	memEpoch int64
 	memErr   error
+
+	// Stall-sentinel wiring: the wait sites team-barrier crossings and
+	// network waits register with, the caller-owned parks they reuse
+	// (collectives are single-threaded per member), and the pre-built
+	// escalation hook that poisons the team barrier (built once so
+	// barrier crossings stay allocation-free).
+	barrierSite *watchdog.Site
+	hwWaitSite  *watchdog.Site
+	bpark       watchdog.Park
+	poisonTeam  func(*abort.Cause)
 }
 
 // geomShared is the state all member processes of a geometry share — the
@@ -138,7 +150,7 @@ func (c *Client) CreateGeometry(ctx *Context, id uint64, tasks []int) (*Geometry
 		}
 	}
 	myNode := c.proc.Node().Rank
-	return &Geometry{
+	g := &Geometry{
 		client: c,
 		ctx:    ctx,
 		id:     id,
@@ -147,7 +159,14 @@ func (c *Client) CreateGeometry(ctx *Context, id uint64, tasks []int) (*Geometry
 		ctxOrd: ctx.addr.Ctx,
 		shared: shared,
 		team:   shared.teams[myNode],
-	}, nil
+	}
+	if sent := c.mach.Sentinel(); sent != nil {
+		g.barrierSite = sent.Site("core.team.barrier")
+		g.hwWaitSite = sent.Site("core.geom.hwwait")
+		team := g.team
+		g.poisonTeam = func(c *abort.Cause) { team.barrier.Poison(c) }
+	}
+	return g, nil
 }
 
 func buildGeomShared(c *Client, id uint64, tasks []int) *geomShared {
@@ -310,6 +329,13 @@ func (g *Geometry) nextSeq() uint64 {
 // survivors. The scan runs only when the membership epoch moved (one
 // atomic load per call otherwise, zero when no failure detector is
 // armed).
+//
+// Detecting a death also poisons the node team's L2 barrier: a
+// node-mate that passed this gate *before* the death was confirmed is
+// parked at the team barrier waiting for mates that will now fail fast
+// here and never arrive — the poison releases it with the same typed
+// error every other member returns. A healthy rescan after Revive heals
+// the barrier, so the geometry's fail-fast window matches the epoch.
 func (g *Geometry) deadMember() error {
 	e := g.client.mach.Epoch()
 	if e == 0 {
@@ -327,7 +353,24 @@ func (g *Geometry) deadMember() error {
 			break
 		}
 	}
+	if g.memErr != nil {
+		g.team.barrier.Poison(abort.Wrap(abort.KindHealth, "core.team.barrier", g.memErr))
+	} else if g.team.barrier.Poisoned() != nil {
+		g.team.barrier.Heal()
+	}
 	return g.memErr
+}
+
+// teamBarrier crosses the node team's L2 barrier with stall-sentinel
+// coverage: the crossing is visible in the wait-site table, and — when
+// the sentinel is armed — a crossing parked past the deadline is
+// poisoned, releasing every mate with a typed abort instead of hanging.
+func (g *Geometry) teamBarrier() error {
+	if g.barrierSite != nil {
+		g.barrierSite.Enter(&g.bpark, g.poisonTeam)
+		defer g.bpark.Leave()
+	}
+	return g.team.barrier.Await()
 }
 
 // hwWait collects a collective-network session result. With no failure
@@ -338,6 +381,11 @@ func (g *Geometry) deadMember() error {
 // forever — instead it fails the session itself the moment it observes
 // a member death, and every path converges on the typed error.
 func (g *Geometry) hwWait(s *collnet.Session) ([]byte, error) {
+	if g.hwWaitSite != nil {
+		var park watchdog.Park
+		g.hwWaitSite.Enter(&park, func(c *abort.Cause) { s.Fail(c) })
+		defer park.Leave()
+	}
 	if g.client.mach.Health() == nil {
 		return s.WaitErr()
 	}
@@ -373,13 +421,21 @@ func (g *Geometry) Barrier() {
 	}
 	// Local phase on the L2-atomic barrier, network phase on the
 	// classroute (GI-style zero-byte combine), local release.
-	g.team.barrier.Await()
-	if g.isTeamMaster() {
-		s := cr.Join(seq, collnet.KindBarrier, collnet.OpAdd, collnet.Uint64, 0)
-		s.Contribute(g.team.node, nil)
-		_, g.team.err = g.hwWait(s)
+	if err := g.teamBarrier(); err != nil {
+		panic(err)
 	}
-	g.team.barrier.Await()
+	if g.isTeamMaster() {
+		s, err := cr.Join(seq, collnet.KindBarrier, collnet.OpAdd, collnet.Uint64, 0)
+		if err != nil {
+			g.team.err = err
+		} else {
+			s.Contribute(g.team.node, nil)
+			_, g.team.err = g.hwWait(s)
+		}
+	}
+	if err := g.teamBarrier(); err != nil {
+		panic(err)
+	}
 	if err := g.team.err; err != nil {
 		// A member node died mid-barrier (collnet failed the session with
 		// ErrEpochChanged). Every surviving member observes the same error.
@@ -411,21 +467,29 @@ func (g *Geometry) Broadcast(root int, buf []byte) error {
 	if g.client.Task() == rootTask {
 		g.team.result = buf
 	}
-	g.team.barrier.Await()
-	if g.isTeamMaster() {
-		s := cr.Join(seq, collnet.KindBroadcast, collnet.OpAdd, collnet.Uint64, len(buf))
-		if g.client.mach.NodeOf(rootTask).Rank == g.team.node {
-			data := g.team.result
-			if data == nil {
-				// A zero-length broadcast still has to flow: the session
-				// completes on the source's (possibly empty) contribution.
-				data = []byte{}
-			}
-			s.Contribute(g.team.node, data)
-		}
-		g.team.result, g.team.err = g.hwWait(s)
+	if err := g.teamBarrier(); err != nil {
+		return err
 	}
-	g.team.barrier.Await()
+	if g.isTeamMaster() {
+		s, err := cr.Join(seq, collnet.KindBroadcast, collnet.OpAdd, collnet.Uint64, len(buf))
+		if err != nil {
+			g.team.err = err
+		} else {
+			if g.client.mach.NodeOf(rootTask).Rank == g.team.node {
+				data := g.team.result
+				if data == nil {
+					// A zero-length broadcast still has to flow: the session
+					// completes on the source's (possibly empty) contribution.
+					data = []byte{}
+				}
+				s.Contribute(g.team.node, data)
+			}
+			g.team.result, g.team.err = g.hwWait(s)
+		}
+	}
+	if err := g.teamBarrier(); err != nil {
+		return err
+	}
 	if err := g.team.err; err != nil {
 		// Every member returns before the release barrier, so the team
 		// observes the failure consistently.
@@ -434,7 +498,9 @@ func (g *Geometry) Broadcast(root int, buf []byte) error {
 	if g.client.Task() != rootTask {
 		copy(buf, g.team.result)
 	}
-	g.team.barrier.Await()
+	if err := g.teamBarrier(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -511,6 +577,16 @@ func (g *Geometry) reduceCommon(root int, send, recv []byte, op collnet.Op, dt c
 func (g *Geometry) hwReduceChunk(cr *collnet.ClassRoute, seq uint64, root int, send, recv []byte, op collnet.Op, dt collnet.DType) error {
 	team := g.team
 	idx := team.memberIndex(g.client.Task())
+	if h := reduceEnterHook; h != nil {
+		h(g, idx)
+		// The hook may have moved the membership epoch (tests force a
+		// death confirmation between two node-mates' entries); re-check
+		// the gate so this member fails fast instead of corrupting the
+		// barrier protocol below.
+		if err := g.deadMember(); err != nil {
+			return err
+		}
+	}
 	team.slots[idx] = send
 	if idx == 0 {
 		if cap(team.local) < len(send) {
@@ -518,7 +594,9 @@ func (g *Geometry) hwReduceChunk(cr *collnet.ClassRoute, seq uint64, root int, s
 		}
 		team.local = team.local[:len(send)]
 	}
-	team.barrier.Await()
+	if err := g.teamBarrier(); err != nil {
+		return err
+	}
 	// Parallel local math: member j reduces word-slice j of all local
 	// contributions into the node buffer (figure 3's "parallelize the
 	// local math").
@@ -540,13 +618,21 @@ func (g *Geometry) hwReduceChunk(cr *collnet.ClassRoute, seq uint64, root int, s
 			}
 		}
 	}
-	team.barrier.Await()
-	if idx == 0 {
-		s := cr.Join(seq, collnet.KindReduce, op, dt, len(send))
-		s.Contribute(team.node, team.local)
-		team.result, team.err = g.hwWait(s)
+	if err := g.teamBarrier(); err != nil {
+		return err
 	}
-	team.barrier.Await()
+	if idx == 0 {
+		s, err := cr.Join(seq, collnet.KindReduce, op, dt, len(send))
+		if err != nil {
+			team.err = err
+		} else {
+			s.Contribute(team.node, team.local)
+			team.result, team.err = g.hwWait(s)
+		}
+	}
+	if err := g.teamBarrier(); err != nil {
+		return err
+	}
 	if err := team.err; err != nil {
 		// A member node died mid-reduction; every member returns the typed
 		// failure before the release barrier.
@@ -556,9 +642,17 @@ func (g *Geometry) hwReduceChunk(cr *collnet.ClassRoute, seq uint64, root int, s
 	if needRecv {
 		copy(recv, team.result)
 	}
-	team.barrier.Await()
+	if err := g.teamBarrier(); err != nil {
+		return err
+	}
 	return nil
 }
+
+// reduceEnterHook, when non-nil, runs at the top of every hwReduceChunk
+// with the calling member's geometry and node-local index. Tests use it
+// to force a death confirmation between two node-mates' entries — the
+// choreography behind the stranded-node-mate regression.
+var reduceEnterHook func(g *Geometry, idx int)
 
 func (g *Geometry) isTeamMaster() bool {
 	return g.team.memberIndex(g.client.Task()) == 0

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pamigo/internal/abort"
+	"pamigo/internal/cnk"
+	"pamigo/internal/collnet"
+	"pamigo/internal/fault"
+	"pamigo/internal/machine"
+	"pamigo/internal/mu"
+	"pamigo/internal/torus"
+)
+
+// TestStrandedNodeMateReleased is the deterministic regression for the
+// stranded-node-mate hazard (ROADMAP item 6): on a two-member node
+// team, member A passes the deadMember gate *before* a remote node's
+// death is confirmed and parks at the L2 team barrier; member B enters
+// *after* the confirmation, fails fast at the gate, and never arrives.
+// Before barrier poisoning, A parked forever. Now B's gate check
+// poisons the team barrier, so A wakes with the same typed error —
+// both members return errors classified by errors.Is, and A's
+// additionally wraps abort.ErrAborted (it came through the poison).
+//
+// The choreography is forced, not raced: the reduceEnterHook lets A
+// through immediately, holds B until A is provably parked
+// (Barrier.Parked() == 1), declares the remote node dead, waits for
+// the epoch to move, and only then releases B into the gate.
+func TestStrandedNodeMateReleased(t *testing.T) {
+	dims := torus.Dims{2, 1, 1, 1, 1}
+	// A node fault that never fires: arms the health monitor without
+	// perturbing the run, so the test controls the death instant.
+	plan, err := fault.ParsePlan("crash@pkt=100000000,node=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(dims); err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(machine.Config{
+		Dims: dims, PPN: 2,
+		Faults:    &plan,
+		FaultSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+
+	// ready counts members that fully exited WorldGeometry: the death
+	// must not be declared while a remote member is still inside the
+	// bootstrap barriers, or it would fail geometry creation instead of
+	// stranding the reduction.
+	var ready atomic.Int32
+	awaitDeadline := time.Now().Add(30 * time.Second)
+	reduceEnterHook = func(g *Geometry, idx int) {
+		if g.team.node != 0 {
+			return
+		}
+		if idx == 0 {
+			return // member A: proceed straight to the team barrier
+		}
+		// Member B: wait until every member bootstrapped and A is parked,
+		// then confirm the remote death.
+		for ready.Load() < 4 || g.team.barrier.Parked() == 0 {
+			if time.Now().After(awaitDeadline) {
+				panic("member A never parked at the team barrier")
+			}
+			runtime.Gosched()
+		}
+		m.Health().DeclareDead(1)
+		for m.Epoch() == 0 {
+			runtime.Gosched()
+		}
+	}
+	defer func() { reduceEnterHook = nil }()
+
+	var mu_ sync.Mutex
+	errs := map[int]error{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Run(func(p *cnk.Process) {
+			cl, err := NewClient(m, p, "strand")
+			if err != nil {
+				panic(err)
+			}
+			ctxs, err := cl.CreateContexts(1)
+			if err != nil {
+				panic(err)
+			}
+			g, err := cl.WorldGeometry(ctxs[0])
+			if err != nil {
+				panic(err)
+			}
+			if !g.Optimized() {
+				panic("world geometry did not take the classroute; the test needs the hardware path")
+			}
+			ready.Add(1)
+			if p.Node().Rank != 0 {
+				return // the remote node's members never join the reduction
+			}
+			send := make([]byte, 8)
+			recv := make([]byte, 8)
+			binary.LittleEndian.PutUint64(send, uint64(p.TaskRank()))
+			aerr := g.Allreduce(send, recv, collnet.OpAdd, collnet.Uint64)
+			mu_.Lock()
+			errs[p.TaskRank()] = aerr
+			mu_.Unlock()
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("job hung: a node-mate is stranded at the team barrier")
+	}
+
+	for _, task := range []int{0, 1} {
+		err := errs[task]
+		if err == nil {
+			t.Fatalf("task %d completed the reduction despite the dead member", task)
+		}
+		if !errors.Is(err, mu.ErrPeerDead) {
+			t.Fatalf("task %d error not classified as peer death: %v", task, err)
+		}
+	}
+	// Member A was released by the poison, so its error also carries the
+	// abort vocabulary.
+	if err := errs[0]; !errors.Is(err, abort.ErrAborted) {
+		t.Fatalf("stranded member's error lost the abort wrap: %v", err)
+	}
+}

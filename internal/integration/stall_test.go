@@ -1,0 +1,97 @@
+package integration
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pamigo/internal/abort"
+	"pamigo/internal/cnk"
+	"pamigo/internal/collnet"
+	"pamigo/internal/core"
+	"pamigo/internal/machine"
+	"pamigo/internal/torus"
+)
+
+// TestStallSentinelAbortsPermanentStall injects the failure no detector
+// catches: a peer that stays alive but never joins the collective. With
+// no heartbeat monitor armed (nothing dies), the survivor's network wait
+// would block forever; the armed stall sentinel must convert the park
+// into a typed abort — errors.Is(err, abort.ErrAborted) with a deadline
+// cause — well within the escalation deadline plus scan slack.
+func TestStallSentinelAbortsPermanentStall(t *testing.T) {
+	const stallDeadline = 200 * time.Millisecond
+	dims := torus.Dims{2, 1, 1, 1, 1}
+	m, err := machine.New(machine.Config{
+		Dims: dims, PPN: 1,
+		StallDeadline: stallDeadline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+
+	var mu_ sync.Mutex
+	var stallErr error
+	var stallTook time.Duration
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Run(func(p *cnk.Process) {
+			cl, err := core.NewClient(m, p, "stall")
+			if err != nil {
+				panic(err)
+			}
+			ctxs, err := cl.CreateContexts(1)
+			if err != nil {
+				panic(err)
+			}
+			g, err := cl.WorldGeometry(ctxs[0])
+			if err != nil {
+				panic(err)
+			}
+			if !g.Optimized() {
+				panic("world geometry did not take the classroute")
+			}
+			if p.TaskRank() == 1 {
+				// The stalled peer: alive, reachable, and absent — it simply
+				// never enters the collective.
+				return
+			}
+			send := make([]byte, 8)
+			recv := make([]byte, 8)
+			binary.LittleEndian.PutUint64(send, 42)
+			start := time.Now()
+			aerr := g.Allreduce(send, recv, collnet.OpAdd, collnet.Uint64)
+			mu_.Lock()
+			stallErr, stallTook = aerr, time.Since(start)
+			mu_.Unlock()
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("survivor hung: the sentinel never escalated the stall")
+	}
+
+	if stallErr == nil {
+		t.Fatal("the stalled collective completed; it must fail typed")
+	}
+	if !errors.Is(stallErr, abort.ErrAborted) {
+		t.Fatalf("stall surfaced as %v, want an ErrAborted wrap", stallErr)
+	}
+	var c *abort.Cause
+	if !errors.As(stallErr, &c) || c.Kind != abort.KindDeadline {
+		t.Fatalf("stall cause = %v, want KindDeadline", stallErr)
+	}
+	// Deadline + scanner period + generous scheduling slack; far below
+	// the old behavior (forever).
+	if limit := 10 * stallDeadline; stallTook > limit {
+		t.Fatalf("escalation took %v, want under %v", stallTook, limit)
+	}
+	if st := m.Sentinel().Table(); len(st) == 0 {
+		t.Fatal("sentinel table is empty; wait sites never registered")
+	}
+}

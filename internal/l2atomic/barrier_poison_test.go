@@ -1,0 +1,171 @@
+package l2atomic
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var errPoisonTest = errors.New("test: node-mate died")
+
+// A poisoned barrier must release every parked party with the typed
+// error and fail later arrivals fast.
+func TestBarrierPoisonReleasesParked(t *testing.T) {
+	b := NewBarrier(4)
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() { errs <- b.Await() }()
+	}
+	// Wait until all three are parked, then poison instead of arriving.
+	for b.Parked() != 3 {
+		time.Sleep(time.Millisecond)
+	}
+	b.Poison(errPoisonTest)
+	for i := 0; i < 3; i++ {
+		if err := <-errs; !errors.Is(err, errPoisonTest) {
+			t.Fatalf("parked party got %v, want poison cause", err)
+		}
+	}
+	// The would-be fourth arriver fails fast too.
+	if err := b.Await(); !errors.Is(err, errPoisonTest) {
+		t.Fatalf("post-poison arrival got %v, want poison cause", err)
+	}
+	if b.Poisoned() == nil {
+		t.Fatal("Poisoned() lost the sticky cause")
+	}
+}
+
+// Heal must return the barrier to full service for fresh generations,
+// and the first poison's cause must stick until then.
+func TestBarrierReuseAfterHeal(t *testing.T) {
+	b := NewBarrier(2)
+	done := make(chan error, 1)
+	go func() { done <- b.Await() }()
+	for b.Parked() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	b.Poison(errPoisonTest)
+	b.Poison(errors.New("late second cause")) // no-op: first cause wins
+	if err := <-done; !errors.Is(err, errPoisonTest) {
+		t.Fatalf("parked party got %v", err)
+	}
+	b.Heal()
+	b.Heal() // idempotent
+	if err := b.Poisoned(); err != nil {
+		t.Fatalf("healed barrier still poisoned: %v", err)
+	}
+	// Several healthy generations after the heal.
+	for gen := 0; gen < 10; gen++ {
+		var wg sync.WaitGroup
+		for p := 0; p < 2; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := b.Await(); err != nil {
+					t.Errorf("gen %d: %v", gen, err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// Single-party barriers never park; poison must still fail them fast
+// and heal must still restore them.
+func TestBarrierPoisonSingleParty(t *testing.T) {
+	b := NewBarrier(1)
+	if err := b.Await(); err != nil {
+		t.Fatalf("healthy single-party await: %v", err)
+	}
+	b.Poison(errPoisonTest)
+	if err := b.Await(); !errors.Is(err, errPoisonTest) {
+		t.Fatalf("poisoned single-party await got %v", err)
+	}
+	b.Heal()
+	if err := b.Await(); err != nil {
+		t.Fatalf("healed single-party await: %v", err)
+	}
+}
+
+// Poison racing concurrent arrivals: every Await must return — either
+// nil (its generation completed before the poison landed) or the
+// poison cause — and after a heal the barrier must still work. Run
+// with -race this is the poison-vs-arrive interleaving probe.
+func TestBarrierPoisonArriveRace(t *testing.T) {
+	const parties = 4
+	for round := 0; round < 200; round++ {
+		b := NewBarrier(parties)
+		var wg sync.WaitGroup
+		var nilCount, poisonCount atomic.Int64
+		for p := 0; p < parties-1; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := b.Await(); err == nil {
+					nilCount.Add(1)
+				} else if errors.Is(err, errPoisonTest) {
+					poisonCount.Add(1)
+				} else {
+					t.Errorf("unexpected error %v", err)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Poison(errPoisonTest)
+		}()
+		wg.Wait()
+		// The last party never arrived, so nobody can have completed the
+		// generation: every waiter must report the poison.
+		if got := poisonCount.Load(); got != parties-1 {
+			t.Fatalf("round %d: %d poisoned, %d nil; want all %d poisoned",
+				round, got, nilCount.Load(), parties-1)
+		}
+		b.Heal()
+		wg.Add(parties)
+		for p := 0; p < parties; p++ {
+			go func() {
+				defer wg.Done()
+				if err := b.Await(); err != nil {
+					t.Errorf("round %d post-heal: %v", round, err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// Poison racing the *completing* arrival: with all parties arriving
+// concurrently with the poison, a generation may legitimately complete
+// (all nil) or be poisoned (all poisoned), but never split.
+func TestBarrierPoisonCompletionRace(t *testing.T) {
+	const parties = 3
+	for round := 0; round < 500; round++ {
+		b := NewBarrier(parties)
+		var wg sync.WaitGroup
+		var nilCount, poisonCount atomic.Int64
+		wg.Add(parties + 1)
+		for p := 0; p < parties; p++ {
+			go func() {
+				defer wg.Done()
+				if err := b.Await(); err == nil {
+					nilCount.Add(1)
+				} else {
+					poisonCount.Add(1)
+				}
+			}()
+		}
+		go func() {
+			defer wg.Done()
+			b.Poison(errPoisonTest)
+		}()
+		wg.Wait()
+		if nilCount.Load() != 0 && nilCount.Load() != parties {
+			t.Fatalf("round %d: generation split: %d nil, %d poisoned",
+				round, nilCount.Load(), poisonCount.Load())
+		}
+	}
+}

@@ -14,9 +14,11 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
+	"pamigo/internal/abort"
 	"pamigo/internal/bufpool"
 	"pamigo/internal/cnk"
 	"pamigo/internal/collnet"
@@ -27,6 +29,7 @@ import (
 	"pamigo/internal/shmem"
 	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
+	"pamigo/internal/watchdog"
 	"pamigo/internal/wire"
 )
 
@@ -70,6 +73,13 @@ type Config struct {
 	// checkpoints and — with AutoRevive, single-process mode — turns a
 	// confirmed death into an online restart. Arms the health monitor.
 	Recovery *recovery.Options
+	// StallDeadline, when positive, arms the partition stall sentinel:
+	// any registered wait (team barriers, collective credit gates, MU
+	// window stalls) parked longer than this is escalated into a typed
+	// abort instead of hanging. Zero leaves the sentinel observe-only —
+	// the wait-site table still populates for hang dumps, but nothing
+	// is ever aborted by deadline.
+	StallDeadline time.Duration
 }
 
 // validateHosted checks the wire-mode task range, with messages that
@@ -118,6 +128,11 @@ type Machine struct {
 	// nil otherwise.
 	rsup *recovery.Supervisor
 
+	// sentinel is the partition stall sentinel: every abortable wait
+	// site registers with it, and Config.StallDeadline arms escalation.
+	sentinel  *watchdog.Sentinel
+	unregDump func()
+
 	geoMu  sync.Mutex
 	geoReg map[uint64]any
 }
@@ -155,6 +170,19 @@ func New(cfg Config) (*Machine, error) {
 	// The buffer pool is process-global (slabs flow between machines'
 	// layers freely); its registry reports process-wide live/miss counts.
 	m.tele.Adopt(bufpool.Telemetry())
+	// The stall sentinel always exists (observe-only when no deadline is
+	// configured) so the wait-site table is available for hang dumps;
+	// every abortable layer registers its sites with it.
+	m.sentinel = watchdog.NewSentinel(m.tele)
+	fabric.SetSentinel(m.sentinel)
+	m.coll.SetSentinel(m.sentinel)
+	if cfg.StallDeadline > 0 {
+		m.sentinel.Arm(cfg.StallDeadline, 0)
+	}
+	sent := m.sentinel
+	m.unregDump = watchdog.RegisterDump(func(w io.Writer) {
+		fmt.Fprintf(w, "machine %s wait sites:\n%s", cfg.Dims, sent.Render())
+	})
 	for r := 0; r < cfg.Dims.Nodes(); r++ {
 		node, err := cnk.NewNode(torus.Rank(r), cfg.PPN, r*cfg.PPN)
 		if err != nil {
@@ -194,6 +222,11 @@ func New(cfg Config) (*Machine, error) {
 			if m.wt != nil {
 				m.wt.MarkTaskDead(int(n) * cfg.PPN)
 			}
+			// The machine-wide GI barrier counts one party per node, so a
+			// confirmed death means the in-flight generation can never
+			// complete: poison it with the typed cause (Revive heals it).
+			m.gi.Poison(abort.Wrap(abort.KindHealth, "machine.gibarrier",
+				fmt.Errorf("node %d confirmed dead: %w", n, mu.ErrPeerDead)))
 			m.fabric.TouchAll()
 		})
 	}
@@ -327,6 +360,7 @@ func New(cfg Config) (*Machine, error) {
 			return nil, err
 		}
 		m.rsup = rsup
+		m.rsup.SetSentinel(m.sentinel)
 		// Registered after the death-propagation callback above, so by the
 		// time the supervisor fences a victim the flows are already failed
 		// and the classroutes already shrunk.
@@ -369,6 +403,9 @@ func (m *Machine) Revive(n torus.Rank) error {
 	m.fabric.ReviveNode(n)
 	m.coll.HandleNodeUp(n)
 	m.hmon.Revive(n)
+	if len(m.hmon.DeadNodes()) == 0 {
+		m.gi.Heal()
+	}
 	m.fabric.TouchAll()
 	return nil
 }
@@ -376,6 +413,10 @@ func (m *Machine) Revive(n torus.Rank) error {
 // Recovery returns the self-healing coordinator, or nil when
 // Config.Recovery did not arm it.
 func (m *Machine) Recovery() *recovery.Supervisor { return m.rsup }
+
+// Sentinel returns the partition stall sentinel. Always non-nil;
+// observe-only unless Config.StallDeadline armed escalation.
+func (m *Machine) Sentinel() *watchdog.Sentinel { return m.sentinel }
 
 // Health returns the heartbeat failure detector, or nil when neither
 // node faults nor wire mode armed it.
@@ -544,6 +585,10 @@ func (m *Machine) Shutdown() {
 	}
 	if m.rsup != nil {
 		m.rsup.Stop()
+	}
+	m.sentinel.Stop()
+	if m.unregDump != nil {
+		m.unregDump()
 	}
 	for _, n := range m.nodes {
 		n.StopCommThreads()

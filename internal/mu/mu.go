@@ -35,6 +35,7 @@ import (
 	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
 	"pamigo/internal/wakeup"
+	"pamigo/internal/watchdog"
 )
 
 // Hardware constants from paper §II.B-C.
@@ -449,9 +450,25 @@ type Fabric struct {
 	// every send in-process.
 	transport atomic.Pointer[transportSlot]
 
+	// stallSite is the stall-sentinel wait site credit-blocked senders
+	// register with; nil (the default) keeps stage() sentinel-free.
+	stallSite atomic.Pointer[watchdog.Site]
+
 	// TrackHops enables per-packet route-length accounting (costs a route
 	// computation per message; tests and examples enable it).
 	TrackHops bool
+}
+
+// SetSentinel registers the fabric's credit-stall wait site with the
+// partition stall sentinel: senders blocked past the window/credit gate
+// in stage() become visible in the wait-site table, and — when the
+// sentinel is armed — an over-deadline stall fails the flow with a
+// typed abort instead of hanging. Call before traffic starts.
+func (f *Fabric) SetSentinel(s *watchdog.Sentinel) {
+	if s == nil {
+		return
+	}
+	f.stallSite.Store(s.Site("mu.credit.stall"))
 }
 
 // NewFabric builds the MU fabric for a machine of the given shape. Each

@@ -8,10 +8,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pamigo/internal/abort"
 	"pamigo/internal/bufpool"
 	"pamigo/internal/fault"
 	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
+	"pamigo/internal/watchdog"
 )
 
 // The real MU never shows software a lost packet: every link protects
@@ -668,6 +670,8 @@ func (r *reliableLayer) stage(fl *flow, hdr Header, chunk []byte, pb, pm *bufpoo
 		r.grantLocked(fl, creditFor(fifo, fl.key.src))
 	}
 	stalled := false
+	var park watchdog.Park
+	parked := false
 	for (len(fl.unacked) >= sendWindow || fl.nextSeq > fl.creditLimit) &&
 		!r.closed.Load() && fl.failed == nil {
 		if fl.nextSeq > fl.creditLimit && !stalled {
@@ -679,7 +683,21 @@ func (r *reliableLayer) stage(fl *flow, hdr Header, chunk []byte, pb, pm *bufpoo
 				fl.stallOcc = occ
 			}
 		}
+		if !parked {
+			if st := r.f.stallSite.Load(); st != nil {
+				parked = true
+				st.Enter(&park, func(c *abort.Cause) {
+					// Scanner goroutine, no locks held: fail the flow so
+					// the parked sender (and everyone behind it) wakes
+					// with the typed cause instead of waiting forever.
+					r.failFlow(fl, fmt.Errorf("mu: flow %v -> %v: %w", fl.key.src, fl.key.dst, c))
+				})
+			}
+		}
 		fl.cond.Wait()
+	}
+	if parked {
+		park.Leave()
 	}
 	if fl.failed != nil {
 		err := fl.failed

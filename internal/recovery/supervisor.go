@@ -6,9 +6,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pamigo/internal/abort"
 	"pamigo/internal/fault"
 	"pamigo/internal/telemetry"
 	"pamigo/internal/torus"
+	"pamigo/internal/watchdog"
 )
 
 // State is the supervisor's recovery state machine. One recovery runs
@@ -122,6 +124,10 @@ type Supervisor struct {
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	// waitSite is the stall-sentinel site replica waits register with;
+	// nil until SetSentinel wires one.
+	waitSite atomic.Pointer[watchdog.Site]
 
 	checkpoints *telemetry.Counter
 	replicas    *telemetry.Counter
@@ -267,18 +273,38 @@ func (s *Supervisor) ReplicaResponse(n torus.Rank, victimLo, victimHi int) (blob
 // AwaitReplica blocks until a replica for node n is in the store (a
 // rejoined victim waiting for its buddy's push), polling on a seeded
 // jitter. Returns the snapshot — possibly the version-0 empty snapshot
-// meaning "start fresh" — or an error on timeout.
+// meaning "start fresh" — or, on timeout, a typed deadline abort
+// (errors.Is(err, abort.ErrAborted)) so callers distinguish "buddy
+// never pushed" from replica decode failures. While waiting, the park
+// is visible in the sentinel's wait-site table when one is wired.
 func (s *Supervisor) AwaitReplica(n torus.Rank, timeout time.Duration) (*Snapshot, error) {
+	if st := s.waitSite.Load(); st != nil {
+		var park watchdog.Park
+		st.Enter(&park, nil) // observe-only: the poll below owns the deadline
+		defer park.Leave()
+	}
 	deadline := time.Now().Add(timeout)
 	for step := int64(0); ; step++ {
 		if snap := s.store.Replica(n); snap != nil {
 			return snap, nil
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("recovery: no replica for node %d arrived within %v", n, timeout)
+			return nil, abort.Wrap(abort.KindDeadline, "recovery.await.replica",
+				fmt.Errorf("recovery: no replica for node %d arrived within %v", n, timeout))
 		}
 		time.Sleep(fault.Jitter(s.cfg.Options.Seed, step, time.Millisecond))
 	}
+}
+
+// SetSentinel registers the replica-wait site with the partition stall
+// sentinel so a victim stuck waiting for its buddy's push shows up in
+// hang dumps. The wait keeps its own timeout, so the site is
+// observe-only.
+func (s *Supervisor) SetSentinel(sent *watchdog.Sentinel) {
+	if sent == nil {
+		return
+	}
+	s.waitSite.Store(sent.Site("recovery.await.replica"))
 }
 
 // NoteDeath records a confirmed death (machine wiring calls it from the

@@ -1,0 +1,82 @@
+package wakeup
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pamigo/internal/abort"
+)
+
+// An abort must wake a parked WaitAbort and hand back the typed cause.
+func TestWaitAbortWakesParkedWaiter(t *testing.T) {
+	r := NewRegion()
+	sig := abort.NewSignal()
+	done := make(chan error, 1)
+	go func() { done <- r.WaitAbort(r.Gen(), sig) }()
+	// Let the waiter park (no Touch is coming).
+	for {
+		if _, waits := r.Stats(); waits > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cause := abort.Causef(abort.KindHealth, "test.region", "peer died")
+	sig.Abort(cause)
+	select {
+	case err := <-done:
+		if !errors.Is(err, abort.ErrAborted) {
+			t.Fatalf("WaitAbort returned %v, want ErrAborted wrap", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abort did not wake the parked waiter")
+	}
+}
+
+// A Touch still wins: WaitAbort returns nil when work arrives, and a
+// pre-latched signal returns immediately without parking.
+func TestWaitAbortTouchAndPreAbort(t *testing.T) {
+	r := NewRegion()
+	sig := abort.NewSignal()
+	gen := r.Gen()
+	r.Touch()
+	if err := r.WaitAbort(gen, sig); err != nil {
+		t.Fatalf("touched region returned %v", err)
+	}
+	sig.Abort(abort.Causef(abort.KindUser, "test.region", "cancelled"))
+	if err := r.WaitAbort(r.Gen(), sig); err == nil {
+		t.Fatal("pre-aborted signal did not fail the wait")
+	}
+	// nil signal degrades to plain Wait.
+	r2 := NewRegion()
+	g2 := r2.Gen()
+	r2.Touch()
+	if err := r2.WaitAbort(g2, nil); err != nil {
+		t.Fatalf("nil-signal WaitAbort: %v", err)
+	}
+}
+
+// Hammer aborts against touches: every waiter must return, with no
+// lost wakeups on either path.
+func TestWaitAbortRace(t *testing.T) {
+	for round := 0; round < 100; round++ {
+		r := NewRegion()
+		sig := abort.NewSignal()
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = r.WaitAbort(r.Gen(), sig)
+			}()
+		}
+		wg.Add(2)
+		go func() { defer wg.Done(); r.Touch() }()
+		go func() {
+			defer wg.Done()
+			sig.Abort(abort.Causef(abort.KindDeadline, "test.region", "round %d", round))
+		}()
+		wg.Wait() // the test is that this terminates
+	}
+}

@@ -1,0 +1,80 @@
+package watchdog
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// The hang-dump registry: every live machine registers a dumper that
+// renders its stall-sentinel wait-site table. The SIGQUIT handler (the
+// CLI -hang-dump flag) and the deadline watchdog both print the
+// registered tables ahead of the goroutine dump, so a field hang shows
+// *which named wait* is stuck before the wall of stacks.
+var (
+	dumpMu   sync.Mutex
+	dumpers  map[int]func(io.Writer)
+	dumpNext int
+)
+
+// RegisterDump adds a section to every future hang dump and returns a
+// function that removes it again (call it on shutdown).
+func RegisterDump(fn func(io.Writer)) (unregister func()) {
+	dumpMu.Lock()
+	defer dumpMu.Unlock()
+	if dumpers == nil {
+		dumpers = make(map[int]func(io.Writer))
+	}
+	id := dumpNext
+	dumpNext++
+	dumpers[id] = fn
+	return func() {
+		dumpMu.Lock()
+		defer dumpMu.Unlock()
+		delete(dumpers, id)
+	}
+}
+
+// DumpTo writes every registered section followed by the stacks of all
+// live goroutines.
+func DumpTo(w io.Writer, label string) {
+	fmt.Fprintf(w, "=== hang dump: %s ===\n", label)
+	dumpMu.Lock()
+	ids := make([]int, 0, len(dumpers))
+	for id := range dumpers {
+		ids = append(ids, id)
+	}
+	fns := make([]func(io.Writer), 0, len(ids))
+	for id := 0; id < dumpNext; id++ {
+		if fn, ok := dumpers[id]; ok {
+			fns = append(fns, fn)
+		}
+	}
+	dumpMu.Unlock()
+	if len(fns) == 0 {
+		fmt.Fprintln(w, "(no stall sentinels registered)")
+	}
+	for _, fn := range fns {
+		fn(w)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "--- goroutines ---\n%s\n", Stacks())
+}
+
+// InstallHangDump starts a SIGQUIT listener that prints the hang dump
+// to stderr and keeps the process running, so a wedged run can be
+// probed repeatedly (watch the oldest-park ages grow) without killing
+// it. Installing replaces the Go runtime's default SIGQUIT behaviour
+// (dump and die) for this process.
+func InstallHangDump(label string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			DumpTo(os.Stderr, label)
+		}
+	}()
+}

@@ -1,0 +1,327 @@
+package watchdog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pamigo/internal/abort"
+	"pamigo/internal/telemetry"
+)
+
+// Sentinel is the partition-wide stall sentinel: a registry of every
+// named wait site in the runtime (team barriers, collective credit
+// gates, mu window stalls, replica waits, idle progress parks). Each
+// blocking wait registers a Park on entry and removes it on exit; the
+// sentinel's scanner converts any park that outlives its site's
+// deadline into a typed abort — the site's escalation hook poisons the
+// primitive the waiter is parked on, so the waiter returns an
+// ErrAborted-wrapped cause instead of hanging silently. Sites whose
+// parks carry no escalation hook are observe-only: they appear in the
+// wait-site table (the -hang-dump output) but are never aborted, which
+// is what the idle progress-loop parks — legitimately indefinite —
+// want.
+//
+// The zero-cost contract: registering a park takes one mutex
+// acquisition on a path that is already about to block, allocates
+// nothing (Park structs are caller-owned and reusable), and an unarmed
+// sentinel never runs a scanner.
+type Sentinel struct {
+	mu    sync.Mutex
+	sites map[string]*Site
+	order []*Site
+
+	deadline time.Duration // default escalation deadline; 0 = observe only
+	armed    bool
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	tele        *telemetry.Registry
+	escalations *telemetry.Counter
+}
+
+// NewSentinel returns an unarmed (observe-only) sentinel. reg may be
+// nil; when set, the per-site waiter gauges and the escalation counter
+// are published under a "sentinel" group.
+func NewSentinel(reg *telemetry.Registry) *Sentinel {
+	s := &Sentinel{
+		sites: make(map[string]*Site),
+		stop:  make(chan struct{}),
+	}
+	if reg != nil {
+		s.tele = reg.Group("sentinel")
+		s.escalations = s.tele.Counter("escalations")
+	}
+	return s
+}
+
+// Site returns (creating on first use) the wait site with the given
+// stable dotted name, e.g. "core.team.barrier".
+func (s *Sentinel) Site(name string) *Site {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.sites[name]; ok {
+		return st
+	}
+	st := &Site{sent: s, name: name}
+	if s.tele != nil {
+		st.waitersG = s.tele.Gauge(telemetryName(name) + "_waiters")
+	}
+	s.sites[name] = st
+	s.order = append(s.order, st)
+	return st
+}
+
+// telemetryName flattens a dotted site name into one registry segment.
+func telemetryName(site string) string {
+	return strings.ReplaceAll(site, ".", "_")
+}
+
+// Arm starts the escalation scanner: any park older than deadline at a
+// site with escalation hooks is aborted with a KindDeadline cause.
+// scanEvery <= 0 picks deadline/4 (at least 1ms). Arming twice or with
+// a non-positive deadline is a no-op.
+func (s *Sentinel) Arm(deadline, scanEvery time.Duration) {
+	if deadline <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.armed {
+		s.mu.Unlock()
+		return
+	}
+	s.armed = true
+	s.deadline = deadline
+	s.mu.Unlock()
+	if scanEvery <= 0 {
+		scanEvery = deadline / 4
+		if scanEvery < time.Millisecond {
+			scanEvery = time.Millisecond
+		}
+	}
+	go s.scan(scanEvery)
+}
+
+// Stop halts the scanner. Idempotent; parks keep registering (the
+// table stays live for hang dumps) but nothing escalates anymore.
+func (s *Sentinel) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+func (s *Sentinel) scan(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-t.C:
+			s.sweep(now)
+		}
+	}
+}
+
+// sweep fires the escalation hook of every over-deadline park. Hooks
+// run outside all sentinel locks — they poison barriers, fail
+// sessions, kick condition variables, any of which may take the locks
+// the parked waiters hold.
+func (s *Sentinel) sweep(now time.Time) {
+	type firing struct {
+		fn    func(*abort.Cause)
+		cause *abort.Cause
+	}
+	var fire []firing
+	s.mu.Lock()
+	def := s.deadline
+	sites := s.order
+	s.mu.Unlock()
+	for _, st := range sites {
+		d := st.effDeadline(def)
+		if d <= 0 {
+			continue
+		}
+		st.mu.Lock()
+		for _, p := range st.parks {
+			if p.fired || p.abortFn == nil {
+				continue
+			}
+			age := now.Sub(p.since)
+			if age <= d {
+				continue
+			}
+			p.fired = true
+			st.escalated++
+			cause := abort.Causef(abort.KindDeadline, st.name,
+				"parked %v, stall deadline %v", age.Round(time.Millisecond), d)
+			st.lastCause = cause.Error()
+			fire = append(fire, firing{fn: p.abortFn, cause: cause})
+		}
+		st.mu.Unlock()
+	}
+	for _, f := range fire {
+		if s.escalations != nil {
+			s.escalations.Inc()
+		}
+		f.fn(f.cause)
+	}
+}
+
+// SiteStat is one row of the wait-site table.
+type SiteStat struct {
+	Name        string
+	Waiters     int
+	OldestAge   time.Duration
+	Deadline    time.Duration // effective escalation deadline; 0 = observe only
+	Escalations int64
+	LastCause   string
+}
+
+// Table snapshots every site, busiest-first (waiters, then name).
+func (s *Sentinel) Table() []SiteStat {
+	now := time.Now()
+	s.mu.Lock()
+	def := time.Duration(0)
+	if s.armed {
+		def = s.deadline
+	}
+	sites := append([]*Site(nil), s.order...)
+	s.mu.Unlock()
+	stats := make([]SiteStat, 0, len(sites))
+	for _, st := range sites {
+		st.mu.Lock()
+		row := SiteStat{
+			Name:        st.name,
+			Waiters:     len(st.parks),
+			Deadline:    effDeadline(st.deadline, def),
+			Escalations: st.escalated,
+			LastCause:   st.lastCause,
+		}
+		for _, p := range st.parks {
+			if age := now.Sub(p.since); age > row.OldestAge {
+				row.OldestAge = age
+			}
+		}
+		st.mu.Unlock()
+		stats = append(stats, row)
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Waiters != stats[j].Waiters {
+			return stats[i].Waiters > stats[j].Waiters
+		}
+		return stats[i].Name < stats[j].Name
+	})
+	return stats
+}
+
+// Render formats the wait-site table for a hang dump.
+func (s *Sentinel) Render() string {
+	stats := s.Table()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %8s %12s %10s %6s  %s\n",
+		"wait site", "waiters", "oldest", "deadline", "esc", "last cause")
+	for _, r := range stats {
+		dl := "observe"
+		if r.Deadline > 0 {
+			dl = r.Deadline.String()
+		}
+		fmt.Fprintf(&b, "%-28s %8d %12s %10s %6d  %s\n",
+			r.Name, r.Waiters, r.OldestAge.Round(time.Millisecond), dl, r.Escalations, r.LastCause)
+	}
+	return b.String()
+}
+
+// Site is one named wait site. Parks attach and detach under the
+// site's own mutex so unrelated sites never contend.
+type Site struct {
+	sent *Sentinel
+	name string
+
+	mu        sync.Mutex
+	parks     []*Park
+	deadline  time.Duration // per-site override; 0 = sentinel default
+	escalated int64
+	lastCause string
+
+	waitersG *telemetry.Gauge
+}
+
+// Name returns the site's registered name.
+func (st *Site) Name() string { return st.name }
+
+// SetDeadline overrides the sentinel's default escalation deadline for
+// this site; a negative d pins the site observe-only even when armed.
+func (st *Site) SetDeadline(d time.Duration) {
+	st.mu.Lock()
+	st.deadline = d
+	st.mu.Unlock()
+}
+
+func (st *Site) effDeadline(def time.Duration) time.Duration {
+	st.mu.Lock()
+	d := st.deadline
+	st.mu.Unlock()
+	return effDeadline(d, def)
+}
+
+func effDeadline(site, def time.Duration) time.Duration {
+	if site < 0 {
+		return 0
+	}
+	if site == 0 {
+		return def
+	}
+	return site
+}
+
+// Park is one registered wait, caller-owned so the blocking slow path
+// allocates nothing: embed it in the waiting structure (a context, a
+// flow) and reuse it across waits. A Park must not be entered twice
+// without an intervening Leave.
+type Park struct {
+	site    *Site
+	since   time.Time
+	abortFn func(*abort.Cause)
+	fired   bool
+	idx     int
+}
+
+// Enter registers p as waiting at the site. abortFn, when non-nil, is
+// the escalation hook: called once (from the scanner goroutine) if the
+// park outlives the site's deadline; it must cut the waiter loose —
+// poison the barrier, fail the session, latch the abort signal — and
+// must not block. A nil abortFn makes this an observe-only park.
+func (st *Site) Enter(p *Park, abortFn func(*abort.Cause)) {
+	p.site = st
+	p.since = time.Now()
+	p.abortFn = abortFn
+	p.fired = false
+	st.mu.Lock()
+	p.idx = len(st.parks)
+	st.parks = append(st.parks, p)
+	st.mu.Unlock()
+	if st.waitersG != nil {
+		st.waitersG.Update(1)
+	}
+}
+
+// Leave deregisters the park. Safe to call after an escalation fired.
+func (p *Park) Leave() {
+	st := p.site
+	if st == nil {
+		return
+	}
+	p.site = nil
+	st.mu.Lock()
+	last := len(st.parks) - 1
+	if p.idx <= last && st.parks[p.idx] == p {
+		st.parks[p.idx] = st.parks[last]
+		st.parks[p.idx].idx = p.idx
+		st.parks = st.parks[:last]
+	}
+	st.mu.Unlock()
+	if st.waitersG != nil {
+		st.waitersG.Update(-1)
+	}
+}

@@ -1,0 +1,150 @@
+package watchdog
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pamigo/internal/abort"
+	"pamigo/internal/telemetry"
+)
+
+func TestSentinelEscalatesOverdueParks(t *testing.T) {
+	reg := telemetry.NewRegistry("test")
+	s := NewSentinel(reg)
+	site := s.Site("test.slow")
+	var mu sync.Mutex
+	var got *abort.Cause
+	var p Park
+	site.Enter(&p, func(c *abort.Cause) {
+		mu.Lock()
+		got = c
+		mu.Unlock()
+	})
+	s.Arm(10*time.Millisecond, time.Millisecond)
+	defer s.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		c := got
+		mu.Unlock()
+		if c != nil {
+			if !errors.Is(c, abort.ErrAborted) || c.Kind != abort.KindDeadline {
+				t.Fatalf("escalation cause = %v", c)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sentinel never escalated an overdue park")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Leave()
+	tab := s.Table()
+	if len(tab) != 1 || tab[0].Escalations != 1 || tab[0].Waiters != 0 {
+		t.Fatalf("table after escalation+leave: %+v", tab)
+	}
+	if tab[0].LastCause == "" {
+		t.Fatal("last cause not recorded")
+	}
+}
+
+func TestSentinelObserveOnlyNeverEscalates(t *testing.T) {
+	s := NewSentinel(nil)
+	site := s.Site("test.idle")
+	var p Park
+	site.Enter(&p, nil) // observe-only
+	s.Arm(time.Millisecond, time.Millisecond)
+	defer s.Stop()
+	time.Sleep(20 * time.Millisecond)
+	tab := s.Table()
+	if tab[0].Escalations != 0 {
+		t.Fatalf("observe-only park escalated: %+v", tab)
+	}
+	if tab[0].Waiters != 1 || tab[0].OldestAge <= 0 {
+		t.Fatalf("observe-only park not visible: %+v", tab)
+	}
+	p.Leave()
+}
+
+func TestSentinelSiteDeadlineOverride(t *testing.T) {
+	s := NewSentinel(nil)
+	pinned := s.Site("test.pinned")
+	pinned.SetDeadline(-1) // observe-only even when armed
+	var fired sync.Map
+	var p1, p2 Park
+	pinned.Enter(&p1, func(c *abort.Cause) { fired.Store("pinned", true) })
+	fast := s.Site("test.fast")
+	fast.SetDeadline(2 * time.Millisecond)
+	fast.Enter(&p2, func(c *abort.Cause) { fired.Store("fast", true) })
+	s.Arm(time.Hour, time.Millisecond) // default deadline far away
+	defer s.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := fired.Load("fast"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("per-site fast deadline never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := fired.Load("pinned"); ok {
+		t.Fatal("negative-deadline site escalated")
+	}
+	p1.Leave()
+	p2.Leave()
+}
+
+func TestSentinelParkReuseAndRender(t *testing.T) {
+	s := NewSentinel(nil)
+	site := s.Site("test.reuse")
+	var p Park
+	for i := 0; i < 100; i++ {
+		site.Enter(&p, nil)
+		p.Leave()
+	}
+	var ps [4]Park
+	for i := range ps {
+		site.Enter(&ps[i], nil)
+	}
+	ps[1].Leave() // interior remove must keep the others registered
+	if tab := s.Table(); tab[0].Waiters != 3 {
+		t.Fatalf("waiters after interior Leave = %d, want 3", tab[0].Waiters)
+	}
+	out := s.Render()
+	if !strings.Contains(out, "test.reuse") || !strings.Contains(out, "observe") {
+		t.Fatalf("render missing site row:\n%s", out)
+	}
+	for i := range ps {
+		ps[i].Leave() // double-Leave on ps[1] must be harmless
+	}
+	if tab := s.Table(); tab[0].Waiters != 0 {
+		t.Fatalf("waiters after all left = %d", tab[0].Waiters)
+	}
+}
+
+func TestSentinelConcurrentParks(t *testing.T) {
+	s := NewSentinel(nil)
+	site := s.Site("test.churn")
+	s.Arm(50*time.Millisecond, time.Millisecond)
+	defer s.Stop()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var p Park
+			for i := 0; i < 500; i++ {
+				site.Enter(&p, func(*abort.Cause) {})
+				p.Leave()
+			}
+		}()
+	}
+	wg.Wait()
+	if tab := s.Table(); tab[0].Waiters != 0 {
+		t.Fatalf("leaked waiters: %d", tab[0].Waiters)
+	}
+}

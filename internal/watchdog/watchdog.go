@@ -38,8 +38,8 @@ func Start(d time.Duration, label string) (stop func()) {
 		select {
 		case <-done:
 		case <-t.C:
-			fmt.Fprintf(out, "watchdog: %s still running after %v; goroutine dump follows\n\n%s\n",
-				label, d, Stacks())
+			fmt.Fprintf(out, "watchdog: %s still running after %v\n\n", label, d)
+			DumpTo(out, label)
 			exit(ExitCode)
 		}
 	}()

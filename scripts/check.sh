@@ -11,6 +11,9 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> abortable-wait lint (no raw parks outside the abortable primitives)"
+sh scripts/lint_parks.sh
+
 echo "==> go test ./..."
 go test ./...
 

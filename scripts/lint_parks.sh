@@ -1,0 +1,82 @@
+#!/bin/sh
+# Abortable-wait lint (grep-based): every blocking park in the runtime
+# must be reachable by the cancellation layer — barrier poisoning
+# (l2atomic, collnet.GIBarrier), abort-aware region waits
+# (wakeup.Region.WaitAbort), or a sentinel-registered watchdog.Park on
+# the stall path — so the partition stall sentinel can observe and
+# escalate it (DESIGN §8). A wait the sentinel cannot see is a silent
+# hang waiting to happen.
+#
+# The check is deliberately dumb: it counts raw park primitives
+# (sync.NewCond, channel construction in the abortable layers) per
+# file against a pinned allowlist. Adding a new raw park — a new cond,
+# a new gate channel — fails until the allowlist is extended, which is
+# the moment to route the wait through an abortable primitive instead,
+# or to justify it here (zero-alloc fast paths that never block, stop/
+# done plumbing that only closes, never parks a peer's progress).
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# check PATTERN FILE MAX — fail when FILE contains more than MAX
+# occurrences of PATTERN outside comment lines.
+check() {
+	got=$(grep -v '^\s*//' "$2" | grep -c "$1" || true)
+	if [ "$got" -gt "$3" ]; then
+		echo "lint_parks: $2 has $got '$1' (allowlist pins $3): new raw parks must use the abortable primitives (see DESIGN §8)" >&2
+		fail=1
+	fi
+}
+
+# No sync.NewCond outside the allowlisted owners.
+for f in $(grep -rl "sync.NewCond" --include="*.go" . | grep -v _test.go); do
+	case "$f" in
+	./internal/wakeup/wakeup.go | \
+		./internal/collnet/collnet.go | \
+		./internal/mu/reliable.go | \
+		./internal/wire/transport.go | \
+		./internal/sim/warp/warp.go) ;;
+	*)
+		echo "lint_parks: $f introduces a raw sync.Cond park outside the allowlist: make it abortable (poison broadcast + sentinel park) or extend scripts/lint_parks.sh with a justification" >&2
+		fail=1
+		;;
+	esac
+done
+
+# Allowlisted sync.Cond owners, counts pinned. Every cond here is
+# abort-aware: wakeup.Region (WaitAbort + Touch broadcast), collnet
+# retired-cond (Poison broadcasts it), mu flow cond (failFlow kicks
+# it, stage parks on the sentinel), wire transport conds (reconnect/
+# close paths broadcast), warp LP cond (engine-internal, drained by
+# Stop).
+check "sync.NewCond" internal/wakeup/wakeup.go 1
+check "sync.NewCond" internal/collnet/collnet.go 1
+check "sync.NewCond" internal/mu/reliable.go 1
+check "sync.NewCond" internal/wire/transport.go 3
+check "sync.NewCond" internal/sim/warp/warp.go 1
+
+# Channel construction inside the abortable layers, counts pinned.
+# The allowed ones are either poisonable gates (session done + GI
+# barrier generations: Poison publishes the error then closes) or
+# stop/done plumbing that is closed on shutdown, never awaited by the
+# data path.
+for f in $(grep -rl "make(chan " --include="*.go" \
+	internal/core internal/collnet internal/l2atomic internal/wakeup \
+	internal/recovery internal/mu 2>/dev/null | grep -v _test.go); do
+	case "$f" in
+	internal/collnet/session.go | \
+		internal/recovery/supervisor.go | \
+		internal/mu/reliable.go) ;;
+	*)
+		echo "lint_parks: $f introduces a raw channel wait in an abortable layer: gate it behind a poisonable primitive or extend scripts/lint_parks.sh with a justification" >&2
+		fail=1
+		;;
+	esac
+done
+check "make(chan " internal/collnet/session.go 4
+check "make(chan " internal/recovery/supervisor.go 2
+check "make(chan " internal/mu/reliable.go 2
+
+[ "$fail" -eq 0 ] && echo "lint_parks: every park site is abortable or allowlisted"
+exit "$fail"

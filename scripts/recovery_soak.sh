@@ -17,6 +17,10 @@
 #      so the survivor's dead-peer redial loop is what heals the edge.
 #
 # Everything is bounded by -deadline: a hang is a failure, never a wait.
+# On a deadline overrun the worker's watchdog writes the stall-sentinel
+# wait-site table plus a goroutine dump into its log, and this script
+# surfaces that section — a soak failure names the stuck wait, it never
+# dies with a bare timeout.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -41,18 +45,42 @@ wait_addr() { # logfile
 		sleep 0.05
 	done
 	echo "recovery_soak: no listen address appeared in $1" >&2
+	quit_jobs
 	return 1
 }
 
+# quit_jobs SIGQUITs every background worker so each appends its hang
+# dump (wait-site table + goroutine stacks) to its own log before the
+# EXIT trap kills it; failure diagnosis then reads the dumps, not a
+# bare timeout.
+quit_jobs() {
+	for pid in $(jobs -p); do
+		kill -QUIT "$pid" 2>/dev/null || true
+	done
+	sleep 1
+}
+
+# show_log LOG prints a failed run's log; if the run died to its
+# -deadline watchdog, the embedded hang dump is called out so the
+# stuck wait site is the first thing a reader sees.
+show_log() {
+	if grep -q '^=== hang dump' "$1"; then
+		echo "recovery_soak: DEADLINE OVERRUN in $1 — stall-sentinel wait-site table and goroutine dump captured:" >&2
+		sed -n '/^=== hang dump/,$p' "$1" >&2
+		echo "recovery_soak: full log of $1 follows" >&2
+	fi
+	cat "$1" >&2
+}
+
 echo "  -> in-process: 3 sequential node kills, online auto-revive"
-"$DIR/pamirun" -recover=auto -dims $DIMS_IN -ppn 1 -deadline 120s \
+"$DIR/pamirun" -recover=auto -dims $DIMS_IN -ppn 1 -deadline 120s -hang-dump \
 	-faults "crash@pkt=100,node=1,crash@pkt=220,node=3,crash@pkt=340,node=2" \
 	-fault-seed 17 >"$DIR/inproc.log" 2>&1 ||
-	{ echo "recovery_soak: in-process run failed; log:" >&2; cat "$DIR/inproc.log" >&2; exit 1; }
+	{ echo "recovery_soak: in-process run failed; log:" >&2; show_log "$DIR/inproc.log"; exit 1; }
 grep -q '3 restore(s)' "$DIR/inproc.log" ||
-	{ echo "recovery_soak: expected 3 restores; log:" >&2; cat "$DIR/inproc.log" >&2; exit 1; }
+	{ echo "recovery_soak: expected 3 restores; log:" >&2; show_log "$DIR/inproc.log"; exit 1; }
 grep -q 'byte-exact' "$DIR/inproc.log" ||
-	{ echo "recovery_soak: in-process digests not byte-exact" >&2; cat "$DIR/inproc.log" >&2; exit 1; }
+	{ echo "recovery_soak: in-process digests not byte-exact" >&2; show_log "$DIR/inproc.log"; exit 1; }
 grep -q 'last MTTR 0s' "$DIR/inproc.log" &&
 	{ echo "recovery_soak: MTTR telemetry never moved" >&2; exit 1; }
 
@@ -62,28 +90,28 @@ run_wire_kill() { # victim_role (listen|join)
 	port=$2
 	if [ "$role" = listen ]; then
 		"$DIR/pamirun" -recover=auto -respawn -spares 2 -dims $DIMS_WIRE -ppn 1 \
-			-listen 127.0.0.1:$port -rank-range 0:1 -die-round 7 -deadline 120s >"$DIR/w_l.log" 2>&1 &
+			-listen 127.0.0.1:$port -rank-range 0:1 -die-round 7 -deadline 120s -hang-dump >"$DIR/w_l.log" 2>&1 &
 		ADDR=$(wait_addr "$DIR/w_l.log")
 		"$DIR/pamirun" -recover=auto -dims $DIMS_WIRE -ppn 1 \
-			-join "$ADDR" -rank-range 1:2 -deadline 120s >"$DIR/w_j.log" 2>&1 ||
-			{ echo "recovery_soak($role): survivor failed; logs:" >&2; cat "$DIR/w_j.log" "$DIR/w_l.log" >&2; exit 1; }
+			-join "$ADDR" -rank-range 1:2 -deadline 120s -hang-dump >"$DIR/w_j.log" 2>&1 ||
+			{ echo "recovery_soak($role): survivor failed; logs:" >&2; show_log "$DIR/w_j.log"; show_log "$DIR/w_l.log"; exit 1; }
 		survivor=$DIR/w_j.log victim=$DIR/w_l.log
 	else
 		"$DIR/pamirun" -recover=auto -dims $DIMS_WIRE -ppn 1 \
-			-listen 127.0.0.1:$port -rank-range 0:1 -deadline 120s >"$DIR/w_l.log" 2>&1 &
+			-listen 127.0.0.1:$port -rank-range 0:1 -deadline 120s -hang-dump >"$DIR/w_l.log" 2>&1 &
 		ADDR=$(wait_addr "$DIR/w_l.log")
 		"$DIR/pamirun" -recover=auto -respawn -spares 2 -dims $DIMS_WIRE -ppn 1 \
-			-join "$ADDR" -rank-range 1:2 -die-round 7 -deadline 120s >"$DIR/w_j.log" 2>&1 ||
-			{ echo "recovery_soak($role): respawned victim failed; log:" >&2; cat "$DIR/w_j.log" >&2; exit 1; }
+			-join "$ADDR" -rank-range 1:2 -die-round 7 -deadline 120s -hang-dump >"$DIR/w_j.log" 2>&1 ||
+			{ echo "recovery_soak($role): respawned victim failed; log:" >&2; show_log "$DIR/w_j.log"; exit 1; }
 		survivor=$DIR/w_l.log victim=$DIR/w_j.log
 	fi
-	wait %1 || { echo "recovery_soak($role): background worker failed; log:" >&2; cat "$DIR/w_l.log" >&2; exit 1; }
+	wait %1 || { echo "recovery_soak($role): background worker failed; log:" >&2; show_log "$DIR/w_l.log"; exit 1; }
 	grep -q 'killed by killed; relaunching as incarnation 1' "$victim" ||
-		{ echo "recovery_soak($role): the victim was never killed and respawned" >&2; cat "$victim" >&2; exit 1; }
+		{ echo "recovery_soak($role): the victim was never killed and respawned" >&2; show_log "$victim"; exit 1; }
 	grep -q 'restored from its buddy replica: resuming at round [1-9]' "$victim" ||
-		{ echo "recovery_soak($role): the respawned victim did not resume from a buddy checkpoint" >&2; cat "$victim" >&2; exit 1; }
+		{ echo "recovery_soak($role): the respawned victim did not resume from a buddy checkpoint" >&2; show_log "$victim"; exit 1; }
 	grep -q '1 restore(s) observed here' "$survivor" ||
-		{ echo "recovery_soak($role): the survivor never recorded the restore" >&2; cat "$survivor" >&2; exit 1; }
+		{ echo "recovery_soak($role): the survivor never recorded the restore" >&2; show_log "$survivor"; exit 1; }
 	grep -q 'last MTTR 0s' "$survivor" &&
 		{ echo "recovery_soak($role): survivor MTTR telemetry never moved" >&2; exit 1; }
 	grep -q 'byte-exact' "$DIR/w_l.log" && grep -q 'byte-exact' "$DIR/w_j.log" ||
